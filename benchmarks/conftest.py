@@ -1,0 +1,43 @@
+"""Benchmark fixtures: a shared full-scale experiment context.
+
+Every figure/table bench reuses one memoised context (workload + cloud
+run + AP replay + ODR replay), so the heavy simulation cost is paid once
+per pytest session; the benchmarked callables are the experiment drivers
+themselves, timed end to end where meaningful.
+
+Set ``REPRO_BENCH_SCALE`` to override the workload scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import default_context
+from repro.experiments.context import DEFAULT_SCALE
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def context():
+    return default_context(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def warm_context(context):
+    """Context with the expensive artefacts already materialised, so
+    benches that time a *driver* do not accidentally time the whole
+    simulation pipeline on first touch."""
+    context.cloud_result
+    context.ap_report
+    context.odr_result
+    context.cloud_only_result
+    context.ap_only_result
+    return context
+
+
+def print_report(report) -> None:
+    print()
+    print(report.render())

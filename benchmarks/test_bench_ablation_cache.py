@@ -1,0 +1,44 @@
+"""Ablation: collaborative caching on vs off.
+
+The paper's counterfactual (section 4.1): without the storage pool the
+failure ratio roughly doubles (8.7% vs 16.4%), and every request pays a
+real pre-download.  Disabling the cache in the simulator reproduces both
+effects mechanistically.
+"""
+
+from conftest import BENCH_SCALE
+
+from repro.cloud import CloudConfig, XuanfengCloud
+
+ABLATION_SCALE = min(BENCH_SCALE, 0.01)
+
+
+def test_bench_ablation_collaborative_cache(benchmark, context):
+    workload = context.workload
+
+    def run_without_cache():
+        config = CloudConfig(scale=context.scale,
+                             collaborative_cache=False)
+        return XuanfengCloud(config).run(workload)
+
+    no_cache = benchmark.pedantic(run_without_cache, rounds=1,
+                                  iterations=1)
+    with_cache = context.cloud_result
+
+    print(f"\nfailure ratio: with cache "
+          f"{with_cache.request_failure_ratio:.3f}, without "
+          f"{no_cache.request_failure_ratio:.3f}")
+    print(f"hit ratio: with {with_cache.cache_hit_ratio:.3f}, "
+          f"without {no_cache.cache_hit_ratio:.3f}")
+    print(f"pre-download traffic: with "
+          f"{with_cache.fleet.traffic_bytes / 1e12:.2f} TB, without "
+          f"{no_cache.fleet.traffic_bytes / 1e12:.2f} TB")
+
+    # No cache -> no hits, far more failures, far more traffic.
+    assert no_cache.cache_hit_ratio == 0.0
+    assert no_cache.request_failure_ratio > \
+        1.8 * with_cache.request_failure_ratio
+    assert no_cache.fleet.traffic_bytes > \
+        3.0 * with_cache.fleet.traffic_bytes
+    # Every request became an attempt.
+    assert no_cache.fleet.attempts >= len(workload.requests)

@@ -1,0 +1,35 @@
+"""Ablation: privileged network paths on vs off.
+
+Xuanfeng's uploading servers are deployed *inside* the four major ISPs
+precisely so fetches dodge the ISP barrier (section 2.1).  Replacing the
+ISP-aware selector with a load-only selector sends most fetches across
+the barrier and the impeded share explodes -- the design choice this
+bench quantifies.
+"""
+
+from conftest import print_report
+
+from repro.cloud import CloudConfig, XuanfengCloud
+
+
+def test_bench_ablation_privileged_paths(benchmark, context):
+    workload = context.workload
+
+    def run_without_privileged_paths():
+        config = CloudConfig(scale=context.scale,
+                             privileged_paths=False)
+        return XuanfengCloud(config).run(workload)
+
+    blind = benchmark.pedantic(run_without_privileged_paths, rounds=1,
+                               iterations=1)
+    aware = context.cloud_result
+
+    blind_fetch = blind.fetch_speed_cdf()
+    aware_fetch = aware.fetch_speed_cdf()
+    print(f"\nimpeded share: ISP-aware {aware.impeded_fetch_share:.3f}, "
+          f"ISP-blind {blind.impeded_fetch_share:.3f}")
+    print(f"fetch median: aware {aware_fetch.median / 1e3:.0f} KBps, "
+          f"blind {blind_fetch.median / 1e3:.0f} KBps")
+
+    assert blind.impeded_fetch_share > 1.5 * aware.impeded_fetch_share
+    assert blind_fetch.median < 0.6 * aware_fetch.median

@@ -1,0 +1,65 @@
+"""Ablation: ODR against every redirection baseline.
+
+Extends Figure 16 with the strategies the paper discusses in related
+work: the commercial always-hybrid mode and Zhou et al.'s AMS.  ODR
+should be the only strategy that simultaneously dodges all four
+bottlenecks.
+"""
+
+from conftest import print_report
+
+from repro.analysis.tables import TextTable
+from repro.core import (
+    AlwaysHybridStrategy,
+    AmsStrategy,
+    CloudOnlyStrategy,
+    OdrMiddleware,
+    OdrStrategy,
+    SmartApOnlyStrategy,
+)
+
+
+def test_bench_ablation_strategies(benchmark, warm_context):
+    evaluator = warm_context.evaluator()
+    sample = warm_context.sample
+    database = warm_context.cloud.database
+    strategies = [
+        OdrStrategy(OdrMiddleware(database)),
+        CloudOnlyStrategy(database),
+        SmartApOnlyStrategy(),
+        AlwaysHybridStrategy(database),
+        AmsStrategy(database),
+    ]
+
+    def run_all():
+        return {strategy.name: evaluator.replay(sample, strategy)
+                for strategy in strategies}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    baseline = results["cloud-only"]
+
+    table = TextTable(["strategy", "B1 impeded", "B2 cloud bytes",
+                       "B3 unpopular fail", "B4 limited",
+                       "median KBps"],
+                      ["", ".3f", ".2f", ".3f", ".3f", ".0f"])
+    for name, result in results.items():
+        table.add_row(name, result.impeded_share,
+                      result.cloud_bandwidth_bytes /
+                      max(baseline.cloud_bandwidth_bytes, 1.0),
+                      result.unpopular_failure_ratio,
+                      result.write_path_limited_share,
+                      result.fetch_speed_cdf().median / 1e3)
+    print("\n" + table.render())
+
+    odr = results["odr"]
+    # ODR dominates every baseline on at least one bottleneck and never
+    # loses badly on any:
+    assert odr.impeded_share <= results["cloud-only"].impeded_share
+    assert odr.impeded_share <= results["ams"].impeded_share
+    assert odr.cloud_bandwidth_bytes < \
+        0.75 * results["always-hybrid"].cloud_bandwidth_bytes
+    assert odr.unpopular_failure_ratio < \
+        results["smart-ap-only"].unpopular_failure_ratio / 2
+    assert odr.write_path_limited_share == 0.0
+    assert results["always-hybrid"].write_path_limited_share > 0.0
+    assert results["ams"].write_path_limited_share > 0.0

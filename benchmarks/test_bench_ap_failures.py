@@ -1,0 +1,24 @@
+"""Bench: section 5.2 smart-AP failure statistics and cause breakdown."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+from repro.transfer.source import CAUSE_INSUFFICIENT_SEEDS
+
+
+def test_bench_ap_failures(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["ap_failures"](warm_context), rounds=1,
+        iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+
+    # Overall ~16.8%, unpopular ~42%.
+    assert rows["overall failure ratio"].relative_error < 0.35
+    assert rows["unpopular failure ratio"].relative_error < 0.30
+
+    # Cause mix: seeds dominate (86%), then servers, then bugs.
+    causes = report.data["causes"]
+    assert causes[CAUSE_INSUFFICIENT_SEEDS] > 0.7
+    ordered = sorted(causes.values(), reverse=True)
+    assert causes[CAUSE_INSUFFICIENT_SEEDS] == ordered[0]

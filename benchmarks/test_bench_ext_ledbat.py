@@ -1,0 +1,61 @@
+"""Extension bench: LEDBAT seeding on the cloud's upload links.
+
+Section 6.1: "ODR can learn from LEDBAT to further mitigate the
+cloud-side upload bandwidth burden."  The seeding traffic ODR introduces
+(cloud seeding highly popular swarms) should ride the upload links as a
+background scavenger: full rate in the nightly troughs, out of the way
+at the evening peak.  This bench drives the RFC 6817 controller with
+the simulated week's real burden profile and checks both properties.
+"""
+
+import numpy as np
+from conftest import BENCH_SCALE
+
+from repro.transfer.ledbat import BottleneckLink, simulate_scavenging
+from repro.sim.clock import DAY, to_gbps
+
+BIN_WIDTH = 300.0
+
+
+def test_bench_ext_ledbat_seeding(benchmark, warm_context):
+    result = warm_context.cloud_result
+    capacity = result.config.scaled_upload_capacity
+
+    # Foreground: the measured per-bin fetch burden of day 6 (a busy
+    # day), compressed so each 5-minute bin becomes one second of fluid
+    # simulation -- the diurnal shape is what matters.
+    series = result.bandwidth_series(BIN_WIDTH)
+    bins_per_day = int(DAY / BIN_WIDTH)
+    day6 = series[5 * bins_per_day:6 * bins_per_day]
+    steps_per_bin = 10
+    profile = np.repeat(day6, steps_per_bin)
+
+    link = BottleneckLink(capacity=capacity, propagation_delay=0.03,
+                          max_queue_bytes=0.5 * capacity)
+
+    def run():
+        return simulate_scavenging(link, list(profile), step=0.1)
+
+    scavenge = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rates = np.array(scavenge.ledbat_rate_series)
+    foreground = profile
+    idle_mask = foreground < 0.5 * capacity
+    busy_mask = foreground > 0.8 * capacity
+    idle_rate = rates[idle_mask].mean() if idle_mask.any() else 0.0
+    busy_rate = rates[busy_mask].mean() if busy_mask.any() else 0.0
+
+    print(f"\nseeding rate in troughs: "
+          f"{to_gbps(idle_rate) / BENCH_SCALE:.1f} Gbps; at the peak: "
+          f"{to_gbps(busy_rate) / BENCH_SCALE:.1f} Gbps "
+          f"(capacity {to_gbps(capacity) / BENCH_SCALE:.0f} Gbps)")
+    print(f"mean extra queueing delay: "
+          f"{scavenge.mean_queueing_delay * 1e3:.0f} ms")
+
+    # Scavenges real bandwidth off-peak...
+    assert idle_rate > 0.2 * capacity
+    # ...yields hard when the fetch traffic peaks...
+    if busy_mask.any():
+        assert busy_rate < 0.5 * idle_rate
+    # ...and never builds a painful standing queue.
+    assert scavenge.mean_queueing_delay < 0.4

@@ -1,0 +1,17 @@
+"""Bench: Figure 5 -- the requested-file-size CDF."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+
+
+def test_bench_fig05(benchmark, context):
+    context.workload   # materialise outside the timed region
+    report = benchmark.pedantic(lambda: REGISTRY["fig05"](context),
+                                rounds=1, iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+    assert rows["median file size (MB)"].relative_error < 0.10
+    assert rows["mean file size (MB)"].relative_error < 0.10
+    assert rows["share below 8 MB"].relative_error < 0.10
+    assert rows["max file size (GB)"].relative_error < 0.05

@@ -1,0 +1,27 @@
+"""Bench: Figure 6 -- Zipf fit of the rank-popularity curve."""
+
+import numpy as np
+from conftest import print_report
+
+from repro.analysis.fitting import fit_zipf
+from repro.experiments import REGISTRY
+from repro.workload.popularity import rank_popularity_curve
+
+
+def test_bench_fig06_zipf_fit(benchmark, context):
+    ranks, popularity = rank_popularity_curve(
+        context.workload.catalog.demands())
+
+    fit = benchmark(fit_zipf, ranks, popularity)
+    # The synthetic curve is Zipf-like: slope near the paper's 1.034,
+    # with a non-trivial but bounded fit error.
+    assert 0.7 < fit.a < 1.4
+    assert fit.average_relative_error < 0.5
+
+
+def test_fig06_07_reproduction(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig06_07"](context), rounds=1, iterations=1)
+    print_report(report)
+    # The headline comparative claim: SE fits better than Zipf.
+    assert report.data["se_beats_zipf"]

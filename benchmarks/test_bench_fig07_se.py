@@ -1,0 +1,35 @@
+"""Bench: Figure 7 -- stretched-exponential fit of the popularity curve."""
+
+from conftest import print_report
+
+from repro.analysis.fitting import fit_se, fit_zipf
+from repro.experiments import REGISTRY
+from repro.workload.popularity import rank_popularity_curve
+
+
+def test_bench_fig07_se_fit(benchmark, context):
+    ranks, popularity = rank_popularity_curve(
+        context.workload.catalog.demands())
+
+    fit = benchmark(fit_se, ranks, popularity)
+    assert fit.c > 0
+    assert fit.average_relative_error < 0.5
+
+
+def test_se_beats_zipf_at_the_head(benchmark, context):
+    """The paper's Figure 6 vs 7 comparison, including the head region
+    (the most popular files) where Zipf overshoots."""
+    ranks, popularity = rank_popularity_curve(
+        context.workload.catalog.demands())
+    zipf, se = benchmark.pedantic(
+        lambda: (fit_zipf(ranks, popularity),
+                 fit_se(ranks, popularity)),
+        rounds=1, iterations=1)
+    print_report(REGISTRY["fig06_07"](context))
+
+    assert se.average_relative_error < zipf.average_relative_error
+    # Head comparison: Zipf's prediction at rank 1 overshoots more.
+    head_actual = popularity[0]
+    zipf_head = zipf.predict(ranks[:1])[0]
+    se_head = se.predict(ranks[:1])[0]
+    assert abs(se_head - head_actual) <= abs(zipf_head - head_actual)

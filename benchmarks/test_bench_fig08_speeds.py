@@ -1,0 +1,35 @@
+"""Bench: Figure 8 -- cloud pre-download / fetch / end-to-end speed CDFs.
+
+The first bench in the session to touch the cloud run pays for the whole
+simulated week; the timing of that simulation is itself the benchmarked
+quantity here.
+"""
+
+from conftest import BENCH_SCALE, print_report
+
+from repro.cloud import CloudConfig, XuanfengCloud
+from repro.experiments import REGISTRY
+
+
+def test_bench_cloud_week_simulation(benchmark, context):
+    workload = context.workload
+
+    def run_week():
+        return XuanfengCloud(CloudConfig(scale=BENCH_SCALE)).run(workload)
+
+    result = benchmark.pedantic(run_week, rounds=1, iterations=1)
+    assert len(result.tasks) == len(workload.requests)
+
+
+def test_fig08_reproduction(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig08"](context), rounds=1, iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+    # Shape targets: fetch an order of magnitude above pre-download.
+    assert rows["fetch median (KBps)"].relative_error < 0.25
+    assert rows["fetch mean (KBps)"].relative_error < 0.25
+    assert rows["pre-download median (KBps)"].relative_error < 0.60
+    assert rows["e2e median (KBps)"].relative_error < 0.30
+    speedup = rows["fetch/pre median speed-up"]
+    assert speedup.measured_value > 5.0

@@ -1,0 +1,23 @@
+"""Bench: Figure 9 -- cloud pre-download / fetch / end-to-end delay CDFs."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+
+
+def test_bench_fig09(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig09"](warm_context), rounds=1, iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+    assert rows["pre-download median (min)"].relative_error < 0.40
+    assert rows["fetch median (min)"].relative_error < 0.50
+    assert rows["e2e median (min)"].relative_error < 0.50
+    # Shape: pre-download delays dwarf fetch delays (paper: 12-14x).
+    ratio = rows["pre/fetch median delay ratio"].measured_value
+    assert ratio > 4.0
+    # And end-to-end tracks fetch, not pre-download (89% cache hits).
+    pre = report.data["pre"]
+    fetch = report.data["fetch"]
+    e2e = report.data["e2e"]
+    assert abs(e2e.median - fetch.median) < abs(e2e.median - pre.median)

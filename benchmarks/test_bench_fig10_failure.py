@@ -1,0 +1,16 @@
+"""Bench: Figure 10 -- popularity vs pre-download failure ratio."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+
+
+def test_bench_fig10(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig10"](warm_context), rounds=1, iterations=1)
+    print_report(report)
+    # The scatter's defining property: failure decreases with popularity.
+    ratios = report.data["bucket_ratios"]
+    assert ratios[0] > 0.02                   # unpopular files do fail
+    assert ratios[0] > ratios[-1] * 3         # highly popular barely do
+    assert report.data["decreasing"] or ratios[0] >= max(ratios[1:])

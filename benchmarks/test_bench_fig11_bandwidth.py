@@ -1,0 +1,37 @@
+"""Bench: Figure 11 -- cloud upload-bandwidth burden over the week."""
+
+import numpy as np
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+from repro.sim.clock import DAY
+
+
+def test_bench_fig11(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig11"](warm_context), rounds=1, iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+
+    # Peak pierces the 30 Gbps purchased capacity late in the week.
+    peak = rows["peak burden (Gbps, rescaled)"].measured_value
+    assert 30.0 < peak < 45.0
+    assert report.data["peak_day"] >= 4
+
+    # Highly popular files burn a large share (~40%) of the bandwidth.
+    share = rows["highly popular share of burden"].measured_value
+    assert 0.25 < share < 0.55
+
+    # Rejections exist but stay small (paper: 1.5%).
+    assert 0.001 < rows["fetch rejection ratio"].measured_value < 0.05
+
+    # Diurnal structure: within-day peak well above within-day trough.
+    series = report.data["total_series_gbps"]
+    bins_per_day = int(DAY / 300.0)
+    day_three = series[2 * bins_per_day:3 * bins_per_day]
+    assert day_three.max() > 1.5 * day_three.min()
+
+    # Rising trend: the last day's average beats the first day's.
+    first = series[:bins_per_day].mean()
+    last = series[6 * bins_per_day:].mean()
+    assert last > 1.2 * first

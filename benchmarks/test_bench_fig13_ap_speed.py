@@ -1,0 +1,43 @@
+"""Bench: Figure 13 -- smart-AP pre-download speed CDF vs cloud.
+
+The benchmarked quantity is the full section 5.1 replay: 1000 sampled
+requests sequentially across the three APs.
+"""
+
+from conftest import print_report
+
+from repro.ap.benchrig import ApBenchmarkRig
+from repro.experiments import REGISTRY
+from repro.sim.clock import kbps
+
+
+def test_bench_ap_replay_campaign(benchmark, context):
+    workload = context.workload
+    sample = context.sample
+
+    def replay():
+        return ApBenchmarkRig(workload.catalog).replay(sample)
+
+    report = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert len(report.results) == len(sample)
+
+
+def test_fig13_reproduction(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig13_14"](warm_context), rounds=1,
+        iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+    assert rows["AP speed median (KBps)"].relative_error < 0.40
+    assert rows["AP speed mean (KBps)"].relative_error < 0.40
+
+    ap_speed = report.data["ap_speed"]
+    # Shape facts from the figure: a fat low tail (failures + thin
+    # swarms) and a long but truncated upper tail.
+    assert ap_speed.probability_below(kbps(5.0)) > 0.10
+    assert ap_speed.max <= 2.375e6 + 1e-6
+
+    # Per-AP ceilings: Newifi (NTFS flash) truncates lowest.
+    per_ap = report.data["per_ap"]
+    assert per_ap["Newifi"].max <= 0.94e6
+    assert per_ap["HiWiFi (1S)"].max > per_ap["Newifi"].max

@@ -1,0 +1,26 @@
+"""Bench: Figure 14 -- smart-AP pre-download delay CDF vs cloud."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+from repro.sim.clock import HOUR, MINUTE
+
+
+def test_bench_fig14(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig13_14"](warm_context), rounds=1,
+        iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+    assert rows["AP delay median (min)"].relative_error < 0.45
+    assert rows["AP delay mean (min)"].relative_error < 0.40
+
+    ap_delay = report.data["ap_delay"]
+    # The mean is several times the median: a heavy tail of very slow
+    # pre-downloads, as in the paper (77 min median vs 402 min mean).
+    assert ap_delay.mean > 2.5 * ap_delay.median
+    # Failures show up as ~1 hour stagnation give-ups.
+    assert ap_delay.probability_below(1.26 * HOUR) > \
+        ap_delay.probability_below(0.9 * HOUR)
+    # Delays live on the scale of hours, not seconds.
+    assert 20 * MINUTE < ap_delay.median < 4 * HOUR

@@ -1,0 +1,52 @@
+"""Bench: Figure 16 -- the four bottlenecks, conventional vs ODR.
+
+The benchmarked quantity is the ODR replay campaign itself (decide +
+execute for the whole sample).
+"""
+
+from conftest import print_report
+
+from repro.core import OdrMiddleware, OdrStrategy
+from repro.experiments import REGISTRY
+
+
+def test_bench_odr_replay(benchmark, warm_context):
+    evaluator = warm_context.evaluator()
+    sample = warm_context.sample
+    strategy = OdrStrategy(OdrMiddleware(warm_context.cloud.database))
+
+    result = benchmark.pedantic(
+        lambda: evaluator.replay(sample, strategy), rounds=1,
+        iterations=1)
+    assert len(result.outcomes) == len(sample)
+
+
+def test_fig16_reproduction(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig16"](warm_context), rounds=1,
+        iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+
+    # B1: impeded fetches drop sharply (paper 28% -> 9%).
+    baseline_b1 = rows["B1 baseline impeded share (cloud)"].measured_value
+    odr_b1 = rows["B1 ODR impeded share"].measured_value
+    assert odr_b1 < baseline_b1 / 2
+    assert odr_b1 < 0.13
+
+    # B2: cloud bandwidth cut by roughly a third (paper 35%).
+    reduction = rows["B2 cloud bandwidth reduction"].measured_value
+    assert 0.25 < reduction < 0.45
+    projected = rows["B2 projected peak burden (Gbps)"].measured_value
+    assert projected < 30.0   # back under the purchased capacity
+
+    # B3: unpopular failures collapse vs the AP baseline (42% -> 13%).
+    baseline_b3 = rows["B3 baseline unpopular failure (APs)"] \
+        .measured_value
+    odr_b3 = rows["B3 ODR unpopular failure"].measured_value
+    assert odr_b3 < baseline_b3 / 2
+
+    # B4: write-path throttling is gone.
+    assert rows["B4 ODR write-path-limited share"].measured_value == 0.0
+
+    assert report.data["wrong_decisions"] < 0.02

@@ -1,0 +1,30 @@
+"""Bench: Figure 17 -- ODR fetching-speed CDF vs plain Xuanfeng."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+
+
+def test_bench_fig17(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["fig17"](warm_context), rounds=1, iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+
+    assert rows["ODR fetch median (KBps)"].relative_error < 0.20
+    assert rows["ODR fetch mean (KBps)"].relative_error < 0.20
+    # The testbed line caps ODR's max at ~2.37 MBps (paper Fig. 17).
+    assert rows["ODR fetch max (MBps)"].relative_error < 0.05
+
+    # The comparative claim: ODR improves the median over Xuanfeng.
+    improvement = rows["median improvement over Xuanfeng"].measured_value
+    assert improvement > 1.1
+
+    odr = report.data["odr_cdf"]
+    xuanfeng = report.data["xuanfeng_cdf"]
+    # ODR's low tail is thinner (no ISP barrier, no rejections).  It is
+    # not halved in WAN terms because cloud->AP staging for slow-line
+    # users still shows its WAN leg here; the *user-experienced*
+    # impeded share (Fig. 16's B1) is what collapses to ~1/4.
+    assert odr.probability_below(125e3) < \
+        0.75 * xuanfeng.probability_below(125e3)

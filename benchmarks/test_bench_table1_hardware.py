@@ -1,0 +1,15 @@
+"""Bench: Table 1 -- smart-AP hardware configurations (exact)."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+
+
+def test_bench_table1(benchmark, context):
+    report = benchmark(lambda: REGISTRY["table1"](context))
+    print_report(report)
+    assert report.worst_relative_error() == 0.0
+    rendered = report.table
+    for name in ("HiWiFi", "MiWiFi", "Newifi"):
+        assert name in rendered
+    assert "MT7620A" in rendered and "Broadcom4709" in rendered

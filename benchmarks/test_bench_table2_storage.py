@@ -1,0 +1,36 @@
+"""Bench: Table 2 -- max pre-download speed and iowait per device/fs."""
+
+from conftest import print_report
+
+from repro.experiments import REGISTRY
+from repro.experiments.table2_storage import PAPER_TABLE2
+
+
+def test_bench_table2(benchmark, warm_context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["table2"](warm_context), rounds=1, iterations=1)
+    print_report(report)
+
+    # Every analytic cell within 5% of the paper's measurement.
+    for row in report.comparisons:
+        if "replayed" in row.quantity:
+            continue
+        assert row.relative_error < 0.06, row.quantity
+
+    # The dynamic replay confirms the slowest configuration's ceiling.
+    replayed = {row.quantity: row for row in report.comparisons}[
+        "Newifi NTFS flash replayed max (MBps)"]
+    assert replayed.relative_error < 0.03
+
+    # Structural claims of section 5.2's discussion:
+    speeds = {key: value[0] for key, value in PAPER_TABLE2.items()}
+    # NTFS is always the slowest filesystem on a given device...
+    from repro.storage import Filesystem
+    flash = "Newifi + USB flash drive"
+    hdd = "Newifi + USB hard disk drive"
+    assert speeds[(flash, Filesystem.NTFS)] < \
+        min(speeds[(flash, Filesystem.FAT)],
+            speeds[(flash, Filesystem.EXT4)])
+    # ...and the USB HDD beats the USB flash drive on every filesystem.
+    for fs in Filesystem:
+        assert speeds[(hdd, fs)] >= speeds[(flash, fs)]

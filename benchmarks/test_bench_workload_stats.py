@@ -1,0 +1,35 @@
+"""Bench: section 3 workload characteristics (type/protocol/class mixes).
+
+Times the full workload synthesis and asserts the section 3 text
+statistics stay inside the reproduction bands.
+"""
+
+from conftest import BENCH_SCALE, print_report
+
+from repro.experiments import REGISTRY
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def test_bench_workload_synthesis(benchmark, context):
+    def synthesize():
+        config = WorkloadConfig(scale=min(BENCH_SCALE, 0.005), seed=7)
+        return WorkloadGenerator(config).generate()
+
+    workload = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+    assert len(workload.requests) > 1000
+
+
+def test_workload_stats_reproduction(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: REGISTRY["workload_stats"](context), rounds=1,
+        iterations=1)
+    print_report(report)
+    rows = {row.quantity: row for row in report.comparisons}
+    assert rows["video request share"].relative_error < 0.10
+    assert rows["software request share"].relative_error < 0.30
+    assert rows["unpopular file share"].relative_error < 0.03
+    assert rows["unpopular request share"].relative_error < 0.12
+    # The highly-popular request share rides a heavy-tailed per-file
+    # demand distribution; per-seed wobble of +-25% is expected.
+    assert rows["highly popular request share"].relative_error < 0.25
+    assert rows["BitTorrent share"].relative_error < 0.10

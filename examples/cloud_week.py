@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The section 4 study: one week through the cloud-based system.
+
+Reproduces the cloud-side analysis -- speed/delay distributions, the
+impeded-fetch breakdown, and the Figure 11 bandwidth-burden series with
+its day-7 capacity crunch.
+
+Run with::
+
+    python examples/cloud_week.py [scale]
+"""
+
+import sys
+
+from repro import CloudConfig, WorkloadConfig, WorkloadGenerator, \
+    XuanfengCloud
+from repro.analysis.tables import TextTable
+from repro.sim.clock import DAY, MINUTE, to_gbps
+
+
+def main(scale: float = 0.02) -> None:
+    workload = WorkloadGenerator(WorkloadConfig(scale=scale)).generate()
+    cloud = XuanfengCloud(CloudConfig(scale=scale))
+    result = cloud.run(workload)
+
+    print(f"== one synthetic week at scale {scale} "
+          f"({len(workload.requests)} tasks) ==\n")
+
+    table = TextTable(["distribution", "median", "mean", "max"],
+                      ["", ".1f", ".1f", ".0f"])
+    pre_speed = result.attempt_speed_cdf()
+    fetch_speed = result.fetch_speed_cdf()
+    table.add_row("pre-download speed (KBps)", pre_speed.median / 1e3,
+                  pre_speed.mean / 1e3, pre_speed.max / 1e3)
+    table.add_row("fetch speed (KBps)", fetch_speed.median / 1e3,
+                  fetch_speed.mean / 1e3, fetch_speed.max / 1e3)
+    pre_delay = result.attempt_delay_cdf()
+    fetch_delay = result.fetch_delay_cdf()
+    table.add_row("pre-download delay (min)", pre_delay.median / MINUTE,
+                  pre_delay.mean / MINUTE, pre_delay.max / MINUTE)
+    table.add_row("fetch delay (min)", fetch_delay.median / MINUTE,
+                  fetch_delay.mean / MINUTE, fetch_delay.max / MINUTE)
+    print(table.render())
+
+    print(f"\ncache hit ratio: {result.cache_hit_ratio:.1%}   "
+          f"request failures: {result.request_failure_ratio:.1%}   "
+          f"rejected fetches: {result.rejection_ratio:.2%}")
+
+    print(f"\nimpeded fetches (< 125 KBps): "
+          f"{result.impeded_fetch_share:.1%}, caused by:")
+    for cause, share in result.impeded_breakdown().items():
+        print(f"  {cause:<24s} {share:6.1%}")
+
+    # Figure 11: upload-bandwidth burden by day, rescaled to paper units.
+    print("\nupload-bandwidth burden (rescaled to the real population):")
+    total = result.bandwidth_series()
+    highly = result.bandwidth_series(only_highly_popular=True)
+    bins_per_day = int(DAY / 300.0)
+    bars = TextTable(["day", "avg Gbps", "peak Gbps", "highly-popular %",
+                      "sparkline"], ["d", ".1f", ".1f", ".0%", ""])
+    for day in range(7):
+        sl = slice(day * bins_per_day, (day + 1) * bins_per_day)
+        day_total, day_highly = total[sl], highly[sl]
+        peak = to_gbps(day_total.max()) / scale
+        spark = "#" * int(peak)
+        bars.add_row(day + 1, to_gbps(day_total.mean()) / scale, peak,
+                     float(day_highly.sum() / max(day_total.sum(), 1)),
+                     spark)
+    print(bars.render())
+    print("(purchased capacity: 30 Gbps -- the final days pierce it, "
+          "forcing rejections)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The section 3 study: workload characteristics of offline downloading.
+
+Reproduces the trace analysis -- type mix, size CDF (Figure 5), protocol
+mix, and the Zipf-vs-SE popularity fitting (Figures 6 and 7) -- and
+optionally writes the SVG figures.
+
+Run with::
+
+    python examples/trace_study.py [outdir]
+"""
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro import WorkloadConfig, WorkloadGenerator
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.fitting import fit_se, fit_zipf
+from repro.analysis.tables import TextTable
+from repro.workload.popularity import PopularityClass, \
+    rank_popularity_curve
+
+SCALE = 0.01
+
+
+def main(outdir: str | None = None) -> None:
+    workload = WorkloadGenerator(WorkloadConfig(scale=SCALE)).generate()
+    requests = workload.requests
+    catalog = workload.catalog
+    print(f"synthetic trace: {len(requests)} tasks, {len(catalog)} "
+          f"unique files, {len(workload.users)} users\n")
+
+    # File types (paper: 75% video, 15% software).
+    print("== request type mix ==")
+    counts = Counter(request.file_type.value for request in requests)
+    for name, count in counts.most_common():
+        print(f"  {name:<10s} {count / len(requests):6.1%}")
+
+    # Protocols (paper: 68% BitTorrent, 19% eMule, 13% HTTP/FTP).
+    print("\n== protocol mix ==")
+    protocols = Counter(request.protocol.value for request in requests)
+    for name, count in protocols.most_common():
+        print(f"  {name:<12s} {count / len(requests):6.1%}")
+
+    # Figure 5.
+    sizes = empirical_cdf([record.size for record in catalog])
+    print("\n== file sizes (Figure 5) ==")
+    print("  " + sizes.describe(scale=1e6, unit=" MB"))
+    print(f"  below 8 MB: {sizes.probability_below(8e6):.1%} "
+          f"(paper: up to 25%)")
+
+    # Popularity classes.
+    print("\n== popularity classes ==")
+    table = TextTable(["class", "files", "requests"], ["", ".1%", ".1%"])
+    file_shares = catalog.class_file_shares()
+    request_shares = catalog.class_request_shares()
+    for klass in PopularityClass:
+        table.add_row(klass.value, file_shares[klass],
+                      request_shares[klass])
+    print("\n".join("  " + line for line in
+                    table.render().splitlines()))
+
+    # Figures 6 and 7.
+    ranks, popularity = rank_popularity_curve(catalog.demands())
+    zipf = fit_zipf(ranks, popularity)
+    se = fit_se(ranks, popularity)
+    print("\n== popularity fitting (Figures 6-7) ==")
+    print(f"  Zipf: a={zipf.a:.3f} b={zipf.b:.3f}  "
+          f"avg rel err {zipf.average_relative_error:.1%}")
+    print(f"  SE:   a={se.a:.4f} b={se.b:.3f} c={se.c:g}  "
+          f"avg rel err {se.average_relative_error:.1%}")
+    winner = "SE" if se.average_relative_error < \
+        zipf.average_relative_error else "Zipf"
+    print(f"  -> {winner} fits better (the paper: SE, because of "
+          f"fetch-at-most-once)")
+
+    if outdir:
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.figures import render_all
+        context = ExperimentContext(scale=SCALE)
+        written = render_all(context, Path(outdir))
+        print(f"\nwrote {len(written)} SVG figures to {outdir}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

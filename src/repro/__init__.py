@@ -1,0 +1,67 @@
+"""repro -- a full reproduction of "Offline Downloading in China: A
+Comparative Study" (IMC 2015).
+
+The package models the paper's entire measurement universe in Python:
+
+* :mod:`repro.workload` -- a calibrated synthetic substitute for the
+  proprietary Xuanfeng week-long trace;
+* :mod:`repro.cloud` -- the cloud-based offline-downloading system
+  (collaborative cache, pre-downloader fleet, per-ISP uploading servers);
+* :mod:`repro.ap` -- the HiWiFi / MiWiFi / Newifi smart APs and the
+  section 5 benchmark rig;
+* :mod:`repro.core` -- ODR, the Offline Downloading Redirector, plus the
+  baseline strategies and the section 6 replay evaluation;
+* :mod:`repro.sim`, :mod:`repro.netsim`, :mod:`repro.transfer`,
+  :mod:`repro.storage`, :mod:`repro.analysis` -- the substrates.
+
+Quickstart::
+
+    from repro import (WorkloadGenerator, WorkloadConfig, XuanfengCloud,
+                       CloudConfig)
+
+    workload = WorkloadGenerator(WorkloadConfig(scale=0.005)).generate()
+    cloud = XuanfengCloud(CloudConfig(scale=0.005))
+    result = cloud.run(workload)
+    print(f"cache hit ratio: {result.cache_hit_ratio:.2%}")
+"""
+
+from repro.workload import Workload, WorkloadConfig, WorkloadGenerator, \
+    sample_benchmark_requests
+from repro.cloud import CloudConfig, CloudRunResult, XuanfengCloud
+from repro.ap import ApBenchmarkRig, SmartAP, HIWIFI_1S, MIWIFI, NEWIFI
+from repro.core import (
+    OdrMiddleware,
+    OdrService,
+    OdrStrategy,
+    CloudOnlyStrategy,
+    SmartApOnlyStrategy,
+    AlwaysHybridStrategy,
+    AmsStrategy,
+    ReplayEvaluator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "sample_benchmark_requests",
+    "XuanfengCloud",
+    "CloudConfig",
+    "CloudRunResult",
+    "SmartAP",
+    "ApBenchmarkRig",
+    "HIWIFI_1S",
+    "MIWIFI",
+    "NEWIFI",
+    "OdrMiddleware",
+    "OdrService",
+    "OdrStrategy",
+    "CloudOnlyStrategy",
+    "SmartApOnlyStrategy",
+    "AlwaysHybridStrategy",
+    "AmsStrategy",
+    "ReplayEvaluator",
+    "__version__",
+]

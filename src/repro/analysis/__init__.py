@@ -1,0 +1,38 @@
+"""Measurement-analysis toolkit used by experiments and benches."""
+
+from repro.analysis.cdf import CDF, empirical_cdf
+from repro.analysis.fitting import (
+    FitResult,
+    average_relative_error,
+    fit_se,
+    fit_zipf,
+)
+from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.timeseries import bin_rate_series, peak_of_series
+from repro.analysis.tables import TextTable
+from repro.analysis.compare import (
+    SimilarityVerdict,
+    compare,
+    ks_distance,
+    quantile_ratios,
+)
+from repro.analysis.svg import SvgFigure
+
+__all__ = [
+    "CDF",
+    "empirical_cdf",
+    "FitResult",
+    "fit_zipf",
+    "fit_se",
+    "average_relative_error",
+    "SummaryStats",
+    "summarize",
+    "bin_rate_series",
+    "peak_of_series",
+    "TextTable",
+    "ks_distance",
+    "quantile_ratios",
+    "compare",
+    "SimilarityVerdict",
+    "SvgFigure",
+]

@@ -1,0 +1,80 @@
+"""Empirical CDFs, the lingua franca of the paper's figures.
+
+Figures 5, 8, 9, 13, 14, and 17 are all CDF plots; :class:`CDF` holds the
+sorted sample and answers the questions those figures encode: quantiles,
+the probability below a threshold (e.g. the share of fetches under
+125 KBps), and evenly spaced (x, y) points for rendering or export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CDF:
+    """An empirical distribution over a 1-D sample."""
+
+    values: np.ndarray  # sorted ascending
+
+    def __post_init__(self):
+        if self.values.ndim != 1:
+            raise ValueError("CDF expects a 1-D sample")
+        if len(self.values) == 0:
+            raise ValueError("CDF of an empty sample is undefined")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def min(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self.values[-1])
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        return float(np.quantile(self.values, q))
+
+    def probability_below(self, threshold: float) -> float:
+        """P(X < threshold) -- e.g. the impeded-fetch share at 125 KBps."""
+        return float(np.searchsorted(self.values, threshold,
+                                     side="left") / len(self.values))
+
+    def probability_at_most(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        return float(np.searchsorted(self.values, threshold,
+                                     side="right") / len(self.values))
+
+    def points(self, count: int = 100) -> list[tuple[float, float]]:
+        """``count`` evenly spaced (value, cumulative probability) points."""
+        if count < 2:
+            raise ValueError("need at least two points")
+        qs = np.linspace(0.0, 1.0, count)
+        return [(float(np.quantile(self.values, q)), float(q)) for q in qs]
+
+    def describe(self, scale: float = 1.0, unit: str = "") -> str:
+        """Min/median/mean/max line in the style of the paper's captions."""
+        return (f"Min: {self.min / scale:.4g}{unit}, "
+                f"Median: {self.median / scale:.4g}{unit}, "
+                f"Average: {self.mean / scale:.4g}{unit}, "
+                f"Max: {self.max / scale:.4g}{unit}")
+
+
+def empirical_cdf(sample) -> CDF:
+    """Build a :class:`CDF` from any iterable of numbers."""
+    values = np.sort(np.asarray(list(sample), dtype=float))
+    return CDF(values)

@@ -1,0 +1,61 @@
+"""Summary statistics helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """The min/median/mean/max quartet the paper quotes per figure."""
+
+    count: int
+    minimum: float
+    median: float
+    mean: float
+    maximum: float
+    p25: float
+    p75: float
+    p90: float
+    std: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "median": self.median,
+            "mean": self.mean,
+            "max": self.maximum,
+            "p25": self.p25,
+            "p75": self.p75,
+            "p90": self.p90,
+            "std": self.std,
+        }
+
+
+def summarize(sample) -> SummaryStats:
+    """Compute :class:`SummaryStats` over an iterable of numbers."""
+    values = np.asarray(list(sample), dtype=float)
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStats(
+        count=len(values),
+        minimum=float(values.min()),
+        median=float(np.median(values)),
+        mean=float(values.mean()),
+        maximum=float(values.max()),
+        p25=float(np.quantile(values, 0.25)),
+        p75=float(np.quantile(values, 0.75)),
+        p90=float(np.quantile(values, 0.90)),
+        std=float(values.std()),
+    )
+
+
+def share_below(sample, threshold: float) -> float:
+    """Fraction of the sample strictly below ``threshold``."""
+    values = np.asarray(list(sample), dtype=float)
+    if len(values) == 0:
+        raise ValueError("cannot compute a share over an empty sample")
+    return float((values < threshold).mean())

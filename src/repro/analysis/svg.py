@@ -1,0 +1,286 @@
+"""A dependency-free SVG chart renderer for the paper's figures.
+
+matplotlib is deliberately not a dependency; the handful of plot styles
+the paper uses -- CDF line charts, log-log scatter+fit plots, and the
+Figure 11 time series -- are rendered directly as SVG.  The output is
+plain XML text, viewable in any browser and diffable in git.
+
+The API is intentionally small: build a :class:`SvgFigure`, add line or
+scatter series against linear or log axes, and render.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: A colour cycle that survives greyscale printing (paper-ish).
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b",
+           "#e377c2")
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _tick_label(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e9:
+        return f"{value / 1e9:g}G"
+    if magnitude >= 1e6:
+        return f"{value / 1e6:g}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:g}k"
+    if magnitude < 0.01:
+        return f"{value:.0e}"
+    return f"{value:g}"
+
+
+@dataclass
+class Series:
+    """One plotted series."""
+
+    xs: Sequence[float]
+    ys: Sequence[float]
+    label: str
+    color: str
+    kind: str = "line"          # "line" | "scatter"
+    dash: Optional[str] = None
+
+
+class Axis:
+    """A linear or log axis mapping data to pixel coordinates."""
+
+    def __init__(self, lo: float, hi: float, pixels: tuple[float, float],
+                 log: bool = False):
+        if log and (lo <= 0 or hi <= 0):
+            raise ValueError("log axes need positive bounds")
+        if hi <= lo:
+            hi = lo + 1.0
+        self.lo, self.hi = lo, hi
+        self.pixels = pixels
+        self.log = log
+
+    def project(self, value: float) -> float:
+        if self.log:
+            value = max(value, self.lo)
+            fraction = (math.log10(value) - math.log10(self.lo)) / \
+                (math.log10(self.hi) - math.log10(self.lo))
+        else:
+            fraction = (value - self.lo) / (self.hi - self.lo)
+        start, end = self.pixels
+        return start + fraction * (end - start)
+
+    def ticks(self, count: int = 5) -> list[float]:
+        if self.log:
+            lo_exp = math.floor(math.log10(self.lo))
+            hi_exp = math.ceil(math.log10(self.hi))
+            return [10.0 ** e for e in range(lo_exp, hi_exp + 1)]
+        step = (self.hi - self.lo) / (count - 1)
+        return [self.lo + i * step for i in range(count)]
+
+
+class SvgFigure:
+    """Builder for one chart."""
+
+    WIDTH, HEIGHT = 640, 420
+    MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 55
+
+    def __init__(self, title: str, xlabel: str, ylabel: str,
+                 xlog: bool = False, ylog: bool = False):
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.xlog = xlog
+        self.ylog = ylog
+        self.series: list[Series] = []
+        self._hlines: list[tuple[float, str, str]] = []
+
+    # -- data ---------------------------------------------------------------
+
+    def add_line(self, xs, ys, label: str,
+                 color: Optional[str] = None,
+                 dash: Optional[str] = None) -> None:
+        self._add(xs, ys, label, color, "line", dash)
+
+    def add_scatter(self, xs, ys, label: str,
+                    color: Optional[str] = None) -> None:
+        self._add(xs, ys, label, color, "scatter", None)
+
+    def add_bars(self, xs, ys, label: str,
+                 color: Optional[str] = None) -> None:
+        """Grouped bars: series added with ``add_bars`` at the same x
+        positions are rendered side by side (Figure 16 style)."""
+        if self.xlog or self.ylog:
+            raise ValueError("bar series need linear axes")
+        self._add(xs, ys, label, color, "bars", None)
+
+    def add_hline(self, y: float, label: str,
+                  color: str = "#444444") -> None:
+        self._hlines.append((y, label, color))
+
+    def _add(self, xs, ys, label, color, kind, dash) -> None:
+        xs, ys = list(xs), list(ys)
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must align")
+        if not xs:
+            raise ValueError("series needs at least one point")
+        color = color or PALETTE[len(self.series) % len(PALETTE)]
+        self.series.append(Series(xs, ys, label, color, kind, dash))
+
+    # -- rendering ------------------------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for s in self.series for x in s.xs]
+        ys = [y for s in self.series for y in s.ys]
+        ys.extend(y for y, _label, _color in self._hlines)
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if self.xlog:
+            x_lo = max(x_lo, min(x for x in xs if x > 0))
+        if self.ylog:
+            y_lo = max(y_lo, min(y for y in ys if y > 0))
+        if not self.ylog:
+            y_lo = min(y_lo, 0.0)
+            y_hi *= 1.05
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("figure has no series")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        x_axis = Axis(x_lo, x_hi,
+                      (self.MARGIN_L, self.WIDTH - self.MARGIN_R),
+                      log=self.xlog)
+        y_axis = Axis(y_lo, y_hi,
+                      (self.HEIGHT - self.MARGIN_B, self.MARGIN_T),
+                      log=self.ylog)
+
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.WIDTH}" height="{self.HEIGHT}" '
+            f'viewBox="0 0 {self.WIDTH} {self.HEIGHT}" '
+            f'font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.WIDTH}" height="{self.HEIGHT}" '
+            f'fill="white"/>',
+            f'<text x="{self.WIDTH / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">'
+            f'{_escape(self.title)}</text>',
+        ]
+        parts.extend(self._render_grid(x_axis, y_axis))
+        parts.extend(self._render_series(x_axis, y_axis))
+        parts.extend(self._render_hlines(x_axis, y_axis))
+        parts.extend(self._render_legend())
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _render_grid(self, x_axis: Axis, y_axis: Axis) -> list[str]:
+        parts = []
+        plot_bottom = self.HEIGHT - self.MARGIN_B
+        for tick in x_axis.ticks():
+            px = x_axis.project(tick)
+            parts.append(f'<line x1="{_fmt(px)}" y1="{self.MARGIN_T}" '
+                         f'x2="{_fmt(px)}" y2="{plot_bottom}" '
+                         f'stroke="#dddddd"/>')
+            parts.append(f'<text x="{_fmt(px)}" y="{plot_bottom + 18}" '
+                         f'text-anchor="middle">{_tick_label(tick)}'
+                         f'</text>')
+        for tick in y_axis.ticks():
+            py = y_axis.project(tick)
+            parts.append(f'<line x1="{self.MARGIN_L}" y1="{_fmt(py)}" '
+                         f'x2="{self.WIDTH - self.MARGIN_R}" '
+                         f'y2="{_fmt(py)}" stroke="#dddddd"/>')
+            parts.append(f'<text x="{self.MARGIN_L - 8}" '
+                         f'y="{_fmt(py + 4)}" text-anchor="end">'
+                         f'{_tick_label(tick)}</text>')
+        parts.append(
+            f'<text x="{self.WIDTH / 2}" y="{self.HEIGHT - 12}" '
+            f'text-anchor="middle">{_escape(self.xlabel)}</text>')
+        parts.append(
+            f'<text x="18" y="{self.HEIGHT / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 18 {self.HEIGHT / 2})">'
+            f'{_escape(self.ylabel)}</text>')
+        return parts
+
+    def _render_series(self, x_axis: Axis, y_axis: Axis) -> list[str]:
+        parts = []
+        bar_series = [s for s in self.series if s.kind == "bars"]
+        for series in self.series:
+            points = [(x_axis.project(x), y_axis.project(y))
+                      for x, y in zip(series.xs, series.ys)]
+            if series.kind == "bars":
+                parts.extend(self._render_bars(series, bar_series,
+                                               points, y_axis))
+            elif series.kind == "scatter":
+                for px, py in points:
+                    parts.append(f'<circle cx="{_fmt(px)}" '
+                                 f'cy="{_fmt(py)}" r="2.5" '
+                                 f'fill="{series.color}" '
+                                 f'fill-opacity="0.6"/>')
+            else:
+                path = " ".join(
+                    f"{'M' if i == 0 else 'L'}{_fmt(px)},{_fmt(py)}"
+                    for i, (px, py) in enumerate(points))
+                dash = f' stroke-dasharray="{series.dash}"' \
+                    if series.dash else ""
+                parts.append(f'<path d="{path}" fill="none" '
+                             f'stroke="{series.color}" '
+                             f'stroke-width="2"{dash}/>')
+        return parts
+
+    def _render_bars(self, series: Series, bar_series: list[Series],
+                     points: list[tuple[float, float]],
+                     y_axis: Axis) -> list[str]:
+        group_size = max(len(bar_series), 1)
+        group_index = bar_series.index(series)
+        # Bar width from the tightest x spacing (or a default slice).
+        xs = sorted({px for px, _py in points})
+        spacing = min((b - a for a, b in zip(xs, xs[1:])),
+                      default=80.0)
+        bar_width = max(4.0, 0.7 * spacing / group_size)
+        baseline = y_axis.project(max(y_axis.lo, 0.0))
+        parts = []
+        for px, py in points:
+            left = px - 0.35 * spacing + group_index * bar_width
+            height = abs(baseline - py)
+            top = min(py, baseline)
+            parts.append(f'<rect x="{_fmt(left)}" y="{_fmt(top)}" '
+                         f'width="{_fmt(bar_width)}" '
+                         f'height="{_fmt(height)}" '
+                         f'fill="{series.color}" '
+                         f'fill-opacity="0.85"/>')
+        return parts
+
+    def _render_hlines(self, x_axis: Axis, y_axis: Axis) -> list[str]:
+        parts = []
+        for y, label, color in self._hlines:
+            py = y_axis.project(y)
+            parts.append(f'<line x1="{self.MARGIN_L}" y1="{_fmt(py)}" '
+                         f'x2="{self.WIDTH - self.MARGIN_R}" '
+                         f'y2="{_fmt(py)}" stroke="{color}" '
+                         f'stroke-width="1.5" '
+                         f'stroke-dasharray="6,4"/>')
+            parts.append(f'<text x="{self.WIDTH - self.MARGIN_R - 4}" '
+                         f'y="{_fmt(py - 5)}" text-anchor="end" '
+                         f'fill="{color}">{_escape(label)}</text>')
+        return parts
+
+    def _render_legend(self) -> list[str]:
+        parts = []
+        x = self.MARGIN_L + 12
+        y = self.MARGIN_T + 8
+        for series in self.series:
+            parts.append(f'<rect x="{x}" y="{y}" width="18" height="4" '
+                         f'fill="{series.color}"/>')
+            parts.append(f'<text x="{x + 24}" y="{y + 6}">'
+                         f'{_escape(series.label)}</text>')
+            y += 18
+        return parts
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;") \
+        .replace(">", "&gt;")

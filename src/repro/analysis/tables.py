@@ -1,0 +1,55 @@
+"""Plain-text table rendering for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    Benches print these so their output reads like the paper's tables;
+    cells are stringified with ``format(value, spec)`` when a format spec
+    is attached to the column.
+    """
+
+    def __init__(self, columns: Sequence[str],
+                 formats: Sequence[str] | None = None):
+        if not columns:
+            raise ValueError("table needs at least one column")
+        if formats is not None and len(formats) != len(columns):
+            raise ValueError("formats must align with columns")
+        self.columns = list(columns)
+        self.formats = list(formats) if formats is not None else \
+            [""] * len(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        rendered = []
+        for cell, spec in zip(cells, self.formats):
+            if isinstance(cell, str) or not spec:
+                rendered.append(str(cell))
+            else:
+                rendered.append(format(cell, spec))
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        widths = [len(name) for name in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            "  ".join(name.ljust(width)
+                      for name, width in zip(self.columns, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(width)
+                                   for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

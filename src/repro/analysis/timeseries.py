@@ -1,0 +1,48 @@
+"""Time-series binning for bandwidth-burden plots (Figure 11).
+
+Flows are intervals ``(start, end, rate)``; binning integrates each
+flow's rate over its overlap with every bin, yielding the time-average
+committed bandwidth per bin -- the paper's 5-minute-interval upload
+burden series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bin_rate_series(flows, bin_width: float,
+                    horizon: float) -> np.ndarray:
+    """Average aggregate rate per bin over ``[0, horizon)``.
+
+    ``flows`` is an iterable of ``(start, end, rate)`` triples in
+    seconds / B/s.  Returns an array of length ``ceil(horizon/bin_width)``
+    in B/s.
+    """
+    if bin_width <= 0 or horizon <= 0:
+        raise ValueError("bin_width and horizon must be positive")
+    n_bins = int(np.ceil(horizon / bin_width))
+    totals = np.zeros(n_bins)
+    for start, end, rate in flows:
+        if end <= start or rate <= 0:
+            continue
+        start = max(float(start), 0.0)
+        end = min(float(end), horizon)
+        if end <= start:
+            continue
+        first = int(start / bin_width)
+        last = min(int((end - 1e-12) / bin_width), n_bins - 1)
+        for index in range(first, last + 1):
+            lo = max(start, index * bin_width)
+            hi = min(end, (index + 1) * bin_width)
+            totals[index] += rate * max(0.0, hi - lo)
+    return totals / bin_width
+
+
+def peak_of_series(series: np.ndarray) -> tuple[int, float]:
+    """(bin index, value) of the series maximum."""
+    series = np.asarray(series, dtype=float)
+    if len(series) == 0:
+        raise ValueError("empty series has no peak")
+    index = int(np.argmax(series))
+    return index, float(series[index])

@@ -1,0 +1,33 @@
+"""Smart AP (access point) based offline downloading.
+
+Models the three devices the paper benchmarks -- HiWiFi 1S, MiWiFi, and
+Newifi -- as OpenWrt boxes that pre-download with wget/aria2 onto an
+attached storage device, then serve the file over the LAN.  Bottlenecks 3
+(seed scarcity kills unpopular-file pre-downloads) and 4 (the storage
+write path throttles throughput) both materialise here.
+"""
+
+from repro.ap.models import (
+    ApHardware,
+    HIWIFI_1S,
+    MIWIFI,
+    NEWIFI,
+    BENCHMARKED_APS,
+)
+from repro.ap.openwrt import DownloadClient, OpenWrtSystem
+from repro.ap.smartap import SmartAP, ApPreDownloadResult
+from repro.ap.benchrig import ApBenchmarkRig, ApBenchmarkReport
+
+__all__ = [
+    "ApHardware",
+    "HIWIFI_1S",
+    "MIWIFI",
+    "NEWIFI",
+    "BENCHMARKED_APS",
+    "OpenWrtSystem",
+    "DownloadClient",
+    "SmartAP",
+    "ApPreDownloadResult",
+    "ApBenchmarkRig",
+    "ApBenchmarkReport",
+]

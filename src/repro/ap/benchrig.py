@@ -1,0 +1,183 @@
+"""The section 5.1 benchmark rig: replaying sampled requests on smart APs.
+
+Methodology reproduced from the paper: 1000 real requests from Unicom
+users (each carrying its recorded access bandwidth) are split across the
+three APs, each sitting on its own 20 Mbps Unicom ADSL line; requests
+replay sequentially (request i+1 starts after i completes or fails); the
+AP's pre-download speed is throttled to the recorded user bandwidth to
+approximate the original network conditions; completed files are removed
+from the small storage devices; performance data aggregates to a storage
+server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import CDF, empirical_cdf
+from repro.ap.models import ApHardware, BENCHMARKED_APS
+from repro.ap.smartap import ApPreDownloadResult, SmartAP
+from repro.netsim.link import TESTBED_ADSL, adsl_goodput
+from repro.sim.randomness import RngFactory
+from repro.transfer.source import SourceModel
+from repro.workload.catalog import FileCatalog
+from repro.workload.popularity import PopularityClass
+from repro.workload.records import PreDownloadRecord, RequestRecord
+
+
+@dataclass
+class ApBenchmarkReport:
+    """Aggregated results of one replay campaign."""
+
+    results: list[ApPreDownloadResult]
+
+    def __post_init__(self):
+        if not self.results:
+            raise ValueError("report needs at least one result")
+
+    # -- failure statistics ------------------------------------------------------
+
+    @property
+    def failure_ratio(self) -> float:
+        failures = sum(1 for r in self.results if not r.record.success)
+        return failures / len(self.results)
+
+    def failure_ratio_of_class(self, klass: PopularityClass) -> float:
+        relevant = [r for r in self.results
+                    if r.file.popularity_class is klass]
+        if not relevant:
+            return 0.0
+        failures = sum(1 for r in relevant if not r.record.success)
+        return failures / len(relevant)
+
+    @property
+    def unpopular_failure_ratio(self) -> float:
+        return self.failure_ratio_of_class(PopularityClass.UNPOPULAR)
+
+    def failure_cause_breakdown(self) -> dict[str, float]:
+        """Shares of failures by cause (paper: 86% seeds / 10% server /
+        4% bugs)."""
+        failures = [r for r in self.results if not r.record.success]
+        if not failures:
+            return {}
+        counts: dict[str, int] = {}
+        for result in failures:
+            cause = result.record.failure_cause or "unknown"
+            counts[cause] = counts.get(cause, 0) + 1
+        return {cause: count / len(failures)
+                for cause, count in counts.items()}
+
+    # -- speed / delay distributions -----------------------------------------------
+
+    def speed_cdf(self) -> CDF:
+        """Pre-download speeds, failures included at their trickle rates."""
+        return empirical_cdf([r.record.average_speed
+                              for r in self.results])
+
+    def delay_cdf(self) -> CDF:
+        return empirical_cdf([r.record.delay for r in self.results])
+
+    def max_speed(self) -> float:
+        return self.speed_cdf().max
+
+    def mean_iowait(self) -> float:
+        successes = [r for r in self.results if r.record.success]
+        if not successes:
+            return 0.0
+        return float(np.mean([r.iowait_ratio for r in successes]))
+
+    def peak_iowait(self) -> float:
+        """iowait at the fastest replayed task -- the Table 2 quantity."""
+        return max((r.iowait_ratio for r in self.results), default=0.0)
+
+    # -- slicing ---------------------------------------------------------------------
+
+    def for_ap(self, ap_name: str) -> "ApBenchmarkReport":
+        subset = [r for r in self.results if r.ap_name == ap_name]
+        return ApBenchmarkReport(subset)
+
+    def ap_names(self) -> list[str]:
+        seen: list[str] = []
+        for result in self.results:
+            if result.ap_name not in seen:
+                seen.append(result.ap_name)
+        return seen
+
+
+class ApBenchmarkRig:
+    """Drives replay campaigns across a set of smart APs."""
+
+    def __init__(self, catalog: FileCatalog,
+                 aps: Optional[Sequence[SmartAP]] = None,
+                 source_model: Optional[SourceModel] = None,
+                 uplink_bandwidth: float = adsl_goodput(TESTBED_ADSL),
+                 seed: int = 20150301):
+        self.catalog = catalog
+        source_model = source_model or SourceModel()
+        self.aps = list(aps) if aps is not None else [
+            SmartAP(hardware, source_model=source_model)
+            for hardware in BENCHMARKED_APS]
+        self.uplink_bandwidth = uplink_bandwidth
+        self._rng_factory = RngFactory(seed)
+
+    def replay(self, requests: Sequence[RequestRecord],
+               throttle_to_user: bool = True) -> ApBenchmarkReport:
+        """Replay the sampled workload, split round-robin across the APs.
+
+        Each AP processes its share sequentially; the simulated clock of
+        one AP is the cumulative duration of its own replays, as in the
+        real three-week campaign.
+        """
+        if not requests:
+            raise ValueError("nothing to replay")
+        results: list[ApPreDownloadResult] = []
+        clocks = {ap.hardware.name: 0.0 for ap in self.aps}
+        for index, request in enumerate(requests):
+            ap = self.aps[index % len(self.aps)]
+            rng = self._rng_factory.stream(f"replay-{ap.hardware.name}")
+            record = self.catalog[request.file_id]
+            throttle = request.access_bandwidth if throttle_to_user \
+                else None
+            outcome, iowait = ap.pre_download(
+                record, rng, access_bandwidth=throttle,
+                uplink_bandwidth=self.uplink_bandwidth)
+            start = clocks[ap.hardware.name]
+            finish = start + outcome.duration
+            clocks[ap.hardware.name] = finish
+            if outcome.success:
+                # Small devices are wiped between tasks (section 5.1).
+                ap.store(outcome.bytes_obtained)
+                ap.remove(outcome.bytes_obtained)
+            results.append(ApPreDownloadResult(
+                ap_name=ap.hardware.name,
+                record=PreDownloadRecord(
+                    task_id=request.task_id, file_id=record.file_id,
+                    start_time=start, finish_time=finish,
+                    acquired_bytes=outcome.bytes_obtained,
+                    traffic_bytes=outcome.traffic, cache_hit=False,
+                    average_speed=outcome.average_rate,
+                    peak_speed=outcome.peak_rate,
+                    success=outcome.success,
+                    failure_cause=outcome.failure_cause),
+                file=record, iowait_ratio=iowait))
+        return ApBenchmarkReport(results)
+
+    def replay_top_popular(self, requests: Sequence[RequestRecord],
+                           ap: SmartAP, top: int = 10,
+                           repeats: int = 3) -> ApBenchmarkReport:
+        """The Table 2 protocol: replay the most popular sampled requests
+        with *no* user-bandwidth throttle, so the write path (and the
+        20 Mbps line) is what binds."""
+        ranked = sorted(
+            requests,
+            key=lambda request:
+                self.catalog[request.file_id].weekly_demand,
+            reverse=True)
+        subset = list(ranked[:top]) * repeats
+        rig = ApBenchmarkRig(self.catalog, aps=[ap],
+                             uplink_bandwidth=self.uplink_bandwidth,
+                             seed=self._rng_factory.master_seed + 1)
+        return rig.replay(subset, throttle_to_user=False)

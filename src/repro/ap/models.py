@@ -1,0 +1,105 @@
+"""Smart-AP hardware presets (the paper's Table 1).
+
+==========  ==================  ======  ==============================  =====================
+Smart AP    CPU                 RAM     Storage interface(s)            WiFi
+==========  ==================  ======  ==============================  =====================
+HiWiFi 1S   MT7620A @ 580 MHz   128 MB  SD card slot                    802.11 b/g/n @ 2.4 GHz
+MiWiFi      Broadcom4709 @1GHz  256 MB  USB 2.0 + internal 1 TB SATA    802.11 b/g/n/ac dual
+Newifi      MT7620A @ 580 MHz   128 MB  USB 2.0                         802.11 b/g/n/ac dual
+==========  ==================  ======  ==============================  =====================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.storage.device import (
+    SATA_HDD_1TB,
+    SD_CARD_8GB,
+    StorageDevice,
+    USB_FLASH_8GB,
+)
+from repro.storage.filesystem import Filesystem
+
+
+class StorageInterface(enum.Enum):
+    """Physical storage attachment points on an AP."""
+
+    SD = "sd"
+    USB2 = "usb2"
+    SATA = "sata"
+
+
+class WifiBand(enum.Enum):
+    """Radio bands the AP serves."""
+
+    GHZ_2_4 = "2.4GHz"
+    GHZ_5_0 = "5.0GHz"
+
+
+@dataclass(frozen=True)
+class ApHardware:
+    """Static hardware description of one smart-AP model."""
+
+    name: str
+    cpu_model: str
+    cpu_mhz: float
+    ram_mb: int
+    storage_interfaces: tuple[StorageInterface, ...]
+    wifi_protocols: str
+    wifi_bands: tuple[WifiBand, ...]
+    price_usd: float
+    #: The storage device each AP shipped with / was benchmarked with
+    #: (section 5.1), and the filesystem it ran.
+    default_device: StorageDevice = SD_CARD_8GB
+    default_filesystem: Filesystem = Filesystem.FAT
+    #: Lowest WiFi LAN fetch throughput observed (B/s); the paper reports
+    #: 8-12 MBps, always above the cloud's 6.1 MBps fetch maximum.
+    lan_fetch_rate_low: float = 8e6
+    lan_fetch_rate_high: float = 12e6
+
+    def __post_init__(self):
+        if self.cpu_mhz <= 0 or self.ram_mb <= 0:
+            raise ValueError("hardware figures must be positive")
+        if not self.default_device.supports(self.default_filesystem):
+            raise ValueError(
+                f"{self.name}: default device cannot run "
+                f"{self.default_filesystem}")
+
+
+HIWIFI_1S = ApHardware(
+    name="HiWiFi (1S)",
+    cpu_model="MT7620A", cpu_mhz=580.0, ram_mb=128,
+    storage_interfaces=(StorageInterface.SD,),
+    wifi_protocols="IEEE 802.11 b/g/n",
+    wifi_bands=(WifiBand.GHZ_2_4,),
+    price_usd=20.0,
+    default_device=SD_CARD_8GB,
+    default_filesystem=Filesystem.FAT,
+)
+
+MIWIFI = ApHardware(
+    name="MiWiFi",
+    cpu_model="Broadcom4709", cpu_mhz=1000.0, ram_mb=256,
+    storage_interfaces=(StorageInterface.USB2, StorageInterface.SATA),
+    wifi_protocols="IEEE 802.11 b/g/n/ac",
+    wifi_bands=(WifiBand.GHZ_2_4, WifiBand.GHZ_5_0),
+    price_usd=100.0,
+    default_device=SATA_HDD_1TB,
+    default_filesystem=Filesystem.EXT4,
+)
+
+NEWIFI = ApHardware(
+    name="Newifi",
+    cpu_model="MT7620A", cpu_mhz=580.0, ram_mb=128,
+    storage_interfaces=(StorageInterface.USB2,),
+    wifi_protocols="IEEE 802.11 b/g/n/ac",
+    wifi_bands=(WifiBand.GHZ_2_4, WifiBand.GHZ_5_0),
+    price_usd=20.0,
+    default_device=USB_FLASH_8GB,
+    default_filesystem=Filesystem.NTFS,
+)
+
+#: The three devices of the section 5 benchmark, in the paper's order.
+BENCHMARKED_APS: tuple[ApHardware, ...] = (HIWIFI_1S, MIWIFI, NEWIFI)

@@ -1,0 +1,70 @@
+"""The APs' software stack: OpenWrt with Opkg-installed download clients.
+
+All three benchmarked APs run OpenWrt and drive downloads with
+Opkg-installable clients -- ``wget`` for HTTP/FTP and ``aria2`` for
+BitTorrent/eMule (paper section 2.2).  This module models the software
+side: which client handles which protocol, and the residual firmware
+flakiness the paper measured (6 of 1000 replayed requests, 0.6%, failed
+to "system bugs" in the AP stacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.transfer.protocols import Protocol
+
+#: Share of requests lost to AP firmware/application bugs (section 5.2:
+#: 6 of 1000 replays, across all three devices).
+DEFAULT_BUG_FAILURE_RATE = 0.006
+
+
+@dataclass(frozen=True)
+class DownloadClient:
+    """One Opkg-installed download tool and what it speaks."""
+
+    package: str
+    protocols: tuple[Protocol, ...]
+
+    def supports(self, protocol: Protocol) -> bool:
+        return protocol in self.protocols
+
+
+WGET = DownloadClient(package="wget",
+                      protocols=(Protocol.HTTP, Protocol.FTP))
+ARIA2 = DownloadClient(package="aria2",
+                       protocols=(Protocol.BITTORRENT, Protocol.EMULE))
+
+#: Diagnostic tooling the benchmark methodology section lists; kept as a
+#: manifest so the rig can report what a real replay would install.
+DIAGNOSTIC_PACKAGES = ("bash", "tcpdump", "top", "iostat", "scp")
+
+
+@dataclass
+class OpenWrtSystem:
+    """The OpenWrt userland of one AP."""
+
+    clients: tuple[DownloadClient, ...] = (WGET, ARIA2)
+    diagnostic_packages: tuple[str, ...] = DIAGNOSTIC_PACKAGES
+    bug_failure_rate: float = DEFAULT_BUG_FAILURE_RATE
+
+    def __post_init__(self):
+        if not 0.0 <= self.bug_failure_rate < 1.0:
+            raise ValueError("bug_failure_rate must be a probability")
+
+    def client_for(self, protocol: Protocol) -> DownloadClient:
+        """The installed client handling ``protocol``."""
+        for client in self.clients:
+            if client.supports(protocol):
+                return client
+        raise LookupError(f"no installed client speaks {protocol}")
+
+    def draw_bug_failure(self, rng: np.random.Generator) -> bool:
+        """Does this request die to a firmware/application bug?"""
+        return bool(rng.random() < self.bug_failure_rate)
+
+    def installed_packages(self) -> tuple[str, ...]:
+        return tuple(client.package for client in self.clients) + \
+            self.diagnostic_packages

@@ -1,0 +1,162 @@
+"""The smart-AP device model: pre-download through the storage write path.
+
+An AP's pre-download speed is bounded by three things in series: what the
+data source offers (swarm/server), the home access link, and the storage
+write path (the Table 2 pipeline).  The AP downloads from the *home
+vantage*: behind NAT on a residential line, it reaches far fewer swarm
+seeds than a cloud pre-downloader -- the mechanistic core of Bottleneck 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ap.models import ApHardware
+from repro.ap.openwrt import OpenWrtSystem
+from repro.sim.resources import FairSharePool
+from repro.storage.device import StorageDevice
+from repro.storage.filesystem import Filesystem
+from repro.storage.writepath import WritePath
+from repro.transfer.session import DownloadOutcome, DownloadSession, \
+    SessionLimits
+from repro.transfer.source import CAUSE_SYSTEM_BUG, ContentSource, \
+    HOME_VANTAGE, SourceModel
+from repro.workload.records import CatalogFile, PreDownloadRecord
+
+
+@dataclass
+class ApPreDownloadResult:
+    """One replayed request on one AP."""
+
+    ap_name: str
+    record: PreDownloadRecord
+    file: CatalogFile
+    iowait_ratio: float
+
+
+class SmartAP:
+    """One smart AP with a storage device, a filesystem, and an uplink."""
+
+    def __init__(self, hardware: ApHardware,
+                 device: Optional[StorageDevice] = None,
+                 filesystem: Optional[Filesystem] = None,
+                 system: Optional[OpenWrtSystem] = None,
+                 source_model: Optional[SourceModel] = None):
+        self.hardware = hardware
+        self.device = device or hardware.default_device
+        self.filesystem = filesystem or hardware.default_filesystem
+        self.system = system or OpenWrtSystem()
+        self.source_model = source_model or SourceModel()
+        self.write_path = WritePath(self.device, self.filesystem,
+                                    hardware.cpu_mhz)
+        self._sources: dict[str, ContentSource] = {}
+        self._stored_bytes = 0.0
+
+    # -- storage management ------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> float:
+        return self.device.capacity - self._stored_bytes
+
+    def store(self, size: float) -> None:
+        if size > self.free_bytes:
+            raise ValueError(
+                f"{self.hardware.name}: {size:.0f} B exceeds free space")
+        self._stored_bytes += size
+
+    def remove(self, size: float) -> None:
+        self._stored_bytes = max(0.0, self._stored_bytes - size)
+
+    # -- pre-download -------------------------------------------------------------
+
+    def source_for(self, record: CatalogFile) -> ContentSource:
+        source = self._sources.get(record.file_id)
+        if source is None:
+            source = self.source_model.build(
+                record.file_id, record.protocol, record.weekly_demand)
+            self._sources[record.file_id] = source
+        return source
+
+    def max_pre_download_rate(self,
+                              network_rate: Optional[float] = None) -> float:
+        """The write-path ceiling, optionally clipped by a network rate."""
+        ceiling = self.write_path.max_throughput
+        if network_rate is not None:
+            ceiling = min(ceiling, network_rate)
+        return ceiling
+
+    def pre_download(self, record: CatalogFile,
+                     rng: np.random.Generator,
+                     access_bandwidth: Optional[float] = None,
+                     uplink_bandwidth: Optional[float] = None
+                     ) -> tuple[DownloadOutcome, float]:
+        """Run one pre-download; returns (outcome, iowait ratio).
+
+        ``access_bandwidth`` is the replayed user's recorded line rate
+        (the benchmark throttles to it, section 5.1); ``uplink_bandwidth``
+        is the physical testbed line (20 Mbps ADSL).  The write path caps
+        the rate on top of both, and the achieved rate determines the
+        measured iowait.
+        """
+        # A firmware bug kills the task outright, regardless of source.
+        if self.system.draw_bug_failure(rng):
+            duration = rng.uniform(30.0, 1800.0)
+            outcome = DownloadOutcome(
+                success=False, duration=duration, bytes_obtained=0.0,
+                file_size=record.size, average_rate=0.0, peak_rate=0.0,
+                traffic=0.0, failure_cause=CAUSE_SYSTEM_BUG)
+            return outcome, 0.0
+
+        # Exercise the client-selection path (raises if the AP image had
+        # no client for the protocol -- all three ship wget + aria2).
+        self.system.client_for(record.protocol)
+
+        caps = [self.write_path.max_throughput]
+        if access_bandwidth is not None:
+            caps.append(access_bandwidth)
+        if uplink_bandwidth is not None:
+            caps.append(uplink_bandwidth)
+        session = DownloadSession(self.source_for(record), record.size,
+                                  HOME_VANTAGE,
+                                  limits=SessionLimits(
+                                      rate_caps=tuple(caps)))
+        outcome = session.simulate(rng)
+        iowait = self.write_path.iowait_ratio(outcome.average_rate)
+        return outcome, iowait
+
+    # -- LAN fetching ----------------------------------------------------------------
+
+    def lan_fetch_rate(self, rng: np.random.Generator,
+                       wired: bool = False) -> float:
+        """Speed at which a user device pulls a finished file off the AP.
+
+        Wired/dump fetches run at the device's sequential read rate; WiFi
+        fetches land in the hardware's measured 8-12 MBps band.  Either
+        way this exceeds the cloud's maximum fetch speed, which is why
+        the paper treats the AP fetch phase as a non-issue.
+        """
+        if wired:
+            return self.device.max_read_rate
+        return float(rng.uniform(self.hardware.lan_fetch_rate_low,
+                                 self.hardware.lan_fetch_rate_high))
+
+    def concurrent_lan_fetch_rates(self, demands: list[float],
+                                   rng: np.random.Generator
+                                   ) -> list[float]:
+        """Per-device rates when several devices fetch at once.
+
+        The one case where the AP fetch phase *is* an issue (section
+        5.2): concurrent fetchers share the WiFi airtime max-min fairly,
+        additionally capped by the storage device's sequential read
+        rate.  Returns one rate per demanding device, in input order.
+        """
+        if not demands:
+            return []
+        airtime = self.lan_fetch_rate(rng)
+        capacity = min(airtime, self.device.max_read_rate)
+        pool = FairSharePool(capacity, name=f"{self.hardware.name}-lan")
+        flows = [pool.add_flow(demand) for demand in demands]
+        return [pool.share_of(flow) for flow in flows]

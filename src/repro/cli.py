@@ -1,0 +1,240 @@
+"""The ``repro`` command-line interface.
+
+Subcommands mirror the paper's workflow::
+
+    repro generate    synthesise a workload week and save its traces
+    repro cloud       run the cloud system over a week (section 4)
+    repro ap          replay the smart-AP benchmark (section 5)
+    repro odr         ask the ODR middleware for one decision (section 6)
+    repro experiments regenerate every paper comparison (EXPERIMENTS.md)
+    repro figures     render the paper's figures as SVG
+
+Every subcommand is also reachable as ``python -m repro <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.sim.clock import MINUTE, mbps, to_gbps
+
+
+def _add_scale(parser: argparse.ArgumentParser,
+               default: float = 0.01) -> None:
+    parser.add_argument("--scale", type=float, default=default,
+                        help="fraction of the real week to synthesise "
+                             f"(default {default})")
+    parser.add_argument("--seed", type=int, default=20150222)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workload import WorkloadConfig, WorkloadGenerator, \
+        save_workload
+    config = WorkloadConfig(scale=args.scale, seed=args.seed)
+    workload = WorkloadGenerator(config).generate()
+    directory = save_workload(workload, args.out)
+    print(f"wrote {len(workload.requests)} requests, "
+          f"{len(workload.catalog)} files, {len(workload.users)} users "
+          f"to {directory}")
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    from repro.workload import WorkloadConfig, WorkloadGenerator, \
+        load_workload
+    if getattr(args, "trace", None):
+        return load_workload(args.trace)
+    config = WorkloadConfig(scale=args.scale, seed=args.seed)
+    return WorkloadGenerator(config).generate()
+
+
+def cmd_cloud(args: argparse.Namespace) -> int:
+    from repro.cloud import CloudConfig, XuanfengCloud
+    workload = _load_or_generate(args)
+    config = CloudConfig(scale=workload.config.scale,
+                         collaborative_cache=not args.no_cache,
+                         privileged_paths=not args.no_privileged_paths)
+    result = XuanfengCloud(config).run(workload)
+    fetch = result.fetch_speed_cdf()
+    pre = result.attempt_speed_cdf()
+    print(f"tasks:            {len(result.tasks)}")
+    print(f"cache hit ratio:  {result.cache_hit_ratio:.1%}")
+    print(f"request failures: {result.request_failure_ratio:.1%}")
+    print(f"pre-dl speed:     median {pre.median / 1e3:.0f} KBps, "
+          f"mean {pre.mean / 1e3:.0f} KBps")
+    print(f"fetch speed:      median {fetch.median / 1e3:.0f} KBps, "
+          f"mean {fetch.mean / 1e3:.0f} KBps")
+    print(f"impeded fetches:  {result.impeded_fetch_share:.1%}")
+    print(f"rejected fetches: {result.rejection_ratio:.2%}")
+    peak = result.bandwidth_series().max()
+    print(f"peak burden:      "
+          f"{to_gbps(peak) / workload.config.scale:.1f} Gbps "
+          f"(rescaled)")
+    return 0
+
+
+def cmd_ap(args: argparse.Namespace) -> int:
+    from repro.ap import ApBenchmarkRig
+    from repro.workload import sample_benchmark_requests
+    workload = _load_or_generate(args)
+    sample = sample_benchmark_requests(workload, args.sample)
+    report = ApBenchmarkRig(workload.catalog).replay(sample)
+    speed = report.speed_cdf()
+    delay = report.delay_cdf()
+    print(f"replayed:          {len(report.results)} requests on "
+          f"{len(report.ap_names())} APs")
+    print(f"failure ratio:     {report.failure_ratio:.1%} "
+          f"(unpopular: {report.unpopular_failure_ratio:.1%})")
+    print(f"pre-dl speed:      median {speed.median / 1e3:.0f} KBps, "
+          f"mean {speed.mean / 1e3:.0f} KBps")
+    print(f"pre-dl delay:      median {delay.median / MINUTE:.0f} min, "
+          f"mean {delay.mean / MINUTE:.0f} min")
+    print("failure causes:")
+    for cause, share in report.failure_cause_breakdown().items():
+        print(f"  {cause:<26s}{share:6.1%}")
+    return 0
+
+
+_AP_CHOICES = {"hiwifi": "HIWIFI_1S", "miwifi": "MIWIFI",
+               "newifi": "NEWIFI"}
+_DEVICE_CHOICES = {"sd": "SD_CARD_8GB", "usb-flash": "USB_FLASH_8GB",
+                   "usb-hdd": "USB_HDD_5400", "sata": "SATA_HDD_1TB"}
+
+
+def cmd_odr(args: argparse.Namespace) -> int:
+    import repro.ap.models as ap_models
+    import repro.storage.device as devices
+    from repro.cloud.database import ContentDatabase
+    from repro.core import OdrService, SmartApInfo, UserContext
+    from repro.core.service import parse_link
+    from repro.netsim.ip import IpAllocator
+    from repro.netsim.isp import ISP
+    from repro.storage.filesystem import Filesystem
+
+    protocol, file_id = parse_link(args.link)
+    database = ContentDatabase()
+    for when in range(args.popularity):
+        database.record_request(file_id, 1e8, float(when))
+    database.set_cached(file_id, args.cached)
+
+    smart_ap = None
+    if args.ap:
+        hardware = getattr(ap_models, _AP_CHOICES[args.ap])
+        device = getattr(devices, _DEVICE_CHOICES[args.device]) \
+            if args.device else hardware.default_device
+        filesystem = Filesystem(args.filesystem) if args.filesystem \
+            else hardware.default_filesystem
+        smart_ap = SmartApInfo(hardware, device, filesystem)
+
+    isp = ISP(args.isp)
+    context = UserContext(
+        user_id="cli", ip_address=IpAllocator().allocate(isp),
+        access_bandwidth=mbps(args.bandwidth)
+        if args.bandwidth else None,
+        smart_ap=smart_ap)
+    response = OdrService(database).handle_request(context, args.link)
+    print(response.explanation)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+    argv = ["--scale", str(args.scale)]
+    if args.output:
+        argv += ["--output", str(args.output)]
+    return runner_main(argv)
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import main as figures_main
+    return figures_main(["--scale", str(args.scale),
+                         "--outdir", str(args.outdir)])
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.webapp import serve
+    serve(port=args.port)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Offline Downloading in China: A "
+                    "Comparative Study' (IMC 2015)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="synthesise and save a workload week")
+    _add_scale(generate)
+    generate.add_argument("--out", type=Path, default=Path("trace"))
+    generate.set_defaults(func=cmd_generate)
+
+    cloud = subparsers.add_parser(
+        "cloud", help="run the cloud system over a week")
+    _add_scale(cloud)
+    cloud.add_argument("--trace", type=Path, default=None,
+                       help="load a saved workload instead of "
+                            "generating one")
+    cloud.add_argument("--no-cache", action="store_true",
+                       help="disable collaborative caching (ablation)")
+    cloud.add_argument("--no-privileged-paths", action="store_true",
+                       help="disable ISP-aware path selection (ablation)")
+    cloud.set_defaults(func=cmd_cloud)
+
+    ap = subparsers.add_parser(
+        "ap", help="replay the smart-AP benchmark")
+    _add_scale(ap)
+    ap.add_argument("--trace", type=Path, default=None)
+    ap.add_argument("--sample", type=int, default=1000)
+    ap.set_defaults(func=cmd_ap)
+
+    odr = subparsers.add_parser(
+        "odr", help="ask ODR for one redirection decision")
+    odr.add_argument("link", help="HTTP/FTP/magnet/ed2k link")
+    odr.add_argument("--popularity", type=int, default=0,
+                     help="observed weekly request count of the file")
+    odr.add_argument("--cached", action="store_true",
+                     help="the file is in the cloud cache")
+    odr.add_argument("--bandwidth", type=float, default=None,
+                     help="access bandwidth in Mbps")
+    odr.add_argument("--isp", default="unicom",
+                     choices=["unicom", "telecom", "mobile", "cernet",
+                              "other"])
+    odr.add_argument("--ap", choices=sorted(_AP_CHOICES), default=None)
+    odr.add_argument("--device", choices=sorted(_DEVICE_CHOICES),
+                     default=None)
+    odr.add_argument("--filesystem", choices=["fat", "ntfs", "ext4"],
+                     default=None)
+    odr.set_defaults(func=cmd_odr)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate every paper comparison")
+    _add_scale(experiments, default=0.02)
+    experiments.add_argument("--output", type=Path, default=None)
+    experiments.set_defaults(func=cmd_experiments)
+
+    figures = subparsers.add_parser(
+        "figures", help="render the paper's figures as SVG")
+    _add_scale(figures, default=0.02)
+    figures.add_argument("--outdir", type=Path,
+                         default=Path("figures"))
+    figures.set_defaults(func=cmd_figures)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the ODR web service (like odr.thucloud.com)")
+    serve.add_argument("--port", type=int, default=8034)
+    serve.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

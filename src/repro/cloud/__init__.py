@@ -1,0 +1,31 @@
+"""The cloud-based offline-downloading system (Xuanfeng model).
+
+Three server clusters plus a metadata database, exactly as the paper's
+Figure 3 describes: pre-downloading servers (VM pre-downloaders at
+20 Mbps each), storage servers (an MD5-deduplicated LRU pool), and
+uploading servers deployed inside the four major ISPs, with privileged
+network paths to same-ISP users and admission control that rejects new
+fetches rather than degrade active ones.
+"""
+
+from repro.cloud.config import CloudConfig
+from repro.cloud.database import ContentDatabase, FileMetadata
+from repro.cloud.storagepool import CloudStoragePool
+from repro.cloud.upload import PathChoice, UploadingServers
+from repro.cloud.fetch import FetchSpeedModel
+from repro.cloud.predownload import PreDownloaderFleet
+from repro.cloud.system import CloudRunResult, TaskResult, XuanfengCloud
+
+__all__ = [
+    "CloudConfig",
+    "ContentDatabase",
+    "FileMetadata",
+    "CloudStoragePool",
+    "UploadingServers",
+    "PathChoice",
+    "FetchSpeedModel",
+    "PreDownloaderFleet",
+    "XuanfengCloud",
+    "CloudRunResult",
+    "TaskResult",
+]

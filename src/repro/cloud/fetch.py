@@ -1,0 +1,53 @@
+"""The fetch-speed model: what a user gets when pulling from the cloud.
+
+A fetch flow's speed is the minimum of three independent limits --
+
+* the per-connection throughput of the uploading server (disk + NIC +
+  TCP dynamics; lognormal around ~330 KBps),
+* the network path's capacity (effectively unconstrained inside one ISP,
+  ~90 KBps median across the ISP barrier),
+* the user's own access bandwidth --
+
+optionally degraded by an "unknown cause" factor: the paper attributes
+6.1% of impeded fetches to unexplained dynamics or bugs (section 4.2),
+which we model as a rare multiplicative collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.topology import PathQuality
+from repro.sim.clock import kbps, mbps
+
+
+@dataclass(frozen=True)
+class FetchSpeedModel:
+    """Sampler of per-fetch speeds given path quality and user bandwidth."""
+
+    server_rate_median: float = kbps(700.0)
+    server_rate_sigma: float = 1.30
+    server_rate_cap: float = mbps(50.0)    # "no limitation", max ~6.25 MBps
+    unknown_degradation_probability: float = 0.045
+    unknown_degradation_low: float = 0.05
+    unknown_degradation_high: float = 0.50
+
+    def sample_server_rate(self, rng: np.random.Generator) -> float:
+        rate = self.server_rate_median * float(
+            np.exp(rng.normal(0.0, self.server_rate_sigma)))
+        return min(rate, self.server_rate_cap)
+
+    def sample_speed(self, user_bandwidth: float, quality: PathQuality,
+                     rng: np.random.Generator) -> float:
+        """Draw the end-to-end speed of one fetch flow, in B/s."""
+        if user_bandwidth <= 0:
+            raise ValueError("user_bandwidth must be positive")
+        speed = min(self.sample_server_rate(rng),
+                    quality.sample_cap(rng),
+                    user_bandwidth)
+        if rng.random() < self.unknown_degradation_probability:
+            speed *= rng.uniform(self.unknown_degradation_low,
+                                 self.unknown_degradation_high)
+        return speed

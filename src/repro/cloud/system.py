@@ -1,0 +1,438 @@
+"""The end-to-end cloud system: request -> pre-download -> fetch.
+
+:class:`XuanfengCloud` replays a synthetic week through the full
+machinery on the discrete-event engine: cache lookups with in-flight
+coalescing (concurrent requests for one file share a single
+pre-download), VM pre-download sessions, user fetch admission over the
+per-ISP uploading servers, and the bookkeeping behind every cloud-side
+figure of the paper (8, 9, 10, 11 and the section 4 text statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.cdf import CDF, empirical_cdf
+from repro.cloud.config import CloudConfig
+from repro.cloud.database import ContentDatabase
+from repro.cloud.fetch import FetchSpeedModel
+from repro.cloud.predownload import PreDownloaderFleet
+from repro.cloud.storagepool import CloudStoragePool
+from repro.cloud.upload import PathChoice, UploadingServers
+from repro.netsim.topology import ChinaTopology
+from repro.paper import FETCH_SPEED_MEAN, IMPEDED_FETCH_THRESHOLD
+from repro.sim.clock import WEEK
+from repro.sim.engine import Event, Simulator, Timeout
+from repro.sim.queueing import SlotResource
+from repro.sim.randomness import RngFactory
+from repro.transfer.source import SourceModel
+from repro.workload.generator import Workload
+from repro.workload.popularity import PopularityClass
+from repro.workload.records import (
+    CatalogFile,
+    FetchRecord,
+    PreDownloadRecord,
+    RequestRecord,
+    User,
+)
+
+
+@dataclass
+class FetchFlow:
+    """One fetch flow interval, for bandwidth-burden binning (Fig. 11)."""
+
+    start: float
+    end: float
+    rate: float
+    highly_popular: bool
+    rejected: bool = False
+
+
+@dataclass
+class TaskResult:
+    """Everything one offline-downloading task produced."""
+
+    request: RequestRecord
+    file: CatalogFile
+    pre_record: PreDownloadRecord
+    fetch_record: Optional[FetchRecord] = None
+    fetch_path: Optional[PathChoice] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.pre_record.success and self.fetch_record is not None \
+            and not self.fetch_record.rejected
+
+    @property
+    def end_to_end_delay(self) -> Optional[float]:
+        """Pre-download delay plus fetch delay (paper section 4.3)."""
+        if not self.succeeded:
+            return None
+        return self.pre_record.delay + self.fetch_record.delay
+
+    @property
+    def end_to_end_speed(self) -> Optional[float]:
+        delay = self.end_to_end_delay
+        if delay is None:
+            return None
+        if delay <= 0:
+            return self.fetch_record.average_speed
+        return self.file.size / delay
+
+
+@dataclass
+class CloudRunResult:
+    """The outcome of replaying one workload through the cloud."""
+
+    config: CloudConfig
+    tasks: list[TaskResult]
+    flows: list[FetchFlow]
+    pool: CloudStoragePool
+    uploads: UploadingServers
+    fleet: PreDownloaderFleet
+    database: ContentDatabase
+    horizon: float
+
+    # -- trace views -----------------------------------------------------------
+
+    @property
+    def pre_records(self) -> list[PreDownloadRecord]:
+        return [task.pre_record for task in self.tasks]
+
+    @property
+    def fetch_records(self) -> list[FetchRecord]:
+        return [task.fetch_record for task in self.tasks
+                if task.fetch_record is not None]
+
+    # -- figure 8 / 9 distributions ---------------------------------------------
+
+    def attempt_speed_cdf(self) -> CDF:
+        """Pre-download speeds excluding cache hits (failures included)."""
+        speeds = [record.average_speed for record in self.pre_records
+                  if not record.cache_hit]
+        return empirical_cdf(speeds)
+
+    def attempt_delay_cdf(self) -> CDF:
+        """Pre-download delays excluding cache hits."""
+        delays = [record.delay for record in self.pre_records
+                  if not record.cache_hit]
+        return empirical_cdf(delays)
+
+    def fetch_speed_cdf(self) -> CDF:
+        """Fetch speeds, rejected requests included at 0 B/s."""
+        return empirical_cdf(
+            [record.average_speed for record in self.fetch_records])
+
+    def fetch_delay_cdf(self) -> CDF:
+        return empirical_cdf(
+            [record.delay for record in self.fetch_records
+             if not record.rejected])
+
+    def e2e_speed_cdf(self) -> CDF:
+        return empirical_cdf([task.end_to_end_speed for task in self.tasks
+                              if task.end_to_end_speed is not None])
+
+    def e2e_delay_cdf(self) -> CDF:
+        return empirical_cdf([task.end_to_end_delay for task in self.tasks
+                              if task.end_to_end_delay is not None])
+
+    # -- headline statistics ------------------------------------------------------
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.pool.hit_ratio
+
+    @property
+    def request_failure_ratio(self) -> float:
+        failures = sum(1 for task in self.tasks
+                       if not task.pre_record.success)
+        return failures / len(self.tasks) if self.tasks else 0.0
+
+    def failure_ratio_by_class(self) -> dict[PopularityClass, float]:
+        totals: dict[PopularityClass, int] = {}
+        failures: dict[PopularityClass, int] = {}
+        for task in self.tasks:
+            klass = task.file.popularity_class
+            totals[klass] = totals.get(klass, 0) + 1
+            if not task.pre_record.success:
+                failures[klass] = failures.get(klass, 0) + 1
+        return {klass: failures.get(klass, 0) / totals[klass]
+                for klass in totals}
+
+    def failure_ratio_by_demand(self) -> list[tuple[int, float]]:
+        """(weekly demand, request-level failure ratio) pairs (Fig. 10)."""
+        totals: dict[int, int] = {}
+        failures: dict[int, int] = {}
+        for task in self.tasks:
+            demand = task.file.weekly_demand
+            totals[demand] = totals.get(demand, 0) + 1
+            if not task.pre_record.success:
+                failures[demand] = failures.get(demand, 0) + 1
+        return sorted((demand, failures.get(demand, 0) / count)
+                      for demand, count in totals.items())
+
+    @property
+    def impeded_fetch_share(self) -> float:
+        """Share of fetches below the 1 Mbps HD threshold (Bottleneck 1)."""
+        records = self.fetch_records
+        if not records:
+            return 0.0
+        impeded = sum(1 for record in records
+                      if record.average_speed < IMPEDED_FETCH_THRESHOLD)
+        return impeded / len(records)
+
+    def impeded_breakdown(self) -> dict[str, float]:
+        """Decompose impeded fetches by cause (paper section 4.2)."""
+        records = [(task.fetch_record, task.fetch_path, task.request)
+                   for task in self.tasks if task.fetch_record is not None]
+        if not records:
+            return {}
+        counts = {"isp_barrier": 0, "low_access_bandwidth": 0,
+                  "rejected": 0, "unknown": 0}
+        for record, path, request in records:
+            if record.average_speed >= IMPEDED_FETCH_THRESHOLD:
+                continue
+            # Unreported access bandwidth is approximated by the peak
+            # fetch speed, exactly as the paper's footnote 2 does.
+            approx_bandwidth = record.access_bandwidth \
+                if record.access_bandwidth is not None \
+                else record.peak_speed
+            if record.rejected:
+                counts["rejected"] += 1
+            elif path is not None and not path.privileged:
+                counts["isp_barrier"] += 1
+            elif approx_bandwidth < IMPEDED_FETCH_THRESHOLD:
+                counts["low_access_bandwidth"] += 1
+            else:
+                counts["unknown"] += 1
+        total = len(records)
+        return {cause: count / total for cause, count in counts.items()}
+
+    @property
+    def rejection_ratio(self) -> float:
+        return self.uploads.rejection_ratio
+
+    def bandwidth_series(self, bin_width: float = 300.0,
+                         include_rejected: bool = True,
+                         only_highly_popular: bool = False) -> np.ndarray:
+        """Upload-bandwidth burden per time bin, in B/s (Figure 11)."""
+        from repro.analysis.timeseries import bin_rate_series
+        flows = [(flow.start, flow.end, flow.rate) for flow in self.flows
+                 if (include_rejected or not flow.rejected)
+                 and (not only_highly_popular or flow.highly_popular)]
+        return bin_rate_series(flows, bin_width, self.horizon)
+
+    def user_traffic_overhead(self) -> float:
+        """User-side traffic relative to payload (paper: 1.07-1.10)."""
+        traffic = sum(record.traffic_bytes for record in self.fetch_records
+                      if not record.rejected)
+        payload = sum(record.acquired_bytes
+                      for record in self.fetch_records
+                      if not record.rejected)
+        return traffic / payload if payload > 0 else 0.0
+
+
+class XuanfengCloud:
+    """The simulated cloud service."""
+
+    def __init__(self, config: CloudConfig = CloudConfig(),
+                 source_model: Optional[SourceModel] = None,
+                 fetch_model: Optional[FetchSpeedModel] = None,
+                 topology: Optional[ChinaTopology] = None,
+                 seed: int = 41):
+        self.config = config
+        self.topology = topology or ChinaTopology()
+        self.fetch_model = fetch_model or FetchSpeedModel()
+        self.pool = CloudStoragePool(config.scaled_storage_capacity)
+        self.uploads = UploadingServers(config, self.topology)
+        self.fleet = PreDownloaderFleet(config, source_model)
+        self.database = ContentDatabase()
+        self._rng_factory = RngFactory(seed)
+        self._in_flight: dict[str, Event] = {}
+        self._preseeded = False
+        self._runs = 0
+        self._vm_slots: Optional[SlotResource] = None
+        if config.predownloader_count is not None:
+            self._vm_slots = SlotResource(config.predownloader_count,
+                                          name="pre-downloaders")
+
+    # -- public entry point -------------------------------------------------------
+
+    def run(self, workload: Workload) -> CloudRunResult:
+        """Replay a whole workload; returns the collected run result."""
+        sim = Simulator()
+        rng = self._rng_factory.stream(f"cloud-run-{self._runs}")
+        self._runs += 1
+        if self.config.collaborative_cache and not self._preseeded:
+            # The pool predates the first measured week; on subsequent
+            # runs of the same instance (multi-week studies) the pool's
+            # own accumulated contents play that role.
+            self._preseeded = True
+            self.pool.preseed(workload.catalog,
+                              self.config.precached_probability,
+                              self._rng_factory.stream("preseed"))
+            for record in workload.catalog:
+                if record.file_id in self.pool:
+                    self.database.set_cached(record.file_id, True)
+
+        users = workload.user_by_id()
+        tasks: list[TaskResult] = []
+        flows: list[FetchFlow] = []
+        for request in workload.requests:
+            sim.call_at(request.request_time, self._start_task,
+                        sim, request, workload.catalog[request.file_id],
+                        users[request.user_id], rng, tasks, flows)
+        sim.run()
+        return CloudRunResult(
+            config=self.config, tasks=tasks, flows=flows, pool=self.pool,
+            uploads=self.uploads, fleet=self.fleet,
+            database=self.database, horizon=workload.horizon)
+
+    # -- task process ----------------------------------------------------------------
+
+    def _start_task(self, sim: Simulator, request: RequestRecord,
+                    record: CatalogFile, user: User,
+                    rng: np.random.Generator, tasks: list[TaskResult],
+                    flows: list[FetchFlow]) -> None:
+        sim.process(self._task(sim, request, record, user, rng, tasks,
+                               flows),
+                    name=f"task-{request.task_id}")
+
+    def _task(self, sim: Simulator, request: RequestRecord,
+              record: CatalogFile, user: User, rng: np.random.Generator,
+              tasks: list[TaskResult], flows: list[FetchFlow]):
+        self.database.record_request(record.file_id, record.size, sim.now)
+        pre_record = yield from self._predownload_phase(sim, request,
+                                                        record, rng)
+        result = TaskResult(request=request, file=record,
+                            pre_record=pre_record)
+        tasks.append(result)
+        if not pre_record.success:
+            return result
+
+        # The user comes back to fetch after a think-time lag.
+        lag = self.config.fetch_lag_median * float(
+            np.exp(rng.normal(0.0, self.config.fetch_lag_sigma)))
+        yield Timeout(lag)
+        yield from self._fetch_phase(sim, request, record, user, rng,
+                                     result, flows)
+        return result
+
+    # -- pre-download ------------------------------------------------------------------
+
+    def _predownload_phase(self, sim: Simulator, request: RequestRecord,
+                           record: CatalogFile, rng: np.random.Generator):
+        start = sim.now
+        if self.config.collaborative_cache and \
+                self.pool.lookup(record.file_id):
+            return self._hit_record(request, record, start, start)
+
+        in_flight = self._in_flight.get(record.file_id) \
+            if self.config.collaborative_cache else None
+        if in_flight is not None:
+            # Coalesce with the running pre-download of the same file.
+            outcome = yield in_flight
+            finish = sim.now
+            if outcome.success:
+                self.pool.lookup(record.file_id)   # count the warm hit
+                return self._hit_record(request, record, start, finish)
+            return PreDownloadRecord(
+                task_id=request.task_id, file_id=record.file_id,
+                start_time=start, finish_time=finish,
+                acquired_bytes=outcome.bytes_obtained,
+                traffic_bytes=0.0, cache_hit=False,
+                average_speed=0.0, peak_speed=0.0, success=False,
+                failure_cause=outcome.failure_cause)
+
+        event = sim.event(name=f"pre-{record.file_id}")
+        self._in_flight[record.file_id] = event
+        session = self.fleet.session_for(record)
+        try:
+            slot = None
+            if self._vm_slots is not None:
+                # A finite fleet: wait FIFO for a free pre-downloader VM.
+                slot = yield self._vm_slots.acquire(sim)
+            try:
+                outcome = yield sim.process(
+                    session.run(rng), name=f"pre-{request.task_id}")
+            finally:
+                if slot is not None:
+                    self._vm_slots.release(slot, sim)
+        finally:
+            self._in_flight.pop(record.file_id, None)
+        self.fleet.account(outcome)
+        self.database.record_attempt(record.file_id, outcome.success)
+        if outcome.success and self.config.collaborative_cache:
+            self.pool.insert(record)
+            self.database.set_cached(record.file_id, True)
+        event.trigger(outcome)
+        return PreDownloadRecord(
+            task_id=request.task_id, file_id=record.file_id,
+            start_time=start, finish_time=sim.now,
+            acquired_bytes=outcome.bytes_obtained,
+            traffic_bytes=outcome.traffic, cache_hit=False,
+            average_speed=outcome.average_rate,
+            peak_speed=outcome.peak_rate, success=outcome.success,
+            failure_cause=outcome.failure_cause)
+
+    @staticmethod
+    def _hit_record(request: RequestRecord, record: CatalogFile,
+                    start: float, finish: float) -> PreDownloadRecord:
+        return PreDownloadRecord(
+            task_id=request.task_id, file_id=record.file_id,
+            start_time=start, finish_time=finish,
+            acquired_bytes=record.size, traffic_bytes=0.0, cache_hit=True,
+            average_speed=0.0, peak_speed=0.0, success=True)
+
+    # -- fetch ------------------------------------------------------------------------
+
+    def _fetch_phase(self, sim: Simulator, request: RequestRecord,
+                     record: CatalogFile, user: User,
+                     rng: np.random.Generator, result: TaskResult,
+                     flows: list[FetchFlow]):
+        start = sim.now
+        highly_popular = record.popularity_class is \
+            PopularityClass.HIGHLY_POPULAR
+
+        admitted = self.uploads.select_and_reserve(
+            user.isp, start,
+            lambda quality: self.fetch_model.sample_speed(
+                user.access_bandwidth, quality, rng))
+        if admitted is None:
+            # Rejected: record the fetch at 0 B/s and the burden the flow
+            # *would* have imposed (Fig. 11 counts rejected demand at the
+            # fleet-average fetch speed, per the paper's estimate).
+            estimated_rate = FETCH_SPEED_MEAN
+            flows.append(FetchFlow(
+                start=start, end=start + record.size / estimated_rate,
+                rate=estimated_rate, highly_popular=highly_popular,
+                rejected=True))
+            result.fetch_record = FetchRecord(
+                task_id=request.task_id, user_id=user.user_id,
+                ip_address=user.ip_address,
+                access_bandwidth=user.reported_bandwidth,
+                start_time=start, finish_time=start, acquired_bytes=0.0,
+                traffic_bytes=0.0, average_speed=0.0, peak_speed=0.0,
+                rejected=True)
+            return
+
+        path, reservation, rate = admitted
+        duration = record.size / rate if rate > 0 else 0.0
+        yield Timeout(duration)
+        reservation.release(sim.now)
+        flows.append(FetchFlow(start=start, end=sim.now, rate=rate,
+                               highly_popular=highly_popular))
+        result.fetch_path = path
+        result.fetch_record = FetchRecord(
+            task_id=request.task_id, user_id=user.user_id,
+            ip_address=user.ip_address,
+            access_bandwidth=user.reported_bandwidth,
+            start_time=start, finish_time=sim.now,
+            acquired_bytes=record.size,
+            traffic_bytes=record.size * rng.uniform(1.07, 1.10),
+            average_speed=rate,
+            peak_speed=min(rate * rng.uniform(1.0, 1.4),
+                           self.config.max_fetch_rate))

@@ -1,0 +1,136 @@
+"""Uploading servers and privileged network paths.
+
+Xuanfeng deploys uploading-server groups inside the four major ISPs and
+always tries to serve a fetch from the user's own ISP, dodging the ISP
+barrier (paper section 2.1).  Construction fails when (1) the user is
+outside the four majors, or (2) the home group's upload bandwidth is
+exhausted; either way an alternative group with the lowest latency to
+the user is used -- crossing the barrier.  When *every* group is
+exhausted the fetch request is rejected outright rather than degrading
+active flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.netsim.isp import ISP, MAJOR_ISPS
+from repro.netsim.topology import ChinaTopology, PathQuality
+from repro.sim.clock import kbps
+from repro.sim.resources import Reservation, ReservationPool
+from repro.cloud.config import CloudConfig
+
+#: A reservation below this rate is pointless to admit (the flow would be
+#: unusable); used as the headroom test during group selection.
+MIN_USEFUL_RATE = kbps(16.0)
+
+
+@dataclass(frozen=True)
+class PathChoice:
+    """The outcome of privileged-path construction for one fetch."""
+
+    server_isp: ISP
+    privileged: bool            # same-ISP, no barrier crossed
+    quality: PathQuality
+
+
+class UploadingServers:
+    """The per-ISP uploading-server groups and their admission logic."""
+
+    def __init__(self, config: CloudConfig,
+                 topology: Optional[ChinaTopology] = None):
+        self.config = config
+        self.topology = topology or ChinaTopology()
+        self.pools: dict[ISP, ReservationPool] = {
+            isp: ReservationPool(config.upload_capacity_of(isp),
+                                 name=f"upload-{isp.value}")
+            for isp in MAJOR_ISPS
+        }
+        self.rejected_fetches = 0
+        self.total_fetches = 0
+
+    # -- selection -------------------------------------------------------------
+
+    def candidate_groups(self, user_isp: ISP) -> list[ISP]:
+        """Server groups tried for a user homed in ``user_isp``.
+
+        Per section 2.1: the home group first (privileged path), and when
+        that fails -- or the user is outside the four majors -- the single
+        alternative group with the shortest latency to the user.  If that
+        alternative cannot admit the flow either, the fetch is rejected;
+        Xuanfeng does not hunt across every group.
+        """
+        if not self.config.privileged_paths:
+            # Ablation: ISP-blind selection, most headroom first.
+            by_headroom = sorted(
+                MAJOR_ISPS,
+                key=lambda isp: -self.pools[isp].available)
+            return by_headroom[:2]
+
+        def preference(server_isp: ISP) -> tuple[float, float]:
+            # Shortest latency first; among equals, the group with the
+            # most headroom (the selector load-balances its equals).
+            quality = self.topology.path_quality(server_isp, user_isp)
+            return quality.latency_ms, -self.pools[server_isp].available
+        alternatives = sorted((isp for isp in MAJOR_ISPS
+                               if isp is not user_isp), key=preference)
+        if user_isp in self.pools:
+            return [user_isp, alternatives[0]]
+        return alternatives[:2]
+
+    def select_and_reserve(
+            self, user_isp: ISP, now: float,
+            rate_for_path: Callable[[PathQuality], float],
+    ) -> Optional[tuple[PathChoice, Reservation, float]]:
+        """Pick a group, compute the flow rate, and reserve it.
+
+        ``rate_for_path`` maps the candidate path's quality to the speed
+        the flow would actually achieve (the min of server rate, path
+        cap, and user bandwidth); the reservation holds that rate.
+        Returns ``None`` when every group is exhausted (the fetch is
+        rejected).
+        """
+        self.total_fetches += 1
+        for server_isp in self.candidate_groups(user_isp):
+            pool = self.pools[server_isp]
+            assert pool.capacity is not None
+            limit = self.config.admission_utilization_limit \
+                if server_isp == user_isp \
+                else self.config.overflow_utilization_limit
+            if pool.committed >= pool.capacity * limit or \
+                    pool.available < MIN_USEFUL_RATE:
+                continue
+            quality = self.topology.path_quality(server_isp, user_isp)
+            rate = min(rate_for_path(quality), self.config.max_fetch_rate)
+            if rate <= 0:
+                continue
+            # "No limitation on the user's fetching speed": the flow is
+            # admitted at its full rate or not at all -- Xuanfeng rejects
+            # rather than degrade (section 2.1).
+            reservation = pool.try_reserve(rate, now, label=user_isp.value)
+            if reservation is not None:
+                choice = PathChoice(server_isp=server_isp,
+                                    privileged=(server_isp == user_isp),
+                                    quality=quality)
+                return choice, reservation, rate
+        self.rejected_fetches += 1
+        return None
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def rejection_ratio(self) -> float:
+        if self.total_fetches == 0:
+            return 0.0
+        return self.rejected_fetches / self.total_fetches
+
+    def total_committed(self) -> float:
+        return sum(pool.committed for pool in self.pools.values())
+
+    def binned_total_usage(self, bin_width: float,
+                           horizon: float) -> list[float]:
+        """Aggregate committed upload bandwidth per time bin (Figure 11)."""
+        per_pool = [pool.binned_usage(bin_width, horizon)
+                    for pool in self.pools.values()]
+        return [sum(values) for values in zip(*per_pool)]

@@ -1,0 +1,67 @@
+"""ODR -- the Offline Downloading Redirector (the paper's contribution).
+
+ODR is a lightweight middleware that takes a user's offline-downloading
+request plus auxiliary information (IP, access bandwidth, smart-AP
+hardware, storage device/filesystem), queries the cloud's content
+database for the file's popularity, and redirects the request to
+whichever backend dodges the four measured bottlenecks:
+
+* Bottleneck 1 -- impeded cloud fetches (ISP barrier / low access bw);
+* Bottleneck 2 -- cloud upload bandwidth wasted on highly popular files;
+* Bottleneck 3 -- smart APs failing on unpopular files;
+* Bottleneck 4 -- storage write paths throttling AP pre-downloads.
+
+ODR never moves file bytes itself; it only answers "where should this
+download run" (Figure 15's state machine).
+"""
+
+from repro.core.decision import Action, DataSource, Decision
+from repro.core.auxiliary import CookieJar, SmartApInfo, UserContext
+from repro.core.bottlenecks import BottleneckDetector
+from repro.core.odr import OdrConfig, OdrMiddleware
+from repro.core.service import OdrService, OdrResponse
+from repro.core.strategies import (
+    AlwaysHybridStrategy,
+    AmsStrategy,
+    CloudOnlyStrategy,
+    OdrStrategy,
+    SmartApOnlyStrategy,
+    Strategy,
+)
+from repro.core.replay import OdrReplayResult, ReplayEvaluator, RouteOutcome
+from repro.core.bba import BbaConfig, simulate_playback, \
+    streaming_verdict
+from repro.core.prestaging import (
+    DeferrableFlow,
+    PrestagingScheduler,
+    deferrable_from_flows,
+)
+
+__all__ = [
+    "Action",
+    "DataSource",
+    "Decision",
+    "UserContext",
+    "SmartApInfo",
+    "CookieJar",
+    "BottleneckDetector",
+    "OdrConfig",
+    "OdrMiddleware",
+    "OdrService",
+    "OdrResponse",
+    "Strategy",
+    "CloudOnlyStrategy",
+    "SmartApOnlyStrategy",
+    "AlwaysHybridStrategy",
+    "AmsStrategy",
+    "OdrStrategy",
+    "ReplayEvaluator",
+    "OdrReplayResult",
+    "RouteOutcome",
+    "BbaConfig",
+    "simulate_playback",
+    "streaming_verdict",
+    "DeferrableFlow",
+    "PrestagingScheduler",
+    "deferrable_from_flows",
+]

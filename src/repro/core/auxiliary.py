@@ -1,0 +1,84 @@
+"""Auxiliary user information ODR collects, and its cookie persistence.
+
+When a user submits a link, ODR also asks for her IP address, access
+bandwidth, smart-AP type, and storage device / filesystem type (paper
+section 6.1).  A web cookie remembers the answers so repeat visitors skip
+the form; :class:`CookieJar` reproduces that behaviour for the replay
+harness.  Access bandwidth is the one non-obvious field -- the real
+service walks users through PC-assistant software to measure it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.ap.models import ApHardware
+from repro.storage.device import StorageDevice
+from repro.storage.filesystem import Filesystem
+from repro.storage.writepath import WritePath
+
+
+@dataclass(frozen=True)
+class SmartApInfo:
+    """The user's smart AP as reported to ODR."""
+
+    hardware: ApHardware
+    device: StorageDevice
+    filesystem: Filesystem
+
+    def write_path(self) -> WritePath:
+        return WritePath(self.device, self.filesystem,
+                         self.hardware.cpu_mhz)
+
+    @classmethod
+    def default_for(cls, hardware: ApHardware) -> "SmartApInfo":
+        return cls(hardware=hardware, device=hardware.default_device,
+                   filesystem=hardware.default_filesystem)
+
+
+@dataclass(frozen=True)
+class UserContext:
+    """Everything ODR knows about the requesting user."""
+
+    user_id: str
+    ip_address: str
+    access_bandwidth: Optional[float]     # B/s; None if the user cannot say
+    smart_ap: Optional[SmartApInfo] = None
+
+    @property
+    def has_smart_ap(self) -> bool:
+        return self.smart_ap is not None
+
+
+class CookieJar:
+    """Server-side stand-in for ODR's per-user web cookies."""
+
+    def __init__(self):
+        self._contexts: dict[str, UserContext] = {}
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def remember(self, context: UserContext) -> None:
+        self._contexts[context.user_id] = context
+
+    def recall(self, user_id: str) -> Optional[UserContext]:
+        return self._contexts.get(user_id)
+
+    def merge(self, context: UserContext) -> UserContext:
+        """Fill the gaps of a fresh submission from the stored cookie.
+
+        A returning user who leaves the bandwidth or AP fields blank gets
+        them back from her previous visit; whatever she *does* supply
+        wins and refreshes the cookie.
+        """
+        stored = self._contexts.get(context.user_id)
+        if stored is not None:
+            if context.access_bandwidth is None:
+                context = replace(
+                    context, access_bandwidth=stored.access_bandwidth)
+            if context.smart_ap is None:
+                context = replace(context, smart_ap=stored.smart_ap)
+        self.remember(context)
+        return context

@@ -1,0 +1,78 @@
+"""Bottleneck detectors: the predicates of Figure 15's branch nodes.
+
+Each detector answers one question from the decision diagram using only
+information ODR actually has: the user-supplied auxiliary data, the
+IP-to-ISP resolver (the APNIC role), and the cloud's content database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.auxiliary import UserContext
+from repro.netsim.ip import IpResolver
+from repro.sim.clock import kbps, mbps
+
+
+@dataclass(frozen=True)
+class BottleneckThresholds:
+    """The decision thresholds the paper hard-codes (section 6.1)."""
+
+    #: A fetch below 1 Mbps cannot sustain HD playback -> Bottleneck 1.
+    impeded_rate: float = kbps(125.0)
+    #: Below this access bandwidth the slowest storage path (Newifi's
+    #: NTFS USB flash at 0.93 MBps, Table 2) can keep up -> the AP is
+    #: always safe to use.
+    ap_safe_rate: float = 0.93e6
+    #: At high access bandwidth (the 20 Mbps testbed line) a weak write
+    #: path becomes the binding constraint -> Bottleneck 4.
+    high_access_rate: float = mbps(20.0)
+
+
+class BottleneckDetector:
+    """Stateless predicates over a user context."""
+
+    def __init__(self, resolver: Optional[IpResolver] = None,
+                 thresholds: BottleneckThresholds = BottleneckThresholds()):
+        self.resolver = resolver or IpResolver()
+        self.thresholds = thresholds
+
+    # -- Bottleneck 1: impeded cloud fetch ------------------------------------
+
+    def outside_major_isps(self, context: UserContext) -> bool:
+        """Is the user beyond the four ISPs with uploading servers?"""
+        return not self.resolver.is_major(context.ip_address)
+
+    def low_access_bandwidth(self, context: UserContext) -> bool:
+        bandwidth = context.access_bandwidth
+        return bandwidth is not None and \
+            bandwidth < self.thresholds.impeded_rate
+
+    def bottleneck1_risk(self, context: UserContext) -> bool:
+        """Would a cloud fetch be impeded for this user (section 6.1,
+        Case 1)?"""
+        return self.low_access_bandwidth(context) or \
+            self.outside_major_isps(context)
+
+    # -- Bottleneck 4: storage write path ---------------------------------------
+
+    def bottleneck4_risk(self, context: UserContext) -> bool:
+        """Would the user's AP throttle the download below what her line
+        could carry?
+
+        The AP is safe when the line itself is slower than the worst
+        write path; it is a liability when the write path's ceiling is
+        below the achievable network rate (the paper's USB-flash/NTFS
+        example at 20 Mbps access).
+        """
+        if context.smart_ap is None:
+            return False
+        bandwidth = context.access_bandwidth
+        if bandwidth is not None and \
+                bandwidth <= self.thresholds.ap_safe_rate:
+            return False
+        ceiling = context.smart_ap.write_path().max_throughput
+        achievable = bandwidth if bandwidth is not None \
+            else self.thresholds.high_access_rate
+        return ceiling < min(achievable, self.thresholds.high_access_rate)

@@ -1,0 +1,57 @@
+"""Redirection decisions: the leaves of Figure 15's state machine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Action(enum.Enum):
+    """Who executes the download."""
+
+    CLOUD = "cloud"                      # fetch (and pre-download) via cloud
+    SMART_AP = "smart_ap"                # the AP pre-downloads
+    USER_DEVICE = "user_device"          # the user's own machine downloads
+    CLOUD_THEN_SMART_AP = "cloud+ap"     # AP pulls from cloud, user from AP
+    CLOUD_PREDOWNLOAD = "cloud_predownload"  # wait for the cloud, ask again
+    NOTIFY_FAILURE = "notify_failure"    # the cloud could not obtain it
+
+
+class DataSource(enum.Enum):
+    """Where the bytes come from."""
+
+    ORIGINAL = "original"                # the HTTP/FTP server or P2P swarm
+    CLOUD = "cloud"                      # Xuanfeng's uploading servers
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One redirection decision with its audit trail.
+
+    ``bottlenecks_addressed`` lists which of the paper's four bottleneck
+    numbers this decision dodges -- the explanations ODR's web page shows
+    users, and what the evaluation aggregates.
+    """
+
+    action: Action
+    data_source: DataSource
+    bottlenecks_addressed: tuple[int, ...] = ()
+    rationale: str = ""
+
+    def __post_init__(self):
+        for bottleneck in self.bottlenecks_addressed:
+            if bottleneck not in (1, 2, 3, 4):
+                raise ValueError(f"unknown bottleneck {bottleneck}")
+        if self.action is Action.CLOUD and \
+                self.data_source is not DataSource.CLOUD:
+            raise ValueError("cloud fetches serve from the cloud")
+
+    @property
+    def uses_cloud_bandwidth(self) -> bool:
+        """Does this route consume cloud upload bandwidth for delivery?"""
+        return self.action in (Action.CLOUD, Action.CLOUD_THEN_SMART_AP)
+
+    @property
+    def is_terminal(self) -> bool:
+        """False only for CLOUD_PREDOWNLOAD, which requires a re-ask."""
+        return self.action is not Action.CLOUD_PREDOWNLOAD

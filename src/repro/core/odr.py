@@ -1,0 +1,128 @@
+"""The ODR decision engine: Figure 15 as executable logic.
+
+The middleware is deliberately thin: it queries the content database for
+popularity and cache state, runs the bottleneck detectors over the
+user's auxiliary info, and emits a :class:`Decision`.  It requires no
+modification to the cloud or to any AP, and it never carries file bytes
+-- properties the paper calls out as what makes ODR deployable on a $20
+VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.database import ContentDatabase
+from repro.core.auxiliary import UserContext
+from repro.core.bottlenecks import BottleneckDetector, BottleneckThresholds
+from repro.core.decision import Action, DataSource, Decision
+from repro.netsim.ip import IpResolver
+from repro.transfer.protocols import Protocol
+from repro.workload.popularity import PopularityClass
+
+
+@dataclass(frozen=True)
+class OdrConfig:
+    """Tunables of the decision procedure."""
+
+    thresholds: BottleneckThresholds = field(
+        default_factory=BottleneckThresholds)
+
+
+class OdrMiddleware:
+    """The redirector itself."""
+
+    def __init__(self, database: ContentDatabase,
+                 resolver: Optional[IpResolver] = None,
+                 config: OdrConfig = OdrConfig()):
+        self.database = database
+        self.config = config
+        self.detector = BottleneckDetector(resolver=resolver,
+                                           thresholds=config.thresholds)
+
+    # -- the Figure 15 state machine ---------------------------------------------
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        """One pass through the decision diagram.
+
+        For an uncached, not-highly-popular file the answer is
+        CLOUD_PREDOWNLOAD: the caller waits for the cloud and then calls
+        :meth:`decide_after_predownload` -- exactly the "ask ODR again
+        for further suggestions" flow of section 6.1, Case 2.
+        """
+        klass = self.database.popularity_class_of(file_id)
+        if klass is PopularityClass.HIGHLY_POPULAR:
+            return self._handle_highly_popular(context, protocol)
+        return self._handle_less_popular(context, file_id)
+
+    def decide_after_predownload(self, context: UserContext, file_id: str,
+                                 success: bool) -> Decision:
+        """The re-ask after a CLOUD_PREDOWNLOAD completes."""
+        if not success:
+            return Decision(
+                action=Action.NOTIFY_FAILURE, data_source=DataSource.CLOUD,
+                rationale="the cloud could not obtain the file from its "
+                          "source")
+        return self._cached_route(context)
+
+    # -- branches -------------------------------------------------------------------
+
+    def _handle_highly_popular(self, context: UserContext,
+                               protocol: Protocol) -> Decision:
+        if not protocol.is_p2p:
+            # A popular HTTP/FTP origin would melt under direct load;
+            # the cloud (which certainly has the file cached) serves it.
+            return Decision(
+                action=Action.CLOUD, data_source=DataSource.CLOUD,
+                bottlenecks_addressed=(2,),
+                rationale="highly popular HTTP/FTP file: fall back on the "
+                          "cloud to avoid overloading the origin server")
+        # Highly popular P2P: the swarm is thriving -- download directly
+        # from the original source and spare the cloud's upload bandwidth.
+        if self.detector.bottleneck4_risk(context):
+            return Decision(
+                action=Action.USER_DEVICE, data_source=DataSource.ORIGINAL,
+                bottlenecks_addressed=(2, 4),
+                rationale="thriving swarm, and the smart AP's storage "
+                          "write path would throttle the download: use "
+                          "the user device directly")
+        if context.has_smart_ap:
+            return Decision(
+                action=Action.SMART_AP, data_source=DataSource.ORIGINAL,
+                bottlenecks_addressed=(2,),
+                rationale="thriving swarm: let the smart AP pre-download "
+                          "from it at the user's convenience")
+        return Decision(
+            action=Action.USER_DEVICE, data_source=DataSource.ORIGINAL,
+            bottlenecks_addressed=(2,),
+            rationale="thriving swarm and no smart AP: download directly")
+
+    def _handle_less_popular(self, context: UserContext,
+                             file_id: str) -> Decision:
+        if self.database.is_cached(file_id):
+            return self._cached_route(context)
+        # Not cached: only the cloud (with its vantage and collaborative
+        # cache) has a fighting chance on an unpopular source.
+        return Decision(
+            action=Action.CLOUD_PREDOWNLOAD, data_source=DataSource.CLOUD,
+            bottlenecks_addressed=(3,),
+            rationale="uncached, not highly popular: pre-download via the "
+                      "cloud, which fails far less often than an AP on "
+                      "unpopular files")
+
+    def _cached_route(self, context: UserContext) -> Decision:
+        if self.detector.bottleneck1_risk(context) and context.has_smart_ap:
+            return Decision(
+                action=Action.CLOUD_THEN_SMART_AP,
+                data_source=DataSource.CLOUD,
+                bottlenecks_addressed=(1, 3),
+                rationale="cloud fetch would be impeded (ISP barrier or "
+                          "slow line): stage through the smart AP and "
+                          "fetch over the LAN")
+        return Decision(
+            action=Action.CLOUD, data_source=DataSource.CLOUD,
+            bottlenecks_addressed=(3,),
+            rationale="cached in the cloud with a healthy path: fetch "
+                      "directly from the cloud")

@@ -1,0 +1,165 @@
+"""Redirection strategies: ODR and the baselines it is compared against.
+
+A :class:`Strategy` maps (user context, file, protocol) to a
+:class:`Decision`.  Besides ODR itself, the library ships the three
+conventional approaches the paper discusses:
+
+* **cloud-only** -- every request goes through Xuanfeng (section 4's
+  subject);
+* **smart-AP-only** -- every request is pre-downloaded by the home AP
+  (section 5's subject);
+* **always-hybrid** -- the commercial HiWiFi/MiWiFi/Newifi hybrid mode:
+  cloud pre-downloads, then the AP fetches from the cloud, always taking
+  the longest data flow (section 7, "Hybrid approach");
+
+plus **AMS** (Automatic Mode Selection, Zhou et al., IEEE TMM 2013): a
+popularity-threshold rule choosing between the cloud-based and
+peer-assisted service models, the closest prior algorithm to ODR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.database import ContentDatabase
+from repro.core.auxiliary import UserContext
+from repro.core.decision import Action, DataSource, Decision
+from repro.core.odr import OdrMiddleware
+from repro.transfer.protocols import Protocol
+from repro.workload.popularity import PopularityClass
+
+
+class Strategy:
+    """Interface: pure decision logic, no byte movement."""
+
+    name = "strategy"
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        raise NotImplementedError
+
+    def decide_after_predownload(self, context: UserContext, file_id: str,
+                                 success: bool) -> Decision:
+        """Default re-ask behaviour: cloud fetch on success."""
+        if not success:
+            return Decision(action=Action.NOTIFY_FAILURE,
+                            data_source=DataSource.CLOUD,
+                            rationale="cloud pre-download failed")
+        return Decision(action=Action.CLOUD, data_source=DataSource.CLOUD,
+                        rationale="pre-download complete; fetch from cloud")
+
+
+class CloudOnlyStrategy(Strategy):
+    """Everything through the cloud (the plain Xuanfeng experience)."""
+
+    name = "cloud-only"
+
+    def __init__(self, database: ContentDatabase):
+        self.database = database
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        if self.database.is_cached(file_id):
+            return Decision(action=Action.CLOUD,
+                            data_source=DataSource.CLOUD,
+                            rationale="cloud-based service")
+        return Decision(action=Action.CLOUD_PREDOWNLOAD,
+                        data_source=DataSource.CLOUD,
+                        rationale="cloud-based service (cache miss)")
+
+
+class SmartApOnlyStrategy(Strategy):
+    """Everything on the home AP (the plain smart-AP experience)."""
+
+    name = "smart-ap-only"
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        if context.has_smart_ap:
+            return Decision(action=Action.SMART_AP,
+                            data_source=DataSource.ORIGINAL,
+                            rationale="smart-AP service")
+        return Decision(action=Action.USER_DEVICE,
+                        data_source=DataSource.ORIGINAL,
+                        rationale="no AP present; plain direct download")
+
+
+class AlwaysHybridStrategy(Strategy):
+    """The commercial hybrid: always Internet -> cloud -> AP -> user."""
+
+    name = "always-hybrid"
+
+    def __init__(self, database: ContentDatabase):
+        self.database = database
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        if not self.database.is_cached(file_id):
+            return Decision(action=Action.CLOUD_PREDOWNLOAD,
+                            data_source=DataSource.CLOUD,
+                            rationale="hybrid mode: cloud downloads first")
+        return self.decide_after_predownload(context, file_id, True)
+
+    def decide_after_predownload(self, context: UserContext, file_id: str,
+                                 success: bool) -> Decision:
+        if not success:
+            return Decision(action=Action.NOTIFY_FAILURE,
+                            data_source=DataSource.CLOUD,
+                            rationale="cloud pre-download failed")
+        if context.has_smart_ap:
+            return Decision(action=Action.CLOUD_THEN_SMART_AP,
+                            data_source=DataSource.CLOUD,
+                            rationale="hybrid mode: AP fetches from the "
+                                      "cloud, always the longest flow")
+        return Decision(action=Action.CLOUD, data_source=DataSource.CLOUD,
+                        rationale="hybrid mode without an AP")
+
+
+class AmsStrategy(Strategy):
+    """Automatic Mode Selection (Zhou et al.): popularity threshold only.
+
+    Popular content -> peer-assisted (direct swarm); unpopular -> cloud.
+    Unlike ODR it ignores the user's ISP, bandwidth, and storage, so it
+    cannot dodge Bottlenecks 1 and 4.
+    """
+
+    name = "ams"
+
+    def __init__(self, database: ContentDatabase,
+                 popularity_threshold: int = 85):
+        self.database = database
+        self.popularity_threshold = popularity_threshold
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        popularity = self.database.popularity_of(file_id)
+        if protocol.is_p2p and popularity >= self.popularity_threshold:
+            action = Action.SMART_AP if context.has_smart_ap \
+                else Action.USER_DEVICE
+            return Decision(action=action, data_source=DataSource.ORIGINAL,
+                            rationale="AMS: popular -> peer-assisted")
+        if self.database.is_cached(file_id):
+            return Decision(action=Action.CLOUD,
+                            data_source=DataSource.CLOUD,
+                            rationale="AMS: unpopular -> cloud mode")
+        return Decision(action=Action.CLOUD_PREDOWNLOAD,
+                        data_source=DataSource.CLOUD,
+                        rationale="AMS: unpopular -> cloud mode")
+
+
+class OdrStrategy(Strategy):
+    """ODR wrapped in the strategy interface."""
+
+    name = "odr"
+
+    def __init__(self, middleware: OdrMiddleware):
+        self.middleware = middleware
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        return self.middleware.decide(context, file_id, protocol)
+
+    def decide_after_predownload(self, context: UserContext, file_id: str,
+                                 success: bool) -> Decision:
+        return self.middleware.decide_after_predownload(
+            context, file_id, success)

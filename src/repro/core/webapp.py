@@ -1,0 +1,233 @@
+"""The ODR web service, as an actual HTTP server.
+
+The paper deploys ODR as "a public web service ... on a low-end virtual
+machine" (section 6.1): a front page where the user pastes a link and
+her auxiliary info, and a redirection suggestion back.  This module is
+that service on the Python standard library -- no frameworks -- so the
+proof-of-concept middleware is genuinely runnable::
+
+    python -m repro serve --port 8034
+    curl 'localhost:8034/decide?link=magnet://origin/xyz&popularity=200\
+&bandwidth_mbps=20&ap=newifi&device=usb-flash&filesystem=ntfs'
+
+Endpoints:
+
+* ``GET /``          -- the HTML front page with the request form;
+* ``GET /decide``    -- the decision as JSON (query parameters below);
+* ``GET /healthz``   -- liveness probe.
+
+Query parameters of ``/decide``: ``link`` (required), ``popularity``
+(observed weekly requests, default 0), ``cached`` (0/1),
+``bandwidth_mbps``, ``isp``, ``ap``, ``device``, ``filesystem``.
+A cookie (``odr_user``) keys the server-side auxiliary-info store, as
+the real ODR's cookie does.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from http.cookies import SimpleCookie
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+import repro.ap.models as ap_models
+import repro.storage.device as storage_devices
+from repro.cloud.database import ContentDatabase
+from repro.core.auxiliary import SmartApInfo, UserContext
+from repro.core.service import OdrService
+from repro.netsim.ip import IpAllocator
+from repro.netsim.isp import ISP
+from repro.sim.clock import mbps
+from repro.storage.filesystem import Filesystem
+
+_AP_BY_NAME = {"hiwifi": ap_models.HIWIFI_1S, "miwifi": ap_models.MIWIFI,
+               "newifi": ap_models.NEWIFI}
+_DEVICE_BY_NAME = {"sd": storage_devices.SD_CARD_8GB,
+                   "usb-flash": storage_devices.USB_FLASH_8GB,
+                   "usb-hdd": storage_devices.USB_HDD_5400,
+                   "sata": storage_devices.SATA_HDD_1TB}
+
+_FRONT_PAGE = """<!doctype html>
+<html><head><title>ODR — Offline Downloading Redirector</title></head>
+<body style="font-family: sans-serif; max-width: 42em; margin: 2em auto">
+<h1>ODR — Offline Downloading Redirector</h1>
+<p>Paste the link you want to download and your connection details;
+ODR suggests where the download should run (cloud, smart AP, your own
+device, or a combination) to dodge the four offline-downloading
+bottlenecks.</p>
+<form action="/decide" method="get">
+  <p><label>Link:<br><input name="link" size="60"
+      placeholder="magnet://... or http://..."></label></p>
+  <p><label>Access bandwidth (Mbps):
+      <input name="bandwidth_mbps" size="6"></label>
+     <label>ISP: <select name="isp">
+       <option>unicom</option><option>telecom</option>
+       <option>mobile</option><option>cernet</option>
+       <option>other</option></select></label></p>
+  <p><label>Smart AP: <select name="ap"><option value="">none</option>
+       <option>hiwifi</option><option>miwifi</option>
+       <option>newifi</option></select></label>
+     <label>Storage: <select name="device"><option value="">default
+       </option><option>sd</option><option>usb-flash</option>
+       <option>usb-hdd</option><option>sata</option></select></label>
+     <label>Filesystem: <select name="filesystem">
+       <option value="">default</option><option>fat</option>
+       <option>ntfs</option><option>ext4</option></select></label></p>
+  <p><button>Ask ODR</button> (append &format=json for the API)</p>
+</form></body></html>
+"""
+
+
+class OdrWebApp:
+    """The HTTP application: routing plus the wrapped :class:`OdrService`.
+
+    Separated from the handler class so tests can drive it without
+    sockets, and so one app instance can serve many requests.
+    """
+
+    def __init__(self, database: Optional[ContentDatabase] = None):
+        self.database = database or ContentDatabase()
+        self.service = OdrService(self.database)
+        self._allocator = IpAllocator()
+        self._lock = threading.Lock()
+
+    # -- request handling --------------------------------------------------------
+
+    def handle(self, path: str,
+               cookie_header: str = "") -> tuple[int, str, str,
+                                                 Optional[str]]:
+        """Process one GET; returns (status, content_type, body,
+        set_cookie)."""
+        parsed = urlparse(path)
+        if parsed.path in ("/", "/index.html"):
+            return 200, "text/html", _FRONT_PAGE, None
+        if parsed.path == "/healthz":
+            return 200, "application/json", json.dumps(
+                {"status": "ok",
+                 "requests_served": self.service.requests_served}), None
+        if parsed.path == "/decide":
+            return self._decide(parse_qs(parsed.query), cookie_header)
+        return 404, "application/json", json.dumps(
+            {"error": f"no such endpoint {parsed.path!r}"}), None
+
+    def _decide(self, query: dict[str, list[str]],
+                cookie_header: str) -> tuple[int, str, str,
+                                             Optional[str]]:
+        def first(key: str, default: str = "") -> str:
+            return query.get(key, [default])[0]
+
+        link = first("link")
+        if not link:
+            return 400, "application/json", json.dumps(
+                {"error": "missing required parameter 'link'"}), None
+
+        user_id, set_cookie = self._user_id_from_cookie(cookie_header)
+        try:
+            context = self._build_context(first, user_id)
+            # Seed the database with the reported popularity statistics
+            # (the real ODR queries Xuanfeng's live DB instead).
+            self._register_popularity(link, first)
+            response = self.service.handle_request(context, link)
+        except (ValueError, KeyError) as error:
+            return 400, "application/json", json.dumps(
+                {"error": str(error)}), set_cookie
+
+        payload = {
+            "action": response.decision.action.value,
+            "data_source": response.decision.data_source.value,
+            "bottlenecks_addressed":
+                list(response.decision.bottlenecks_addressed),
+            "explanation": response.explanation,
+            "file_id": response.file_id,
+            "protocol": response.protocol.value,
+        }
+        return 200, "application/json", \
+            json.dumps(payload, indent=2), set_cookie
+
+    def _user_id_from_cookie(self, cookie_header: str
+                             ) -> tuple[str, Optional[str]]:
+        cookie = SimpleCookie()
+        if cookie_header:
+            cookie.load(cookie_header)
+        morsel = cookie.get("odr_user")
+        if morsel is not None and morsel.value:
+            return morsel.value, None
+        user_id = uuid.uuid4().hex[:16]
+        return user_id, f"odr_user={user_id}; Path=/"
+
+    def _build_context(self, first, user_id: str) -> UserContext:
+        isp = ISP(first("isp", "unicom"))
+        with self._lock:
+            ip_address = self._allocator.allocate(isp)
+        bandwidth = None
+        raw_bandwidth = first("bandwidth_mbps")
+        if raw_bandwidth:
+            bandwidth = mbps(float(raw_bandwidth))
+        smart_ap = None
+        ap_name = first("ap")
+        if ap_name:
+            hardware = _AP_BY_NAME[ap_name]
+            device = _DEVICE_BY_NAME[first("device")] \
+                if first("device") else hardware.default_device
+            filesystem = Filesystem(first("filesystem")) \
+                if first("filesystem") else hardware.default_filesystem
+            smart_ap = SmartApInfo(hardware, device, filesystem)
+        return UserContext(user_id=user_id, ip_address=ip_address,
+                           access_bandwidth=bandwidth,
+                           smart_ap=smart_ap)
+
+    def _register_popularity(self, link: str, first) -> None:
+        from repro.core.service import parse_link
+        _protocol, file_id = parse_link(link)
+        popularity = int(first("popularity", "0") or 0)
+        with self._lock:
+            row = self.database.row(file_id, size=0.0)
+            if row.request_count < popularity:
+                row.request_count = popularity
+            self.database.set_cached(file_id,
+                                     first("cached", "0") in
+                                     ("1", "true", "yes"))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: OdrWebApp   # injected by make_server
+
+    def do_GET(self):   # noqa: N802  (BaseHTTPRequestHandler API)
+        status, content_type, body, set_cookie = self.app.handle(
+            self.path, self.headers.get("Cookie", ""))
+        payload = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        if set_cookie:
+            self.send_header("Set-Cookie", set_cookie)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):   # silence test output
+        pass
+
+
+def make_server(port: int = 0,
+                database: Optional[ContentDatabase] = None
+                ) -> ThreadingHTTPServer:
+    """Build (without starting) the HTTP server; port 0 picks a free
+    one."""
+    app = OdrWebApp(database)
+    handler = type("OdrHandler", (_Handler,), {"app": app})
+    return ThreadingHTTPServer(("127.0.0.1", port), handler)
+
+
+def serve(port: int = 8034) -> None:   # pragma: no cover - interactive
+    server = make_server(port)
+    actual_port = server.server_address[1]
+    print(f"ODR listening on http://127.0.0.1:{actual_port}/ "
+          f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()

@@ -1,0 +1,47 @@
+"""Section 5.2 text: smart-AP failure statistics and cause post-mortem."""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.analysis.tables import TextTable
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext, default_context
+from repro.transfer.source import (
+    CAUSE_INSUFFICIENT_SEEDS,
+    CAUSE_POOR_SERVER,
+    CAUSE_SYSTEM_BUG,
+)
+
+
+@register("ap_failures")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    context = context or default_context()
+    ap = context.ap_report
+    causes = ap.failure_cause_breakdown()
+
+    report = ExperimentReport(
+        experiment_id="ap_failures",
+        title="Smart-AP pre-download failures (section 5.2)")
+    report.add("overall failure ratio", paper.AP_FAILURE_RATIO,
+               ap.failure_ratio)
+    report.add("unpopular failure ratio",
+               paper.AP_UNPOPULAR_FAILURE_RATIO,
+               ap.unpopular_failure_ratio)
+    report.add("failures from insufficient seeds",
+               paper.AP_FAILURE_CAUSE_SEEDS,
+               causes.get(CAUSE_INSUFFICIENT_SEEDS, 0.0))
+    report.add("failures from poor HTTP/FTP",
+               paper.AP_FAILURE_CAUSE_SERVER,
+               causes.get(CAUSE_POOR_SERVER, 0.0))
+    report.add("failures from system bugs", paper.AP_FAILURE_CAUSE_BUG,
+               causes.get(CAUSE_SYSTEM_BUG, 0.0))
+
+    table = TextTable(["AP", "failure ratio", "unpopular failure"],
+                      ["", ".3f", ".3f"])
+    for name in ap.ap_names():
+        sub = ap.for_ap(name)
+        table.add_row(name, sub.failure_ratio,
+                      sub.unpopular_failure_ratio)
+    report.table = table.render()
+    report.data["causes"] = causes
+    return report

@@ -1,0 +1,53 @@
+"""Shared experiment-report plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.paper import PaperComparison
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment driver."""
+
+    experiment_id: str              # e.g. "fig08"
+    title: str
+    comparisons: list[PaperComparison] = field(default_factory=list)
+    table: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, quantity: str, paper_value: float,
+            measured_value: float, unit: str = "") -> PaperComparison:
+        row = PaperComparison(quantity=quantity, paper_value=paper_value,
+                              measured_value=measured_value, unit=unit)
+        self.comparisons.append(row)
+        return row
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.extend(row.format_row() for row in self.comparisons)
+        if self.table:
+            lines.append("")
+            lines.append(self.table)
+        return "\n".join(lines)
+
+    def worst_relative_error(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return max(row.relative_error for row in self.comparisons)
+
+
+#: experiment id -> driver callable(context) -> ExperimentReport
+REGISTRY: dict[str, Callable] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding a driver to the global registry."""
+    def wrap(func):
+        if experiment_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        REGISTRY[experiment_id] = func
+        return func
+    return wrap

@@ -1,0 +1,34 @@
+"""Figure 5: CDF of requested file size."""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.tables import TextTable
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext, default_context
+
+
+@register("fig05")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    context = context or default_context()
+    sizes = [record.size for record in context.workload.catalog]
+    cdf = empirical_cdf(sizes)
+    report = ExperimentReport(
+        experiment_id="fig05", title="CDF of requested file size")
+    report.add("median file size (MB)", paper.FILE_SIZE_MEDIAN / 1e6,
+               cdf.median / 1e6, "MB")
+    report.add("mean file size (MB)", paper.FILE_SIZE_MEAN / 1e6,
+               cdf.mean / 1e6, "MB")
+    report.add("max file size (GB)", paper.FILE_SIZE_MAX / 1e9,
+               cdf.max / 1e9, "GB")
+    report.add("share below 8 MB", paper.SMALL_FILE_SHARE,
+               cdf.probability_below(paper.SMALL_FILE_THRESHOLD))
+
+    table = TextTable(["percentile", "size (MB)"], ["", ".1f"])
+    for quantile in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+        table.add_row(f"p{int(quantile * 100)}",
+                      cdf.quantile(quantile) / 1e6)
+    report.table = table.render()
+    report.data["cdf_points"] = cdf.points(50)
+    return report

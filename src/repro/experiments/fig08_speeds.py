@@ -1,0 +1,51 @@
+"""Figure 8: CDFs of cloud pre-download / fetch / end-to-end speeds."""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.analysis.tables import TextTable
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext, default_context
+from repro.sim.clock import kbps
+
+
+@register("fig08")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    context = context or default_context()
+    result = context.cloud_result
+    pre = result.attempt_speed_cdf()
+    fetch = result.fetch_speed_cdf()
+    e2e = result.e2e_speed_cdf()
+
+    report = ExperimentReport(
+        experiment_id="fig08",
+        title="Cloud speeds: pre-download, fetch, end-to-end")
+    report.add("pre-download median (KBps)",
+               paper.PRE_SPEED_MEDIAN / 1e3, pre.median / 1e3, "KBps")
+    report.add("pre-download mean (KBps)",
+               paper.PRE_SPEED_MEAN / 1e3, pre.mean / 1e3, "KBps")
+    report.add("pre-download near-zero share",
+               paper.PRE_SPEED_NEAR_ZERO_SHARE,
+               pre.probability_below(kbps(5.0)))
+    report.add("fetch median (KBps)", paper.FETCH_SPEED_MEDIAN / 1e3,
+               fetch.median / 1e3, "KBps")
+    report.add("fetch mean (KBps)", paper.FETCH_SPEED_MEAN / 1e3,
+               fetch.mean / 1e3, "KBps")
+    report.add("e2e median (KBps)", paper.E2E_SPEED_MEDIAN / 1e3,
+               e2e.median / 1e3, "KBps")
+    report.add("e2e mean (KBps)", paper.E2E_SPEED_MEAN / 1e3,
+               e2e.mean / 1e3, "KBps")
+    report.add("fetch/pre median speed-up", 287.0 / 25.0,
+               fetch.median / max(pre.median, 1.0))
+
+    table = TextTable(["distribution", "min", "median", "mean", "max"],
+                      ["", ".0f", ".0f", ".0f", ".0f"])
+    for name, cdf in (("pre-download", pre), ("fetch", fetch),
+                      ("end-to-end", e2e)):
+        table.add_row(name, cdf.min / 1e3, cdf.median / 1e3,
+                      cdf.mean / 1e3, cdf.max / 1e3)
+    report.table = table.render() + "\n(all speeds in KBps)"
+    report.data["pre"] = pre
+    report.data["fetch"] = fetch
+    report.data["e2e"] = e2e
+    return report

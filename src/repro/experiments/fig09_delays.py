@@ -1,0 +1,49 @@
+"""Figure 9: CDFs of cloud pre-download / fetch / end-to-end delays."""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.analysis.tables import TextTable
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext, default_context
+from repro.sim.clock import MINUTE
+
+
+@register("fig09")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    context = context or default_context()
+    result = context.cloud_result
+    pre = result.attempt_delay_cdf()
+    fetch = result.fetch_delay_cdf()
+    e2e = result.e2e_delay_cdf()
+
+    report = ExperimentReport(
+        experiment_id="fig09",
+        title="Cloud delays: pre-download, fetch, end-to-end")
+    report.add("pre-download median (min)",
+               paper.PRE_DELAY_MEDIAN / MINUTE, pre.median / MINUTE,
+               "min")
+    report.add("pre-download mean (min)", paper.PRE_DELAY_MEAN / MINUTE,
+               pre.mean / MINUTE, "min")
+    report.add("fetch median (min)", paper.FETCH_DELAY_MEDIAN / MINUTE,
+               fetch.median / MINUTE, "min")
+    report.add("fetch mean (min)", paper.FETCH_DELAY_MEAN / MINUTE,
+               fetch.mean / MINUTE, "min")
+    report.add("e2e median (min)", paper.E2E_DELAY_MEDIAN / MINUTE,
+               e2e.median / MINUTE, "min")
+    report.add("e2e mean (min)", paper.E2E_DELAY_MEAN / MINUTE,
+               e2e.mean / MINUTE, "min")
+    report.add("pre/fetch median delay ratio", 82.0 / 7.0,
+               pre.median / max(fetch.median, 1.0))
+
+    table = TextTable(["distribution", "median", "mean", "max"],
+                      ["", ".1f", ".1f", ".0f"])
+    for name, cdf in (("pre-download", pre), ("fetch", fetch),
+                      ("end-to-end", e2e)):
+        table.add_row(name, cdf.median / MINUTE, cdf.mean / MINUTE,
+                      cdf.max / MINUTE)
+    report.table = table.render() + "\n(all delays in minutes)"
+    report.data["pre"] = pre
+    report.data["fetch"] = fetch
+    report.data["e2e"] = e2e
+    return report

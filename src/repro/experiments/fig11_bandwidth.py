@@ -1,0 +1,59 @@
+"""Figure 11: cloud upload-bandwidth burden over the measurement week.
+
+The series is committed upload bandwidth (including the estimated burden
+of rejected fetches) in 5-minute bins, rescaled from the simulated scale
+to paper units (Gbps at full population).  The lower curve isolates
+highly popular files, whose ~40% share motivates Bottleneck 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import paper
+from repro.analysis.tables import TextTable
+from repro.analysis.timeseries import peak_of_series
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext, default_context
+from repro.sim.clock import DAY, to_gbps
+
+BIN_WIDTH = 300.0   # the paper's 5-minute intervals
+
+
+@register("fig11")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    context = context or default_context()
+    result = context.cloud_result
+    scale = context.scale
+
+    total = result.bandwidth_series(BIN_WIDTH)
+    highly = result.bandwidth_series(BIN_WIDTH, only_highly_popular=True)
+    peak_bin, peak_value = peak_of_series(total)
+
+    report = ExperimentReport(
+        experiment_id="fig11",
+        title="Cloud upload bandwidth burden over the week")
+    report.add("peak burden (Gbps, rescaled)",
+               to_gbps(paper.CLOUD_PEAK_BURDEN),
+               to_gbps(peak_value) / scale, "Gbps")
+    report.add("highly popular share of burden",
+               paper.HIGHLY_POPULAR_BANDWIDTH_SHARE,
+               float(highly.sum() / max(total.sum(), 1.0)))
+    report.add("fetch rejection ratio", paper.FETCH_REJECTION_RATIO,
+               result.rejection_ratio)
+    report.data["peak_day"] = int(peak_bin * BIN_WIDTH / DAY) + 1
+    report.data["total_series_gbps"] = to_gbps(total) / scale
+    report.data["highly_series_gbps"] = to_gbps(highly) / scale
+
+    table = TextTable(["day", "avg burden (Gbps)", "peak (Gbps)",
+                       "highly popular avg (Gbps)"],
+                      ["d", ".1f", ".1f", ".1f"])
+    bins_per_day = int(DAY / BIN_WIDTH)
+    for day in range(7):
+        sl = slice(day * bins_per_day, (day + 1) * bins_per_day)
+        table.add_row(day + 1, to_gbps(total[sl].mean()) / scale,
+                      to_gbps(total[sl].max()) / scale,
+                      to_gbps(highly[sl].mean()) / scale)
+    report.table = table.render() + \
+        "\n(purchased capacity: 30 Gbps; paper peak exceeds it on day 7)"
+    return report

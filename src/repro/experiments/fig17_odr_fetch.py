@@ -1,0 +1,42 @@
+"""Figure 17: CDF of fetching speeds using ODR vs plain Xuanfeng."""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.analysis.tables import TextTable
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext, default_context
+
+
+@register("fig17")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    context = context or default_context()
+    odr = context.odr_result.fetch_speed_cdf()
+    xuanfeng = context.cloud_result.fetch_speed_cdf()
+
+    report = ExperimentReport(
+        experiment_id="fig17",
+        title="ODR fetching-speed distribution vs Xuanfeng")
+    report.add("ODR fetch median (KBps)",
+               paper.ODR_FETCH_SPEED_MEDIAN / 1e3, odr.median / 1e3,
+               "KBps")
+    report.add("ODR fetch mean (KBps)",
+               paper.ODR_FETCH_SPEED_MEAN / 1e3, odr.mean / 1e3, "KBps")
+    report.add("ODR fetch max (MBps)",
+               paper.ODR_FETCH_SPEED_MAX / 1e6, odr.max / 1e6, "MBps")
+    report.add("median improvement over Xuanfeng", 368.0 / 287.0,
+               odr.median / max(xuanfeng.median, 1.0))
+    report.add("wrong decision share", paper.ODR_WRONG_DECISION_SHARE,
+               context.odr_result.wrong_decision_share)
+
+    table = TextTable(["distribution", "min", "median", "mean", "max"],
+                      ["", ".0f", ".0f", ".0f", ".0f"])
+    table.add_row("ODR (KBps)", odr.min / 1e3, odr.median / 1e3,
+                  odr.mean / 1e3, odr.max / 1e3)
+    table.add_row("Xuanfeng (KBps)", xuanfeng.min / 1e3,
+                  xuanfeng.median / 1e3, xuanfeng.mean / 1e3,
+                  xuanfeng.max / 1e3)
+    report.table = table.render()
+    report.data["odr_cdf"] = odr
+    report.data["xuanfeng_cdf"] = xuanfeng
+    return report

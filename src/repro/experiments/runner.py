@@ -1,0 +1,133 @@
+"""Run every registered experiment and render EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.experiments.runner --scale 0.01 --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import REGISTRY, default_context
+from repro.experiments.base import ExperimentReport
+from repro.experiments.context import DEFAULT_SCALE, ExperimentContext
+
+#: Paper-section ordering for the document.
+ORDER = [
+    "workload_stats", "fig05", "fig06_07", "fig08", "fig09", "fig10",
+    "fig11", "cloud_text", "table1", "fig13_14", "ap_failures",
+    "table2", "fig16", "fig17",
+]
+
+
+def run_all(context: ExperimentContext | None = None
+            ) -> list[ExperimentReport]:
+    """Execute every registered experiment against one shared context."""
+    context = context or default_context()
+    reports = []
+    for experiment_id in ORDER:
+        reports.append(REGISTRY[experiment_id](context))
+    missing = set(REGISTRY) - set(ORDER)
+    for experiment_id in sorted(missing):
+        reports.append(REGISTRY[experiment_id](context))
+    return reports
+
+
+def render_experiments_md(reports: list[ExperimentReport],
+                          scale: float) -> str:
+    lines = [
+        "# EXPERIMENTS -- paper vs measured",
+        "",
+        "Reproduction of every table and figure in \"Offline Downloading"
+        " in China: A Comparative Study\" (IMC 2015).",
+        "",
+        f"All rows below were produced by `python -m "
+        f"repro.experiments.runner --scale {scale}` -- a synthetic week "
+        f"at {scale:.0%} of the real trace's dimensions, simulated "
+        "end-to-end (no numbers are hard-coded into the pipeline; the "
+        "`paper=` column comes from `repro.paper`, the `measured=` "
+        "column from the simulation).",
+        "",
+        "Scale-free quantities (ratios, shares, medians of per-flow "
+        "distributions) compare directly; bandwidth totals are rescaled "
+        "to paper units by the population scale factor.",
+        "",
+        "## Known divergences and why",
+        "",
+        "* **Cloud failure levels** (paper 8.7% overall / 13% unpopular /"
+        " 16.4% no-cache). The paper's trio of cache statistics (89% "
+        "request-level hits, 8.7% with-cache and 16.4% no-cache "
+        "failures) is mutually over-determined under any mechanistic "
+        "cache model: with an 89% hit ratio, failures can only occur on "
+        "the 11% of misses, which caps the with-cache failure ratio "
+        "well below 8.7% unless per-miss failure approaches 80%. The "
+        "simulator matches the hit ratio, the popularity-failure "
+        "correlation (Fig. 10), and the cache's *halving* of the "
+        "failure ratio; the absolute failure levels land lower "
+        "(~3% / ~9% / ~7%).",
+        "* **Pre-download near-zero share** (paper 21%, measured "
+        "~25-30%). The cloud's attempt population is miss-biased toward "
+        "dead-source files; the production system's attempt mix was "
+        "shaped by years of cache history we cannot observe.",
+        "* **Fetch/e2e delay means** (paper 27 / 68 min). The paper's "
+        "fetch trace records 'finish/pause' times, so user-paused slow "
+        "fetches truncate their recorded delays; the simulator lets "
+        "slow fetches run to completion, lengthening the mean (medians "
+        "agree).",
+        "* **Fig. 6/7 fit coefficients**. Absolute Zipf/SE intercepts "
+        "depend on the trace's absolute dimensions; at reduced scale we "
+        "reproduce the comparative claim (SE beats Zipf, flattened "
+        "head) and report our own coefficients.",
+        "* **ISP-barrier share** (paper 9.6%, measured ~10-14%). At "
+        "reduced scale the per-ISP upload pools hold few concurrent "
+        "flows, so admission granularity produces extra overflow onto "
+        "cross-ISP paths during peaks; the artefact shrinks as "
+        "``--scale`` grows.",
+        "* **B3 under ODR** (paper 13%, measured ~4%). The paper quotes "
+        "the cloud's production unpopular-failure level; our replay "
+        "runs after the simulated week, when the cache already covers "
+        "most sampled files, so ODR's measured unpopular failure is "
+        "even lower.",
+        "",
+    ]
+    for report in reports:
+        lines.append(f"## {report.experiment_id}: {report.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(report.render())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="fraction of the real week to synthesise")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write EXPERIMENTS.md here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    context = default_context(scale=args.scale)
+    reports = run_all(context)
+    document = render_experiments_md(reports, args.scale)
+
+    # Append the self-grading scorecard (lazy import: scorecard uses
+    # run_all from this module).
+    from repro.experiments.scorecard import Scorecard, evaluate_claims
+    scorecard = Scorecard(reports=reports,
+                          claims=evaluate_claims(context))
+    document += "\n## Reproduction scorecard\n\n```\n" + \
+        scorecard.render() + "\n```\n"
+    if args.output is not None:
+        args.output.write_text(document)
+        print(f"wrote {args.output} ({len(reports)} experiments)")
+    else:
+        print(document)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""The reproduction scorecard: one number (and one table) for "how close".
+
+Aggregates every paper-vs-measured comparison the drivers produce into
+per-experiment and overall statistics, and checks the paper's *headline
+qualitative claims* -- the findings that must hold regardless of
+absolute calibration (who wins, in which direction, by roughly what
+factor).
+
+Usage::
+
+    python -m repro.experiments.scorecard --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import TextTable
+from repro.experiments import REGISTRY, default_context
+from repro.experiments.base import ExperimentReport
+from repro.experiments.context import DEFAULT_SCALE, ExperimentContext
+from repro.experiments.runner import ORDER, run_all
+
+
+@dataclass
+class HeadlineClaim:
+    """One qualitative finding of the paper and whether it reproduced."""
+
+    claim: str
+    holds: bool
+
+
+@dataclass
+class Scorecard:
+    """Aggregated reproduction quality."""
+
+    reports: list[ExperimentReport]
+    claims: list[HeadlineClaim]
+
+    @property
+    def all_errors(self) -> np.ndarray:
+        return np.array([
+            row.relative_error
+            for report in self.reports
+            for row in report.comparisons
+            if np.isfinite(row.relative_error)])
+
+    @property
+    def median_relative_error(self) -> float:
+        return float(np.median(self.all_errors))
+
+    @property
+    def share_within_25_percent(self) -> float:
+        errors = self.all_errors
+        return float((errors <= 0.25).mean())
+
+    @property
+    def claims_held(self) -> int:
+        return sum(1 for claim in self.claims if claim.holds)
+
+    def render(self) -> str:
+        table = TextTable(["experiment", "rows", "median err",
+                           "worst err"], ["", "d", ".1%", ".1%"])
+        for report in self.reports:
+            errors = [row.relative_error for row in report.comparisons
+                      if np.isfinite(row.relative_error)]
+            if not errors:
+                continue
+            table.add_row(report.experiment_id, len(errors),
+                          float(np.median(errors)), max(errors))
+        lines = [table.render(), ""]
+        lines.append(f"overall: {len(self.all_errors)} comparisons, "
+                     f"median relative error "
+                     f"{self.median_relative_error:.1%}, "
+                     f"{self.share_within_25_percent:.0%} within 25%")
+        lines.append("")
+        lines.append(f"headline claims: {self.claims_held}/"
+                     f"{len(self.claims)} hold")
+        for claim in self.claims:
+            marker = "+" if claim.holds else "!"
+            lines.append(f"  [{marker}] {claim.claim}")
+        return "\n".join(lines)
+
+
+def evaluate_claims(context: ExperimentContext) -> list[HeadlineClaim]:
+    """The paper's qualitative findings, checked against the simulation."""
+    cloud = context.cloud_result
+    ap = context.ap_report
+    odr = context.odr_result
+    claims: list[HeadlineClaim] = []
+
+    fetch = cloud.fetch_speed_cdf()
+    pre = cloud.attempt_speed_cdf()
+    claims.append(HeadlineClaim(
+        "cloud fetching is ~an order of magnitude faster than "
+        "pre-downloading (7-11x)",
+        5.0 <= fetch.median / max(pre.median, 1.0) <= 25.0))
+
+    by_class = cloud.failure_ratio_by_class()
+    from repro.workload.popularity import PopularityClass
+    claims.append(HeadlineClaim(
+        "pre-download failures concentrate on unpopular files",
+        by_class.get(PopularityClass.UNPOPULAR, 0.0) >
+        3 * by_class.get(PopularityClass.POPULAR, 0.0)))
+
+    claims.append(HeadlineClaim(
+        "a large minority (~28%) of cloud fetches are impeded",
+        0.15 <= cloud.impeded_fetch_share <= 0.45))
+
+    highly = cloud.bandwidth_series(only_highly_popular=True)
+    total = cloud.bandwidth_series()
+    claims.append(HeadlineClaim(
+        "highly popular files burn ~40% of cloud upload bandwidth",
+        0.25 <= float(highly.sum() / total.sum()) <= 0.55))
+
+    claims.append(HeadlineClaim(
+        "the cloud rejects a small share of fetches at peak (~1.5%)",
+        0.0 < cloud.rejection_ratio <= 0.05))
+
+    claims.append(HeadlineClaim(
+        "smart APs fail on ~42% of unpopular files",
+        0.30 <= ap.unpopular_failure_ratio <= 0.55))
+
+    claims.append(HeadlineClaim(
+        "insufficient seeds cause the great majority of AP failures",
+        ap.failure_cause_breakdown().get("insufficient_seeds", 0.0) >
+        0.7))
+
+    claims.append(HeadlineClaim(
+        "ODR roughly halves (or better) the impeded-fetch share",
+        odr.impeded_share < cloud.impeded_fetch_share / 2))
+
+    reduction = odr.cloud_bandwidth_reduction(
+        context.cloud_only_result)
+    claims.append(HeadlineClaim(
+        "ODR cuts cloud upload bandwidth by ~35%",
+        0.25 <= reduction <= 0.45))
+
+    claims.append(HeadlineClaim(
+        "ODR eliminates write-path-limited downloads (Bottleneck 4)",
+        odr.write_path_limited_share == 0.0))
+
+    claims.append(HeadlineClaim(
+        "ODR collapses unpopular-file failures vs smart APs",
+        odr.unpopular_failure_ratio < ap.unpopular_failure_ratio / 2))
+
+    fig0607 = REGISTRY["fig06_07"](context)
+    claims.append(HeadlineClaim(
+        "the SE model fits popularity better than Zipf",
+        bool(fig0607.data["se_beats_zipf"])))
+
+    return claims
+
+
+def build_scorecard(context: ExperimentContext | None = None
+                    ) -> Scorecard:
+    context = context or default_context()
+    reports = run_all(context)
+    return Scorecard(reports=reports, claims=evaluate_claims(context))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    args = parser.parse_args(argv)
+    scorecard = build_scorecard(default_context(scale=args.scale))
+    print(scorecard.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

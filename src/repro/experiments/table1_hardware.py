@@ -1,0 +1,37 @@
+"""Table 1: hardware configurations of the three benchmarked smart APs."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import TextTable
+from repro.ap.models import BENCHMARKED_APS
+from repro.experiments.base import ExperimentReport, register
+from repro.experiments.context import ExperimentContext
+
+
+@register("table1")
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="table1",
+        title="Smart-AP hardware configurations")
+    table = TextTable(["Smart AP", "CPU", "RAM", "Storage",
+                       "WiFi", "price"])
+    for hardware in BENCHMARKED_APS:
+        interfaces = "+".join(i.value for i in
+                              hardware.storage_interfaces)
+        bands = "/".join(b.value for b in hardware.wifi_bands)
+        table.add_row(
+            hardware.name,
+            f"{hardware.cpu_model} @{hardware.cpu_mhz:.0f} MHz",
+            f"{hardware.ram_mb} MB",
+            f"{interfaces} ({hardware.default_device.name})",
+            f"{hardware.wifi_protocols} @{bands}",
+            f"${hardware.price_usd:.0f}")
+    report.table = table.render()
+    # Structural facts the paper's table asserts:
+    hiwifi, miwifi, newifi = BENCHMARKED_APS
+    report.add("MiWiFi CPU (MHz)", 1000, miwifi.cpu_mhz, "MHz")
+    report.add("HiWiFi CPU (MHz)", 580, hiwifi.cpu_mhz, "MHz")
+    report.add("Newifi CPU (MHz)", 580, newifi.cpu_mhz, "MHz")
+    report.add("MiWiFi RAM (MB)", 256, miwifi.ram_mb, "MB")
+    report.data["aps"] = BENCHMARKED_APS
+    return report

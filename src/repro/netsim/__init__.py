@@ -1,0 +1,35 @@
+"""China-like network substrate.
+
+Models the parts of the Chinese Internet that the paper's findings hinge
+on: the small set of giant per-ISP autonomous systems, the degraded
+cross-ISP paths (the "ISP barrier"), CIDR-based IP-to-ISP resolution (the
+role APNIC plays for the real ODR), and residential access links.
+"""
+
+from repro.netsim.isp import (
+    ISP,
+    MAJOR_ISPS,
+    IspRegistry,
+    default_registry,
+)
+from repro.netsim.ip import IpAllocator, IpResolver
+from repro.netsim.topology import ChinaTopology, PathQuality
+from repro.netsim.link import (
+    AccessLink,
+    AccessTechnology,
+    AccessBandwidthModel,
+)
+
+__all__ = [
+    "ISP",
+    "MAJOR_ISPS",
+    "IspRegistry",
+    "default_registry",
+    "IpAllocator",
+    "IpResolver",
+    "ChinaTopology",
+    "PathQuality",
+    "AccessLink",
+    "AccessTechnology",
+    "AccessBandwidthModel",
+]

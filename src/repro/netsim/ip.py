@@ -1,0 +1,83 @@
+"""IP address allocation and IP-to-ISP resolution.
+
+The real ODR resolves a requesting user's ISP from her IP address via the
+APNIC service.  We reproduce that interface with a deterministic CIDR
+registry: :class:`IpAllocator` hands out addresses from each ISP's blocks
+(for the synthetic user population) and :class:`IpResolver` maps any
+address back to its owning ISP.
+
+Resolution uses a sorted interval table with binary search, so lookups are
+O(log n) in the number of CIDR blocks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import ipaddress
+from typing import Optional
+
+from repro.netsim.isp import ISP, IspRegistry, default_registry
+
+
+class IpAllocator:
+    """Sequential, collision-free address allocation per ISP.
+
+    Addresses are handed out deterministically (block by block, skipping
+    network/broadcast-ish edges is unnecessary at this abstraction level),
+    so a seeded workload always maps users to the same addresses.
+    """
+
+    def __init__(self, registry: Optional[IspRegistry] = None):
+        self._registry = registry or default_registry()
+        self._cursors: dict[ISP, tuple[int, int]] = {}
+        for isp in self._registry.isps():
+            self._cursors[isp] = (0, 1)  # (block index, offset in block)
+
+    def allocate(self, isp: ISP) -> str:
+        """Return the next unused address homed in ``isp``."""
+        networks = self._registry.profile(isp).networks()
+        block_index, offset = self._cursors[isp]
+        while block_index < len(networks):
+            network = networks[block_index]
+            if offset < network.num_addresses - 1:
+                address = network.network_address + offset
+                self._cursors[isp] = (block_index, offset + 1)
+                return str(address)
+            block_index, offset = block_index + 1, 1
+        raise RuntimeError(f"address space of {isp} exhausted")
+
+
+class IpResolver:
+    """Map an IPv4 address to its owning ISP (APNIC-style lookup)."""
+
+    def __init__(self, registry: Optional[IspRegistry] = None):
+        self._registry = registry or default_registry()
+        intervals: list[tuple[int, int, ISP]] = []
+        for isp in self._registry.isps():
+            for network in self._registry.profile(isp).networks():
+                start = int(network.network_address)
+                end = start + network.num_addresses
+                intervals.append((start, end, isp))
+        intervals.sort()
+        for (s1, e1, i1), (s2, _e2, i2) in zip(intervals, intervals[1:]):
+            if s2 < e1:
+                raise ValueError(
+                    f"overlapping CIDR blocks between {i1} and {i2}")
+        self._starts = [interval[0] for interval in intervals]
+        self._intervals = intervals
+
+    def resolve(self, address: str) -> Optional[ISP]:
+        """The ISP owning ``address``, or ``None`` if unallocated space."""
+        value = int(ipaddress.ip_address(address))
+        index = bisect.bisect_right(self._starts, value) - 1
+        if index < 0:
+            return None
+        start, end, isp = self._intervals[index]
+        if start <= value < end:
+            return isp
+        return None
+
+    def is_major(self, address: str) -> bool:
+        """Whether the address is homed in one of the four major ISPs."""
+        isp = self.resolve(address)
+        return isp is not None and self._registry.is_major(isp)

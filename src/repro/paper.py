@@ -1,0 +1,157 @@
+"""Published numbers from the paper, for comparison in benches and docs.
+
+Every quantity the evaluation sections report is collected here once, so
+benchmark harnesses can print "paper vs measured" rows without magic
+numbers scattered through the codebase.  Units: bytes, seconds, B/s --
+converted from the paper's KBps/MBps/minutes at the definition site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import DAY, HOUR, MINUTE, gbps, kbps, mbps
+
+# --- Section 3: workload characteristics -----------------------------------
+
+TOTAL_TASKS = 4_084_417
+TOTAL_USERS = 783_944
+TOTAL_UNIQUE_FILES = 563_517
+MEASUREMENT_WEEK_DAYS = 7
+
+VIDEO_REQUEST_SHARE = 0.75
+SOFTWARE_REQUEST_SHARE = 0.15
+
+FILE_SIZE_MIN = 4.0                    # bytes
+FILE_SIZE_MEDIAN = 115e6
+FILE_SIZE_MEAN = 390e6
+FILE_SIZE_MAX = 4e9
+SMALL_FILE_THRESHOLD = 8e6
+SMALL_FILE_SHARE = 0.25                # <= 25% of files under 8 MB
+
+BITTORRENT_SHARE = 0.68
+EMULE_SHARE = 0.19
+HTTP_FTP_SHARE = 0.13
+
+ZIPF_A = 1.034
+ZIPF_B = 14.444
+ZIPF_FIT_ERROR = 0.153
+SE_A = 0.010
+SE_B = 1.134
+SE_C = 0.01
+SE_FIT_ERROR = 0.137
+
+# Popularity classes (downloads per week).
+UNPOPULAR_MAX_WEEKLY = 7               # [0, 7) -> unpopular
+POPULAR_MAX_WEEKLY = 84                # [7, 84] -> popular; above -> highly
+UNPOPULAR_FILE_SHARE = 0.932
+HIGHLY_POPULAR_FILE_SHARE = 0.0084
+UNPOPULAR_REQUEST_SHARE = 0.36
+HIGHLY_POPULAR_REQUEST_SHARE = 0.39
+
+# --- Section 4: cloud (Xuanfeng) performance --------------------------------
+
+CLOUD_USER_COUNT = 30_000_000
+CLOUD_STORAGE_BYTES = 2e15             # ~2 PB
+CLOUD_CACHED_FILES = 5_000_000
+CLOUD_SERVER_COUNT = 500
+CACHE_HIT_RATIO = 0.89
+CHUNK_DEDUP_SAVINGS = 0.01             # <1% -> not worth chunking
+
+PREDOWNLOADER_BANDWIDTH = mbps(20.0)   # = 2.5 MBps
+PRE_SPEED_MEDIAN = kbps(25.0)
+PRE_SPEED_MEAN = kbps(69.0)
+PRE_SPEED_MAX = 2.37e6                 # ~= 20 Mbps
+PRE_SPEED_NEAR_ZERO_SHARE = 0.21
+PRE_DELAY_MEDIAN = 82 * MINUTE
+PRE_DELAY_MEAN = 370 * MINUTE
+PRE_DELAY_MAX = 10071 * MINUTE
+
+CLOUD_FAILURE_RATIO = 0.087
+CLOUD_FAILURE_RATIO_NO_CACHE = 0.164
+CLOUD_UNPOPULAR_FAILURE_RATIO = 0.13
+STAGNATION_TIMEOUT = 1 * HOUR
+
+P2P_TRAFFIC_OVERALL = 1.96             # traffic / file size
+HTTP_OVERHEAD_LOW, HTTP_OVERHEAD_HIGH = 1.07, 1.10
+
+FETCH_SPEED_MEDIAN = kbps(287.0)
+FETCH_SPEED_MEAN = kbps(504.0)
+FETCH_SPEED_MAX = 6.1e6                # ~= 50 Mbps
+FETCH_DELAY_MEDIAN = 7 * MINUTE
+FETCH_DELAY_MEAN = 27 * MINUTE
+FETCH_DELAY_MAX = 9724 * MINUTE
+
+IMPEDED_FETCH_THRESHOLD = kbps(125.0)  # 1 Mbps HD-video playback rate
+IMPEDED_FETCH_SHARE = 0.28
+IMPEDED_BY_ISP_BARRIER = 0.096
+IMPEDED_BY_LOW_ACCESS_BW = 0.108
+IMPEDED_BY_REJECTION = 0.015
+IMPEDED_UNKNOWN = 0.061
+
+E2E_SPEED_MEDIAN = kbps(233.0)
+E2E_SPEED_MEAN = kbps(380.0)
+E2E_DELAY_MEDIAN = 10 * MINUTE
+E2E_DELAY_MEAN = 68 * MINUTE
+E2E_DELAY_MAX = 19553 * MINUTE
+
+CLOUD_UPLOAD_CAPACITY = gbps(30.0)
+CLOUD_PEAK_BURDEN = gbps(34.0)         # day-7 peak incl. rejected demand
+HIGHLY_POPULAR_BANDWIDTH_SHARE = 0.40  # ~40% of upload bandwidth
+FETCH_REJECTION_RATIO = 0.015
+USER_TRAFFIC_SAVING_LOW, USER_TRAFFIC_SAVING_HIGH = 0.86, 0.89
+
+# --- Section 5: smart APs ----------------------------------------------------
+
+AP_SAMPLE_SIZE = 1000
+AP_FAILURE_RATIO = 0.168
+AP_UNPOPULAR_FAILURE_RATIO = 0.42
+AP_FAILURE_CAUSE_SEEDS = 0.86          # 145 / 168
+AP_FAILURE_CAUSE_SERVER = 0.10         # 17 / 168
+AP_FAILURE_CAUSE_BUG = 0.04            # 6 / 168
+AP_BUG_FAILURE_RATE = 0.006            # 6 / 1000 replayed requests
+
+AP_PRE_SPEED_MEDIAN = kbps(27.0)
+AP_PRE_SPEED_MEAN = kbps(64.0)
+AP_PRE_SPEED_MAX_FAST = 2.37e6         # HiWiFi / MiWiFi
+AP_PRE_SPEED_MAX_NEWIFI = 0.93e6       # Newifi on NTFS USB flash
+AP_PRE_DELAY_MEDIAN = 77 * MINUTE
+AP_PRE_DELAY_MEAN = 402 * MINUTE
+AP_PRE_DELAY_MAX = 8297 * MINUTE
+AP_LAN_FETCH_SPEED_LOW, AP_LAN_FETCH_SPEED_HIGH = 8e6, 12e6
+TESTBED_ACCESS_BANDWIDTH = mbps(20.0)
+
+# --- Section 6: ODR ----------------------------------------------------------
+
+ODR_IMPEDED_FETCH_SHARE = 0.09
+ODR_BANDWIDTH_REDUCTION = 0.35
+ODR_PEAK_BURDEN = gbps(22.0)
+ODR_UNPOPULAR_FAILURE_RATIO = 0.13
+ODR_FETCH_SPEED_MEDIAN = kbps(368.0)
+ODR_FETCH_SPEED_MEAN = kbps(509.0)
+ODR_FETCH_SPEED_MAX = 2.37e6           # capped by the 20 Mbps testbed line
+ODR_WRONG_DECISION_SHARE = 0.01
+ODR_LOCAL_DOWNLOAD_BANDWIDTH = mbps(20.0)
+ODR_AP_SUGGESTION_THRESHOLD = 0.93e6   # below this access bw, AP is safe
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One paper-vs-measured row for EXPERIMENTS.md and bench output."""
+
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value else 0.0
+        return abs(self.measured_value - self.paper_value) / \
+            abs(self.paper_value)
+
+    def format_row(self) -> str:
+        return (f"{self.quantity:<46s} paper={self.paper_value:>12.4g} "
+                f"measured={self.measured_value:>12.4g} {self.unit:<8s}"
+                f"(rel.err {self.relative_error:6.1%})")

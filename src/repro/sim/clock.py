@@ -1,0 +1,75 @@
+"""Time and rate units used throughout the simulators.
+
+The simulation clock is a float measured in **seconds**.  Data sizes are
+measured in **bytes** and rates in **bytes per second**; the helpers below
+convert from the units the paper quotes (KBps, Mbps, Gbps) so that model
+code can cite the paper's numbers verbatim.
+
+The paper mixes bits and bytes freely ("20 Mbps (= 2.5 MBps)"), so being
+explicit here prevents an entire class of unit bugs.
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0 * SECOND
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+WEEK = 7.0 * DAY
+
+KB = 1000.0
+MB = 1000.0 * KB
+GB = 1000.0 * MB
+
+
+def kbps(value: float) -> float:
+    """Convert kilobytes-per-second (KBps, as quoted in the paper) to B/s."""
+    return value * KB
+
+
+def mbps(value: float) -> float:
+    """Convert megabits-per-second (Mbps) to bytes-per-second.
+
+    ``mbps(20)`` is 2.5e6 B/s, matching the paper's "20 Mbps (= 2.5 MBps)".
+    """
+    return value * 1e6 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits-per-second (Gbps) to bytes-per-second."""
+    return value * 1e9 / 8.0
+
+
+def to_kbps(rate: float) -> float:
+    """Convert a rate in B/s back to KBps for reporting."""
+    return rate / KB
+
+
+def to_mbps(rate: float) -> float:
+    """Convert a rate in B/s back to Mbps for reporting."""
+    return rate * 8.0 / 1e6
+
+
+def to_gbps(rate: float) -> float:
+    """Convert a rate in B/s back to Gbps for reporting."""
+    return rate * 8.0 / 1e9
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human form, e.g. ``2d3h04m``.
+
+    Used by example scripts and experiment reports; sub-minute components
+    are rounded to whole seconds.
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    remainder = float(seconds)
+    parts: list[str] = []
+    for unit, label in ((DAY, "d"), (HOUR, "h"), (MINUTE, "m")):
+        count = int(remainder // unit)
+        if count or parts:
+            parts.append(f"{count}{label}")
+        if parts:
+            remainder -= count * unit
+    parts.append(f"{remainder:.0f}s")
+    return "".join(parts)

@@ -1,0 +1,306 @@
+"""A compact generator-based discrete-event simulation core.
+
+The design follows the classic process-interaction style (as popularised by
+SimPy) but is implemented from scratch so the reproduction has no external
+simulation dependency:
+
+* :class:`Simulator` owns the event heap and the clock.
+* :class:`Process` wraps a generator; the generator *yields* waitables
+  (:class:`Timeout`, another :class:`Process`, or an :class:`Event`) and is
+  resumed when the waitable fires.
+* ``simulator.call_at`` / ``call_in`` schedule plain callbacks for code that
+  does not need a coroutine.
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(a monotonically increasing sequence number breaks ties), so simulations are
+reproducible bit-for-bit given a seeded workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the engine (not for model failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries an arbitrary payload describing why the interrupt
+    happened (e.g. a stagnation-timeout sentinel in the download session
+    model).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable that processes may yield on.
+
+    An event is *triggered* at most once, with an optional value.  Processes
+    waiting on it resume with that value.  Triggering is immediate from the
+    scheduler's point of view: waiters are scheduled at the current time.
+    """
+
+    __slots__ = ("_sim", "_triggered", "_value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim._schedule_resume(process, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._triggered:
+            self._sim._schedule_resume(process, self._value)
+        else:
+            self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+
+class Timeout:
+    """Yieldable delay: ``yield Timeout(5.0)`` resumes 5 sim-seconds later."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    A process is itself waitable: yielding a process suspends the caller
+    until the target finishes, resuming with the target's return value.  If
+    the target raised, the exception propagates into the waiter.
+    """
+
+    __slots__ = ("_sim", "_generator", "_done", "_result", "_error",
+                 "_waiters", "_waiting_on", "_resume_token", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator; did you forget to call the "
+                "process function?")
+        self._sim = sim
+        self._generator = generator
+        self._done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: list[Process] = []
+        self._waiting_on: Any = None
+        #: Incremented on every resume; scheduled wake-ups carry the token
+        #: they were created under, so a stale wake-up (e.g. the original
+        #: timeout of an interrupted sleep) is ignored.
+        self._resume_token = 0
+        self.name = name or getattr(generator, "__name__", "process")
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into this process at the current time."""
+        if self._done:
+            return
+        self._sim._schedule_throw(self, Interrupt(cause))
+
+    # -- internal stepping -------------------------------------------------
+
+    def _step(self, value: Any = None,
+              error: Optional[BaseException] = None,
+              token: Optional[int] = None) -> None:
+        if self._done:
+            return
+        if token is not None and token != self._resume_token:
+            return   # a stale wake-up from an abandoned wait
+        self._resume_token += 1
+        self._detach_wait()
+        try:
+            if error is not None:
+                target = self._generator.throw(error)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as exc:  # model-level failure propagates
+            self._finish(error=exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self._waiting_on = None
+            self._sim.call_in(target.delay, self._step, target.value,
+                              None, self._resume_token)
+        elif isinstance(target, Process):
+            if target._done:
+                if target._error is not None:
+                    self._sim._schedule_throw(self, target._error)
+                else:
+                    self._sim._schedule_resume(self, target._result)
+            else:
+                target._waiters.append(self)
+                self._waiting_on = target
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+            self._waiting_on = target
+        else:
+            self._finish(error=SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"))
+
+    def _detach_wait(self) -> None:
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if isinstance(waiting, Event):
+            waiting._remove_waiter(self)
+        elif isinstance(waiting, Process):
+            try:
+                waiting._waiters.remove(self)
+            except ValueError:
+                pass
+
+    def _finish(self, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        self._done = True
+        self._result = result
+        self._error = error
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if error is not None:
+                self._sim._schedule_throw(waiter, error)
+            else:
+                self._sim._schedule_resume(waiter, result)
+        if error is not None and not waiters:
+            self._sim._record_orphan_error(self, error)
+
+
+class Simulator:
+    """The event loop: a clock plus a time-ordered callback heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._orphan_errors: list[tuple[str, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def call_at(self, when: float, func: Callable[..., None],
+                *args: Any) -> None:
+        """Schedule ``func(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}")
+        heapq.heappush(
+            self._heap,
+            (when, next(self._sequence), lambda: func(*args)))
+
+    def call_in(self, delay: float, func: Callable[..., None],
+                *args: Any) -> None:
+        """Schedule ``func(*args)`` after ``delay`` seconds."""
+        self.call_at(self._now + delay, func, *args)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process immediately (first step at the current time)."""
+        process = Process(self, generator, name=name)
+        self.call_in(0.0, process._step, None)
+        return process
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event bound to this simulator."""
+        return Event(self, name=name)
+
+    def _schedule_resume(self, process: Process, value: Any) -> None:
+        self.call_in(0.0, process._step, value)
+
+    def _schedule_throw(self, process: Process, error: BaseException) -> None:
+        self.call_in(0.0, lambda: process._step(None, error))
+
+    def _record_orphan_error(self, process: Process,
+                             error: BaseException) -> None:
+        self._orphan_errors.append((process.name, error))
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap, optionally stopping the clock at ``until``.
+
+        Returns the final simulation time.  Unhandled exceptions raised by
+        processes that nobody was waiting on are re-raised here so model
+        bugs never pass silently.
+        """
+        while self._heap:
+            when, _seq, callback = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            callback()
+            if self._orphan_errors:
+                name, error = self._orphan_errors[0]
+                raise SimulationError(
+                    f"unhandled error in process {name!r}") from error
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_all(self, batch: Iterable[ProcessGenerator]) -> list[Any]:
+        """Convenience: start every generator as a process, run to quiescence,
+        and return their results in order."""
+        processes = [self.process(gen) for gen in batch]
+        self.run()
+        return [p.result for p in processes]

@@ -1,0 +1,95 @@
+"""FIFO slot resources for the process engine.
+
+:class:`SlotResource` models a pool of identical servers (pre-downloader
+VMs, benchmark rigs): a process acquires a slot -- waiting in FIFO order
+when all are busy -- does its work, and releases.  The familiar SimPy
+``Resource`` shape, built on this engine's events.
+
+Usage inside a process::
+
+    slot = yield resource.acquire(sim)
+    try:
+        yield Timeout(work)
+    finally:
+        resource.release(slot, sim)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+@dataclass
+class Slot:
+    """A held slot; opaque token proving ownership."""
+
+    resource: "SlotResource"
+    acquired_at: float
+    released: bool = False
+
+
+class SlotResource:
+    """``capacity`` identical slots with FIFO waiting."""
+
+    def __init__(self, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[tuple[Event, float]] = deque()
+        # -- statistics --
+        self.total_acquired = 0
+        self.total_wait_time = 0.0
+        self.peak_queue_length = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self, sim: Simulator) -> Event:
+        """An event that fires (with the :class:`Slot`) once a slot is
+        free; yield it from a process."""
+        event = sim.event(name=f"{self.name}-acquire")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_acquired += 1
+            event.trigger(Slot(self, acquired_at=sim.now))
+        else:
+            # Remember when the wait began to account queueing delay.
+            self._waiters.append((event, sim.now))
+            self.peak_queue_length = max(self.peak_queue_length,
+                                         len(self._waiters))
+        return event
+
+    def release(self, slot: Slot, sim: Simulator) -> None:
+        """Return a slot; the oldest waiter (if any) gets it."""
+        if slot.resource is not self:
+            raise SimulationError("slot belongs to a different resource")
+        if slot.released:
+            raise SimulationError("slot released twice")
+        slot.released = True
+        if self._waiters:
+            waiter, requested_at = self._waiters.popleft()
+            self.total_wait_time += sim.now - requested_at
+            self.total_acquired += 1
+            waiter.trigger(Slot(self, acquired_at=sim.now))
+        else:
+            self.in_use -= 1
+            if self.in_use < 0:
+                raise SimulationError(
+                    f"resource {self.name!r} over-released")
+
+    @property
+    def mean_wait_time(self) -> float:
+        if self.total_acquired == 0:
+            return 0.0
+        return self.total_wait_time / self.total_acquired

@@ -1,0 +1,209 @@
+"""Bandwidth resources shared by simulated transfers.
+
+Two allocation disciplines are provided, matching the two behaviours the
+paper describes:
+
+* :class:`ReservationPool` -- admission-controlled, reservation-based.
+  Xuanfeng "sets no limitation on the user's fetching speed" but, once the
+  uploading servers exhaust their upload bandwidth, it "temporarily rejects
+  new fetching requests rather than degrade the speeds of active
+  downloads" (paper section 2.1).  A reservation pool models exactly that:
+  each admitted flow holds a fixed-rate reservation until released, and a
+  request that does not fit is refused.
+
+* :class:`FairSharePool` -- max-min fair sharing for links where
+  concurrent flows genuinely compete (e.g. several devices fetching from
+  one smart AP over the LAN).
+
+Both pools record a step-function usage history so experiments can bin
+committed bandwidth over time (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class CapacityExceeded(Exception):
+    """Raised when a reservation cannot be admitted at current utilisation."""
+
+    def __init__(self, pool: "ReservationPool", requested: float):
+        super().__init__(
+            f"pool {pool.name!r}: requested {requested:.0f} B/s but only "
+            f"{pool.available:.0f} of {pool.capacity:.0f} B/s available")
+        self.pool = pool
+        self.requested = requested
+
+
+@dataclass
+class Reservation:
+    """A live claim on a :class:`ReservationPool`."""
+
+    pool: "ReservationPool"
+    rate: float
+    label: str = ""
+    released: bool = False
+
+    def release(self, now: float) -> None:
+        if not self.released:
+            self.released = True
+            self.pool._release(self, now)
+
+
+@dataclass
+class UsageSample:
+    """One step of the committed-bandwidth step function."""
+
+    time: float
+    committed: float
+
+
+class ReservationPool:
+    """Fixed-capacity pool handing out constant-rate reservations.
+
+    ``capacity`` may be ``None`` for an unmetered pool (useful in ablations
+    that remove admission control); reservations then always succeed but
+    usage is still recorded.
+    """
+
+    def __init__(self, capacity: Optional[float], name: str = "pool"):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.committed = 0.0
+        self.peak_committed = 0.0
+        self.rejections = 0
+        self.admissions = 0
+        self._history: list[UsageSample] = [UsageSample(0.0, 0.0)]
+
+    @property
+    def available(self) -> float:
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - self.committed
+
+    def can_admit(self, rate: float) -> bool:
+        return self.capacity is None or self.committed + rate <= self.capacity
+
+    def reserve(self, rate: float, now: float,
+                label: str = "") -> Reservation:
+        """Admit a flow at ``rate`` B/s or raise :class:`CapacityExceeded`."""
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        if not self.can_admit(rate):
+            self.rejections += 1
+            raise CapacityExceeded(self, rate)
+        self.committed += rate
+        self.admissions += 1
+        self.peak_committed = max(self.peak_committed, self.committed)
+        self._record(now)
+        return Reservation(self, rate, label=label)
+
+    def try_reserve(self, rate: float, now: float,
+                    label: str = "") -> Optional[Reservation]:
+        """Like :meth:`reserve` but returns ``None`` instead of raising."""
+        try:
+            return self.reserve(rate, now, label=label)
+        except CapacityExceeded:
+            return None
+
+    def _release(self, reservation: Reservation, now: float) -> None:
+        self.committed -= reservation.rate
+        if self.committed < -1e-6:
+            raise RuntimeError(f"pool {self.name!r} over-released")
+        self.committed = max(self.committed, 0.0)
+        self._record(now)
+
+    def _record(self, now: float) -> None:
+        last = self._history[-1]
+        if last.time == now:
+            last.committed = self.committed
+        else:
+            self._history.append(UsageSample(now, self.committed))
+
+    # -- usage history -----------------------------------------------------
+
+    def usage_history(self) -> list[UsageSample]:
+        """The committed-rate step function as recorded samples."""
+        return list(self._history)
+
+    def binned_usage(self, bin_width: float, horizon: float) -> list[float]:
+        """Time-average committed bandwidth per bin over ``[0, horizon)``.
+
+        Integrates the step function exactly, so short-lived flows inside a
+        bin contribute their true share.  Used for the 5-minute bins in
+        Figure 11.
+        """
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        n_bins = max(1, int(round(horizon / bin_width)))
+        totals = [0.0] * n_bins
+        samples = self._history
+        for index, sample in enumerate(samples):
+            start = sample.time
+            end = samples[index + 1].time if index + 1 < len(samples) \
+                else horizon
+            start, end = max(start, 0.0), min(end, horizon)
+            if end <= start or sample.committed == 0.0:
+                continue
+            first_bin = int(start / bin_width)
+            last_bin = min(int((end - 1e-12) / bin_width), n_bins - 1)
+            for b in range(first_bin, last_bin + 1):
+                lo = max(start, b * bin_width)
+                hi = min(end, (b + 1) * bin_width)
+                totals[b] += sample.committed * max(0.0, hi - lo)
+        return [total / bin_width for total in totals]
+
+
+@dataclass
+class _Flow:
+    demand: float
+    label: str = ""
+    share: float = 0.0
+
+
+class FairSharePool:
+    """Max-min fair bandwidth sharing among concurrent flows.
+
+    Each flow declares a demand cap (e.g. the device's own access
+    bandwidth); the pool computes the max-min fair allocation every time
+    the flow set changes.  Flows that demand less than the equal share get
+    their full demand; the remainder is redistributed (progressive
+    filling).
+    """
+
+    def __init__(self, capacity: float, name: str = "link"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._flows: list[_Flow] = []
+
+    def add_flow(self, demand: float, label: str = "") -> _Flow:
+        if demand < 0:
+            raise ValueError(f"demand must be non-negative, got {demand}")
+        flow = _Flow(demand=demand, label=label)
+        self._flows.append(flow)
+        self._reallocate()
+        return flow
+
+    def remove_flow(self, flow: _Flow) -> None:
+        self._flows.remove(flow)
+        self._reallocate()
+
+    def flows(self) -> Iterator[_Flow]:
+        return iter(self._flows)
+
+    def share_of(self, flow: _Flow) -> float:
+        return flow.share
+
+    def _reallocate(self) -> None:
+        pending = sorted(self._flows, key=lambda f: f.demand)
+        remaining = self.capacity
+        count = len(pending)
+        for index, flow in enumerate(pending):
+            equal_share = remaining / (count - index)
+            flow.share = min(flow.demand, equal_share)
+            remaining -= flow.share

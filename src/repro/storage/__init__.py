@@ -1,0 +1,40 @@
+"""Storage substrate: devices, filesystems, write paths, caches.
+
+Bottleneck 4 of the paper lives here: "some types of storage devices
+(e.g., USB flash drive) and filesystems (e.g., NTFS) do not fit the
+pattern of frequent, small data writes during the pre-downloading
+process."  The write-path model reproduces the paper's Table 2 matrix of
+max pre-downloading speeds and iowait ratios from first principles (a
+CPU stage and an IO stage in series).
+
+The cloud side's collaborative caching also lives here: an LRU cache and
+an MD5 content-addressed dedup store.
+"""
+
+from repro.storage.device import (
+    DeviceKind,
+    StorageDevice,
+    SD_CARD_8GB,
+    USB_FLASH_8GB,
+    USB_HDD_5400,
+    SATA_HDD_1TB,
+)
+from repro.storage.filesystem import Filesystem
+from repro.storage.writepath import WritePath, WritePathProfile
+from repro.storage.lru import LRUCache
+from repro.storage.dedup import ContentStore, content_id
+
+__all__ = [
+    "DeviceKind",
+    "StorageDevice",
+    "SD_CARD_8GB",
+    "USB_FLASH_8GB",
+    "USB_HDD_5400",
+    "SATA_HDD_1TB",
+    "Filesystem",
+    "WritePath",
+    "WritePathProfile",
+    "LRUCache",
+    "ContentStore",
+    "content_id",
+]

@@ -1,0 +1,112 @@
+"""Content-addressed storage with file-level deduplication.
+
+"Every file is identified using the MD5 hash code of its content, which
+facilitates file-level deduplication across different users" (section
+2.1).  Xuanfeng deliberately skips chunk-level dedup: the measured
+cross-file chunk overlap saves <1% of space and is not worth the
+chunking cost; :meth:`ContentStore.estimate_chunk_dedup_savings`
+quantifies that trade-off for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def content_id(payload: bytes | str) -> str:
+    """MD5 hex digest of the content, the file's identity in the system."""
+    if isinstance(payload, str):
+        payload = payload.encode()
+    return hashlib.md5(payload).hexdigest()
+
+
+@dataclass
+class StoredObject:
+    """One deduplicated object and its reference count."""
+
+    object_id: str
+    size: float
+    references: int = 1
+
+
+class ContentStore:
+    """File-level dedup bookkeeping over content IDs.
+
+    The store tracks logical bytes (what users asked to store) versus
+    physical bytes (what dedup actually keeps), the numbers behind the
+    "vast majority of requests satisfied with cached files at no
+    pre-downloading cost" claim.
+    """
+
+    def __init__(self):
+        self._objects: dict[str, StoredObject] = {}
+        self.logical_bytes = 0.0
+        self.physical_bytes = 0.0
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def add(self, object_id: str, size: float) -> bool:
+        """Record one logical copy; returns True if it deduplicated."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.logical_bytes += size
+        existing = self._objects.get(object_id)
+        if existing is not None:
+            if abs(existing.size - size) > 1e-6:
+                raise ValueError(
+                    f"object {object_id} re-added with size {size}, "
+                    f"stored size is {existing.size}")
+            existing.references += 1
+            return True
+        self._objects[object_id] = StoredObject(object_id, size)
+        self.physical_bytes += size
+        return False
+
+    def release(self, object_id: str) -> None:
+        """Drop one logical reference, freeing the object at zero refs."""
+        obj = self._objects.get(object_id)
+        if obj is None:
+            raise KeyError(object_id)
+        self.logical_bytes -= obj.size
+        obj.references -= 1
+        if obj.references == 0:
+            self.physical_bytes -= obj.size
+            del self._objects[object_id]
+
+    def drop(self, object_id: str) -> None:
+        """Remove the object entirely (all references), e.g. LRU eviction."""
+        obj = self._objects.pop(object_id, None)
+        if obj is None:
+            raise KeyError(object_id)
+        self.logical_bytes -= obj.size * obj.references
+        self.physical_bytes -= obj.size
+
+    def references(self, object_id: str) -> int:
+        obj = self._objects.get(object_id)
+        return obj.references if obj is not None else 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical-to-physical ratio; 1.0 means no duplication existed."""
+        if self.physical_bytes <= 0:
+            return 1.0
+        return self.logical_bytes / self.physical_bytes
+
+    def estimate_chunk_dedup_savings(
+            self, cross_file_overlap: float = 0.008) -> float:
+        """Extra bytes chunk-level dedup would reclaim beyond file-level.
+
+        The paper reports the overlap ("a few videos sharing a portion of
+        frames/chunks") is below 1% of stored bytes; the default mirrors
+        that and the method exists so the ablation bench can show why
+        Xuanfeng skipped chunk-level dedup.
+        """
+        if not 0.0 <= cross_file_overlap < 1.0:
+            raise ValueError("cross_file_overlap must be in [0, 1)")
+        return self.physical_bytes * cross_file_overlap

@@ -1,0 +1,115 @@
+"""Storage devices attachable to smart APs.
+
+Each device carries the vendor-sheet sequential write/read speeds the
+paper quotes (section 5.1) plus a *small-write IO rate* per filesystem:
+the throughput the device sustains under the pre-download write pattern
+(frequent small appends from wget/aria2), which is far below the
+sequential number for flash media.  The small-write rates are derived by
+inverting Table 2 (see :mod:`repro.storage.writepath`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.storage.filesystem import Filesystem
+
+MB = 1e6
+
+
+class DeviceKind(enum.Enum):
+    """Class of storage medium."""
+
+    SD_CARD = "sd_card"
+    USB_FLASH = "usb_flash"
+    USB_HDD = "usb_hdd"
+    SATA_HDD = "sata_hdd"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_flash(self) -> bool:
+        return self in (DeviceKind.SD_CARD, DeviceKind.USB_FLASH)
+
+
+#: Small-write IO service rate in MB/s per (device kind, filesystem).
+#: Cells present in the paper's Table 2 are exact inversions; the rest
+#: are interpolated from the same medium's behaviour.  Note NTFS shows
+#: *higher* IO rates on flash than FAT/EXT4 because ntfs-3g batches
+#: writes into larger blocks (its bottleneck is CPU, not IO).
+SMALL_WRITE_RATE_MBPS: dict[tuple[DeviceKind, Filesystem], float] = {
+    (DeviceKind.SD_CARD, Filesystem.FAT): 5.63,
+    (DeviceKind.SD_CARD, Filesystem.EXT4): 6.20,
+    (DeviceKind.SD_CARD, Filesystem.NTFS): 5.90,
+    (DeviceKind.USB_FLASH, Filesystem.FAT): 3.20,
+    (DeviceKind.USB_FLASH, Filesystem.EXT4): 3.87,
+    (DeviceKind.USB_FLASH, Filesystem.NTFS): 6.16,
+    (DeviceKind.USB_HDD, Filesystem.FAT): 5.64,
+    (DeviceKind.USB_HDD, Filesystem.EXT4): 13.60,
+    (DeviceKind.USB_HDD, Filesystem.NTFS): 11.50,
+    (DeviceKind.SATA_HDD, Filesystem.FAT): 7.20,
+    (DeviceKind.SATA_HDD, Filesystem.EXT4): 7.98,
+    (DeviceKind.SATA_HDD, Filesystem.NTFS): 13.00,
+}
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """A concrete storage device with its performance envelope."""
+
+    name: str
+    kind: DeviceKind
+    capacity: float              # bytes
+    max_write_rate: float        # B/s, sequential (vendor sheet)
+    max_read_rate: float         # B/s, sequential
+    allowed_filesystems: tuple[Filesystem, ...] = (
+        Filesystem.FAT, Filesystem.NTFS, Filesystem.EXT4)
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.max_write_rate <= 0 or self.max_read_rate <= 0:
+            raise ValueError("device rates must be positive")
+        if not self.allowed_filesystems:
+            raise ValueError("device must support at least one filesystem")
+
+    def supports(self, filesystem: Filesystem) -> bool:
+        return filesystem in self.allowed_filesystems
+
+    def small_write_rate(self, filesystem: Filesystem) -> float:
+        """Small-append IO service rate in B/s under ``filesystem``."""
+        if not self.supports(filesystem):
+            raise ValueError(
+                f"{self.name} cannot be formatted as {filesystem}")
+        # Not clamped to the vendor sequential ceiling: filesystems that
+        # batch small appends (ntfs-3g, EXT4 with delayed allocation) ride
+        # the drive's write-back cache and beat the sheet number, which is
+        # what the paper's iowait measurements show for the USB HDD.
+        return SMALL_WRITE_RATE_MBPS[(self.kind, filesystem)] * MB
+
+
+# The exact devices of the paper's testbed (section 5.1):
+
+#: HiWiFi's embedded 8-GB SD card; the AP only works with FAT on it.
+SD_CARD_8GB = StorageDevice(
+    "8GB SD card", DeviceKind.SD_CARD, capacity=8e9,
+    max_write_rate=15 * MB, max_read_rate=30 * MB,
+    allowed_filesystems=(Filesystem.FAT,))
+
+#: Newifi's external 8-GB USB flash drive (USB 2.0).
+USB_FLASH_8GB = StorageDevice(
+    "8GB USB flash drive", DeviceKind.USB_FLASH, capacity=8e9,
+    max_write_rate=10 * MB, max_read_rate=20 * MB)
+
+#: The USB hard disk used in the Table 2 follow-up experiment.
+USB_HDD_5400 = StorageDevice(
+    "USB hard disk drive (5400 RPM)", DeviceKind.USB_HDD, capacity=500e9,
+    max_write_rate=10 * MB, max_read_rate=25 * MB)
+
+#: MiWiFi's internal 1-TB SATA disk, factory-formatted EXT4 (immutable).
+SATA_HDD_1TB = StorageDevice(
+    "1TB SATA hard disk drive (5400 RPM)", DeviceKind.SATA_HDD,
+    capacity=1e12, max_write_rate=30 * MB, max_read_rate=70 * MB,
+    allowed_filesystems=(Filesystem.EXT4,))

@@ -1,0 +1,44 @@
+"""Filesystems seen on smart-AP storage devices.
+
+OpenWrt (the OS of all three benchmarked APs) is native EXT4; FAT is
+cheap and universal; NTFS is served through a FUSE driver whose per-byte
+CPU cost dominates on the APs' weak MIPS/ARM cores -- which is why the
+paper measures Newifi+NTFS topping out at 0.93-1.13 MBps regardless of
+the storage medium (Table 2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Filesystem(enum.Enum):
+    """A filesystem a smart-AP storage device may be formatted with."""
+
+    FAT = "fat"
+    NTFS = "ntfs"
+    EXT4 = "ext4"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_native_to_openwrt(self) -> bool:
+        """EXT4 is in-kernel on OpenWrt; FAT is in-kernel but legacy;
+        NTFS runs in userspace (ntfs-3g via FUSE)."""
+        return self is not Filesystem.NTFS
+
+
+#: Per-filesystem CPU service rate for the pre-download write pattern, in
+#: MB/s on a 580 MHz reference core (the MT7620A of HiWiFi and Newifi).
+#: Derived by inverting the paper's Table 2 (see repro.storage.writepath):
+#: throughput = 1 / (1/C + 1/W) when processing-limited, iowait = T/W.
+CPU_RATE_AT_580MHZ = {
+    Filesystem.FAT: 6.30,
+    Filesystem.EXT4: 4.73,
+    Filesystem.NTFS: 1.25,
+}
+
+#: NTFS-via-FUSE pays extra CPU on flash media (sync retries on erase
+#: blocks); Table 2 shows 0.93 MBps on flash vs 1.13 MBps on HDD.
+NTFS_FLASH_CPU_PENALTY = 0.875

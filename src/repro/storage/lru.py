@@ -1,0 +1,107 @@
+"""A byte-budgeted LRU cache.
+
+The Xuanfeng storage pool replaces cached files "in an LRU (least
+recently used) manner" (section 2.1).  This implementation is generic:
+keys map to sized entries, touching a key refreshes recency, and inserts
+evict from the cold end until the new entry fits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Running counters for hit-ratio accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCache(Generic[K, V]):
+    """LRU cache bounded by total stored bytes (not entry count)."""
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.used_bytes = 0.0
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[K, tuple[V, float]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        """Presence check *without* touching recency or hit counters."""
+        return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """Look up ``key``, refreshing its recency and counting hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Look up without recency or counter side effects."""
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def put(self, key: K, value: V, size: float) -> list[K]:
+        """Insert (or replace) an entry; returns the keys evicted to fit.
+
+        An entry larger than the whole cache is refused with ValueError --
+        silently dropping it would corrupt hit-ratio accounting.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size > self.capacity_bytes:
+            raise ValueError(
+                f"entry of {size:.0f} B exceeds cache capacity "
+                f"{self.capacity_bytes:.0f} B")
+        if key in self._entries:
+            self.used_bytes -= self._entries[key][1]
+            del self._entries[key]
+        evicted: list[K] = []
+        while self.used_bytes + size > self.capacity_bytes:
+            cold_key, (_value, cold_size) = \
+                self._entries.popitem(last=False)
+            self.used_bytes -= cold_size
+            self.stats.evictions += 1
+            evicted.append(cold_key)
+        self._entries[key] = (value, size)
+        self.used_bytes += size
+        self.stats.insertions += 1
+        return evicted
+
+    def remove(self, key: K) -> bool:
+        """Drop ``key`` if present; returns whether anything was removed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry[1]
+        return True
+
+    def keys_cold_to_hot(self) -> Iterator[K]:
+        """Iterate keys from least- to most-recently used."""
+        return iter(self._entries.keys())

@@ -1,0 +1,53 @@
+"""File-transfer substrate: protocols, data sources, download sessions.
+
+The paper's four bottlenecks all originate here or interact with this
+layer: P2P swarms with too few seeds stall pre-downloads (Bottleneck 3),
+tit-for-tat overhead doubles P2P traffic, HTTP/FTP servers drop
+non-resumable connections, and the download-session stagnation rule turns
+stalls into the failures the traces record.
+"""
+
+from repro.transfer.protocols import (
+    Protocol,
+    ProtocolModel,
+    default_protocol_model,
+)
+from repro.transfer.swarm import Swarm, SwarmModel
+from repro.transfer.source import (
+    ContentSource,
+    HttpFtpSource,
+    P2PSwarmSource,
+    SourceModel,
+    AttemptDraw,
+)
+from repro.transfer.session import (
+    DownloadOutcome,
+    DownloadSession,
+    SessionLimits,
+    STAGNATION_TIMEOUT,
+)
+from repro.transfer.ledbat import (
+    BottleneckLink,
+    LedbatController,
+    simulate_scavenging,
+)
+
+__all__ = [
+    "Protocol",
+    "ProtocolModel",
+    "default_protocol_model",
+    "Swarm",
+    "SwarmModel",
+    "ContentSource",
+    "P2PSwarmSource",
+    "HttpFtpSource",
+    "SourceModel",
+    "AttemptDraw",
+    "DownloadSession",
+    "DownloadOutcome",
+    "SessionLimits",
+    "STAGNATION_TIMEOUT",
+    "LedbatController",
+    "BottleneckLink",
+    "simulate_scavenging",
+]

@@ -1,0 +1,215 @@
+"""LEDBAT: Low Extra Delay Background Transport (IETF RFC 6817).
+
+The paper's section 6.1 suggests ODR "can learn from LEDBAT to further
+mitigate the cloud-side upload bandwidth burden": background transfers
+(swarm seeding, cloud-to-AP staging) should scavenge spare capacity and
+yield the moment foreground traffic needs the link.
+
+This module implements the RFC's congestion controller faithfully --
+one-way-delay samples against a tracked base delay, a 100 ms queueing
+target, proportional gain, multiplicative decrease on loss -- plus a
+small fluid bottleneck-link model (:class:`BottleneckLink`) to drive it,
+so the scavenging behaviour is demonstrable end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: RFC 6817 constants.
+TARGET_DELAY = 0.100          # seconds of queueing delay LEDBAT aims for
+GAIN = 1.0                    # cwnd gain per RTT at full off-target
+ALLOWED_INCREASE = 1          # max cwnd growth per RTT, in MSS
+MIN_CWND = 2                  # MSS
+BASE_HISTORY_MINUTES = 10     # base-delay history window
+MSS = 1460.0                  # bytes
+
+
+@dataclass
+class LedbatController:
+    """The RFC 6817 sender-side congestion controller.
+
+    Drive it with :meth:`on_delay_sample` for every acknowledged packet
+    (carrying the measured one-way delay) and :meth:`on_loss` for loss
+    events; read :attr:`cwnd_bytes` / :meth:`sending_rate` between
+    events.
+    """
+
+    mss: float = MSS
+    target: float = TARGET_DELAY
+    gain: float = GAIN
+    #: Congestion window in MSS units.
+    cwnd: float = float(MIN_CWND)
+    #: Current smoothed round-trip estimate, for rate conversion.
+    rtt_estimate: float = 0.2
+
+    _base_history: deque = field(default_factory=deque)
+    _current_minute: int = -1
+    _current_minute_min: float = float("inf")
+
+    # -- base-delay tracking (RFC 6817 section 3.4.2) -----------------------
+
+    def _update_base_delay(self, delay: float, now: float) -> None:
+        minute = int(now // 60.0)
+        if minute != self._current_minute:
+            if self._current_minute >= 0 and \
+                    self._current_minute_min < float("inf"):
+                self._base_history.append(self._current_minute_min)
+                while len(self._base_history) > BASE_HISTORY_MINUTES:
+                    self._base_history.popleft()
+            self._current_minute = minute
+            self._current_minute_min = delay
+        else:
+            self._current_minute_min = min(self._current_minute_min,
+                                           delay)
+
+    @property
+    def base_delay(self) -> float:
+        """The minimum observed one-way delay over the history window."""
+        candidates = list(self._base_history)
+        if self._current_minute_min < float("inf"):
+            candidates.append(self._current_minute_min)
+        return min(candidates) if candidates else 0.0
+
+    # -- controller events ----------------------------------------------------
+
+    def queuing_delay(self, delay: float) -> float:
+        """Estimated standing queue given a fresh delay sample."""
+        return max(0.0, delay - self.base_delay)
+
+    def on_delay_sample(self, delay: float, now: float,
+                        bytes_acked: float | None = None) -> None:
+        """Process one acknowledged packet's one-way-delay sample.
+
+        Implements the RFC's window update:
+        ``cwnd += GAIN * off_target * bytes_acked * MSS / cwnd_bytes``
+        with ``off_target = (TARGET - queuing_delay) / TARGET`` clamped
+        to [-1, 1], and growth capped at ALLOWED_INCREASE per RTT.
+        """
+        if delay < 0:
+            raise ValueError("delay samples must be non-negative")
+        self._update_base_delay(delay, now)
+        off_target = (self.target - self.queuing_delay(delay)) / \
+            self.target
+        off_target = max(-1.0, min(1.0, off_target))
+        acked = bytes_acked if bytes_acked is not None else self.mss
+        delta = self.gain * off_target * acked / self.cwnd_bytes
+        max_growth = ALLOWED_INCREASE * acked / self.cwnd_bytes
+        self.cwnd += min(delta, max_growth)
+        self.cwnd = max(float(MIN_CWND), self.cwnd)
+
+    def on_loss(self) -> None:
+        """Halve the window on loss, as a TCP-friendly backstop."""
+        self.cwnd = max(float(MIN_CWND), self.cwnd / 2.0)
+
+    # -- rate view --------------------------------------------------------------
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self.cwnd * self.mss
+
+    def sending_rate(self) -> float:
+        """Achievable rate in B/s at the current window and RTT."""
+        return self.cwnd_bytes / max(self.rtt_estimate, 1e-3)
+
+
+@dataclass
+class BottleneckLink:
+    """A fluid FIFO bottleneck shared by foreground and LEDBAT traffic.
+
+    Foreground load is given as a rate; the LEDBAT flow contributes its
+    controller-driven rate.  Queueing delay follows the fluid
+    approximation: the queue drains at ``capacity`` and grows at the
+    total offered load.
+    """
+
+    capacity: float                 # B/s
+    propagation_delay: float = 0.05   # one-way, seconds
+    queue_bytes: float = 0.0
+    max_queue_bytes: float = 3e6
+
+    def one_way_delay(self) -> float:
+        return self.propagation_delay + self.queue_bytes / self.capacity
+
+    def advance(self, foreground_rate: float, ledbat_rate: float,
+                dt: float) -> bool:
+        """Advance the fluid model by ``dt``; returns True on overflow
+        (which the LEDBAT flow should treat as loss)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        offered = foreground_rate + ledbat_rate
+        self.queue_bytes += (offered - self.capacity) * dt
+        self.queue_bytes = max(0.0, self.queue_bytes)
+        if self.queue_bytes > self.max_queue_bytes:
+            self.queue_bytes = self.max_queue_bytes
+            return True
+        return False
+
+
+@dataclass
+class ScavengeResult:
+    """Outcome of a LEDBAT scavenging simulation."""
+
+    ledbat_bytes: float
+    foreground_bytes: float
+    mean_queueing_delay: float
+    peak_queueing_delay: float
+    ledbat_rate_series: list[float]
+    foreground_share_when_busy: float
+
+
+def simulate_scavenging(link: BottleneckLink,
+                        foreground_profile: list[float],
+                        step: float = 0.1,
+                        controller: Optional[LedbatController] = None
+                        ) -> ScavengeResult:
+    """Run a LEDBAT flow against a time-varying foreground load.
+
+    ``foreground_profile`` gives the foreground rate (B/s) per simulation
+    step.  Returns aggregate behaviour: how much the background flow
+    moved, and how little queueing delay it added -- the two properties
+    that make LEDBAT suitable for cloud seeding traffic.
+    """
+    controller = controller or LedbatController(
+        rtt_estimate=2 * link.propagation_delay)
+    ledbat_bytes = 0.0
+    foreground_bytes = 0.0
+    delays: list[float] = []
+    rates: list[float] = []
+    busy_foreground = 0.0
+    busy_total = 0.0
+    now = 0.0
+    for foreground_rate in foreground_profile:
+        # The flow offers its full window-derived rate; probing past the
+        # capacity is exactly how LEDBAT finds its delay target.
+        rate = controller.sending_rate()
+        lost = link.advance(foreground_rate, rate, step)
+        delay = link.one_way_delay()
+        if lost:
+            controller.on_loss()
+        else:
+            # One aggregated sample per step carrying the step's acked
+            # bytes, so window growth scales as the RFC's per-ack rule
+            # would over the same interval.
+            controller.on_delay_sample(delay, now,
+                                       bytes_acked=rate * step)
+        controller.rtt_estimate = 2 * delay
+        ledbat_bytes += rate * step
+        foreground_bytes += foreground_rate * step
+        delays.append(delay - link.propagation_delay)
+        rates.append(rate)
+        if foreground_rate > 0.5 * link.capacity:
+            busy_total += 1.0
+            busy_foreground += min(1.0, foreground_rate /
+                                   (foreground_rate + rate))
+        now += step
+    return ScavengeResult(
+        ledbat_bytes=ledbat_bytes,
+        foreground_bytes=foreground_bytes,
+        mean_queueing_delay=sum(delays) / len(delays) if delays else 0.0,
+        peak_queueing_delay=max(delays) if delays else 0.0,
+        ledbat_rate_series=rates,
+        foreground_share_when_busy=(busy_foreground / busy_total
+                                    if busy_total else 1.0))

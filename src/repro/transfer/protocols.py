@@ -1,0 +1,95 @@
+"""File-transfer protocols and their traffic-overhead models.
+
+Protocol mix in the Xuanfeng workload (paper section 3): BitTorrent 68%,
+eMule 19%, HTTP/FTP 13%.  Traffic overhead (section 4.1):
+
+* HTTP/FTP downloads cost 7-10% more traffic than the file size (packet
+  and protocol headers);
+* P2P downloads cost 50-150% more because of the tit-for-tat policy (a
+  downloading peer must simultaneously upload), with the Xuanfeng-wide
+  aggregate landing at 196% of total file size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Protocol(enum.Enum):
+    """A file-transfer protocol appearing in the workload trace."""
+
+    HTTP = "http"
+    FTP = "ftp"
+    BITTORRENT = "bittorrent"
+    EMULE = "emule"
+
+    @property
+    def is_p2p(self) -> bool:
+        """True for swarm-based protocols (BitTorrent, eMule)."""
+        return self in (Protocol.BITTORRENT, Protocol.EMULE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OverheadRange:
+    """Uniform multiplicative traffic overhead: traffic = size * factor."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not 1.0 <= self.low <= self.high:
+            raise ValueError(f"invalid overhead range [{self.low}, "
+                             f"{self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class ProtocolModel:
+    """Traffic-cost model per protocol.
+
+    The P2P range [1.5, 2.5] averages 2.0, reproducing the paper's
+    measured 196% aggregate pre-downloading traffic; the client-server
+    range [1.07, 1.10] reproduces the 7-10% header overhead.
+    """
+
+    def __init__(self,
+                 client_server: OverheadRange = OverheadRange(1.07, 1.10),
+                 p2p: OverheadRange = OverheadRange(1.50, 2.50)):
+        self.client_server = client_server
+        self.p2p = p2p
+
+    def overhead_range(self, protocol: Protocol) -> OverheadRange:
+        return self.p2p if protocol.is_p2p else self.client_server
+
+    def sample_traffic(self, protocol: Protocol, size: float,
+                       rng: np.random.Generator,
+                       completed_fraction: float = 1.0) -> float:
+        """Traffic consumed downloading ``completed_fraction`` of ``size``.
+
+        Partial (failed) downloads pay overhead on the bytes actually
+        moved, not on the whole file.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if not 0.0 <= completed_fraction <= 1.0:
+            raise ValueError("completed_fraction must be in [0, 1]")
+        factor = self.overhead_range(protocol).sample(rng)
+        return size * completed_fraction * factor
+
+
+_DEFAULT_MODEL: ProtocolModel | None = None
+
+
+def default_protocol_model() -> ProtocolModel:
+    """Shared default protocol model."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = ProtocolModel()
+    return _DEFAULT_MODEL

@@ -1,0 +1,171 @@
+"""Dynamic swarm population model (fluid, Qiu-Srikant style).
+
+The static :class:`repro.transfer.swarm.SwarmModel` abstracts a swarm as
+an instantaneous Poisson seed population.  This module provides the
+underlying *dynamic* model that justifies it: leechers arrive at the
+file's demand rate, download at the swarm's service capacity, convert to
+seeds on completion, and seeds linger for a mean residence time before
+departing.  In steady state Little's law gives
+
+    seeds  =  arrival_rate * seed_residence_time,
+
+which is exactly the static model's ``seeds_per_weekly_request``
+coupling: with a ~1.4-day mean residence, a file requested ``k`` times a
+week sustains ``0.2 * k`` seeds... the shipped default of 0.8 seeds per
+weekly request corresponds to users seeding ~5.6 days (about what a
+default-configured client left running achieves).
+
+The module also reproduces the two transient regimes the paper's
+findings rest on:
+
+* **flash crowd** -- a burst of arrivals (e.g. ODR redirecting users
+  into a swarm) temporarily starves per-leecher capacity, then the
+  completing leechers become seeds and aggregate capacity *multiplies*
+  (the bandwidth-multiplier effect);
+* **death spiral** -- when arrivals stop, seeds drain exponentially and
+  the swarm goes dark: why unpopular files' swarms are usually dead by
+  the time an AP tries them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.clock import DAY, WEEK, kbps
+
+
+@dataclass(frozen=True)
+class SwarmDynamicsConfig:
+    """Fluid-model parameters."""
+
+    seed_upload_rate: float = kbps(50.0)     # per seed, B/s
+    leecher_upload_rate: float = kbps(30.0)  # tit-for-tat contribution
+    leecher_download_cap: float = kbps(400.0)
+    file_size: float = 390e6                 # the trace's mean file
+    seed_residence_time: float = 5.6 * DAY   # mean post-completion seeding
+    #: Fraction of arrivals that abort before completing.
+    abandonment: float = 0.1
+
+    def __post_init__(self):
+        if min(self.seed_upload_rate, self.leecher_upload_rate,
+               self.leecher_download_cap, self.file_size,
+               self.seed_residence_time) <= 0:
+            raise ValueError("all rates/sizes must be positive")
+        if not 0.0 <= self.abandonment < 1.0:
+            raise ValueError("abandonment must be in [0, 1)")
+
+
+@dataclass
+class SwarmState:
+    """Fluid populations at one instant."""
+
+    time: float
+    leechers: float
+    seeds: float
+
+    @property
+    def total_peers(self) -> float:
+        return self.leechers + self.seeds
+
+
+class SwarmDynamics:
+    """Forward-integrates the fluid swarm ODEs.
+
+    d(leechers)/dt = arrival_rate - completion_rate - abandonment_rate
+    d(seeds)/dt    = completion_rate - seeds / residence_time
+
+    with ``completion_rate = aggregate_bandwidth / file_size`` and
+    aggregate bandwidth the min of what seeds+leechers can upload and
+    what leechers can absorb.
+    """
+
+    def __init__(self, config: SwarmDynamicsConfig = SwarmDynamicsConfig(),
+                 leechers: float = 0.0, seeds: float = 0.0):
+        if leechers < 0 or seeds < 0:
+            raise ValueError("populations must be non-negative")
+        self.config = config
+        self.state = SwarmState(time=0.0, leechers=leechers, seeds=seeds)
+        self.history: list[SwarmState] = [self.state]
+
+    # -- instantaneous quantities ------------------------------------------------
+
+    def aggregate_bandwidth(self) -> float:
+        """Total download bandwidth the swarm sustains right now."""
+        config = self.config
+        state = self.state
+        supply = state.seeds * config.seed_upload_rate + \
+            state.leechers * config.leecher_upload_rate
+        demand = state.leechers * config.leecher_download_cap
+        return min(supply, demand)
+
+    def per_leecher_rate(self) -> float:
+        if self.state.leechers <= 1e-9:
+            return 0.0
+        return self.aggregate_bandwidth() / self.state.leechers
+
+    def bandwidth_multiplier(self, seeded_rate: float) -> float:
+        """D/S of Li et al.: aggregate distribution bandwidth per unit
+        of externally injected seeding bandwidth."""
+        if seeded_rate <= 0:
+            raise ValueError("seeded_rate must be positive")
+        return (self.aggregate_bandwidth() + seeded_rate) / seeded_rate
+
+    # -- integration ----------------------------------------------------------------
+
+    def step(self, arrival_rate: float, dt: float) -> SwarmState:
+        """Advance the fluid model by ``dt`` seconds."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        config = self.config
+        state = self.state
+        # Flows as *amounts* over the step, clamped so no more peers
+        # complete or abandon than actually exist -- otherwise coarse
+        # steps would mint seeds out of thin air.
+        arrivals = arrival_rate * dt
+        available = state.leechers + arrivals
+        completions = min(
+            self.aggregate_bandwidth() / config.file_size * dt,
+            available)
+        min_download_time = config.file_size / \
+            config.leecher_download_cap
+        abandons = min(
+            state.leechers * config.abandonment * dt /
+            max(min_download_time, dt),
+            available - completions)
+        # Exponential seed departure is exact for any dt.
+        departures = state.seeds * \
+            (1.0 - float(np.exp(-dt / config.seed_residence_time)))
+        leechers = available - completions - abandons
+        seeds = state.seeds + completions - departures
+        self.state = SwarmState(time=state.time + dt,
+                                leechers=max(0.0, leechers),
+                                seeds=max(0.0, seeds))
+        self.history.append(self.state)
+        return self.state
+
+    def run(self, arrival_rate: float, duration: float,
+            dt: float = 600.0) -> SwarmState:
+        """Integrate at constant arrivals for ``duration`` seconds."""
+        steps = max(1, int(duration / dt))
+        for _ in range(steps):
+            self.step(arrival_rate, dt)
+        return self.state
+
+    # -- steady state ------------------------------------------------------------------
+
+    def steady_state_seeds(self, weekly_demand: float) -> float:
+        """Little's-law prediction: seeds = rate * residence."""
+        arrival_rate = weekly_demand * (1.0 - self.config.abandonment) \
+            / WEEK
+        return arrival_rate * self.config.seed_residence_time
+
+    @staticmethod
+    def equivalent_seeds_per_weekly_request(
+            config: SwarmDynamicsConfig) -> float:
+        """The static model's coupling constant implied by this config."""
+        return (1.0 - config.abandonment) * \
+            config.seed_residence_time / WEEK

@@ -1,0 +1,67 @@
+"""Synthetic Xuanfeng workload: the substitute for the proprietary trace.
+
+The real dataset (one week of complete Xuanfeng logs: 4,084,417 tasks,
+783,944 users, 563,517 unique files) is proprietary.  This package
+synthesises a statistically equivalent workload at a configurable scale:
+every published marginal of section 3 -- file-size CDF, type mix,
+protocol mix, SE/Zipf popularity, popularity-class shares -- is a
+calibration target, and the joint structure the paper's analyses rely on
+(popularity drives swarm health drives failures) is built in.
+"""
+
+from repro.workload.filetypes import FileType, FileTypeModel
+from repro.workload.sizes import FileSizeModel
+from repro.workload.popularity import PopularityClass, PopularityModel
+from repro.workload.records import (
+    CatalogFile,
+    FetchRecord,
+    PreDownloadRecord,
+    RequestRecord,
+    User,
+)
+from repro.workload.catalog import FileCatalog
+from repro.workload.users import UserPopulation
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.generator import Workload, WorkloadConfig, \
+    WorkloadGenerator
+from repro.workload.sampler import sample_benchmark_requests
+from repro.workload.multiweek import (
+    EvolutionConfig,
+    MultiWeekGenerator,
+    WeekStats,
+    run_weeks,
+)
+from repro.workload.traceio import (
+    read_jsonl,
+    write_jsonl,
+    load_workload,
+    save_workload,
+)
+
+__all__ = [
+    "FileType",
+    "FileTypeModel",
+    "FileSizeModel",
+    "PopularityClass",
+    "PopularityModel",
+    "CatalogFile",
+    "User",
+    "RequestRecord",
+    "PreDownloadRecord",
+    "FetchRecord",
+    "FileCatalog",
+    "UserPopulation",
+    "ArrivalProcess",
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "sample_benchmark_requests",
+    "MultiWeekGenerator",
+    "EvolutionConfig",
+    "WeekStats",
+    "run_weeks",
+    "read_jsonl",
+    "write_jsonl",
+    "load_workload",
+    "save_workload",
+]

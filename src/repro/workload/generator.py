@@ -1,0 +1,164 @@
+"""End-to-end synthesis of one measurement week.
+
+:class:`WorkloadGenerator` wires the catalog, user population, and
+arrival process into a :class:`Workload`: the full request trace of a
+synthetic week at a configurable scale.  ``scale=1.0`` corresponds to the
+paper's real dimensions (563,517 files / ~4.08 M tasks / ~784 k users);
+the default experiment scale is far smaller and everything downstream is
+scale-free or explicitly rescaled.
+
+The fetch-at-most-once effect (Gummadi et al., SOSP'03) is enforced
+structurally: the requests of one file go to distinct users, which is
+what flattens the popularity head and makes the SE model the better fit
+(paper Figures 6-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.clock import WEEK
+from repro.sim.randomness import RngFactory
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.catalog import FileCatalog
+from repro.workload.popularity import PopularityClass
+from repro.workload.records import CatalogFile, RequestRecord, User
+from repro.workload.users import UserPopulation
+
+#: Real-week dimensions (paper section 3).
+REAL_FILE_COUNT = 563_517
+REAL_TASK_COUNT = 4_084_417
+REAL_USER_COUNT = 783_944
+TASKS_PER_USER = REAL_TASK_COUNT / REAL_USER_COUNT   # ~5.21
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of a synthetic week."""
+
+    scale: float = 0.01
+    seed: int = 20150222        # first day of the measurement week
+    horizon: float = WEEK
+
+    @property
+    def file_count(self) -> int:
+        return max(1, int(round(REAL_FILE_COUNT * self.scale)))
+
+    @property
+    def user_count(self) -> int:
+        return max(1, int(round(REAL_USER_COUNT * self.scale)))
+
+
+@dataclass
+class Workload:
+    """A complete synthetic week: catalog, users, and the request trace."""
+
+    config: WorkloadConfig
+    catalog: FileCatalog
+    users: list[User]
+    requests: list[RequestRecord]
+
+    @property
+    def horizon(self) -> float:
+        return self.config.horizon
+
+    def user_by_id(self) -> dict[str, User]:
+        return {user.user_id: user for user in self.users}
+
+    def file_of(self, request: RequestRecord) -> CatalogFile:
+        return self.catalog[request.file_id]
+
+    def request_class_shares(self) -> dict[PopularityClass, float]:
+        """Observed request share per popularity class."""
+        counts: dict[PopularityClass, int] = {}
+        for request in self.requests:
+            klass = self.catalog[request.file_id].popularity_class
+            counts[klass] = counts.get(klass, 0) + 1
+        total = max(len(self.requests), 1)
+        return {klass: counts.get(klass, 0) / total
+                for klass in PopularityClass}
+
+
+class WorkloadGenerator:
+    """Deterministic synthesis of a :class:`Workload` from a config."""
+
+    def __init__(self, config: WorkloadConfig = WorkloadConfig(),
+                 catalog: Optional[FileCatalog] = None,
+                 population: Optional[UserPopulation] = None,
+                 arrivals: Optional[ArrivalProcess] = None):
+        self.config = config
+        self.catalog = catalog or FileCatalog()
+        self.population = population or UserPopulation()
+        self.arrivals = arrivals or ArrivalProcess(horizon=config.horizon)
+
+    def generate(self) -> Workload:
+        rng_factory = RngFactory(self.config.seed)
+        self.catalog.generate(self.config.file_count,
+                              rng_factory.stream("catalog"))
+        self.population.generate(self.config.user_count,
+                                 rng_factory.stream("users"))
+        requests = self._generate_requests(rng_factory)
+        return Workload(config=self.config, catalog=self.catalog,
+                        users=self.population.users, requests=requests)
+
+    def _generate_requests(self,
+                           rng_factory: RngFactory) -> list[RequestRecord]:
+        return build_requests(self.catalog, self.population.users,
+                              self.arrivals, rng_factory)
+
+
+def build_requests(catalog: FileCatalog, users: list[User],
+                   arrivals: ArrivalProcess, rng_factory: RngFactory,
+                   task_prefix: str = "t") -> list[RequestRecord]:
+    """Expand a catalog's weekly demands into a timed request trace.
+
+    Shared by the single-week generator and the multi-week evolution:
+    one request slot per (file, demand unit), arrival times drawn from
+    the arrival process, users assigned fetch-at-most-once.
+    """
+    assign_rng = rng_factory.stream("request-assignment")
+    time_rng = rng_factory.stream("request-times")
+
+    # One slot per (file, demand unit), shuffled so arrival times are
+    # independent of file identity.
+    slots: list[CatalogFile] = []
+    for record in catalog:
+        slots.extend([record] * record.weekly_demand)
+    assign_rng.shuffle(slots)  # type: ignore[arg-type]
+    times = arrivals.sample_times(len(slots), time_rng)
+
+    used_users: dict[str, set[str]] = {}
+    requests: list[RequestRecord] = []
+    for index, (record, when) in enumerate(zip(slots, times)):
+        user = _pick_user(record, users, used_users, assign_rng)
+        requests.append(RequestRecord(
+            task_id=f"{task_prefix}{index:08d}",
+            user_id=user.user_id,
+            ip_address=user.ip_address,
+            access_bandwidth=user.reported_bandwidth,
+            request_time=float(when),
+            file_id=record.file_id,
+            file_type=record.file_type,
+            file_size=record.size,
+            source_url=record.source_url,
+            protocol=record.protocol,
+        ))
+    return requests
+
+
+def _pick_user(record: CatalogFile, users: list[User],
+               used: dict[str, set[str]],
+               rng: np.random.Generator) -> User:
+    """Draw a user who has not requested this file yet (fetch at most
+    once); falls back to a repeat requester only if the population is
+    smaller than the file's demand."""
+    seen = used.setdefault(record.file_id, set())
+    for _attempt in range(8):
+        user = users[int(rng.integers(len(users)))]
+        if user.user_id not in seen:
+            seen.add(user.user_id)
+            return user
+    return users[int(rng.integers(len(users)))]

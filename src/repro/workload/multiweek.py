@@ -1,0 +1,189 @@
+"""Multi-week workload evolution.
+
+The measured week is one frame of a running film: the cloud's storage
+pool and content database carry state from every earlier week, which is
+why 89% of requests hit the cache.  This module generates *successive*
+weeks -- demands decay, some files go cold, new content arrives -- so a
+persistent :class:`repro.cloud.XuanfengCloud` instance can be driven
+across them and the cache-warming dynamics observed directly
+(hit ratios rise, failure ratios fall, week over week).
+
+Evolution model per week:
+
+* every existing file's demand is scaled by a lognormal decay factor
+  (median ``demand_decay``) -- most content cools, a few items resurge;
+* files whose demand decays to zero stop being requested (they stay in
+  the catalog: dead links are still in the cache);
+* ``churn`` * (original file count) brand-new files enter with demands
+  drawn from the popularity model -- the novelty stream;
+* the user population grows by ``user_growth`` per week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.sim.randomness import RngFactory
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.catalog import FileCatalog
+from repro.workload.generator import (
+    Workload,
+    WorkloadConfig,
+    WorkloadGenerator,
+    build_requests,
+)
+from repro.workload.users import UserPopulation
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Knobs of the week-over-week dynamics."""
+
+    churn: float = 0.20           # new files per week / original count
+    #: Median weekly demand multiplier.  With decay_sigma=0.8 the *mean*
+    #: multiplier is 0.58 * exp(0.32) ~= 0.80, so combined with 20%
+    #: churn the total request volume stays roughly stationary.
+    demand_decay: float = 0.58
+    decay_sigma: float = 0.8      # lognormal spread of the multiplier
+    user_growth: float = 0.03     # new users per week / original count
+
+    def __post_init__(self):
+        if not 0.0 <= self.churn <= 1.0:
+            raise ValueError("churn must be in [0, 1]")
+        if self.demand_decay <= 0:
+            raise ValueError("demand_decay must be positive")
+        if self.user_growth < 0:
+            raise ValueError("user_growth must be non-negative")
+
+
+class MultiWeekGenerator:
+    """Generates week 1 like :class:`WorkloadGenerator`, then evolves."""
+
+    def __init__(self, config: WorkloadConfig = WorkloadConfig(),
+                 evolution: EvolutionConfig = EvolutionConfig(),
+                 arrivals: Optional[ArrivalProcess] = None):
+        self.config = config
+        self.evolution = evolution
+        self.arrivals = arrivals or ArrivalProcess(
+            horizon=config.horizon)
+        self._rng_factory = RngFactory(config.seed)
+        self._catalog: Optional[FileCatalog] = None
+        self._population: Optional[UserPopulation] = None
+        self._week = 0
+
+    def next_week(self) -> Workload:
+        """Produce the next week's workload.
+
+        Each returned :class:`Workload` carries a *snapshot* of the
+        catalog and user list, so earlier weeks stay valid after later
+        evolution mutates the live state.
+        """
+        if self._catalog is None:
+            generator = WorkloadGenerator(self.config,
+                                          arrivals=self.arrivals)
+            workload = generator.generate()
+            self._catalog = generator.catalog
+            self._population = generator.population
+            self._week = 1
+            return self._snapshot(workload.requests)
+        self._week += 1
+        return self._evolve_week()
+
+    def _snapshot(self, requests) -> Workload:
+        assert self._catalog is not None and self._population is not None
+        catalog = FileCatalog(
+            size_model=self._catalog.size_model,
+            type_model=self._catalog.type_model,
+            popularity_model=self._catalog.popularity_model,
+            files={file_id: dataclass_replace(record)
+                   for file_id, record in self._catalog.files.items()})
+        return Workload(config=self.config, catalog=catalog,
+                        users=list(self._population.users),
+                        requests=requests)
+
+    def weeks(self, count: int) -> Iterator[Workload]:
+        """Yield ``count`` consecutive weeks."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        for _ in range(count):
+            yield self.next_week()
+
+    # -- evolution ----------------------------------------------------------------
+
+    def _evolve_week(self) -> Workload:
+        assert self._catalog is not None
+        assert self._population is not None
+        label = f"week-{self._week}"
+        decay_rng = self._rng_factory.stream(f"{label}-decay")
+        novelty_rng = self._rng_factory.stream(f"{label}-novelty")
+        growth_rng = self._rng_factory.stream(f"{label}-growth")
+
+        # Cool existing demand.
+        evolution = self.evolution
+        for record in self._catalog:
+            if record.weekly_demand <= 0:
+                continue
+            factor = evolution.demand_decay * float(
+                np.exp(decay_rng.normal(0.0, evolution.decay_sigma)))
+            record.weekly_demand = int(
+                np.floor(record.weekly_demand * factor +
+                         decay_rng.random()))
+
+        # Novelty stream: brand-new files with fresh demands.
+        new_files = max(1, int(round(self.config.file_count *
+                                     evolution.churn)))
+        self._catalog.generate(new_files, novelty_rng)
+
+        # Population growth.
+        new_users = int(round(self.config.user_count *
+                              evolution.user_growth))
+        if new_users:
+            self._population.generate(new_users, growth_rng)
+
+        requests = build_requests(
+            self._catalog, self._population.users, self.arrivals,
+            self._rng_factory.fork(label),
+            task_prefix=f"w{self._week}t")
+        return self._snapshot(requests)
+
+
+@dataclass
+class WeekStats:
+    """Cache/failure trajectory entry for one simulated week."""
+
+    week: int
+    requests: int
+    cache_hit_ratio: float
+    request_failure_ratio: float
+    pool_files: int
+
+
+def run_weeks(cloud, generator: MultiWeekGenerator,
+              count: int) -> list[WeekStats]:
+    """Drive one persistent cloud instance across ``count`` weeks.
+
+    The pool and database persist, so each week starts with everything
+    the previous weeks accumulated -- the mechanism behind the paper's
+    89% cache-hit ratio.
+    """
+    stats: list[WeekStats] = []
+    seen_hits, seen_lookups = 0, 0
+    for week, workload in enumerate(generator.weeks(count), start=1):
+        result = cloud.run(workload)
+        # The pool's counters are cumulative across runs; report each
+        # week's own hit ratio from the deltas.
+        pool_stats = cloud.pool._cache.stats
+        week_hits = pool_stats.hits - seen_hits
+        week_lookups = pool_stats.lookups - seen_lookups
+        seen_hits, seen_lookups = pool_stats.hits, pool_stats.lookups
+        stats.append(WeekStats(
+            week=week,
+            requests=len(workload.requests),
+            cache_hit_ratio=week_hits / week_lookups
+            if week_lookups else 0.0,
+            request_failure_ratio=result.request_failure_ratio,
+            pool_files=len(cloud.pool)))
+    return stats

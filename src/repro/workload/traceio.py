@@ -1,0 +1,83 @@
+"""Trace (de)serialisation: JSONL files per trace part.
+
+A saved workload is a directory of three JSONL files mirroring the
+paper's dataset layout (catalog + users + request trace); pre-download
+and fetch traces produced by the simulators use the same helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Type, TypeVar
+
+from repro.workload.catalog import FileCatalog
+from repro.workload.generator import Workload, WorkloadConfig
+from repro.workload.records import (
+    CatalogFile,
+    FetchRecord,
+    PreDownloadRecord,
+    RequestRecord,
+    User,
+    _TraceRecord,
+)
+
+R = TypeVar("R", bound=_TraceRecord)
+
+CATALOG_FILE = "catalog.jsonl"
+USERS_FILE = "users.jsonl"
+REQUESTS_FILE = "requests.jsonl"
+CONFIG_FILE = "config.json"
+
+
+def write_jsonl(path: str | Path, records: Iterable[_TraceRecord]) -> int:
+    """Write records as one JSON object per line; returns the row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path, record_type: Type[R]) -> list[R]:
+    """Read a JSONL trace file back into records of ``record_type``."""
+    path = Path(path)
+    records: list[R] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_type.from_dict(json.loads(line)))
+    return records
+
+
+def save_workload(workload: Workload, directory: str | Path) -> Path:
+    """Persist a workload as a directory of JSONL traces + config."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_jsonl(directory / CATALOG_FILE, iter(workload.catalog))
+    write_jsonl(directory / USERS_FILE, workload.users)
+    write_jsonl(directory / REQUESTS_FILE, workload.requests)
+    config = {"scale": workload.config.scale, "seed": workload.config.seed,
+              "horizon": workload.config.horizon}
+    (directory / CONFIG_FILE).write_text(json.dumps(config, indent=2))
+    return directory
+
+
+def load_workload(directory: str | Path) -> Workload:
+    """Load a workload previously written by :func:`save_workload`."""
+    directory = Path(directory)
+    raw_config = json.loads((directory / CONFIG_FILE).read_text())
+    config = WorkloadConfig(scale=raw_config["scale"],
+                            seed=raw_config["seed"],
+                            horizon=raw_config["horizon"])
+    catalog = FileCatalog()
+    for record in read_jsonl(directory / CATALOG_FILE, CatalogFile):
+        catalog.files[record.file_id] = record
+    users = read_jsonl(directory / USERS_FILE, User)
+    requests = read_jsonl(directory / REQUESTS_FILE, RequestRecord)
+    return Workload(config=config, catalog=catalog, users=users,
+                    requests=requests)

@@ -1,0 +1,64 @@
+"""The synthetic user population.
+
+Users carry the attributes the traces key on: an IP address (hence a home
+ISP), a ground-truth access bandwidth, and whether they reported that
+bandwidth to the service ("access bandwidth (if available)", paper
+section 3; footnote 2 notes unreported bandwidths were approximated from
+peak fetch speeds).
+
+ISP shares are those of :mod:`repro.netsim.isp`: ~9.6% of users sit
+outside the four majors, reproducing the ISP-barrier share of impeded
+fetches, and the bandwidth model puts ~10-11% of lines below 1 Mbps,
+reproducing the low-access-bandwidth share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netsim.ip import IpAllocator
+from repro.netsim.isp import IspRegistry, default_registry
+from repro.netsim.link import AccessBandwidthModel
+from repro.workload.records import User
+
+
+class UserPopulation:
+    """Generates and holds the user universe of one synthetic week."""
+
+    def __init__(self, registry: Optional[IspRegistry] = None,
+                 bandwidth_model: Optional[AccessBandwidthModel] = None,
+                 report_probability: float = 0.7):
+        if not 0.0 <= report_probability <= 1.0:
+            raise ValueError("report_probability must be a probability")
+        self.registry = registry or default_registry()
+        self.bandwidth_model = bandwidth_model or AccessBandwidthModel()
+        self.report_probability = report_probability
+        self._allocator = IpAllocator(self.registry)
+        self.users: list[User] = []
+
+    def generate(self, count: int, rng: np.random.Generator) -> list[User]:
+        """Create ``count`` users (appending to any existing population)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = len(self.users)
+        for index in range(start, start + count):
+            isp = self.registry.sample_isp(rng)
+            self.users.append(User(
+                user_id=f"u{index:08d}",
+                ip_address=self._allocator.allocate(isp),
+                isp=isp,
+                access_bandwidth=self.bandwidth_model.sample_downstream(rng),
+                reports_bandwidth=bool(rng.random() <
+                                       self.report_probability),
+            ))
+        return self.users
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def sample_user(self, rng: np.random.Generator) -> User:
+        if not self.users:
+            raise RuntimeError("population is empty; call generate() first")
+        return self.users[int(rng.integers(len(self.users)))]

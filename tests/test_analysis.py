@@ -1,0 +1,186 @@
+"""Tests for the analysis toolkit: CDFs, fitting, stats, tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CDF,
+    TextTable,
+    average_relative_error,
+    bin_rate_series,
+    empirical_cdf,
+    fit_se,
+    fit_zipf,
+    peak_of_series,
+    summarize,
+)
+from repro.analysis.stats import share_below
+
+
+class TestCDF:
+    def test_basic_quantities(self):
+        cdf = empirical_cdf([3, 1, 2, 4])
+        assert cdf.min == 1 and cdf.max == 4
+        assert cdf.median == 2.5
+        assert cdf.mean == 2.5
+        assert len(cdf) == 4
+
+    def test_probability_below_and_at_most(self):
+        cdf = empirical_cdf([1, 2, 2, 3])
+        assert cdf.probability_below(2) == 0.25
+        assert cdf.probability_at_most(2) == 0.75
+        assert cdf.probability_below(0) == 0.0
+        assert cdf.probability_at_most(10) == 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_quantile_validation(self):
+        cdf = empirical_cdf([1, 2])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_points_are_monotone(self):
+        cdf = empirical_cdf(np.random.default_rng(0).random(100))
+        points = cdf.points(20)
+        assert len(points) == 20
+        values = [value for value, _q in points]
+        assert values == sorted(values)
+
+    def test_points_need_two(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([1.0]).points(1)
+
+    def test_describe_formats_like_the_paper(self):
+        text = empirical_cdf([1000.0, 2000.0]).describe(scale=1000.0,
+                                                        unit=" KBps")
+        assert "Min: 1 KBps" in text and "Max: 2 KBps" in text
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200),
+           st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_probability_below_is_a_monotone_cdf(self, sample, point):
+        cdf = empirical_cdf(sample)
+        p = cdf.probability_below(point)
+        assert 0.0 <= p <= cdf.probability_at_most(point) <= 1.0
+        assert cdf.min <= cdf.median <= cdf.max
+
+
+class TestFitting:
+    def test_zipf_fit_recovers_exact_power_law(self):
+        ranks = np.arange(1, 500)
+        popularity = np.exp(14.0) * ranks ** -1.05
+        fit = fit_zipf(ranks, popularity)
+        assert fit.a == pytest.approx(1.05, abs=1e-6)
+        assert fit.b == pytest.approx(14.0, abs=1e-6)
+        assert fit.average_relative_error < 1e-9
+
+    def test_se_fit_recovers_exact_se_curve(self):
+        ranks = np.arange(1, 500)
+        popularity = (1.1 - 0.01 * np.log(ranks)) ** 100
+        fit = fit_se(ranks, popularity, c=0.01)
+        assert fit.a == pytest.approx(0.01, abs=1e-6)
+        assert fit.b == pytest.approx(1.1, abs=1e-6)
+        assert fit.average_relative_error < 1e-9
+
+    def test_se_scans_c_grid(self):
+        ranks = np.arange(1, 300)
+        popularity = (1.2 - 0.02 * np.log(ranks)) ** (1 / 0.02)
+        fit = fit_se(ranks, popularity)
+        assert fit.c == pytest.approx(0.02)
+
+    def test_se_beats_zipf_on_flattened_heads(self):
+        # A bounded head (fetch-at-most-once) breaks the pure power law.
+        ranks = np.arange(1, 2000)
+        popularity = (1.13 - 0.01 * np.log(ranks)) ** 100
+        zipf = fit_zipf(ranks, popularity)
+        se = fit_se(ranks, popularity)
+        assert se.average_relative_error < zipf.average_relative_error
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([1, 2]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([0, 1, 2]), np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            average_relative_error(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_se(np.arange(1, 10), np.ones(9), c=-0.1)
+
+    def test_relative_error_definition(self):
+        error = average_relative_error(np.array([100.0, 200.0]),
+                                       np.array([110.0, 180.0]))
+        assert error == pytest.approx((0.1 + 0.1) / 2)
+
+
+class TestStats:
+    def test_summarize(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.minimum == 1 and stats.maximum == 5
+        assert stats.median == 3 and stats.mean == 3
+        assert stats.p25 == 2 and stats.p75 == 4
+        assert stats.as_dict()["p90"] == pytest.approx(4.6)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_share_below(self):
+        assert share_below([1, 2, 3, 4], 3) == 0.5
+        with pytest.raises(ValueError):
+            share_below([], 1)
+
+
+class TestTimeseries:
+    def test_bin_rate_series_integrates_exactly(self):
+        flows = [(0.0, 10.0, 5.0), (5.0, 15.0, 3.0)]
+        series = bin_rate_series(flows, bin_width=5.0, horizon=20.0)
+        assert series == pytest.approx([5.0, 8.0, 3.0, 0.0])
+
+    def test_flows_clipped_to_horizon(self):
+        series = bin_rate_series([(-5.0, 25.0, 2.0)], bin_width=10.0,
+                                 horizon=20.0)
+        assert series == pytest.approx([2.0, 2.0])
+
+    def test_degenerate_flows_ignored(self):
+        series = bin_rate_series([(5.0, 5.0, 2.0), (3.0, 1.0, 2.0),
+                                  (0.0, 10.0, 0.0)],
+                                 bin_width=10.0, horizon=10.0)
+        assert series == pytest.approx([0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_rate_series([], 0.0, 10.0)
+        with pytest.raises(ValueError):
+            peak_of_series(np.array([]))
+
+    def test_peak_of_series(self):
+        index, value = peak_of_series(np.array([1.0, 9.0, 3.0]))
+        assert (index, value) == (1, 9.0)
+
+
+class TestTextTable:
+    def test_render_alignment_and_formats(self):
+        table = TextTable(["name", "value"], ["", ".2f"])
+        table.add_row("alpha", 1.234)
+        table.add_row("b", 10.0)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert "1.23" in rendered and "10.00" in rendered
+
+    def test_cell_count_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+        with pytest.raises(ValueError):
+            TextTable(["a"], ["", ""])

@@ -1,0 +1,82 @@
+"""Tests for distribution comparison (KS, quantile ratios, verdicts)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.compare import (
+    SimilarityVerdict,
+    compare,
+    ks_distance,
+    quantile_ratios,
+)
+
+
+class TestKsDistance:
+    def test_identical_samples_have_zero_distance(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_disjoint_samples_have_distance_one(self):
+        low = empirical_cdf([1.0, 2.0, 3.0])
+        high = empirical_cdf([10.0, 20.0, 30.0])
+        assert ks_distance(low, high) == pytest.approx(1.0)
+
+    def test_known_half_overlap(self):
+        first = empirical_cdf([1.0, 2.0])
+        second = empirical_cdf([2.0, 3.0])
+        # At x=1: F1=0.5, F2=0 -> distance 0.5.
+        assert ks_distance(first, second) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = empirical_cdf(rng.normal(0, 1, 200))
+        b = empirical_cdf(rng.normal(0.5, 1.2, 300))
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_matches_scipy(self):
+        from scipy.stats import ks_2samp
+        rng = np.random.default_rng(1)
+        x = rng.exponential(2.0, 250)
+        y = rng.exponential(2.5, 180)
+        ours = ks_distance(empirical_cdf(x), empirical_cdf(y))
+        assert ours == pytest.approx(ks_2samp(x, y).statistic)
+
+
+class TestQuantileRatios:
+    def test_scaling_shows_up_in_every_quantile(self):
+        rng = np.random.default_rng(2)
+        base = rng.lognormal(0, 1, 500)
+        ratios = quantile_ratios(empirical_cdf(2.0 * base),
+                                 empirical_cdf(base))
+        for value in ratios.values():
+            assert value == pytest.approx(2.0)
+
+    def test_zero_denominator_is_infinite(self):
+        ratios = quantile_ratios(empirical_cdf([1.0]),
+                                 empirical_cdf([0.0]),
+                                 quantiles=(0.5,))
+        assert ratios[0.5] == float("inf")
+
+
+class TestVerdicts:
+    def test_similar_distributions(self):
+        rng = np.random.default_rng(3)
+        base = rng.lognormal(3, 1, 800)
+        tweaked = base * rng.uniform(0.9, 1.1, 800)
+        verdict = compare(empirical_cdf(tweaked), empirical_cdf(base))
+        assert verdict.similar_bodies
+        assert not verdict.truncated_tail
+
+    def test_the_fig13_signature(self, ap_report, cloud_result):
+        """AP vs cloud pre-download speeds: similar bodies, AP tail
+        truncated by the write-path ceiling -- quantified."""
+        verdict = compare(ap_report.speed_cdf(),
+                          cloud_result.attempt_speed_cdf())
+        assert verdict.similar_bodies
+        assert verdict.truncated_tail
+
+    def test_dissimilar_distributions(self):
+        verdict = compare(empirical_cdf([1.0, 2.0, 3.0]),
+                          empirical_cdf([100.0, 200.0, 300.0]))
+        assert not verdict.similar_bodies

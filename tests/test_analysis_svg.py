@@ -1,0 +1,118 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis.svg import Axis, SvgFigure, _tick_label
+
+
+class TestAxis:
+    def test_linear_projection_endpoints(self):
+        axis = Axis(0.0, 10.0, (100.0, 200.0))
+        assert axis.project(0.0) == 100.0
+        assert axis.project(10.0) == 200.0
+        assert axis.project(5.0) == 150.0
+
+    def test_inverted_pixel_range_for_y(self):
+        axis = Axis(0.0, 1.0, (400.0, 50.0))
+        assert axis.project(0.0) == 400.0
+        assert axis.project(1.0) == 50.0
+
+    def test_log_projection(self):
+        axis = Axis(1.0, 1000.0, (0.0, 300.0), log=True)
+        assert axis.project(1.0) == 0.0
+        assert axis.project(1000.0) == 300.0
+        assert axis.project(10.0) == pytest.approx(100.0)
+
+    def test_log_axis_needs_positive_bounds(self):
+        with pytest.raises(ValueError):
+            Axis(0.0, 10.0, (0.0, 1.0), log=True)
+
+    def test_log_ticks_are_decades(self):
+        axis = Axis(1.0, 1000.0, (0.0, 1.0), log=True)
+        assert axis.ticks() == [1.0, 10.0, 100.0, 1000.0]
+
+    def test_degenerate_range_widened(self):
+        axis = Axis(5.0, 5.0, (0.0, 100.0))
+        assert axis.project(5.0) == 0.0
+
+
+class TestTickLabels:
+    def test_magnitude_suffixes(self):
+        assert _tick_label(0) == "0"
+        assert _tick_label(2500) == "2.5k"
+        assert _tick_label(3e6) == "3M"
+        assert _tick_label(4.2e9) == "4.2G"
+        assert _tick_label(0.001) == "1e-03"
+
+
+class TestSvgFigure:
+    def make_figure(self):
+        figure = SvgFigure("Title", "X", "Y")
+        figure.add_line([0, 1, 2], [0.0, 0.5, 1.0], "series-a")
+        return figure
+
+    def test_render_is_wellformed_svg(self):
+        import xml.etree.ElementTree as ET
+        svg = self.make_figure().render()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_render_contains_title_labels_and_legend(self):
+        svg = self.make_figure().render()
+        for text in ("Title", "X", "Y", "series-a"):
+            assert text in svg
+
+    def test_scatter_renders_circles(self):
+        figure = SvgFigure("T", "x", "y")
+        figure.add_scatter([1, 2, 3], [3, 2, 1], "dots")
+        assert figure.render().count("<circle") == 3
+
+    def test_hline_renders_dashed_reference(self):
+        figure = self.make_figure()
+        figure.add_hline(0.8, "limit")
+        svg = figure.render()
+        assert "limit" in svg and "stroke-dasharray" in svg
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ValueError):
+            SvgFigure("T", "x", "y").render()
+
+    def test_mismatched_series_rejected(self):
+        figure = SvgFigure("T", "x", "y")
+        with pytest.raises(ValueError):
+            figure.add_line([1, 2], [1.0], "bad")
+        with pytest.raises(ValueError):
+            figure.add_line([], [], "empty")
+
+    def test_title_is_escaped(self):
+        figure = SvgFigure("a < b & c", "x", "y")
+        figure.add_line([0, 1], [0, 1], "s")
+        svg = figure.render()
+        assert "a &lt; b &amp; c" in svg
+
+    def test_colors_cycle(self):
+        figure = SvgFigure("T", "x", "y")
+        for index in range(3):
+            figure.add_line([0, 1], [0, index], f"s{index}")
+        colors = {series.color for series in figure.series}
+        assert len(colors) == 3
+
+    def test_log_log_figure_renders(self):
+        figure = SvgFigure("T", "x", "y", xlog=True, ylog=True)
+        figure.add_line([1, 10, 100], [1000, 100, 10], "s")
+        assert "<path" in figure.render()
+
+
+class TestFiguresModule:
+    def test_render_all_produces_every_figure(self, tmp_path):
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.figures import FIGURES, render_all
+        context = ExperimentContext(scale=0.0015)
+        written = render_all(context, tmp_path)
+        assert len(written) == len(FIGURES)
+        for path in written:
+            content = path.read_text()
+            assert content.startswith("<svg")
+            assert content.rstrip().endswith("</svg>")

@@ -1,0 +1,257 @@
+"""Tests for smart-AP models, OpenWrt stack, and the device itself."""
+
+import numpy as np
+import pytest
+
+from repro.ap import (
+    ApBenchmarkRig,
+    BENCHMARKED_APS,
+    DownloadClient,
+    HIWIFI_1S,
+    MIWIFI,
+    NEWIFI,
+    OpenWrtSystem,
+    SmartAP,
+)
+from repro.ap.models import StorageInterface
+from repro.sim.clock import kbps, mbps
+from repro.storage import Filesystem, SATA_HDD_1TB, SD_CARD_8GB, \
+    USB_FLASH_8GB
+from repro.transfer.protocols import Protocol
+from repro.transfer.source import CAUSE_SYSTEM_BUG
+from repro.workload.catalog import FileCatalog
+from repro.workload.filetypes import FileType
+from repro.workload.records import CatalogFile
+
+
+def make_file(file_id="f", size=5e7, demand=2000,
+              protocol=Protocol.BITTORRENT) -> CatalogFile:
+    return CatalogFile(file_id=file_id, size=size,
+                       file_type=FileType.VIDEO, protocol=protocol,
+                       weekly_demand=demand,
+                       source_url=f"{protocol.value}://origin/{file_id}")
+
+
+class TestHardwarePresets:
+    def test_table1_facts(self):
+        assert HIWIFI_1S.cpu_model == "MT7620A"
+        assert HIWIFI_1S.cpu_mhz == 580.0
+        assert HIWIFI_1S.ram_mb == 128
+        assert StorageInterface.SD in HIWIFI_1S.storage_interfaces
+
+        assert MIWIFI.cpu_mhz == 1000.0
+        assert MIWIFI.ram_mb == 256
+        assert StorageInterface.SATA in MIWIFI.storage_interfaces
+        assert MIWIFI.default_device is SATA_HDD_1TB
+        assert MIWIFI.default_filesystem is Filesystem.EXT4
+
+        assert NEWIFI.cpu_mhz == 580.0
+        assert NEWIFI.default_device is USB_FLASH_8GB
+        assert NEWIFI.default_filesystem is Filesystem.NTFS
+
+    def test_benchmarked_trio_order(self):
+        assert BENCHMARKED_APS == (HIWIFI_1S, MIWIFI, NEWIFI)
+
+    def test_price_gap(self):
+        assert MIWIFI.price_usd > 4 * HIWIFI_1S.price_usd
+
+    def test_lan_fetch_exceeds_cloud_max(self):
+        # "Even the lowest WiFi fetching speed lies in 8-12 MBps, higher
+        # than the maximum fetching speed (6.1 MBps) of Xuanfeng users."
+        for hardware in BENCHMARKED_APS:
+            assert hardware.lan_fetch_rate_low >= 8e6 > 6.25e6
+
+
+class TestOpenWrt:
+    def test_client_selection_by_protocol(self):
+        system = OpenWrtSystem()
+        assert system.client_for(Protocol.HTTP).package == "wget"
+        assert system.client_for(Protocol.FTP).package == "wget"
+        assert system.client_for(Protocol.BITTORRENT).package == "aria2"
+        assert system.client_for(Protocol.EMULE).package == "aria2"
+
+    def test_missing_client_raises(self):
+        system = OpenWrtSystem(clients=(
+            DownloadClient("wget", (Protocol.HTTP,)),))
+        with pytest.raises(LookupError):
+            system.client_for(Protocol.BITTORRENT)
+
+    def test_bug_rate_calibration(self):
+        system = OpenWrtSystem()
+        rng = np.random.default_rng(0)
+        bugs = sum(system.draw_bug_failure(rng) for _ in range(20000))
+        assert bugs / 20000 == pytest.approx(0.006, abs=0.002)
+
+    def test_bug_rate_validation(self):
+        with pytest.raises(ValueError):
+            OpenWrtSystem(bug_failure_rate=1.0)
+
+    def test_installed_packages_include_diagnostics(self):
+        packages = OpenWrtSystem().installed_packages()
+        for package in ("wget", "aria2", "tcpdump", "iostat"):
+            assert package in packages
+
+
+class TestSmartAP:
+    def test_defaults_follow_hardware(self):
+        ap = SmartAP(NEWIFI)
+        assert ap.device is USB_FLASH_8GB
+        assert ap.filesystem is Filesystem.NTFS
+        assert ap.write_path.max_throughput < 1e6
+
+    def test_invalid_device_fs_combination(self):
+        with pytest.raises(ValueError):
+            SmartAP(HIWIFI_1S, device=SD_CARD_8GB,
+                    filesystem=Filesystem.NTFS)
+
+    def test_write_path_caps_pre_download(self):
+        ap = SmartAP(NEWIFI)   # NTFS flash: ~0.93 MBps ceiling
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            outcome, iowait = ap.pre_download(make_file(), rng)
+            assert outcome.average_rate <= ap.write_path.max_throughput \
+                + 1e-6
+            assert 0.0 <= iowait <= 1.0
+
+    def test_access_bandwidth_throttle(self):
+        ap = SmartAP(MIWIFI)
+        rng = np.random.default_rng(2)
+        outcome, _ = ap.pre_download(make_file(), rng,
+                                     access_bandwidth=kbps(64.0))
+        assert outcome.average_rate <= kbps(64.0) + 1e-6
+
+    def test_bug_failures_carry_the_cause(self):
+        ap = SmartAP(MIWIFI, system=OpenWrtSystem(bug_failure_rate=0.999))
+        rng = np.random.default_rng(3)
+        outcome, iowait = ap.pre_download(make_file(), rng)
+        assert not outcome.success
+        assert outcome.failure_cause == CAUSE_SYSTEM_BUG
+        assert iowait == 0.0
+
+    def test_storage_accounting(self):
+        ap = SmartAP(NEWIFI)
+        ap.store(5e9)
+        assert ap.free_bytes == pytest.approx(3e9)
+        ap.remove(5e9)
+        assert ap.free_bytes == pytest.approx(8e9)
+        with pytest.raises(ValueError):
+            ap.store(9e9)
+
+    def test_lan_fetch_rates(self):
+        ap = SmartAP(MIWIFI)
+        rng = np.random.default_rng(4)
+        wifi = ap.lan_fetch_rate(rng)
+        assert 8e6 <= wifi <= 12e6
+        assert ap.lan_fetch_rate(rng, wired=True) == \
+            SATA_HDD_1TB.max_read_rate
+
+    def test_sources_cached_per_file(self):
+        ap = SmartAP(MIWIFI)
+        record = make_file()
+        assert ap.source_for(record) is ap.source_for(record)
+
+    def test_concurrent_lan_fetch_shares_fairly(self):
+        ap = SmartAP(MIWIFI)
+        rng = np.random.default_rng(5)
+        rates = ap.concurrent_lan_fetch_rates([20e6, 20e6, 20e6], rng)
+        # Three greedy fetchers split the WiFi airtime evenly...
+        assert rates[0] == pytest.approx(rates[1]) == \
+            pytest.approx(rates[2])
+        assert sum(rates) <= 12e6 + 1e-6
+        # ...and a single fetcher is never split.
+        solo = ap.concurrent_lan_fetch_rates([20e6], rng)
+        assert solo[0] > rates[0]
+
+    def test_concurrent_lan_fetch_small_demand_kept_whole(self):
+        ap = SmartAP(MIWIFI)
+        rng = np.random.default_rng(6)
+        rates = ap.concurrent_lan_fetch_rates([1e5, 20e6], rng)
+        assert rates[0] == pytest.approx(1e5)
+        assert rates[1] > 5e6
+
+    def test_concurrent_lan_fetch_empty(self):
+        ap = SmartAP(MIWIFI)
+        assert ap.concurrent_lan_fetch_rates(
+            [], np.random.default_rng(7)) == []
+
+    def test_max_pre_download_rate(self):
+        ap = SmartAP(NEWIFI)
+        assert ap.max_pre_download_rate() == \
+            ap.write_path.max_throughput
+        assert ap.max_pre_download_rate(network_rate=1e4) == 1e4
+
+
+class TestBenchmarkRig:
+    @pytest.fixture(scope="class")
+    def small_catalog(self):
+        catalog = FileCatalog()
+        catalog.generate(300, np.random.default_rng(5))
+        return catalog
+
+    def make_requests(self, catalog, count=60):
+        from repro.workload.records import RequestRecord
+        records = list(catalog)[:count]
+        return [RequestRecord(
+            task_id=f"t{i}", user_id=f"u{i}", ip_address="1.1.1.1",
+            access_bandwidth=mbps(8.0), request_time=0.0,
+            file_id=record.file_id, file_type=record.file_type,
+            file_size=record.size, source_url=record.source_url,
+            protocol=record.protocol) for i, record in enumerate(records)]
+
+    def test_round_robin_split(self, small_catalog):
+        rig = ApBenchmarkRig(small_catalog)
+        report = rig.replay(self.make_requests(small_catalog, 60))
+        assert len(report.results) == 60
+        for name in report.ap_names():
+            assert len(report.for_ap(name).results) == 20
+
+    def test_sequential_clocks(self, small_catalog):
+        rig = ApBenchmarkRig(small_catalog)
+        report = rig.replay(self.make_requests(small_catalog, 30))
+        for name in report.ap_names():
+            rows = report.for_ap(name).results
+            for earlier, later in zip(rows, rows[1:]):
+                assert later.record.start_time == \
+                    pytest.approx(earlier.record.finish_time)
+
+    def test_empty_replay_rejected(self, small_catalog):
+        rig = ApBenchmarkRig(small_catalog)
+        with pytest.raises(ValueError):
+            rig.replay([])
+
+    def test_top_popular_replay_is_unthrottled(self, small_catalog):
+        rig = ApBenchmarkRig(small_catalog)
+        requests = self.make_requests(small_catalog, 60)
+        ap = SmartAP(NEWIFI, device=USB_FLASH_8GB,
+                     filesystem=Filesystem.NTFS)
+        report = rig.replay_top_popular(requests, ap, top=10, repeats=3)
+        assert len(report.results) == 30
+        # Nothing can exceed the NTFS-flash ceiling.
+        assert report.max_speed() <= ap.write_path.max_throughput + 1e-6
+
+    def test_report_requires_results(self):
+        from repro.ap.benchrig import ApBenchmarkReport
+        with pytest.raises(ValueError):
+            ApBenchmarkReport([])
+
+
+class TestApReportStatistics:
+    """Bands on the shared session-scope AP replay (section 5.2)."""
+
+    def test_overall_failure_band(self, ap_report):
+        assert 0.10 <= ap_report.failure_ratio <= 0.26
+
+    def test_unpopular_failure_band(self, ap_report):
+        assert 0.30 <= ap_report.unpopular_failure_ratio <= 0.55
+
+    def test_seeds_dominate_failure_causes(self, ap_report):
+        causes = ap_report.failure_cause_breakdown()
+        assert causes.get("insufficient_seeds", 0.0) > 0.7
+
+    def test_speed_distribution_band(self, ap_report):
+        cdf = ap_report.speed_cdf()
+        assert 15e3 <= cdf.median <= 55e3     # paper: 27 KBps
+        assert 35e3 <= cdf.mean <= 110e3      # paper: 64 KBps
+
+    def test_all_three_aps_processed_work(self, ap_report):
+        assert len(ap_report.ap_names()) == 3

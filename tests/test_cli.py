@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("generate", "cloud", "ap", "odr",
+                        "experiments", "figures"):
+            args = parser.parse_args(
+                [command] if command != "odr"
+                else [command, "http://x/y"])
+            assert args.command == command
+
+
+class TestOdrCommand:
+    def test_hot_p2p_file_with_bad_storage_goes_direct(self, capsys):
+        assert main(["odr", "bittorrent://origin/abc",
+                     "--popularity", "200", "--bandwidth", "20",
+                     "--ap", "newifi", "--device", "usb-flash",
+                     "--filesystem", "ntfs"]) == 0
+        out = capsys.readouterr().out
+        assert "user_device" in out and "Bottleneck 4" in out
+
+    def test_slow_line_cached_file_is_staged(self, capsys):
+        assert main(["odr", "http://host/f", "--popularity", "3",
+                     "--cached", "--bandwidth", "0.5",
+                     "--ap", "hiwifi"]) == 0
+        out = capsys.readouterr().out
+        assert "cloud+ap" in out
+
+    def test_uncached_cold_file_waits_for_the_cloud(self, capsys):
+        assert main(["odr", "ed2k://origin/f", "--popularity", "2",
+                     "--bandwidth", "8"]) == 0
+        assert "cloud" in capsys.readouterr().out
+
+    def test_unknown_scheme_fails_loudly(self):
+        with pytest.raises(ValueError):
+            main(["odr", "gopher://host/f"])
+
+
+class TestPipelineCommands:
+    def test_generate_then_cloud_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        assert main(["generate", "--scale", "0.0008", "--seed", "5",
+                     "--out", str(trace)]) == 0
+        assert (trace / "requests.jsonl").exists()
+        capsys.readouterr()
+        assert main(["cloud", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit ratio" in out
+        assert "impeded fetches" in out
+
+    def test_ap_command(self, tmp_path, capsys):
+        assert main(["ap", "--scale", "0.0015", "--sample", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "failure ratio" in out
+        assert "failure causes" in out
+
+    def test_figures_command(self, tmp_path, capsys):
+        assert main(["figures", "--scale", "0.0015",
+                     "--outdir", str(tmp_path / "figs")]) == 0
+        assert (tmp_path / "figs" / "fig11.svg").exists()
+
+    def test_experiments_command_writes_document(self, tmp_path,
+                                                 capsys):
+        output = tmp_path / "EXP.md"
+        assert main(["experiments", "--scale", "0.0015",
+                     "--output", str(output)]) == 0
+        document = output.read_text()
+        assert "paper vs measured" in document
+        assert "fig17" in document

@@ -1,0 +1,52 @@
+"""Tests for the cloud's ablation switches (cache / privileged paths)."""
+
+import pytest
+
+from repro.cloud import CloudConfig, XuanfengCloud
+from repro.netsim.isp import ISP, MAJOR_ISPS
+from repro.sim.clock import kbps
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+SMALL = WorkloadConfig(scale=0.002, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return WorkloadGenerator(SMALL).generate()
+
+
+class TestCacheSwitch:
+    def test_cache_off_means_no_hits_and_more_failures(self,
+                                                       small_workload):
+        on = XuanfengCloud(CloudConfig(scale=SMALL.scale)) \
+            .run(small_workload)
+        off = XuanfengCloud(CloudConfig(scale=SMALL.scale,
+                                        collaborative_cache=False)) \
+            .run(small_workload)
+        assert off.cache_hit_ratio == 0.0
+        assert off.request_failure_ratio > on.request_failure_ratio
+        # Every request pays a pre-download attempt without the cache.
+        assert off.fleet.attempts >= len(small_workload.requests)
+        assert on.fleet.attempts < 0.5 * off.fleet.attempts
+
+
+class TestPrivilegedPathSwitch:
+    def test_isp_blind_selection_ignores_the_home_group(self):
+        config = CloudConfig(scale=0.01, privileged_paths=False)
+        from repro.cloud.upload import UploadingServers
+        uploads = UploadingServers(config)
+        candidates = uploads.candidate_groups(ISP.CERNET)
+        assert len(candidates) == 2
+        # Headroom order, not home-first: CERNET's tiny pool is never
+        # the most-headroom group at rest.
+        assert candidates[0] is not ISP.CERNET
+
+    def test_isp_blind_cloud_degrades_fetches(self, small_workload):
+        aware = XuanfengCloud(CloudConfig(scale=SMALL.scale)) \
+            .run(small_workload)
+        blind = XuanfengCloud(CloudConfig(scale=SMALL.scale,
+                                          privileged_paths=False)) \
+            .run(small_workload)
+        assert blind.impeded_fetch_share > aware.impeded_fetch_share
+        assert blind.fetch_speed_cdf().median < \
+            aware.fetch_speed_cdf().median

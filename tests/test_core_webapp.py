@@ -1,0 +1,106 @@
+"""Tests for the ODR web service (in-process and over real HTTP)."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.webapp import OdrWebApp, make_server
+
+
+class TestInProcessRouting:
+    @pytest.fixture()
+    def app(self):
+        return OdrWebApp()
+
+    def test_front_page(self, app):
+        status, content_type, body, _cookie = app.handle("/")
+        assert status == 200
+        assert content_type == "text/html"
+        assert "Offline Downloading Redirector" in body
+
+    def test_healthz(self, app):
+        status, _type, body, _cookie = app.handle("/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_unknown_path_is_404(self, app):
+        status, _type, body, _cookie = app.handle("/nope")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_decide_requires_link(self, app):
+        status, _type, body, _cookie = app.handle("/decide")
+        assert status == 400
+        assert "link" in json.loads(body)["error"]
+
+    def test_decide_hot_p2p_with_bad_storage(self, app):
+        status, _type, body, _cookie = app.handle(
+            "/decide?link=magnet://origin/xyz&popularity=200"
+            "&bandwidth_mbps=20&ap=newifi&device=usb-flash"
+            "&filesystem=ntfs")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["action"] == "user_device"
+        assert payload["data_source"] == "original"
+        assert 4 in payload["bottlenecks_addressed"]
+
+    def test_decide_slow_line_cached_file(self, app):
+        status, _type, body, _cookie = app.handle(
+            "/decide?link=http://host/f1&popularity=3&cached=1"
+            "&bandwidth_mbps=0.5&ap=hiwifi")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["action"] == "cloud+ap"
+
+    def test_bad_parameter_is_a_400_not_a_crash(self, app):
+        status, _type, body, _cookie = app.handle(
+            "/decide?link=gopher://host/f")
+        assert status == 400
+
+    def test_cookie_is_issued_and_honoured(self, app):
+        _s, _t, _b, set_cookie = app.handle(
+            "/decide?link=http://host/f&bandwidth_mbps=8")
+        assert set_cookie and set_cookie.startswith("odr_user=")
+        cookie_value = set_cookie.split(";")[0]
+        # A repeat visit with the cookie gets no new cookie...
+        _s, _t, _b, second = app.handle(
+            "/decide?link=http://host/f", cookie_header=cookie_value)
+        assert second is None
+        # ...and the stored bandwidth is recalled (cookie jar).
+        user_id = cookie_value.split("=")[1]
+        stored = app.service.cookies.recall(user_id)
+        assert stored is not None
+        assert stored.access_bandwidth == pytest.approx(1e6)
+
+
+class TestRealHttpServer:
+    @pytest.fixture(scope="class")
+    def server_url(self):
+        server = make_server(port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+
+    def test_end_to_end_decision_over_http(self, server_url):
+        with urllib.request.urlopen(
+                f"{server_url}/decide?link=ed2k://origin/abc"
+                f"&popularity=500&bandwidth_mbps=10&ap=miwifi") \
+                as response:
+            assert response.status == 200
+            payload = json.loads(response.read())
+        assert payload["action"] == "smart_ap"
+        assert payload["protocol"] == "emule"
+
+    def test_front_page_over_http(self, server_url):
+        with urllib.request.urlopen(server_url + "/") as response:
+            assert response.status == 200
+            assert b"Ask ODR" in response.read()
+
+    def test_health_over_http(self, server_url):
+        with urllib.request.urlopen(server_url + "/healthz") as resp:
+            assert json.loads(resp.read())["status"] == "ok"

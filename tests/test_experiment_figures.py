@@ -1,0 +1,66 @@
+"""Per-builder tests for the paper-figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale=0.0015, seed=20150222)
+
+
+def render(builder, context) -> str:
+    svg = builder(context).render()
+    ET.fromstring(svg)   # well-formed XML
+    return svg
+
+
+class TestFigureBuilders:
+    def test_fig05_is_a_single_cdf(self, context):
+        svg = render(figures.fig05, context)
+        assert "Figure 5" in svg
+        assert svg.count("<path") == 1
+
+    def test_fig06_has_scatter_and_fit(self, context):
+        svg = render(figures.fig06, context)
+        assert "Zipf" in svg
+        assert "<circle" in svg and "stroke-dasharray" in svg
+
+    def test_fig07_reports_the_se_exponent(self, context):
+        svg = render(figures.fig07, context)
+        assert "SE fit (c=" in svg
+
+    def test_fig08_overlays_three_cdfs(self, context):
+        svg = render(figures.fig08, context)
+        for label in ("Pre-downloading", "Fetching", "End-to-End"):
+            assert label in svg
+        assert svg.count("<path") == 3
+
+    def test_fig11_has_capacity_line_and_two_series(self, context):
+        svg = render(figures.fig11, context)
+        assert "30 Gbps" in svg
+        assert "Highly Popular" in svg
+
+    def test_fig13_overlays_cloud_and_aps(self, context):
+        svg = render(figures.fig13, context)
+        assert "Cloud-based" in svg and "Smart APs" in svg
+
+    def test_fig16_renders_paired_bars(self, context):
+        svg = render(figures.fig16, context)
+        # Two bar series over four bottlenecks: 8 bars + background.
+        assert svg.count("<rect") >= 9
+        assert "ODR" in svg
+
+    def test_fig17_overlays_odr_and_xuanfeng(self, context):
+        svg = render(figures.fig17, context)
+        assert "ODR middleware" in svg and "Xuanfeng users" in svg
+
+    def test_registry_is_complete(self):
+        expected = {"fig05", "fig06", "fig07", "fig08", "fig09",
+                    "fig10", "fig11", "fig13", "fig14", "fig16",
+                    "fig17"}
+        assert set(figures.FIGURES) == expected

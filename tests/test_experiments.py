@@ -1,0 +1,97 @@
+"""Tests for the experiment drivers and the runner."""
+
+import pytest
+
+from repro.experiments import REGISTRY, default_context
+from repro.experiments.base import ExperimentReport
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import ORDER, render_experiments_md, run_all
+from repro.paper import PaperComparison
+
+
+@pytest.fixture(scope="module")
+def context():
+    # A small context shared by every driver test in this module.
+    return ExperimentContext(scale=0.004)
+
+
+class TestRegistry:
+    def test_every_paper_artefact_has_a_driver(self):
+        expected = {
+            "workload_stats", "fig05", "fig06_07", "fig08", "fig09",
+            "fig10", "fig11", "cloud_text", "table1", "fig13_14",
+            "ap_failures", "table2", "fig16", "fig17",
+        }
+        assert expected == set(REGISTRY)
+
+    def test_order_covers_registry(self):
+        assert set(ORDER) == set(REGISTRY)
+
+
+class TestDrivers:
+    @pytest.mark.parametrize("experiment_id", sorted(
+        ["workload_stats", "fig05", "fig06_07", "table1", "table2"]))
+    def test_cheap_drivers_produce_reports(self, context, experiment_id):
+        report = REGISTRY[experiment_id](context)
+        assert isinstance(report, ExperimentReport)
+        assert report.experiment_id == experiment_id
+        assert report.comparisons
+        rendered = report.render()
+        assert report.title in rendered
+        assert "paper=" in rendered
+
+    def test_fig05_matches_size_targets(self, context):
+        report = REGISTRY["fig05"](context)
+        rows = {row.quantity: row for row in report.comparisons}
+        assert rows["median file size (MB)"].relative_error < 0.15
+        assert rows["share below 8 MB"].relative_error < 0.15
+
+    def test_fig06_07_se_beats_zipf(self, context):
+        report = REGISTRY["fig06_07"](context)
+        assert report.data["se_beats_zipf"]
+
+    def test_table2_reproduces_the_matrix(self, context):
+        report = REGISTRY["table2"](context)
+        matrix_rows = [row for row in report.comparisons
+                       if "max speed" in row.quantity
+                       and "replayed" not in row.quantity]
+        assert len(matrix_rows) == 8
+        for row in matrix_rows:
+            assert row.relative_error < 0.05
+
+    def test_table1_is_exact(self, context):
+        report = REGISTRY["table1"](context)
+        assert report.worst_relative_error() == 0.0
+
+
+class TestPaperComparison:
+    def test_relative_error(self):
+        row = PaperComparison("q", 100.0, 90.0)
+        assert row.relative_error == pytest.approx(0.1)
+
+    def test_zero_paper_value(self):
+        assert PaperComparison("q", 0.0, 0.0).relative_error == 0.0
+        assert PaperComparison("q", 0.0, 1.0).relative_error == \
+            float("inf")
+
+    def test_format_row_contains_both_values(self):
+        text = PaperComparison("quantity", 1.0, 2.0, "KBps").format_row()
+        assert "quantity" in text and "KBps" in text
+
+
+class TestContextCaching:
+    def test_default_context_is_memoised(self):
+        assert default_context(0.004) is default_context(0.004)
+        assert default_context(0.004) is not default_context(0.0041)
+
+    def test_workload_built_lazily_once(self, context):
+        assert context.workload is context.workload
+
+
+class TestRunnerRendering:
+    def test_render_includes_every_report(self, context):
+        reports = [REGISTRY["table1"](context),
+                   REGISTRY["fig05"](context)]
+        document = render_experiments_md(reports, scale=0.004)
+        assert "## table1" in document and "## fig05" in document
+        assert "paper vs measured" in document

@@ -1,0 +1,124 @@
+"""Failure-injection and degenerate-regime tests.
+
+The simulators must behave sensibly -- not just not crash -- when a
+whole layer misbehaves: every source dead, no upload capacity, a cloud
+with no cache, an AP whose firmware always fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap import ApBenchmarkRig, MIWIFI, OpenWrtSystem, SmartAP
+from repro.cloud import CloudConfig, XuanfengCloud
+from repro.sim.clock import mbps
+from repro.transfer.source import (
+    CAUSE_SYSTEM_BUG,
+    SourceModel,
+)
+from repro.transfer.swarm import SwarmModel
+from repro.workload import WorkloadConfig, WorkloadGenerator
+from repro.workload.popularity import PopularityClass
+
+TINY = WorkloadConfig(scale=0.0015, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return WorkloadGenerator(TINY).generate()
+
+
+def dead_source_model() -> SourceModel:
+    """Every P2P swarm is dead and every server drops everything."""
+    return SourceModel(
+        swarm_model=SwarmModel(seeds_per_weekly_request=0.0),
+        http_drop_base=1.0, http_drop_floor=1.0)
+
+
+class TestDeadInternet:
+    def test_cloud_survives_total_source_death(self, tiny_workload):
+        config = CloudConfig(scale=TINY.scale, collaborative_cache=False)
+        cloud = XuanfengCloud(config,
+                              source_model=dead_source_model())
+        result = cloud.run(tiny_workload)
+        # Every P2P attempt fails outright; HTTP mostly fails too (the
+        # cloud's multi-vantage retry bonus salvages a fraction even
+        # from a drop-everything server); nothing crashes.
+        assert result.request_failure_ratio > 0.9
+        p2p_failures = [task for task in result.tasks
+                        if task.file.protocol.is_p2p]
+        assert all(not task.pre_record.success for task in p2p_failures)
+        assert result.cache_hit_ratio == 0.0
+        # All failures carry a cause.
+        assert all(record.failure_cause is not None
+                   for record in result.pre_records
+                   if not record.success)
+
+    def test_preseeded_cache_still_serves_when_sources_die(
+            self, tiny_workload):
+        # With the cache alive, pre-seeded files are served even though
+        # no source works: the DTN insight in one test.
+        config = CloudConfig(scale=TINY.scale)
+        cloud = XuanfengCloud(config,
+                              source_model=dead_source_model())
+        result = cloud.run(tiny_workload)
+        assert 0.0 < result.request_failure_ratio < 1.0
+        assert result.cache_hit_ratio > 0.3
+        assert len(result.fetch_records) > 0
+
+    def test_ap_replay_survives_total_source_death(self, tiny_workload):
+        from repro.workload import sample_benchmark_requests
+        sample = sample_benchmark_requests(tiny_workload, 60)
+        rig = ApBenchmarkRig(tiny_workload.catalog,
+                             source_model=dead_source_model())
+        report = rig.replay(sample)
+        assert report.failure_ratio > 0.95   # bug-free tasks all fail
+        assert report.speed_cdf().median < 1e3
+
+
+class TestNoUploadCapacity:
+    def test_cloud_rejects_every_fetch(self, tiny_workload):
+        # One byte-per-second of total purchased upload bandwidth.
+        cloud = XuanfengCloud(CloudConfig(
+            scale=TINY.scale, upload_capacity=1.0))
+        result = cloud.run(tiny_workload)
+        fetches = result.fetch_records
+        assert fetches
+        assert all(record.rejected for record in fetches)
+        assert result.rejection_ratio == 1.0
+        # Rejected fetches show up at 0 B/s, as in Figure 8's minimum.
+        assert result.fetch_speed_cdf().max == 0.0
+
+
+class TestBrokenFirmware:
+    def test_ap_with_always_failing_firmware(self, tiny_workload):
+        from repro.workload import sample_benchmark_requests
+        sample = sample_benchmark_requests(tiny_workload, 30)
+        ap = SmartAP(MIWIFI,
+                     system=OpenWrtSystem(bug_failure_rate=0.999999))
+        rig = ApBenchmarkRig(tiny_workload.catalog, aps=[ap])
+        report = rig.replay(sample)
+        assert report.failure_ratio == 1.0
+        causes = report.failure_cause_breakdown()
+        assert causes[CAUSE_SYSTEM_BUG] == 1.0
+
+
+class TestDegenerateWorkloads:
+    def test_single_file_workload(self):
+        config = WorkloadConfig(scale=2e-6, seed=1)   # 1 file
+        workload = WorkloadGenerator(config).generate()
+        assert len(workload.catalog) == 1
+        result = XuanfengCloud(
+            CloudConfig(scale=0.001)).run(workload)
+        assert len(result.tasks) == len(workload.requests)
+
+    def test_all_unpopular_catalog(self, tiny_workload):
+        # Force every file unpopular and verify the cloud's failure
+        # ratio rises accordingly (Bottleneck 3's premise).
+        from repro.workload.popularity import PopularityModel
+        from repro.workload.catalog import FileCatalog
+        model = PopularityModel(unpopular_file_share=0.997,
+                                highly_popular_file_share=0.001)
+        catalog = FileCatalog(popularity_model=model)
+        catalog.generate(400, np.random.default_rng(0))
+        shares = catalog.class_file_shares()
+        assert shares[PopularityClass.UNPOPULAR] > 0.98

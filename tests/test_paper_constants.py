@@ -1,0 +1,43 @@
+"""Sanity checks on the published-constants module itself."""
+
+import pytest
+
+from repro import paper
+from repro.sim.clock import gbps, kbps, mbps
+
+
+class TestInternalConsistency:
+    def test_impeded_breakdown_sums_to_the_total(self):
+        # 9.6 + 10.8 + 1.5 + 6.1 = 28 (section 4.2).
+        total = (paper.IMPEDED_BY_ISP_BARRIER +
+                 paper.IMPEDED_BY_LOW_ACCESS_BW +
+                 paper.IMPEDED_BY_REJECTION + paper.IMPEDED_UNKNOWN)
+        assert total == pytest.approx(paper.IMPEDED_FETCH_SHARE)
+
+    def test_ap_failure_causes_sum_to_one(self):
+        assert paper.AP_FAILURE_CAUSE_SEEDS + \
+            paper.AP_FAILURE_CAUSE_SERVER + \
+            paper.AP_FAILURE_CAUSE_BUG == pytest.approx(1.0)
+
+    def test_class_definitions_are_ordered(self):
+        assert 0 < paper.UNPOPULAR_MAX_WEEKLY < \
+            paper.POPULAR_MAX_WEEKLY
+
+    def test_trace_dimensions(self):
+        # ~7.25 requests per file, ~5.2 per user.
+        assert paper.TOTAL_TASKS / paper.TOTAL_UNIQUE_FILES == \
+            pytest.approx(7.25, abs=0.05)
+        assert paper.TOTAL_TASKS / paper.TOTAL_USERS == \
+            pytest.approx(5.2, abs=0.1)
+
+    def test_unit_conversions_used_in_constants(self):
+        assert paper.PREDOWNLOADER_BANDWIDTH == pytest.approx(2.5e6)
+        assert paper.IMPEDED_FETCH_THRESHOLD == pytest.approx(kbps(125))
+        assert paper.CLOUD_UPLOAD_CAPACITY == pytest.approx(gbps(30))
+
+    def test_odr_improvement_directions(self):
+        assert paper.ODR_IMPEDED_FETCH_SHARE < paper.IMPEDED_FETCH_SHARE
+        assert paper.ODR_UNPOPULAR_FAILURE_RATIO < \
+            paper.AP_UNPOPULAR_FAILURE_RATIO
+        assert paper.ODR_PEAK_BURDEN < paper.CLOUD_PEAK_BURDEN
+        assert paper.ODR_FETCH_SPEED_MEDIAN > paper.FETCH_SPEED_MEDIAN

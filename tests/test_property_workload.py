@@ -1,0 +1,53 @@
+"""Property-based tests over the workload generator at random configs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@st.composite
+def configs(draw):
+    scale = draw(st.floats(min_value=0.0004, max_value=0.003))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    return WorkloadConfig(scale=scale, seed=seed)
+
+
+class TestGeneratorInvariants:
+    @given(config=configs())
+    @settings(max_examples=12, deadline=None)
+    def test_structural_invariants_hold_for_any_config(self, config):
+        workload = WorkloadGenerator(config).generate()
+
+        # Dimensions follow the config.
+        assert len(workload.catalog) == config.file_count
+        assert len(workload.users) == config.user_count
+        assert len(workload.requests) == workload.catalog.total_demand()
+
+        # Referential integrity.
+        users = workload.user_by_id()
+        for request in workload.requests:
+            assert request.user_id in users
+            record = workload.catalog[request.file_id]
+            assert request.file_size == record.size
+            assert 0.0 <= request.request_time <= config.horizon
+
+        # Temporal ordering and unique task identity.
+        times = [request.request_time for request in workload.requests]
+        assert times == sorted(times)
+        assert len({request.task_id
+                    for request in workload.requests}) == \
+            len(workload.requests)
+
+        # Every demand is positive and every size physical.
+        for record in workload.catalog:
+            assert record.weekly_demand >= 1
+            assert 4.0 <= record.size <= 4e9
+
+        # Class shares are proper probability vectors.
+        for shares in (workload.catalog.class_file_shares(),
+                       workload.catalog.class_request_shares()):
+            assert sum(shares.values()) == pytest.approx(1.0)
+            assert all(0.0 <= value <= 1.0
+                       for value in shares.values())

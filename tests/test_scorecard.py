@@ -1,0 +1,36 @@
+"""Tests for the reproduction scorecard -- the regression guard."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.scorecard import build_scorecard
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return build_scorecard(ExperimentContext(scale=0.005, seed=20150222))
+
+
+class TestScorecard:
+    def test_covers_every_experiment(self, scorecard):
+        assert len(scorecard.reports) == 14
+        assert len(scorecard.all_errors) > 60
+
+    def test_median_relative_error_band(self, scorecard):
+        # The guard: reproduction quality must not silently regress.
+        assert scorecard.median_relative_error < 0.30
+
+    def test_majority_of_rows_within_25_percent(self, scorecard):
+        assert scorecard.share_within_25_percent > 0.5
+
+    def test_headline_claims_mostly_hold(self, scorecard):
+        # At this reduced test scale a couple of claims can wobble
+        # (rejections are peak-driven); the bulk must hold.
+        assert len(scorecard.claims) == 12
+        assert scorecard.claims_held >= 10
+
+    def test_render_lists_claims_and_table(self, scorecard):
+        text = scorecard.render()
+        assert "headline claims" in text
+        assert "median relative error" in text
+        assert "table2" in text

@@ -1,0 +1,58 @@
+"""Tests for time/rate units -- the paper mixes bits and bytes freely."""
+
+import pytest
+
+from repro.sim.clock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    format_duration,
+    gbps,
+    kbps,
+    mbps,
+    to_gbps,
+    to_kbps,
+    to_mbps,
+)
+
+
+class TestUnits:
+    def test_time_constants(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_the_papers_bit_byte_equivalences(self):
+        # "20 Mbps (= 2.5 MBps)" -- section 2.1.
+        assert mbps(20.0) == pytest.approx(2.5e6)
+        # "50 Mbps (= 6.25 MBps)" -- section 2.1.
+        assert mbps(50.0) == pytest.approx(6.25e6)
+        # "1 Mbps, or 125 KBps" -- section 1.
+        assert mbps(1.0) == pytest.approx(kbps(125.0))
+        # 30 Gbps of purchased upload bandwidth -- section 4.2.
+        assert gbps(30.0) == pytest.approx(3.75e9)
+
+    def test_roundtrips(self):
+        assert to_mbps(mbps(17.0)) == pytest.approx(17.0)
+        assert to_gbps(gbps(2.5)) == pytest.approx(2.5)
+        assert to_kbps(kbps(287.0)) == pytest.approx(287.0)
+
+
+class TestFormatDuration:
+    def test_seconds_only(self):
+        assert format_duration(42.0) == "42s"
+
+    def test_compound(self):
+        assert format_duration(2 * DAY + 3 * HOUR + 4 * MINUTE) == \
+            "2d3h4m0s"
+
+    def test_minutes(self):
+        assert format_duration(82 * MINUTE) == "1h22m0s"
+
+    def test_negative(self):
+        assert format_duration(-90.0) == "-1m30s"
+
+    def test_zero(self):
+        assert format_duration(0.0) == "0s"

@@ -1,0 +1,278 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.engine import Event
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_call_in_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(3.0, fired.append, "c")
+        sim.call_in(1.0, fired.append, "a")
+        sim.call_in(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.call_at(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_call_at_in_the_past_is_rejected(self):
+        sim = Simulator()
+        sim.call_in(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_run_until_stops_clock_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(10.0, fired.append, "late")
+        end = sim.run(until=4.0)
+        assert end == 4.0
+        assert fired == []
+        sim.run()
+        assert fired == ["late"]
+
+    def test_run_until_advances_clock_when_queue_is_empty(self):
+        sim = Simulator()
+        assert sim.run(until=42.0) == 42.0
+        assert sim.now == 42.0
+
+    def test_callbacks_can_schedule_more_callbacks(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.call_in(1.0, chain, depth + 1)
+
+        sim.call_in(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(5.0)
+            return sim.now
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.result == 5.0
+
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+
+        def proc():
+            value = yield Timeout(1.0, value="ping")
+            return value
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.result == "ping"
+
+    def test_negative_timeout_is_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_process_waits_on_another_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(3.0)
+            return "payload"
+
+        def parent():
+            value = yield sim.process(child())
+            return value, sim.now
+
+        process = sim.process(parent())
+        sim.run()
+        assert process.result == ("payload", 3.0)
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            return 99
+
+        child_process = sim.process(child())
+
+        def parent():
+            yield Timeout(5.0)
+            value = yield child_process
+            return value
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.result == 99
+        assert sim.now == 5.0
+
+    def test_child_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = sim.process(parent())
+        sim.run()
+        assert process.result == "caught boom"
+
+    def test_unhandled_process_error_surfaces_in_run(self):
+        sim = Simulator()
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("unobserved")
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_result_before_completion_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        process = sim.process(proc())
+        with pytest.raises(SimulationError):
+            _ = process.result
+
+    def test_yielding_garbage_fails_the_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+            return "slept"
+
+        process = sim.process(sleeper())
+        sim.call_at(2.0, process.interrupt, "wake")
+        sim.run()
+        assert process.result == ("interrupted", "wake", 2.0)
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+            return "done"
+
+        process = sim.process(quick())
+        sim.run()
+        process.interrupt("late")
+        sim.run()
+        assert process.result == "done"
+
+    def test_run_all_returns_results_in_order(self):
+        sim = Simulator()
+
+        def proc(delay, tag):
+            yield Timeout(delay)
+            return tag
+
+        results = sim.run_all([proc(3, "a"), proc(1, "b"), proc(2, "c")])
+        assert results == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_event_resumes_waiters_with_value(self):
+        sim = Simulator()
+        event = sim.event()
+
+        def waiter():
+            value = yield event
+            return value, sim.now
+
+        process = sim.process(waiter())
+        sim.call_at(7.0, event.trigger, "signal")
+        sim.run()
+        assert process.result == ("signal", 7.0)
+
+    def test_event_triggers_multiple_waiters(self):
+        sim = Simulator()
+        event = sim.event()
+
+        def waiter():
+            return (yield event)
+
+        processes = [sim.process(waiter()) for _ in range(3)]
+        sim.call_at(1.0, event.trigger, 5)
+        sim.run()
+        assert [p.result for p in processes] == [5, 5, 5]
+
+    def test_waiting_on_already_triggered_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.trigger("early")
+
+        def waiter():
+            return (yield event)
+
+        process = sim.process(waiter())
+        sim.run()
+        assert process.result == "early"
+
+    def test_double_trigger_is_an_error(self):
+        sim = Simulator()
+        event = sim.event(name="once")
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+    def test_value_before_trigger_is_an_error(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        event.trigger(3)
+        assert event.value == 3
+        assert event.triggered

@@ -1,0 +1,92 @@
+"""Tests for the FIFO slot resource."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.sim.engine import SimulationError
+from repro.sim.queueing import SlotResource
+
+
+def worker(sim, resource, work, log, tag):
+    slot = yield resource.acquire(sim)
+    log.append(("start", tag, sim.now))
+    yield Timeout(work)
+    resource.release(slot, sim)
+    log.append(("done", tag, sim.now))
+
+
+class TestSlotResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlotResource(0)
+
+    def test_uncontended_acquire_is_immediate(self):
+        sim = Simulator()
+        resource = SlotResource(2)
+        log = []
+        sim.process(worker(sim, resource, 5.0, log, "a"))
+        sim.run()
+        assert log == [("start", "a", 0.0), ("done", "a", 5.0)]
+        assert resource.available == 2
+
+    def test_contention_serialises_in_fifo_order(self):
+        sim = Simulator()
+        resource = SlotResource(1)
+        log = []
+        for tag, work in (("a", 4.0), ("b", 2.0), ("c", 1.0)):
+            sim.process(worker(sim, resource, work, log, tag))
+        sim.run()
+        starts = [(tag, when) for kind, tag, when in log
+                  if kind == "start"]
+        assert starts == [("a", 0.0), ("b", 4.0), ("c", 6.0)]
+
+    def test_two_slots_run_two_at_once(self):
+        sim = Simulator()
+        resource = SlotResource(2)
+        log = []
+        for tag in "abc":
+            sim.process(worker(sim, resource, 10.0, log, tag))
+        sim.run()
+        starts = dict((tag, when) for kind, tag, when in log
+                      if kind == "start")
+        assert starts["a"] == 0.0 and starts["b"] == 0.0
+        assert starts["c"] == 10.0
+
+    def test_statistics(self):
+        sim = Simulator()
+        resource = SlotResource(1)
+        log = []
+        for tag in "abc":
+            sim.process(worker(sim, resource, 3.0, log, tag))
+        sim.run()
+        assert resource.total_acquired == 3
+        assert resource.peak_queue_length == 2
+        # Waits: 0 + 3 + 6 over three acquisitions.
+        assert resource.mean_wait_time == pytest.approx(3.0)
+
+    def test_double_release_is_an_error(self):
+        sim = Simulator()
+        resource = SlotResource(1)
+        event = resource.acquire(sim)
+        sim.run()
+        slot = event.value
+        resource.release(slot, sim)
+        with pytest.raises(SimulationError):
+            resource.release(slot, sim)
+
+    def test_foreign_slot_rejected(self):
+        sim = Simulator()
+        first, second = SlotResource(1), SlotResource(1)
+        event = first.acquire(sim)
+        sim.run()
+        with pytest.raises(SimulationError):
+            second.release(event.value, sim)
+
+    def test_queue_length_tracks_waiters(self):
+        sim = Simulator()
+        resource = SlotResource(1)
+        resource.acquire(sim)
+        resource.acquire(sim)
+        resource.acquire(sim)
+        assert resource.queue_length == 2
+        assert resource.available == 0

@@ -1,0 +1,129 @@
+"""Tests for storage devices, filesystems, and the write-path model."""
+
+import pytest
+
+from repro.storage import (
+    Filesystem,
+    SATA_HDD_1TB,
+    SD_CARD_8GB,
+    USB_FLASH_8GB,
+    USB_HDD_5400,
+    WritePath,
+)
+from repro.storage.device import DeviceKind, StorageDevice
+
+
+class TestDevices:
+    def test_hiwifi_sd_card_is_fat_only(self):
+        assert SD_CARD_8GB.supports(Filesystem.FAT)
+        assert not SD_CARD_8GB.supports(Filesystem.NTFS)
+        assert not SD_CARD_8GB.supports(Filesystem.EXT4)
+
+    def test_miwifi_sata_is_factory_ext4(self):
+        assert SATA_HDD_1TB.supports(Filesystem.EXT4)
+        assert not SATA_HDD_1TB.supports(Filesystem.FAT)
+
+    def test_usb_devices_support_all_filesystems(self):
+        for device in (USB_FLASH_8GB, USB_HDD_5400):
+            for filesystem in Filesystem:
+                assert device.supports(filesystem)
+
+    def test_flash_classification(self):
+        assert DeviceKind.SD_CARD.is_flash
+        assert DeviceKind.USB_FLASH.is_flash
+        assert not DeviceKind.USB_HDD.is_flash
+        assert not DeviceKind.SATA_HDD.is_flash
+
+    def test_small_write_rate_requires_supported_fs(self):
+        with pytest.raises(ValueError):
+            SD_CARD_8GB.small_write_rate(Filesystem.NTFS)
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            StorageDevice("bad", DeviceKind.USB_FLASH, capacity=0.0,
+                          max_write_rate=1.0, max_read_rate=1.0)
+        with pytest.raises(ValueError):
+            StorageDevice("bad", DeviceKind.USB_FLASH, capacity=1.0,
+                          max_write_rate=1.0, max_read_rate=1.0,
+                          allowed_filesystems=())
+
+    def test_vendor_sheet_numbers(self):
+        # Section 5.1's device spec sheet.
+        assert SD_CARD_8GB.max_write_rate == 15e6
+        assert SD_CARD_8GB.max_read_rate == 30e6
+        assert USB_FLASH_8GB.max_write_rate == 10e6
+        assert SATA_HDD_1TB.max_read_rate == 70e6
+
+
+# The paper's Table 2, verbatim: (device, fs, cpu MHz) -> (MBps, iowait).
+TABLE2_CASES = [
+    (SD_CARD_8GB, Filesystem.FAT, 580.0, 2.37, 0.421),
+    (SATA_HDD_1TB, Filesystem.EXT4, 1000.0, 2.37, 0.297),
+    (USB_FLASH_8GB, Filesystem.FAT, 580.0, 2.12, 0.663),
+    (USB_FLASH_8GB, Filesystem.NTFS, 580.0, 0.93, 0.151),
+    (USB_FLASH_8GB, Filesystem.EXT4, 580.0, 2.13, 0.55),
+    (USB_HDD_5400, Filesystem.FAT, 580.0, 2.37, 0.42),
+    (USB_HDD_5400, Filesystem.NTFS, 580.0, 1.13, 0.098),
+    (USB_HDD_5400, Filesystem.EXT4, 580.0, 2.37, 0.174),
+]
+
+NETWORK_RATE = 2.375e6   # the testbed ADSL goodput
+
+
+class TestWritePathTable2:
+    @pytest.mark.parametrize(
+        "device,filesystem,cpu_mhz,paper_speed,paper_iowait",
+        TABLE2_CASES,
+        ids=[f"{d.kind.value}-{f.value}" for d, f, *_ in TABLE2_CASES])
+    def test_max_speed_matches_paper(self, device, filesystem, cpu_mhz,
+                                     paper_speed, paper_iowait):
+        path = WritePath(device, filesystem, cpu_mhz)
+        speed = path.achieved_rate(NETWORK_RATE) / 1e6
+        assert speed == pytest.approx(paper_speed, rel=0.02)
+
+    @pytest.mark.parametrize(
+        "device,filesystem,cpu_mhz,paper_speed,paper_iowait",
+        TABLE2_CASES,
+        ids=[f"{d.kind.value}-{f.value}" for d, f, *_ in TABLE2_CASES])
+    def test_iowait_matches_paper(self, device, filesystem, cpu_mhz,
+                                  paper_speed, paper_iowait):
+        path = WritePath(device, filesystem, cpu_mhz)
+        iowait = path.iowait_ratio(NETWORK_RATE)
+        assert iowait == pytest.approx(paper_iowait, rel=0.05)
+
+
+class TestWritePathMechanics:
+    def test_achieved_rate_never_exceeds_network(self):
+        path = WritePath(USB_HDD_5400, Filesystem.EXT4, 580.0)
+        assert path.achieved_rate(1e5) == 1e5
+
+    def test_negative_network_rate_rejected(self):
+        path = WritePath(USB_HDD_5400, Filesystem.EXT4, 580.0)
+        with pytest.raises(ValueError):
+            path.achieved_rate(-1.0)
+
+    def test_unsupported_combination_rejected(self):
+        with pytest.raises(ValueError):
+            WritePath(SD_CARD_8GB, Filesystem.EXT4, 580.0)
+
+    def test_cpu_mhz_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WritePath(USB_FLASH_8GB, Filesystem.FAT, 0.0)
+
+    def test_faster_cpu_raises_ntfs_ceiling(self):
+        slow = WritePath(USB_FLASH_8GB, Filesystem.NTFS, 580.0)
+        fast = WritePath(USB_FLASH_8GB, Filesystem.NTFS, 1160.0)
+        assert fast.max_throughput > 1.5 * slow.max_throughput
+
+    def test_cpu_and_io_busy_fractions_are_consistent(self):
+        path = WritePath(USB_FLASH_8GB, Filesystem.FAT, 580.0)
+        rate = path.max_throughput
+        busy = path.cpu_busy_ratio(rate) + path.iowait_ratio(rate)
+        # At the processing-limited rate the pipeline is saturated.
+        assert busy == pytest.approx(1.0, rel=1e-6)
+
+    def test_ntfs_is_cpu_bound_not_io_bound(self):
+        path = WritePath(USB_FLASH_8GB, Filesystem.NTFS, 580.0)
+        rate = path.max_throughput
+        assert path.cpu_busy_ratio(rate) > 0.8
+        assert path.iowait_ratio(rate) < 0.2

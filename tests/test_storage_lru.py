@@ -1,0 +1,119 @@
+"""Tests for the byte-budgeted LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.lru import LRUCache
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0.0)
+
+    def test_get_put_roundtrip(self):
+        cache: LRUCache[str, str] = LRUCache(100.0)
+        cache.put("a", "alpha", 10.0)
+        assert cache.get("a") == "alpha"
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.used_bytes == 10.0
+
+    def test_miss_returns_none_and_counts(self):
+        cache: LRUCache[str, str] = LRUCache(100.0)
+        assert cache.get("ghost") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.0
+
+    def test_hit_ratio(self):
+        cache: LRUCache[str, int] = LRUCache(100.0)
+        cache.put("a", 1, 1.0)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_contains_does_not_touch(self):
+        cache: LRUCache[str, int] = LRUCache(100.0)
+        cache.put("a", 1, 1.0)
+        assert "a" in cache
+        assert cache.stats.lookups == 0
+
+    def test_peek_does_not_refresh_recency(self):
+        cache: LRUCache[str, int] = LRUCache(20.0)
+        cache.put("old", 1, 10.0)
+        cache.put("new", 2, 10.0)
+        cache.peek("old")
+        evicted = cache.put("third", 3, 10.0)
+        assert evicted == ["old"]
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache: LRUCache[str, int] = LRUCache(30.0)
+        cache.put("a", 1, 10.0)
+        cache.put("b", 2, 10.0)
+        cache.put("c", 3, 10.0)
+        cache.get("a")                       # refresh a
+        evicted = cache.put("d", 4, 10.0)
+        assert evicted == ["b"]
+        assert list(cache.keys_cold_to_hot()) == ["c", "a", "d"]
+
+    def test_large_insert_evicts_several(self):
+        cache: LRUCache[str, int] = LRUCache(30.0)
+        for key in "abc":
+            cache.put(key, 0, 10.0)
+        evicted = cache.put("big", 0, 25.0)
+        assert evicted == ["a", "b", "c"]
+        assert cache.used_bytes == pytest.approx(25.0)
+
+    def test_oversized_entry_is_refused(self):
+        cache: LRUCache[str, int] = LRUCache(10.0)
+        with pytest.raises(ValueError):
+            cache.put("huge", 0, 11.0)
+
+    def test_replacing_a_key_updates_bytes(self):
+        cache: LRUCache[str, int] = LRUCache(100.0)
+        cache.put("a", 1, 10.0)
+        cache.put("a", 2, 30.0)
+        assert cache.used_bytes == 30.0
+        assert cache.get("a") == 2
+
+    def test_remove(self):
+        cache: LRUCache[str, int] = LRUCache(100.0)
+        cache.put("a", 1, 10.0)
+        assert cache.remove("a")
+        assert not cache.remove("a")
+        assert cache.used_bytes == 0.0
+
+    def test_negative_size_rejected(self):
+        cache: LRUCache[str, int] = LRUCache(100.0)
+        with pytest.raises(ValueError):
+            cache.put("a", 1, -1.0)
+
+
+class TestInvariants:
+    @given(operations=st.lists(
+        st.tuples(st.sampled_from(["put", "get", "remove"]),
+                  st.integers(min_value=0, max_value=20),
+                  st.floats(min_value=0.0, max_value=40.0)),
+        max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_used_bytes_is_exact_and_bounded(self, operations):
+        cache: LRUCache[int, int] = LRUCache(100.0)
+        shadow: dict[int, float] = {}
+        for op, key, size in operations:
+            if op == "put":
+                evicted = cache.put(key, key, size)
+                shadow[key] = size
+                for cold in evicted:
+                    del shadow[cold]
+            elif op == "get":
+                cache.get(key)
+            else:
+                cache.remove(key)
+                shadow.pop(key, None)
+            assert cache.used_bytes == pytest.approx(sum(shadow.values()))
+            assert cache.used_bytes <= cache.capacity_bytes + 1e-9
+            assert set(cache.keys_cold_to_hot()) == set(shadow)

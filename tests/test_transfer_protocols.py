@@ -1,0 +1,96 @@
+"""Tests for protocol definitions and traffic-overhead models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transfer.protocols import (
+    OverheadRange,
+    Protocol,
+    ProtocolModel,
+    default_protocol_model,
+)
+
+
+class TestProtocol:
+    def test_p2p_classification(self):
+        assert Protocol.BITTORRENT.is_p2p
+        assert Protocol.EMULE.is_p2p
+        assert not Protocol.HTTP.is_p2p
+        assert not Protocol.FTP.is_p2p
+
+    def test_values_roundtrip(self):
+        for protocol in Protocol:
+            assert Protocol(protocol.value) is protocol
+
+
+class TestOverheadRange:
+    def test_sample_within_range(self):
+        bounds = OverheadRange(1.5, 2.5)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert 1.5 <= bounds.sample(rng) <= 2.5
+
+    def test_rejects_sub_unity_overhead(self):
+        with pytest.raises(ValueError):
+            OverheadRange(0.9, 1.1)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            OverheadRange(2.0, 1.5)
+
+
+class TestProtocolModel:
+    def test_p2p_overhead_is_tit_for_tat_heavy(self):
+        model = default_protocol_model()
+        rng = np.random.default_rng(1)
+        samples = [model.sample_traffic(Protocol.BITTORRENT, 100.0, rng)
+                   for _ in range(500)]
+        # Average around 2x the file size (paper: 196% aggregate).
+        assert 1.9 * 100 < np.mean(samples) < 2.1 * 100
+        assert all(150.0 <= s <= 250.0 for s in samples)
+
+    def test_http_overhead_is_header_sized(self):
+        model = default_protocol_model()
+        rng = np.random.default_rng(2)
+        samples = [model.sample_traffic(Protocol.HTTP, 100.0, rng)
+                   for _ in range(500)]
+        assert all(107.0 <= s <= 110.0 for s in samples)
+
+    def test_partial_download_pays_partial_overhead(self):
+        model = default_protocol_model()
+        rng = np.random.default_rng(3)
+        traffic = model.sample_traffic(Protocol.FTP, 1000.0, rng,
+                                       completed_fraction=0.5)
+        assert 0.5 * 1000 * 1.07 <= traffic <= 0.5 * 1000 * 1.10
+
+    def test_zero_size_costs_nothing(self):
+        model = default_protocol_model()
+        rng = np.random.default_rng(4)
+        assert model.sample_traffic(Protocol.HTTP, 0.0, rng) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        model = default_protocol_model()
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            model.sample_traffic(Protocol.HTTP, -1.0, rng)
+        with pytest.raises(ValueError):
+            model.sample_traffic(Protocol.HTTP, 1.0, rng,
+                                 completed_fraction=1.5)
+
+    def test_overhead_range_lookup(self):
+        model = default_protocol_model()
+        assert model.overhead_range(Protocol.EMULE) is model.p2p
+        assert model.overhead_range(Protocol.FTP) is model.client_server
+
+    @given(size=st.floats(min_value=0.0, max_value=1e12),
+           fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_traffic_is_bounded_by_overhead_envelope(self, size, fraction):
+        model = default_protocol_model()
+        rng = np.random.default_rng(6)
+        traffic = model.sample_traffic(Protocol.BITTORRENT, size, rng,
+                                       completed_fraction=fraction)
+        assert traffic <= size * fraction * 2.5 + 1e-6
+        assert traffic >= size * fraction * 1.5 - 1e-6

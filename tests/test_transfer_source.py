@@ -1,0 +1,130 @@
+"""Tests for content sources and the source factory."""
+
+import numpy as np
+import pytest
+
+from repro.transfer.protocols import Protocol
+from repro.transfer.source import (
+    AttemptDraw,
+    CAUSE_INSUFFICIENT_SEEDS,
+    CAUSE_POOR_SERVER,
+    CLOUD_VANTAGE,
+    HOME_VANTAGE,
+    HttpFtpSource,
+    P2PSwarmSource,
+    SourceModel,
+)
+from repro.transfer.swarm import Swarm
+
+
+class TestAttemptDraw:
+    def test_available_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            AttemptDraw(available=True, rate=0.0)
+
+    def test_unavailable_requires_cause(self):
+        with pytest.raises(ValueError):
+            AttemptDraw(available=False, rate=0.0)
+
+    def test_mid_failure_probability_bounds(self):
+        with pytest.raises(ValueError):
+            AttemptDraw(available=True, rate=1.0,
+                        mid_failure_probability=1.5)
+
+
+class TestP2PSwarmSource:
+    def test_requires_p2p_protocol(self):
+        with pytest.raises(ValueError):
+            P2PSwarmSource(Swarm("f", 5.0), protocol=Protocol.HTTP)
+
+    def test_dead_swarm_reports_insufficient_seeds(self):
+        source = P2PSwarmSource(Swarm("f", 0.0))
+        rng = np.random.default_rng(0)
+        draw = source.draw_attempt(rng, HOME_VANTAGE)
+        assert not draw.available
+        assert draw.failure_cause == CAUSE_INSUFFICIENT_SEEDS
+
+    def test_cloud_vantage_sees_more_availability(self):
+        source = P2PSwarmSource(Swarm("f", 3.0))
+        rng = np.random.default_rng(1)
+        trials = 3000
+        cloud_ok = sum(source.draw_attempt(rng, CLOUD_VANTAGE).available
+                       for _ in range(trials))
+        home_ok = sum(source.draw_attempt(rng, HOME_VANTAGE).available
+                      for _ in range(trials))
+        assert cloud_ok > home_ok * 1.1
+
+    def test_available_draws_carry_churn_risk(self):
+        source = P2PSwarmSource(Swarm("f", 2.0))
+        rng = np.random.default_rng(2)
+        churns = [draw.mid_failure_probability
+                  for draw in (source.draw_attempt(rng, HOME_VANTAGE)
+                               for _ in range(500))
+                  if draw.available]
+        assert churns and all(0.0 <= c <= 0.30 for c in churns)
+
+    def test_thriving_swarm_has_negligible_churn(self):
+        source = P2PSwarmSource(Swarm("hot", 1000.0))
+        rng = np.random.default_rng(3)
+        draw = source.draw_attempt(rng, CLOUD_VANTAGE)
+        assert draw.available
+        assert draw.mid_failure_probability < 0.01
+
+
+class TestHttpFtpSource:
+    def test_requires_client_server_protocol(self):
+        with pytest.raises(ValueError):
+            HttpFtpSource(protocol=Protocol.BITTORRENT)
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            HttpFtpSource(drop_probability=1.5)
+
+    def test_drops_report_poor_server(self):
+        source = HttpFtpSource(drop_probability=1.0)
+        rng = np.random.default_rng(4)
+        draw = source.draw_attempt(rng, HOME_VANTAGE)
+        assert not draw.available
+        assert draw.failure_cause == CAUSE_POOR_SERVER
+
+    def test_cloud_resume_bonus_reduces_drops(self):
+        source = HttpFtpSource(drop_probability=0.4)
+        rng = np.random.default_rng(5)
+        trials = 3000
+        cloud_drops = sum(
+            not source.draw_attempt(rng, CLOUD_VANTAGE).available
+            for _ in range(trials))
+        home_drops = sum(
+            not source.draw_attempt(rng, HOME_VANTAGE).available
+            for _ in range(trials))
+        assert cloud_drops < home_drops * 0.75
+
+    def test_rate_respects_cap(self):
+        source = HttpFtpSource(drop_probability=0.0, rate_cap=1e5)
+        rng = np.random.default_rng(6)
+        for _ in range(200):
+            draw = source.draw_attempt(rng, HOME_VANTAGE)
+            assert draw.rate <= 1e5
+
+
+class TestSourceModel:
+    def test_builds_by_protocol(self):
+        model = SourceModel()
+        p2p = model.build("f1", Protocol.BITTORRENT, 10.0)
+        server = model.build("f2", Protocol.FTP, 10.0)
+        assert isinstance(p2p, P2PSwarmSource)
+        assert isinstance(server, HttpFtpSource)
+        assert server.protocol is Protocol.FTP
+
+    def test_server_drop_decays_with_popularity(self):
+        model = SourceModel()
+        cold = model.server_drop_probability(1.0)
+        hot = model.server_drop_probability(500.0)
+        assert cold > hot
+        assert hot >= model.http_drop_floor
+
+    def test_swarm_demand_passes_through(self):
+        model = SourceModel()
+        source = model.build("f", Protocol.EMULE, 42.0)
+        assert isinstance(source, P2PSwarmSource)
+        assert source.swarm.weekly_demand == 42.0

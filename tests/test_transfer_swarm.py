@@ -1,0 +1,122 @@
+"""Tests for the P2P swarm model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transfer.swarm import Swarm, SwarmModel
+
+
+class TestSwarmPopulation:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            Swarm("f", -1.0)
+
+    def test_seed_count_scales_with_demand(self):
+        rng = np.random.default_rng(0)
+        cold = Swarm("cold", 1.0)
+        hot = Swarm("hot", 500.0)
+        cold_seeds = np.mean([cold.sample_seed_count(rng)
+                              for _ in range(500)])
+        hot_seeds = np.mean([hot.sample_seed_count(rng)
+                             for _ in range(500)])
+        assert hot_seeds > 50 * cold_seeds
+
+    def test_reachable_never_exceeds_seeds(self):
+        swarm = Swarm("f", 10.0)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            seeds = swarm.sample_seed_count(rng)
+            reachable = swarm.reachable_seeds(seeds, 0.5, rng)
+            assert 0 <= reachable <= seeds
+
+    def test_full_reach_keeps_all_seeds(self):
+        swarm = Swarm("f", 10.0)
+        rng = np.random.default_rng(2)
+        assert swarm.reachable_seeds(7, 1.0, rng) == 7
+        assert swarm.reachable_seeds(7, 0.0, rng) == 0
+
+    def test_reach_validation(self):
+        swarm = Swarm("f", 10.0)
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            swarm.reachable_seeds(5, 1.5, rng)
+
+
+class TestAvailability:
+    def test_availability_formula_matches_empirical(self):
+        swarm = Swarm("f", 3.0)
+        rng = np.random.default_rng(4)
+        reach = 0.6
+        trials = 6000
+        alive = 0
+        for _ in range(trials):
+            seeds = swarm.sample_seed_count(rng)
+            if swarm.reachable_seeds(seeds, reach, rng) > 0:
+                alive += 1
+        empirical = alive / trials
+        assert empirical == pytest.approx(swarm.availability(reach),
+                                          abs=0.025)
+
+    def test_availability_monotone_in_demand(self):
+        availabilities = [Swarm("f", demand).availability(0.5)
+                          for demand in (1, 5, 20, 100)]
+        assert availabilities == sorted(availabilities)
+
+    def test_availability_monotone_in_reach(self):
+        swarm = Swarm("f", 3.0)
+        assert swarm.availability(0.9) > swarm.availability(0.3)
+
+    @given(demand=st.floats(min_value=0.0, max_value=1e4),
+           reach=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_availability_is_a_probability(self, demand, reach):
+        assert 0.0 <= Swarm("f", demand).availability(reach) <= 1.0
+
+
+class TestThroughput:
+    def test_zero_seeds_zero_rate(self):
+        swarm = Swarm("f", 5.0)
+        rng = np.random.default_rng(5)
+        assert swarm.sample_rate(0, rng) == 0.0
+
+    def test_rate_positive_with_seeds(self):
+        swarm = Swarm("f", 5.0)
+        rng = np.random.default_rng(6)
+        for seeds in (1, 3, 10):
+            assert swarm.sample_rate(seeds, rng) > 0.0
+
+    def test_rate_scales_weakly_with_seeds(self):
+        # Popularity decides availability, not speed (see SwarmModel).
+        swarm = Swarm("f", 5.0)
+        rng = np.random.default_rng(7)
+        one = np.median([swarm.sample_rate(1, rng) for _ in range(2000)])
+        many = np.median([swarm.sample_rate(100, rng)
+                          for _ in range(2000)])
+        assert many > one            # more seeds never hurt
+        assert many < 3.0 * one      # ...but only weakly help
+
+
+class TestBandwidthMultiplier:
+    def test_multiplier_grows_with_demand(self):
+        small = Swarm("s", 10.0).bandwidth_multiplier(1e5)
+        large = Swarm("l", 500.0).bandwidth_multiplier(1e5)
+        assert large > small > 1.0
+
+    def test_multiplier_requires_positive_seed_rate(self):
+        with pytest.raises(ValueError):
+            Swarm("f", 10.0).bandwidth_multiplier(0.0)
+
+    def test_highly_popular_multiplier_makes_seeding_cheap(self):
+        # A ~340-demand swarm should amortise seeding ~30x, the effect
+        # behind ODR's 35% (not 39%) bandwidth saving.
+        multiplier = Swarm("hot", 340.0).bandwidth_multiplier(4.5e5)
+        assert 15.0 < multiplier < 50.0
+
+
+class TestSwarmModel:
+    def test_mean_seeds_proportional_to_demand(self):
+        model = SwarmModel(seeds_per_weekly_request=0.5)
+        assert model.mean_seeds(10.0) == pytest.approx(5.0)
+        assert model.mean_seeds(0.0) == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the fluid swarm-dynamics model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.clock import DAY, HOUR, WEEK, kbps
+from repro.transfer.swarm import SwarmModel
+from repro.transfer.swarmdynamics import (
+    SwarmDynamics,
+    SwarmDynamicsConfig,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwarmDynamicsConfig(seed_upload_rate=0.0)
+        with pytest.raises(ValueError):
+            SwarmDynamicsConfig(abandonment=1.0)
+        with pytest.raises(ValueError):
+            SwarmDynamics(SwarmDynamicsConfig(), leechers=-1.0)
+
+
+class TestInstantaneous:
+    def test_empty_swarm_moves_nothing(self):
+        dynamics = SwarmDynamics()
+        assert dynamics.aggregate_bandwidth() == 0.0
+        assert dynamics.per_leecher_rate() == 0.0
+
+    def test_seed_rich_swarm_is_demand_limited(self):
+        dynamics = SwarmDynamics(leechers=2.0, seeds=100.0)
+        config = dynamics.config
+        assert dynamics.aggregate_bandwidth() == pytest.approx(
+            2.0 * config.leecher_download_cap)
+        assert dynamics.per_leecher_rate() == pytest.approx(
+            config.leecher_download_cap)
+
+    def test_seed_poor_swarm_is_supply_limited(self):
+        dynamics = SwarmDynamics(leechers=50.0, seeds=1.0)
+        config = dynamics.config
+        supply = config.seed_upload_rate + 50.0 * \
+            config.leecher_upload_rate
+        assert dynamics.aggregate_bandwidth() == pytest.approx(supply)
+        assert dynamics.per_leecher_rate() < \
+            config.leecher_download_cap
+
+    def test_bandwidth_multiplier_grows_with_swarm(self):
+        small = SwarmDynamics(leechers=2.0, seeds=1.0)
+        large = SwarmDynamics(leechers=80.0, seeds=30.0)
+        rate = kbps(450.0)
+        assert large.bandwidth_multiplier(rate) > \
+            small.bandwidth_multiplier(rate) > 1.0
+        with pytest.raises(ValueError):
+            small.bandwidth_multiplier(0.0)
+
+
+class TestDynamics:
+    def test_steady_state_matches_littles_law(self):
+        config = SwarmDynamicsConfig()
+        dynamics = SwarmDynamics(config, leechers=1.0, seeds=1.0)
+        weekly_demand = 200.0
+        arrival_rate = weekly_demand / WEEK
+        dynamics.run(arrival_rate, duration=8 * WEEK, dt=HOUR)
+        predicted = dynamics.steady_state_seeds(weekly_demand)
+        assert dynamics.state.seeds == pytest.approx(predicted,
+                                                     rel=0.25)
+
+    def test_static_model_coupling_is_consistent(self):
+        # The shipped SwarmModel default (0.8 seeds per weekly request)
+        # corresponds to the dynamic model's residence time.
+        config = SwarmDynamicsConfig()
+        implied = SwarmDynamics.equivalent_seeds_per_weekly_request(
+            config)
+        assert implied == pytest.approx(
+            SwarmModel().seeds_per_weekly_request, rel=0.15)
+
+    def test_death_spiral_when_arrivals_stop(self):
+        dynamics = SwarmDynamics(leechers=0.0, seeds=10.0)
+        dynamics.run(arrival_rate=0.0, duration=4 * WEEK, dt=HOUR)
+        assert dynamics.state.seeds < 0.1
+        assert dynamics.state.leechers == 0.0
+
+    def test_flash_crowd_recovers_through_seed_conversion(self):
+        dynamics = SwarmDynamics(leechers=0.0, seeds=2.0)
+        # A burst: 500 arrivals over two hours.
+        dynamics.run(arrival_rate=500.0 / (2 * HOUR),
+                     duration=2 * HOUR, dt=300.0)
+        crowded_rate = dynamics.per_leecher_rate()
+        # Then the tail: arrivals stop, completions mint seeds.
+        dynamics.run(arrival_rate=0.5 / HOUR, duration=2 * DAY,
+                     dt=600.0)
+        recovered_rate = dynamics.per_leecher_rate()
+        assert crowded_rate < recovered_rate
+        assert dynamics.state.seeds > 2.0
+
+    def test_populations_stay_non_negative(self):
+        dynamics = SwarmDynamics(leechers=5.0, seeds=5.0)
+        for _ in range(200):
+            dynamics.step(arrival_rate=0.0, dt=DAY)
+            assert dynamics.state.leechers >= 0.0
+            assert dynamics.state.seeds >= 0.0
+
+    def test_history_is_appended(self):
+        dynamics = SwarmDynamics()
+        dynamics.run(arrival_rate=1.0 / HOUR, duration=HOUR, dt=600.0)
+        assert len(dynamics.history) == 7   # initial + 6 steps
+        times = [state.time for state in dynamics.history]
+        assert times == sorted(times)
+
+    def test_step_validation(self):
+        dynamics = SwarmDynamics()
+        with pytest.raises(ValueError):
+            dynamics.step(arrival_rate=1.0, dt=0.0)
+        with pytest.raises(ValueError):
+            dynamics.step(arrival_rate=-1.0, dt=1.0)

@@ -1,0 +1,126 @@
+"""Tests for the file catalog, quota decks, and the user population."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.netsim.isp import ISP, default_registry
+from repro.netsim.ip import IpResolver
+from repro.transfer.protocols import Protocol
+from repro.workload.catalog import FileCatalog, PROTOCOL_MIX, QuotaDeck
+from repro.workload.filetypes import FileType
+from repro.workload.users import UserPopulation
+
+
+class TestQuotaDeck:
+    def test_exact_proportions_per_deck_cycle(self):
+        deck = QuotaDeck(("a", "b"), (0.7, 0.3), deck_size=10)
+        rng = np.random.default_rng(0)
+        draws = Counter(deck.draw(rng) for _ in range(10))
+        assert draws == {"a": 7, "b": 3}
+
+    def test_reshuffles_after_exhaustion(self):
+        deck = QuotaDeck(("a", "b"), (0.5, 0.5), deck_size=4)
+        rng = np.random.default_rng(1)
+        draws = Counter(deck.draw(rng) for _ in range(40))
+        assert draws == {"a": 20, "b": 20}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotaDeck((), ())
+        with pytest.raises(ValueError):
+            QuotaDeck(("a",), (0.5, 0.5))
+
+
+class TestFileCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        catalog = FileCatalog()
+        catalog.generate(3000, np.random.default_rng(2))
+        return catalog
+
+    def test_generation_count_and_uniqueness(self, catalog):
+        assert len(catalog) == 3000
+        assert len({record.file_id for record in catalog}) == 3000
+
+    def test_protocol_mix_is_stratified(self, catalog):
+        counts = Counter(record.protocol for record in catalog)
+        for protocol, share in PROTOCOL_MIX:
+            assert counts[protocol] / len(catalog) == \
+                pytest.approx(share, abs=0.01)
+
+    def test_source_urls_carry_protocol_and_id(self, catalog):
+        for record in list(catalog)[:50]:
+            assert record.source_url == \
+                f"{record.protocol.value}://origin/{record.file_id}"
+
+    def test_type_mix(self, catalog):
+        counts = Counter(record.file_type for record in catalog)
+        video_share = counts[FileType.VIDEO] / len(catalog)
+        assert video_share == pytest.approx(0.75, abs=0.03)
+
+    def test_indexing(self, catalog):
+        record = next(iter(catalog))
+        assert catalog[record.file_id] is record
+        assert catalog.get(record.file_id) is record
+        assert catalog.get("missing") is None
+
+    def test_total_demand_consistency(self, catalog):
+        assert catalog.total_demand() == catalog.demands().sum()
+
+    def test_class_shares_sum_to_one(self, catalog):
+        assert sum(catalog.class_file_shares().values()) == \
+            pytest.approx(1.0)
+        assert sum(catalog.class_request_shares().values()) == \
+            pytest.approx(1.0)
+
+    def test_negative_count_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.generate(-1, np.random.default_rng(3))
+
+
+class TestUserPopulation:
+    @pytest.fixture(scope="class")
+    def population(self):
+        population = UserPopulation()
+        population.generate(2000, np.random.default_rng(4))
+        return population
+
+    def test_count_and_unique_ids(self, population):
+        assert len(population) == 2000
+        assert len({user.user_id for user in population.users}) == 2000
+
+    def test_ip_resolves_to_claimed_isp(self, population):
+        resolver = IpResolver()
+        for user in population.users[:200]:
+            assert resolver.resolve(user.ip_address) is user.isp
+
+    def test_isp_shares_roughly_match_registry(self, population):
+        counts = Counter(user.isp for user in population.users)
+        shares = default_registry().population_shares()
+        for isp, share in shares.items():
+            assert counts[isp] / len(population) == \
+                pytest.approx(share, abs=0.035)
+
+    def test_reported_bandwidth_respects_flag(self, population):
+        for user in population.users[:200]:
+            if user.reports_bandwidth:
+                assert user.reported_bandwidth == user.access_bandwidth
+            else:
+                assert user.reported_bandwidth is None
+
+    def test_report_probability_calibration(self, population):
+        reporting = sum(1 for user in population.users
+                        if user.reports_bandwidth)
+        assert reporting / len(population) == pytest.approx(0.7,
+                                                            abs=0.04)
+
+    def test_sampling_requires_population(self):
+        empty = UserPopulation()
+        with pytest.raises(RuntimeError):
+            empty.sample_user(np.random.default_rng(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserPopulation(report_probability=1.5)

@@ -1,0 +1,175 @@
+"""Tests for arrivals, the workload generator, sampler, and trace IO."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.netsim.isp import ISP
+from repro.sim.clock import DAY, WEEK
+from repro.workload import (
+    ArrivalProcess,
+    WorkloadConfig,
+    WorkloadGenerator,
+    load_workload,
+    sample_benchmark_requests,
+    save_workload,
+)
+from repro.workload.records import (
+    FetchRecord,
+    PreDownloadRecord,
+    RequestRecord,
+)
+from repro.workload.traceio import read_jsonl, write_jsonl
+
+
+class TestArrivalProcess:
+    def test_exact_count_sorted_in_horizon(self):
+        process = ArrivalProcess()
+        times = process.sample_times(5000, np.random.default_rng(0))
+        assert len(times) == 5000
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0.0 and times[-1] <= WEEK
+
+    def test_zero_count(self):
+        process = ArrivalProcess()
+        assert len(process.sample_times(0, np.random.default_rng(1))) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess().sample_times(-1, np.random.default_rng(2))
+
+    def test_growth_loads_the_late_week(self):
+        process = ArrivalProcess(growth=0.5, amplitude=0.0)
+        times = process.sample_times(20000, np.random.default_rng(3))
+        first_half = (times < WEEK / 2).mean()
+        assert first_half < 0.47
+
+    def test_intensity_positive(self):
+        process = ArrivalProcess()
+        grid = np.linspace(0, WEEK, 1000)
+        assert np.all(process.intensity(grid) > 0)
+
+    def test_diurnal_peak_in_the_evening(self):
+        process = ArrivalProcess(growth=0.0, amplitude=0.5)
+        hours = np.arange(24)
+        intensity = process.intensity(hours * 3600.0)
+        assert 19 <= hours[np.argmax(intensity)] <= 23
+
+
+class TestWorkloadGenerator:
+    def test_dimensions_scale(self, workload):
+        config = workload.config
+        assert len(workload.catalog) == config.file_count
+        assert len(workload.users) == config.user_count
+        # Tasks follow total catalog demand.
+        assert len(workload.requests) == workload.catalog.total_demand()
+
+    def test_requests_sorted_by_time(self, workload):
+        times = [request.request_time for request in workload.requests]
+        assert times == sorted(times)
+
+    def test_request_fields_match_catalog(self, workload):
+        for request in workload.requests[:300]:
+            record = workload.catalog[request.file_id]
+            assert request.file_size == record.size
+            assert request.protocol is record.protocol
+            assert request.file_type is record.file_type
+            assert request.source_url == record.source_url
+
+    def test_request_fields_match_user(self, workload):
+        users = workload.user_by_id()
+        for request in workload.requests[:300]:
+            user = users[request.user_id]
+            assert request.ip_address == user.ip_address
+            assert request.access_bandwidth == user.reported_bandwidth
+
+    def test_fetch_at_most_once_mostly_holds(self, workload):
+        pairs = Counter((request.user_id, request.file_id)
+                        for request in workload.requests)
+        repeats = sum(1 for count in pairs.values() if count > 1)
+        assert repeats / len(pairs) < 0.01
+
+    def test_task_ids_unique(self, workload):
+        ids = {request.task_id for request in workload.requests}
+        assert len(ids) == len(workload.requests)
+
+    def test_determinism(self):
+        config = WorkloadConfig(scale=0.001, seed=99)
+        first = WorkloadGenerator(config).generate()
+        second = WorkloadGenerator(config).generate()
+        assert len(first.requests) == len(second.requests)
+        for a, b in zip(first.requests[:100], second.requests[:100]):
+            assert a.to_dict() == b.to_dict()
+
+    def test_request_class_shares(self, workload):
+        shares = workload.request_class_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestSampler:
+    def test_sample_is_unicom_with_bandwidth(self, workload,
+                                             benchmark_sample):
+        users = workload.user_by_id()
+        for request in benchmark_sample:
+            assert request.access_bandwidth is not None
+            assert users[request.user_id].isp is ISP.UNICOM
+
+    def test_sample_size(self, benchmark_sample):
+        assert len(benchmark_sample) == 400
+
+    def test_sample_without_replacement_when_possible(self, workload):
+        sample = sample_benchmark_requests(workload, 100)
+        assert len({request.task_id for request in sample}) == 100
+
+    def test_invalid_count_rejected(self, workload):
+        with pytest.raises(ValueError):
+            sample_benchmark_requests(workload, 0)
+
+    def test_empty_pool_rejected(self, workload):
+        from repro.workload.generator import Workload
+        empty = Workload(config=workload.config,
+                         catalog=workload.catalog, users=[], requests=[])
+        with pytest.raises(ValueError):
+            sample_benchmark_requests(empty, 10)
+
+
+class TestTraceIO:
+    def test_jsonl_roundtrip_requests(self, workload, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        rows = workload.requests[:50]
+        assert write_jsonl(path, rows) == 50
+        loaded = read_jsonl(path, RequestRecord)
+        assert [r.to_dict() for r in loaded] == \
+            [r.to_dict() for r in rows]
+
+    def test_jsonl_roundtrip_pre_and_fetch_records(self, tmp_path):
+        pre = PreDownloadRecord(
+            task_id="t1", file_id="f1", start_time=0.0,
+            finish_time=60.0, acquired_bytes=100.0, traffic_bytes=110.0,
+            cache_hit=False, average_speed=1.7, peak_speed=2.0,
+            success=True)
+        fetch = FetchRecord(
+            task_id="t1", user_id="u1", ip_address="1.2.3.4",
+            access_bandwidth=None, start_time=60.0, finish_time=120.0,
+            acquired_bytes=100.0, traffic_bytes=108.0,
+            average_speed=1.7, peak_speed=2.2, rejected=False)
+        path_a, path_b = tmp_path / "pre.jsonl", tmp_path / "fetch.jsonl"
+        write_jsonl(path_a, [pre])
+        write_jsonl(path_b, [fetch])
+        assert read_jsonl(path_a, PreDownloadRecord)[0].to_dict() == \
+            pre.to_dict()
+        loaded_fetch = read_jsonl(path_b, FetchRecord)[0]
+        assert loaded_fetch.access_bandwidth is None
+        assert loaded_fetch.delay == 60.0
+
+    def test_workload_save_load_roundtrip(self, tmp_path):
+        config = WorkloadConfig(scale=0.0008, seed=5)
+        workload = WorkloadGenerator(config).generate()
+        directory = save_workload(workload, tmp_path / "trace")
+        loaded = load_workload(directory)
+        assert loaded.config.scale == config.scale
+        assert len(loaded.catalog) == len(workload.catalog)
+        assert len(loaded.users) == len(workload.users)
+        assert [r.to_dict() for r in loaded.requests] == \
+            [r.to_dict() for r in workload.requests]

@@ -1,0 +1,104 @@
+"""Tests for the popularity model (Figures 6-7 / section 4.1 classes)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.popularity import (
+    HIGHLY_POPULAR_ABOVE,
+    PopularityClass,
+    PopularityModel,
+    UNPOPULAR_BELOW,
+    classify,
+    rank_popularity_curve,
+)
+
+
+class TestClassify:
+    def test_boundaries_match_paper_definitions(self):
+        # [0, 7) unpopular; [7, 84] popular; (84, inf) highly popular.
+        assert classify(0) is PopularityClass.UNPOPULAR
+        assert classify(6) is PopularityClass.UNPOPULAR
+        assert classify(7) is PopularityClass.POPULAR
+        assert classify(84) is PopularityClass.POPULAR
+        assert classify(85) is PopularityClass.HIGHLY_POPULAR
+        assert classify(10000) is PopularityClass.HIGHLY_POPULAR
+
+
+class TestPopularityModel:
+    @pytest.fixture(scope="class")
+    def demands(self):
+        model = PopularityModel()
+        rng = np.random.default_rng(0)
+        return np.array([model.sample_weekly_demand(rng)
+                         for _ in range(40000)])
+
+    def test_demands_are_positive_integers(self, demands):
+        assert demands.min() >= 1
+        assert np.all(demands == demands.astype(int))
+
+    def test_class_ranges_respected(self):
+        model = PopularityModel()
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            unpopular = model.sample_weekly_demand(
+                rng, PopularityClass.UNPOPULAR)
+            assert 1 <= unpopular < UNPOPULAR_BELOW
+            popular = model.sample_weekly_demand(
+                rng, PopularityClass.POPULAR)
+            assert UNPOPULAR_BELOW <= popular <= HIGHLY_POPULAR_ABOVE
+            highly = model.sample_weekly_demand(
+                rng, PopularityClass.HIGHLY_POPULAR)
+            assert highly > HIGHLY_POPULAR_ABOVE
+
+    def test_file_class_shares(self, demands):
+        unpopular = (demands < UNPOPULAR_BELOW).mean()
+        highly = (demands > HIGHLY_POPULAR_ABOVE).mean()
+        assert unpopular == pytest.approx(0.932, abs=0.01)
+        assert highly == pytest.approx(0.0084, abs=0.003)
+
+    def test_request_class_shares(self, demands):
+        total = demands.sum()
+        unpopular = demands[demands < UNPOPULAR_BELOW].sum() / total
+        highly = demands[demands > HIGHLY_POPULAR_ABOVE].sum() / total
+        assert unpopular == pytest.approx(0.36, abs=0.04)
+        assert highly == pytest.approx(0.39, abs=0.06)
+
+    def test_mean_demand_matches_real_trace(self, demands):
+        # 4,084,417 tasks / 563,517 files ~= 7.25 requests per file.
+        assert demands.mean() == pytest.approx(7.25, rel=0.08)
+
+    def test_analytic_expectations_match_calibration(self):
+        model = PopularityModel()
+        assert model.expected_mean_demand() == pytest.approx(7.25,
+                                                             rel=0.02)
+        shares = model.expected_request_shares()
+        assert shares[PopularityClass.UNPOPULAR] == \
+            pytest.approx(0.36, abs=0.01)
+        assert shares[PopularityClass.POPULAR] == \
+            pytest.approx(0.25, abs=0.01)
+        assert shares[PopularityClass.HIGHLY_POPULAR] == \
+            pytest.approx(0.39, abs=0.01)
+
+    def test_tail_cap_is_enforced(self):
+        model = PopularityModel(max_weekly_demand=200)
+        rng = np.random.default_rng(2)
+        draws = [model.sample_weekly_demand(
+            rng, PopularityClass.HIGHLY_POPULAR) for _ in range(500)]
+        assert max(draws) <= 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopularityModel(unpopular_geom_p=0.0)
+        with pytest.raises(ValueError):
+            PopularityModel(highly_popular_sigma=-1.0)
+        with pytest.raises(ValueError):
+            PopularityModel(unpopular_file_share=0.999,
+                            highly_popular_file_share=0.001)
+
+
+class TestRankCurve:
+    def test_rank_curve_is_sorted_descending(self):
+        demands = np.array([3, 50, 1, 900, 7])
+        ranks, popularity = rank_popularity_curve(demands)
+        assert list(ranks) == [1, 2, 3, 4, 5]
+        assert list(popularity) == [900, 50, 7, 3, 1]

@@ -1,0 +1,79 @@
+"""Tests for file-size and file-type models (Figure 5 / section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.filetypes import FileType, FileTypeModel
+from repro.workload.sizes import FileSizeModel
+
+
+class TestFileSizeModel:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        model = FileSizeModel()
+        rng = np.random.default_rng(0)
+        return np.array([model.sample(rng)[0] for _ in range(20000)])
+
+    def test_bounds(self, sample):
+        model = FileSizeModel()
+        assert sample.min() >= model.min_size
+        assert sample.max() <= model.max_size
+
+    def test_small_share(self, sample):
+        share = (sample < 8e6).mean()
+        assert share == pytest.approx(0.25, abs=0.02)
+
+    def test_median_near_115mb(self, sample):
+        assert np.median(sample) == pytest.approx(115e6, rel=0.10)
+
+    def test_mean_near_390mb(self, sample):
+        assert sample.mean() == pytest.approx(390e6, rel=0.08)
+
+    def test_small_flag_is_consistent(self):
+        model = FileSizeModel()
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            size, is_small = model.sample(rng)
+            assert is_small == (size < model.small_threshold)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            FileSizeModel(min_size=10.0, small_threshold=5.0)
+        with pytest.raises(ValueError):
+            FileSizeModel(small_share=1.5)
+
+    def test_sample_many_length(self):
+        model = FileSizeModel()
+        rng = np.random.default_rng(2)
+        assert len(model.sample_many(17, rng)) == 17
+
+
+class TestFileTypeModel:
+    def test_default_mixes_sum_to_one(self):
+        model = FileTypeModel()
+        assert sum(model.small_mix.values()) == pytest.approx(1.0)
+        assert sum(model.large_mix.values()) == pytest.approx(1.0)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            FileTypeModel(small_mix={FileType.VIDEO: 0.5})
+
+    def test_large_files_are_mostly_video(self):
+        model = FileTypeModel()
+        rng = np.random.default_rng(3)
+        draws = [model.sample(False, rng) for _ in range(3000)]
+        video = sum(1 for t in draws if t is FileType.VIDEO) / len(draws)
+        assert 0.85 < video < 0.93
+
+    def test_overall_mix_matches_paper(self):
+        # 25% small + 75% large should blend to ~75% video / ~14%
+        # software (section 3: 75% / 15%).
+        model = FileTypeModel()
+        rng = np.random.default_rng(4)
+        draws = [model.sample(rng.random() < 0.25, rng)
+                 for _ in range(8000)]
+        video = sum(1 for t in draws if t is FileType.VIDEO) / len(draws)
+        software = sum(1 for t in draws
+                       if t is FileType.SOFTWARE) / len(draws)
+        assert video == pytest.approx(0.75, abs=0.03)
+        assert software == pytest.approx(0.145, abs=0.03)
