@@ -25,6 +25,7 @@ Quickstart::
     print(f"cache hit ratio: {result.cache_hit_ratio:.2%}")
 """
 
+from repro.obs import MetricsRegistry, NOOP, span
 from repro.workload import Workload, WorkloadConfig, WorkloadGenerator, \
     sample_benchmark_requests
 from repro.cloud import CloudConfig, CloudRunResult, XuanfengCloud
@@ -63,5 +64,8 @@ __all__ = [
     "AlwaysHybridStrategy",
     "AmsStrategy",
     "ReplayEvaluator",
+    "MetricsRegistry",
+    "NOOP",
+    "span",
     "__version__",
 ]

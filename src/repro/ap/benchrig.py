@@ -21,6 +21,7 @@ from repro.analysis.cdf import CDF, empirical_cdf
 from repro.ap.models import ApHardware, BENCHMARKED_APS
 from repro.ap.smartap import ApPreDownloadResult, SmartAP
 from repro.netsim.link import TESTBED_ADSL, adsl_goodput
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.sim.randomness import RngFactory
 from repro.transfer.source import SourceModel
 from repro.workload.catalog import FileCatalog
@@ -114,7 +115,8 @@ class ApBenchmarkRig:
                  aps: Optional[Sequence[SmartAP]] = None,
                  source_model: Optional[SourceModel] = None,
                  uplink_bandwidth: float = adsl_goodput(TESTBED_ADSL),
-                 seed: int = 20150301):
+                 seed: int = 20150301,
+                 metrics: AnyRegistry = NOOP):
         self.catalog = catalog
         source_model = source_model or SourceModel()
         self.aps = list(aps) if aps is not None else [
@@ -122,6 +124,11 @@ class ApBenchmarkRig:
             for hardware in BENCHMARKED_APS]
         self.uplink_bandwidth = uplink_bandwidth
         self._rng_factory = RngFactory(seed)
+        self.metrics = metrics
+        self._m_replays = metrics.counter("repro_ap_replays_total")
+        self._m_iowait = metrics.histogram("repro_ap_iowait_ratio")
+        self._m_write_rate = metrics.histogram(
+            "repro_ap_write_throughput_bytes_per_second")
 
     def replay(self, requests: Sequence[RequestRecord],
                throttle_to_user: bool = True) -> ApBenchmarkReport:
@@ -147,6 +154,14 @@ class ApBenchmarkRig:
             start = clocks[ap.hardware.name]
             finish = start + outcome.duration
             clocks[ap.hardware.name] = finish
+            self._m_replays.inc()
+            if outcome.success:
+                self._m_iowait.observe(iowait)
+                self._m_write_rate.observe(outcome.average_rate)
+            else:
+                self.metrics.counter(
+                    "repro_ap_failures_total",
+                    cause=outcome.failure_cause or "unknown").inc()
             if outcome.success:
                 # Small devices are wiped between tasks (section 5.1).
                 ap.store(outcome.bytes_obtained)
@@ -179,5 +194,6 @@ class ApBenchmarkRig:
         subset = list(ranked[:top]) * repeats
         rig = ApBenchmarkRig(self.catalog, aps=[ap],
                              uplink_bandwidth=self.uplink_bandwidth,
-                             seed=self._rng_factory.master_seed + 1)
+                             seed=self._rng_factory.master_seed + 1,
+                             metrics=self.metrics)
         return rig.replay(subset, throttle_to_user=False)

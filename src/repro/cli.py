@@ -29,6 +29,50 @@ def _add_scale(parser: argparse.ArgumentParser,
     parser.add_argument("--seed", type=int, default=20150222)
 
 
+def _add_metrics(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="enable the observability subsystem and "
+                             "write collected metrics here")
+    parser.add_argument("--metrics-format",
+                        choices=("jsonl", "prom", "table"), default=None,
+                        help="metrics export format (default: jsonl "
+                             "with --metrics-out, table to stdout "
+                             "otherwise)")
+
+
+def _metrics_registry(args: argparse.Namespace):
+    """A live registry when metrics were requested, else ``NOOP``."""
+    from repro.obs import MetricsRegistry, NOOP
+    if args.metrics_out is None and args.metrics_format is None:
+        return NOOP
+    if args.metrics_out is not None:
+        # Fail fast (and create parents) before paying for a long
+        # simulation that could not write its metrics at the end.
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+    return MetricsRegistry()
+
+
+def _emit_metrics(registry, args: argparse.Namespace) -> None:
+    if not registry.enabled:
+        return
+    import json
+
+    from repro.obs import export
+    fmt = args.metrics_format
+    if fmt is None:
+        fmt = "jsonl" if args.metrics_out is not None else "table"
+    if fmt == "jsonl" and args.metrics_out is None:
+        for row in registry.to_rows():
+            print(json.dumps(row, sort_keys=True))
+        return
+    rendered = export(registry, fmt, args.metrics_out)
+    if args.metrics_out is not None:
+        print(rendered if fmt == "jsonl"
+              else f"wrote {fmt} metrics to {args.metrics_out}")
+    else:
+        print(rendered)
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.workload import WorkloadConfig, WorkloadGenerator, \
         save_workload
@@ -52,11 +96,14 @@ def _load_or_generate(args: argparse.Namespace):
 
 def cmd_cloud(args: argparse.Namespace) -> int:
     from repro.cloud import CloudConfig, XuanfengCloud
+    from repro.obs import span
+    registry = _metrics_registry(args)
     workload = _load_or_generate(args)
     config = CloudConfig(scale=workload.config.scale,
                          collaborative_cache=not args.no_cache,
                          privileged_paths=not args.no_privileged_paths)
-    result = XuanfengCloud(config).run(workload)
+    with span(registry, "cloud_run", scale=workload.config.scale):
+        result = XuanfengCloud(config, metrics=registry).run(workload)
     fetch = result.fetch_speed_cdf()
     pre = result.attempt_speed_cdf()
     print(f"tasks:            {len(result.tasks)}")
@@ -72,15 +119,20 @@ def cmd_cloud(args: argparse.Namespace) -> int:
     print(f"peak burden:      "
           f"{to_gbps(peak) / workload.config.scale:.1f} Gbps "
           f"(rescaled)")
+    _emit_metrics(registry, args)
     return 0
 
 
 def cmd_ap(args: argparse.Namespace) -> int:
     from repro.ap import ApBenchmarkRig
+    from repro.obs import span
     from repro.workload import sample_benchmark_requests
+    registry = _metrics_registry(args)
     workload = _load_or_generate(args)
     sample = sample_benchmark_requests(workload, args.sample)
-    report = ApBenchmarkRig(workload.catalog).replay(sample)
+    with span(registry, "ap_replay", sample=len(sample)):
+        report = ApBenchmarkRig(workload.catalog,
+                                metrics=registry).replay(sample)
     speed = report.speed_cdf()
     delay = report.delay_cdf()
     print(f"replayed:          {len(report.results)} requests on "
@@ -94,6 +146,7 @@ def cmd_ap(args: argparse.Namespace) -> int:
     print("failure causes:")
     for cause, share in report.failure_cause_breakdown().items():
         print(f"  {cause:<26s}{share:6.1%}")
+    _emit_metrics(registry, args)
     return 0
 
 
@@ -128,14 +181,20 @@ def cmd_odr(args: argparse.Namespace) -> int:
             else hardware.default_filesystem
         smart_ap = SmartApInfo(hardware, device, filesystem)
 
+    from repro.obs import span
+    registry = _metrics_registry(args)
     isp = ISP(args.isp)
     context = UserContext(
         user_id="cli", ip_address=IpAllocator().allocate(isp),
         access_bandwidth=mbps(args.bandwidth)
         if args.bandwidth else None,
         smart_ap=smart_ap)
-    response = OdrService(database).handle_request(context, args.link)
+    with span(registry, "odr_decision", link=args.link):
+        response = OdrService(database).handle_request(context, args.link)
+    registry.counter("repro_odr_decisions_total",
+                     action=response.decision.action.value).inc()
     print(response.explanation)
+    _emit_metrics(registry, args)
     return 0
 
 
@@ -144,6 +203,10 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     argv = ["--scale", str(args.scale)]
     if args.output:
         argv += ["--output", str(args.output)]
+    if args.metrics_out:
+        argv += ["--metrics-out", str(args.metrics_out)]
+    if args.metrics_format:
+        argv += ["--metrics-format", args.metrics_format]
     return runner_main(argv)
 
 
@@ -182,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable collaborative caching (ablation)")
     cloud.add_argument("--no-privileged-paths", action="store_true",
                        help="disable ISP-aware path selection (ablation)")
+    _add_metrics(cloud)
     cloud.set_defaults(func=cmd_cloud)
 
     ap = subparsers.add_parser(
@@ -189,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(ap)
     ap.add_argument("--trace", type=Path, default=None)
     ap.add_argument("--sample", type=int, default=1000)
+    _add_metrics(ap)
     ap.set_defaults(func=cmd_ap)
 
     odr = subparsers.add_parser(
@@ -208,12 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None)
     odr.add_argument("--filesystem", choices=["fat", "ntfs", "ext4"],
                      default=None)
+    _add_metrics(odr)
     odr.set_defaults(func=cmd_odr)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate every paper comparison")
     _add_scale(experiments, default=0.02)
     experiments.add_argument("--output", type=Path, default=None)
+    _add_metrics(experiments)
     experiments.set_defaults(func=cmd_experiments)
 
     figures = subparsers.add_parser(

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cloud.config import CloudConfig
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.transfer.session import DownloadOutcome, DownloadSession, \
     SessionLimits
 from repro.transfer.source import CLOUD_VANTAGE, ContentSource, SourceModel
@@ -30,14 +31,22 @@ class PreDownloaderFleet:
     """
 
     def __init__(self, config: CloudConfig,
-                 source_model: Optional[SourceModel] = None):
+                 source_model: Optional[SourceModel] = None,
+                 metrics: AnyRegistry = NOOP):
         self.config = config
         self.source_model = source_model or SourceModel()
+        self.metrics = metrics
         self._sources: dict[str, ContentSource] = {}
         self.attempts = 0
         self.failures = 0
         self.traffic_bytes = 0.0
         self.payload_bytes = 0.0
+        self._m_attempts = metrics.counter(
+            "repro_cloud_predownload_attempts_total")
+        self._m_failures = metrics.counter(
+            "repro_cloud_predownload_failures_total")
+        self._m_traffic = metrics.counter(
+            "repro_cloud_predownload_traffic_bytes_total")
 
     def source_for(self, record: CatalogFile) -> ContentSource:
         source = self._sources.get(record.file_id)
@@ -52,7 +61,8 @@ class PreDownloaderFleet:
             rate_caps=(self.config.predownloader_bandwidth,),
             stagnation_timeout=self.config.stagnation_timeout)
         return DownloadSession(self.source_for(record), record.size,
-                               CLOUD_VANTAGE, limits=limits)
+                               CLOUD_VANTAGE, limits=limits,
+                               metrics=self.metrics)
 
     def attempt(self, record: CatalogFile,
                 rng: np.random.Generator) -> DownloadOutcome:
@@ -64,10 +74,13 @@ class PreDownloaderFleet:
     def account(self, outcome: DownloadOutcome) -> None:
         """Fold an externally run session outcome into fleet statistics."""
         self.attempts += 1
+        self._m_attempts.inc()
         if not outcome.success:
             self.failures += 1
+            self._m_failures.inc()
         self.traffic_bytes += outcome.traffic
         self.payload_bytes += outcome.bytes_obtained
+        self._m_traffic.inc(outcome.traffic)
 
     @property
     def attempt_failure_ratio(self) -> float:

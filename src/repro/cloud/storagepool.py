@@ -40,6 +40,12 @@ class CloudStoragePool:
     def hit_ratio(self) -> float:
         return self._cache.stats.hit_ratio
 
+    @property
+    def dedup_bytes_saved(self) -> float:
+        """Logical minus physical bytes: what file-level dedup reclaims."""
+        return max(0.0, self._store.logical_bytes -
+                   self._store.physical_bytes)
+
     def lookup(self, file_id: str) -> bool:
         """Hit-test with recency refresh and hit/miss accounting."""
         return self._cache.get(file_id) is not None

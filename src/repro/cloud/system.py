@@ -23,6 +23,7 @@ from repro.cloud.predownload import PreDownloaderFleet
 from repro.cloud.storagepool import CloudStoragePool
 from repro.cloud.upload import PathChoice, UploadingServers
 from repro.netsim.topology import ChinaTopology
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.paper import FETCH_SPEED_MEAN, IMPEDED_FETCH_THRESHOLD
 from repro.sim.clock import WEEK
 from repro.sim.engine import Event, Simulator, Timeout
@@ -242,13 +243,17 @@ class XuanfengCloud:
                  source_model: Optional[SourceModel] = None,
                  fetch_model: Optional[FetchSpeedModel] = None,
                  topology: Optional[ChinaTopology] = None,
-                 seed: int = 41):
+                 seed: int = 41,
+                 metrics: AnyRegistry = NOOP):
         self.config = config
         self.topology = topology or ChinaTopology()
         self.fetch_model = fetch_model or FetchSpeedModel()
+        self.metrics = metrics
         self.pool = CloudStoragePool(config.scaled_storage_capacity)
-        self.uploads = UploadingServers(config, self.topology)
-        self.fleet = PreDownloaderFleet(config, source_model)
+        self.uploads = UploadingServers(config, self.topology,
+                                        metrics=metrics)
+        self.fleet = PreDownloaderFleet(config, source_model,
+                                        metrics=metrics)
         self.database = ContentDatabase()
         self._rng_factory = RngFactory(seed)
         self._in_flight: dict[str, Event] = {}
@@ -258,12 +263,20 @@ class XuanfengCloud:
         if config.predownloader_count is not None:
             self._vm_slots = SlotResource(config.predownloader_count,
                                           name="pre-downloaders")
+        self._m_cache_hits = metrics.counter("repro_cloud_cache_hits_total")
+        self._m_cache_misses = metrics.counter(
+            "repro_cloud_cache_misses_total")
+        self._m_dedup_saved = metrics.gauge(
+            "repro_cloud_dedup_bytes_saved")
+        self._m_queue_depth = metrics.gauge(
+            "repro_cloud_predownload_queue_depth")
+        self._m_tasks = metrics.counter("repro_cloud_tasks_total")
 
     # -- public entry point -------------------------------------------------------
 
     def run(self, workload: Workload) -> CloudRunResult:
         """Replay a whole workload; returns the collected run result."""
-        sim = Simulator()
+        sim = Simulator(metrics=self.metrics)
         rng = self._rng_factory.stream(f"cloud-run-{self._runs}")
         self._runs += 1
         if self.config.collaborative_cache and not self._preseeded:
@@ -286,6 +299,12 @@ class XuanfengCloud:
                         sim, request, workload.catalog[request.file_id],
                         users[request.user_id], rng, tasks, flows)
         sim.run()
+        self._m_dedup_saved.set(self.pool.dedup_bytes_saved)
+        # Freeze the clock at the end of the week so observations made
+        # after the run (and enclosing spans) keep a meaningful
+        # sim-time stamp instead of reading a dead simulator.
+        final_time = sim.now
+        self.metrics.set_clock(lambda: final_time)
         return CloudRunResult(
             config=self.config, tasks=tasks, flows=flows, pool=self.pool,
             uploads=self.uploads, fleet=self.fleet,
@@ -304,6 +323,7 @@ class XuanfengCloud:
     def _task(self, sim: Simulator, request: RequestRecord,
               record: CatalogFile, user: User, rng: np.random.Generator,
               tasks: list[TaskResult], flows: list[FetchFlow]):
+        self._m_tasks.inc()
         self.database.record_request(record.file_id, record.size, sim.now)
         pre_record = yield from self._predownload_phase(sim, request,
                                                         record, rng)
@@ -328,7 +348,9 @@ class XuanfengCloud:
         start = sim.now
         if self.config.collaborative_cache and \
                 self.pool.lookup(record.file_id):
+            self._m_cache_hits.inc()
             return self._hit_record(request, record, start, start)
+        self._m_cache_misses.inc()
 
         in_flight = self._in_flight.get(record.file_id) \
             if self.config.collaborative_cache else None
@@ -354,7 +376,10 @@ class XuanfengCloud:
             slot = None
             if self._vm_slots is not None:
                 # A finite fleet: wait FIFO for a free pre-downloader VM.
-                slot = yield self._vm_slots.acquire(sim)
+                acquire = self._vm_slots.acquire(sim)
+                self._m_queue_depth.set(self._vm_slots.queue_length)
+                slot = yield acquire
+                self._m_queue_depth.set(self._vm_slots.queue_length)
             try:
                 outcome = yield sim.process(
                     session.run(rng), name=f"pre-{request.task_id}")

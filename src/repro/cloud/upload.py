@@ -17,7 +17,8 @@ from typing import Callable, Optional
 
 from repro.netsim.isp import ISP, MAJOR_ISPS
 from repro.netsim.topology import ChinaTopology, PathQuality
-from repro.sim.clock import kbps
+from repro.obs.registry import AnyRegistry, NOOP
+from repro.sim.clock import kbps, to_gbps
 from repro.sim.resources import Reservation, ReservationPool
 from repro.cloud.config import CloudConfig
 
@@ -39,7 +40,8 @@ class UploadingServers:
     """The per-ISP uploading-server groups and their admission logic."""
 
     def __init__(self, config: CloudConfig,
-                 topology: Optional[ChinaTopology] = None):
+                 topology: Optional[ChinaTopology] = None,
+                 metrics: AnyRegistry = NOOP):
         self.config = config
         self.topology = topology or ChinaTopology()
         self.pools: dict[ISP, ReservationPool] = {
@@ -49,6 +51,16 @@ class UploadingServers:
         }
         self.rejected_fetches = 0
         self.total_fetches = 0
+        self._m_fetches = metrics.counter("repro_cloud_fetches_total")
+        self._m_rejects = metrics.counter(
+            "repro_cloud_admission_rejects_total")
+        self._m_crossings = metrics.counter(
+            "repro_cloud_isp_barrier_crossings_total")
+        # Committed upload bandwidth per ISP group, sampled at every
+        # admission into sim-time bins (the Fig. 11 burden series).
+        self._m_upload = {
+            isp: metrics.gauge("repro_cloud_upload_gbps", isp=isp.value)
+            for isp in MAJOR_ISPS}
 
     # -- selection -------------------------------------------------------------
 
@@ -92,6 +104,7 @@ class UploadingServers:
         rejected).
         """
         self.total_fetches += 1
+        self._m_fetches.inc()
         for server_isp in self.candidate_groups(user_isp):
             pool = self.pools[server_isp]
             assert pool.capacity is not None
@@ -113,8 +126,12 @@ class UploadingServers:
                 choice = PathChoice(server_isp=server_isp,
                                     privileged=(server_isp == user_isp),
                                     quality=quality)
+                if not choice.privileged:
+                    self._m_crossings.inc()
+                self._m_upload[server_isp].set(to_gbps(pool.committed))
                 return choice, reservation, rate
         self.rejected_fetches += 1
+        self._m_rejects.inc()
         return None
 
     # -- accounting --------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.core.strategies import Strategy
 from repro.netsim.isp import ISP
 from repro.netsim.link import TESTBED_ADSL, adsl_goodput
 from repro.netsim.topology import ChinaTopology
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.paper import IMPEDED_FETCH_THRESHOLD
 from repro.sim.clock import kbps
 from repro.sim.randomness import RngFactory
@@ -162,13 +163,15 @@ class ReplayEvaluator:
                  fetch_model: Optional[FetchSpeedModel] = None,
                  aps: Sequence[ApHardware] = BENCHMARKED_APS,
                  uplink_bandwidth: float = adsl_goodput(TESTBED_ADSL),
-                 seed: int = 20150323):
+                 seed: int = 20150323,
+                 metrics: AnyRegistry = NOOP):
         self.catalog = catalog
         self.database = database
         self.source_model = source_model or SourceModel()
         self.fetch_model = fetch_model or FetchSpeedModel()
         self.uplink_bandwidth = uplink_bandwidth
         self._rng_factory = RngFactory(seed)
+        self.metrics = metrics
         self._aps = [SmartAP(hardware, source_model=self.source_model)
                      for hardware in aps]
         # The testbed sits inside Unicom, so cloud fetches ride a
@@ -183,8 +186,36 @@ class ReplayEvaluator:
         rng = self._rng_factory.stream(f"replay-{strategy.name}")
         outcomes = [self._execute(request, strategy, index, rng)
                     for index, request in enumerate(requests)]
+        self._account(strategy.name, outcomes)
         return OdrReplayResult(strategy_name=strategy.name,
                                outcomes=outcomes)
+
+    def _account(self, strategy_name: str,
+                 outcomes: list[RouteOutcome]) -> None:
+        """Per-strategy bottleneck counters for the metrics registry."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        impeded = metrics.counter("repro_odr_impeded_total",
+                                  strategy=strategy_name)
+        failures = metrics.counter("repro_odr_failures_total",
+                                   strategy=strategy_name)
+        writepath = metrics.counter("repro_odr_writepath_limited_total",
+                                    strategy=strategy_name)
+        seeding = metrics.counter("repro_odr_cloud_seeding_bytes_total",
+                                  strategy=strategy_name)
+        for outcome in outcomes:
+            metrics.counter("repro_odr_routes_total",
+                            strategy=strategy_name,
+                            action=outcome.decision.action.value).inc()
+            if outcome.impeded:
+                impeded.inc()
+            if not outcome.success:
+                failures.inc()
+            if outcome.write_path_limited:
+                writepath.inc()
+            if outcome.cloud_seeding_bytes:
+                seeding.inc(outcome.cloud_seeding_bytes)
 
     # -- per-request execution -------------------------------------------------------
 
@@ -215,7 +246,8 @@ class ReplayEvaluator:
         source = self.source_model.build(record.file_id, record.protocol,
                                          record.weekly_demand)
         session = DownloadSession(source, record.size, CLOUD_VANTAGE,
-                                  limits=SessionLimits(rate_caps=(2.5e6,)))
+                                  limits=SessionLimits(rate_caps=(2.5e6,)),
+                                  metrics=self.metrics)
         outcome = session.simulate(rng)
         self.database.record_attempt(record.file_id, outcome.success)
         if outcome.success:
@@ -310,7 +342,8 @@ class ReplayEvaluator:
             session = DownloadSession(
                 source, record.size, HOME_VANTAGE,
                 limits=SessionLimits(rate_caps=(user_bw,
-                                                self.uplink_bandwidth)))
+                                                self.uplink_bandwidth)),
+                metrics=self.metrics)
             outcome = session.simulate(rng)
             limited = False
         speed = outcome.average_rate if outcome.success else 0.0

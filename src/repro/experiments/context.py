@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.ap.benchrig import ApBenchmarkReport, ApBenchmarkRig
 from repro.cloud import CloudConfig, CloudRunResult, XuanfengCloud
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.core import (
     CloudOnlyStrategy,
     OdrMiddleware,
@@ -43,6 +44,12 @@ class ExperimentContext:
 
     scale: float = DEFAULT_SCALE
     seed: int = DEFAULT_SEED
+    #: Observability registry shared by every artefact this context
+    #: builds (cloud run, AP replay, ODR evaluations); the default NOOP
+    #: keeps experiment/bench runs uninstrumented.
+    metrics: AnyRegistry = field(default=NOOP, repr=False)
+    #: Per-experiment wall-clock seconds, filled by the runner.
+    timings: dict[str, float] = field(default_factory=dict, repr=False)
     _workload: Optional[Workload] = field(default=None, repr=False)
     _cloud: Optional[XuanfengCloud] = field(default=None, repr=False)
     _cloud_result: Optional[CloudRunResult] = field(default=None,
@@ -75,9 +82,17 @@ class ExperimentContext:
     @property
     def cloud_result(self) -> CloudRunResult:
         if self._cloud_result is None:
-            self._cloud = XuanfengCloud(CloudConfig(scale=self.scale))
+            self._cloud = XuanfengCloud(CloudConfig(scale=self.scale),
+                                        metrics=self.metrics)
             self._cloud_result = self._cloud.run(self.workload)
         return self._cloud_result
+
+    @property
+    def peak_heap_depth(self) -> float:
+        """Deepest event heap any instrumented simulation reached."""
+        if not self.metrics.enabled:
+            return 0.0
+        return max(self.metrics.gauge("repro_sim_heap_depth").peak, 0.0)
 
     @property
     def sample(self) -> list[RequestRecord]:
@@ -89,13 +104,15 @@ class ExperimentContext:
     @property
     def ap_report(self) -> ApBenchmarkReport:
         if self._ap_report is None:
-            rig = ApBenchmarkRig(self.workload.catalog)
+            rig = ApBenchmarkRig(self.workload.catalog,
+                                 metrics=self.metrics)
             self._ap_report = rig.replay(self.sample)
         return self._ap_report
 
     def evaluator(self) -> ReplayEvaluator:
         return ReplayEvaluator(self.workload.catalog,
-                               self.cloud.database)
+                               self.cloud.database,
+                               metrics=self.metrics)
 
     @property
     def odr_result(self) -> OdrReplayResult:

@@ -8,11 +8,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import time
 from pathlib import Path
 
 from repro.experiments import REGISTRY, default_context
 from repro.experiments.base import ExperimentReport
 from repro.experiments.context import DEFAULT_SCALE, ExperimentContext
+from repro.obs import span
 
 #: Paper-section ordering for the document.
 ORDER = [
@@ -24,14 +26,26 @@ ORDER = [
 
 def run_all(context: ExperimentContext | None = None
             ) -> list[ExperimentReport]:
-    """Execute every registered experiment against one shared context."""
+    """Execute every registered experiment against one shared context.
+
+    Each driver runs inside a tracing span; its wall-clock seconds land
+    in ``context.timings`` and (when the context carries a live
+    registry) in ``repro_experiments_wall_seconds`` gauges, alongside
+    the peak simulation heap depth exposed as
+    ``context.peak_heap_depth``.
+    """
     context = context or default_context()
+    missing = sorted(set(REGISTRY) - set(ORDER))
     reports = []
-    for experiment_id in ORDER:
-        reports.append(REGISTRY[experiment_id](context))
-    missing = set(REGISTRY) - set(ORDER)
-    for experiment_id in sorted(missing):
-        reports.append(REGISTRY[experiment_id](context))
+    for experiment_id in ORDER + missing:
+        with span(context.metrics, "experiment", id=experiment_id):
+            started = time.perf_counter()
+            report = REGISTRY[experiment_id](context)
+            elapsed = time.perf_counter() - started
+        context.timings[experiment_id] = elapsed
+        context.metrics.gauge("repro_experiments_wall_seconds",
+                              experiment=experiment_id).set(elapsed)
+        reports.append(report)
     return reports
 
 
@@ -108,9 +122,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="fraction of the real week to synthesise")
     parser.add_argument("--output", type=Path, default=None,
                         help="write EXPERIMENTS.md here (default: stdout)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="instrument the run and write metrics here")
+    parser.add_argument("--metrics-format",
+                        choices=("jsonl", "prom", "table"),
+                        default="jsonl")
     args = parser.parse_args(argv)
 
     context = default_context(scale=args.scale)
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry
+        context.metrics = MetricsRegistry()
     reports = run_all(context)
     document = render_experiments_md(reports, args.scale)
 
@@ -126,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output} ({len(reports)} experiments)")
     else:
         print(document)
+    if args.metrics_out is not None:
+        from repro.obs import export
+        export(context.metrics, args.metrics_format, args.metrics_out)
+        print(f"wrote {args.metrics_format} metrics to "
+              f"{args.metrics_out}")
     return 0
 
 

@@ -1,0 +1,74 @@
+"""repro.obs -- sim-time-aware observability for the reproduction.
+
+The subsystem every other layer reports into:
+
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  streaming :class:`Histogram` instruments, whose observations are
+  stamped with **simulation** time (bound from the
+  :class:`~repro.sim.engine.Simulator` clock) as well as wall time and
+  aggregated into fixed-width sim-time bins;
+* :func:`span` -- lightweight tracing of logical work units;
+* exporters -- JSONL event log (round-trippable via :func:`load_jsonl`),
+  Prometheus text dump, and a rendered summary table;
+* :data:`NOOP` -- the null-object registry, the default ``metrics=``
+  everywhere, making instrumentation free when disabled.
+
+Metric naming convention: ``repro_<subsystem>_<name>`` with
+Prometheus-style unit suffixes (``_total``, ``_bytes``, ``_seconds``,
+``_gbps``).  See DESIGN.md's Observability section for the inventory.
+"""
+
+from repro.obs.histogram import QuantileSketch
+from repro.obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    SUMMARY_QUANTILES,
+    render_name,
+)
+from repro.obs.registry import (
+    AnyRegistry,
+    DEFAULT_BIN_WIDTH,
+    MetricsRegistry,
+    NOOP,
+    NoopRegistry,
+)
+from repro.obs.tracing import SpanHandle, span
+from repro.obs.exporters import (
+    FORMATS,
+    export,
+    load_jsonl,
+    render_prometheus,
+    render_summary_table,
+    summary_table,
+    write_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NOOP",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+    "AnyRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QuantileSketch",
+    "SpanHandle",
+    "span",
+    "SUMMARY_QUANTILES",
+    "DEFAULT_BIN_WIDTH",
+    "FORMATS",
+    "render_name",
+    "export",
+    "write_jsonl",
+    "load_jsonl",
+    "render_prometheus",
+    "render_summary_table",
+    "summary_table",
+]

@@ -1,0 +1,121 @@
+"""Streaming quantile sketch for histogram instruments.
+
+A fixed geometric-bucket sketch: observations land in log-spaced buckets
+(growth factor 1.05, ~2.5 % relative resolution), so quantile estimates
+cost O(1) per observation, use no numpy in the hot path, and stay
+bounded in memory no matter how many samples stream through.  Buckets
+are kept sparse (a dict), so an instrument that only ever sees a narrow
+value band stores a handful of integers.
+
+This is the same trade HDR-histogram-style monitoring systems make:
+exact counts, bounded relative error on values, mergeable state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+#: Geometric growth factor between bucket boundaries; relative error of
+#: a quantile estimate is at most ``(GROWTH - 1) / 2`` ~ 2.5 %.
+GROWTH = 1.05
+_LOG_GROWTH = math.log(GROWTH)
+
+
+def _bucket_index(value: float) -> int:
+    """Index of the geometric bucket holding ``value`` (> 0)."""
+    return int(math.floor(math.log(value) / _LOG_GROWTH))
+
+
+def _bucket_midpoint(index: int) -> float:
+    """Representative value of a bucket: geometric mean of its bounds."""
+    return math.exp((index + 0.5) * _LOG_GROWTH)
+
+
+class QuantileSketch:
+    """Sparse geometric-bucket streaming histogram.
+
+    Tracks count, sum, min and max exactly; quantiles are estimated to
+    within the bucket resolution.  Values ``<= 0`` are folded into a
+    dedicated underflow bucket counted at value zero (durations and
+    byte counts are never meaningfully negative).
+    """
+
+    __slots__ = ("_buckets", "_zero_count", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value <= 0.0:
+            self._zero_count += 1
+            return
+        index = _bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) of the stream."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min_value
+        if q >= 1.0:
+            return self.max_value
+        # Rank of the wanted observation (1-based, nearest-rank rule).
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self._zero_count:
+            return min(self.min_value, 0.0)
+        seen = self._zero_count
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # Clamp to the exactly-tracked extremes so tail
+                # quantiles never leave the observed range.
+                estimate = _bucket_midpoint(index)
+                return min(max(estimate, self.min_value), self.max_value)
+        return self.max_value
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        return [self.quantile(q) for q in qs]
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch into this one (exact for bucket state)."""
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[tuple[float, int]]:
+        """Yield (representative value, count) pairs, ascending."""
+        if self._zero_count:
+            yield 0.0, self._zero_count
+        for index in sorted(self._buckets):
+            yield _bucket_midpoint(index), self._buckets[index]

@@ -1,0 +1,74 @@
+"""Lightweight tracing: named spans over sim time and wall time.
+
+A span brackets one logical unit of work (an experiment driver, a cloud
+run, a replay campaign) and records how long it took on both clocks::
+
+    with span(metrics, "cloud_run", scale=0.01) as handle:
+        result = cloud.run(workload)
+        handle.set_attr("tasks", len(result.tasks))
+
+Finished spans land in the registry (exported as ``span`` rows and a
+``repro_trace_<name>_wall_seconds`` histogram).  Against the ``NOOP``
+registry the context manager short-circuits to a shared inert handle,
+so leaving tracing in place costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.registry import AnyRegistry
+
+
+class SpanHandle:
+    """Mutable attribute bag for a live span."""
+
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+
+class _NoopSpanHandle:
+    __slots__ = ()
+    name = "noop"
+    attrs: dict[str, Any] = {}
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_HANDLE = _NoopSpanHandle()
+
+
+@contextmanager
+def span(metrics: AnyRegistry, name: str,
+         **attrs: Any) -> Iterator[Any]:
+    """Record one span into ``metrics``; inert against ``NOOP``.
+
+    The span is recorded even when the body raises (with an ``error``
+    attribute naming the exception type), so traces of failed runs still
+    show where the time went.
+    """
+    if not metrics.enabled:
+        yield _NOOP_HANDLE
+        return
+    handle = SpanHandle(name, dict(attrs))
+    sim_start = metrics.now()
+    wall_start = time.perf_counter()
+    try:
+        yield handle
+    except BaseException as exc:
+        handle.attrs["error"] = type(exc).__name__
+        raise
+    finally:
+        metrics.record_span(
+            name, sim_start=sim_start, sim_end=metrics.now(),
+            wall_seconds=time.perf_counter() - wall_start,
+            attrs=handle.attrs)

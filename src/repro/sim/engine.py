@@ -20,11 +20,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import AnyRegistry
 
 
 class SimulationError(RuntimeError):
-    """Raised for structural misuse of the engine (not for model failures)."""
+    """Raised for structural misuse of the engine (not for model failures).
+
+    Messages carry the current simulation time (and the event/process
+    name where one exists) so a failure deep inside a 100k-event run is
+    diagnosable from the traceback alone.
+    """
 
 
 class Interrupt(Exception):
@@ -64,12 +72,16 @@ class Event:
     @property
     def value(self) -> Any:
         if not self._triggered:
-            raise SimulationError("event value read before trigger")
+            raise SimulationError(
+                f"value of event {self.name!r} read before trigger "
+                f"at t={self._sim.now:g}")
         return self._value
 
     def trigger(self, value: Any = None) -> None:
         if self._triggered:
-            raise SimulationError(f"event {self.name!r} triggered twice")
+            raise SimulationError(
+                f"event {self.name!r} triggered twice "
+                f"at t={self._sim.now:g}")
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
@@ -141,7 +153,9 @@ class Process:
     @property
     def result(self) -> Any:
         if not self._done:
-            raise SimulationError(f"process {self.name!r} still running")
+            raise SimulationError(
+                f"result of process {self.name!r} read while still "
+                f"running at t={self._sim.now:g}")
         if self._error is not None:
             raise self._error
         return self._result
@@ -150,6 +164,9 @@ class Process:
         """Throw :class:`Interrupt` into this process at the current time."""
         if self._done:
             return
+        obs = self._sim._obs
+        if obs is not None:
+            obs.interrupts.inc()
         self._sim._schedule_throw(self, Interrupt(cause))
 
     # -- internal stepping -------------------------------------------------
@@ -195,7 +212,8 @@ class Process:
             self._waiting_on = target
         else:
             self._finish(error=SimulationError(
-                f"process {self.name!r} yielded non-waitable {target!r}"))
+                f"process {self.name!r} yielded non-waitable {target!r} "
+                f"at t={self._sim.now:g}"))
 
     def _detach_wait(self) -> None:
         waiting = self._waiting_on
@@ -223,14 +241,45 @@ class Process:
             self._sim._record_orphan_error(self, error)
 
 
-class Simulator:
-    """The event loop: a clock plus a time-ordered callback heap."""
+class _SimObs:
+    """Cached engine instruments (one attribute lookup per hot event).
 
-    def __init__(self):
+    Built only for an *enabled* registry; the engine hot loop guards
+    every instrumentation point with ``if self._obs is not None`` so the
+    default (NOOP / no metrics) path costs a single attribute test.
+    """
+
+    __slots__ = ("scheduled", "fired", "resumes", "interrupts",
+                 "processes", "heap_depth")
+
+    def __init__(self, metrics: "AnyRegistry"):
+        self.scheduled = metrics.counter("repro_sim_events_scheduled_total")
+        self.fired = metrics.counter("repro_sim_events_fired_total")
+        self.resumes = metrics.counter("repro_sim_process_resumes_total")
+        self.interrupts = metrics.counter("repro_sim_interrupts_total")
+        self.processes = metrics.counter("repro_sim_processes_started_total")
+        self.heap_depth = metrics.gauge("repro_sim_heap_depth")
+
+
+class Simulator:
+    """The event loop: a clock plus a time-ordered callback heap.
+
+    ``metrics`` wires the engine into the observability subsystem: the
+    simulator binds its clock as the registry's sim-time source and
+    reports events scheduled/fired, process starts/resumes, interrupts,
+    and heap depth per sim-time bin.  The default (``None`` or the
+    ``NOOP`` registry) leaves the hot loop uninstrumented.
+    """
+
+    def __init__(self, metrics: Optional["AnyRegistry"] = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._orphan_errors: list[tuple[str, BaseException]] = []
+        self._obs: Optional[_SimObs] = None
+        if metrics is not None and metrics.enabled:
+            metrics.set_clock(lambda: self._now)
+            self._obs = _SimObs(metrics)
 
     @property
     def now(self) -> float:
@@ -245,6 +294,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self._now}")
+        if self._obs is not None:
+            self._obs.scheduled.inc()
         heapq.heappush(
             self._heap,
             (when, next(self._sequence), lambda: func(*args)))
@@ -257,6 +308,8 @@ class Simulator:
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process immediately (first step at the current time)."""
         process = Process(self, generator, name=name)
+        if self._obs is not None:
+            self._obs.processes.inc()
         self.call_in(0.0, process._step, None)
         return process
 
@@ -265,6 +318,8 @@ class Simulator:
         return Event(self, name=name)
 
     def _schedule_resume(self, process: Process, value: Any) -> None:
+        if self._obs is not None:
+            self._obs.resumes.inc()
         self.call_in(0.0, process._step, value)
 
     def _schedule_throw(self, process: Process, error: BaseException) -> None:
@@ -283,17 +338,24 @@ class Simulator:
         processes that nobody was waiting on are re-raised here so model
         bugs never pass silently.
         """
+        obs = self._obs
         while self._heap:
             when, _seq, callback = self._heap[0]
             if until is not None and when > until:
                 break
             heapq.heappop(self._heap)
             self._now = when
+            if obs is not None:
+                obs.fired.inc()
+                # Depth includes the event being fired, so an active
+                # simulation never reads as empty.
+                obs.heap_depth.set(len(self._heap) + 1)
             callback()
             if self._orphan_errors:
                 name, error = self._orphan_errors[0]
                 raise SimulationError(
-                    f"unhandled error in process {name!r}") from error
+                    f"unhandled error in process {name!r} "
+                    f"at t={self._now:g}") from error
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.sim.clock import DAY, HOUR
 from repro.sim.engine import Timeout
 from repro.transfer.protocols import Protocol, ProtocolModel, \
@@ -83,7 +84,8 @@ class DownloadSession:
                  vantage: DownloadVantage,
                  limits: SessionLimits = SessionLimits(),
                  protocol_model: Optional[ProtocolModel] = None,
-                 mid_failure_probability: Optional[float] = None):
+                 mid_failure_probability: Optional[float] = None,
+                 metrics: AnyRegistry = NOOP):
         if size < 0:
             raise ValueError("size must be non-negative")
         self.source = source
@@ -92,12 +94,18 @@ class DownloadSession:
         self.limits = limits
         self.protocol_model = protocol_model or default_protocol_model()
         self._mid_failure_override = mid_failure_probability
+        self.metrics = metrics
 
     # -- core model ---------------------------------------------------------
 
     def simulate(self, rng: np.random.Generator) -> DownloadOutcome:
         """Draw this session's complete outcome."""
+        metrics = self.metrics
+        metrics.counter("repro_transfer_sessions_total").inc()
         draw = self.source.draw_attempt(rng, self.vantage)
+        if draw.seed_count is not None:
+            metrics.histogram("repro_transfer_swarm_seeds").observe(
+                draw.seed_count)
         if not draw.available:
             return self._stalled_outcome(rng, draw)
 
@@ -127,6 +135,8 @@ class DownloadSession:
                    self.limits.effective_cap())
         traffic = self.protocol_model.sample_traffic(
             self.source.protocol, self.size, rng)
+        metrics.counter("repro_transfer_bytes_obtained_total").inc(
+            self.size)
         return DownloadOutcome(
             success=True, duration=full_duration,
             bytes_obtained=self.size, file_size=self.size,
@@ -169,6 +179,14 @@ class DownloadSession:
     def _failure_outcome(self, rng: np.random.Generator, duration: float,
                          bytes_obtained: float, rate: float,
                          cause: Optional[str]) -> DownloadOutcome:
+        # Every failure regime ends with the stagnation give-up timer
+        # firing (stall at probe, mid-transfer death, too-slow-to-ever-
+        # finish), so one counter covers the rule end to end.
+        self.metrics.counter(
+            "repro_transfer_stagnation_timeouts_total").inc()
+        if bytes_obtained > 0:
+            self.metrics.counter(
+                "repro_transfer_bytes_obtained_total").inc(bytes_obtained)
         fraction = bytes_obtained / self.size if self.size > 0 else 0.0
         traffic = self.protocol_model.sample_traffic(
             self.source.protocol, self.size, rng,

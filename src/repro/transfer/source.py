@@ -72,6 +72,9 @@ class AttemptDraw:
     rate: float
     failure_cause: Optional[str] = None
     mid_failure_probability: float = 0.0
+    #: Seeds the swarm reported at probe time (P2P sources only); surfaced
+    #: so instrumented sessions can export swarm-health distributions.
+    seed_count: Optional[int] = None
 
     def __post_init__(self):
         if self.available and self.rate <= 0:
@@ -107,14 +110,16 @@ class P2PSwarmSource(ContentSource):
         reachable = self.swarm.reachable_seeds(seeds, vantage.seed_reach, rng)
         if reachable == 0:
             return AttemptDraw(available=False, rate=0.0,
-                               failure_cause=CAUSE_INSUFFICIENT_SEEDS)
+                               failure_cause=CAUSE_INSUFFICIENT_SEEDS,
+                               seed_count=seeds)
         # Thin swarms also die mid-download: losing the last reachable
         # seed strands the transfer short of completion.
         churn = 0.30 * float(np.exp(-(reachable - 1) / 2.5))
         return AttemptDraw(
             available=True,
             rate=self.swarm.sample_rate(reachable, rng),
-            mid_failure_probability=churn * vantage.churn_resilience)
+            mid_failure_probability=churn * vantage.churn_resilience,
+            seed_count=seeds)
 
 
 class HttpFtpSource(ContentSource):

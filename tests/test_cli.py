@@ -19,6 +19,25 @@ class TestParser:
                 else [command, "http://x/y"])
             assert args.command == command
 
+    def test_metrics_flags_on_instrumented_subcommands(self):
+        parser = build_parser()
+        for argv in (["cloud"], ["ap"], ["odr", "http://x/y"],
+                     ["experiments"]):
+            args = parser.parse_args(
+                argv + ["--metrics-out", "m.jsonl",
+                        "--metrics-format", "prom"])
+            assert str(args.metrics_out) == "m.jsonl"
+            assert args.metrics_format == "prom"
+            # Default: metrics disabled entirely.
+            args = parser.parse_args(argv)
+            assert args.metrics_out is None
+            assert args.metrics_format is None
+
+    def test_metrics_format_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cloud", "--metrics-format", "xml"])
+
 
 class TestOdrCommand:
     def test_hot_p2p_file_with_bad_storage_goes_direct(self, capsys):
@@ -57,6 +76,13 @@ class TestPipelineCommands:
         out = capsys.readouterr().out
         assert "cache hit ratio" in out
         assert "impeded fetches" in out
+
+    def test_cloud_metrics_table_to_stdout(self, capsys):
+        assert main(["cloud", "--scale", "0.0008",
+                     "--metrics-format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_cloud_cache_hits_total" in out
+        assert "repro_sim_events_fired_total" in out
 
     def test_ap_command(self, tmp_path, capsys):
         assert main(["ap", "--scale", "0.0015", "--sample", "30"]) == 0
