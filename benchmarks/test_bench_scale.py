@@ -1,0 +1,60 @@
+"""Bench: the sharded multi-process pipeline (``repro.scale``).
+
+Runs the generate+replay pipeline at ``--jobs 1`` and ``--jobs 4`` via
+:func:`repro.scale.bench.run_benchmark`, writes the ``BENCH_scale.json``
+artifact CI uploads, and asserts the two contracts of the subsystem:
+
+* merged stats are bit-identical across jobs values (checked inside
+  ``run_benchmark``, which raises on violation);
+* with >= 4 real cores, 4 workers give >= 2x speedup over 1.  On
+  smaller hosts (this includes 1-CPU CI fallbacks and containers) the
+  speedup assertion is skipped -- process parallelism cannot beat the
+  spawn overhead without cores to run on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.exporters import load_bench_json, write_bench_json
+from repro.scale.bench import run_benchmark
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+
+@pytest.fixture(scope="module")
+def record(tmp_path_factory):
+    record = run_benchmark(scale=BENCH_SCALE, shards=8,
+                           jobs_values=(1, 4))
+    out = tmp_path_factory.mktemp("bench") / "BENCH_scale.json"
+    write_bench_json(record, out)
+    return load_bench_json(out)
+
+
+def test_bench_record_is_well_formed(record):
+    assert record["benchmark"] == "scale.sharded_cloud_stats"
+    assert record["cpu_count"] >= 1
+    assert len(record["runs"]) == 2
+    for run in record["runs"]:
+        assert run["wall_seconds"] > 0.0
+        assert run["tasks"] > 0
+        assert 0.0 < run["cache_hit_ratio"] < 1.0
+    # Identical merged stats across jobs values (the invariance that
+    # run_benchmark itself enforces -- spot-check the summaries too).
+    first, second = record["runs"]
+    assert first["tasks"] == second["tasks"]
+    assert first["cache_hit_ratio"] == second["cache_hit_ratio"]
+    assert first["request_failure_ratio"] == \
+        second["request_failure_ratio"]
+
+
+def test_bench_scale_speedup(record):
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 cores for a meaningful speedup bar")
+    four_worker_run = record["runs"][1]
+    assert four_worker_run["jobs"] == 4
+    assert four_worker_run["speedup"] >= 2.0, \
+        json.dumps(record["runs"], indent=2)

@@ -29,6 +29,21 @@ def _add_scale(parser: argparse.ArgumentParser,
     parser.add_argument("--seed", type=int, default=20150222)
 
 
+def _add_jobs(parser: argparse.ArgumentParser,
+              shards: bool = True) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="run through the sharded repro.scale "
+                             "pipeline with N worker processes; results "
+                             "are independent of N (use --jobs 1 for "
+                             "the sharded path without parallelism)")
+    if shards:
+        from repro.scale.plan import DEFAULT_SHARDS
+        parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                            help="shard count of the partition (part of "
+                                 "the result's identity; default "
+                                 f"{DEFAULT_SHARDS})")
+
+
 def _add_metrics(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", type=Path, default=None,
                         help="enable the observability subsystem and "
@@ -76,9 +91,17 @@ def _emit_metrics(registry, args: argparse.Namespace) -> None:
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.workload import WorkloadConfig, WorkloadGenerator, \
         save_workload
-    config = WorkloadConfig(scale=args.scale, seed=args.seed)
-    workload = WorkloadGenerator(config).generate()
-    directory = save_workload(workload, args.out)
+    if args.jobs is not None:
+        from repro.scale import ShardPlan, sharded_generate
+        plan = ShardPlan(scale=args.scale, seed=args.seed,
+                         shards=args.shards)
+        workload, info = sharded_generate(plan, jobs=args.jobs)
+        print(f"sharded generate: {plan.shards} shards, "
+              f"{args.jobs} jobs, {info.wall_seconds:.1f}s wall")
+    else:
+        config = WorkloadConfig(scale=args.scale, seed=args.seed)
+        workload = WorkloadGenerator(config).generate()
+    directory = save_workload(workload, args.out, compress=args.gzip)
     print(f"wrote {len(workload.requests)} requests, "
           f"{len(workload.catalog)} files, {len(workload.users)} users "
           f"to {directory}")
@@ -98,6 +121,8 @@ def cmd_cloud(args: argparse.Namespace) -> int:
     from repro.cloud import CloudConfig, XuanfengCloud
     from repro.obs import span
     registry = _metrics_registry(args)
+    if args.jobs is not None:
+        return _cmd_cloud_sharded(args, registry)
     workload = _load_or_generate(args)
     config = CloudConfig(scale=workload.config.scale,
                          collaborative_cache=not args.no_cache,
@@ -123,6 +148,40 @@ def cmd_cloud(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cloud_sharded(args: argparse.Namespace, registry) -> int:
+    """``repro cloud --jobs N``: the sharded generate+replay pipeline."""
+    from repro.scale import ShardPlan, sharded_cloud_stats
+    if getattr(args, "trace", None):
+        print("error: --jobs regenerates shards itself; "
+              "drop --trace", file=sys.stderr)
+        return 2
+    if args.no_privileged_paths or args.no_cache:
+        print("error: ablations (--no-cache, --no-privileged-paths) "
+              "need the event-driven engine; drop --jobs",
+              file=sys.stderr)
+        return 2
+    plan = ShardPlan(scale=args.scale, seed=args.seed,
+                     shards=args.shards)
+    stats, info = sharded_cloud_stats(plan, jobs=args.jobs,
+                                      metrics=registry)
+    print(f"sharded replay:   {plan.shards} shards, {args.jobs} jobs, "
+          f"{info.wall_seconds:.1f}s wall "
+          f"({info.work_seconds:.1f}s work)")
+    print(f"tasks:            {stats.tasks}")
+    print(f"cache hit ratio:  {stats.cache_hit_ratio:.1%}")
+    print(f"request failures: {stats.request_failure_ratio:.1%}")
+    print(f"pre-dl speed:     median "
+          f"{stats.pre_speed.quantile(0.5) / 1e3:.0f} KBps")
+    print(f"fetch speed:      median "
+          f"{stats.fetch_speed.quantile(0.5) / 1e3:.0f} KBps")
+    print(f"impeded fetches:  {stats.impeded_fetch_share:.1%}")
+    print(f"peak burden:      "
+          f"{to_gbps(stats.peak_burden) / args.scale:.1f} Gbps "
+          f"(rescaled; admission-free)")
+    _emit_metrics(registry, args)
+    return 0
+
+
 def cmd_ap(args: argparse.Namespace) -> int:
     from repro.ap import ApBenchmarkRig
     from repro.obs import span
@@ -130,9 +189,18 @@ def cmd_ap(args: argparse.Namespace) -> int:
     registry = _metrics_registry(args)
     workload = _load_or_generate(args)
     sample = sample_benchmark_requests(workload, args.sample)
-    with span(registry, "ap_replay", sample=len(sample)):
-        report = ApBenchmarkRig(workload.catalog,
-                                metrics=registry).replay(sample)
+    if args.jobs is not None:
+        from repro.scale import sharded_ap_replay
+        with span(registry, "ap_replay", sample=len(sample)):
+            report, info = sharded_ap_replay(
+                workload.catalog, sample, jobs=args.jobs,
+                metrics=registry)
+        print(f"parallel replay:   {info.shards} AP workers, "
+              f"{args.jobs} jobs, {info.wall_seconds:.1f}s wall")
+    else:
+        with span(registry, "ap_replay", sample=len(sample)):
+            report = ApBenchmarkRig(workload.catalog,
+                                    metrics=registry).replay(sample)
     speed = report.speed_cdf()
     delay = report.delay_cdf()
     print(f"replayed:          {len(report.results)} requests on "
@@ -200,7 +268,9 @@ def cmd_odr(args: argparse.Namespace) -> int:
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
-    argv = ["--scale", str(args.scale)]
+    argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
     if args.output:
         argv += ["--output", str(args.output)]
     if args.metrics_out:
@@ -232,12 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
     generate = subparsers.add_parser(
         "generate", help="synthesise and save a workload week")
     _add_scale(generate)
+    _add_jobs(generate)
     generate.add_argument("--out", type=Path, default=Path("trace"))
+    generate.add_argument("--gzip", action="store_true",
+                          help="write gzipped trace files (*.jsonl.gz)")
     generate.set_defaults(func=cmd_generate)
 
     cloud = subparsers.add_parser(
         "cloud", help="run the cloud system over a week")
     _add_scale(cloud)
+    _add_jobs(cloud)
     cloud.add_argument("--trace", type=Path, default=None,
                        help="load a saved workload instead of "
                             "generating one")
@@ -251,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap = subparsers.add_parser(
         "ap", help="replay the smart-AP benchmark")
     _add_scale(ap)
+    _add_jobs(ap, shards=False)
     ap.add_argument("--trace", type=Path, default=None)
     ap.add_argument("--sample", type=int, default=1000)
     _add_metrics(ap)
@@ -279,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = subparsers.add_parser(
         "experiments", help="regenerate every paper comparison")
     _add_scale(experiments, default=0.02)
+    _add_jobs(experiments, shards=False)
     experiments.add_argument("--output", type=Path, default=None)
     _add_metrics(experiments)
     experiments.set_defaults(func=cmd_experiments)

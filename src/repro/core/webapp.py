@@ -212,14 +212,27 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
 
+class OdrHTTPServer(ThreadingHTTPServer):
+    """The ODR server with explicit lifecycle semantics.
+
+    ``daemon_threads`` so in-flight handler threads never block process
+    exit (``shutdown()`` only stops the accept loop), and
+    ``allow_reuse_address`` so a restart can rebind the port while the
+    previous socket lingers in TIME_WAIT.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+
 def make_server(port: int = 0,
                 database: Optional[ContentDatabase] = None
-                ) -> ThreadingHTTPServer:
+                ) -> OdrHTTPServer:
     """Build (without starting) the HTTP server; port 0 picks a free
     one."""
     app = OdrWebApp(database)
     handler = type("OdrHandler", (_Handler,), {"app": app})
-    return ThreadingHTTPServer(("127.0.0.1", port), handler)
+    return OdrHTTPServer(("127.0.0.1", port), handler)
 
 
 def serve(port: int = 8034) -> None:   # pragma: no cover - interactive
@@ -230,4 +243,6 @@ def serve(port: int = 8034) -> None:   # pragma: no cover - interactive
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        server.shutdown()
+        pass
+    finally:
+        server.server_close()

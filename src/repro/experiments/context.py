@@ -137,6 +137,13 @@ class ExperimentContext:
                 self.sample, SmartApOnlyStrategy())
         return self._ap_only_result
 
+    def warm(self, *artefacts: str) -> None:
+        """Build the named lazy artefacts up front (e.g. ``"workload"``,
+        ``"cloud_result"``).  Used by the parallel group runner so each
+        worker's heavy simulation happens in one predictable place."""
+        for name in artefacts:
+            getattr(self, name)
+
 
 _CONTEXTS: dict[tuple[float, int], ExperimentContext] = {}
 

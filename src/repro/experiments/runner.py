@@ -14,7 +14,7 @@ from pathlib import Path
 from repro.experiments import REGISTRY, default_context
 from repro.experiments.base import ExperimentReport
 from repro.experiments.context import DEFAULT_SCALE, ExperimentContext
-from repro.obs import span
+from repro.obs import NOOP, span
 
 #: Paper-section ordering for the document.
 ORDER = [
@@ -120,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                         help="fraction of the real week to synthesise")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed (default: the context's)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="run driver groups in N worker processes "
+                             "(repro.scale); results are independent of "
+                             "N, including N=1")
     parser.add_argument("--output", type=Path, default=None,
                         help="write EXPERIMENTS.md here (default: stdout)")
     parser.add_argument("--metrics-out", type=Path, default=None,
@@ -129,18 +135,33 @@ def main(argv: list[str] | None = None) -> int:
                         default="jsonl")
     args = parser.parse_args(argv)
 
-    context = default_context(scale=args.scale)
-    if args.metrics_out is not None:
-        from repro.obs import MetricsRegistry
-        context.metrics = MetricsRegistry()
-    reports = run_all(context)
+    from repro.experiments.context import DEFAULT_SEED
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    from repro.experiments.scorecard import Scorecard, evaluate_claims
+    if args.jobs is not None:
+        # The parallel group runner: same document for any --jobs value
+        # (each driver group rebuilds its artefacts in a fresh context,
+        # so this path's numbers differ slightly from the shared-context
+        # sequential path where later drivers see mutated artefacts).
+        from repro.scale.runner import run_parallel
+        metrics = NOOP
+        if args.metrics_out is not None:
+            from repro.obs import MetricsRegistry
+            metrics = MetricsRegistry()
+        reports, claims, _timings = run_parallel(
+            args.scale, seed, jobs=args.jobs, metrics=metrics)
+        context = ExperimentContext(scale=args.scale, seed=seed,
+                                    metrics=metrics)
+    else:
+        context = default_context(scale=args.scale, seed=seed)
+        if args.metrics_out is not None:
+            from repro.obs import MetricsRegistry
+            context.metrics = MetricsRegistry()
+        reports = run_all(context)
+        claims = evaluate_claims(context)
     document = render_experiments_md(reports, args.scale)
 
-    # Append the self-grading scorecard (lazy import: scorecard uses
-    # run_all from this module).
-    from repro.experiments.scorecard import Scorecard, evaluate_claims
-    scorecard = Scorecard(reports=reports,
-                          claims=evaluate_claims(context))
+    scorecard = Scorecard(reports=reports, claims=claims)
     document += "\n## Reproduction scorecard\n\n```\n" + \
         scorecard.render() + "\n```\n"
     if args.output is not None:

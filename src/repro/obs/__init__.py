@@ -35,15 +35,19 @@ from repro.obs.registry import (
     MetricsRegistry,
     NOOP,
     NoopRegistry,
+    merge_registries,
 )
 from repro.obs.tracing import SpanHandle, span
 from repro.obs.exporters import (
+    BENCH_REQUIRED_KEYS,
     FORMATS,
     export,
+    load_bench_json,
     load_jsonl,
     render_prometheus,
     render_summary_table,
     summary_table,
+    write_bench_json,
     write_jsonl,
 )
 
@@ -64,10 +68,14 @@ __all__ = [
     "SUMMARY_QUANTILES",
     "DEFAULT_BIN_WIDTH",
     "FORMATS",
+    "BENCH_REQUIRED_KEYS",
+    "merge_registries",
     "render_name",
     "export",
     "write_jsonl",
     "load_jsonl",
+    "write_bench_json",
+    "load_bench_json",
     "render_prometheus",
     "render_summary_table",
     "summary_table",

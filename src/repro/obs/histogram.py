@@ -110,6 +110,28 @@ class QuantileSketch:
         self.min_value = min(self.min_value, other.min_value)
         self.max_value = max(self.max_value, other.max_value)
 
+    def __eq__(self, other: object) -> bool:
+        """Distribution equality: exact bucket state, tolerant total.
+
+        Bucket counts, the observation count, and the extremes merge
+        exactly in any order; the float ``total`` is the one field whose
+        value depends on summation order, so it is compared to within
+        float round-off rather than bit-for-bit.  This is what lets the
+        scale-out tests assert that a sketch merged from N shards *is*
+        the single-process sketch.
+        """
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (self._buckets == other._buckets
+                and self._zero_count == other._zero_count
+                and self.count == other.count
+                and self.min_value == other.min_value
+                and self.max_value == other.max_value
+                and math.isclose(self.total, other.total,
+                                 rel_tol=1e-9, abs_tol=1e-9))
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
     def __len__(self) -> int:
         return self.count
 

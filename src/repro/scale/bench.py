@@ -1,0 +1,96 @@
+"""Benchmark the sharded pipeline and emit ``BENCH_scale.json``.
+
+Usage::
+
+    python -m repro.scale.bench --scale 0.01 --jobs 1,4 \
+        --out BENCH_scale.json
+
+Runs workload generation + cloud replay through
+:func:`~repro.scale.pipelines.sharded_cloud_stats` once per requested
+``--jobs`` value, checks that every run's merged stats are identical
+(the shard-invariance contract), and writes a perf record with
+per-shard walls, speedups over the first (baseline) jobs value, and the
+host's CPU count -- the artifact CI uploads for cross-PR comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.obs.exporters import write_bench_json
+from repro.obs.registry import MetricsRegistry
+from repro.scale.pipelines import sharded_cloud_stats
+from repro.scale.plan import DEFAULT_SHARDS, ShardPlan
+
+
+def run_benchmark(scale: float = 0.005, shards: int = DEFAULT_SHARDS,
+                  jobs_values: tuple[int, ...] = (1, 4),
+                  seed: int = 20150222) -> dict[str, Any]:
+    """Measure the pipeline at each jobs value; returns the perf record."""
+    plan = ShardPlan(scale=scale, seed=seed, shards=shards)
+    runs = []
+    reference = None
+    for jobs in jobs_values:
+        registry = MetricsRegistry()
+        stats, info = sharded_cloud_stats(plan, jobs=jobs,
+                                          metrics=registry)
+        if reference is None:
+            reference = stats
+        elif stats != reference:
+            raise RuntimeError(
+                f"shard invariance violated: jobs={jobs} produced "
+                f"different merged stats than jobs={jobs_values[0]}")
+        runs.append({
+            "jobs": jobs,
+            "wall_seconds": info.wall_seconds,
+            "work_seconds": info.work_seconds,
+            "shard_walls": list(info.shard_walls),
+            "tasks": stats.tasks,
+            "cache_hit_ratio": stats.cache_hit_ratio,
+            "request_failure_ratio": stats.request_failure_ratio,
+        })
+    baseline = runs[0]["wall_seconds"]
+    for run in runs:
+        run["speedup"] = baseline / run["wall_seconds"] \
+            if run["wall_seconds"] > 0 else 0.0
+    return {
+        "benchmark": "scale.sharded_cloud_stats",
+        "cpu_count": os.cpu_count(),
+        "scale": scale,
+        "shards": shards,
+        "seed": seed,
+        "runs": runs,
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.005)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--jobs", type=str, default="1,4",
+                        help="comma-separated jobs values to measure")
+    parser.add_argument("--seed", type=int, default=20150222)
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_scale.json"))
+    args = parser.parse_args(argv)
+    jobs_values = tuple(int(part) for part in args.jobs.split(","))
+    record = run_benchmark(scale=args.scale, shards=args.shards,
+                           jobs_values=jobs_values, seed=args.seed)
+    write_bench_json(record, args.out)
+    print(json.dumps({"out": str(args.out),
+                      "cpu_count": record["cpu_count"],
+                      "runs": [{"jobs": run["jobs"],
+                                "wall_seconds": round(
+                                    run["wall_seconds"], 3),
+                                "speedup": round(run["speedup"], 2)}
+                               for run in record["runs"]]},
+                     indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

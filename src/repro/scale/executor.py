@@ -1,0 +1,103 @@
+"""Process-pool map over shard specs, with deterministic reduction order.
+
+The executor is deliberately dumb: it runs a module-level worker
+function over the plan's :class:`~repro.scale.plan.ShardSpec` payloads
+-- inline when ``jobs <= 1``, in a spawn-context
+:class:`~concurrent.futures.ProcessPoolExecutor` otherwise -- and hands
+the results back **in shard order**, whatever order workers finish in.
+Shard outputs are scheduling-independent by construction (every shard's
+randomness is self-contained), so the only thing parallelism may change
+is wall-clock time; that is recorded per shard into the obs registry.
+
+Spawn (not fork) is used everywhere: it is the only start method that
+exists on all supported platforms, and it guarantees workers import a
+fresh interpreter state instead of inheriting arbitrary parent state --
+the same reason worker callables must be module-level functions and
+payloads must be picklable primitives.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.obs.registry import AnyRegistry, NOOP
+from repro.scale.plan import ShardPlan, ShardSpec
+
+R = TypeVar("R")
+
+ShardWorker = Callable[[ShardSpec], R]
+
+
+@dataclass(frozen=True)
+class ScaleRunInfo:
+    """Timing record of one sharded map (feeds obs + BENCH_scale.json)."""
+
+    jobs: int
+    shards: int
+    wall_seconds: float
+    shard_walls: tuple[float, ...]
+
+    @property
+    def work_seconds(self) -> float:
+        """Total worker CPU-side wall across shards (serial-equivalent)."""
+        return sum(self.shard_walls)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"jobs": self.jobs, "shards": self.shards,
+                "wall_seconds": self.wall_seconds,
+                "work_seconds": self.work_seconds,
+                "shard_walls": list(self.shard_walls)}
+
+
+def _timed_call(worker: ShardWorker, spec: ShardSpec
+                ) -> tuple[int, float, Any]:
+    """Run one shard; returns (shard index, wall seconds, result)."""
+    started = time.perf_counter()
+    result = worker(spec)
+    return spec.shard, time.perf_counter() - started, result
+
+
+def run_sharded(plan: ShardPlan, worker: ShardWorker, *,
+                jobs: int = 1,
+                metrics: AnyRegistry = NOOP
+                ) -> tuple[list[Any], ScaleRunInfo]:
+    """Map ``worker`` over the plan's shards; reduce in shard order.
+
+    ``worker`` must be a module-level function (spawn-picklable) taking
+    one :class:`ShardSpec`.  Worker exceptions propagate to the caller.
+    Returns the per-shard results indexed by shard plus the timing
+    record.  Per-shard wall times land in the registry as
+    ``repro_scale_shard_wall_seconds`` gauges; the map's own wall time
+    as ``repro_scale_wall_seconds``.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = plan.specs()
+    started = time.perf_counter()
+    if jobs <= 1 or plan.shards <= 1:
+        timed = [_timed_call(worker, spec) for spec in specs]
+    else:
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, plan.shards),
+                mp_context=context) as pool:
+            futures = [pool.submit(_timed_call, worker, spec)
+                       for spec in specs]
+            timed = [future.result() for future in futures]
+    wall = time.perf_counter() - started
+    timed.sort(key=lambda item: item[0])
+
+    metrics.gauge("repro_scale_jobs").set(jobs)
+    metrics.gauge("repro_scale_shards").set(plan.shards)
+    metrics.gauge("repro_scale_wall_seconds").set(wall)
+    for shard, shard_wall, _result in timed:
+        metrics.gauge("repro_scale_shard_wall_seconds",
+                      shard=shard).set(shard_wall)
+    info = ScaleRunInfo(
+        jobs=jobs, shards=plan.shards, wall_seconds=wall,
+        shard_walls=tuple(shard_wall for _s, shard_wall, _r in timed))
+    return [result for _shard, _wall, result in timed], info

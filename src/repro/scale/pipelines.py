@@ -1,0 +1,190 @@
+"""End-to-end sharded pipelines: generate, cloud-replay, AP-replay.
+
+Each pipeline is a module-level worker (spawn-picklable) plus a driver
+that maps it over a :class:`~repro.scale.plan.ShardPlan` through
+:func:`~repro.scale.executor.run_sharded` and reduces the shard outputs.
+The reduced results are invariant to the shard count and the number of
+worker processes -- asserted by ``tests/test_scale.py`` -- which is what
+makes ``--jobs`` a pure wall-clock knob.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ap.benchrig import ApBenchmarkReport, ApBenchmarkRig
+from repro.ap.models import BENCHMARKED_APS
+from repro.ap.smartap import ApPreDownloadResult, SmartAP
+from repro.obs.registry import (
+    AnyRegistry,
+    MetricsRegistry,
+    NOOP,
+    merge_registries,
+)
+from repro.scale.executor import ScaleRunInfo, run_sharded
+from repro.scale.plan import ShardPlan, ShardSpec
+from repro.scale.reducers import merge_workloads
+from repro.scale.replay import ShardReplay, ShardRunStats, merge_stats
+from repro.scale.shardgen import UserDirectory, generate_shard
+from repro.transfer.source import SourceModel
+from repro.workload.catalog import FileCatalog
+from repro.workload.generator import Workload
+from repro.workload.records import RequestRecord
+
+
+# -- workload generation -------------------------------------------------------
+
+def generate_shard_worker(spec: ShardSpec) -> Workload:
+    """Spawn-safe worker: synthesise one shard's sub-workload."""
+    return generate_shard(spec)
+
+
+def sharded_generate(plan: ShardPlan, *, jobs: int = 1,
+                     metrics: AnyRegistry = NOOP
+                     ) -> tuple[Workload, ScaleRunInfo]:
+    """Generate the week across shards and merge the sub-workloads."""
+    parts, info = run_sharded(plan, generate_shard_worker, jobs=jobs,
+                              metrics=metrics)
+    return merge_workloads(plan, parts), info
+
+
+# -- cloud replay --------------------------------------------------------------
+
+def replay_shard_worker(spec: ShardSpec
+                        ) -> tuple[ShardRunStats, MetricsRegistry]:
+    """Spawn-safe worker: generate one shard and replay it.
+
+    Returns the shard's mergeable stats plus the worker-local metrics
+    registry (clock stripped on pickling) so the parent can fold every
+    worker's instruments into one registry.
+    """
+    registry = MetricsRegistry()
+    workload = generate_shard(spec, metrics=registry)
+    directory = UserDirectory(spec.seed, spec.plan.user_count)
+    replay = ShardReplay(metrics=registry)
+    stats = replay.run(workload, user_lookup=directory.by_id)
+    return stats, registry
+
+
+def sharded_cloud_stats(plan: ShardPlan, *, jobs: int = 1,
+                        metrics: AnyRegistry = NOOP
+                        ) -> tuple[ShardRunStats, ScaleRunInfo]:
+    """Generate + replay the whole week shard-by-shard; merge the stats.
+
+    Worker registries are merged into ``metrics`` (when it is a real
+    registry) so shard-local counters and the executor's wall gauges
+    land in one place.
+    """
+    parts, info = run_sharded(plan, replay_shard_worker, jobs=jobs,
+                              metrics=metrics)
+    stats = merge_stats([stats for stats, _registry in parts])
+    if metrics.enabled:
+        for _stats, registry in parts:
+            metrics.merge(registry)
+    return stats, info
+
+
+# -- AP replay -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ApReplayTask:
+    """Spawn-safe payload: one AP's share of a replay campaign.
+
+    The sequential rig deals requests round-robin (``index % len(aps)``)
+    and keeps all cross-request state (RNG stream, clock, storage) per
+    AP, so replaying AP ``k``'s slice ``requests[k::n]`` alone
+    reproduces its sequential results exactly.
+    """
+
+    ap_index: int
+    ap_count: int
+    catalog_files: tuple                 # CatalogFile records referenced
+    requests: tuple                      # this AP's slice, in order
+    seed: int
+    throttle_to_user: bool = True
+
+
+def ap_replay_worker(task: ApReplayTask) -> list[ApPreDownloadResult]:
+    """Replay one AP's slice on a single-AP rig."""
+    catalog = FileCatalog()
+    for record in task.catalog_files:
+        catalog.files[record.file_id] = record
+    hardware = BENCHMARKED_APS[task.ap_index]
+    rig = ApBenchmarkRig(
+        catalog, aps=[SmartAP(hardware, source_model=SourceModel())],
+        seed=task.seed)
+    report = rig.replay(list(task.requests),
+                        throttle_to_user=task.throttle_to_user)
+    return report.results
+
+
+def sharded_ap_replay(catalog: FileCatalog,
+                      requests: Sequence[RequestRecord], *,
+                      jobs: int = 1, seed: int = 20150301,
+                      throttle_to_user: bool = True,
+                      metrics: AnyRegistry = NOOP
+                      ) -> tuple[ApBenchmarkReport, ScaleRunInfo]:
+    """Replay the AP campaign with one process per benchmarked AP.
+
+    Results are reassembled into the sequential round-robin order, so
+    the merged report is identical to ``ApBenchmarkRig.replay`` on the
+    full request sequence (per-AP RNG streams and clocks are
+    self-contained).  ``jobs`` caps worker processes; the fan-out is
+    fixed at one task per AP.
+    """
+    if not requests:
+        raise ValueError("nothing to replay")
+    ap_count = len(BENCHMARKED_APS)
+    needed = {request.file_id for request in requests}
+    files = tuple(record for record in catalog if record.file_id in needed)
+    tasks = [ApReplayTask(ap_index=index, ap_count=ap_count,
+                          catalog_files=files,
+                          requests=tuple(requests[index::ap_count]),
+                          seed=seed, throttle_to_user=throttle_to_user)
+             for index in range(ap_count)
+             if requests[index::ap_count]]
+    started = time.perf_counter()
+    if jobs <= 1:
+        slices = [ap_replay_worker(task) for task in tasks]
+    else:
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
+                                 mp_context=context) as pool:
+            slices = list(pool.map(ap_replay_worker, tasks))
+    wall = time.perf_counter() - started
+
+    merged: list[Optional[ApPreDownloadResult]] = [None] * len(requests)
+    for task, results in zip(tasks, slices):
+        for position, result in enumerate(results):
+            merged[task.ap_index + position * ap_count] = result
+    assert all(result is not None for result in merged)
+    report = ApBenchmarkReport(list(merged))      # type: ignore[arg-type]
+    _record_ap_metrics(report, metrics)
+    info = ScaleRunInfo(jobs=jobs, shards=len(tasks),
+                        wall_seconds=wall, shard_walls=(wall,))
+    metrics.gauge("repro_scale_ap_wall_seconds").set(wall)
+    return report, info
+
+
+def _record_ap_metrics(report: ApBenchmarkReport,
+                       metrics: AnyRegistry) -> None:
+    """Mirror the sequential rig's instruments for a merged report."""
+    if not metrics.enabled:
+        return
+    replays = metrics.counter("repro_ap_replays_total")
+    iowait = metrics.histogram("repro_ap_iowait_ratio")
+    write_rate = metrics.histogram(
+        "repro_ap_write_throughput_bytes_per_second")
+    for result in report.results:
+        replays.inc()
+        if result.record.success:
+            iowait.observe(result.iowait_ratio)
+            write_rate.observe(result.record.average_speed)
+        else:
+            metrics.counter(
+                "repro_ap_failures_total",
+                cause=result.record.failure_cause or "unknown").inc()

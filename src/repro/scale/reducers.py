@@ -1,0 +1,74 @@
+"""Reducers: folding per-shard outputs back into whole-week results.
+
+Every reducer here is order-independent up to floating-point summation,
+so the merged result is the same whatever order shards finish in.  The
+shard invariance tests (``tests/test_scale.py``) assert the stronger
+property: merged output at any shard count equals the 1-shard run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import CDF, empirical_cdf
+from repro.obs.registry import merge_registries
+from repro.scale.plan import ShardPlan
+from repro.scale.replay import ShardRunStats, merge_stats
+from repro.workload.catalog import FileCatalog
+from repro.workload.generator import Workload
+from repro.workload.records import User
+
+__all__ = [
+    "merge_workloads",
+    "merge_cdfs",
+    "merge_stats",
+    "merge_registries",
+    "ShardRunStats",
+]
+
+
+def merge_workloads(plan: ShardPlan,
+                    parts: Sequence[Workload]) -> Workload:
+    """Union of per-shard sub-workloads into one whole-week trace.
+
+    Files and users are disjoint by construction (each entity lives in
+    exactly one shard); requests are re-sorted into the global arrival
+    order.  The result is byte-identical for any shard count because
+    every record is derived from its entity's own fork.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    catalog = FileCatalog()
+    users: list[User] = []
+    requests = []
+    for part in parts:
+        for record in part.catalog:
+            if record.file_id in catalog.files:
+                raise ValueError(
+                    f"file {record.file_id} appears in two shards")
+        catalog.files.update(part.catalog.files)
+        users.extend(part.users)
+        requests.extend(part.requests)
+    seen_users = {user.user_id for user in users}
+    if len(seen_users) != len(users):
+        raise ValueError("user owned by two shards")
+    users.sort(key=lambda user: user.user_id)
+    requests.sort(key=lambda request: (request.request_time,
+                                       request.task_id))
+    return Workload(config=plan.workload_config, catalog=catalog,
+                    users=users, requests=requests)
+
+
+def merge_cdfs(parts: Iterable[CDF]) -> CDF:
+    """Pool per-shard empirical distributions into one CDF.
+
+    An empirical CDF is fully determined by its sample multiset, so
+    concatenating the shards' samples and re-sorting (inside
+    :func:`empirical_cdf`) is the exact reduction.
+    """
+    values: list[np.ndarray] = [part.values for part in parts]
+    if not values:
+        raise ValueError("nothing to merge")
+    return empirical_cdf(np.concatenate(values))

@@ -1,0 +1,386 @@
+"""Admission-free cloud replay with per-file randomness.
+
+The event-driven :class:`~repro.cloud.system.XuanfengCloud` is the
+reference model, but it cannot be sharded exactly: its tasks share one
+RNG stream in event order, its preseed shuffles the whole catalog, and
+upload admission couples every fetch through the per-ISP reservation
+pools.  :class:`ShardReplay` is the scale-out counterpart: the same
+pipeline (cache lookup with in-flight coalescing -> pre-download session
+-> think-time lag -> fetch over the privileged path), but with **all** of
+a file's randomness drawn from the file's own
+:meth:`~repro.sim.randomness.RngFactory.fork`, so any content-sharded
+partition of the request trace replays to the bit-identical union.
+
+Deliberate divergence from the reference model (kept because admission
+state is global by nature): fetches are never *rejected* -- the flow rate
+is the same privileged/alternative-path speed the uploading servers
+would grant, but upload-capacity exhaustion is not modelled.  Admission
+effects stay the event-driven engine's job; the sharded replay is for
+full-trace-scale distribution and burden studies where rejection is a
+sub-percent correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import math
+
+import numpy as np
+
+from repro.analysis.timeseries import bin_rate_series
+from repro.cloud.config import CloudConfig
+from repro.cloud.fetch import FetchSpeedModel
+from repro.netsim.isp import ISP, MAJOR_ISPS
+from repro.netsim.topology import ChinaTopology, PathQuality
+from repro.obs.histogram import QuantileSketch
+from repro.obs.registry import AnyRegistry, NOOP
+from repro.paper import IMPEDED_FETCH_THRESHOLD
+from repro.sim.randomness import RngFactory
+from repro.transfer.session import DownloadSession, SessionLimits
+from repro.transfer.source import CLOUD_VANTAGE, ContentSource, SourceModel
+from repro.workload.generator import Workload
+from repro.workload.popularity import PopularityClass
+from repro.workload.records import CatalogFile, RequestRecord, User
+
+#: Bin width of the merged upload-burden series (matches Fig. 11).
+BURDEN_BIN_WIDTH = 300.0
+
+
+@dataclass
+class ShardRunStats:
+    """Mergeable result of replaying one shard (or a whole week).
+
+    Everything in here is either additive (counts, sums, flow bins) or a
+    :class:`QuantileSketch` with an exact, order-independent merge -- so
+    ``merge`` over any partition reproduces the 1-shard stats (floating
+    sums up to summation order, which the equality check tolerates).
+    """
+
+    horizon: float
+    bin_width: float = BURDEN_BIN_WIDTH
+    tasks: int = 0
+    lookups: int = 0
+    hits: int = 0
+    attempts: int = 0
+    attempt_failures: int = 0
+    failures: int = 0
+    totals_by_class: dict[PopularityClass, int] = field(default_factory=dict)
+    failures_by_class: dict[PopularityClass, int] = \
+        field(default_factory=dict)
+    pre_speed: QuantileSketch = field(default_factory=QuantileSketch)
+    pre_delay: QuantileSketch = field(default_factory=QuantileSketch)
+    fetch_speed: QuantileSketch = field(default_factory=QuantileSketch)
+    fetch_delay: QuantileSketch = field(default_factory=QuantileSketch)
+    e2e_delay: QuantileSketch = field(default_factory=QuantileSketch)
+    fetch_count: int = 0
+    impeded_fetches: int = 0
+    payload_bytes: float = 0.0
+    traffic_bytes: float = 0.0
+    pre_traffic_bytes: float = 0.0
+    burden_bins: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self):
+        if len(self.burden_bins) == 0:
+            bins = int(math.ceil(self.horizon / self.bin_width))
+            self.burden_bins = np.zeros(max(bins, 1))
+
+    # -- reduction -------------------------------------------------------------
+
+    def merge(self, other: "ShardRunStats") -> None:
+        """Fold another shard's stats in (order-independent)."""
+        if not math.isclose(other.horizon, self.horizon):
+            raise ValueError("cannot merge stats of different horizons")
+        if not math.isclose(other.bin_width, self.bin_width):
+            raise ValueError("cannot merge stats of different bin widths")
+        self.tasks += other.tasks
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.attempts += other.attempts
+        self.attempt_failures += other.attempt_failures
+        self.failures += other.failures
+        for klass, count in other.totals_by_class.items():
+            self.totals_by_class[klass] = \
+                self.totals_by_class.get(klass, 0) + count
+        for klass, count in other.failures_by_class.items():
+            self.failures_by_class[klass] = \
+                self.failures_by_class.get(klass, 0) + count
+        self.pre_speed.merge(other.pre_speed)
+        self.pre_delay.merge(other.pre_delay)
+        self.fetch_speed.merge(other.fetch_speed)
+        self.fetch_delay.merge(other.fetch_delay)
+        self.e2e_delay.merge(other.e2e_delay)
+        self.fetch_count += other.fetch_count
+        self.impeded_fetches += other.impeded_fetches
+        self.payload_bytes += other.payload_bytes
+        self.traffic_bytes += other.traffic_bytes
+        self.pre_traffic_bytes += other.pre_traffic_bytes
+        self.burden_bins = self.burden_bins + other.burden_bins
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardRunStats):
+            return NotImplemented
+        close = lambda a, b: math.isclose(a, b, rel_tol=1e-9,  # noqa: E731
+                                          abs_tol=1e-6)
+        return (self.tasks == other.tasks
+                and self.lookups == other.lookups
+                and self.hits == other.hits
+                and self.attempts == other.attempts
+                and self.attempt_failures == other.attempt_failures
+                and self.failures == other.failures
+                and self.totals_by_class == other.totals_by_class
+                and self.failures_by_class == other.failures_by_class
+                and self.pre_speed == other.pre_speed
+                and self.pre_delay == other.pre_delay
+                and self.fetch_speed == other.fetch_speed
+                and self.fetch_delay == other.fetch_delay
+                and self.e2e_delay == other.e2e_delay
+                and self.fetch_count == other.fetch_count
+                and self.impeded_fetches == other.impeded_fetches
+                and close(self.payload_bytes, other.payload_bytes)
+                and close(self.traffic_bytes, other.traffic_bytes)
+                and close(self.pre_traffic_bytes, other.pre_traffic_bytes)
+                and np.allclose(self.burden_bins, other.burden_bins,
+                                rtol=1e-9, atol=1e-6))
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
+    # -- headline statistics -----------------------------------------------------
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def request_failure_ratio(self) -> float:
+        return self.failures / self.tasks if self.tasks else 0.0
+
+    @property
+    def attempt_failure_ratio(self) -> float:
+        return self.attempt_failures / self.attempts \
+            if self.attempts else 0.0
+
+    def failure_ratio_by_class(self) -> dict[PopularityClass, float]:
+        return {klass: self.failures_by_class.get(klass, 0) / total
+                for klass, total in self.totals_by_class.items()}
+
+    @property
+    def impeded_fetch_share(self) -> float:
+        return self.impeded_fetches / self.fetch_count \
+            if self.fetch_count else 0.0
+
+    @property
+    def peak_burden(self) -> float:
+        """Peak upload-bandwidth burden across the week, in B/s."""
+        return float(self.burden_bins.max()) if len(self.burden_bins) \
+            else 0.0
+
+    @property
+    def user_traffic_overhead(self) -> float:
+        return self.traffic_bytes / self.payload_bytes \
+            if self.payload_bytes > 0 else 0.0
+
+
+def merge_stats(parts: list[ShardRunStats]) -> ShardRunStats:
+    """Reduce per-shard stats into the week's stats, in shard order."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    merged = ShardRunStats(horizon=parts[0].horizon,
+                           bin_width=parts[0].bin_width)
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+class ShardReplay:
+    """Replays a (sub-)workload through the per-file cloud model."""
+
+    def __init__(self, config: CloudConfig = CloudConfig(),
+                 source_model: Optional[SourceModel] = None,
+                 fetch_model: Optional[FetchSpeedModel] = None,
+                 topology: Optional[ChinaTopology] = None,
+                 seed: int = 41,
+                 metrics: AnyRegistry = NOOP):
+        self.config = config
+        self.source_model = source_model or SourceModel()
+        self.fetch_model = fetch_model or FetchSpeedModel()
+        self.topology = topology or ChinaTopology()
+        self.seed = seed
+        self.metrics = metrics
+        self._factory = RngFactory(seed).fork("scale-cloud")
+        self._paths: dict[ISP, tuple[ISP, PathQuality]] = {}
+        self._m_tasks = metrics.counter("repro_scale_tasks_total")
+        self._m_hits = metrics.counter("repro_scale_cache_hits_total")
+        self._m_misses = metrics.counter("repro_scale_cache_misses_total")
+        self._m_attempts = metrics.counter(
+            "repro_scale_predownload_attempts_total")
+        self._m_failures = metrics.counter(
+            "repro_scale_predownload_failures_total")
+        self._m_fetches = metrics.counter("repro_scale_fetches_total")
+
+    # -- paths ------------------------------------------------------------------
+
+    def _path_for(self, user_isp: ISP) -> tuple[ISP, PathQuality]:
+        """Server group and path quality for a user's fetches.
+
+        Mirrors :meth:`UploadingServers.candidate_groups` under zero
+        load: the home group when the user sits in a major ISP
+        (privileged path), else the lowest-latency alternative group.
+        """
+        cached = self._paths.get(user_isp)
+        if cached is None:
+            if user_isp in MAJOR_ISPS:
+                server_isp = user_isp
+            else:
+                server_isp = min(
+                    MAJOR_ISPS,
+                    key=lambda isp: self.topology.path_quality(
+                        isp, user_isp).latency_ms)
+            cached = (server_isp,
+                      self.topology.path_quality(server_isp, user_isp))
+            self._paths[user_isp] = cached
+        return cached
+
+    # -- replay -----------------------------------------------------------------
+
+    def run(self, workload: Workload,
+            user_lookup: Optional[Callable[[str], User]] = None
+            ) -> ShardRunStats:
+        """Replay every request; returns mergeable stats.
+
+        ``user_lookup`` must resolve *any* user id appearing in the
+        requests -- content-sharded sub-workloads reference users owned
+        by other shards, so shard workers pass a
+        :class:`~repro.scale.shardgen.UserDirectory` here.  Defaults to
+        the workload's own user table.
+        """
+        if user_lookup is None:
+            table = workload.user_by_id()
+            user_lookup = table.__getitem__
+        by_file: dict[str, list[RequestRecord]] = {}
+        for request in workload.requests:
+            by_file.setdefault(request.file_id, []).append(request)
+        stats = ShardRunStats(horizon=workload.horizon)
+        flows: list[tuple[float, float, float]] = []
+        for file_id in sorted(by_file):
+            self._replay_file(workload.catalog[file_id], by_file[file_id],
+                              user_lookup, stats, flows)
+        stats.burden_bins = bin_rate_series(flows, stats.bin_width,
+                                            workload.horizon)
+        return stats
+
+    def _replay_file(self, record: CatalogFile,
+                     requests: list[RequestRecord],
+                     user_lookup: Callable[[str], User],
+                     stats: ShardRunStats,
+                     flows: list[tuple[float, float, float]]) -> None:
+        """Replay one file's full (time-ordered) request stream."""
+        fork = self._factory.fork(f"file:{record.file_id}")
+        session_rng = fork.stream("session")
+        fetch_rng = fork.stream("fetch")
+        source = self._source_for(record)
+        klass = record.popularity_class
+        cached = self.config.collaborative_cache and bool(
+            fork.stream("preseed").random()
+            < self.config.precached_probability[klass])
+        # The single in-flight pre-download of this file, if any:
+        # (finish time, success flag) -- concurrent requests coalesce.
+        in_flight: Optional[tuple[float, bool]] = None
+
+        for request in requests:
+            now = request.request_time
+            stats.tasks += 1
+            self._m_tasks.inc()
+            stats.totals_by_class[klass] = \
+                stats.totals_by_class.get(klass, 0) + 1
+            if in_flight is not None and now >= in_flight[0]:
+                if in_flight[1]:
+                    cached = True
+                in_flight = None
+
+            if cached:
+                # Storage-pool hit: pre-download is instant and free.
+                stats.lookups += 1
+                stats.hits += 1
+                self._m_hits.inc()
+                pre_finish = now
+            elif in_flight is not None:
+                finish, success = in_flight
+                stats.lookups += 1
+                self._m_misses.inc()
+                if success:
+                    # Coalesced into the running pre-download; counts as
+                    # a warm hit when it lands (pool semantics).
+                    stats.lookups += 1
+                    stats.hits += 1
+                    self._m_hits.inc()
+                    pre_finish = finish
+                else:
+                    stats.failures += 1
+                    self._m_failures.inc()
+                    stats.failures_by_class[klass] = \
+                        stats.failures_by_class.get(klass, 0) + 1
+                    stats.pre_speed.add(0.0)
+                    stats.pre_delay.add(finish - now)
+                    continue
+            else:
+                stats.lookups += 1
+                self._m_misses.inc()
+                outcome = DownloadSession(
+                    source, record.size, CLOUD_VANTAGE,
+                    limits=SessionLimits(
+                        rate_caps=(self.config.predownloader_bandwidth,),
+                        stagnation_timeout=self.config.stagnation_timeout),
+                ).simulate(session_rng)
+                finish = now + outcome.duration
+                stats.attempts += 1
+                self._m_attempts.inc()
+                stats.pre_traffic_bytes += outcome.traffic
+                stats.pre_speed.add(outcome.average_rate)
+                stats.pre_delay.add(outcome.duration)
+                if self.config.collaborative_cache:
+                    in_flight = (finish, outcome.success)
+                if not outcome.success:
+                    stats.attempt_failures += 1
+                    stats.failures += 1
+                    self._m_failures.inc()
+                    stats.failures_by_class[klass] = \
+                        stats.failures_by_class.get(klass, 0) + 1
+                    continue
+                pre_finish = finish
+
+            self._fetch(record, request, pre_finish, now, fetch_rng,
+                        user_lookup, stats, flows)
+
+    def _source_for(self, record: CatalogFile) -> ContentSource:
+        return self.source_model.build(record.file_id, record.protocol,
+                                       record.weekly_demand)
+
+    def _fetch(self, record: CatalogFile, request: RequestRecord,
+               pre_finish: float, request_time: float,
+               rng: np.random.Generator,
+               user_lookup: Callable[[str], User],
+               stats: ShardRunStats,
+               flows: list[tuple[float, float, float]]) -> None:
+        """The user's fetch after the think-time lag (never rejected)."""
+        lag = self.config.fetch_lag_median * float(
+            np.exp(rng.normal(0.0, self.config.fetch_lag_sigma)))
+        start = pre_finish + lag
+        user = user_lookup(request.user_id)
+        _server, quality = self._path_for(user.isp)
+        rate = min(self.fetch_model.sample_speed(user.access_bandwidth,
+                                                 quality, rng),
+                   self.config.max_fetch_rate)
+        duration = record.size / rate if rate > 0 else 0.0
+        flows.append((start, start + duration, rate))
+        stats.fetch_count += 1
+        self._m_fetches.inc()
+        stats.fetch_speed.add(rate)
+        stats.fetch_delay.add(duration)
+        stats.e2e_delay.add((pre_finish - request_time) + duration)
+        if rate < IMPEDED_FETCH_THRESHOLD:
+            stats.impeded_fetches += 1
+        stats.payload_bytes += record.size
+        stats.traffic_bytes += record.size * float(rng.uniform(1.07, 1.10))

@@ -1,0 +1,237 @@
+"""Per-entity workload synthesis: any shard, any order, same week.
+
+The sequential :class:`~repro.workload.generator.WorkloadGenerator`
+draws every file and user from shared streams, so entity ``i``'s
+attributes depend on how many entities were drawn before it -- correct,
+but impossible to partition.  This module derives **all** of an entity's
+randomness from its own :meth:`RngFactory.fork` keyed by the entity
+index:
+
+* ``fork(f"file:{i}")`` -> file ``i``'s size, type, protocol, demand,
+  its requests' arrival times, and its fetch-at-most-once user
+  assignment;
+* ``fork(f"user:{j}")`` -> user ``j``'s ISP, address, bandwidth, and
+  reporting flag.
+
+Because nothing depends on draw order, the union of any partition of the
+index space is bit-identical to the 1-shard output -- the invariance that
+``repro.scale`` rests on (tested in ``tests/test_scale.py``).
+
+Two deliberate deviations from the sequential generator (documented in
+DESIGN.md's Scale note):
+
+* protocols and file types are drawn i.i.d. from the marginal mixes
+  instead of from the sequential generator's variance-reducing
+  :class:`~repro.workload.catalog.QuotaDeck` (deck positions are
+  sequence-dependent); at shard-worthy scales the extra variance is
+  negligible;
+* user addresses are hash-derived inside the ISP's CIDR capacity rather
+  than allocated from a sequential cursor; collisions are possible and
+  harmless (addresses only feed ISP resolution, which is CIDR-based).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netsim.isp import IspRegistry, ISP, default_registry
+from repro.netsim.link import AccessBandwidthModel
+from repro.obs.registry import AnyRegistry, NOOP
+from repro.scale.plan import ShardSpec, stable_hash
+from repro.sim.randomness import RngFactory
+from repro.storage.dedup import content_id
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.catalog import PROTOCOL_MIX, FileCatalog
+from repro.workload.filetypes import FileTypeModel
+from repro.workload.generator import Workload, pick_distinct_index
+from repro.workload.popularity import PopularityModel
+from repro.workload.records import CatalogFile, RequestRecord, User
+from repro.workload.sizes import FileSizeModel
+from repro.workload.users import UserPopulation
+
+#: Shared immutable default models (all frozen dataclasses).
+_SIZE_MODEL = FileSizeModel()
+_TYPE_MODEL = FileTypeModel()
+_POPULARITY_MODEL = PopularityModel()
+
+_REPORT_PROBABILITY = UserPopulation().report_probability
+
+
+def _draw_protocol(rng: np.random.Generator):
+    """One i.i.d. draw from the paper's protocol mix."""
+    draw = rng.random()
+    cumulative = 0.0
+    for protocol, share in PROTOCOL_MIX:
+        cumulative += share
+        if draw < cumulative:
+            return protocol
+    return PROTOCOL_MIX[-1][0]
+
+
+def file_record(seed: int, file_index: int,
+                size_model: FileSizeModel = _SIZE_MODEL,
+                type_model: FileTypeModel = _TYPE_MODEL,
+                popularity_model: PopularityModel = _POPULARITY_MODEL
+                ) -> CatalogFile:
+    """File ``file_index``'s attributes, independent of all other files."""
+    rng = RngFactory(seed).fork(f"file:{file_index}").stream("attrs")
+    size, is_small = size_model.sample(rng)
+    protocol = _draw_protocol(rng)
+    file_type = type_model.sample(is_small, rng)
+    demand = popularity_model.sample_weekly_demand(rng)
+    file_id = content_id(f"file-{file_index}")
+    return CatalogFile(
+        file_id=file_id, size=size, file_type=file_type,
+        protocol=protocol, weekly_demand=demand,
+        source_url=f"{protocol.value}://origin/{file_id}")
+
+
+def derive_address(registry: IspRegistry, isp: ISP,
+                   user_index: int) -> str:
+    """Hash-derive user ``user_index``'s address inside ``isp``'s blocks.
+
+    Mirrors the address range :class:`~repro.netsim.ip.IpAllocator`
+    hands out (offsets 1..n-2 of each block) so derived addresses
+    resolve to the same ISP through :class:`~repro.netsim.ip.IpResolver`.
+    """
+    networks = registry.profile(isp).networks()
+    capacities = [max(network.num_addresses - 2, 0)
+                  for network in networks]
+    total = sum(capacities)
+    if total <= 0:
+        raise RuntimeError(f"address space of {isp} is empty")
+    offset = stable_hash(f"addr:{user_index}") % total
+    for network, capacity in zip(networks, capacities):
+        if offset < capacity:
+            return str(network.network_address + 1 + offset)
+        offset -= capacity
+    raise AssertionError("unreachable: offset bounded by total capacity")
+
+
+def user_record(seed: int, user_index: int,
+                registry: Optional[IspRegistry] = None,
+                bandwidth_model: Optional[AccessBandwidthModel] = None,
+                report_probability: float = _REPORT_PROBABILITY) -> User:
+    """User ``user_index``'s attributes, independent of all other users."""
+    registry = registry or default_registry()
+    bandwidth_model = bandwidth_model or AccessBandwidthModel()
+    rng = RngFactory(seed).fork(f"user:{user_index}").stream("attrs")
+    isp = registry.sample_isp(rng)
+    return User(
+        user_id=f"u{user_index:08d}",
+        ip_address=derive_address(registry, isp, user_index),
+        isp=isp,
+        access_bandwidth=bandwidth_model.sample_downstream(rng),
+        reports_bandwidth=bool(rng.random() < report_probability))
+
+
+class UserDirectory:
+    """Lazy, memoised view of the full user population.
+
+    Shard workers only *own* the users whose hash lands in their shard,
+    but a shard's requests may be assigned to any user in the week; the
+    directory materialises those users on demand from their index --
+    the same records every other shard would derive.
+    """
+
+    def __init__(self, seed: int, user_count: int,
+                 registry: Optional[IspRegistry] = None,
+                 bandwidth_model: Optional[AccessBandwidthModel] = None):
+        if user_count < 1:
+            raise ValueError("user_count must be >= 1")
+        self.seed = seed
+        self.user_count = user_count
+        self._registry = registry or default_registry()
+        self._bandwidth_model = bandwidth_model or AccessBandwidthModel()
+        self._users: dict[int, User] = {}
+
+    def __len__(self) -> int:
+        return self.user_count
+
+    def user(self, user_index: int) -> User:
+        if not 0 <= user_index < self.user_count:
+            raise IndexError(f"user index {user_index} outside "
+                             f"[0, {self.user_count})")
+        record = self._users.get(user_index)
+        if record is None:
+            record = user_record(self.seed, user_index,
+                                 registry=self._registry,
+                                 bandwidth_model=self._bandwidth_model)
+            self._users[user_index] = record
+        return record
+
+    def by_id(self, user_id: str) -> User:
+        """Resolve a ``u{index:08d}`` identifier back to its record."""
+        if not user_id.startswith("u"):
+            raise KeyError(user_id)
+        return self.user(int(user_id[1:]))
+
+
+def requests_for_file(seed: int, file_index: int, record: CatalogFile,
+                      directory: UserDirectory,
+                      arrivals: ArrivalProcess) -> list[RequestRecord]:
+    """All of one file's requests, derived from the file's own fork.
+
+    Arrival times come from the file's ``times`` stream, users from its
+    ``assign`` stream via the same fetch-at-most-once retry draw the
+    sequential generator uses.  Requests of one file are sorted in time
+    by construction (:meth:`ArrivalProcess.sample_times` sorts).
+    """
+    fork = RngFactory(seed).fork(f"file:{file_index}")
+    times = arrivals.sample_times(record.weekly_demand,
+                                  fork.stream("times"))
+    assign_rng = fork.stream("assign")
+    seen: set[int] = set()
+    requests: list[RequestRecord] = []
+    for slot, when in enumerate(times):
+        user = directory.user(pick_distinct_index(
+            len(directory), seen, assign_rng))
+        requests.append(RequestRecord(
+            task_id=f"t{file_index:08d}x{slot:05d}",
+            user_id=user.user_id,
+            ip_address=user.ip_address,
+            access_bandwidth=user.reported_bandwidth,
+            request_time=float(when),
+            file_id=record.file_id,
+            file_type=record.file_type,
+            file_size=record.size,
+            source_url=record.source_url,
+            protocol=record.protocol,
+        ))
+    return requests
+
+
+def generate_shard(spec: ShardSpec,
+                   metrics: AnyRegistry = NOOP) -> Workload:
+    """Synthesise one shard's sub-workload.
+
+    Returns a :class:`Workload` holding the shard's owned files, their
+    complete request streams (time-sorted), and the shard's owned users.
+    Note the request records may reference users owned by *other* shards;
+    the merged union (``repro.scale.reducers.merge_workloads``) is
+    closed again.
+    """
+    plan = spec.plan
+    arrivals = ArrivalProcess(horizon=spec.horizon)
+    directory = UserDirectory(spec.seed, plan.user_count)
+    catalog = FileCatalog()
+    requests: list[RequestRecord] = []
+    for file_index in spec.file_indices():
+        record = file_record(spec.seed, file_index)
+        catalog.files[record.file_id] = record
+        requests.extend(requests_for_file(spec.seed, file_index, record,
+                                          directory, arrivals))
+    users = [directory.user(user_index)
+             for user_index in spec.user_indices()]
+    requests.sort(key=lambda request: (request.request_time,
+                                       request.task_id))
+    metrics.counter("repro_scale_files_total",
+                    shard=spec.shard).inc(len(catalog))
+    metrics.counter("repro_scale_users_total",
+                    shard=spec.shard).inc(len(users))
+    metrics.counter("repro_scale_requests_total",
+                    shard=spec.shard).inc(len(requests))
+    return Workload(config=spec.workload_config, catalog=catalog,
+                    users=users, requests=requests)

@@ -130,10 +130,11 @@ def build_requests(catalog: FileCatalog, users: list[User],
     assign_rng.shuffle(slots)  # type: ignore[arg-type]
     times = arrivals.sample_times(len(slots), time_rng)
 
-    used_users: dict[str, set[str]] = {}
+    used_users: dict[str, set[int]] = {}
     requests: list[RequestRecord] = []
     for index, (record, when) in enumerate(zip(slots, times)):
-        user = _pick_user(record, users, used_users, assign_rng)
+        seen = used_users.setdefault(record.file_id, set())
+        user = users[pick_distinct_index(len(users), seen, assign_rng)]
         requests.append(RequestRecord(
             task_id=f"{task_prefix}{index:08d}",
             user_id=user.user_id,
@@ -149,16 +150,24 @@ def build_requests(catalog: FileCatalog, users: list[User],
     return requests
 
 
-def _pick_user(record: CatalogFile, users: list[User],
-               used: dict[str, set[str]],
-               rng: np.random.Generator) -> User:
-    """Draw a user who has not requested this file yet (fetch at most
-    once); falls back to a repeat requester only if the population is
-    smaller than the file's demand."""
-    seen = used.setdefault(record.file_id, set())
-    for _attempt in range(8):
-        user = users[int(rng.integers(len(users)))]
-        if user.user_id not in seen:
-            seen.add(user.user_id)
-            return user
-    return users[int(rng.integers(len(users)))]
+#: Retries before fetch-at-most-once falls back to a repeat requester.
+PICK_RETRIES = 8
+
+
+def pick_distinct_index(count: int, seen: set[int],
+                        rng: np.random.Generator,
+                        retries: int = PICK_RETRIES) -> int:
+    """Draw an index not in ``seen`` (fetch at most once per file).
+
+    Falls back to a repeat draw only when the population is effectively
+    smaller than the file's demand.  Shared by the sequential generator
+    and the sharded per-file generator (``repro.scale.shardgen``), so
+    both enforce the same fetch-at-most-once behaviour with the same
+    number of RNG consumptions per slot.
+    """
+    for _attempt in range(retries):
+        index = int(rng.integers(count))
+        if index not in seen:
+            seen.add(index)
+            return index
+    return int(rng.integers(count))

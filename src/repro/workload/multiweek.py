@@ -26,6 +26,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.sim.randomness import RngFactory
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.catalog import FileCatalog
@@ -161,13 +162,15 @@ class WeekStats:
     pool_files: int
 
 
-def run_weeks(cloud, generator: MultiWeekGenerator,
-              count: int) -> list[WeekStats]:
+def run_weeks(cloud, generator: MultiWeekGenerator, count: int,
+              metrics: AnyRegistry = NOOP) -> list[WeekStats]:
     """Drive one persistent cloud instance across ``count`` weeks.
 
     The pool and database persist, so each week starts with everything
     the previous weeks accumulated -- the mechanism behind the paper's
-    89% cache-hit ratio.
+    89% cache-hit ratio.  With a live ``metrics`` registry the per-week
+    trajectory is also recorded as ``repro_multiweek_*`` gauges labelled
+    by week, so the cache-warming curve is visible in metric exports.
     """
     stats: list[WeekStats] = []
     seen_hits, seen_lookups = 0, 0
@@ -179,11 +182,18 @@ def run_weeks(cloud, generator: MultiWeekGenerator,
         week_hits = pool_stats.hits - seen_hits
         week_lookups = pool_stats.lookups - seen_lookups
         seen_hits, seen_lookups = pool_stats.hits, pool_stats.lookups
-        stats.append(WeekStats(
+        entry = WeekStats(
             week=week,
             requests=len(workload.requests),
             cache_hit_ratio=week_hits / week_lookups
             if week_lookups else 0.0,
             request_failure_ratio=result.request_failure_ratio,
-            pool_files=len(cloud.pool)))
+            pool_files=len(cloud.pool))
+        metrics.gauge("repro_multiweek_cache_hit_ratio",
+                      week=week).set(entry.cache_hit_ratio)
+        metrics.gauge("repro_multiweek_request_failure_ratio",
+                      week=week).set(entry.request_failure_ratio)
+        metrics.gauge("repro_multiweek_pool_files",
+                      week=week).set(entry.pool_files)
+        stats.append(entry)
     return stats

@@ -3,13 +3,20 @@
 A saved workload is a directory of three JSONL files mirroring the
 paper's dataset layout (catalog + users + request trace); pre-download
 and fetch traces produced by the simulators use the same helpers.
+
+Files with a ``.gz`` suffix are transparently gzip-compressed -- at
+full-trace scale (``repro.scale``) the request trace alone is millions
+of rows, and JSONL compresses ~10x.  ``save_workload(...,
+compress=True)`` writes ``*.jsonl.gz``; ``load_workload`` auto-detects
+whichever variant is present.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
-from typing import Iterable, Type, TypeVar
+from typing import IO, Iterable, Type, TypeVar
 
 from repro.workload.catalog import FileCatalog
 from repro.workload.generator import Workload, WorkloadConfig
@@ -30,12 +37,22 @@ REQUESTS_FILE = "requests.jsonl"
 CONFIG_FILE = "config.json"
 
 
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open a trace file for text I/O, gzip-aware by suffix."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return path.open(mode)
+
+
 def write_jsonl(path: str | Path, records: Iterable[_TraceRecord]) -> int:
-    """Write records as one JSON object per line; returns the row count."""
+    """Write records as one JSON object per line; returns the row count.
+
+    A ``.gz`` suffix selects gzip compression.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with path.open("w") as handle:
+    with _open_text(path, "w") as handle:
         for record in records:
             handle.write(json.dumps(record.to_dict()) + "\n")
             count += 1
@@ -43,10 +60,10 @@ def write_jsonl(path: str | Path, records: Iterable[_TraceRecord]) -> int:
 
 
 def read_jsonl(path: str | Path, record_type: Type[R]) -> list[R]:
-    """Read a JSONL trace file back into records of ``record_type``."""
+    """Read a (possibly gzipped) JSONL trace file back into records."""
     path = Path(path)
     records: list[R] = []
-    with path.open() as handle:
+    with _open_text(path, "r") as handle:
         for line in handle:
             line = line.strip()
             if line:
@@ -54,13 +71,31 @@ def read_jsonl(path: str | Path, record_type: Type[R]) -> list[R]:
     return records
 
 
-def save_workload(workload: Workload, directory: str | Path) -> Path:
-    """Persist a workload as a directory of JSONL traces + config."""
+def _resolve_trace(directory: Path, name: str) -> Path:
+    """Find ``name`` or ``name.gz`` in a saved-workload directory."""
+    plain = directory / name
+    if plain.exists():
+        return plain
+    compressed = directory / (name + ".gz")
+    if compressed.exists():
+        return compressed
+    raise FileNotFoundError(f"{plain} (or {compressed.name}) not found")
+
+
+def save_workload(workload: Workload, directory: str | Path,
+                  compress: bool = False) -> Path:
+    """Persist a workload as a directory of JSONL traces + config.
+
+    With ``compress=True`` the three trace files are written as
+    ``*.jsonl.gz`` (the config stays plain JSON for greppability).
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    write_jsonl(directory / CATALOG_FILE, iter(workload.catalog))
-    write_jsonl(directory / USERS_FILE, workload.users)
-    write_jsonl(directory / REQUESTS_FILE, workload.requests)
+    suffix = ".gz" if compress else ""
+    write_jsonl(directory / (CATALOG_FILE + suffix),
+                iter(workload.catalog))
+    write_jsonl(directory / (USERS_FILE + suffix), workload.users)
+    write_jsonl(directory / (REQUESTS_FILE + suffix), workload.requests)
     config = {"scale": workload.config.scale, "seed": workload.config.seed,
               "horizon": workload.config.horizon}
     (directory / CONFIG_FILE).write_text(json.dumps(config, indent=2))
@@ -68,16 +103,21 @@ def save_workload(workload: Workload, directory: str | Path) -> Path:
 
 
 def load_workload(directory: str | Path) -> Workload:
-    """Load a workload previously written by :func:`save_workload`."""
+    """Load a workload previously written by :func:`save_workload`.
+
+    Detects per file whether the plain or gzipped variant is present.
+    """
     directory = Path(directory)
     raw_config = json.loads((directory / CONFIG_FILE).read_text())
     config = WorkloadConfig(scale=raw_config["scale"],
                             seed=raw_config["seed"],
                             horizon=raw_config["horizon"])
     catalog = FileCatalog()
-    for record in read_jsonl(directory / CATALOG_FILE, CatalogFile):
+    for record in read_jsonl(_resolve_trace(directory, CATALOG_FILE),
+                             CatalogFile):
         catalog.files[record.file_id] = record
-    users = read_jsonl(directory / USERS_FILE, User)
-    requests = read_jsonl(directory / REQUESTS_FILE, RequestRecord)
+    users = read_jsonl(_resolve_trace(directory, USERS_FILE), User)
+    requests = read_jsonl(_resolve_trace(directory, REQUESTS_FILE),
+                          RequestRecord)
     return Workload(config=config, catalog=catalog, users=users,
                     requests=requests)

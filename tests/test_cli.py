@@ -103,3 +103,49 @@ class TestPipelineCommands:
         document = output.read_text()
         assert "paper vs measured" in document
         assert "fig17" in document
+
+
+class TestShardedCommands:
+    def test_generate_jobs_writes_gzipped_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        assert main(["generate", "--scale", "0.0008", "--jobs", "1",
+                     "--shards", "4", "--gzip",
+                     "--out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "sharded generate" in out
+        assert (trace / "requests.jsonl.gz").exists()
+        from repro.workload import load_workload
+        workload = load_workload(trace)
+        assert workload.requests
+
+    def test_cloud_jobs_runs_the_sharded_replay(self, capsys):
+        assert main(["cloud", "--scale", "0.0008", "--jobs", "1",
+                     "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded replay" in out
+        assert "cache hit ratio" in out
+
+    def test_cloud_jobs_refuses_ablations(self, capsys):
+        assert main(["cloud", "--scale", "0.0008", "--jobs", "1",
+                     "--no-cache"]) == 2
+        assert "event-driven engine" in capsys.readouterr().err
+
+    def test_cloud_jobs_refuses_trace_replay(self, tmp_path, capsys):
+        assert main(["cloud", "--jobs", "1",
+                     "--trace", str(tmp_path)]) == 2
+        assert "drop --trace" in capsys.readouterr().err
+
+    def test_ap_jobs_replay(self, capsys):
+        assert main(["ap", "--scale", "0.0015", "--sample", "30",
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel replay" in out
+        assert "failure ratio" in out
+
+    def test_experiments_jobs_writes_document(self, tmp_path, capsys):
+        output = tmp_path / "EXP.md"
+        assert main(["experiments", "--scale", "0.0008", "--jobs", "1",
+                     "--output", str(output)]) == 0
+        document = output.read_text()
+        assert "paper vs measured" in document
+        assert "Reproduction scorecard" in document

@@ -104,3 +104,41 @@ class TestRealHttpServer:
     def test_health_over_http(self, server_url):
         with urllib.request.urlopen(server_url + "/healthz") as resp:
             assert json.loads(resp.read())["status"] == "ok"
+
+
+class TestServerLifecycle:
+    def test_server_has_explicit_lifecycle_flags(self):
+        from repro.core.webapp import OdrHTTPServer
+        server = make_server(port=0)
+        try:
+            assert isinstance(server, OdrHTTPServer)
+            # Handler threads must not block interpreter exit, and a
+            # restart must be able to rebind a TIME_WAIT port.
+            assert server.daemon_threads is True
+            assert server.allow_reuse_address is True
+        finally:
+            server.server_close()
+
+    def test_shutdown_joins_promptly_after_serving(self):
+        server = make_server(port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz") as response:
+            assert response.status == 200
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    def test_port_can_be_rebound_after_close(self):
+        first = make_server(port=0)
+        port = first.server_address[1]
+        first.server_close()
+        second = make_server(port=port)
+        try:
+            assert second.server_address[1] == port
+        finally:
+            second.server_close()

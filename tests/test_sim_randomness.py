@@ -56,3 +56,54 @@ class TestRngFactory:
         a = RngFactory(3).fork("c").stream("s").random(4)
         b = RngFactory(3).fork("c").stream("s").random(4)
         assert np.allclose(a, b)
+
+
+class TestShardDeterminism:
+    """Regression guards for the properties ``repro.scale`` builds on:
+    forked children must be insensitive to the parent's draw history,
+    and a factory shipped to another process (the spawn pool pickles
+    its payloads) must produce the same streams there as here."""
+
+    def test_fork_ignores_parent_draw_order(self):
+        quiet = RngFactory(11)
+        noisy = RngFactory(11)
+        _ = noisy.stream("warmup").random(1000)
+        _ = noisy.fork("other-child").stream("s").random(10)
+        a = quiet.fork("child").stream("s").random(8)
+        b = noisy.fork("child").stream("s").random(8)
+        assert np.allclose(a, b)
+
+    def test_nested_forks_are_path_addressed(self):
+        a = RngFactory(5).fork("cloud").fork("file:3")
+        b = RngFactory(5).fork("cloud").fork("file:3")
+        c = RngFactory(5).fork("cloud").fork("file:4")
+        assert np.allclose(a.stream("fetch").random(4),
+                           b.stream("fetch").random(4))
+        assert not np.allclose(a.stream("fetch").random(4),
+                               c.stream("fetch").random(4))
+
+    def test_pickled_factory_reproduces_streams_in_a_subprocess(
+            self, tmp_path):
+        import json
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        factory = RngFactory(20150222).fork("scale-cloud")
+        expected = factory.fork("file:42").stream("session").random(6)
+
+        payload = tmp_path / "factory.pkl"
+        payload.write_bytes(pickle.dumps(factory))
+        script = (
+            "import json, pickle, sys\n"
+            "factory = pickle.loads(open(sys.argv[1], 'rb').read())\n"
+            "draws = factory.fork('file:42').stream('session')"
+            ".random(6)\n"
+            "print(json.dumps(list(draws)))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script, str(payload)],
+            capture_output=True, text=True, env=os.environ.copy(),
+            check=True)
+        assert np.allclose(json.loads(completed.stdout), expected)

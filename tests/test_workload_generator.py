@@ -173,3 +173,36 @@ class TestTraceIO:
         assert len(loaded.users) == len(workload.users)
         assert [r.to_dict() for r in loaded.requests] == \
             [r.to_dict() for r in workload.requests]
+
+    def test_gzipped_jsonl_roundtrip(self, tmp_path):
+        from repro.workload.records import FileType, Protocol
+        records = [RequestRecord(task_id=f"t{i}", user_id="u",
+                                 ip_address="1.2.3.4",
+                                 access_bandwidth=None,
+                                 request_time=float(i), file_id="f",
+                                 file_type=FileType.VIDEO,
+                                 file_size=100.0,
+                                 source_url="http://origin/f",
+                                 protocol=Protocol.HTTP)
+                   for i in range(50)]
+        path = tmp_path / "requests.jsonl.gz"
+        assert write_jsonl(path, records) == 50
+        # Genuinely gzip on disk (magic bytes), not just a renamed file.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = read_jsonl(path, RequestRecord)
+        assert [r.to_dict() for r in loaded] == \
+            [r.to_dict() for r in records]
+
+    def test_compressed_workload_save_load_roundtrip(self, tmp_path):
+        config = WorkloadConfig(scale=0.0008, seed=5)
+        workload = WorkloadGenerator(config).generate()
+        directory = save_workload(workload, tmp_path / "trace",
+                                  compress=True)
+        assert (directory / "requests.jsonl.gz").exists()
+        assert not (directory / "requests.jsonl").exists()
+        assert (directory / "config.json").exists()
+        loaded = load_workload(directory)
+        assert [r.to_dict() for r in loaded.requests] == \
+            [r.to_dict() for r in workload.requests]
+        assert {f.file_id for f in loaded.catalog} == \
+            {f.file_id for f in workload.catalog}
