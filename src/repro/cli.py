@@ -44,6 +44,25 @@ def _add_jobs(parser: argparse.ArgumentParser,
                                  f"{DEFAULT_SHARDS})")
 
 
+def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", nargs="?", const=True, default=None,
+                        type=Path, metavar="PSTATS",
+                        help="profile the run with cProfile and dump "
+                             "raw stats to PSTATS (default: a .pstats "
+                             "file named after the run output; inspect "
+                             "with `python -m pstats`)")
+
+
+def _profile_destination(args: argparse.Namespace) -> Path:
+    """Where ``--profile`` without an explicit path dumps its stats."""
+    if args.profile is not True:
+        return Path(args.profile)
+    out = getattr(args, "out", None)
+    if out is not None:          # e.g. `generate --out trace` -> trace.pstats
+        return Path(str(out) + ".pstats")
+    return Path(f"repro-{args.command}.pstats")
+
+
 def _add_metrics(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", type=Path, default=None,
                         help="enable the observability subsystem and "
@@ -306,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=Path, default=Path("trace"))
     generate.add_argument("--gzip", action="store_true",
                           help="write gzipped trace files (*.jsonl.gz)")
+    _add_profile(generate)
     generate.set_defaults(func=cmd_generate)
 
     cloud = subparsers.add_parser(
@@ -320,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     cloud.add_argument("--no-privileged-paths", action="store_true",
                        help="disable ISP-aware path selection (ablation)")
     _add_metrics(cloud)
+    _add_profile(cloud)
     cloud.set_defaults(func=cmd_cloud)
 
     ap = subparsers.add_parser(
@@ -329,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--trace", type=Path, default=None)
     ap.add_argument("--sample", type=int, default=1000)
     _add_metrics(ap)
+    _add_profile(ap)
     ap.set_defaults(func=cmd_ap)
 
     odr = subparsers.add_parser(
@@ -349,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     odr.add_argument("--filesystem", choices=["fat", "ntfs", "ext4"],
                      default=None)
     _add_metrics(odr)
+    _add_profile(odr)
     odr.set_defaults(func=cmd_odr)
 
     experiments = subparsers.add_parser(
@@ -376,7 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "profile", None) is None:
+        return args.func(args)
+    import cProfile
+    destination = _profile_destination(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = args.func(args)
+    finally:
+        profiler.disable()
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(destination)
+        print(f"profile written to {destination} "
+              f"(inspect with `python -m pstats {destination}`)",
+              file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

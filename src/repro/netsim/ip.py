@@ -30,12 +30,14 @@ class IpAllocator:
     def __init__(self, registry: Optional[IspRegistry] = None):
         self._registry = registry or default_registry()
         self._cursors: dict[ISP, tuple[int, int]] = {}
+        self._networks: dict[ISP, list] = {}
         for isp in self._registry.isps():
             self._cursors[isp] = (0, 1)  # (block index, offset in block)
+            self._networks[isp] = self._registry.profile(isp).networks()
 
     def allocate(self, isp: ISP) -> str:
         """Return the next unused address homed in ``isp``."""
-        networks = self._registry.profile(isp).networks()
+        networks = self._networks[isp]
         block_index, offset = self._cursors[isp]
         while block_index < len(networks):
             network = networks[block_index]

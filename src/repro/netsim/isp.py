@@ -16,6 +16,9 @@ from __future__ import annotations
 import enum
 import ipaddress
 from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
 
 
 class ISP(enum.Enum):
@@ -47,7 +50,17 @@ class IspProfile:
     population_share: float
 
     def networks(self) -> list[ipaddress.IPv4Network]:
-        return [ipaddress.ip_network(cidr) for cidr in self.cidrs]
+        # Copy the cached parse so callers that mutate the list (none in
+        # tree, but the old contract allowed it) cannot poison the cache.
+        return list(_parsed_networks(self.cidrs))
+
+
+@lru_cache(maxsize=None)
+def _parsed_networks(cidrs: tuple[str, ...]) -> tuple[
+        ipaddress.IPv4Network, ...]:
+    """CIDR parsing is ~10 us per block; profiles are immutable, so parse
+    each block tuple once per process instead of per allocation."""
+    return tuple(ipaddress.ip_network(cidr) for cidr in cidrs)
 
 
 _DEFAULT_PROFILES: tuple[IspProfile, ...] = (
@@ -78,6 +91,15 @@ class IspRegistry:
             seen.add(profile.isp)
         self._profiles = {p.isp: p for p in profiles}
         self._order = tuple(p.isp for p in profiles)
+        # Inverse-CDF table for sample_isp, built exactly the way
+        # Generator.choice builds its internal CDF so one searchsorted
+        # over one uniform draw is bit-identical to the old per-call
+        # rng.choice(len(order), p=shares).
+        shares = np.asarray([p.population_share for p in profiles],
+                            dtype=float)
+        cdf = shares.cumsum()
+        cdf /= cdf[-1]
+        self._share_cdf = cdf
 
     def profile(self, isp: ISP) -> IspProfile:
         return self._profiles[isp]
@@ -95,10 +117,9 @@ class IspRegistry:
 
     def sample_isp(self, rng) -> ISP:
         """Draw a home ISP according to population shares."""
-        shares = [self._profiles[isp].population_share
-                  for isp in self._order]
-        index = rng.choice(len(self._order), p=shares)
-        return self._order[int(index)]
+        cdf = self._share_cdf
+        index = cdf.searchsorted(rng.random(), side="right")
+        return self._order[min(index, len(self._order) - 1)]
 
 
 _DEFAULT_REGISTRY: IspRegistry | None = None

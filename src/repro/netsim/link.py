@@ -88,14 +88,16 @@ class AccessBandwidthModel:
         self.body_median = body_median
         self.body_sigma = body_sigma
         self.max_downstream = max_downstream
+        self._log_tail_low = float(np.log(mbps(0.064)))
+        self._log_tail_high = float(np.log(mbps(1.0)))
 
     def sample_downstream(self, rng: np.random.Generator) -> float:
         """Draw one subscriber's downstream bandwidth in B/s."""
         if rng.random() < self.low_tail_fraction:
             # Narrowband / congested-rural tail: 64 Kbps .. 1 Mbps,
             # log-uniform so very slow lines exist but do not dominate.
-            low, high = np.log(mbps(0.064)), np.log(mbps(1.0))
-            return float(np.exp(rng.uniform(low, high)))
+            return float(np.exp(rng.uniform(self._log_tail_low,
+                                            self._log_tail_high)))
         draw = self.body_median * np.exp(rng.normal(0.0, self.body_sigma))
         return float(min(draw, self.max_downstream))
 

@@ -73,6 +73,12 @@ class ChinaTopology:
         self._intra_cap_median = intra_cap_median
         self._intra_cap_sigma = intra_cap_sigma
         self._graph = self._build_graph()
+        # The graph is immutable after construction and has a handful of
+        # nodes, so both queries are memoised per (src, dst) pair; cloud
+        # replay used to spend a third of its time re-running networkx
+        # shortest paths over this static mesh.
+        self._hop_cache: dict[tuple[ISP, ISP], int] = {}
+        self._quality_cache: dict[tuple[ISP, ISP], PathQuality] = {}
 
     def _build_graph(self) -> nx.Graph:
         graph = nx.Graph()
@@ -99,10 +105,24 @@ class ChinaTopology:
         """AS hops between two ISPs (0 when homed in the same ISP)."""
         if src == dst:
             return 0
-        return nx.shortest_path_length(self._graph, src, dst)
+        key = (src, dst)
+        hops = self._hop_cache.get(key)
+        if hops is None:
+            hops = nx.shortest_path_length(self._graph, src, dst)
+            self._hop_cache[key] = hops
+        return hops
 
     def path_quality(self, src: ISP, dst: ISP) -> PathQuality:
         """Quality of the best path between endpoints homed at two ISPs."""
+        key = (src, dst)
+        quality = self._quality_cache.get(key)
+        if quality is not None:
+            return quality
+        quality = self._compute_path_quality(src, dst)
+        self._quality_cache[key] = quality
+        return quality
+
+    def _compute_path_quality(self, src: ISP, dst: ISP) -> PathQuality:
         hops = self.hop_count(src, dst)
         if hops == 0:
             return PathQuality(cap_median=self._intra_cap_median,

@@ -1,0 +1,49 @@
+"""CLI entry point: ``python -m repro.perf [--smoke] [--out PATH]``.
+
+Runs the canonical stage benchmarks (baseline vs optimised where a
+frozen baseline exists), prints the summary table, and writes the full
+report -- including per-stage cProfile top-N -- to ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.harness import (
+    PROFILE_TOP,
+    run_benchmarks,
+    write_report,
+)
+from repro.perf.stages import STAGES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Time the canonical pipeline stages against the "
+                    "frozen pre-optimisation baselines.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scales / single repeat (CI mode)")
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N repeats (default: 3, 1 in smoke)")
+    parser.add_argument("--profile-top", type=int, default=PROFILE_TOP,
+                        help="cProfile lines kept per stage; 0 disables "
+                             "profiling (default: %(default)s)")
+    parser.add_argument("--stage", action="append", choices=sorted(STAGES),
+                        help="run only this stage (repeatable)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(smoke=args.smoke, repeats=args.repeats,
+                            profile_top=args.profile_top,
+                            stage_names=args.stage, progress=True)
+    print(report.render())
+    path = write_report(report, args.out)
+    print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

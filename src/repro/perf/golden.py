@@ -1,0 +1,358 @@
+"""Golden determinism digests for the hot-path optimisation pass.
+
+Every surface touched by the PR 3 optimisations (vectorised workload
+sampling, the engine fast path, buffered trace IO) is pinned here by a
+SHA-256 digest of its canonicalised output.  The digests in
+``tests/data/golden_digests.json`` were generated from the
+*pre-optimisation* code; ``tests/test_perf_golden.py`` recomputes them
+from the live code on every run, so any optimisation that changes a
+single output byte fails loudly.
+
+Regenerate (only when an output change is intended and understood)::
+
+    PYTHONPATH=src python -m repro.perf.golden --write tests/data/golden_digests.json
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+#: Dimensions of the golden scenarios; small enough to run in seconds,
+#: large enough to hit every sampling branch (all three popularity
+#: classes, both size classes, retries of the fetch-at-most-once draw).
+GOLDEN_SCALE = 0.002
+GOLDEN_SEED = 20150222
+SHARDED_SCALE = 0.0008
+SHARDED_SHARDS = 3
+SAMPLER_DRAWS = 4000
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True,
+                         separators=(",", ":")).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def workload_payload(workload) -> list:
+    """Full content of a workload as JSON-ready rows."""
+    return [
+        [record.to_dict() for record in workload.catalog],
+        [user.to_dict() for user in workload.users],
+        [request.to_dict() for request in workload.requests],
+    ]
+
+
+# -- scenarios --------------------------------------------------------------
+
+
+def workload_sequential() -> str:
+    """The sequential generator's full output at the golden scale."""
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    config = WorkloadConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    return digest(workload_payload(WorkloadGenerator(config).generate()))
+
+
+def workload_sharded_jobs2() -> str:
+    """The sharded generator, merged from 3 shards on 2 processes."""
+    from repro.scale import ShardPlan, sharded_generate
+    plan = ShardPlan(scale=SHARDED_SCALE, seed=GOLDEN_SEED,
+                     shards=SHARDED_SHARDS)
+    workload, _info = sharded_generate(plan, jobs=2)
+    return digest(workload_payload(workload))
+
+
+def cloud_replay() -> str:
+    """End-to-end cloud replay: every task and flow of a golden week."""
+    from repro.cloud import CloudConfig, XuanfengCloud
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    config = WorkloadConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    workload = WorkloadGenerator(config).generate()
+    result = XuanfengCloud(CloudConfig(scale=GOLDEN_SCALE)).run(workload)
+    tasks = []
+    for task in result.tasks:
+        tasks.append([
+            task.pre_record.to_dict(),
+            task.fetch_record.to_dict() if task.fetch_record else None,
+        ])
+    flows = [[flow.start, flow.end, flow.rate, flow.highly_popular,
+              flow.rejected] for flow in result.flows]
+    return digest([tasks, flows])
+
+
+def ap_replay() -> str:
+    """The smart-AP benchmark rig over a 200-request golden sample."""
+    from repro.ap import ApBenchmarkRig
+    from repro.workload import sample_benchmark_requests
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    config = WorkloadConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    workload = WorkloadGenerator(config).generate()
+    sample = sample_benchmark_requests(workload, 200)
+    report = ApBenchmarkRig(workload.catalog).replay(sample)
+    return digest([[r.ap_name, r.record.to_dict()]
+                   for r in report.results])
+
+
+def _engine_classes():
+    from repro.sim import engine
+    return engine.Simulator, engine.Timeout, engine.Interrupt
+
+
+def engine_trace(simulator_factory: Callable[[], Any] | None = None) -> str:
+    """A scripted engine scenario covering every scheduling path.
+
+    The trace pins: time ordering, same-instant scheduling order, event
+    trigger fan-out order, waiter cancellation via interrupt (including
+    a 50-process mass cancellation), waiting on finished processes and
+    already-triggered events, error propagation, and ``run(until=...)``.
+    ``simulator_factory`` lets the legacy engine replay the same script.
+    """
+    Simulator, Timeout, Interrupt = _engine_classes()
+    sim = simulator_factory() if simulator_factory else Simulator()
+    trace: list = []
+
+    gate = sim.event("gate")
+
+    def waiter(tag):
+        try:
+            value = yield gate
+            trace.append((sim.now, f"{tag}-resumed", value))
+        except Interrupt as interrupt:
+            trace.append((sim.now, f"{tag}-interrupted",
+                          interrupt.cause))
+            yield Timeout(5.0)
+            trace.append((sim.now, f"{tag}-recovered", None))
+        return tag
+
+    waiters = [sim.process(waiter(f"w{i}"), name=f"w{i}")
+               for i in range(6)]
+
+    def child():
+        yield Timeout(1.5)
+        return "child-value"
+
+    def parent():
+        value = yield sim.process(child(), name="child")
+        trace.append((sim.now, "parent-got", value))
+        # Waiting on an already-finished process resumes immediately.
+        done = sim.process(child_done(), name="child-done")
+        yield Timeout(0.5)
+        value = yield done
+        trace.append((sim.now, "parent-got-finished", value))
+
+    def child_done():
+        if False:   # pragma: no cover - make this a generator
+            yield
+        return "already-done"
+
+    sim.process(parent(), name="parent")
+
+    def failing():
+        yield Timeout(0.25)
+        raise ValueError("model failure")
+
+    def supervisor():
+        try:
+            yield sim.process(failing(), name="failing")
+        except ValueError as error:
+            trace.append((sim.now, "supervised", str(error)))
+
+    sim.process(supervisor(), name="supervisor")
+
+    # Interrupt two waiters before the gate opens; their removal must
+    # not disturb the resume order of the remaining waiters.
+    sim.call_at(1.0, waiters[1].interrupt, "cancelled-1")
+    sim.call_at(1.0, waiters[3].interrupt, "cancelled-3")
+    sim.call_at(2.0, gate.trigger, "go")
+
+    # Same-instant callbacks fire in scheduling order.
+    for index in range(4):
+        sim.call_at(2.5, trace.append, (2.5, "tick", index))
+
+    # Mass cancellation: 50 processes pile onto one event, all are
+    # interrupted at once (the quadratic list.remove hot spot), and the
+    # later trigger must find no waiters left.
+    swarm_gate = sim.event("swarm")
+
+    def swarm_member(tag):
+        try:
+            yield swarm_gate
+            trace.append((sim.now, f"{tag}-leaked", None))
+        except Interrupt:
+            return None
+
+    swarm = [sim.process(swarm_member(f"s{i}"), name=f"s{i}")
+             for i in range(50)]
+
+    def mass_cancel():
+        yield Timeout(3.0)
+        for process in swarm:
+            process.interrupt("storm")
+        trace.append((sim.now, "mass-cancelled", len(swarm)))
+
+    sim.process(mass_cancel(), name="mass-cancel")
+    sim.call_at(4.0, swarm_gate.trigger, None)
+
+    # Waiting on an event that already triggered resumes immediately.
+    def late_waiter():
+        yield Timeout(4.5)
+        value = yield gate
+        trace.append((sim.now, "late-waiter", value))
+
+    sim.process(late_waiter(), name="late")
+
+    stop = sim.run(until=2.25)
+    trace.append(("until", stop))
+    final = sim.run()
+    trace.append(("final", final))
+    trace.append(("results", [process.result for process in waiters]))
+    return digest(trace)
+
+
+def sampler_popularity() -> str:
+    import numpy as np
+    from repro.workload.popularity import PopularityModel
+    model = PopularityModel()
+    rng = np.random.default_rng(GOLDEN_SEED)
+    return digest([model.sample_weekly_demand(rng)
+                   for _ in range(SAMPLER_DRAWS)])
+
+
+def sampler_sizes() -> str:
+    import numpy as np
+    from repro.workload.sizes import FileSizeModel
+    model = FileSizeModel()
+    rng = np.random.default_rng(GOLDEN_SEED)
+    draws = [list(model.sample(rng)) for _ in range(SAMPLER_DRAWS)]
+    batch = model.sample_many(200, np.random.default_rng(GOLDEN_SEED))
+    return digest([draws, batch.tolist()])
+
+
+def sampler_filetypes() -> str:
+    import numpy as np
+    from repro.workload.filetypes import FileTypeModel
+    model = FileTypeModel()
+    rng = np.random.default_rng(GOLDEN_SEED)
+    return digest([model.sample(index % 4 == 0, rng).value
+                   for index in range(SAMPLER_DRAWS)])
+
+
+def sampler_isp() -> str:
+    import numpy as np
+    from repro.netsim.isp import default_registry
+    registry = default_registry()
+    rng = np.random.default_rng(GOLDEN_SEED)
+    return digest([registry.sample_isp(rng).value
+                   for _ in range(SAMPLER_DRAWS)])
+
+
+def sampler_bandwidth() -> str:
+    import numpy as np
+    from repro.netsim.link import AccessBandwidthModel
+    model = AccessBandwidthModel()
+    rng = np.random.default_rng(GOLDEN_SEED)
+    return digest([model.sample_downstream(rng)
+                   for _ in range(SAMPLER_DRAWS)])
+
+
+def sampler_arrivals() -> str:
+    import numpy as np
+    from repro.workload.arrivals import ArrivalProcess
+    process = ArrivalProcess()
+    rng = np.random.default_rng(GOLDEN_SEED)
+    return digest(process.sample_times(SAMPLER_DRAWS, rng).tolist())
+
+
+def sampler_topology() -> str:
+    from repro.netsim.isp import default_registry
+    from repro.netsim.topology import ChinaTopology
+    topology = ChinaTopology()
+    rows = []
+    for src in default_registry().isps():
+        for dst in default_registry().isps():
+            quality = topology.path_quality(src, dst)
+            rows.append([src.value, dst.value, quality.cap_median,
+                         quality.cap_sigma, quality.latency_ms,
+                         quality.hops])
+    return digest(rows)
+
+
+def traceio_bytes() -> str:
+    """Exact file bytes written by the trace writers (gz: decompressed)."""
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    from repro.workload.traceio import write_jsonl
+    config = WorkloadConfig(scale=SHARDED_SCALE, seed=GOLDEN_SEED)
+    workload = WorkloadGenerator(config).generate()
+    with tempfile.TemporaryDirectory() as scratch:
+        plain = Path(scratch) / "requests.jsonl"
+        packed = Path(scratch) / "requests.jsonl.gz"
+        write_jsonl(plain, workload.requests)
+        write_jsonl(packed, workload.requests)
+        plain_hash = hashlib.sha256(plain.read_bytes()).hexdigest()
+        packed_hash = hashlib.sha256(
+            gzip.decompress(packed.read_bytes())).hexdigest()
+    return digest([plain_hash, packed_hash])
+
+
+def traceio_roundtrip() -> str:
+    """Records surviving a save/load round trip unchanged."""
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    from repro.workload.traceio import load_workload, save_workload
+    config = WorkloadConfig(scale=SHARDED_SCALE, seed=GOLDEN_SEED)
+    workload = WorkloadGenerator(config).generate()
+    with tempfile.TemporaryDirectory() as scratch:
+        save_workload(workload, scratch, compress=True)
+        loaded = load_workload(scratch)
+    return digest(workload_payload(loaded))
+
+
+#: Scenario name -> digest function.  ``tests/test_perf_golden.py``
+#: parametrises over this mapping.
+SCENARIOS: dict[str, Callable[[], str]] = {
+    "workload_sequential": workload_sequential,
+    "workload_sharded_jobs2": workload_sharded_jobs2,
+    "cloud_replay": cloud_replay,
+    "ap_replay": ap_replay,
+    "engine_trace": engine_trace,
+    "sampler_popularity": sampler_popularity,
+    "sampler_sizes": sampler_sizes,
+    "sampler_filetypes": sampler_filetypes,
+    "sampler_isp": sampler_isp,
+    "sampler_bandwidth": sampler_bandwidth,
+    "sampler_arrivals": sampler_arrivals,
+    "sampler_topology": sampler_topology,
+    "traceio_bytes": traceio_bytes,
+    "traceio_roundtrip": traceio_roundtrip,
+}
+
+
+def compute_all() -> dict[str, str]:
+    return {name: scenario() for name, scenario in SCENARIOS.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Recompute the golden determinism digests")
+    parser.add_argument("--write", type=Path, default=None,
+                        help="write digests to this JSON file instead "
+                             "of printing them")
+    args = parser.parse_args(argv)
+    digests = compute_all()
+    rendered = json.dumps(digests, indent=2, sort_keys=True) + "\n"
+    if args.write:
+        args.write.parent.mkdir(parents=True, exist_ok=True)
+        args.write.write_text(rendered)
+        print(f"wrote {len(digests)} digests to {args.write}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

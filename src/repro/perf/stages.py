@@ -1,0 +1,201 @@
+"""Canonical benchmark stages: what ``python -m repro.perf`` times.
+
+Each :class:`Stage` builds a pair of zero-argument thunks for one
+pipeline stage of the reproduction:
+
+* ``optimized`` drives the live code path;
+* ``baseline`` (where one exists) drives the frozen pre-optimisation
+  implementation from :mod:`repro.perf.legacy`, fed the *same inputs*,
+  so the measured ratio isolates exactly the PR 3 hot-path work.
+
+Baselines exist for the three optimised layers -- workload generation
+(scalar samplers vs vectorised tables), cloud replay (lambda-heap
+engine + uncached topology vs the fast-path engine), and trace IO
+(line-at-a-time vs chunked).  The AP and ODR replay stages have no
+frozen counterpart: their inner loops are closed-form transfer
+arithmetic that PR 3 touched only via shared records/samplers, so they
+are timed without a ratio purely as regression tripwires.
+
+Inputs are built *outside* the timed thunks (workloads, request
+samples, cloud databases), so each thunk measures one stage, not its
+setup.  Every stage pins the seeds it uses; the golden-digest tests
+(``tests/test_perf_golden.py``) separately prove baseline and
+optimized thunks produce bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+#: Seed shared by every stage (the repo-wide workload seed).
+STAGE_SEED = 20150222
+
+#: Requests replayed through the AP rig / ODR evaluator per run.
+AP_SAMPLE = 400
+ODR_SAMPLE = 400
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """The built thunks for one stage at one scale."""
+
+    optimized: Callable[[], object]
+    baseline: Optional[Callable[[], object]] = None
+    #: Human note explaining a missing baseline.
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named benchmark stage.
+
+    ``build(scale, scratch)`` constructs the stage inputs (untimed) and
+    returns the timed thunks; ``scratch`` is a per-stage temporary
+    directory for stages that touch the filesystem.
+    """
+
+    name: str
+    title: str
+    full_scale: float
+    smoke_scale: float
+    build: Callable[[float, Path], StagePlan] = field(repr=False)
+
+    def scale_for(self, smoke: bool) -> float:
+        return self.smoke_scale if smoke else self.full_scale
+
+
+# -- stage builders ---------------------------------------------------------
+
+
+def _make_workload(scale: float):
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+    config = WorkloadConfig(scale=scale, seed=STAGE_SEED)
+    return WorkloadGenerator(config).generate()
+
+
+def _build_generate(scale: float, scratch: Path) -> StagePlan:
+    from repro.perf.legacy import legacy_generate
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+    config = WorkloadConfig(scale=scale, seed=STAGE_SEED)
+    return StagePlan(
+        optimized=lambda: WorkloadGenerator(config).generate(),
+        baseline=lambda: legacy_generate(config),
+    )
+
+
+def _build_cloud(scale: float, scratch: Path) -> StagePlan:
+    import repro.cloud.system as cloud_system
+
+    from repro.cloud import CloudConfig, XuanfengCloud
+    from repro.perf.legacy import LegacySimulator, LegacyTopology
+
+    workload = _make_workload(scale)
+    config = CloudConfig(scale=scale)
+
+    def optimized():
+        return XuanfengCloud(config).run(workload)
+
+    def baseline():
+        # The cloud builds its engine via the module-global ``Simulator``
+        # name and creates every event through ``sim.event()``, so
+        # swapping the global is enough to run the whole replay on the
+        # frozen engine; the legacy topology restores the uncached
+        # networkx path queries.
+        original = cloud_system.Simulator
+        cloud_system.Simulator = LegacySimulator
+        try:
+            return XuanfengCloud(config,
+                                 topology=LegacyTopology()).run(workload)
+        finally:
+            cloud_system.Simulator = original
+
+    return StagePlan(optimized=optimized, baseline=baseline)
+
+
+def _build_ap(scale: float, scratch: Path) -> StagePlan:
+    from repro.ap import ApBenchmarkRig
+    from repro.workload import sample_benchmark_requests
+
+    workload = _make_workload(scale)
+    sample = sample_benchmark_requests(workload, AP_SAMPLE)
+    catalog = workload.catalog
+    return StagePlan(
+        optimized=lambda: ApBenchmarkRig(catalog).replay(sample),
+        note="no frozen baseline: the AP rig's inner loop is transfer "
+             "arithmetic PR 3 did not rewrite; timed as a tripwire only",
+    )
+
+
+def _build_odr(scale: float, scratch: Path) -> StagePlan:
+    from repro.cloud import CloudConfig, XuanfengCloud
+    from repro.core import OdrMiddleware, OdrStrategy, ReplayEvaluator
+    from repro.workload import sample_benchmark_requests
+
+    workload = _make_workload(scale)
+    cloud = XuanfengCloud(CloudConfig(scale=scale))
+    cloud.run(workload)
+    sample = sample_benchmark_requests(workload, ODR_SAMPLE)
+    catalog = workload.catalog
+    database = cloud.database
+
+    def optimized():
+        strategy = OdrStrategy(OdrMiddleware(database))
+        return ReplayEvaluator(catalog, database).replay(sample, strategy)
+
+    return StagePlan(
+        optimized=optimized,
+        note="no frozen baseline: ODR replay is closed-form session "
+             "arithmetic over a pre-built database; timed as a tripwire "
+             "only",
+    )
+
+
+def _build_trace(scale: float, scratch: Path) -> StagePlan:
+    from repro.perf.legacy import legacy_read_jsonl, legacy_write_jsonl
+    from repro.workload.records import RequestRecord
+    from repro.workload.traceio import read_jsonl, write_jsonl
+
+    # The request trace dominates a saved workload (one row per request
+    # vs one per file/user), so the round-trip times that file alone.
+    requests = _make_workload(scale).requests
+    live_path = scratch / "requests.live.jsonl"
+    legacy_path = scratch / "requests.legacy.jsonl"
+
+    def optimized():
+        write_jsonl(live_path, requests)
+        return read_jsonl(live_path, RequestRecord)
+
+    def baseline():
+        legacy_write_jsonl(legacy_path, requests)
+        return legacy_read_jsonl(legacy_path, RequestRecord)
+
+    return StagePlan(optimized=optimized, baseline=baseline)
+
+
+#: The canonical stage list, in pipeline order.  Full scales are sized
+#: so the whole harness runs in a couple of minutes on a laptop; smoke
+#: scales keep CI under ~30 s while still exercising every code path.
+STAGES: dict[str, Stage] = {
+    stage.name: stage for stage in (
+        Stage(name="workload_generate",
+              title="workload generation (catalog + users + requests)",
+              full_scale=0.02, smoke_scale=0.002, build=_build_generate),
+        Stage(name="cloud_replay",
+              title="cloud replay (Xuanfeng pre-download week)",
+              full_scale=0.005, smoke_scale=0.002, build=_build_cloud),
+        Stage(name="ap_replay",
+              title=f"AP replay ({AP_SAMPLE}-request smart-AP benchmark)",
+              full_scale=0.005, smoke_scale=0.002, build=_build_ap),
+        Stage(name="odr_replay",
+              title=f"ODR replay ({ODR_SAMPLE}-request end-to-end "
+                    "evaluation)",
+              full_scale=0.005, smoke_scale=0.002, build=_build_odr),
+        Stage(name="trace_roundtrip",
+              title="trace IO round-trip (request trace write + read)",
+              full_scale=0.02, smoke_scale=0.002, build=_build_trace),
+    )
+}

@@ -32,6 +32,8 @@ DESIGN.md's Scale note):
 
 from __future__ import annotations
 
+from functools import lru_cache
+from operator import attrgetter
 from typing import Optional
 
 import numpy as np
@@ -45,7 +47,7 @@ from repro.storage.dedup import content_id
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.catalog import PROTOCOL_MIX, FileCatalog
 from repro.workload.filetypes import FileTypeModel
-from repro.workload.generator import Workload, pick_distinct_index
+from repro.workload.generator import BufferedIndexPicker, Workload
 from repro.workload.popularity import PopularityModel
 from repro.workload.records import CatalogFile, RequestRecord, User
 from repro.workload.sizes import FileSizeModel
@@ -88,6 +90,20 @@ def file_record(seed: int, file_index: int,
         source_url=f"{protocol.value}://origin/{file_id}")
 
 
+@lru_cache(maxsize=None)
+def _address_blocks(cidrs: tuple[str, ...]):
+    """(networks, capacities, total capacity) of one ISP's CIDR blocks.
+
+    The per-user address derivation used to recompute this per call;
+    the blocks are immutable, so compute each tuple once per process.
+    """
+    import ipaddress
+    networks = tuple(ipaddress.ip_network(cidr) for cidr in cidrs)
+    capacities = tuple(max(network.num_addresses - 2, 0)
+                       for network in networks)
+    return networks, capacities, sum(capacities)
+
+
 def derive_address(registry: IspRegistry, isp: ISP,
                    user_index: int) -> str:
     """Hash-derive user ``user_index``'s address inside ``isp``'s blocks.
@@ -96,10 +112,8 @@ def derive_address(registry: IspRegistry, isp: ISP,
     hands out (offsets 1..n-2 of each block) so derived addresses
     resolve to the same ISP through :class:`~repro.netsim.ip.IpResolver`.
     """
-    networks = registry.profile(isp).networks()
-    capacities = [max(network.num_addresses - 2, 0)
-                  for network in networks]
-    total = sum(capacities)
+    networks, capacities, total = _address_blocks(
+        registry.profile(isp).cidrs)
     if total <= 0:
         raise RuntimeError(f"address space of {isp} is empty")
     offset = stable_hash(f"addr:{user_index}") % total
@@ -180,25 +194,35 @@ def requests_for_file(seed: int, file_index: int, record: CatalogFile,
     by construction (:meth:`ArrivalProcess.sample_times` sorts).
     """
     fork = RngFactory(seed).fork(f"file:{file_index}")
-    times = arrivals.sample_times(record.weekly_demand,
-                                  fork.stream("times"))
-    assign_rng = fork.stream("assign")
+    demand = record.weekly_demand
+    times = arrivals.sample_times(demand, fork.stream("times"))
+    # The per-file assign stream is never read again after this loop,
+    # so the buffered picker's overdraw past the last slot is safe; the
+    # chunk is sized to cover the usual retry burn in one prefetch.
+    picker = BufferedIndexPicker(len(directory), fork.stream("assign"),
+                                 chunk=min(demand + demand // 4 + 8,
+                                           8192))
+    pick_distinct = picker.pick_distinct
+    get_user = directory.user
+    file_id, file_type, size = record.file_id, record.file_type, \
+        record.size
+    source_url, protocol = record.source_url, record.protocol
     seen: set[int] = set()
     requests: list[RequestRecord] = []
-    for slot, when in enumerate(times):
-        user = directory.user(pick_distinct_index(
-            len(directory), seen, assign_rng))
-        requests.append(RequestRecord(
+    append = requests.append
+    for slot, when in enumerate(times.tolist()):
+        user = get_user(pick_distinct(seen))
+        append(RequestRecord(
             task_id=f"t{file_index:08d}x{slot:05d}",
             user_id=user.user_id,
             ip_address=user.ip_address,
             access_bandwidth=user.reported_bandwidth,
-            request_time=float(when),
-            file_id=record.file_id,
-            file_type=record.file_type,
-            file_size=record.size,
-            source_url=record.source_url,
-            protocol=record.protocol,
+            request_time=when,
+            file_id=file_id,
+            file_type=file_type,
+            file_size=size,
+            source_url=source_url,
+            protocol=protocol,
         ))
     return requests
 
@@ -225,8 +249,7 @@ def generate_shard(spec: ShardSpec,
                                           directory, arrivals))
     users = [directory.user(user_index)
              for user_index in spec.user_indices()]
-    requests.sort(key=lambda request: (request.request_time,
-                                       request.task_id))
+    requests.sort(key=attrgetter("request_time", "task_id"))
     metrics.counter("repro_scale_files_total",
                     shard=spec.shard).inc(len(catalog))
     metrics.counter("repro_scale_users_total",

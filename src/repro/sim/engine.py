@@ -18,8 +18,7 @@ reproducible bit-for-bit given a seeded workload.
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -62,7 +61,11 @@ class Event:
         self._sim = sim
         self._triggered = False
         self._value: Any = None
-        self._waiters: list[Process] = []
+        # Waiters keyed by process identity: insertion-ordered (so the
+        # resume order on trigger matches the old append-ordered list)
+        # with O(1) removal -- a mass cancellation of n waiters used to
+        # be quadratic through list.remove.
+        self._waiters: dict[int, Process] = {}
         self.name = name
 
     @property
@@ -84,21 +87,19 @@ class Event:
                 f"at t={self._sim.now:g}")
         self._triggered = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self._sim._schedule_resume(process, value)
+        waiters, self._waiters = self._waiters, {}
+        schedule_resume = self._sim._schedule_resume
+        for process in waiters.values():
+            schedule_resume(process, value)
 
     def _add_waiter(self, process: "Process") -> None:
         if self._triggered:
             self._sim._schedule_resume(process, self._value)
         else:
-            self._waiters.append(process)
+            self._waiters[id(process)] = process
 
     def _remove_waiter(self, process: "Process") -> None:
-        try:
-            self._waiters.remove(process)
-        except ValueError:
-            pass
+        self._waiters.pop(id(process), None)
 
 
 class Timeout:
@@ -138,7 +139,8 @@ class Process:
         self._done = False
         self._result: Any = None
         self._error: Optional[BaseException] = None
-        self._waiters: list[Process] = []
+        # Same insertion-ordered O(1)-removal bookkeeping as Event.
+        self._waiters: dict[int, Process] = {}
         self._waiting_on: Any = None
         #: Incremented on every resume; scheduled wake-ups carry the token
         #: they were created under, so a stale wake-up (e.g. the original
@@ -205,7 +207,7 @@ class Process:
                 else:
                     self._sim._schedule_resume(self, target._result)
             else:
-                target._waiters.append(self)
+                target._waiters[id(self)] = self
                 self._waiting_on = target
         elif isinstance(target, Event):
             target._add_waiter(self)
@@ -217,22 +219,21 @@ class Process:
 
     def _detach_wait(self) -> None:
         waiting = self._waiting_on
+        if waiting is None:
+            return
         self._waiting_on = None
         if isinstance(waiting, Event):
-            waiting._remove_waiter(self)
+            waiting._waiters.pop(id(self), None)
         elif isinstance(waiting, Process):
-            try:
-                waiting._waiters.remove(self)
-            except ValueError:
-                pass
+            waiting._waiters.pop(id(self), None)
 
     def _finish(self, result: Any = None,
                 error: Optional[BaseException] = None) -> None:
         self._done = True
         self._result = result
         self._error = error
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
             if error is not None:
                 self._sim._schedule_throw(waiter, error)
             else:
@@ -273,8 +274,12 @@ class Simulator:
 
     def __init__(self, metrics: Optional["AnyRegistry"] = None):
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
+        # Heap entries are plain (when, seq, func, args) tuples: the seq
+        # tie-breaker keeps comparisons off func/args, and storing the
+        # callable with its argument tuple avoids allocating a closure
+        # per scheduled event (the old hot-path lambda).
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
         self._orphan_errors: list[tuple[str, BaseException]] = []
         self._obs: Optional[_SimObs] = None
         if metrics is not None and metrics.enabled:
@@ -296,9 +301,9 @@ class Simulator:
                 f"cannot schedule at {when} before now={self._now}")
         if self._obs is not None:
             self._obs.scheduled.inc()
-        heapq.heappush(
-            self._heap,
-            (when, next(self._sequence), lambda: func(*args)))
+        seq = self._sequence
+        self._sequence = seq + 1
+        heappush(self._heap, (when, seq, func, args))
 
     def call_in(self, delay: float, func: Callable[..., None],
                 *args: Any) -> None:
@@ -323,7 +328,7 @@ class Simulator:
         self.call_in(0.0, process._step, value)
 
     def _schedule_throw(self, process: Process, error: BaseException) -> None:
-        self.call_in(0.0, lambda: process._step(None, error))
+        self.call_in(0.0, process._step, None, error)
 
     def _record_orphan_error(self, process: Process,
                              error: BaseException) -> None:
@@ -339,20 +344,22 @@ class Simulator:
         bugs never pass silently.
         """
         obs = self._obs
-        while self._heap:
-            when, _seq, callback = self._heap[0]
-            if until is not None and when > until:
+        heap = self._heap
+        orphans = self._orphan_errors
+        pop = heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            heapq.heappop(self._heap)
+            when, _seq, func, args = pop(heap)
             self._now = when
             if obs is not None:
                 obs.fired.inc()
                 # Depth includes the event being fired, so an active
                 # simulation never reads as empty.
-                obs.heap_depth.set(len(self._heap) + 1)
-            callback()
-            if self._orphan_errors:
-                name, error = self._orphan_errors[0]
+                obs.heap_depth.set(len(heap) + 1)
+            func(*args)
+            if orphans:
+                name, error = orphans[0]
                 raise SimulationError(
                     f"unhandled error in process {name!r} "
                     f"at t={self._now:g}") from error

@@ -40,6 +40,27 @@ class ArrivalProcess:
         diurnal = 1.0 + self.amplitude * np.cos(phase)
         return trend * diurnal
 
+    def _grid_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (cdf, grid) inversion table, built once per process.
+
+        The sharded generator calls :meth:`sample_times` once per file;
+        rebuilding the ~2000-point grid and intensity curve for each of
+        those calls used to dominate its profile.  The table depends
+        only on the frozen dataclass fields, so it is stashed on the
+        instance after the first call.
+        """
+        cached = getattr(self, "_cdf_table", None)
+        if cached is None:
+            grid = np.arange(0.0, self.horizon + self.grid_step,
+                             self.grid_step)
+            midpoints = (grid[:-1] + grid[1:]) / 2.0
+            weights = self.intensity(midpoints)
+            cdf = np.concatenate([[0.0], np.cumsum(weights)])
+            cdf /= cdf[-1]
+            cached = (cdf, grid)
+            object.__setattr__(self, "_cdf_table", cached)
+        return cached
+
     def sample_times(self, count: int,
                      rng: np.random.Generator) -> np.ndarray:
         """Draw ``count`` sorted arrival times."""
@@ -47,11 +68,7 @@ class ArrivalProcess:
             raise ValueError("count must be non-negative")
         if count == 0:
             return np.empty(0)
-        grid = np.arange(0.0, self.horizon + self.grid_step, self.grid_step)
-        midpoints = (grid[:-1] + grid[1:]) / 2.0
-        weights = self.intensity(midpoints)
-        cdf = np.concatenate([[0.0], np.cumsum(weights)])
-        cdf /= cdf[-1]
+        cdf, grid = self._grid_cdf()
         uniform = rng.random(count)
         # Invert the piecewise-linear CDF.
         times = np.interp(uniform, cdf, grid)

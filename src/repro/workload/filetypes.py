@@ -57,15 +57,25 @@ class FileTypeModel:
         default_factory=lambda: dict(_LARGE_MIX))
 
     def __post_init__(self):
+        tables = {}
         for name, mix in (("small_mix", self.small_mix),
                           ("large_mix", self.large_mix)):
             total = sum(mix.values())
             if abs(total - 1.0) > 1e-9:
                 raise ValueError(f"{name} sums to {total}, expected 1")
+            types = list(mix.keys())
+            weights = np.array([mix[t] for t in types])
+            probs = weights / weights.sum()
+            cdf = probs.cumsum()
+            cdf /= cdf[-1]
+            tables[name == "small_mix"] = (types, cdf)
+        # Frozen dataclass with dict fields (unhashable), so the
+        # inverse-CDF tables live on the instance rather than in an
+        # lru_cache.  The CDF mirrors Generator.choice's internal
+        # construction, keeping the stream bit-identical.
+        object.__setattr__(self, "_tables", tables)
 
     def sample(self, is_small: bool, rng: np.random.Generator) -> FileType:
-        mix = self.small_mix if is_small else self.large_mix
-        types = list(mix.keys())
-        weights = np.array([mix[t] for t in types])
-        index = rng.choice(len(types), p=weights / weights.sum())
-        return types[int(index)]
+        types, cdf = self._tables[is_small]
+        index = cdf.searchsorted(rng.random(), side="right")
+        return types[min(index, len(types) - 1)]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -53,6 +54,35 @@ def classify(weekly_demand: float) -> PopularityClass:
     if weekly_demand <= HIGHLY_POPULAR_ABOVE:
         return PopularityClass.POPULAR
     return PopularityClass.HIGHLY_POPULAR
+
+
+@lru_cache(maxsize=None)
+def _geometric_table(p: float) -> tuple[np.ndarray, np.ndarray]:
+    """(support, normalised CDF) of the truncated geometric on [1, 6].
+
+    The CDF is built exactly the way ``Generator.choice`` builds it
+    internally (cumsum of the normalised weights, renormalised by the
+    last entry), so a single ``searchsorted`` over one uniform draw
+    consumes the RNG stream identically to the original per-call
+    ``rng.choice``.
+    """
+    weights = np.array([(1 - p) ** (k - 1)
+                        for k in range(1, UNPOPULAR_BELOW)])
+    probs = weights / weights.sum()
+    cdf = probs.cumsum()
+    cdf /= cdf[-1]
+    return np.arange(1, UNPOPULAR_BELOW), cdf
+
+
+@lru_cache(maxsize=None)
+def _powerlaw_table(exponent: float) -> tuple[np.ndarray, np.ndarray]:
+    """(support, normalised CDF) of the truncated power law on [7, 84]."""
+    support = np.arange(UNPOPULAR_BELOW, HIGHLY_POPULAR_ABOVE + 1)
+    weights = support.astype(float) ** (-exponent)
+    probs = weights / weights.sum()
+    cdf = probs.cumsum()
+    cdf /= cdf[-1]
+    return support, cdf
 
 
 @dataclass(frozen=True)
@@ -113,18 +143,14 @@ class PopularityModel:
         return self._sample_highly_popular(rng)
 
     def _sample_truncated_geometric(self, rng: np.random.Generator) -> int:
-        p = self.unpopular_geom_p
-        weights = np.array([(1 - p) ** (k - 1)
-                            for k in range(1, UNPOPULAR_BELOW)])
-        k = rng.choice(np.arange(1, UNPOPULAR_BELOW),
-                       p=weights / weights.sum())
-        return int(k)
+        support, cdf = _geometric_table(self.unpopular_geom_p)
+        index = cdf.searchsorted(rng.random(), side="right")
+        return int(support[min(index, len(support) - 1)])
 
     def _sample_truncated_powerlaw(self, rng: np.random.Generator) -> int:
-        lo, hi = UNPOPULAR_BELOW, HIGHLY_POPULAR_ABOVE
-        support = np.arange(lo, hi + 1)
-        weights = support.astype(float) ** (-self.popular_exponent)
-        return int(rng.choice(support, p=weights / weights.sum()))
+        support, cdf = _powerlaw_table(self.popular_exponent)
+        index = cdf.searchsorted(rng.random(), side="right")
+        return int(support[min(index, len(support) - 1)])
 
     def _sample_highly_popular(self, rng: np.random.Generator) -> int:
         lo = HIGHLY_POPULAR_ABOVE + 1

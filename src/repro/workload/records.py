@@ -9,7 +9,7 @@ logged.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Any, Optional, Type, TypeVar
 
 from repro.netsim.isp import ISP
@@ -19,38 +19,65 @@ from repro.workload.popularity import PopularityClass, classify
 
 T = TypeVar("T", bound="_TraceRecord")
 
+#: Enum field types serialised by ``.value``; enums are final classes
+#: here, so an exact type test replaces the old isinstance chain.
+_ENUM_TYPES = {Protocol, FileType, ISP, PopularityClass}
 
-@dataclass
+
+@dataclass(slots=True)
 class _TraceRecord:
-    """Shared (de)serialisation for trace rows (JSONL-friendly dicts)."""
+    """Shared (de)serialisation for trace rows (JSONL-friendly dicts).
+
+    ``to_dict`` walks the declared fields directly instead of going
+    through :func:`dataclasses.asdict` (which deep-copies every value);
+    ``from_dict`` runs a per-class conversion plan computed once rather
+    than re-inspecting ``fields(cls)`` per row.  Both produce exactly
+    the dicts the old implementations did -- same keys, same order,
+    same values -- so serialised traces are byte-identical.
+    """
 
     def to_dict(self) -> dict[str, Any]:
-        raw = asdict(self)
-        for key, value in raw.items():
-            if isinstance(value, (Protocol, FileType, ISP,
-                                  PopularityClass)):
-                raw[key] = value.value
-        return raw
+        out = {}
+        enum_types = _ENUM_TYPES
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if value.__class__ in enum_types:
+                value = value.value
+            out[name] = value
+        return out
+
+    @classmethod
+    def _conversion_plan(cls) -> tuple[tuple[str, Any], ...]:
+        """(field name, enum constructor) pairs needing deserialisation.
+
+        Stored per concrete class (``cls.__dict__``, not inherited) the
+        first time a record of that class is parsed.
+        """
+        plan = cls.__dict__.get("_FROM_DICT_PLAN")
+        if plan is None:
+            plan = []
+            for spec in fields(cls):
+                if spec.type in ("Protocol", Protocol):
+                    plan.append((spec.name, Protocol))
+                elif spec.type in ("FileType", FileType):
+                    plan.append((spec.name, FileType))
+                elif spec.type in ("ISP", ISP, "Optional[ISP]"):
+                    plan.append((spec.name, ISP))
+            plan = tuple(plan)
+            cls._FROM_DICT_PLAN = plan
+        return plan
 
     @classmethod
     def from_dict(cls: Type[T], raw: dict[str, Any]) -> T:
         converted = dict(raw)
-        for spec in fields(cls):
-            if spec.name not in converted:
-                continue
-            value = converted[spec.name]
-            if value is None:
-                continue
-            if spec.type in ("Protocol", Protocol):
-                converted[spec.name] = Protocol(value)
-            elif spec.type in ("FileType", FileType):
-                converted[spec.name] = FileType(value)
-            elif spec.type in ("ISP", ISP, "Optional[ISP]"):
-                converted[spec.name] = ISP(value)
+        for name, enum_type in cls._conversion_plan():
+            value = converted.get(name)
+            if value is not None:
+                converted[name] = enum_type(value)
         return cls(**converted)
 
 
-@dataclass
+@dataclass(slots=True)
 class CatalogFile(_TraceRecord):
     """One unique file in the content universe (keyed by MD5 content ID)."""
 
@@ -70,7 +97,7 @@ class CatalogFile(_TraceRecord):
         return self.protocol.is_p2p
 
 
-@dataclass
+@dataclass(slots=True)
 class User(_TraceRecord):
     """One subscriber of the offline-downloading service."""
 
@@ -86,7 +113,7 @@ class User(_TraceRecord):
         return self.access_bandwidth if self.reports_bandwidth else None
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord(_TraceRecord):
     """One row of the workload trace (an offline-downloading request)."""
 
@@ -102,7 +129,7 @@ class RequestRecord(_TraceRecord):
     protocol: Protocol
 
 
-@dataclass
+@dataclass(slots=True)
 class PreDownloadRecord(_TraceRecord):
     """One row of the pre-downloading trace."""
 
@@ -123,7 +150,7 @@ class PreDownloadRecord(_TraceRecord):
         return self.finish_time - self.start_time
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchRecord(_TraceRecord):
     """One row of the fetching trace."""
 

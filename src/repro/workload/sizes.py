@@ -36,12 +36,16 @@ class FileSizeModel:
             raise ValueError("size thresholds must be ordered")
         if not 0.0 <= self.small_share <= 1.0:
             raise ValueError("small_share must be a probability")
+        # Frozen dataclass: stash the log bounds once instead of calling
+        # np.log twice per small-class draw.
+        object.__setattr__(self, "_log_min", float(np.log(self.min_size)))
+        object.__setattr__(self, "_log_small",
+                           float(np.log(self.small_threshold)))
 
     def sample(self, rng: np.random.Generator) -> tuple[float, bool]:
         """Draw one file size; returns ``(bytes, is_small_class)``."""
         if rng.random() < self.small_share:
-            log_size = rng.uniform(np.log(self.min_size),
-                                   np.log(self.small_threshold))
+            log_size = rng.uniform(self._log_min, self._log_small)
             return float(np.exp(log_size)), True
         # Truncated lognormal via rejection; acceptance is ~97% so the
         # loop is effectively bounded.
@@ -53,5 +57,11 @@ class FileSizeModel:
 
     def sample_many(self, count: int,
                     rng: np.random.Generator) -> np.ndarray:
-        """Vector of ``count`` sizes (class flags discarded)."""
+        """Vector of ``count`` sizes (class flags discarded).
+
+        Kept as a scalar loop on purpose: the mixture interleaves a
+        variable number of draws per item (rejection sampling in the
+        large class), so batching would change the stream and break the
+        bit-identity contract pinned by the golden digests.
+        """
         return np.array([self.sample(rng)[0] for _ in range(count)])

@@ -43,15 +43,20 @@ class UserPopulation:
         if count < 0:
             raise ValueError("count must be non-negative")
         start = len(self.users)
+        sample_isp = self.registry.sample_isp
+        allocate = self._allocator.allocate
+        sample_downstream = self.bandwidth_model.sample_downstream
+        random = rng.random
+        report_probability = self.report_probability
+        append = self.users.append
         for index in range(start, start + count):
-            isp = self.registry.sample_isp(rng)
-            self.users.append(User(
+            isp = sample_isp(rng)
+            append(User(
                 user_id=f"u{index:08d}",
-                ip_address=self._allocator.allocate(isp),
+                ip_address=allocate(isp),
                 isp=isp,
-                access_bandwidth=self.bandwidth_model.sample_downstream(rng),
-                reports_bandwidth=bool(rng.random() <
-                                       self.report_probability),
+                access_bandwidth=sample_downstream(rng),
+                reports_bandwidth=bool(random() < report_probability),
             ))
         return self.users
 

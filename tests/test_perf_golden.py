@@ -1,0 +1,138 @@
+"""Golden bit-identity tests for the PR 3 hot-path optimisations.
+
+Two directions of proof:
+
+* every optimised surface, recomputed live, must still match the
+  digests pinned from the *pre-optimisation* code
+  (``tests/data/golden_digests.json``);
+* the frozen baselines in :mod:`repro.perf.legacy` -- which the
+  ``repro.perf`` harness times against -- must *also* match those
+  digests, so the measured speedups compare two implementations of the
+  same function, bit for bit.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.perf import golden, legacy
+from repro.workload.generator import (
+    PICK_RETRIES,
+    BufferedIndexPicker,
+    WorkloadConfig,
+    pick_distinct_index,
+)
+
+DIGEST_FILE = Path(__file__).parent / "data" / "golden_digests.json"
+PINNED = json.loads(DIGEST_FILE.read_text())
+
+
+def test_every_scenario_is_pinned():
+    assert sorted(PINNED) == sorted(golden.SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(golden.SCENARIOS))
+def test_live_output_matches_pinned_digest(name):
+    assert golden.SCENARIOS[name]() == PINNED[name], (
+        f"optimised output of {name!r} diverged from the "
+        f"pre-optimisation golden digest")
+
+
+# -- the frozen baselines reproduce the same digests ------------------------
+
+
+def test_legacy_generator_matches_golden_workload():
+    config = WorkloadConfig(scale=golden.GOLDEN_SCALE,
+                            seed=golden.GOLDEN_SEED)
+    workload = legacy.legacy_generate(config)
+    assert golden.digest(golden.workload_payload(workload)) == \
+        PINNED["workload_sequential"]
+
+
+def test_legacy_engine_matches_golden_trace():
+    assert golden.engine_trace(
+        simulator_factory=legacy.LegacySimulator) == \
+        PINNED["engine_trace"]
+
+
+def test_legacy_traceio_writes_identical_bytes_and_reads_back():
+    config = WorkloadConfig(scale=golden.SHARDED_SCALE,
+                            seed=golden.GOLDEN_SEED)
+    workload = legacy.legacy_generate(config)
+    with tempfile.TemporaryDirectory() as scratch:
+        plain = Path(scratch) / "requests.jsonl"
+        packed = Path(scratch) / "requests.jsonl.gz"
+        legacy.legacy_write_jsonl(plain, workload.requests)
+        legacy.legacy_write_jsonl(packed, workload.requests)
+        plain_hash = hashlib.sha256(plain.read_bytes()).hexdigest()
+        packed_hash = hashlib.sha256(
+            gzip.decompress(packed.read_bytes())).hexdigest()
+        readback = legacy.legacy_read_jsonl(plain,
+                                            type(workload.requests[0]))
+    assert golden.digest([plain_hash, packed_hash]) == \
+        PINNED["traceio_bytes"]
+    assert readback == workload.requests
+
+
+def test_legacy_topology_matches_golden_quality_table():
+    from repro.netsim.isp import default_registry
+    topology = legacy.LegacyTopology()
+    rows = []
+    for src in default_registry().isps():
+        for dst in default_registry().isps():
+            quality = topology.path_quality(src, dst)
+            rows.append([src.value, dst.value, quality.cap_median,
+                         quality.cap_sigma, quality.latency_ms,
+                         quality.hops])
+    assert golden.digest(rows) == PINNED["sampler_topology"]
+
+
+# -- BufferedIndexPicker: bit-identical to the scalar draws -----------------
+
+
+def test_buffered_picker_matches_scalar_integers_stream():
+    scalar_rng = np.random.default_rng(7)
+    buffered_rng = np.random.default_rng(7)
+    picker = BufferedIndexPicker(1000, buffered_rng, chunk=16)
+    scalar = [int(scalar_rng.integers(1000)) for _ in range(100)]
+    buffered = [picker.pick() for _ in range(100)]
+    assert buffered == scalar
+
+
+def test_buffered_picker_distinct_matches_pick_distinct_index():
+    scalar_rng = np.random.default_rng(11)
+    buffered_rng = np.random.default_rng(11)
+    picker = BufferedIndexPicker(5, buffered_rng, chunk=8)
+    scalar_seen: set[int] = set()
+    buffered_seen: set[int] = set()
+    # A 5-user universe forces heavy retry traffic, exercising the
+    # fall-through (give up after PICK_RETRIES) branch as well.
+    scalar = [pick_distinct_index(5, scalar_seen, scalar_rng)
+              for _ in range(60)]
+    buffered = [picker.pick_distinct(buffered_seen) for _ in range(60)]
+    assert buffered == scalar
+    assert buffered_seen == scalar_seen
+
+
+def test_buffered_picker_retry_budget_matches_scalar():
+    # With every index already seen, both sides burn PICK_RETRIES
+    # rejected draws and then return one final unconditional draw.
+    scalar_rng = np.random.default_rng(13)
+    buffered_rng = np.random.default_rng(13)
+    seen = set(range(4))
+    picker = BufferedIndexPicker(4, buffered_rng, chunk=3)
+    draws = [int(scalar_rng.integers(4))
+             for _ in range(PICK_RETRIES + 1)]
+    assert picker.pick_distinct(set(seen)) == draws[-1]
+
+
+def test_buffered_picker_rejects_empty_universe():
+    with pytest.raises(ValueError):
+        BufferedIndexPicker(0, np.random.default_rng(1))

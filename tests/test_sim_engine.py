@@ -276,3 +276,114 @@ class TestEvents:
         event.trigger(3)
         assert event.value == 3
         assert event.triggered
+
+
+class TestWaiterCancellation:
+    """The O(1) waiter-cancellation bookkeeping (PR 3 fast path)."""
+
+    def test_interrupted_waiter_detaches_from_event(self):
+        sim = Simulator()
+        gate = sim.event("gate")
+
+        def waiter():
+            try:
+                yield gate
+            except Interrupt:
+                return "interrupted"
+            return "leaked"
+
+        process = sim.process(waiter())
+        sim.call_at(1.0, process.interrupt)
+        sim.run(until=1.5)
+        assert not gate._waiters, "cancelled waiter left behind"
+        sim.call_at(2.0, gate.trigger, "go")
+        sim.run()
+        assert process.result == "interrupted"
+
+    def test_mass_cancellation_leaves_no_waiters(self):
+        # The pre-optimisation list bookkeeping made this quadratic
+        # (one list.remove per interrupt); the dict keeps it O(1) and,
+        # more importantly here, must leave the event genuinely empty.
+        sim = Simulator()
+        gate = sim.event("gate")
+        outcomes = []
+
+        def member(tag):
+            try:
+                yield gate
+                outcomes.append((tag, "resumed"))
+            except Interrupt:
+                outcomes.append((tag, "cancelled"))
+
+        processes = [sim.process(member(i)) for i in range(100)]
+
+        def cancel_all():
+            yield Timeout(1.0)
+            for process in processes:
+                process.interrupt()
+
+        sim.process(cancel_all())
+        sim.call_at(2.0, gate.trigger, None)
+        sim.run()
+        assert not gate._waiters
+        assert sorted(outcomes) == [(i, "cancelled") for i in range(100)]
+
+    def test_partial_cancellation_preserves_resume_order(self):
+        # Cancelling some waiters must not disturb the registration
+        # order in which the survivors resume on trigger.
+        sim = Simulator()
+        gate = sim.event("gate")
+        resumed = []
+
+        def waiter(tag):
+            try:
+                yield gate
+                resumed.append(tag)
+            except Interrupt:
+                pass
+
+        processes = [sim.process(waiter(i)) for i in range(6)]
+        sim.call_at(1.0, processes[1].interrupt)
+        sim.call_at(1.0, processes[4].interrupt)
+        sim.call_at(2.0, gate.trigger, None)
+        sim.run()
+        assert resumed == [0, 2, 3, 5]
+
+    def test_interrupted_waiter_detaches_from_process(self):
+        # Waiting on a *process* uses the same dict bookkeeping; the
+        # target finishing later must not resume the cancelled waiter.
+        sim = Simulator()
+
+        def sleeper():
+            yield Timeout(5.0)
+            return "slept"
+
+        target = sim.process(sleeper())
+
+        def waiter():
+            try:
+                yield target
+            except Interrupt:
+                return "interrupted"
+            return "leaked"
+
+        process = sim.process(waiter())
+        sim.call_at(1.0, process.interrupt)
+        final = sim.run()
+        assert process.result == "interrupted"
+        assert not target._waiters
+        assert target.result == "slept"
+        assert final == 5.0
+
+    def test_remove_waiter_of_stranger_is_noop(self):
+        sim = Simulator()
+        gate = sim.event("gate")
+
+        def waiter():
+            yield gate
+
+        process = sim.process(waiter())
+        sim.run(until=0.5)
+        stranger = Process(sim, waiter())
+        gate._remove_waiter(stranger)      # not registered: must not raise
+        assert list(gate._waiters.values()) == [process]
