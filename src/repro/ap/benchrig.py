@@ -20,6 +20,9 @@ import numpy as np
 from repro.analysis.cdf import CDF, empirical_cdf
 from repro.ap.models import ApHardware, BENCHMARKED_APS
 from repro.ap.smartap import ApPreDownloadResult, SmartAP
+from repro.faults.injector import FaultInjector
+from repro.faults.policies import ResiliencePolicies
+from repro.faults.resilience import ap_chaos_predownload
 from repro.netsim.link import TESTBED_ADSL, adsl_goodput
 from repro.obs.registry import AnyRegistry, NOOP
 from repro.sim.randomness import RngFactory
@@ -116,8 +119,15 @@ class ApBenchmarkRig:
                  source_model: Optional[SourceModel] = None,
                  uplink_bandwidth: float = adsl_goodput(TESTBED_ADSL),
                  seed: int = 20150301,
-                 metrics: AnyRegistry = NOOP):
+                 metrics: AnyRegistry = NOOP,
+                 faults: Optional[FaultInjector] = None,
+                 policies: Optional[ResiliencePolicies] = None):
         self.catalog = catalog
+        # Fault injection is opt-in; ``faults=None`` replays exactly as
+        # before.  AP fault windows run on each AP's own cumulative
+        # replay clock.
+        self.faults = faults
+        self.policies = policies
         source_model = source_model or SourceModel()
         self.aps = list(aps) if aps is not None else [
             SmartAP(hardware, source_model=source_model)
@@ -148,10 +158,18 @@ class ApBenchmarkRig:
             record = self.catalog[request.file_id]
             throttle = request.access_bandwidth if throttle_to_user \
                 else None
-            outcome, iowait = ap.pre_download(
-                record, rng, access_bandwidth=throttle,
-                uplink_bandwidth=self.uplink_bandwidth)
             start = clocks[ap.hardware.name]
+            if self.faults is None:
+                outcome, iowait = ap.pre_download(
+                    record, rng, access_bandwidth=throttle,
+                    uplink_bandwidth=self.uplink_bandwidth)
+            else:
+                outcome, iowait = ap_chaos_predownload(
+                    ap, record, rng, start=start,
+                    access_bandwidth=throttle,
+                    uplink_bandwidth=self.uplink_bandwidth,
+                    injector=self.faults, policies=self.policies,
+                    task_label=f"{ap.hardware.name}:{request.task_id}")
             finish = start + outcome.duration
             clocks[ap.hardware.name] = finish
             self._m_replays.inc()

@@ -91,7 +91,9 @@ class SmartAP:
     def pre_download(self, record: CatalogFile,
                      rng: np.random.Generator,
                      access_bandwidth: Optional[float] = None,
-                     uplink_bandwidth: Optional[float] = None
+                     uplink_bandwidth: Optional[float] = None,
+                     size_override: Optional[float] = None,
+                     extra_rate_caps: tuple[float, ...] = ()
                      ) -> tuple[DownloadOutcome, float]:
         """Run one pre-download; returns (outcome, iowait ratio).
 
@@ -100,6 +102,13 @@ class SmartAP:
         is the physical testbed line (20 Mbps ADSL).  The write path caps
         the rate on top of both, and the achieved rate determines the
         measured iowait.
+
+        ``size_override`` replaces the transfer size (checkpoint-resume
+        restarts fetch only the uncommitted remainder) and
+        ``extra_rate_caps`` adds further rate ceilings (fault injection:
+        degraded flash or a lossy uplink); the defaults leave the
+        fault-free behaviour -- including the RNG draw sequence --
+        untouched.
         """
         # A firmware bug kills the task outright, regardless of source.
         if self.system.draw_bug_failure(rng):
@@ -119,7 +128,9 @@ class SmartAP:
             caps.append(access_bandwidth)
         if uplink_bandwidth is not None:
             caps.append(uplink_bandwidth)
-        session = DownloadSession(self.source_for(record), record.size,
+        caps.extend(extra_rate_caps)
+        size = record.size if size_override is None else size_override
+        session = DownloadSession(self.source_for(record), size,
                                   HOME_VANTAGE,
                                   limits=SessionLimits(
                                       rate_caps=tuple(caps)))

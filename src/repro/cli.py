@@ -63,6 +63,32 @@ def _profile_destination(args: argparse.Namespace) -> Path:
     return Path(f"repro-{args.command}.pstats")
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", type=Path, default=None,
+                        metavar="PLAN",
+                        help="inject the fault plan (JSON; see "
+                             "python -m repro.faults --write-plan) "
+                             "into the run")
+    parser.add_argument("--no-resilience", action="store_true",
+                        help="with --faults: disable the retry/"
+                             "failover/checkpoint policies (measure "
+                             "raw fault impact)")
+
+
+def _fault_setup(args: argparse.Namespace, registry):
+    """Build (injector, policies) from ``--faults``/``--no-resilience``."""
+    if getattr(args, "faults", None) is None:
+        return None, None
+    from repro.faults import (
+        DEFAULT_POLICIES,
+        FaultInjector,
+        FaultPlan,
+    )
+    plan = FaultPlan.from_file(args.faults)
+    policies = None if args.no_resilience else DEFAULT_POLICIES
+    return FaultInjector(plan, metrics=registry), policies
+
+
 def _add_metrics(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", type=Path, default=None,
                         help="enable the observability subsystem and "
@@ -143,11 +169,21 @@ def cmd_cloud(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         return _cmd_cloud_sharded(args, registry)
     workload = _load_or_generate(args)
+    injector, policies = _fault_setup(args, registry)
     config = CloudConfig(scale=workload.config.scale,
                          collaborative_cache=not args.no_cache,
                          privileged_paths=not args.no_privileged_paths)
     with span(registry, "cloud_run", scale=workload.config.scale):
-        result = XuanfengCloud(config, metrics=registry).run(workload)
+        result = XuanfengCloud(config, metrics=registry,
+                               faults=injector,
+                               policies=policies).run(workload)
+    if injector is not None:
+        board = injector.scoreboard()
+        print(f"faults:           {board['injected']} injected, "
+              f"{board['impacts']} impacts, {board['retries']} retries, "
+              f"{board['failovers']} failovers, "
+              f"{board['recoveries']} recoveries, "
+              f"{board['aborts']} aborts")
     fetch = result.fetch_speed_cdf()
     pre = result.attempt_speed_cdf()
     print(f"tasks:            {len(result.tasks)}")
@@ -179,13 +215,24 @@ def _cmd_cloud_sharded(args: argparse.Namespace, registry) -> int:
               "need the event-driven engine; drop --jobs",
               file=sys.stderr)
         return 2
+    fault_plan = None
+    if getattr(args, "faults", None) is not None:
+        from repro.faults import FaultPlan
+        fault_plan = FaultPlan.from_file(args.faults)
     plan = ShardPlan(scale=args.scale, seed=args.seed,
                      shards=args.shards)
-    stats, info = sharded_cloud_stats(plan, jobs=args.jobs,
-                                      metrics=registry)
+    stats, info = sharded_cloud_stats(
+        plan, jobs=args.jobs, metrics=registry, fault_plan=fault_plan,
+        policies_on=not args.no_resilience)
     print(f"sharded replay:   {plan.shards} shards, {args.jobs} jobs, "
           f"{info.wall_seconds:.1f}s wall "
           f"({info.work_seconds:.1f}s work)")
+    if fault_plan is not None:
+        print(f"faults:           {stats.fault_impacts} impacts, "
+              f"{stats.fault_retries} retries, "
+              f"{stats.fault_failovers} failovers, "
+              f"{stats.fault_recoveries} recoveries, "
+              f"{stats.fault_aborts} aborts")
     print(f"tasks:            {stats.tasks}")
     print(f"cache hit ratio:  {stats.cache_hit_ratio:.1%}")
     print(f"request failures: {stats.request_failure_ratio:.1%}")
@@ -207,8 +254,13 @@ def cmd_ap(args: argparse.Namespace) -> int:
     from repro.workload import sample_benchmark_requests
     registry = _metrics_registry(args)
     workload = _load_or_generate(args)
+    injector, policies = _fault_setup(args, registry)
     sample = sample_benchmark_requests(workload, args.sample)
     if args.jobs is not None:
+        if injector is not None:
+            print("error: --faults replays sequentially (per-AP fault "
+                  "clocks); drop --jobs", file=sys.stderr)
+            return 2
         from repro.scale import sharded_ap_replay
         with span(registry, "ap_replay", sample=len(sample)):
             report, info = sharded_ap_replay(
@@ -218,8 +270,15 @@ def cmd_ap(args: argparse.Namespace) -> int:
               f"{args.jobs} jobs, {info.wall_seconds:.1f}s wall")
     else:
         with span(registry, "ap_replay", sample=len(sample)):
-            report = ApBenchmarkRig(workload.catalog,
-                                    metrics=registry).replay(sample)
+            report = ApBenchmarkRig(
+                workload.catalog, metrics=registry, faults=injector,
+                policies=policies).replay(sample)
+        if injector is not None:
+            board = injector.scoreboard()
+            print(f"faults:            {board['impacts']} impacts, "
+                  f"{board['retries']} retries, "
+                  f"{board['recoveries']} recoveries, "
+                  f"{board['aborts']} aborts")
     speed = report.speed_cdf()
     delay = report.delay_cdf()
     print(f"replayed:          {len(report.results)} requests on "
@@ -307,7 +366,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.webapp import serve
-    serve(port=args.port)
+    from repro.faults.policies import ResiliencePolicies
+    policies = None if args.no_resilience else ResiliencePolicies()
+    serve(port=args.port, policies=policies)
     return 0
 
 
@@ -339,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable collaborative caching (ablation)")
     cloud.add_argument("--no-privileged-paths", action="store_true",
                        help="disable ISP-aware path selection (ablation)")
+    _add_faults(cloud)
     _add_metrics(cloud)
     _add_profile(cloud)
     cloud.set_defaults(func=cmd_cloud)
@@ -349,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs(ap, shards=False)
     ap.add_argument("--trace", type=Path, default=None)
     ap.add_argument("--sample", type=int, default=1000)
+    _add_faults(ap)
     _add_metrics(ap)
     _add_profile(ap)
     ap.set_defaults(func=cmd_ap)
@@ -392,6 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="run the ODR web service (like odr.thucloud.com)")
     serve.add_argument("--port", type=int, default=8034)
+    serve.add_argument("--no-resilience", action="store_true",
+                       help="disable the backend circuit breaker "
+                            "(503 + Retry-After load shedding)")
     serve.set_defaults(func=cmd_serve)
 
     return parser

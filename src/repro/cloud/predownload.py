@@ -56,12 +56,25 @@ class PreDownloaderFleet:
             self._sources[record.file_id] = source
         return source
 
-    def session_for(self, record: CatalogFile) -> DownloadSession:
+    def session_for(self, record: CatalogFile,
+                    size: Optional[float] = None,
+                    mid_failure_probability: Optional[float] = None,
+                    ) -> DownloadSession:
+        """Build one attempt's session.
+
+        ``size`` overrides the transfer size (checkpoint-resume restarts
+        fetch only the uncommitted remainder); ``mid_failure_probability``
+        overrides the protocol model's mid-transfer failure chance (fault
+        injection forces 1.0 while a swarm's seeds are dead).  Both
+        default to the fault-free behaviour.
+        """
         limits = SessionLimits(
             rate_caps=(self.config.predownloader_bandwidth,),
             stagnation_timeout=self.config.stagnation_timeout)
-        return DownloadSession(self.source_for(record), record.size,
+        return DownloadSession(self.source_for(record),
+                               record.size if size is None else size,
                                CLOUD_VANTAGE, limits=limits,
+                               mid_failure_probability=mid_failure_probability,
                                metrics=self.metrics)
 
     def attempt(self, record: CatalogFile,

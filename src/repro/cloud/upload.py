@@ -94,6 +94,8 @@ class UploadingServers:
     def select_and_reserve(
             self, user_isp: ISP, now: float,
             rate_for_path: Callable[[PathQuality], float],
+            exclude: frozenset[str] = frozenset(),
+            rate_scale: Optional[Callable[[ISP], float]] = None,
     ) -> Optional[tuple[PathChoice, Reservation, float]]:
         """Pick a group, compute the flow rate, and reserve it.
 
@@ -102,10 +104,17 @@ class UploadingServers:
         cap, and user bandwidth); the reservation holds that rate.
         Returns ``None`` when every group is exhausted (the fetch is
         rejected).
+
+        ``exclude`` names server groups that are dark (fault injection:
+        a crashed group is skipped as if exhausted); ``rate_scale`` maps
+        a candidate group to a degradation multiplier on its flow rate.
+        Both default to no-ops so the fault-free path is unchanged.
         """
         self.total_fetches += 1
         self._m_fetches.inc()
         for server_isp in self.candidate_groups(user_isp):
+            if server_isp.value in exclude:
+                continue
             pool = self.pools[server_isp]
             assert pool.capacity is not None
             limit = self.config.admission_utilization_limit \
@@ -116,6 +125,8 @@ class UploadingServers:
                 continue
             quality = self.topology.path_quality(server_isp, user_isp)
             rate = min(rate_for_path(quality), self.config.max_fetch_rate)
+            if rate_scale is not None:
+                rate *= rate_scale(server_isp)
             if rate <= 0:
                 continue
             # "No limitation on the user's fetching speed": the flow is

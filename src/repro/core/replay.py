@@ -29,6 +29,7 @@ from repro.cloud.fetch import FetchSpeedModel
 from repro.core.auxiliary import SmartApInfo, UserContext
 from repro.core.decision import Action, DataSource, Decision
 from repro.core.strategies import Strategy
+from repro.faults.policies import CircuitBreaker, ResiliencePolicies
 from repro.netsim.isp import ISP
 from repro.netsim.link import TESTBED_ADSL, adsl_goodput
 from repro.netsim.topology import ChinaTopology
@@ -164,7 +165,8 @@ class ReplayEvaluator:
                  aps: Sequence[ApHardware] = BENCHMARKED_APS,
                  uplink_bandwidth: float = adsl_goodput(TESTBED_ADSL),
                  seed: int = 20150323,
-                 metrics: AnyRegistry = NOOP):
+                 metrics: AnyRegistry = NOOP,
+                 policies: Optional[ResiliencePolicies] = None):
         self.catalog = catalog
         self.database = database
         self.source_model = source_model or SourceModel()
@@ -172,6 +174,10 @@ class ReplayEvaluator:
         self.uplink_bandwidth = uplink_bandwidth
         self._rng_factory = RngFactory(seed)
         self.metrics = metrics
+        # Resilience is opt-in: with ``policies`` set, a circuit breaker
+        # watches real smart-AP outcomes and, while open, fails smart-AP
+        # routes over to the cloud (clocked on the request index).
+        self.policies = policies
         self._aps = [SmartAP(hardware, source_model=self.source_model)
                      for hardware in aps]
         # The testbed sits inside Unicom, so cloud fetches ride a
@@ -184,7 +190,11 @@ class ReplayEvaluator:
         if not requests:
             raise ValueError("nothing to replay")
         rng = self._rng_factory.stream(f"replay-{strategy.name}")
-        outcomes = [self._execute(request, strategy, index, rng)
+        breaker = self.policies.breaker(f"smart-ap:{strategy.name}",
+                                        self.metrics) \
+            if self.policies is not None and self.policies.failover \
+            else None
+        outcomes = [self._execute(request, strategy, index, rng, breaker)
                     for index, request in enumerate(requests)]
         self._account(strategy.name, outcomes)
         return OdrReplayResult(strategy_name=strategy.name,
@@ -220,7 +230,9 @@ class ReplayEvaluator:
     # -- per-request execution -------------------------------------------------------
 
     def _execute(self, request: RequestRecord, strategy: Strategy,
-                 index: int, rng: np.random.Generator) -> RouteOutcome:
+                 index: int, rng: np.random.Generator,
+                 breaker: Optional[CircuitBreaker] = None
+                 ) -> RouteOutcome:
         ap = self._aps[index % len(self._aps)]
         context = UserContext(
             user_id=request.user_id, ip_address=request.ip_address,
@@ -235,8 +247,25 @@ class ReplayEvaluator:
             decision = strategy.decide_after_predownload(
                 context, record.file_id, success)
 
-        return self._run_decision(request, record, context, ap, decision,
-                                  rng)
+        via_ap = decision.action is Action.SMART_AP
+        if via_ap and breaker is not None \
+                and not breaker.allow(float(index)):
+            # The breaker saw too many recent smart-AP failures: route
+            # this request through the cloud until the cooldown elapses.
+            self.metrics.counter("repro_faults_failovers_total",
+                                 layer="odr").inc()
+            decision = Decision(
+                action=Action.CLOUD, data_source=DataSource.CLOUD,
+                bottlenecks_addressed=decision.bottlenecks_addressed,
+                rationale="smart-AP circuit open: failing over to cloud")
+            via_ap = False
+
+        outcome = self._run_decision(request, record, context, ap,
+                                     decision, rng)
+        if via_ap and breaker is not None:
+            # Only genuinely executed smart-AP routes feed the breaker.
+            breaker.record(outcome.success, float(index))
+        return outcome
 
     def _cloud_predownload(self, record: CatalogFile,
                            rng: np.random.Generator) -> bool:

@@ -26,11 +26,13 @@ the real ODR's cookie does.
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 import uuid
 from http.cookies import SimpleCookie
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 from urllib.parse import parse_qs, urlparse
 
 import repro.ap.models as ap_models
@@ -38,10 +40,15 @@ import repro.storage.device as storage_devices
 from repro.cloud.database import ContentDatabase
 from repro.core.auxiliary import SmartApInfo, UserContext
 from repro.core.service import OdrService
+from repro.faults.policies import ResiliencePolicies
 from repro.netsim.ip import IpAllocator
 from repro.netsim.isp import ISP
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.sim.clock import mbps
 from repro.storage.filesystem import Filesystem
+
+#: (status, content-type, body, set-cookie, extra headers)
+Response = tuple[int, str, str, Optional[str], dict[str, str]]
 
 _AP_BY_NAME = {"hiwifi": ap_models.HIWIFI_1S, "miwifi": ap_models.MIWIFI,
                "newifi": ap_models.NEWIFI}
@@ -88,41 +95,59 @@ class OdrWebApp:
     sockets, and so one app instance can serve many requests.
     """
 
-    def __init__(self, database: Optional[ContentDatabase] = None):
+    def __init__(self, database: Optional[ContentDatabase] = None,
+                 policies: Optional[ResiliencePolicies] = None,
+                 metrics: AnyRegistry = NOOP,
+                 clock: Callable[[], float] = time.monotonic):
         self.database = database or ContentDatabase()
         self.service = OdrService(self.database)
         self._allocator = IpAllocator()
         self._lock = threading.Lock()
+        self._clock = clock
+        # A circuit breaker over backend outcomes: while open, /decide
+        # sheds load with 503 + Retry-After instead of hammering a
+        # failing decision pipeline.
+        self._breaker = policies.breaker("odr-web", metrics) \
+            if policies is not None and policies.failover else None
 
     # -- request handling --------------------------------------------------------
 
-    def handle(self, path: str,
-               cookie_header: str = "") -> tuple[int, str, str,
-                                                 Optional[str]]:
+    def handle(self, path: str, cookie_header: str = "") -> Response:
         """Process one GET; returns (status, content_type, body,
-        set_cookie)."""
+        set_cookie, extra_headers)."""
         parsed = urlparse(path)
         if parsed.path in ("/", "/index.html"):
-            return 200, "text/html", _FRONT_PAGE, None
+            return 200, "text/html", _FRONT_PAGE, None, {}
         if parsed.path == "/healthz":
             return 200, "application/json", json.dumps(
                 {"status": "ok",
-                 "requests_served": self.service.requests_served}), None
+                 "requests_served": self.service.requests_served}), \
+                None, {}
         if parsed.path == "/decide":
             return self._decide(parse_qs(parsed.query), cookie_header)
         return 404, "application/json", json.dumps(
-            {"error": f"no such endpoint {parsed.path!r}"}), None
+            {"error": f"no such endpoint {parsed.path!r}"}), None, {}
 
     def _decide(self, query: dict[str, list[str]],
-                cookie_header: str) -> tuple[int, str, str,
-                                             Optional[str]]:
+                cookie_header: str) -> Response:
         def first(key: str, default: str = "") -> str:
             return query.get(key, [default])[0]
 
         link = first("link")
         if not link:
             return 400, "application/json", json.dumps(
-                {"error": "missing required parameter 'link'"}), None
+                {"error": "missing required parameter 'link'"}), \
+                None, {}
+
+        if self._breaker is not None \
+                and not self._breaker.allow(self._clock()):
+            retry_after = max(
+                1, math.ceil(self._breaker.retry_after(self._clock())))
+            return 503, "application/json", json.dumps(
+                {"error": "decision backend unavailable",
+                 "detail": "circuit breaker open; retry later",
+                 "retry_after_seconds": retry_after}), \
+                None, {"Retry-After": str(retry_after)}
 
         user_id, set_cookie = self._user_id_from_cookie(cookie_header)
         try:
@@ -132,9 +157,23 @@ class OdrWebApp:
             self._register_popularity(link, first)
             response = self.service.handle_request(context, link)
         except (ValueError, KeyError) as error:
+            # Malformed input is the client's fault: it must not trip
+            # the breaker or tear anything down.
             return 400, "application/json", json.dumps(
-                {"error": str(error)}), set_cookie
+                {"error": str(error)}), set_cookie, {}
+        except Exception as error:   # noqa: BLE001 - boundary handler
+            # A backend bug used to propagate out of handle() and kill
+            # the request thread mid-response; degrade to a structured
+            # 500 and feed the breaker instead.
+            if self._breaker is not None:
+                self._breaker.record(False, self._clock())
+            return 500, "application/json", json.dumps(
+                {"error": "internal error",
+                 "detail": f"{type(error).__name__}: {error}"}), \
+                set_cookie, {}
 
+        if self._breaker is not None:
+            self._breaker.record(True, self._clock())
         payload = {
             "action": response.decision.action.value,
             "data_source": response.decision.data_source.value,
@@ -145,7 +184,7 @@ class OdrWebApp:
             "protocol": response.protocol.value,
         }
         return 200, "application/json", \
-            json.dumps(payload, indent=2), set_cookie
+            json.dumps(payload, indent=2), set_cookie, {}
 
     def _user_id_from_cookie(self, cookie_header: str
                              ) -> tuple[str, Optional[str]]:
@@ -196,8 +235,8 @@ class _Handler(BaseHTTPRequestHandler):
     app: OdrWebApp   # injected by make_server
 
     def do_GET(self):   # noqa: N802  (BaseHTTPRequestHandler API)
-        status, content_type, body, set_cookie = self.app.handle(
-            self.path, self.headers.get("Cookie", ""))
+        status, content_type, body, set_cookie, headers = \
+            self.app.handle(self.path, self.headers.get("Cookie", ""))
         payload = body.encode()
         self.send_response(status)
         self.send_header("Content-Type",
@@ -205,6 +244,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         if set_cookie:
             self.send_header("Set-Cookie", set_cookie)
+        for name, value in headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -226,17 +267,20 @@ class OdrHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(port: int = 0,
-                database: Optional[ContentDatabase] = None
-                ) -> OdrHTTPServer:
+                database: Optional[ContentDatabase] = None,
+                policies: Optional[ResiliencePolicies] = None,
+                metrics: AnyRegistry = NOOP) -> OdrHTTPServer:
     """Build (without starting) the HTTP server; port 0 picks a free
     one."""
-    app = OdrWebApp(database)
+    app = OdrWebApp(database, policies=policies, metrics=metrics)
     handler = type("OdrHandler", (_Handler,), {"app": app})
     return OdrHTTPServer(("127.0.0.1", port), handler)
 
 
-def serve(port: int = 8034) -> None:   # pragma: no cover - interactive
-    server = make_server(port)
+def serve(port: int = 8034,
+          policies: Optional[ResiliencePolicies] = None
+          ) -> None:   # pragma: no cover - interactive
+    server = make_server(port, policies=policies)
     actual_port = server.server_address[1]
     print(f"ODR listening on http://127.0.0.1:{actual_port}/ "
           f"(Ctrl-C to stop)")

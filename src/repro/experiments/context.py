@@ -38,6 +38,20 @@ DEFAULT_SCALE = 0.02
 DEFAULT_SEED = 20150222
 
 
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment driver that raised instead of reporting.
+
+    The runner degrades gracefully: a failing driver becomes one of
+    these (error + formatted traceback), the remaining experiments
+    still run, and the process exits non-zero at the end.
+    """
+
+    experiment_id: str
+    error: str
+    traceback: str
+
+
 @dataclass
 class ExperimentContext:
     """Lazily built shared artefacts for all experiment drivers."""
@@ -50,6 +64,9 @@ class ExperimentContext:
     metrics: AnyRegistry = field(default=NOOP, repr=False)
     #: Per-experiment wall-clock seconds, filled by the runner.
     timings: dict[str, float] = field(default_factory=dict, repr=False)
+    #: Drivers that raised, in run order (graceful degradation).
+    failures: list[ExperimentFailure] = field(default_factory=list,
+                                              repr=False)
     _workload: Optional[Workload] = field(default=None, repr=False)
     _cloud: Optional[XuanfengCloud] = field(default=None, repr=False)
     _cloud_result: Optional[CloudRunResult] = field(default=None,

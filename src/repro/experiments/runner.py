@@ -8,12 +8,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import sys
 import time
+import traceback
 from pathlib import Path
+from typing import Sequence
 
 from repro.experiments import REGISTRY, default_context
 from repro.experiments.base import ExperimentReport
-from repro.experiments.context import DEFAULT_SCALE, ExperimentContext
+from repro.experiments.context import (
+    DEFAULT_SCALE,
+    ExperimentContext,
+    ExperimentFailure,
+)
 from repro.obs import NOOP, span
 
 #: Paper-section ordering for the document.
@@ -38,10 +45,21 @@ def run_all(context: ExperimentContext | None = None
     missing = sorted(set(REGISTRY) - set(ORDER))
     reports = []
     for experiment_id in ORDER + missing:
-        with span(context.metrics, "experiment", id=experiment_id):
-            started = time.perf_counter()
-            report = REGISTRY[experiment_id](context)
-            elapsed = time.perf_counter() - started
+        try:
+            with span(context.metrics, "experiment", id=experiment_id):
+                started = time.perf_counter()
+                report = REGISTRY[experiment_id](context)
+                elapsed = time.perf_counter() - started
+        except Exception as error:   # noqa: BLE001 - degrade, not die
+            # One broken driver must not take down the whole document:
+            # record it, keep going, and let main() exit non-zero.
+            context.failures.append(ExperimentFailure(
+                experiment_id=experiment_id,
+                error=f"{type(error).__name__}: {error}",
+                traceback=traceback.format_exc()))
+            context.metrics.counter("repro_experiments_failures_total",
+                                    experiment=experiment_id).inc()
+            continue
         context.timings[experiment_id] = elapsed
         context.metrics.gauge("repro_experiments_wall_seconds",
                               experiment=experiment_id).set(elapsed)
@@ -50,7 +68,9 @@ def run_all(context: ExperimentContext | None = None
 
 
 def render_experiments_md(reports: list[ExperimentReport],
-                          scale: float) -> str:
+                          scale: float,
+                          failures: Sequence[ExperimentFailure] = ()
+                          ) -> str:
     lines = [
         "# EXPERIMENTS -- paper vs measured",
         "",
@@ -113,6 +133,17 @@ def render_experiments_md(reports: list[ExperimentReport],
         lines.append(report.render())
         lines.append("```")
         lines.append("")
+    for failure in failures:
+        lines.append(f"## {failure.experiment_id}: FAILED")
+        lines.append("")
+        lines.append(f"This experiment raised `{failure.error}` and "
+                     "produced no results; the rest of the document "
+                     "is unaffected.")
+        lines.append("")
+        lines.append("```")
+        lines.append(failure.traceback.rstrip())
+        lines.append("```")
+        lines.append("")
     return "\n".join(lines)
 
 
@@ -148,10 +179,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_out is not None:
             from repro.obs import MetricsRegistry
             metrics = MetricsRegistry()
-        reports, claims, _timings = run_parallel(
+        reports, claims, _timings, failures = run_parallel(
             args.scale, seed, jobs=args.jobs, metrics=metrics)
         context = ExperimentContext(scale=args.scale, seed=seed,
                                     metrics=metrics)
+        context.failures.extend(failures)
     else:
         context = default_context(scale=args.scale, seed=seed)
         if args.metrics_out is not None:
@@ -159,7 +191,8 @@ def main(argv: list[str] | None = None) -> int:
             context.metrics = MetricsRegistry()
         reports = run_all(context)
         claims = evaluate_claims(context)
-    document = render_experiments_md(reports, args.scale)
+    document = render_experiments_md(reports, args.scale,
+                                     failures=context.failures)
 
     scorecard = Scorecard(reports=reports, claims=claims)
     document += "\n## Reproduction scorecard\n\n```\n" + \
@@ -174,6 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         export(context.metrics, args.metrics_format, args.metrics_out)
         print(f"wrote {args.metrics_format} metrics to "
               f"{args.metrics_out}")
+    if context.failures:
+        for failure in context.failures:
+            print(f"EXPERIMENT FAILED {failure.experiment_id}: "
+                  f"{failure.error}", file=sys.stderr)
+        return 1
     return 0
 
 

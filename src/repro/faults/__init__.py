@@ -1,0 +1,59 @@
+"""repro.faults -- deterministic fault injection + resilience policies.
+
+Public surface:
+
+* :class:`FaultSpec` / :class:`FaultPlan` -- seeded, JSON-loadable
+  schedules of fault windows (:func:`default_chaos_plan` is the
+  built-in one).
+* :class:`FaultInjector` -- delivers a plan into a run, either through
+  the engine's interrupt machinery or as a pure query API for the
+  analytic replay paths.
+* :class:`RetryPolicy` / :class:`CircuitBreaker` /
+  :class:`TransferCheckpoint` / :class:`ResiliencePolicies` -- the
+  recovery side.
+
+The chaos driver lives in :mod:`repro.faults.chaos` (also ``python -m
+repro.faults``) and is intentionally NOT imported here: it pulls in
+``repro.scale`` -> ``repro.cloud``, and the cloud package itself
+imports :mod:`repro.faults.injector`, so eagerly importing the driver
+would create a cycle.
+"""
+
+from repro.faults.injector import INTERRUPT_KINDS, FaultInjector
+from repro.faults.plan import (
+    AP_KILL_KINDS,
+    CLOUD_KINDS,
+    DEFAULT_CHAOS_SEED,
+    KIND_DOMAINS,
+    FaultPlan,
+    FaultSpec,
+    ap_entity_name,
+    default_chaos_plan,
+)
+from repro.faults.policies import (
+    DEFAULT_POLICIES,
+    CircuitBreaker,
+    ResiliencePolicies,
+    RetryPolicy,
+    TransferCheckpoint,
+)
+from repro.faults.resilience import ap_chaos_predownload
+
+__all__ = [
+    "AP_KILL_KINDS",
+    "CLOUD_KINDS",
+    "DEFAULT_CHAOS_SEED",
+    "INTERRUPT_KINDS",
+    "DEFAULT_POLICIES",
+    "KIND_DOMAINS",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicies",
+    "RetryPolicy",
+    "TransferCheckpoint",
+    "ap_chaos_predownload",
+    "ap_entity_name",
+    "default_chaos_plan",
+]

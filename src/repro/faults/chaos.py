@@ -1,0 +1,154 @@
+"""The chaos driver: seeded fault campaigns over the sharded replay.
+
+``python -m repro.faults`` runs a :class:`~repro.faults.plan.FaultPlan`
+against the full-week sharded cloud replay and emits a canonical JSON
+report.  Two invariants make the report useful as a regression
+artifact:
+
+* *Determinism*: the report contains no wall-clock material, its keys
+  are sorted, and every number derives from seeded computation -- two
+  runs with the same plan/seed/scale are byte-identical, regardless of
+  ``--jobs`` (asserted by the CI chaos smoke job).
+* *Comparability*: running with ``--policies both`` produces a
+  policies-off and a policies-on section over the *same* fault
+  schedule, so the difference is purely what the resilience policies
+  recovered.
+
+This module imports :mod:`repro.scale` (which imports
+:mod:`repro.cloud`, which imports :mod:`repro.faults.injector`), so it
+must never be imported from ``repro.faults.__init__``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, default_chaos_plan
+from repro.obs.registry import AnyRegistry, NOOP
+from repro.scale.pipelines import sharded_cloud_stats
+from repro.scale.plan import DEFAULT_SHARDS, ShardPlan
+from repro.scale.replay import ShardRunStats
+
+#: Quantiles summarised per sketch in the report.
+REPORT_QUANTILES = (0.5, 0.9, 0.99)
+
+#: Default workload knobs for ``python -m repro.faults``: small enough
+#: for CI, large enough that every fault window catches real traffic.
+DEFAULT_CHAOS_SCALE = 0.003
+DEFAULT_WORKLOAD_SEED = 20150222
+
+
+def _sketch_summary(sketch) -> dict:
+    return {
+        "count": sketch.count,
+        "mean": sketch.mean,
+        "quantiles": {f"p{int(q * 100)}": sketch.quantile(q)
+                      for q in REPORT_QUANTILES},
+    }
+
+
+def stats_report(stats: ShardRunStats) -> dict:
+    """A deterministic, JSON-ready view of one replay's stats."""
+    return {
+        "tasks": stats.tasks,
+        "lookups": stats.lookups,
+        "hits": stats.hits,
+        "attempts": stats.attempts,
+        "attempt_failures": stats.attempt_failures,
+        "failures": stats.failures,
+        "failure_ratio": stats.failures / stats.tasks
+        if stats.tasks else 0.0,
+        "totals_by_class": {klass.value: count for klass, count
+                            in sorted(stats.totals_by_class.items(),
+                                      key=lambda item: item[0].value)},
+        "failures_by_class": {klass.value: count for klass, count
+                              in sorted(stats.failures_by_class.items(),
+                                        key=lambda item:
+                                        item[0].value)},
+        "fetch_count": stats.fetch_count,
+        "impeded_fetches": stats.impeded_fetches,
+        "payload_bytes": stats.payload_bytes,
+        "traffic_bytes": stats.traffic_bytes,
+        "pre_traffic_bytes": stats.pre_traffic_bytes,
+        "pre_speed": _sketch_summary(stats.pre_speed),
+        "fetch_speed": _sketch_summary(stats.fetch_speed),
+        "e2e_delay": _sketch_summary(stats.e2e_delay),
+        "faults": {
+            "impacts": stats.fault_impacts,
+            "retries": stats.fault_retries,
+            "failovers": stats.fault_failovers,
+            "aborts": stats.fault_aborts,
+            "recoveries": stats.fault_recoveries,
+        },
+    }
+
+
+def run_chaos(scale: float = DEFAULT_CHAOS_SCALE,
+              seed: int = DEFAULT_WORKLOAD_SEED, *,
+              plan: Optional[FaultPlan] = None,
+              policies_on: bool = True,
+              shards: int = DEFAULT_SHARDS, jobs: int = 1,
+              metrics: AnyRegistry = NOOP) -> ShardRunStats:
+    """One full-week sharded replay under ``plan`` (or fault-free)."""
+    shard_plan = ShardPlan(scale=scale, seed=seed, shards=shards)
+    stats, _info = sharded_cloud_stats(shard_plan, jobs=jobs,
+                                       metrics=metrics, fault_plan=plan,
+                                       policies_on=policies_on)
+    return stats
+
+
+def chaos_campaign(scale: float = DEFAULT_CHAOS_SCALE,
+                   seed: int = DEFAULT_WORKLOAD_SEED, *,
+                   plan: Optional[FaultPlan] = None,
+                   policies: str = "both",
+                   shards: int = DEFAULT_SHARDS, jobs: int = 1,
+                   metrics: AnyRegistry = NOOP) -> dict:
+    """Run the requested campaign and build the canonical report.
+
+    ``policies`` is ``"on"``, ``"off"``, or ``"both"``; with ``both``
+    the same plan runs twice and the report carries both sections plus
+    the recovery delta.
+    """
+    plan = plan if plan is not None else default_chaos_plan()
+    report: dict = {
+        "plan": {"name": plan.name, "seed": plan.seed,
+                 "spec_count": len(plan.specs)},
+        "workload": {"scale": scale, "seed": seed, "shards": shards},
+        "runs": {},
+    }
+    if policies in ("off", "both"):
+        off = run_chaos(scale, seed, plan=plan, policies_on=False,
+                        shards=shards, jobs=jobs, metrics=metrics)
+        report["runs"]["policies_off"] = stats_report(off)
+    if policies in ("on", "both"):
+        on = run_chaos(scale, seed, plan=plan, policies_on=True,
+                       shards=shards, jobs=jobs, metrics=metrics)
+        report["runs"]["policies_on"] = stats_report(on)
+    if policies == "both":
+        off_failures = report["runs"]["policies_off"]["failures"]
+        on_failures = report["runs"]["policies_on"]["failures"]
+        recovered = off_failures - on_failures
+        report["recovery"] = {
+            "policies_off_failures": off_failures,
+            "policies_on_failures": on_failures,
+            "recovered_tasks": recovered,
+            "recovered_fraction": recovered / off_failures
+            if off_failures else 0.0,
+        }
+    report["digest"] = report_digest(report)
+    return report
+
+
+def canonical_json(report: dict) -> str:
+    """The byte-stable serialisation the CI smoke job diffs."""
+    return json.dumps(report, sort_keys=True, indent=2)
+
+
+def report_digest(report: dict) -> str:
+    """SHA-256 over the canonical serialisation, digest field excluded."""
+    body = {key: value for key, value in report.items()
+            if key != "digest"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()).hexdigest()

@@ -1,0 +1,198 @@
+"""The fault injector: delivers a :class:`FaultPlan` into a run.
+
+Two modes of use, both deterministic:
+
+* **Engine mode** (`XuanfengCloud`): ``bind(sim)`` schedules one
+  activation callback per fault window; registered processes whose
+  entity matches an opening window are interrupted through the engine's
+  interrupt machinery (``Interrupt.cause`` is the :class:`FaultSpec`).
+
+* **Query mode** (analytic replay paths -- ``ShardReplay``, the AP
+  benchrig, ODR): callers ask "is fault X active on entity E at time
+  T?" and steer their own clocks.  All answers depend only on the plan,
+  so sharded and sequential runs agree bit-for-bit.
+
+The injector also keeps the resilience scoreboard (faults injected,
+impacts, retries, failovers, aborts, recoveries) as plain counters plus
+``repro.obs`` metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import NOOP
+from repro.sim.engine import Interrupt, Process, Simulator
+from repro.sim.randomness import substream
+
+#: Kinds whose window *opening* interrupts in-flight engine work.  The
+#: others (degradations, pool pressure) only shape decisions made at
+#: attempt boundaries and are consumed through the query API.
+INTERRUPT_KINDS: tuple[str, ...] = ("server_crash", "vm_stall",
+                                    "seed_death")
+
+
+class FaultInjector:
+    """Deterministic dispatcher for one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan, metrics=NOOP):
+        self.plan = plan
+        self.metrics = metrics
+        # (domain, entity) -> processes currently exposed to faults
+        # (several fetch flows can share one ISP group).
+        self._registered: Dict[Tuple[str, str], list[Process]] = {}
+        # Scoreboard (plain ints so analytic paths can read them back
+        # without an obs registry).
+        self.injected = 0
+        self.impacts = 0
+        self.retries = 0
+        self.failovers = 0
+        self.aborts = 0
+        self.recoveries = 0
+
+    # -- query mode -----------------------------------------------------------
+
+    def _gated(self, kinds: Iterable[str], entity: str):
+        for spec in self.plan.specs_of(kinds):
+            if self.plan.applies(spec, entity):
+                yield spec
+
+    def active(self, kind: str, entity: str,
+               now: float) -> Optional[FaultSpec]:
+        """The first active, gated window of ``kind`` on ``entity``."""
+        for spec in self._gated((kind,), entity):
+            if spec.active_at(now):
+                return spec
+        return None
+
+    def first_active(self, kinds: Iterable[str], entity: str,
+                     now: float) -> Optional[FaultSpec]:
+        """The first active, gated window among ``kinds`` on ``entity``."""
+        for spec in self._gated(kinds, entity):
+            if spec.active_at(now):
+                return spec
+        return None
+
+    def clear_time(self, kinds: Iterable[str], entity: str,
+                   now: float) -> float:
+        """Earliest time every active window among ``kinds`` has ended."""
+        clear = now
+        for spec in self._gated(kinds, entity):
+            if spec.active_at(now):
+                clear = max(clear, spec.end)
+        return clear
+
+    def next_break(self, kinds: Iterable[str], entity: str, after: float,
+                   before: float) -> Optional[FaultSpec]:
+        """Earliest gated window opening strictly inside (after, before)."""
+        best: Optional[FaultSpec] = None
+        for spec in self._gated(kinds, entity):
+            if after < spec.start < before:
+                if best is None or spec.start < best.start:
+                    best = spec
+        return best
+
+    def factor(self, kind: str, entity: str, now: float) -> float:
+        """Combined severity multiplier of active ``kind`` windows (1.0
+        when none are active)."""
+        factor = 1.0
+        for spec in self._gated((kind,), entity):
+            if spec.active_at(now):
+                factor *= spec.severity
+        return factor
+
+    def crashed_isps(self, now: float) -> frozenset[str]:
+        """ISP names whose upload-server groups are dark at ``now``."""
+        down = set()
+        for spec in self.plan.specs_of(("server_crash",)):
+            if not spec.active_at(now):
+                continue
+            name = spec.target.partition(":")[2]
+            if name and name != "*" and self.plan.applies(spec, name):
+                down.add(name)
+        return frozenset(down)
+
+    def rng(self, label: str):
+        """A jitter substream tied to the plan seed (backoff jitter)."""
+        return substream(self.plan.seed, f"jitter:{label}")
+
+    # -- engine mode ----------------------------------------------------------
+
+    def register(self, entity: Tuple[str, str], process: Process) -> None:
+        """Expose ``process`` to faults targeting ``(domain, name)``."""
+        self._registered.setdefault(entity, []).append(process)
+
+    def unregister(self, entity: Tuple[str, str],
+                   process: Process) -> None:
+        procs = self._registered.get(entity)
+        if procs is not None:
+            try:
+                procs.remove(process)
+            except ValueError:
+                pass
+            if not procs:
+                del self._registered[entity]
+
+    def bind(self, sim: Simulator,
+             kinds: Optional[Iterable[str]] = None) -> None:
+        """Schedule one activation callback per fault window.
+
+        ``kinds`` restricts binding to the given fault kinds (the cloud
+        engine binds only cloud-domain kinds; AP windows run on the
+        benchrig's own replay clocks and are consumed via queries).
+        """
+        specs = self.plan.specs if kinds is None \
+            else self.plan.specs_of(kinds)
+        for spec in specs:
+            sim.call_at(spec.start, self._activate, spec)
+
+    def _activate(self, spec: FaultSpec) -> None:
+        """A window just opened: interrupt matching registered work."""
+        self.injected += 1
+        self.metrics.counter("repro_faults_injected_total",
+                             kind=spec.kind).inc()
+        if spec.kind not in INTERRUPT_KINDS:
+            return
+        targets = [proc
+                   for entity, procs in list(self._registered.items())
+                   if entity[0] == spec.domain
+                   and self.plan.applies(spec, entity[1])
+                   for proc in list(procs)]
+        for proc in targets:
+            proc.interrupt(cause=spec)
+
+    # -- scoreboard -----------------------------------------------------------
+
+    def impact(self, spec: FaultSpec) -> None:
+        self.impacts += 1
+        self.metrics.counter("repro_faults_impacts_total",
+                             kind=spec.kind).inc()
+
+    def retry(self, layer: str) -> None:
+        self.retries += 1
+        self.metrics.counter("repro_faults_retries_total",
+                             layer=layer).inc()
+
+    def failover(self, layer: str) -> None:
+        self.failovers += 1
+        self.metrics.counter("repro_faults_failovers_total",
+                             layer=layer).inc()
+
+    def abort(self, layer: str) -> None:
+        self.aborts += 1
+        self.metrics.counter("repro_faults_aborts_total",
+                             layer=layer).inc()
+
+    def recover(self, layer: str, seconds: float) -> None:
+        """A task finished successfully after being impacted: MTTR."""
+        self.recoveries += 1
+        self.metrics.counter("repro_faults_recoveries_total",
+                             layer=layer).inc()
+        self.metrics.histogram("repro_faults_recovery_seconds").observe(
+            seconds)
+
+    def scoreboard(self) -> dict:
+        return {"injected": self.injected, "impacts": self.impacts,
+                "retries": self.retries, "failovers": self.failovers,
+                "aborts": self.aborts, "recoveries": self.recoveries}

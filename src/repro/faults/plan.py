@@ -1,0 +1,251 @@
+"""Seeded fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a JSON-loadable schedule of fault windows.  Each
+:class:`FaultSpec` names a *kind* from the fixed taxonomy below, a
+*target* (``"*"``, ``"<domain>:*"`` or ``"<domain>:<name>"``), a start
+time and a duration in the clock of the layer it applies to (sim seconds
+for the cloud, the per-AP cumulative replay clock for AP faults), plus
+an optional ``severity`` (rate multiplier for degradation kinds) and
+``probability`` (per-entity activation chance).
+
+Determinism contract: whether a probabilistic fault hits a given entity
+is decided by a stable hash of ``(plan seed, spec key, entity name)`` --
+never by shared RNG state -- so any content-sharded partition of a run
+(``repro.scale``) sees the identical fault assignment and the merged
+result is bit-identical to the unsharded one.
+
+Fault taxonomy (kind -> target domain):
+
+========================  ========  =========================================
+kind                      domain    models
+========================  ========  =========================================
+``server_crash``          isp       an uploading-server group going dark
+``isp_degrade``           isp       per-ISP path degradation (severity)
+``pool_pressure``         pool      storage-pool disk-full pressure
+``vm_stall``              file      a wedged pre-download VM
+``seed_death``            file      swarm seed departure mid-transfer
+``power_loss``            ap        AP power loss (kills the attempt)
+``usb_disconnect``        ap        storage device unplugged
+``flash_slowdown``        ap        degraded flash write path (severity)
+``link_flap``             ap        ADSL link flap (kills the attempt)
+``loss_burst``            ap        lossy uplink (severity on goodput)
+========================  ========  =========================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.sim.clock import DAY, HOUR
+from repro.sim.randomness import derive_seed, substream
+
+#: kind -> the entity domain its targets live in.
+KIND_DOMAINS: dict[str, str] = {
+    "server_crash": "isp",
+    "isp_degrade": "isp",
+    "pool_pressure": "pool",
+    "vm_stall": "file",
+    "seed_death": "file",
+    "power_loss": "ap",
+    "usb_disconnect": "ap",
+    "flash_slowdown": "ap",
+    "link_flap": "ap",
+    "loss_burst": "ap",
+}
+
+#: AP fault kinds that make the attempt unable to proceed at all (the
+#: device, its storage, or its uplink is gone, not merely slow).
+AP_KILL_KINDS: tuple[str, ...] = ("power_loss", "usb_disconnect",
+                                  "link_flap")
+
+#: Kinds that apply to the cloud side (everything not in the AP domain).
+CLOUD_KINDS: tuple[str, ...] = tuple(
+    kind for kind, domain in KIND_DOMAINS.items() if domain != "ap")
+
+#: The default seed of :func:`default_chaos_plan`.
+DEFAULT_CHAOS_SEED = 20150666
+
+
+def ap_entity_name(hardware) -> str:
+    """The fault-target name of an AP (``"HiWiFi (1S)"`` -> ``hiwifi-(1s)``)."""
+    return hardware.name.lower().replace(" ", "-")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window."""
+
+    kind: str
+    target: str
+    start: float
+    duration: float
+    severity: float = 1.0
+    probability: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in KIND_DOMAINS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {sorted(KIND_DOMAINS)}")
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(
+                f"fault duration must be > 0, got {self.duration}")
+        if not 0.0 < self.severity:
+            raise ValueError(
+                f"fault severity must be > 0, got {self.severity}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], "
+                f"got {self.probability}")
+        domain = KIND_DOMAINS[self.kind]
+        if self.target != "*":
+            prefix, _sep, name = self.target.partition(":")
+            if prefix != domain or not name:
+                raise ValueError(
+                    f"target of {self.kind!r} must be '*', "
+                    f"'{domain}:*' or '{domain}:<name>', "
+                    f"got {self.target!r}")
+
+    @property
+    def domain(self) -> str:
+        return KIND_DOMAINS[self.kind]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def key(self) -> str:
+        """Stable identity of this spec inside a plan (gating label)."""
+        return f"{self.kind}:{self.target}:{self.start:g}"
+
+    def matches(self, entity: str) -> bool:
+        """Does this spec target the named entity (domain-local name)?"""
+        if self.target == "*":
+            return True
+        name = self.target.partition(":")[2]
+        return name == "*" or name == entity
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def to_dict(self) -> dict:
+        record = {"kind": self.kind, "target": self.target,
+                  "start": self.start, "duration": self.duration}
+        if self.severity != 1.0:
+            record["severity"] = self.severity
+        if self.probability != 1.0:
+            record["probability"] = self.probability
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultSpec":
+        return cls(kind=record["kind"], target=record["target"],
+                   start=float(record["start"]),
+                   duration=float(record["duration"]),
+                   severity=float(record.get("severity", 1.0)),
+                   probability=float(record.get("probability", 1.0)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of fault windows."""
+
+    name: str
+    seed: int
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("a fault plan needs a name")
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def specs_of(self, kinds: Iterable[str]) -> tuple[FaultSpec, ...]:
+        wanted = set(kinds)
+        return tuple(spec for spec in self.specs if spec.kind in wanted)
+
+    # -- deterministic per-entity gating ---------------------------------------
+
+    def applies(self, spec: FaultSpec, entity: str) -> bool:
+        """Does ``spec`` hit ``entity``?  Stable-hash probability gate.
+
+        Shard-invariant by construction: the decision depends only on
+        (plan seed, spec key, entity name), so every worker process of a
+        sharded run agrees without communicating.
+        """
+        if not spec.matches(entity):
+            return False
+        if spec.probability >= 1.0:
+            return True
+        draw = derive_seed(self.seed, f"gate:{spec.key}:{entity}") / 2 ** 64
+        return draw < spec.probability
+
+    def rng(self, label: str) -> np.random.Generator:
+        """A named jitter substream derived from the plan seed."""
+        return substream(self.seed, f"faults:{label}")
+
+    # -- (de)serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {"name": self.name, "seed": self.seed,
+                   "faults": [spec.to_dict() for spec in self.specs]}
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or "faults" not in payload:
+            raise ValueError(
+                "a fault plan is an object with 'name', 'seed' and a "
+                "'faults' array")
+        specs = tuple(FaultSpec.from_dict(record)
+                      for record in payload["faults"])
+        return cls(name=str(payload.get("name", "unnamed")),
+                   seed=int(payload.get("seed", DEFAULT_CHAOS_SEED)),
+                   specs=specs)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+    def to_file(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+
+def default_chaos_plan(seed: int = DEFAULT_CHAOS_SEED) -> FaultPlan:
+    """The built-in chaos schedule: one of everything, across the week.
+
+    Cloud windows are sim seconds into the measured week; AP windows are
+    seconds of each AP's own cumulative replay clock (the benchmark
+    campaign spans weeks of replay time).
+    """
+    return FaultPlan(name="default-chaos", seed=seed, specs=(
+        # -- cloud ------------------------------------------------------------
+        FaultSpec("server_crash", "isp:telecom", 1.0 * DAY, 6.0 * HOUR),
+        FaultSpec("server_crash", "isp:unicom", 4.0 * DAY, 3.0 * HOUR),
+        FaultSpec("isp_degrade", "isp:*", 2.0 * DAY, 8.0 * HOUR,
+                  severity=0.3),
+        FaultSpec("pool_pressure", "*", 2.5 * DAY, 12.0 * HOUR),
+        FaultSpec("vm_stall", "file:*", 3.0 * DAY, 6.0 * HOUR,
+                  probability=0.7),
+        FaultSpec("seed_death", "file:*", 4.5 * DAY, 12.0 * HOUR,
+                  probability=0.6),
+        # -- smart APs (per-AP replay clocks) ---------------------------------
+        FaultSpec("power_loss", "ap:*", 0.5 * DAY, 2.0 * HOUR),
+        FaultSpec("usb_disconnect", "ap:miwifi", 1.0 * DAY, 3.0 * HOUR),
+        FaultSpec("flash_slowdown", "ap:*", 1.5 * DAY, 12.0 * HOUR,
+                  severity=0.3),
+        FaultSpec("link_flap", "ap:hiwifi-(1s)", 2.0 * DAY, 4.0 * HOUR),
+        FaultSpec("loss_burst", "ap:*", 2.5 * DAY, 6.0 * HOUR,
+                  severity=0.4),
+    ))

@@ -1,0 +1,189 @@
+"""Resilience policies: retry/backoff, circuit breaking, checkpoints.
+
+All policies are deterministic given their inputs -- jitter comes from a
+caller-supplied RNG (a seeded substream), and the circuit breaker is
+clock-unit-agnostic: callers feed whatever monotonic clock their layer
+runs on (sim seconds, request indices, or wall time) and get the same
+state machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded attempts and optional jitter.
+
+    ``backoff(attempt)`` is the delay *after* the ``attempt``-th failure
+    (1-based).  Jitter multiplies the base delay by ``1 + jitter * u``
+    with ``u ~ U[0, 1)`` drawn from the caller's RNG, so two runs with
+    the same seed back off identically.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 30.0
+    multiplier: float = 2.0
+    max_delay: float = 1800.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def allows(self, attempt: int) -> bool:
+        """May a new attempt numbered ``attempt`` (1-based) start?"""
+        return attempt <= self.max_attempts
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay after the ``attempt``-th failed attempt (1-based)."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1),
+                    self.max_delay)
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+
+@dataclass
+class TransferCheckpoint:
+    """Committed progress of a transfer that may restart.
+
+    Resume semantics: a restarted session only downloads
+    ``remaining(size)`` bytes; bytes committed before the failure are
+    never re-fetched (matching how ODR systems persist partial files).
+    """
+
+    committed_bytes: float = 0.0
+
+    def commit(self, bytes_obtained: float) -> None:
+        if bytes_obtained > 0:
+            self.committed_bytes += bytes_obtained
+
+    def remaining(self, size: float) -> float:
+        return max(size - self.committed_bytes, 0.0)
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker (closed -> open -> half-open).
+
+    The breaker trips open when, over the last ``window`` recorded
+    outcomes (with at least ``min_samples`` of them), the failure rate
+    reaches ``threshold``.  While open, ``allow`` rejects until
+    ``cooldown`` clock units have elapsed, then admits a single
+    half-open probe; the probe's outcome closes or re-opens the circuit.
+
+    Clock units are whatever the caller passes as ``now`` -- the state
+    machine only compares and subtracts them.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, window: int = 12, threshold: float = 0.5,
+                 min_samples: int = 6, cooldown: float = 60.0,
+                 name: str = "breaker", metrics=None):
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be > 0")
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.name = name
+        self.state = self.CLOSED
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._probing = False
+        self._metrics = metrics
+
+    def _failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+    def allow(self, now: float) -> bool:
+        """May a request proceed through this backend at ``now``?"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self.opened_at is not None and \
+                    now - self.opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                self._probing = False
+            else:
+                return False
+        # Half-open: admit exactly one probe at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record(self, success: bool, now: float) -> None:
+        """Record an outcome of a request that was allowed through."""
+        if self.state == self.HALF_OPEN:
+            self._probing = False
+            if success:
+                self.state = self.CLOSED
+                self.opened_at = None
+                self._outcomes.clear()
+                self._outcomes.append(True)
+            else:
+                self._trip(now)
+            return
+        self._outcomes.append(success)
+        if (self.state == self.CLOSED
+                and len(self._outcomes) >= self.min_samples
+                and self._failure_rate() >= self.threshold):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = self.OPEN
+        self.opened_at = now
+        self.trips += 1
+        self._outcomes.clear()
+        if self._metrics is not None:
+            self._metrics.counter("repro_faults_breaker_trips_total",
+                                  breaker=self.name).inc()
+
+    def retry_after(self, now: float) -> float:
+        """Clock units until the next probe is admitted (0 if allowed)."""
+        if self.state != self.OPEN or self.opened_at is None:
+            return 0.0
+        return max(self.cooldown - (now - self.opened_at), 0.0)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicies:
+    """The bundle of knobs the resilience layer runs with."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_resume: bool = True
+    failover: bool = True
+    breaker_window: int = 12
+    breaker_threshold: float = 0.5
+    breaker_min_samples: int = 6
+    breaker_cooldown: float = 60.0
+
+    def breaker(self, name: str, metrics=None) -> CircuitBreaker:
+        return CircuitBreaker(window=self.breaker_window,
+                              threshold=self.breaker_threshold,
+                              min_samples=self.breaker_min_samples,
+                              cooldown=self.breaker_cooldown,
+                              name=name, metrics=metrics)
+
+
+DEFAULT_POLICIES = ResiliencePolicies()

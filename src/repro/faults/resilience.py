@@ -1,0 +1,138 @@
+"""Resilient execution helpers for the analytic (non-engine) layers.
+
+The AP benchmark rig replays requests on per-AP cumulative clocks with
+no simulator underneath, so AP faults are consumed through the
+injector's query API: a kill-class window (power loss, USB disconnect,
+link flap) blocks or truncates the attempt, degradation windows (flash
+slowdown, uplink loss bursts) cap the attempt's rate, and the retry /
+checkpoint-resume policies stitch attempts into one merged outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import AP_KILL_KINDS, ap_entity_name
+from repro.faults.policies import ResiliencePolicies
+from repro.transfer.session import STAGNATION_TIMEOUT, DownloadOutcome
+from repro.workload.records import CatalogFile
+
+
+def ap_chaos_predownload(ap, record: CatalogFile,
+                         rng: np.random.Generator, *,
+                         start: float,
+                         access_bandwidth: Optional[float],
+                         uplink_bandwidth: Optional[float],
+                         injector: FaultInjector,
+                         policies: Optional[ResiliencePolicies],
+                         task_label: str
+                         ) -> tuple[DownloadOutcome, float]:
+    """One AP pre-download campaign under fault injection.
+
+    ``start`` is the AP's cumulative replay clock at task start (the
+    clock AP fault windows are scheduled against).  Returns the merged
+    (possibly multi-attempt) outcome plus the iowait ratio of the last
+    attempt that ran, exactly like ``SmartAP.pre_download``.
+    """
+    entity = ap_entity_name(ap.hardware)
+    retry = policies.retry if policies is not None else None
+    jitter = injector.rng(f"ap:{task_label}") if retry is not None \
+        else None
+    resume = policies is not None and policies.checkpoint_resume
+    committed = 0.0
+    clock = start
+    total_traffic = 0.0
+    peak = 0.0
+    attempt = 0
+    impacted = False
+    iowait = 0.0
+    while True:
+        attempt += 1
+        kill = injector.first_active(AP_KILL_KINDS, entity, clock)
+        if kill is not None:
+            impacted = True
+            injector.impact(kill)
+            if retry is not None and retry.allows(attempt + 1):
+                injector.retry("ap")
+                clock = injector.clear_time(AP_KILL_KINDS, entity,
+                                            clock) \
+                    + retry.backoff(attempt, jitter)
+                continue
+            # The device (or its link/storage) is gone and nothing
+            # restarts the task: it dies after the client gives up.
+            clock += STAGNATION_TIMEOUT
+            injector.abort("ap")
+            return DownloadOutcome(
+                success=False, duration=clock - start,
+                bytes_obtained=committed, file_size=record.size,
+                average_rate=0.0, peak_rate=peak, traffic=total_traffic,
+                failure_cause=f"fault:{kill.kind}"), iowait
+        remaining = record.size - committed if resume else record.size
+        flash = injector.factor("flash_slowdown", entity, clock)
+        loss = injector.factor("loss_burst", entity, clock)
+        extra_caps = (ap.write_path.max_throughput * flash,) \
+            if flash < 1.0 else ()
+        uplink = uplink_bandwidth * loss \
+            if uplink_bandwidth is not None and loss < 1.0 \
+            else uplink_bandwidth
+        outcome, iowait = ap.pre_download(
+            record, rng, access_bandwidth=access_bandwidth,
+            uplink_bandwidth=uplink, size_override=remaining,
+            extra_rate_caps=extra_caps)
+        brk = injector.next_break(AP_KILL_KINDS, entity, clock,
+                                  clock + outcome.duration)
+        if brk is None:
+            attempt_out = outcome
+            clock += outcome.duration
+            fault = None
+        else:
+            fault = brk
+            impacted = True
+            injector.impact(brk)
+            elapsed = brk.start - clock
+            frac = min(elapsed / outcome.duration, 1.0) \
+                if outcome.duration > 0 else 1.0
+            moved = min(outcome.average_rate * elapsed, remaining)
+            attempt_out = DownloadOutcome(
+                success=False, duration=elapsed, bytes_obtained=moved,
+                file_size=remaining, average_rate=outcome.average_rate,
+                peak_rate=outcome.peak_rate,
+                traffic=outcome.traffic * frac,
+                failure_cause=f"fault:{brk.kind}")
+            clock = brk.start
+        total_traffic += attempt_out.traffic
+        peak = max(peak, attempt_out.peak_rate)
+        if resume:
+            committed = min(committed + attempt_out.bytes_obtained,
+                            record.size)
+        if attempt_out.success:
+            duration = clock - start
+            if impacted:
+                injector.recover("ap", duration)
+            return DownloadOutcome(
+                success=True, duration=duration,
+                bytes_obtained=record.size, file_size=record.size,
+                average_rate=record.size / duration
+                if duration > 0 else attempt_out.average_rate,
+                peak_rate=peak, traffic=total_traffic), iowait
+        if retry is not None and retry.allows(attempt + 1):
+            injector.retry("ap")
+            wait = retry.backoff(attempt, jitter)
+            if fault is not None:
+                wait += max(injector.clear_time((fault.kind,), entity,
+                                                clock) - clock, 0.0)
+            clock += wait
+            continue
+        if impacted:
+            injector.abort("ap")
+        return DownloadOutcome(
+            success=False, duration=clock - start,
+            bytes_obtained=committed if resume
+            else attempt_out.bytes_obtained,
+            file_size=record.size,
+            average_rate=attempt_out.average_rate, peak_rate=peak,
+            traffic=total_traffic,
+            failure_cause=attempt_out.failure_cause), iowait

@@ -10,6 +10,7 @@ makes ``--jobs`` a pure wall-clock knob.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -19,6 +20,9 @@ from typing import Optional, Sequence
 from repro.ap.benchrig import ApBenchmarkReport, ApBenchmarkRig
 from repro.ap.models import BENCHMARKED_APS
 from repro.ap.smartap import ApPreDownloadResult, SmartAP
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policies import DEFAULT_POLICIES
 from repro.obs.registry import (
     AnyRegistry,
     MetricsRegistry,
@@ -54,32 +58,51 @@ def sharded_generate(plan: ShardPlan, *, jobs: int = 1,
 
 # -- cloud replay --------------------------------------------------------------
 
-def replay_shard_worker(spec: ShardSpec
+def replay_shard_worker(spec: ShardSpec, plan_json: str = "",
+                        policies_on: bool = True
                         ) -> tuple[ShardRunStats, MetricsRegistry]:
     """Spawn-safe worker: generate one shard and replay it.
 
     Returns the shard's mergeable stats plus the worker-local metrics
     registry (clock stripped on pickling) so the parent can fold every
     worker's instruments into one registry.
+
+    ``plan_json`` carries an optional serialised :class:`FaultPlan`
+    (strings pickle cheaply and identically to every worker); the
+    plan's deterministic per-entity gating keeps the merged result
+    independent of the shard/job split.  ``policies_on`` toggles the
+    resilience policies for that plan.
     """
     registry = MetricsRegistry()
     workload = generate_shard(spec, metrics=registry)
     directory = UserDirectory(spec.seed, spec.plan.user_count)
-    replay = ShardReplay(metrics=registry)
+    faults = FaultInjector(FaultPlan.from_json(plan_json),
+                           metrics=registry) if plan_json else None
+    replay = ShardReplay(metrics=registry, faults=faults,
+                         policies=DEFAULT_POLICIES if policies_on
+                         and faults is not None else None)
     stats = replay.run(workload, user_lookup=directory.by_id)
     return stats, registry
 
 
 def sharded_cloud_stats(plan: ShardPlan, *, jobs: int = 1,
-                        metrics: AnyRegistry = NOOP
+                        metrics: AnyRegistry = NOOP,
+                        fault_plan: Optional[FaultPlan] = None,
+                        policies_on: bool = True
                         ) -> tuple[ShardRunStats, ScaleRunInfo]:
     """Generate + replay the whole week shard-by-shard; merge the stats.
 
     Worker registries are merged into ``metrics`` (when it is a real
     registry) so shard-local counters and the executor's wall gauges
-    land in one place.
+    land in one place.  ``fault_plan`` injects a chaos schedule into
+    every shard (merged results stay split-invariant); ``policies_on``
+    enables the default resilience policies against it.
     """
-    parts, info = run_sharded(plan, replay_shard_worker, jobs=jobs,
+    worker = replay_shard_worker if fault_plan is None else \
+        functools.partial(replay_shard_worker,
+                          plan_json=fault_plan.to_json(),
+                          policies_on=policies_on)
+    parts, info = run_sharded(plan, worker, jobs=jobs,
                               metrics=metrics)
     stats = merge_stats([stats for stats, _registry in parts])
     if metrics.enabled:

@@ -32,13 +32,16 @@ import numpy as np
 from repro.analysis.timeseries import bin_rate_series
 from repro.cloud.config import CloudConfig
 from repro.cloud.fetch import FetchSpeedModel
+from repro.faults.injector import FaultInjector
+from repro.faults.policies import ResiliencePolicies
 from repro.netsim.isp import ISP, MAJOR_ISPS
 from repro.netsim.topology import ChinaTopology, PathQuality
 from repro.obs.histogram import QuantileSketch
 from repro.obs.registry import AnyRegistry, NOOP
 from repro.paper import IMPEDED_FETCH_THRESHOLD
 from repro.sim.randomness import RngFactory
-from repro.transfer.session import DownloadSession, SessionLimits
+from repro.transfer.session import DownloadOutcome, DownloadSession, \
+    SessionLimits
 from repro.transfer.source import CLOUD_VANTAGE, ContentSource, SourceModel
 from repro.workload.generator import Workload
 from repro.workload.popularity import PopularityClass
@@ -79,6 +82,12 @@ class ShardRunStats:
     payload_bytes: float = 0.0
     traffic_bytes: float = 0.0
     pre_traffic_bytes: float = 0.0
+    # Resilience scoreboard (all zero when no faults are injected).
+    fault_impacts: int = 0
+    fault_retries: int = 0
+    fault_failovers: int = 0
+    fault_aborts: int = 0
+    fault_recoveries: int = 0
     burden_bins: np.ndarray = field(
         default_factory=lambda: np.zeros(0))
 
@@ -117,6 +126,11 @@ class ShardRunStats:
         self.payload_bytes += other.payload_bytes
         self.traffic_bytes += other.traffic_bytes
         self.pre_traffic_bytes += other.pre_traffic_bytes
+        self.fault_impacts += other.fault_impacts
+        self.fault_retries += other.fault_retries
+        self.fault_failovers += other.fault_failovers
+        self.fault_aborts += other.fault_aborts
+        self.fault_recoveries += other.fault_recoveries
         self.burden_bins = self.burden_bins + other.burden_bins
 
     def __eq__(self, other: object) -> bool:
@@ -139,6 +153,11 @@ class ShardRunStats:
                 and self.e2e_delay == other.e2e_delay
                 and self.fetch_count == other.fetch_count
                 and self.impeded_fetches == other.impeded_fetches
+                and self.fault_impacts == other.fault_impacts
+                and self.fault_retries == other.fault_retries
+                and self.fault_failovers == other.fault_failovers
+                and self.fault_aborts == other.fault_aborts
+                and self.fault_recoveries == other.fault_recoveries
                 and close(self.payload_bytes, other.payload_bytes)
                 and close(self.traffic_bytes, other.traffic_bytes)
                 and close(self.pre_traffic_bytes, other.pre_traffic_bytes)
@@ -202,13 +221,21 @@ class ShardReplay:
                  fetch_model: Optional[FetchSpeedModel] = None,
                  topology: Optional[ChinaTopology] = None,
                  seed: int = 41,
-                 metrics: AnyRegistry = NOOP):
+                 metrics: AnyRegistry = NOOP,
+                 faults: Optional[FaultInjector] = None,
+                 policies: Optional[ResiliencePolicies] = None):
         self.config = config
         self.source_model = source_model or SourceModel()
         self.fetch_model = fetch_model or FetchSpeedModel()
         self.topology = topology or ChinaTopology()
         self.seed = seed
         self.metrics = metrics
+        # Fault injection is strictly opt-in: with ``faults=None`` the
+        # replay draws the identical RNG sequence as before (the chaos
+        # jitter stream is only forked when a plan is present), so
+        # shard-merge bit-identity and golden digests are preserved.
+        self.faults = faults
+        self.policies = policies
         self._factory = RngFactory(seed).fork("scale-cloud")
         self._paths: dict[ISP, tuple[ISP, PathQuality]] = {}
         self._m_tasks = metrics.counter("repro_scale_tasks_total")
@@ -280,6 +307,11 @@ class ShardReplay:
         fork = self._factory.fork(f"file:{record.file_id}")
         session_rng = fork.stream("session")
         fetch_rng = fork.stream("fetch")
+        # Backoff jitter for chaos retries; only forked when faults are
+        # present (stream creation is label-addressed, so skipping it
+        # leaves the fault-free draw sequence untouched).
+        chaos_rng = fork.stream("chaos") if self.faults is not None \
+            else None
         source = self._source_for(record)
         klass = record.popularity_class
         cached = self.config.collaborative_cache and bool(
@@ -297,7 +329,16 @@ class ShardReplay:
                 stats.totals_by_class.get(klass, 0) + 1
             if in_flight is not None and now >= in_flight[0]:
                 if in_flight[1]:
-                    cached = True
+                    pressure = None if self.faults is None \
+                        else self.faults.active("pool_pressure", "pool",
+                                                in_flight[0])
+                    if pressure is None:
+                        cached = True
+                    else:
+                        # Disk-full pressure at landing time: the
+                        # finished file never makes it into the pool.
+                        self.faults.impact(pressure)
+                        stats.fault_impacts += 1
                 in_flight = None
 
             if cached:
@@ -328,22 +369,34 @@ class ShardReplay:
             else:
                 stats.lookups += 1
                 self._m_misses.inc()
-                outcome = DownloadSession(
-                    source, record.size, CLOUD_VANTAGE,
-                    limits=SessionLimits(
-                        rate_caps=(self.config.predownloader_bandwidth,),
-                        stagnation_timeout=self.config.stagnation_timeout),
-                ).simulate(session_rng)
+                if self.faults is None:
+                    outcome = DownloadSession(
+                        source, record.size, CLOUD_VANTAGE,
+                        limits=SessionLimits(
+                            rate_caps=(
+                                self.config.predownloader_bandwidth,),
+                            stagnation_timeout=self.config
+                            .stagnation_timeout),
+                    ).simulate(session_rng)
+                    stats.attempts += 1
+                    self._m_attempts.inc()
+                else:
+                    # Chaos campaign: one or more session attempts with
+                    # fault windows and (optional) recovery folded into
+                    # a single merged outcome.  Per-attempt counters are
+                    # kept inside the helper.
+                    outcome = self._chaos_attempt(record, source,
+                                                  session_rng, chaos_rng,
+                                                  now, stats)
                 finish = now + outcome.duration
-                stats.attempts += 1
-                self._m_attempts.inc()
                 stats.pre_traffic_bytes += outcome.traffic
                 stats.pre_speed.add(outcome.average_rate)
                 stats.pre_delay.add(outcome.duration)
                 if self.config.collaborative_cache:
                     in_flight = (finish, outcome.success)
                 if not outcome.success:
-                    stats.attempt_failures += 1
+                    if self.faults is None:
+                        stats.attempt_failures += 1
                     stats.failures += 1
                     self._m_failures.inc()
                     stats.failures_by_class[klass] = \
@@ -352,24 +405,283 @@ class ShardReplay:
                 pre_finish = finish
 
             self._fetch(record, request, pre_finish, now, fetch_rng,
-                        user_lookup, stats, flows)
+                        user_lookup, stats, flows, chaos_rng)
 
     def _source_for(self, record: CatalogFile) -> ContentSource:
         return self.source_model.build(record.file_id, record.protocol,
                                        record.weekly_demand)
+
+    # -- chaos (fault-injected) variants ------------------------------------------
+
+    def _chaos_attempt(self, record: CatalogFile, source: ContentSource,
+                       rng: np.random.Generator,
+                       jitter: np.random.Generator, now: float,
+                       stats: ShardRunStats) -> DownloadOutcome:
+        """Analytic-clock twin of the engine's resilient pre-download.
+
+        Runs session attempts on a local clock starting at ``now``:
+        a ``vm_stall`` window blocks the attempt (wait-it-out under
+        retry policies, stagnation-death otherwise), an active
+        ``seed_death`` window forces a mid-transfer failure on P2P
+        files, and a window *opening* mid-attempt truncates it at the
+        window start.  With checkpoint-resume on, restarted attempts
+        fetch only the uncommitted remainder.  Returns one merged
+        outcome whose duration spans the whole campaign.
+        """
+        inj = self.faults
+        assert inj is not None
+        policies = self.policies
+        retry = policies.retry if policies is not None else None
+        resume = policies is not None and policies.checkpoint_resume
+        limits = SessionLimits(
+            rate_caps=(self.config.predownloader_bandwidth,),
+            stagnation_timeout=self.config.stagnation_timeout)
+        break_kinds = ("vm_stall", "seed_death") if record.is_p2p \
+            else ("vm_stall",)
+        committed = 0.0
+        clock = now
+        total_traffic = 0.0
+        peak = 0.0
+        attempt = 0
+        impacted = False
+        while True:
+            attempt += 1
+            stall = inj.active("vm_stall", record.file_id, clock)
+            if stall is not None:
+                impacted = True
+                inj.impact(stall)
+                stats.fault_impacts += 1
+                if retry is not None and retry.allows(attempt + 1):
+                    inj.retry("scale-pre")
+                    stats.fault_retries += 1
+                    clock = inj.clear_time(("vm_stall",), record.file_id,
+                                           clock) \
+                        + retry.backoff(attempt, jitter)
+                    continue
+                clock += self.config.stagnation_timeout
+                inj.abort("scale-pre")
+                stats.fault_aborts += 1
+                return DownloadOutcome(
+                    success=False, duration=clock - now,
+                    bytes_obtained=committed, file_size=record.size,
+                    average_rate=0.0, peak_rate=peak,
+                    traffic=total_traffic, failure_cause="fault:vm_stall")
+            remaining = record.size - committed if resume \
+                else record.size
+            dead = record.is_p2p and inj.active(
+                "seed_death", record.file_id, clock) is not None
+            outcome = DownloadSession(
+                source, remaining, CLOUD_VANTAGE, limits=limits,
+                mid_failure_probability=1.0 if dead else None,
+            ).simulate(rng)
+            stats.attempts += 1
+            self._m_attempts.inc()
+            brk = inj.next_break(break_kinds, record.file_id, clock,
+                                 clock + outcome.duration)
+            if brk is None:
+                attempt_out = outcome
+                clock += outcome.duration
+                fault = None
+            else:
+                fault = brk
+                impacted = True
+                inj.impact(brk)
+                stats.fault_impacts += 1
+                elapsed = brk.start - clock
+                frac = min(elapsed / outcome.duration, 1.0) \
+                    if outcome.duration > 0 else 1.0
+                moved = min(outcome.average_rate * elapsed, remaining)
+                attempt_out = DownloadOutcome(
+                    success=False, duration=elapsed,
+                    bytes_obtained=moved, file_size=remaining,
+                    average_rate=outcome.average_rate,
+                    peak_rate=outcome.peak_rate,
+                    traffic=outcome.traffic * frac,
+                    failure_cause=f"fault:{brk.kind}")
+                clock = brk.start
+            total_traffic += attempt_out.traffic
+            peak = max(peak, attempt_out.peak_rate)
+            if resume:
+                committed = min(committed + attempt_out.bytes_obtained,
+                                record.size)
+            if attempt_out.success:
+                duration = clock - now
+                if impacted:
+                    inj.recover("scale-pre", duration)
+                    stats.fault_recoveries += 1
+                return DownloadOutcome(
+                    success=True, duration=duration,
+                    bytes_obtained=record.size, file_size=record.size,
+                    average_rate=record.size / duration
+                    if duration > 0 else attempt_out.average_rate,
+                    peak_rate=peak, traffic=total_traffic)
+            stats.attempt_failures += 1
+            if retry is not None and retry.allows(attempt + 1):
+                inj.retry("scale-pre")
+                stats.fault_retries += 1
+                wait = retry.backoff(attempt, jitter)
+                if fault is not None:
+                    wait += max(inj.clear_time((fault.kind,),
+                                               record.file_id, clock)
+                                - clock, 0.0)
+                clock += wait
+                continue
+            if impacted:
+                inj.abort("scale-pre")
+                stats.fault_aborts += 1
+            return DownloadOutcome(
+                success=False, duration=clock - now,
+                bytes_obtained=committed if resume
+                else attempt_out.bytes_obtained,
+                file_size=record.size,
+                average_rate=attempt_out.average_rate, peak_rate=peak,
+                traffic=total_traffic,
+                failure_cause=attempt_out.failure_cause)
+
+    def _alternate_path(self, user_isp: ISP, down: frozenset[str]
+                        ) -> Optional[tuple[ISP, PathQuality]]:
+        """Lowest-latency non-crashed server group (failover target)."""
+        candidates = [isp for isp in MAJOR_ISPS
+                      if isp.value not in down]
+        if not candidates:
+            return None
+        server = min(candidates,
+                     key=lambda isp: self.topology.path_quality(
+                         isp, user_isp).latency_ms)
+        return server, self.topology.path_quality(server, user_isp)
+
+    def _chaos_fetch(self, record: CatalogFile, request: RequestRecord,
+                     pre_finish: float, request_time: float, start: float,
+                     user: User, server: ISP, quality: PathQuality,
+                     rng: np.random.Generator,
+                     jitter: np.random.Generator,
+                     stats: ShardRunStats,
+                     flows: list[tuple[float, float, float]]) -> None:
+        """The user fetch under fault injection.
+
+        A crashed home group either fails over to the lowest-latency
+        healthy group (policies with failover), waits out the crash
+        window (retry policies), or blocks the fetch entirely (policies
+        off).  A crash window opening mid-flow truncates it; committed
+        bytes survive under checkpoint-resume.  ``isp_degrade`` scales
+        the achieved rate.
+        """
+        inj = self.faults
+        assert inj is not None
+        policies = self.policies
+        retry = policies.retry if policies is not None else None
+        resume = policies is not None and policies.checkpoint_resume
+        clock = start
+        committed = 0.0
+        attempt = 0
+        impacted = False
+        stats.fetch_count += 1
+        self._m_fetches.inc()
+        while True:
+            attempt += 1
+            down = inj.crashed_isps(clock)
+            path_server, path_quality = server, quality
+            if path_server.value in down:
+                impacted = True
+                spec = inj.active("server_crash", path_server.value,
+                                  clock)
+                if spec is not None:
+                    inj.impact(spec)
+                    stats.fault_impacts += 1
+                alt = self._alternate_path(user.isp, down) \
+                    if policies is not None and policies.failover \
+                    else None
+                if alt is not None:
+                    inj.failover("scale-fetch")
+                    stats.fault_failovers += 1
+                    path_server, path_quality = alt
+                elif retry is not None and retry.allows(attempt + 1):
+                    inj.retry("scale-fetch")
+                    stats.fault_retries += 1
+                    clock = inj.clear_time(("server_crash",),
+                                           path_server.value, clock) \
+                        + retry.backoff(attempt, jitter)
+                    continue
+                else:
+                    # The group is dark and nothing recovers: the fetch
+                    # is blocked outright (0 B/s, impeded).
+                    inj.abort("scale-fetch")
+                    stats.fault_aborts += 1
+                    stats.fetch_speed.add(0.0)
+                    stats.fetch_delay.add(0.0)
+                    stats.e2e_delay.add(pre_finish - request_time)
+                    stats.impeded_fetches += 1
+                    stats.payload_bytes += committed
+                    return
+            factor = inj.factor("isp_degrade", path_server.value, clock)
+            rate = min(self.fetch_model.sample_speed(
+                user.access_bandwidth, path_quality, rng),
+                self.config.max_fetch_rate) * factor
+            remaining = record.size - committed if resume \
+                else record.size
+            duration = remaining / rate if rate > 0 else 0.0
+            brk = inj.next_break(("server_crash",), path_server.value,
+                                 clock, clock + duration)
+            if brk is None:
+                flows.append((clock, clock + duration, rate))
+                clock += duration
+                total = clock - start
+                speed = record.size / total if total > 0 else rate
+                stats.fetch_speed.add(speed)
+                stats.fetch_delay.add(total)
+                stats.e2e_delay.add((pre_finish - request_time) + total)
+                if speed < IMPEDED_FETCH_THRESHOLD:
+                    stats.impeded_fetches += 1
+                stats.payload_bytes += record.size
+                stats.traffic_bytes += record.size * float(
+                    rng.uniform(1.07, 1.10))
+                if impacted:
+                    inj.recover("scale-fetch", total)
+                    stats.fault_recoveries += 1
+                return
+            impacted = True
+            inj.impact(brk)
+            stats.fault_impacts += 1
+            moved = min(rate * (brk.start - clock), remaining)
+            flows.append((clock, brk.start, rate))
+            if resume:
+                committed = min(committed + moved, record.size)
+            clock = brk.start
+            if retry is not None and retry.allows(attempt + 1):
+                inj.retry("scale-fetch")
+                stats.fault_retries += 1
+                clock = inj.clear_time(("server_crash",),
+                                       path_server.value, clock) \
+                    + retry.backoff(attempt, jitter)
+                continue
+            inj.abort("scale-fetch")
+            stats.fault_aborts += 1
+            total = clock - start
+            stats.fetch_speed.add(0.0)
+            stats.fetch_delay.add(total)
+            stats.e2e_delay.add((pre_finish - request_time) + total)
+            stats.impeded_fetches += 1
+            stats.payload_bytes += committed
+            return
 
     def _fetch(self, record: CatalogFile, request: RequestRecord,
                pre_finish: float, request_time: float,
                rng: np.random.Generator,
                user_lookup: Callable[[str], User],
                stats: ShardRunStats,
-               flows: list[tuple[float, float, float]]) -> None:
+               flows: list[tuple[float, float, float]],
+               jitter: Optional[np.random.Generator] = None) -> None:
         """The user's fetch after the think-time lag (never rejected)."""
         lag = self.config.fetch_lag_median * float(
             np.exp(rng.normal(0.0, self.config.fetch_lag_sigma)))
         start = pre_finish + lag
         user = user_lookup(request.user_id)
-        _server, quality = self._path_for(user.isp)
+        server, quality = self._path_for(user.isp)
+        if self.faults is not None:
+            self._chaos_fetch(record, request, pre_finish, request_time,
+                              start, user, server, quality, rng, jitter,
+                              stats, flows)
+            return
         rate = min(self.fetch_model.sample_speed(user.access_bandwidth,
                                                  quality, rng),
                    self.config.max_fetch_rate)

@@ -22,12 +22,14 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport
-from repro.experiments.context import ExperimentContext
+from repro.experiments.context import ExperimentContext, \
+    ExperimentFailure
 from repro.obs.registry import AnyRegistry, NOOP
 
 #: Driver groups with disjoint mutable-artefact footprints.  Order maps
@@ -98,6 +100,7 @@ class GroupResult:
     timings: dict[str, float]
     claims: Optional[list] = None
     wall_seconds: float = 0.0
+    failures: list[ExperimentFailure] = field(default_factory=list)
 
 
 def run_group(task: GroupTask) -> GroupResult:
@@ -110,7 +113,16 @@ def run_group(task: GroupTask) -> GroupResult:
     result = GroupResult(group=task.group, reports=[], timings={})
     for experiment_id in ids:
         t0 = time.perf_counter()
-        report = REGISTRY[experiment_id](context)
+        try:
+            report = REGISTRY[experiment_id](context)
+        except Exception as error:   # noqa: BLE001 - degrade, not die
+            # Mirror the sequential runner: one broken driver becomes a
+            # failure entry and the rest of the group still runs.
+            result.failures.append(ExperimentFailure(
+                experiment_id=experiment_id,
+                error=f"{type(error).__name__}: {error}",
+                traceback=traceback.format_exc()))
+            continue
         result.timings[experiment_id] = time.perf_counter() - t0
         result.reports.append((experiment_id, report))
     if task.group == "claims":
@@ -123,13 +135,14 @@ def run_group(task: GroupTask) -> GroupResult:
 def run_parallel(scale: float, seed: int, *, jobs: int = 1,
                  metrics: AnyRegistry = NOOP
                  ) -> tuple[list[ExperimentReport], list,
-                            dict[str, float]]:
+                            dict[str, float],
+                            list[ExperimentFailure]]:
     """Run every experiment via the group partition.
 
-    Returns ``(reports in document order, headline claims, timings)``.
-    The output is independent of ``jobs``; with ``jobs <= 1`` the groups
-    run inline (no processes), which is also the reference behaviour
-    the invariance tests compare against.
+    Returns ``(reports in document order, headline claims, timings,
+    failures)``.  The output is independent of ``jobs``; with
+    ``jobs <= 1`` the groups run inline (no processes), which is also
+    the reference behaviour the invariance tests compare against.
     """
     from repro.experiments.runner import ORDER
     check_group_coverage()
@@ -148,18 +161,21 @@ def run_parallel(scale: float, seed: int, *, jobs: int = 1,
     by_id: dict[str, ExperimentReport] = {}
     timings: dict[str, float] = {}
     claims: list = []
+    failures: list[ExperimentFailure] = []
     for result in results:
         for experiment_id, report in result.reports:
             by_id[experiment_id] = report
         timings.update(result.timings)
+        failures.extend(result.failures)
         if result.claims is not None:
             claims = result.claims
         metrics.gauge("repro_scale_group_wall_seconds",
                       group=result.group).set(result.wall_seconds)
     metrics.gauge("repro_scale_jobs").set(jobs)
     metrics.gauge("repro_scale_wall_seconds").set(wall)
+    failures.sort(key=lambda failure: failure.experiment_id)
     ordered = [by_id[experiment_id] for experiment_id in ORDER
                if experiment_id in by_id]
     extras = [by_id[experiment_id] for experiment_id in sorted(by_id)
               if experiment_id not in ORDER]
-    return ordered + extras, claims, timings
+    return ordered + extras, claims, timings, failures

@@ -163,7 +163,15 @@ class Process:
         return self._result
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into this process at the current time."""
+        """Throw :class:`Interrupt` into this process at the current time.
+
+        The interrupt targets the process's *current* wait.  If the
+        process resumes at the same instant before the throw lands (its
+        timeout fired, its event triggered), the stale interrupt is
+        discarded instead of being thrown into whatever the process
+        waits on next -- the same staleness rule scheduled wake-ups
+        follow.
+        """
         if self._done:
             return
         obs = self._sim._obs
@@ -323,12 +331,21 @@ class Simulator:
         return Event(self, name=name)
 
     def _schedule_resume(self, process: Process, value: Any) -> None:
+        # The resume token is captured at scheduling time: if the
+        # process is resumed or interrupted at the same instant before
+        # this wake-up is delivered, the delivery is stale (it belongs
+        # to a wait the process has already left) and must be dropped,
+        # not delivered to whatever the process waits on next.
         if self._obs is not None:
             self._obs.resumes.inc()
-        self.call_in(0.0, process._step, value)
+        self.call_in(0.0, process._step, value, None,
+                     process._resume_token)
 
     def _schedule_throw(self, process: Process, error: BaseException) -> None:
-        self.call_in(0.0, process._step, None, error)
+        # Same staleness contract as _schedule_resume: a throw is only
+        # delivered if the target still sits in the wait it was aimed at.
+        self.call_in(0.0, process._step, None, error,
+                     process._resume_token)
 
     def _record_orphan_error(self, process: Process,
                              error: BaseException) -> None:

@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterable, Type, TypeVar
 
+from repro.obs.registry import AnyRegistry, NOOP
 from repro.workload.catalog import FileCatalog
 from repro.workload.generator import Workload, WorkloadConfig
 from repro.workload.records import (
@@ -40,6 +41,20 @@ CONFIG_FILE = "config.json"
 #: overhead of ``handle.write`` (one syscall-ish boundary per chunk
 #: instead of per row), small enough to keep the join buffer in cache.
 _CHUNK_ROWS = 4096
+
+
+class TraceFormatError(ValueError):
+    """A trace row failed to parse or validate.
+
+    Carries the offending file and 1-based line number so a corrupt
+    multi-gigabyte trace is diagnosable without bisecting it by hand.
+    """
+
+    def __init__(self, path: Path, line: int, cause: Exception):
+        super().__init__(f"{path}:{line}: {cause}")
+        self.path = path
+        self.line = line
+        self.cause = cause
 
 
 def _open_text(path: Path, mode: str) -> IO[str]:
@@ -75,16 +90,75 @@ def write_jsonl(path: str | Path, records: Iterable[_TraceRecord]) -> int:
     return count
 
 
-def read_jsonl(path: str | Path, record_type: Type[R]) -> list[R]:
-    """Read a (possibly gzipped) JSONL trace file back into records."""
+def read_jsonl(path: str | Path, record_type: Type[R],
+               skip_bad_lines: bool = False,
+               metrics: AnyRegistry = NOOP) -> list[R]:
+    """Read a (possibly gzipped) JSONL trace file back into records.
+
+    A malformed row raises :class:`TraceFormatError` naming the file
+    and line.  With ``skip_bad_lines=True`` bad rows are dropped
+    instead, counted on the ``repro_trace_skipped_lines_total`` metric
+    (labelled by file name), and the rest of the file still loads --
+    the degradation mode for salvaging a partially corrupt trace.
+    """
     path = Path(path)
+    if skip_bad_lines:
+        return _read_jsonl_lenient(path, record_type, metrics)
     loads = json.loads
     from_dict = record_type.from_dict
+    try:
+        with _open_text(path, "r") as handle:
+            # Fast path: no per-line bookkeeping (json.loads tolerates
+            # surrounding whitespace, so blank-line filtering is the
+            # only per-line string work).
+            return [from_dict(loads(line)) for line in handle
+                    if not line.isspace()]
+    except EOFError as error:
+        # A truncated gzip stream surfaces as EOFError mid-iteration.
+        raise TraceFormatError(path, 0, error) from error
+    except (ValueError, KeyError, TypeError):
+        # A bad row: re-parse slowly to attribute the file:line.
+        return _read_jsonl_strict(path, record_type)
+
+
+def _read_jsonl_strict(path: Path, record_type: Type[R]) -> list[R]:
+    """Slow re-parse that pins the failure to a file:line."""
+    loads = json.loads
+    from_dict = record_type.from_dict
+    records: list[R] = []
     with _open_text(path, "r") as handle:
-        # json.loads tolerates surrounding whitespace, so blank-line
-        # filtering is the only per-line string work left.
-        return [from_dict(loads(line)) for line in handle
-                if not line.isspace()]
+        for number, line in enumerate(handle, start=1):
+            if line.isspace():
+                continue
+            try:
+                records.append(from_dict(loads(line)))
+            except (ValueError, KeyError, TypeError) as error:
+                raise TraceFormatError(path, number, error) from error
+    return records
+
+
+def _read_jsonl_lenient(path: Path, record_type: Type[R],
+                        metrics: AnyRegistry) -> list[R]:
+    """Per-line parse that drops and counts malformed rows."""
+    loads = json.loads
+    from_dict = record_type.from_dict
+    records: list[R] = []
+    skipped = metrics.counter("repro_trace_skipped_lines_total",
+                              file=path.name)
+    with _open_text(path, "r") as handle:
+        try:
+            for line in handle:
+                if line.isspace():
+                    continue
+                try:
+                    records.append(from_dict(loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    skipped.inc()
+        except EOFError:
+            # Truncated gzip: salvage everything decoded so far and
+            # count the cut-off as one skipped line.
+            skipped.inc()
+    return records
 
 
 def _resolve_trace(directory: Path, name: str) -> Path:

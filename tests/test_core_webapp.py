@@ -15,28 +15,28 @@ class TestInProcessRouting:
         return OdrWebApp()
 
     def test_front_page(self, app):
-        status, content_type, body, _cookie = app.handle("/")
+        status, content_type, body, _cookie, _headers = app.handle("/")
         assert status == 200
         assert content_type == "text/html"
         assert "Offline Downloading Redirector" in body
 
     def test_healthz(self, app):
-        status, _type, body, _cookie = app.handle("/healthz")
+        status, _type, body, _cookie, _headers = app.handle("/healthz")
         assert status == 200
         assert json.loads(body)["status"] == "ok"
 
     def test_unknown_path_is_404(self, app):
-        status, _type, body, _cookie = app.handle("/nope")
+        status, _type, body, _cookie, _headers = app.handle("/nope")
         assert status == 404
         assert "error" in json.loads(body)
 
     def test_decide_requires_link(self, app):
-        status, _type, body, _cookie = app.handle("/decide")
+        status, _type, body, _cookie, _headers = app.handle("/decide")
         assert status == 400
         assert "link" in json.loads(body)["error"]
 
     def test_decide_hot_p2p_with_bad_storage(self, app):
-        status, _type, body, _cookie = app.handle(
+        status, _type, body, _cookie, _headers = app.handle(
             "/decide?link=magnet://origin/xyz&popularity=200"
             "&bandwidth_mbps=20&ap=newifi&device=usb-flash"
             "&filesystem=ntfs")
@@ -47,7 +47,7 @@ class TestInProcessRouting:
         assert 4 in payload["bottlenecks_addressed"]
 
     def test_decide_slow_line_cached_file(self, app):
-        status, _type, body, _cookie = app.handle(
+        status, _type, body, _cookie, _headers = app.handle(
             "/decide?link=http://host/f1&popularity=3&cached=1"
             "&bandwidth_mbps=0.5&ap=hiwifi")
         payload = json.loads(body)
@@ -55,17 +55,17 @@ class TestInProcessRouting:
         assert payload["action"] == "cloud+ap"
 
     def test_bad_parameter_is_a_400_not_a_crash(self, app):
-        status, _type, body, _cookie = app.handle(
+        status, _type, body, _cookie, _headers = app.handle(
             "/decide?link=gopher://host/f")
         assert status == 400
 
     def test_cookie_is_issued_and_honoured(self, app):
-        _s, _t, _b, set_cookie = app.handle(
+        _s, _t, _b, set_cookie, _h = app.handle(
             "/decide?link=http://host/f&bandwidth_mbps=8")
         assert set_cookie and set_cookie.startswith("odr_user=")
         cookie_value = set_cookie.split(";")[0]
         # A repeat visit with the cookie gets no new cookie...
-        _s, _t, _b, second = app.handle(
+        _s, _t, _b, second, _h = app.handle(
             "/decide?link=http://host/f", cookie_header=cookie_value)
         assert second is None
         # ...and the stored bandwidth is recalled (cookie jar).
@@ -142,3 +142,108 @@ class TestServerLifecycle:
             assert second.server_address[1] == port
         finally:
             second.server_close()
+
+
+class TestBackendResilience:
+    """Regression: backend faults degrade to structured errors, and the
+    breaker sheds load with 503 + Retry-After instead of crashing."""
+
+    @staticmethod
+    def _faulty_app(**overrides):
+        from repro.faults.policies import ResiliencePolicies
+        clock = {"now": 0.0}
+        defaults = dict(breaker_window=4, breaker_threshold=0.5,
+                        breaker_min_samples=2, breaker_cooldown=30.0)
+        defaults.update(overrides)
+        app = OdrWebApp(policies=ResiliencePolicies(**defaults),
+                        clock=lambda: clock["now"])
+        return app, clock
+
+    def test_backend_exception_is_a_structured_500(self):
+        app, _clock = self._faulty_app()
+
+        def boom(context, link):
+            raise RuntimeError("database on fire")
+
+        app.service.handle_request = boom
+        status, ctype, body, _cookie, headers = app.handle(
+            "/decide?link=http://host/f")
+        assert status == 500
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["error"] == "internal error"
+        assert "database on fire" in payload["detail"]
+        assert headers == {}
+
+    def test_breaker_opens_to_503_with_retry_after(self):
+        app, clock = self._faulty_app()
+
+        def boom(context, link):
+            raise RuntimeError("boom")
+
+        app.service.handle_request = boom
+        for _ in range(2):
+            status, *_rest = app.handle("/decide?link=http://host/f")
+            assert status == 500
+        status, _ctype, body, _cookie, headers = app.handle(
+            "/decide?link=http://host/f")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["error"] == "decision backend unavailable"
+        assert int(headers["Retry-After"]) >= 1
+        assert payload["retry_after_seconds"] == \
+            int(headers["Retry-After"])
+
+    def test_breaker_recloses_after_cooldown_and_recovery(self):
+        app, clock = self._faulty_app()
+        healthy = app.service.handle_request
+
+        def boom(context, link):
+            raise RuntimeError("boom")
+
+        app.service.handle_request = boom
+        for _ in range(2):
+            app.handle("/decide?link=http://host/f")
+        assert app.handle("/decide?link=http://host/f")[0] == 503
+        # Backend recovers; after the cooldown the half-open probe goes
+        # through and the circuit closes again.
+        app.service.handle_request = healthy
+        clock["now"] = 31.0
+        assert app.handle(
+            "/decide?link=http://host/f&bandwidth_mbps=8")[0] == 200
+        assert app.handle(
+            "/decide?link=http://host/f&bandwidth_mbps=8")[0] == 200
+
+    def test_client_errors_do_not_trip_the_breaker(self):
+        app, _clock = self._faulty_app()
+        for _ in range(6):
+            status, *_rest = app.handle("/decide?link=gopher://host/f")
+            assert status == 400
+        status, *_rest = app.handle(
+            "/decide?link=http://host/f&bandwidth_mbps=8")
+        assert status == 200
+
+    def test_unhandled_backend_error_over_real_http(self):
+        """The request thread must answer (structured 500), not die."""
+        from repro.faults.policies import ResiliencePolicies
+        server = make_server(port=0, policies=ResiliencePolicies())
+        app = server.RequestHandlerClass.app
+
+        def boom(context, link):
+            raise RuntimeError("backend exploded")
+
+        app.service.handle_request = boom
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/decide?link=http://host/f")
+            assert excinfo.value.code == 500
+            payload = json.loads(excinfo.value.read())
+            assert "backend exploded" in payload["detail"]
+        finally:
+            server.shutdown()
+            server.server_close()

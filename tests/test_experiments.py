@@ -95,3 +95,64 @@ class TestRunnerRendering:
         document = render_experiments_md(reports, scale=0.004)
         assert "## table1" in document and "## fig05" in document
         assert "paper vs measured" in document
+
+
+class TestGracefulDegradation:
+    """A broken driver becomes a failure entry; the run continues."""
+
+    def test_run_all_survives_a_raising_driver(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+        calls = []
+
+        def good(ctx):
+            calls.append("good")
+            return ExperimentReport(experiment_id="good_exp",
+                                    title="Good", comparisons=[
+                                        PaperComparison(
+                                            "metric", 1.0, 1.0)])
+
+        def bad(ctx):
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setattr(runner_module, "REGISTRY",
+                            {"bad_exp": bad, "good_exp": good})
+        monkeypatch.setattr(runner_module, "ORDER",
+                            ["bad_exp", "good_exp"])
+        context = ExperimentContext(scale=0.004)
+        reports = run_all(context)
+        assert [r.experiment_id for r in reports] == ["good_exp"]
+        assert calls == ["good"]
+        assert len(context.failures) == 1
+        failure = context.failures[0]
+        assert failure.experiment_id == "bad_exp"
+        assert "RuntimeError: driver exploded" in failure.error
+        assert "driver exploded" in failure.traceback
+
+    def test_failures_render_into_the_document(self, monkeypatch):
+        from repro.experiments.context import ExperimentFailure
+        failure = ExperimentFailure(
+            experiment_id="fig99", error="ValueError: nope",
+            traceback="Traceback ...\nValueError: nope")
+        document = render_experiments_md([], scale=0.004,
+                                         failures=[failure])
+        assert "## fig99: FAILED" in document
+        assert "ValueError: nope" in document
+
+    def test_group_runner_collects_failures(self, monkeypatch):
+        import repro.scale.runner as scale_runner
+        import repro.experiments as experiments_module
+
+        def bad(ctx):
+            raise ValueError("group driver broke")
+
+        registry = dict(experiments_module.REGISTRY)
+        registry["fig05"] = bad
+        monkeypatch.setattr(experiments_module, "REGISTRY", registry)
+        task = scale_runner.GroupTask(group="workload", scale=0.004,
+                                      seed=20150222)
+        result = scale_runner.run_group(task)
+        ran = [experiment_id for experiment_id, _ in result.reports]
+        assert "fig05" not in ran
+        assert "workload_stats" in ran and "fig06_07" in ran
+        assert [f.experiment_id for f in result.failures] == ["fig05"]
+        assert "group driver broke" in result.failures[0].error

@@ -248,11 +248,12 @@ class TestParallelExperiments:
         from repro.scale.runner import run_parallel
         outputs = []
         for jobs in (1, 2):
-            reports, claims, timings = run_parallel(
+            reports, claims, timings, failures = run_parallel(
                 SCALE, SEED, jobs=jobs)
             outputs.append((
                 [report.render() for report in reports],
                 [(claim.claim, claim.holds) for claim in claims],
             ))
             assert set(timings) == set(ORDER)
+            assert failures == []
         assert outputs[0] == outputs[1]

@@ -387,3 +387,130 @@ class TestWaiterCancellation:
         stranger = Process(sim, waiter())
         gate._remove_waiter(stranger)      # not registered: must not raise
         assert list(gate._waiters.values()) == [process]
+
+
+class TestInterruptStaleness:
+    """The token-capture contract: an interrupt (or resume) only lands
+    in the wait it was aimed at -- never in a later one."""
+
+    def test_interrupt_scheduled_with_resume_is_dropped_when_stale(self):
+        # A waiter's event fires and an interrupt is scheduled at the
+        # SAME timestamp, after the resume.  By the time the interrupt
+        # callback runs, the process has moved into its next wait; the
+        # stale interrupt must not leak into it.
+        sim = Simulator()
+        gate = sim.event("gate")
+
+        def waiter():
+            value = yield gate
+            try:
+                yield Timeout(10.0)
+            except Interrupt:
+                return "stale interrupt leaked"
+            return ("clean", value)
+
+        process = sim.process(waiter())
+
+        def fire_then_interrupt():
+            gate.trigger("payload")        # schedules the resume first
+            process.interrupt()            # aimed at the gate wait only
+        sim.call_at(1.0, fire_then_interrupt)
+        sim.run()
+        assert process.result == ("clean", "payload")
+
+    def test_interrupt_during_resume_of_process_wait(self):
+        # Same staleness rule for a process-on-process wait.  The
+        # saboteur's timeout is scheduled *after* the child's, so at
+        # t=1 the heap order is: child completes (queueing parent's
+        # resume), saboteur interrupts, resume fires, stale throw is
+        # dropped.
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            return "done"
+
+        def parent(target):
+            value = yield target
+            try:
+                yield Timeout(5.0)
+            except Interrupt:
+                return "stale"
+            return value
+
+        def saboteur(victim):
+            yield Timeout(1.0)
+            victim.interrupt()
+
+        target = sim.process(child())
+        process = sim.process(parent(target))
+        sim.process(saboteur(process))
+        sim.run()
+        assert process.result == "done"
+
+    def test_mass_interrupt_cancels_only_live_waiters(self):
+        # Of many processes parked on one event, half are interrupted
+        # before the trigger; the interrupt must detach exactly those,
+        # and the survivors resume normally.
+        sim = Simulator()
+        gate = sim.event("gate")
+        outcomes = {}
+
+        def waiter(name):
+            try:
+                value = yield gate
+            except Interrupt:
+                outcomes[name] = "interrupted"
+                return None
+            outcomes[name] = value
+            return value
+
+        processes = [sim.process(waiter(i), name=f"w{i}")
+                     for i in range(10)]
+
+        def cull():
+            for process in processes[::2]:
+                process.interrupt()
+        sim.call_at(1.0, cull)
+        sim.call_at(2.0, gate.trigger, "open")
+        sim.run()
+        assert [outcomes[i] for i in range(0, 10, 2)] == \
+            ["interrupted"] * 5
+        assert [outcomes[i] for i in range(1, 10, 2)] == ["open"] * 5
+        assert not gate._waiters
+
+    def test_seeded_interrupt_storm_is_bit_identical(self):
+        # A chaos-style storm: processes sleep staggered amounts, a
+        # culler interrupts a seeded subset at seeded times; retries
+        # re-enter sleep.  Two runs with one seed must match exactly.
+        from repro.sim.randomness import substream
+
+        def storm(seed):
+            sim = Simulator()
+            rng = substream(seed, "storm")
+            trace = []
+
+            def worker(name, duration):
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        yield Timeout(duration)
+                    except Interrupt:
+                        trace.append((name, attempts, "hit", sim.now))
+                        continue
+                    trace.append((name, attempts, "ok", sim.now))
+                    return attempts
+
+            processes = [
+                sim.process(worker(i, 1.0 + float(rng.random())),
+                            name=f"s{i}")
+                for i in range(20)]
+            for process in rng.choice(processes, size=30):
+                sim.call_at(float(rng.random()) * 2.0,
+                            process.interrupt)
+            sim.run()
+            return trace
+
+        assert storm(7) == storm(7)
+        assert storm(7) != storm(8)

@@ -1,5 +1,6 @@
 """Tests for arrivals, the workload generator, sampler, and trace IO."""
 
+import json
 from collections import Counter
 
 import numpy as np
@@ -206,3 +207,83 @@ class TestTraceIO:
             [r.to_dict() for r in workload.requests]
         assert {f.file_id for f in loaded.catalog} == \
             {f.file_id for f in workload.catalog}
+
+
+class TestTraceHardening:
+    """Corrupt trace files fail with file:line context or, in lenient
+    mode, load partially with the drops counted."""
+
+    @staticmethod
+    def _write_rows(path, rows):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(rows) + "\n")
+
+    @staticmethod
+    def _good_line(task_id="t-1"):
+        from repro.workload.generator import WorkloadConfig, \
+            WorkloadGenerator
+        workload = WorkloadGenerator(
+            WorkloadConfig(scale=0.001, seed=5)).generate()
+        row = workload.requests[0].to_dict()
+        row["task_id"] = task_id
+        return json.dumps(row)
+
+    def test_malformed_json_names_file_and_line(self, tmp_path):
+        from repro.workload.traceio import TraceFormatError
+        path = tmp_path / "requests.jsonl"
+        self._write_rows(path, [self._good_line("t-1"),
+                                "{not json", self._good_line("t-3")])
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_jsonl(path, RequestRecord)
+        assert excinfo.value.line == 2
+        assert excinfo.value.path == path
+        assert "requests.jsonl:2:" in str(excinfo.value)
+
+    def test_missing_field_names_file_and_line(self, tmp_path):
+        from repro.workload.traceio import TraceFormatError
+        path = tmp_path / "requests.jsonl"
+        row = json.loads(self._good_line())
+        del row["file_id"]
+        self._write_rows(path, [self._good_line(), json.dumps(row)])
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_jsonl(path, RequestRecord)
+        assert excinfo.value.line == 2
+
+    def test_skip_bad_lines_salvages_and_counts(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+        path = tmp_path / "requests.jsonl"
+        self._write_rows(path, [self._good_line("t-1"), "oops",
+                                self._good_line("t-3"), "{}"])
+        metrics = MetricsRegistry()
+        loaded = read_jsonl(path, RequestRecord, skip_bad_lines=True,
+                            metrics=metrics)
+        assert [r.task_id for r in loaded] == ["t-1", "t-3"]
+        assert metrics.snapshot()[
+            'repro_trace_skipped_lines_total{file="requests.jsonl"}'] \
+            == 2.0
+
+    def test_truncated_gzip_raises_trace_format_error(self, tmp_path):
+        import gzip as gzip_module
+        from repro.workload.traceio import TraceFormatError
+        path = tmp_path / "requests.jsonl.gz"
+        blob = gzip_module.compress(
+            ("\n".join([self._good_line(f"t-{i}") for i in range(50)])
+             + "\n").encode())
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(TraceFormatError):
+            read_jsonl(path, RequestRecord)
+
+    def test_clean_file_identical_through_hardened_reader(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+        path = tmp_path / "requests.jsonl"
+        self._write_rows(path, [self._good_line(f"t-{i}")
+                                for i in range(10)])
+        strict = read_jsonl(path, RequestRecord)
+        metrics = MetricsRegistry()
+        lenient = read_jsonl(path, RequestRecord, skip_bad_lines=True,
+                             metrics=metrics)
+        assert [r.to_dict() for r in strict] == \
+            [r.to_dict() for r in lenient]
+        assert metrics.snapshot()[
+            'repro_trace_skipped_lines_total{file="requests.jsonl"}'] \
+            == 0.0
