@@ -44,6 +44,54 @@ def _add_jobs(parser: argparse.ArgumentParser,
                                  f"{DEFAULT_SHARDS})")
 
 
+def _add_recovery(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--run-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="make the run durable: checkpoint every "
+                             "finished shard into DIR (manifest + "
+                             "pickle + SHA-256) so a crashed or "
+                             "interrupted run can be resumed")
+    parser.add_argument("--resume", type=Path, default=None,
+                        metavar="DIR",
+                        help="resume the run directory DIR: verify its "
+                             "manifest, reuse every valid checkpoint, "
+                             "and recompute only missing/corrupt "
+                             "shards (the merged result is "
+                             "bit-identical to an uninterrupted run)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-shard watchdog: a worker stuck "
+                             "longer than this is killed and its "
+                             "shard requeued")
+    parser.add_argument("--max-shard-retries", type=int, default=None,
+                        metavar="N",
+                        help="requeue a lost shard at most N times "
+                             "before the run aborts as "
+                             "resumable-failed (default 2)")
+
+
+def _recovery_config(args: argparse.Namespace):
+    """Build a RecoveryConfig from --run-dir/--resume flags (or None)."""
+    run_dir = getattr(args, "resume", None) or \
+        getattr(args, "run_dir", None)
+    if run_dir is None:
+        if getattr(args, "shard_timeout", None) is not None or \
+                getattr(args, "max_shard_retries", None) is not None:
+            print("error: --shard-timeout/--max-shard-retries need "
+                  "--run-dir or --resume", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from repro.recovery import RecoveryConfig
+    from repro.recovery.durable import DEFAULT_MAX_RETRIES
+    retries = args.max_shard_retries \
+        if getattr(args, "max_shard_retries", None) is not None \
+        else DEFAULT_MAX_RETRIES
+    return RecoveryConfig(run_dir=Path(run_dir),
+                          resume=args.resume is not None,
+                          shard_timeout=args.shard_timeout,
+                          max_shard_retries=retries)
+
+
 def _add_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", nargs="?", const=True, default=None,
                         type=Path, metavar="PSTATS",
@@ -136,13 +184,24 @@ def _emit_metrics(registry, args: argparse.Namespace) -> None:
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.workload import WorkloadConfig, WorkloadGenerator, \
         save_workload
-    if args.jobs is not None:
+    recovery = _recovery_config(args)
+    if args.jobs is not None or recovery is not None:
+        # --run-dir/--resume imply the sharded pipeline (checkpoints
+        # are per shard); without --jobs it runs single-process.
         from repro.scale import ShardPlan, sharded_generate
+        jobs = args.jobs if args.jobs is not None else 1
         plan = ShardPlan(scale=args.scale, seed=args.seed,
                          shards=args.shards)
-        workload, info = sharded_generate(plan, jobs=args.jobs)
+        workload, info = sharded_generate(plan, jobs=jobs,
+                                          recovery=recovery)
         print(f"sharded generate: {plan.shards} shards, "
-              f"{args.jobs} jobs, {info.wall_seconds:.1f}s wall")
+              f"{jobs} jobs, {info.wall_seconds:.1f}s wall")
+        if recovery is not None:
+            from repro.perf.golden import digest, workload_payload
+            print(f"reused shards:    {info.reused_shards}/{plan.shards}"
+                  f" (retries: {info.shard_retries})")
+            print(f"merged digest:    "
+                  f"{digest(workload_payload(workload))}")
     else:
         config = WorkloadConfig(scale=args.scale, seed=args.seed)
         workload = WorkloadGenerator(config).generate()
@@ -166,8 +225,9 @@ def cmd_cloud(args: argparse.Namespace) -> int:
     from repro.cloud import CloudConfig, XuanfengCloud
     from repro.obs import span
     registry = _metrics_registry(args)
-    if args.jobs is not None:
-        return _cmd_cloud_sharded(args, registry)
+    recovery = _recovery_config(args)
+    if args.jobs is not None or recovery is not None:
+        return _cmd_cloud_sharded(args, registry, recovery)
     workload = _load_or_generate(args)
     injector, policies = _fault_setup(args, registry)
     config = CloudConfig(scale=workload.config.scale,
@@ -203,7 +263,8 @@ def cmd_cloud(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cloud_sharded(args: argparse.Namespace, registry) -> int:
+def _cmd_cloud_sharded(args: argparse.Namespace, registry,
+                       recovery=None) -> int:
     """``repro cloud --jobs N``: the sharded generate+replay pipeline."""
     from repro.scale import ShardPlan, sharded_cloud_stats
     if getattr(args, "trace", None):
@@ -219,14 +280,19 @@ def _cmd_cloud_sharded(args: argparse.Namespace, registry) -> int:
     if getattr(args, "faults", None) is not None:
         from repro.faults import FaultPlan
         fault_plan = FaultPlan.from_file(args.faults)
+    jobs = args.jobs if args.jobs is not None else 1
     plan = ShardPlan(scale=args.scale, seed=args.seed,
                      shards=args.shards)
     stats, info = sharded_cloud_stats(
-        plan, jobs=args.jobs, metrics=registry, fault_plan=fault_plan,
-        policies_on=not args.no_resilience)
-    print(f"sharded replay:   {plan.shards} shards, {args.jobs} jobs, "
+        plan, jobs=jobs, metrics=registry, fault_plan=fault_plan,
+        policies_on=not args.no_resilience, recovery=recovery)
+    print(f"sharded replay:   {plan.shards} shards, {jobs} jobs, "
           f"{info.wall_seconds:.1f}s wall "
           f"({info.work_seconds:.1f}s work)")
+    if recovery is not None:
+        print(f"reused shards:    {info.reused_shards}/{plan.shards} "
+              f"(retries: {info.shard_retries})")
+        print(f"merged digest:    {stats.digest()}")
     if fault_plan is not None:
         print(f"faults:           {stats.fault_impacts} impacts, "
               f"{stats.fault_retries} retries, "
@@ -253,21 +319,27 @@ def cmd_ap(args: argparse.Namespace) -> int:
     from repro.obs import span
     from repro.workload import sample_benchmark_requests
     registry = _metrics_registry(args)
+    recovery = _recovery_config(args)
     workload = _load_or_generate(args)
     injector, policies = _fault_setup(args, registry)
     sample = sample_benchmark_requests(workload, args.sample)
-    if args.jobs is not None:
+    if args.jobs is not None or recovery is not None:
         if injector is not None:
             print("error: --faults replays sequentially (per-AP fault "
-                  "clocks); drop --jobs", file=sys.stderr)
+                  "clocks); drop --jobs/--run-dir", file=sys.stderr)
             return 2
         from repro.scale import sharded_ap_replay
+        jobs = args.jobs if args.jobs is not None else 1
         with span(registry, "ap_replay", sample=len(sample)):
             report, info = sharded_ap_replay(
-                workload.catalog, sample, jobs=args.jobs,
-                metrics=registry)
+                workload.catalog, sample, jobs=jobs,
+                metrics=registry, recovery=recovery)
         print(f"parallel replay:   {info.shards} AP workers, "
-              f"{args.jobs} jobs, {info.wall_seconds:.1f}s wall")
+              f"{jobs} jobs, {info.wall_seconds:.1f}s wall")
+        if recovery is not None:
+            print(f"reused AP shards:  "
+                  f"{info.reused_shards}/{info.shards} "
+                  f"(retries: {info.shard_retries})")
     else:
         with span(registry, "ap_replay", sample=len(sample)):
             report = ApBenchmarkRig(
@@ -349,6 +421,14 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
+    if args.run_dir is not None:
+        argv += ["--run-dir", str(args.run_dir)]
+    if args.resume is not None:
+        argv += ["--resume", str(args.resume)]
+    if args.shard_timeout is not None:
+        argv += ["--shard-timeout", str(args.shard_timeout)]
+    if args.max_shard_retries is not None:
+        argv += ["--max-shard-retries", str(args.max_shard_retries)]
     if args.output:
         argv += ["--output", str(args.output)]
     if args.metrics_out:
@@ -368,8 +448,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.webapp import serve
     from repro.faults.policies import ResiliencePolicies
     policies = None if args.no_resilience else ResiliencePolicies()
-    serve(port=args.port, policies=policies)
-    return 0
+    return serve(port=args.port, policies=policies)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -386,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=Path, default=Path("trace"))
     generate.add_argument("--gzip", action="store_true",
                           help="write gzipped trace files (*.jsonl.gz)")
+    _add_recovery(generate)
     _add_profile(generate)
     generate.set_defaults(func=cmd_generate)
 
@@ -400,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable collaborative caching (ablation)")
     cloud.add_argument("--no-privileged-paths", action="store_true",
                        help="disable ISP-aware path selection (ablation)")
+    _add_recovery(cloud)
     _add_faults(cloud)
     _add_metrics(cloud)
     _add_profile(cloud)
@@ -411,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs(ap, shards=False)
     ap.add_argument("--trace", type=Path, default=None)
     ap.add_argument("--sample", type=int, default=1000)
+    _add_recovery(ap)
     _add_faults(ap)
     _add_metrics(ap)
     _add_profile(ap)
@@ -442,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(experiments, default=0.02)
     _add_jobs(experiments, shards=False)
     experiments.add_argument("--output", type=Path, default=None)
+    _add_recovery(experiments)
     _add_metrics(experiments)
     experiments.set_defaults(func=cmd_experiments)
 
@@ -463,16 +546,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run a subcommand, mapping recovery outcomes to exit codes.
+
+    An interrupted durable run exits 130 (like a plain Ctrl-C) and a
+    lost-shard abort exits 3 -- both after printing how to ``--resume``
+    the checkpointed run directory; run-dir misuse exits 2.
+    """
+    from repro.recovery import RunDirError, RunInterrupted, \
+        ShardLostError
+    try:
+        return args.func(args)
+    except RunInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
+        if error.run_dir is not None:
+            print(f"resume with: --resume {error.run_dir}",
+                  file=sys.stderr)
+        return 130
+    except ShardLostError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.run_dir is not None:
+            print("completed shards are checkpointed; resume with: "
+                  f"--resume {error.run_dir}", file=sys.stderr)
+        return 3
+    except RunDirError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "profile", None) is None:
-        return args.func(args)
+        return _dispatch(args)
     import cProfile
     destination = _profile_destination(args)
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        status = args.func(args)
+        status = _dispatch(args)
     finally:
         profiler.disable()
         destination.parent.mkdir(parents=True, exist_ok=True)

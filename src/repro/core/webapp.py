@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import math
+import signal
 import threading
 import time
 import uuid
@@ -260,10 +261,46 @@ class OdrHTTPServer(ThreadingHTTPServer):
     exit (``shutdown()`` only stops the accept loop), and
     ``allow_reuse_address`` so a restart can rebind the port while the
     previous socket lingers in TIME_WAIT.
+
+    The server counts in-flight handler threads so a graceful stop can
+    ``shutdown()`` the accept loop, :meth:`drain` the requests already
+    being answered, and only then ``server_close()`` the socket --
+    instead of daemon threads being cut off mid-response at exit.
     """
 
     daemon_threads = True
     allow_reuse_address = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    def process_request_thread(self, request, client_address):
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    @property
+    def inflight_requests(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until in-flight requests finish; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
 
 def make_server(port: int = 0,
@@ -277,16 +314,65 @@ def make_server(port: int = 0,
     return OdrHTTPServer(("127.0.0.1", port), handler)
 
 
+def run_server(server: OdrHTTPServer, *,
+               install_signals: bool = True,
+               grace: float = 10.0,
+               ready: Optional[threading.Event] = None,
+               stop: Optional[threading.Event] = None,
+               quiet: bool = False) -> int:
+    """Run ``server`` until SIGINT/SIGTERM, then drain and close.
+
+    The accept loop runs in a background thread; the caller's thread
+    waits on ``stop`` (set by the installed signal handlers, by
+    Ctrl-C, or externally by tests).  On stop: ``shutdown()`` stops
+    accepting, :meth:`OdrHTTPServer.drain` waits up to ``grace``
+    seconds for in-flight responses, then the socket closes.  Returns 0
+    on a clean drain, 1 if requests were still in flight at the
+    deadline.
+    """
+    stop = stop or threading.Event()
+    previous: dict[int, object] = {}
+
+    def _on_signal(signum, frame):   # noqa: ARG001 - signal API
+        stop.set()
+
+    if install_signals \
+            and threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _on_signal)
+
+    accept = threading.Thread(target=server.serve_forever,
+                              name="odr-accept", daemon=True)
+    accept.start()
+    drained = True
+    try:
+        if ready is not None:
+            ready.set()
+        try:
+            while not stop.wait(0.1):
+                pass
+        except KeyboardInterrupt:
+            stop.set()
+        if not quiet:
+            print("ODR shutting down: draining in-flight requests ...")
+        server.shutdown()
+        accept.join(grace)
+        drained = server.drain(grace)
+        if not drained and not quiet:
+            print(f"ODR drain timed out after {grace:g}s with "
+                  f"{server.inflight_requests} request(s) in flight")
+    finally:
+        server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0 if drained else 1
+
+
 def serve(port: int = 8034,
-          policies: Optional[ResiliencePolicies] = None
-          ) -> None:   # pragma: no cover - interactive
+          policies: Optional[ResiliencePolicies] = None,
+          grace: float = 10.0) -> int:   # pragma: no cover - interactive
     server = make_server(port, policies=policies)
     actual_port = server.server_address[1]
     print(f"ODR listening on http://127.0.0.1:{actual_port}/ "
-          f"(Ctrl-C to stop)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+          f"(Ctrl-C or SIGTERM to stop)")
+    return run_server(server, grace=grace)

@@ -190,9 +190,10 @@ def render_all(context: ExperimentContext,
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     written = []
+    from repro.recovery.atomic import atomic_write_text
     for name, builder in FIGURES.items():
         path = outdir / f"{name}.svg"
-        path.write_text(builder(context).render())
+        atomic_write_text(path, builder(context).render())
         written.append(path)
     return written
 

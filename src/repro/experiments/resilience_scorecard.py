@@ -99,7 +99,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report["baseline_consistent"] = baseline_consistent
     print(render_scorecard(report, baseline_consistent))
     if args.out is not None:
-        args.out.write_text(canonical_json(report) + "\n")
+        from repro.recovery.atomic import atomic_write_text
+        atomic_write_text(args.out, canonical_json(report) + "\n")
         print(f"report written to {args.out}")
 
     recovered = report["recovery"]["recovered_tasks"]

@@ -157,6 +157,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="run driver groups in N worker processes "
                              "(repro.scale); results are independent of "
                              "N, including N=1")
+    parser.add_argument("--run-dir", type=Path, default=None,
+                        help="durable run: checkpoint each finished "
+                             "experiment group here (resumable)")
+    parser.add_argument("--resume", type=Path, default=None,
+                        help="resume a --run-dir: completed groups are "
+                             "reloaded from their checkpoints, only "
+                             "unfinished groups are recomputed")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        help="per-group watchdog seconds (with "
+                             "--run-dir/--resume)")
+    parser.add_argument("--max-shard-retries", type=int, default=None,
+                        help="requeue budget for a lost group worker")
     parser.add_argument("--output", type=Path, default=None,
                         help="write EXPERIMENTS.md here (default: stdout)")
     parser.add_argument("--metrics-out", type=Path, default=None,
@@ -169,18 +181,32 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.context import DEFAULT_SEED
     seed = args.seed if args.seed is not None else DEFAULT_SEED
     from repro.experiments.scorecard import Scorecard, evaluate_claims
-    if args.jobs is not None:
+    recovery = None
+    if args.resume is not None or args.run_dir is not None:
+        from repro.recovery import RecoveryConfig
+        from repro.recovery.durable import DEFAULT_MAX_RETRIES
+        recovery = RecoveryConfig(
+            run_dir=args.resume or args.run_dir,
+            resume=args.resume is not None,
+            shard_timeout=args.shard_timeout,
+            max_shard_retries=args.max_shard_retries
+            if args.max_shard_retries is not None
+            else DEFAULT_MAX_RETRIES)
+    if args.jobs is not None or recovery is not None:
         # The parallel group runner: same document for any --jobs value
         # (each driver group rebuilds its artefacts in a fresh context,
         # so this path's numbers differ slightly from the shared-context
         # sequential path where later drivers see mutated artefacts).
+        # --run-dir/--resume route here too: group checkpoints belong
+        # to this path, where every group is a self-contained worker.
         from repro.scale.runner import run_parallel
         metrics = NOOP
         if args.metrics_out is not None:
             from repro.obs import MetricsRegistry
             metrics = MetricsRegistry()
         reports, claims, _timings, failures = run_parallel(
-            args.scale, seed, jobs=args.jobs, metrics=metrics)
+            args.scale, seed, jobs=args.jobs or 1, metrics=metrics,
+            recovery=recovery)
         context = ExperimentContext(scale=args.scale, seed=seed,
                                     metrics=metrics)
         context.failures.extend(failures)
@@ -198,7 +224,10 @@ def main(argv: list[str] | None = None) -> int:
     document += "\n## Reproduction scorecard\n\n```\n" + \
         scorecard.render() + "\n```\n"
     if args.output is not None:
-        args.output.write_text(document)
+        # Atomic so a crash mid-write can never corrupt the previous
+        # good EXPERIMENTS.md.
+        from repro.recovery.atomic import atomic_write_text
+        atomic_write_text(args.output, document)
         print(f"wrote {args.output} ({len(reports)} experiments)")
     else:
         print(document)

@@ -90,8 +90,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             jobs=args.jobs)
     text = canonical_json(report)
     if args.out is not None:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        from pathlib import Path
+
+        from repro.recovery.atomic import atomic_write_text
+        atomic_write_text(Path(args.out), text + "\n")
         print(f"report written to {args.out} "
               f"(digest {report['digest'][:12]})", file=sys.stderr)
     else:

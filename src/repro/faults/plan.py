@@ -216,10 +216,8 @@ class FaultPlan:
         return cls.from_json(Path(path).read_text())
 
     def to_file(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
-        return path
+        from repro.recovery.atomic import atomic_write_text
+        return atomic_write_text(Path(path), self.to_json())
 
 
 def default_chaos_plan(seed: int = DEFAULT_CHAOS_SEED) -> FaultPlan:

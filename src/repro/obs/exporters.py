@@ -16,6 +16,7 @@ from typing import Any, Union
 from repro.analysis.tables import TextTable
 from repro.obs.instruments import KIND_GAUGE, KIND_HISTOGRAM, render_name
 from repro.obs.registry import AnyRegistry
+from repro.recovery.atomic import atomic_write_text
 
 #: Formats understood by :func:`export`, mirrored by the CLI's
 #: ``--metrics-format`` choices.
@@ -25,13 +26,14 @@ FORMATS = ("jsonl", "prom", "table")
 # -- JSONL ---------------------------------------------------------------------
 
 def write_jsonl(metrics: AnyRegistry, path: Union[str, Path]) -> int:
-    """Dump the registry as one JSON object per line; returns row count."""
+    """Dump the registry as one JSON object per line; returns row count.
+
+    Written atomically (tmp + fsync + rename) so a crash mid-export can
+    never leave a truncated log over a previous good one.
+    """
     rows = metrics.to_rows()
-    path = Path(path)
-    with path.open("w") as handle:
-        for row in rows:
-            handle.write(json.dumps(row, sort_keys=True))
-            handle.write("\n")
+    atomic_write_text(Path(path), "".join(
+        json.dumps(row, sort_keys=True) + "\n" for row in rows))
     return len(rows)
 
 
@@ -163,10 +165,8 @@ def write_bench_json(record: dict[str, Any],
     missing = [key for key in BENCH_REQUIRED_KEYS if key not in record]
     if missing:
         raise ValueError(f"perf record missing keys {missing}")
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_text(
+        Path(path), json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def load_bench_json(path: Union[str, Path]) -> dict[str, Any]:
@@ -201,6 +201,6 @@ def export(metrics: AnyRegistry, fmt: str,
     text = render_prometheus(metrics) if fmt == "prom" \
         else summary_table(metrics)
     if path is not None:
-        Path(path).write_text(text if text.endswith("\n")
-                              else text + "\n")
+        atomic_write_text(Path(path), text if text.endswith("\n")
+                          else text + "\n")
     return text

@@ -346,8 +346,8 @@ def main(argv: list[str] | None = None) -> int:
     digests = compute_all()
     rendered = json.dumps(digests, indent=2, sort_keys=True) + "\n"
     if args.write:
-        args.write.parent.mkdir(parents=True, exist_ok=True)
-        args.write.write_text(rendered)
+        from repro.recovery.atomic import atomic_write_text
+        atomic_write_text(args.write, rendered)
         print(f"wrote {len(digests)} digests to {args.write}")
     else:
         print(rendered, end="")

@@ -209,7 +209,7 @@ def run_benchmarks(smoke: bool = False, repeats: Optional[int] = None,
 
 
 def write_report(report: BenchReport, path: str | Path) -> Path:
-    """Write the report as indented JSON; returns the path written."""
-    path = Path(path)
-    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
-    return path
+    """Atomically write the report as indented JSON; returns the path."""
+    from repro.recovery.atomic import atomic_write_text
+    return atomic_write_text(
+        Path(path), json.dumps(report.to_dict(), indent=2) + "\n")

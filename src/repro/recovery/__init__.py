@@ -1,0 +1,62 @@
+"""repro.recovery -- durable, resumable, worker-failure-tolerant runs.
+
+The paper's thesis is that long downloads fail midway and the cure is
+checkpointed, delegatable transfers; this subsystem applies the same
+discipline to the harness itself:
+
+* :mod:`~repro.recovery.atomic` -- the one shared tmp+fsync+rename
+  writer every emitted artifact goes through;
+* :mod:`~repro.recovery.rundir` -- run directories: an atomically
+  written manifest (plan identity, seeds, code digest) plus per-item
+  result checkpoints (pickle + SHA-256), where a digest mismatch means
+  *recompute*, never *merge*;
+* :mod:`~repro.recovery.durable` -- :func:`durable_map`, the
+  failure-tolerant process-pool map under ``repro.scale``: crashed
+  workers (``BrokenProcessPool``) and watchdog-expired hangs requeue
+  with a bounded attempt budget, SIGINT/SIGTERM checkpoint and raise
+  :class:`RunInterrupted`, and ``--resume`` recomputes only what is
+  missing or corrupt -- producing output bit-identical to an
+  uninterrupted run (the per-entity RNG-fork determinism makes this
+  provable, and tests prove it);
+* :mod:`~repro.recovery.crashhook` -- the env-var-gated deterministic
+  crash/hang injector (``REPRO_RECOVERY_CRASH``) that lets tests and
+  the CI kill-resume job exercise all of the above hermetically.
+"""
+
+from repro.recovery.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.recovery.durable import (
+    DurableOutcome,
+    RecoveryConfig,
+    RunInterrupted,
+    ShardLostError,
+    durable_map,
+    worker_identity,
+)
+from repro.recovery.rundir import (
+    CorruptCheckpoint,
+    RunDir,
+    RunDirError,
+    package_code_digest,
+)
+
+__all__ = [
+    "CorruptCheckpoint",
+    "DurableOutcome",
+    "RecoveryConfig",
+    "RunDir",
+    "RunDirError",
+    "RunInterrupted",
+    "ShardLostError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "durable_map",
+    "package_code_digest",
+    "sha256_bytes",
+    "sha256_file",
+    "worker_identity",
+]

@@ -1,0 +1,76 @@
+"""Atomic file writes: tmp file + fsync + rename in the same directory.
+
+Every artifact this repository emits (metrics JSONL, EXPERIMENTS.md,
+``BENCH_*.json``, chaos reports, run-dir manifests and checkpoints) used
+to be written with a plain truncate-then-write, so a crash -- or a
+SIGKILL'd CI box -- mid-write would destroy the *previous* good copy
+along with the new one.  This module is the one shared fix: write the
+bytes to a temporary file in the destination's directory, flush and
+fsync them to disk, then :func:`os.replace` over the target.  On POSIX
+the rename is atomic, so readers only ever observe the old complete
+file or the new complete file, never a torn mixture.
+
+Kept free of any ``repro`` imports so every layer (obs, faults, perf,
+experiments, recovery) can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: Union[str, Path],
+                chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's content, streamed in chunks."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path.
+
+    The temporary file lives in the destination directory (``rename``
+    is only atomic within one filesystem) and is fsynced before the
+    rename, so after this returns the new content is durable against
+    both process crashes and power loss.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Never leave *.tmp litter behind a failed or interrupted write.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text`` (see
+    :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,88 @@
+"""Test-only deterministic crash hook for durable-map workers.
+
+Exercising the recovery paths hermetically needs a way to make a
+*specific* worker die on a *specific* attempt -- and never again -- so a
+test (or the CI kill-resume job) can assert that the requeue/resume
+machinery reproduces the uninterrupted result bit-for-bit.  Mirroring
+``repro.faults``' determinism contract, the gate is pure data: the
+``REPRO_RECOVERY_CRASH`` environment variable names checkpoint keys,
+attempt numbers, and a crash mode, and the hook fires iff the worker's
+``(key, attempt)`` matches -- no randomness, no shared state, and
+inherited unchanged by spawn-context worker processes.
+
+Syntax (comma-separated hooks)::
+
+    REPRO_RECOVERY_CRASH="<key>:<attempt>[:<mode>][,...]"
+
+    REPRO_RECOVERY_CRASH="shard-0003:1:kill"    # SIGKILL shard 3, try 1
+    REPRO_RECOVERY_CRASH="shard-0001:1,shard-0002:2:exit"
+
+Modes:
+
+``kill``  (default) ``SIGKILL`` the worker process -- surfaces in the
+          parent as ``BrokenProcessPool``, the exact production failure
+          a preempted or OOM-killed worker produces;
+``exit``  ``os._exit(3)`` -- an abrupt exit that also breaks the pool;
+``hang``  sleep for an hour -- exercises the per-shard watchdog timeout;
+``raise`` raise ``RuntimeError`` -- an ordinary worker exception (which
+          the executor deliberately does *not* retry).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Optional
+
+ENV_VAR = "REPRO_RECOVERY_CRASH"
+
+MODES = ("kill", "exit", "hang", "raise")
+
+
+def parse_hooks(raw: str) -> dict[tuple[str, int], str]:
+    """Parse the env-var syntax into ``{(key, attempt): mode}``."""
+    hooks: dict[tuple[str, int], str] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if len(fields) == 2:
+            key, attempt, mode = fields[0], fields[1], "kill"
+        elif len(fields) == 3:
+            key, attempt, mode = fields
+        else:
+            raise ValueError(
+                f"{ENV_VAR}: bad hook {part!r} "
+                "(want key:attempt[:mode])")
+        if mode not in MODES:
+            raise ValueError(f"{ENV_VAR}: unknown mode {mode!r} "
+                             f"(want one of {MODES})")
+        hooks[(key, int(attempt))] = mode
+    return hooks
+
+
+def maybe_crash(key: str, attempt: int,
+                environ: Optional[dict] = None) -> None:
+    """Fire the configured crash for ``(key, attempt)``, if any.
+
+    Called by the durable-map worker wrapper at the start of every
+    out-of-process attempt; a no-op unless :data:`ENV_VAR` is set and
+    names this exact key and attempt.
+    """
+    raw = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if not raw:
+        return
+    mode = parse_hooks(raw).get((key, attempt))
+    if mode is None:
+        return
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "exit":
+        os._exit(3)
+    elif mode == "hang":
+        time.sleep(3600.0)
+    elif mode == "raise":
+        raise RuntimeError(
+            f"crash hook: injected failure for {key} attempt {attempt}")

@@ -1,0 +1,229 @@
+"""Durable run directories: manifest + checksummed per-item checkpoints.
+
+A *run directory* is the on-disk identity of one sharded execution::
+
+    <run-dir>/
+        manifest.json               what this run is (identity, keys,
+                                    code/config digests) -- written once,
+                                    atomically, before any work starts
+        state.json                  coarse liveness: running /
+                                    interrupted / failed / complete
+        checkpoints/<key>.pkl       one pickled result per finished item
+        checkpoints/<key>.sha256    content digest of the pickle
+
+Everything is written through :mod:`repro.recovery.atomic`
+(tmp + fsync + rename), so a crash at any instant leaves either no file
+or a complete one.  A checkpoint only counts as *valid* when its pickle
+hashes to the sidecar digest; a torn, truncated, or hand-corrupted
+checkpoint is detected by digest mismatch and recomputed -- never
+merged.
+
+The manifest's ``identity`` is the caller-supplied dict of everything
+that determines the run's output (plan parameters, seeds, worker id);
+resuming verifies it verbatim so a run directory can never be resumed
+against a different plan.  The ``code_digest`` (SHA-256 over the
+``repro`` package sources) is advisory: a mismatch warns -- the
+determinism contract may still hold across an edit -- but is surfaced so
+a surprising resume diff is explainable.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from repro.recovery.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    sha256_bytes,
+)
+
+MANIFEST_FILE = "manifest.json"
+STATE_FILE = "state.json"
+CHECKPOINTS_DIR = "checkpoints"
+
+#: ``checkpoint_status`` results.
+STATUS_OK = "ok"
+STATUS_MISSING = "missing"
+STATUS_CORRUPT = "corrupt"
+
+
+class RunDirError(RuntimeError):
+    """A run directory is unusable for the requested operation."""
+
+
+class CorruptCheckpoint(RunDirError):
+    """A checkpoint's pickle does not match its recorded digest."""
+
+
+def package_code_digest() -> str:
+    """SHA-256 over every ``*.py`` source of the ``repro`` package.
+
+    Stable across processes and platforms (sorted relative paths, raw
+    bytes), cheap enough to compute once per run (a few hundred small
+    files), and recorded in the manifest so resumes can flag that the
+    code changed underneath a half-finished run.
+    """
+    import hashlib
+
+    import repro
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class RunDir:
+    """One durable run's directory of manifest, state, and checkpoints."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._manifest: Optional[dict[str, Any]] = None
+
+    # -- creation / opening ------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / MANIFEST_FILE
+
+    @property
+    def exists(self) -> bool:
+        return self.manifest_path.exists()
+
+    @classmethod
+    def create(cls, path: Union[str, Path], identity: dict[str, Any],
+               keys: Iterable[str]) -> "RunDir":
+        """Initialise a fresh run directory (refuses to clobber one)."""
+        run_dir = cls(path)
+        if run_dir.exists:
+            raise RunDirError(
+                f"{run_dir.path} already holds a run manifest; resume "
+                "it or choose a fresh directory")
+        from repro import __version__
+        manifest = {
+            "format": 1,
+            "identity": dict(identity),
+            "keys": list(keys),
+            "code_digest": package_code_digest(),
+            "repro_version": __version__,
+        }
+        (run_dir.path / CHECKPOINTS_DIR).mkdir(parents=True,
+                                               exist_ok=True)
+        atomic_write_text(run_dir.manifest_path,
+                          json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")
+        run_dir._manifest = manifest
+        return run_dir
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "RunDir":
+        """Open an existing run directory; raises if there is none."""
+        run_dir = cls(path)
+        if not run_dir.exists:
+            raise RunDirError(
+                f"{run_dir.path} has no {MANIFEST_FILE}; nothing to "
+                "resume")
+        run_dir.manifest   # parse eagerly so corruption fails here
+        return run_dir
+
+    @property
+    def manifest(self) -> dict[str, Any]:
+        if self._manifest is None:
+            try:
+                self._manifest = json.loads(
+                    self.manifest_path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise RunDirError(
+                    f"{self.manifest_path}: unreadable manifest "
+                    f"({error})") from error
+        return self._manifest
+
+    def verify_identity(self, identity: dict[str, Any]) -> list[str]:
+        """Check a resume matches this run; returns advisory warnings.
+
+        Identity (plan, seeds, worker) mismatches are fatal -- resuming
+        a different run would merge checkpoints from another universe.
+        A code-digest mismatch is returned as a warning string instead.
+        """
+        recorded = self.manifest.get("identity")
+        # Round-trip through JSON so float/tuple representations compare
+        # the way they were persisted.
+        offered = json.loads(json.dumps(dict(identity)))
+        if recorded != offered:
+            raise RunDirError(
+                f"{self.path}: manifest identity mismatch -- this run "
+                f"dir was created for {recorded!r}, not {offered!r}")
+        warnings = []
+        current = package_code_digest()
+        if self.manifest.get("code_digest") != current:
+            warnings.append(
+                f"{self.path}: the repro sources changed since this "
+                "run started (code digest "
+                f"{self.manifest.get('code_digest', '?')[:12]} -> "
+                f"{current[:12]}); resuming anyway")
+        return warnings
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def checkpoint_path(self, key: str) -> Path:
+        return self.path / CHECKPOINTS_DIR / f"{key}.pkl"
+
+    def digest_path(self, key: str) -> Path:
+        return self.path / CHECKPOINTS_DIR / f"{key}.sha256"
+
+    def write_checkpoint(self, key: str, result: Any) -> None:
+        """Durably persist one item's result (pickle + digest sidecar).
+
+        The payload lands before its digest, so every partial state a
+        crash can leave behind reads back as missing-or-corrupt (and is
+        recomputed), never as silently valid.
+        """
+        payload = pickle.dumps(result,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(self.checkpoint_path(key), payload)
+        atomic_write_text(self.digest_path(key),
+                          sha256_bytes(payload) + "\n")
+
+    def checkpoint_status(self, key: str) -> str:
+        """``ok`` / ``missing`` / ``corrupt`` for one item's checkpoint."""
+        payload_path = self.checkpoint_path(key)
+        digest_path = self.digest_path(key)
+        if not payload_path.exists() or not digest_path.exists():
+            return STATUS_MISSING
+        recorded = digest_path.read_text().strip()
+        if sha256_bytes(payload_path.read_bytes()) != recorded:
+            return STATUS_CORRUPT
+        return STATUS_OK
+
+    def load_checkpoint(self, key: str) -> Any:
+        """Load a checkpoint, verifying its digest first."""
+        status = self.checkpoint_status(key)
+        if status != STATUS_OK:
+            raise CorruptCheckpoint(
+                f"{self.checkpoint_path(key)}: checkpoint is {status}")
+        return pickle.loads(self.checkpoint_path(key).read_bytes())
+
+    def completed_keys(self, keys: Iterable[str]) -> list[str]:
+        """The subset of ``keys`` with a valid checkpoint on disk."""
+        return [key for key in keys
+                if self.checkpoint_status(key) == STATUS_OK]
+
+    # -- coarse run state --------------------------------------------------------
+
+    def write_state(self, status: str, **extra: Any) -> None:
+        payload = {"status": status, **extra}
+        atomic_write_text(self.path / STATE_FILE,
+                          json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+
+    def state(self) -> dict[str, Any]:
+        path = self.path / STATE_FILE
+        if not path.exists():
+            return {"status": "unknown"}
+        return json.loads(path.read_text())

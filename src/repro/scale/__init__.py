@@ -21,9 +21,15 @@ paper's real dimensions:
 Determinism contract: merged results depend only on ``(scale, seed,
 shards)`` -- never on ``jobs`` -- and the default shard count is a fixed
 constant so the common configuration depends only on ``(scale, seed)``.
+
+Durability: every fan-out here routes through
+:func:`repro.recovery.durable.durable_map`, so crashed or hung workers
+are requeued within a bounded budget, and passing a
+:class:`repro.recovery.RecoveryConfig` (CLI ``--run-dir``/``--resume``)
+checkpoints per-shard results for bit-identical resume.
 """
 
-from repro.scale.executor import ScaleRunInfo, run_sharded
+from repro.scale.executor import ScaleRunInfo, run_sharded, shard_key
 from repro.scale.pipelines import (
     sharded_ap_replay,
     sharded_cloud_stats,
@@ -56,6 +62,7 @@ __all__ = [
     "merge_workloads",
     "run_parallel",
     "run_sharded",
+    "shard_key",
     "sharded_ap_replay",
     "sharded_cloud_stats",
     "sharded_generate",

@@ -1,13 +1,20 @@
 """Process-pool map over shard specs, with deterministic reduction order.
 
-The executor is deliberately dumb: it runs a module-level worker
-function over the plan's :class:`~repro.scale.plan.ShardSpec` payloads
--- inline when ``jobs <= 1``, in a spawn-context
-:class:`~concurrent.futures.ProcessPoolExecutor` otherwise -- and hands
+The executor runs a module-level worker function over the plan's
+:class:`~repro.scale.plan.ShardSpec` payloads -- inline when
+``jobs <= 1``, in a spawn-context process pool otherwise -- and hands
 the results back **in shard order**, whatever order workers finish in.
 Shard outputs are scheduling-independent by construction (every shard's
 randomness is self-contained), so the only thing parallelism may change
 is wall-clock time; that is recorded per shard into the obs registry.
+
+Failure tolerance is delegated to
+:func:`repro.recovery.durable.durable_map`: a worker that dies
+(``BrokenProcessPool``) or hangs past the watchdog costs its shard a
+bounded requeue, never the run; with a
+:class:`~repro.recovery.durable.RecoveryConfig` every finished shard is
+checkpointed into a run directory and an interrupted or crashed run
+resumes bit-identically (see ``repro.recovery``).
 
 Spawn (not fork) is used everywhere: it is the only start method that
 exists on all supported platforms, and it guarantees workers import a
@@ -18,13 +25,15 @@ payloads must be picklable primitives.
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, TypeVar
+from typing import Any, Callable, Optional, TypeVar
 
 from repro.obs.registry import AnyRegistry, NOOP
+from repro.recovery.durable import (
+    RecoveryConfig,
+    durable_map,
+    worker_identity,
+)
 from repro.scale.plan import ShardPlan, ShardSpec
 
 R = TypeVar("R")
@@ -32,14 +41,26 @@ R = TypeVar("R")
 ShardWorker = Callable[[ShardSpec], R]
 
 
+def shard_key(shard: int) -> str:
+    """The stable checkpoint key of one shard (``shard-0007``)."""
+    return f"shard-{shard:04d}"
+
+
 @dataclass(frozen=True)
 class ScaleRunInfo:
-    """Timing record of one sharded map (feeds obs + BENCH_scale.json)."""
+    """Timing record of one sharded map (feeds obs + BENCH_scale.json).
+
+    ``reused_shards`` counts checkpoints a resume loaded instead of
+    recomputing (their ``shard_walls`` entries are 0.0);
+    ``shard_retries`` counts requeued attempts after worker loss.
+    """
 
     jobs: int
     shards: int
     wall_seconds: float
     shard_walls: tuple[float, ...]
+    reused_shards: int = 0
+    shard_retries: int = 0
 
     @property
     def work_seconds(self) -> float:
@@ -50,54 +71,58 @@ class ScaleRunInfo:
         return {"jobs": self.jobs, "shards": self.shards,
                 "wall_seconds": self.wall_seconds,
                 "work_seconds": self.work_seconds,
-                "shard_walls": list(self.shard_walls)}
-
-
-def _timed_call(worker: ShardWorker, spec: ShardSpec
-                ) -> tuple[int, float, Any]:
-    """Run one shard; returns (shard index, wall seconds, result)."""
-    started = time.perf_counter()
-    result = worker(spec)
-    return spec.shard, time.perf_counter() - started, result
+                "shard_walls": list(self.shard_walls),
+                "reused_shards": self.reused_shards,
+                "shard_retries": self.shard_retries}
 
 
 def run_sharded(plan: ShardPlan, worker: ShardWorker, *,
                 jobs: int = 1,
-                metrics: AnyRegistry = NOOP
+                metrics: AnyRegistry = NOOP,
+                recovery: Optional[RecoveryConfig] = None
                 ) -> tuple[list[Any], ScaleRunInfo]:
     """Map ``worker`` over the plan's shards; reduce in shard order.
 
     ``worker`` must be a module-level function (spawn-picklable) taking
-    one :class:`ShardSpec`.  Worker exceptions propagate to the caller.
-    Returns the per-shard results indexed by shard plus the timing
-    record.  Per-shard wall times land in the registry as
+    one :class:`ShardSpec`.  Worker exceptions propagate to the caller;
+    worker *deaths* and hangs are retried within a bounded budget (see
+    :mod:`repro.recovery.durable`).  With ``recovery`` the run is
+    durable: completed shards are checkpointed under
+    ``recovery.run_dir`` and a resume recomputes only missing/corrupt
+    shards, yielding results bit-identical to an uninterrupted run.
+
+    Per-shard wall times land in the registry as
     ``repro_scale_shard_wall_seconds`` gauges; the map's own wall time
     as ``repro_scale_wall_seconds``.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    import time
     specs = plan.specs()
+    identity = {
+        "kind": "sharded-map",
+        "scale": plan.scale,
+        "seed": plan.seed,
+        "shards": plan.shards,
+        "horizon": plan.horizon,
+        "worker": worker_identity(worker),
+    }
     started = time.perf_counter()
-    if jobs <= 1 or plan.shards <= 1:
-        timed = [_timed_call(worker, spec) for spec in specs]
-    else:
-        context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, plan.shards),
-                mp_context=context) as pool:
-            futures = [pool.submit(_timed_call, worker, spec)
-                       for spec in specs]
-            timed = [future.result() for future in futures]
+    outcome = durable_map(
+        [shard_key(spec.shard) for spec in specs], specs, worker,
+        jobs=jobs, recovery=recovery, identity=identity,
+        metrics=metrics)
     wall = time.perf_counter() - started
-    timed.sort(key=lambda item: item[0])
 
     metrics.gauge("repro_scale_jobs").set(jobs)
     metrics.gauge("repro_scale_shards").set(plan.shards)
     metrics.gauge("repro_scale_wall_seconds").set(wall)
-    for shard, shard_wall, _result in timed:
+    for spec, shard_wall in zip(specs, outcome.walls):
         metrics.gauge("repro_scale_shard_wall_seconds",
-                      shard=shard).set(shard_wall)
+                      shard=spec.shard).set(shard_wall)
     info = ScaleRunInfo(
         jobs=jobs, shards=plan.shards, wall_seconds=wall,
-        shard_walls=tuple(shard_wall for _s, shard_wall, _r in timed))
-    return [result for _shard, _wall, result in timed], info
+        shard_walls=tuple(outcome.walls),
+        reused_shards=len(outcome.reused),
+        shard_retries=outcome.retries)
+    return outcome.results, info

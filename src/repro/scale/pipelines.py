@@ -11,9 +11,7 @@ makes ``--jobs`` a pure wall-clock knob.
 from __future__ import annotations
 
 import functools
-import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -28,6 +26,11 @@ from repro.obs.registry import (
     MetricsRegistry,
     NOOP,
     merge_registries,
+)
+from repro.recovery.durable import (
+    RecoveryConfig,
+    durable_map,
+    worker_identity,
 )
 from repro.scale.executor import ScaleRunInfo, run_sharded
 from repro.scale.plan import ShardPlan, ShardSpec
@@ -48,11 +51,12 @@ def generate_shard_worker(spec: ShardSpec) -> Workload:
 
 
 def sharded_generate(plan: ShardPlan, *, jobs: int = 1,
-                     metrics: AnyRegistry = NOOP
+                     metrics: AnyRegistry = NOOP,
+                     recovery: Optional[RecoveryConfig] = None
                      ) -> tuple[Workload, ScaleRunInfo]:
     """Generate the week across shards and merge the sub-workloads."""
     parts, info = run_sharded(plan, generate_shard_worker, jobs=jobs,
-                              metrics=metrics)
+                              metrics=metrics, recovery=recovery)
     return merge_workloads(plan, parts), info
 
 
@@ -88,7 +92,8 @@ def replay_shard_worker(spec: ShardSpec, plan_json: str = "",
 def sharded_cloud_stats(plan: ShardPlan, *, jobs: int = 1,
                         metrics: AnyRegistry = NOOP,
                         fault_plan: Optional[FaultPlan] = None,
-                        policies_on: bool = True
+                        policies_on: bool = True,
+                        recovery: Optional[RecoveryConfig] = None
                         ) -> tuple[ShardRunStats, ScaleRunInfo]:
     """Generate + replay the whole week shard-by-shard; merge the stats.
 
@@ -96,14 +101,15 @@ def sharded_cloud_stats(plan: ShardPlan, *, jobs: int = 1,
     registry) so shard-local counters and the executor's wall gauges
     land in one place.  ``fault_plan`` injects a chaos schedule into
     every shard (merged results stay split-invariant); ``policies_on``
-    enables the default resilience policies against it.
+    enables the default resilience policies against it.  ``recovery``
+    makes the run durable and resumable (see ``repro.recovery``).
     """
     worker = replay_shard_worker if fault_plan is None else \
         functools.partial(replay_shard_worker,
                           plan_json=fault_plan.to_json(),
                           policies_on=policies_on)
     parts, info = run_sharded(plan, worker, jobs=jobs,
-                              metrics=metrics)
+                              metrics=metrics, recovery=recovery)
     stats = merge_stats([stats for stats, _registry in parts])
     if metrics.enabled:
         for _stats, registry in parts:
@@ -149,7 +155,8 @@ def sharded_ap_replay(catalog: FileCatalog,
                       requests: Sequence[RequestRecord], *,
                       jobs: int = 1, seed: int = 20150301,
                       throttle_to_user: bool = True,
-                      metrics: AnyRegistry = NOOP
+                      metrics: AnyRegistry = NOOP,
+                      recovery: Optional[RecoveryConfig] = None
                       ) -> tuple[ApBenchmarkReport, ScaleRunInfo]:
     """Replay the AP campaign with one process per benchmarked AP.
 
@@ -157,7 +164,10 @@ def sharded_ap_replay(catalog: FileCatalog,
     the merged report is identical to ``ApBenchmarkRig.replay`` on the
     full request sequence (per-AP RNG streams and clocks are
     self-contained).  ``jobs`` caps worker processes; the fan-out is
-    fixed at one task per AP.
+    fixed at one task per AP.  Routed through
+    :func:`~repro.recovery.durable.durable_map`, so a killed or hung
+    worker costs a bounded requeue and ``recovery`` makes the campaign
+    durable/resumable with per-AP checkpoints.
     """
     if not requests:
         raise ValueError("nothing to replay")
@@ -170,25 +180,32 @@ def sharded_ap_replay(catalog: FileCatalog,
                           seed=seed, throttle_to_user=throttle_to_user)
              for index in range(ap_count)
              if requests[index::ap_count]]
+    identity = {
+        "kind": "ap-replay",
+        "seed": seed,
+        "throttle_to_user": throttle_to_user,
+        "requests": len(requests),
+        "ap_count": ap_count,
+        "worker": worker_identity(ap_replay_worker),
+    }
     started = time.perf_counter()
-    if jobs <= 1:
-        slices = [ap_replay_worker(task) for task in tasks]
-    else:
-        context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
-                                 mp_context=context) as pool:
-            slices = list(pool.map(ap_replay_worker, tasks))
+    outcome = durable_map(
+        [f"ap-{task.ap_index:02d}" for task in tasks], tasks,
+        ap_replay_worker, jobs=jobs, recovery=recovery,
+        identity=identity, metrics=metrics)
     wall = time.perf_counter() - started
 
     merged: list[Optional[ApPreDownloadResult]] = [None] * len(requests)
-    for task, results in zip(tasks, slices):
+    for task, results in zip(tasks, outcome.results):
         for position, result in enumerate(results):
             merged[task.ap_index + position * ap_count] = result
     assert all(result is not None for result in merged)
     report = ApBenchmarkReport(list(merged))      # type: ignore[arg-type]
     _record_ap_metrics(report, metrics)
     info = ScaleRunInfo(jobs=jobs, shards=len(tasks),
-                        wall_seconds=wall, shard_walls=(wall,))
+                        wall_seconds=wall, shard_walls=(wall,),
+                        reused_shards=len(outcome.reused),
+                        shard_retries=outcome.retries)
     metrics.gauge("repro_scale_ap_wall_seconds").set(wall)
     return report, info
 

@@ -22,6 +22,8 @@ sub-percent correction.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -200,6 +202,58 @@ class ShardRunStats:
     def user_traffic_overhead(self) -> float:
         return self.traffic_bytes / self.payload_bytes \
             if self.payload_bytes > 0 else 0.0
+
+    # -- identity ----------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of the full stats state.
+
+        Floats are serialised via ``float.hex`` so the digest is exact,
+        not tolerance-based: two runs digest equal iff every count,
+        sketch bucket, and bit of every float agree.  This is what the
+        kill-resume CI job (and the recovery tests) compare -- a
+        resumed run must reproduce an uninterrupted run *bit-for-bit*,
+        which the fixed shard merge order makes well-defined.
+        """
+        def sketch_state(sketch: QuantileSketch) -> list:
+            return [sorted(sketch._buckets.items()),
+                    sketch._zero_count, sketch.count,
+                    float(sketch.total).hex(),
+                    float(sketch.min_value).hex(),
+                    float(sketch.max_value).hex()]
+
+        payload = {
+            "horizon": float(self.horizon).hex(),
+            "bin_width": float(self.bin_width).hex(),
+            "tasks": self.tasks, "lookups": self.lookups,
+            "hits": self.hits, "attempts": self.attempts,
+            "attempt_failures": self.attempt_failures,
+            "failures": self.failures,
+            "totals_by_class": {klass.name: count for klass, count
+                                in self.totals_by_class.items()},
+            "failures_by_class": {klass.name: count for klass, count
+                                  in self.failures_by_class.items()},
+            "pre_speed": sketch_state(self.pre_speed),
+            "pre_delay": sketch_state(self.pre_delay),
+            "fetch_speed": sketch_state(self.fetch_speed),
+            "fetch_delay": sketch_state(self.fetch_delay),
+            "e2e_delay": sketch_state(self.e2e_delay),
+            "fetch_count": self.fetch_count,
+            "impeded_fetches": self.impeded_fetches,
+            "payload_bytes": float(self.payload_bytes).hex(),
+            "traffic_bytes": float(self.traffic_bytes).hex(),
+            "pre_traffic_bytes": float(self.pre_traffic_bytes).hex(),
+            "fault_impacts": self.fault_impacts,
+            "fault_retries": self.fault_retries,
+            "fault_failovers": self.fault_failovers,
+            "fault_aborts": self.fault_aborts,
+            "fault_recoveries": self.fault_recoveries,
+            "burden_bins": [float(value).hex()
+                            for value in self.burden_bins],
+        }
+        encoded = json.dumps(payload, sort_keys=True,
+                             separators=(",", ":")).encode()
+        return hashlib.sha256(encoded).hexdigest()
 
 
 def merge_stats(parts: list[ShardRunStats]) -> ShardRunStats:

@@ -20,10 +20,8 @@ subsystem exists for.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,6 +29,11 @@ from repro.experiments.base import ExperimentReport
 from repro.experiments.context import ExperimentContext, \
     ExperimentFailure
 from repro.obs.registry import AnyRegistry, NOOP
+from repro.recovery.durable import (
+    RecoveryConfig,
+    durable_map,
+    worker_identity,
+)
 
 #: Driver groups with disjoint mutable-artefact footprints.  Order maps
 #: group name -> (experiment ids in document order, context artefacts the
@@ -133,7 +136,8 @@ def run_group(task: GroupTask) -> GroupResult:
 
 
 def run_parallel(scale: float, seed: int, *, jobs: int = 1,
-                 metrics: AnyRegistry = NOOP
+                 metrics: AnyRegistry = NOOP,
+                 recovery: Optional[RecoveryConfig] = None
                  ) -> tuple[list[ExperimentReport], list,
                             dict[str, float],
                             list[ExperimentFailure]]:
@@ -143,19 +147,30 @@ def run_parallel(scale: float, seed: int, *, jobs: int = 1,
     failures)``.  The output is independent of ``jobs``; with
     ``jobs <= 1`` the groups run inline (no processes), which is also
     the reference behaviour the invariance tests compare against.
+
+    With ``recovery`` each finished group is checkpointed into the run
+    directory (``group-<name>``), so a crashed or interrupted document
+    build resumes by recomputing only the groups that never completed
+    -- the completed sections come back bit-identical from their
+    checkpoints.
     """
     from repro.experiments.runner import ORDER
     check_group_coverage()
     tasks = [GroupTask(group=group, scale=scale, seed=seed)
              for group in GROUPS]
+    identity = {
+        "kind": "experiment-groups",
+        "scale": scale,
+        "seed": seed,
+        "groups": list(GROUPS),
+        "worker": worker_identity(run_group),
+    }
     started = time.perf_counter()
-    if jobs <= 1:
-        results = [run_group(task) for task in tasks]
-    else:
-        context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
-                                 mp_context=context) as pool:
-            results = list(pool.map(run_group, tasks))
+    outcome = durable_map(
+        [f"group-{task.group}" for task in tasks], tasks, run_group,
+        jobs=jobs, recovery=recovery, identity=identity,
+        metrics=metrics)
+    results = outcome.results
     wall = time.perf_counter() - started
 
     by_id: dict[str, ExperimentReport] = {}

@@ -149,3 +149,66 @@ class TestShardedCommands:
         document = output.read_text()
         assert "paper vs measured" in document
         assert "Reproduction scorecard" in document
+
+
+class TestDurableCommands:
+    def test_cloud_run_dir_then_resume_reuses_all_shards(
+            self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        base = ["cloud", "--scale", "0.0008", "--shards", "2"]
+        assert main(base + ["--run-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "reused shards:    0/2" in first
+        assert "merged digest:" in first
+
+        assert main(base + ["--resume", str(run_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "reused shards:    2/2" in second
+
+        digest = [line for line in first.splitlines()
+                  if "merged digest" in line]
+        assert digest == [line for line in second.splitlines()
+                          if "merged digest" in line]
+
+    def test_generate_run_dir_prints_workload_digest(
+            self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        assert main(["generate", "--scale", "0.0008", "--shards", "2",
+                     "--out", str(trace),
+                     "--run-dir", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "merged digest:" in out
+        assert (trace / "requests.jsonl").exists()
+
+    def test_recovery_knobs_require_a_run_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cloud", "--scale", "0.0008",
+                  "--shard-timeout", "5"])
+        assert excinfo.value.code == 2
+        assert "--run-dir or --resume" in capsys.readouterr().err
+
+    def test_resume_of_missing_run_dir_exits_2(self, tmp_path, capsys):
+        assert main(["cloud", "--scale", "0.0008",
+                     "--resume", str(tmp_path / "nope")]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_reused_run_dir_without_resume_exits_2(
+            self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        base = ["cloud", "--scale", "0.0008", "--shards", "2"]
+        assert main(base + ["--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--run-dir", str(run_dir)]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_ap_run_dir_then_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        base = ["ap", "--scale", "0.0015", "--sample", "30"]
+        assert main(base + ["--run-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "reused AP shards:  0/" in first
+        assert main(base + ["--resume", str(run_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "reused AP shards:" in second
+        assert "0/" not in second.split("reused AP shards:")[1] \
+            .splitlines()[0]

@@ -1,12 +1,14 @@
 """Tests for the ODR web service (in-process and over real HTTP)."""
 
 import json
+import signal
 import threading
+import time
 import urllib.request
 
 import pytest
 
-from repro.core.webapp import OdrWebApp, make_server
+from repro.core.webapp import OdrWebApp, make_server, run_server
 
 
 class TestInProcessRouting:
@@ -142,6 +144,102 @@ class TestServerLifecycle:
             assert second.server_address[1] == port
         finally:
             second.server_close()
+
+
+class TestGracefulShutdown:
+    """SIGTERM/SIGINT stop accepting, drain in-flight responses, then
+    close -- instead of daemon threads being cut off mid-write."""
+
+    @pytest.mark.parametrize("signum",
+                             [signal.SIGINT, signal.SIGTERM])
+    def test_signal_stops_idle_server_cleanly(self, signum):
+        server = make_server(port=0)
+        ready = threading.Event()
+
+        def trigger():
+            ready.wait(5.0)
+            signal.raise_signal(signum)
+
+        threading.Thread(target=trigger, daemon=True).start()
+        code = run_server(server, grace=2.0, ready=ready, quiet=True)
+        assert code == 0
+        assert server.inflight_requests == 0
+
+    def test_sigterm_drains_inflight_request_before_closing(self):
+        server = make_server(port=0)
+        app = server.RequestHandlerClass.app
+        original = app.handle
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_handle(path, cookie_header=""):
+            if path.startswith("/slow"):
+                started.set()
+                release.wait(5.0)
+                return 200, "text/plain", "drained", None, {}
+            return original(path, cookie_header)
+
+        app.handle = slow_handle
+        host, port = server.server_address[:2]
+        ready = threading.Event()
+        received = {}
+
+        def client():
+            ready.wait(5.0)
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/slow", timeout=10.0) as resp:
+                received["body"] = resp.read()
+
+        def trigger():
+            started.wait(5.0)
+            signal.raise_signal(signal.SIGTERM)
+            time.sleep(0.3)   # let shutdown start draining first
+            release.set()
+
+        client_thread = threading.Thread(target=client, daemon=True)
+        client_thread.start()
+        threading.Thread(target=trigger, daemon=True).start()
+        code = run_server(server, grace=10.0, ready=ready, quiet=True)
+        client_thread.join(5.0)
+        assert code == 0
+        assert server.inflight_requests == 0
+        assert received["body"] == b"drained"
+
+    def test_drain_timeout_reports_unclean_exit(self):
+        server = make_server(port=0)
+        app = server.RequestHandlerClass.app
+        started = threading.Event()
+        release = threading.Event()
+
+        def stuck_handle(path, cookie_header=""):
+            started.set()
+            release.wait(10.0)
+            return 200, "text/plain", "late", None, {}
+
+        app.handle = stuck_handle
+        host, port = server.server_address[:2]
+        ready = threading.Event()
+
+        def client():
+            ready.wait(5.0)
+            try:
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/healthz", timeout=15.0).read()
+            except OSError:
+                pass
+
+        def trigger():
+            started.wait(5.0)
+            signal.raise_signal(signal.SIGTERM)
+
+        threading.Thread(target=client, daemon=True).start()
+        threading.Thread(target=trigger, daemon=True).start()
+        try:
+            code = run_server(server, grace=0.3, ready=ready,
+                              quiet=True)
+            assert code == 1
+        finally:
+            release.set()   # unstick the daemon handler thread
 
 
 class TestBackendResilience:

@@ -273,6 +273,48 @@ class TestTraceHardening:
         with pytest.raises(TraceFormatError):
             read_jsonl(path, RequestRecord)
 
+    def test_skip_bad_lines_inside_gzip_salvages_and_counts(
+            self, tmp_path):
+        import gzip as gzip_module
+        from repro.obs.registry import MetricsRegistry
+        path = tmp_path / "requests.jsonl.gz"
+        text = "\n".join([self._good_line("t-1"), "{corrupt",
+                          self._good_line("t-3")]) + "\n"
+        path.write_bytes(gzip_module.compress(text.encode()))
+        metrics = MetricsRegistry()
+        loaded = read_jsonl(path, RequestRecord, skip_bad_lines=True,
+                            metrics=metrics)
+        assert [r.task_id for r in loaded] == ["t-1", "t-3"]
+        assert metrics.snapshot()[
+            'repro_trace_skipped_lines_total{file="requests.jsonl.gz"}'] \
+            == 1.0
+
+    def test_strict_gzip_error_names_file_and_decompressed_line(
+            self, tmp_path):
+        import gzip as gzip_module
+        from repro.workload.traceio import TraceFormatError
+        path = tmp_path / "requests.jsonl.gz"
+        text = "\n".join([self._good_line("t-1"), self._good_line("t-2"),
+                          "nope"]) + "\n"
+        path.write_bytes(gzip_module.compress(text.encode()))
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_jsonl(path, RequestRecord)
+        assert excinfo.value.path == path
+        assert excinfo.value.line == 3
+        assert "requests.jsonl.gz:3:" in str(excinfo.value)
+
+    def test_lenient_gzip_roundtrip_matches_strict_on_clean_file(
+            self, tmp_path):
+        import gzip as gzip_module
+        path = tmp_path / "requests.jsonl.gz"
+        text = "\n".join([self._good_line(f"t-{i}")
+                          for i in range(10)]) + "\n"
+        path.write_bytes(gzip_module.compress(text.encode()))
+        strict = read_jsonl(path, RequestRecord)
+        lenient = read_jsonl(path, RequestRecord, skip_bad_lines=True)
+        assert [r.to_dict() for r in strict] == \
+            [r.to_dict() for r in lenient]
+
     def test_clean_file_identical_through_hardened_reader(self, tmp_path):
         from repro.obs.registry import MetricsRegistry
         path = tmp_path / "requests.jsonl"
