@@ -445,10 +445,58 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.core.webapp import serve
-    from repro.faults.policies import ResiliencePolicies
-    policies = None if args.no_resilience else ResiliencePolicies()
-    return serve(port=args.port, policies=policies)
+    from repro.serve.__main__ import main as serve_main
+    forwarded = ["--host", args.host, "--port", str(args.port),
+                 "--engine", args.engine,
+                 "--workers", str(args.workers),
+                 "--max-inflight", str(args.max_inflight),
+                 "--grace", str(args.grace)]
+    if args.no_batch:
+        forwarded.append("--no-batch")
+    if args.no_resilience:
+        forwarded.append("--no-resilience")
+    if args.faults is not None:
+        forwarded += ["--faults", str(args.faults)]
+    if args.quiet:
+        forwarded.append("--quiet")
+    return serve_main(forwarded)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen.__main__ import main as loadgen_main
+    return loadgen_main(list(args.loadgen_args))
+
+
+def _forward_loadgen(argv: list[str] | None) -> list[str] | None:
+    """``repro loadgen ...`` forwards everything verbatim (argparse's
+    REMAINDER refuses leading optionals, so route before parsing)."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    return argv[1:] if argv[:1] == ["loadgen"] else None
+
+
+def cmd_runs_gc(args: argparse.Namespace) -> int:
+    from repro.recovery.gc import collect, discover_runs, plan_gc
+    runs = discover_runs(args.root)
+    if not runs:
+        print(f"runs gc: no run directories under {args.root}")
+        return 0
+    kept, doomed = plan_gc(runs, keep_last=args.keep_last,
+                           stale_hours=args.stale_hours)
+    for run in kept:
+        print(f"  keep   {run.path}  [{run.status}]")
+    verb = "delete" if args.delete else "would delete"
+    for run in doomed:
+        print(f"  {verb} {run.path}  [{run.status}] "
+              f"({run.bytes / 1e6:.1f} MB)")
+    reclaimed = collect(doomed, delete=args.delete)
+    if doomed:
+        print(f"runs gc: {verb} {len(doomed)} run(s), "
+              f"{reclaimed / 1e6:.1f} MB"
+              + ("" if args.delete
+                 else " (dry run; pass --delete to reclaim)"))
+    else:
+        print("runs gc: nothing to collect")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -537,11 +585,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve", help="run the ODR web service (like odr.thucloud.com)")
+    serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8034)
+    serve.add_argument("--engine", choices=["async", "thread"],
+                       default="async",
+                       help="serving engine (default %(default)s)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="async engine only: SO_REUSEPORT worker "
+                            "processes")
+    serve.add_argument("--max-inflight", type=int, default=128,
+                       help="admission-control cap on concurrent "
+                            "requests (503 + Retry-After past it)")
+    serve.add_argument("--no-batch", action="store_true",
+                       help="disable same-tick /decide coalescing")
     serve.add_argument("--no-resilience", action="store_true",
                        help="disable the backend circuit breaker "
                             "(503 + Retry-After load shedding)")
+    serve.add_argument("--faults", type=Path, default=None,
+                       help="fault plan injected into the serving tier")
+    serve.add_argument("--grace", type=float, default=10.0)
+    serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(func=cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="replay the trace as live HTTP load "
+                        "(see python -m repro.loadgen --help)")
+    loadgen.add_argument("loadgen_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to "
+                              "python -m repro.loadgen")
+    loadgen.set_defaults(func=cmd_loadgen)
+
+    runs = subparsers.add_parser(
+        "runs", help="manage durable run directories")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    gc = runs_sub.add_parser(
+        "gc", help="collect complete and stale run directories "
+                   "(dry run unless --delete)")
+    gc.add_argument("--root", type=Path, default=Path("runs"),
+                    help="directory holding run dirs "
+                         "(default %(default)s)")
+    gc.add_argument("--keep-last", type=int, default=3,
+                    help="retain the N newest eligible runs "
+                         "(default %(default)s)")
+    gc.add_argument("--stale-hours", type=float, default=24.0,
+                    help="non-complete runs younger than this are "
+                         "resumable and never collected "
+                         "(default %(default)s)")
+    gc.add_argument("--delete", action="store_true",
+                    help="actually delete (default is a dry run)")
+    gc.set_defaults(func=cmd_runs_gc)
 
     return parser
 
@@ -575,6 +667,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    loadgen_argv = _forward_loadgen(argv)
+    if loadgen_argv is not None:
+        from repro.loadgen.__main__ import main as loadgen_main
+        return loadgen_main(loadgen_argv)
     args = build_parser().parse_args(argv)
     if getattr(args, "profile", None) is None:
         return _dispatch(args)

@@ -129,63 +129,148 @@ class OdrWebApp:
         return 404, "application/json", json.dumps(
             {"error": f"no such endpoint {parsed.path!r}"}), None, {}
 
+    def handle_batch(self, requests: list[tuple[str, str]]
+                     ) -> list[Response]:
+        """Process many GETs coalesced into one evaluation pass.
+
+        The serving tier (``repro.serve``) collects every ``/decide``
+        request that arrives within one event-loop tick and evaluates
+        them together: one breaker admission check covers the batch, the
+        shared lock is taken once for all IP allocations and popularity
+        registrations, and only then do the (lock-free) decisions run.
+        Semantics per request are identical to :meth:`handle`.
+        """
+        responses: list[Optional[Response]] = [None] * len(requests)
+        decide_items: list[tuple[int, dict[str, list[str]], str]] = []
+        for index, (path, cookie_header) in enumerate(requests):
+            parsed = urlparse(path)
+            if parsed.path == "/decide":
+                decide_items.append(
+                    (index, parse_qs(parsed.query), cookie_header))
+            else:
+                responses[index] = self.handle(path, cookie_header)
+        if decide_items:
+            batch = [(query, cookie)
+                     for _index, query, cookie in decide_items]
+            for (index, _q, _c), response in zip(
+                    decide_items, self._decide_batch(batch)):
+                responses[index] = response
+        return responses   # type: ignore[return-value]
+
     def _decide(self, query: dict[str, list[str]],
                 cookie_header: str) -> Response:
-        def first(key: str, default: str = "") -> str:
-            return query.get(key, [default])[0]
+        return self._decide_batch([(query, cookie_header)])[0]
 
-        link = first("link")
-        if not link:
-            return 400, "application/json", json.dumps(
-                {"error": "missing required parameter 'link'"}), \
-                None, {}
+    def _shed_response(self, now: float) -> Optional[Response]:
+        """The 503 while the breaker is open, or None when admitted."""
+        if self._breaker is None or self._breaker.allow(now):
+            return None
+        retry_after = max(
+            1, math.ceil(self._breaker.retry_after(now)))
+        return 503, "application/json", json.dumps(
+            {"error": "decision backend unavailable",
+             "detail": "circuit breaker open; retry later",
+             "retry_after_seconds": retry_after}), \
+            None, {"Retry-After": str(retry_after)}
 
-        if self._breaker is not None \
-                and not self._breaker.allow(self._clock()):
-            retry_after = max(
-                1, math.ceil(self._breaker.retry_after(self._clock())))
-            return 503, "application/json", json.dumps(
-                {"error": "decision backend unavailable",
-                 "detail": "circuit breaker open; retry later",
-                 "retry_after_seconds": retry_after}), \
-                None, {"Retry-After": str(retry_after)}
+    def _decide_batch(self, items: list[tuple[dict[str, list[str]], str]]
+                      ) -> list[Response]:
+        """Evaluate a batch of ``/decide`` queries in one pass.
 
-        user_id, set_cookie = self._user_id_from_cookie(cookie_header)
-        try:
-            context = self._build_context(first, user_id)
-            # Seed the database with the reported popularity statistics
-            # (the real ODR queries Xuanfeng's live DB instead).
-            self._register_popularity(link, first)
-            response = self.service.handle_request(context, link)
-        except (ValueError, KeyError) as error:
-            # Malformed input is the client's fault: it must not trip
-            # the breaker or tear anything down.
-            return 400, "application/json", json.dumps(
-                {"error": str(error)}), set_cookie, {}
-        except Exception as error:   # noqa: BLE001 - boundary handler
-            # A backend bug used to propagate out of handle() and kill
-            # the request thread mid-response; degrade to a structured
-            # 500 and feed the breaker instead.
+        Phases: (1) per-request parse/validation, lock-free, producing
+        400s early; (2) one breaker admission check and one clock read
+        for the whole batch; (3) a single ``self._lock`` scope doing
+        every IP allocation and popularity registration; (4) lock-free
+        decision evaluation, recording per-request outcomes into the
+        breaker.
+        """
+        from repro.core.service import parse_link
+        responses: list[Optional[Response]] = [None] * len(items)
+        now = self._clock()
+        shed = self._shed_response(now) if items else None
+        #: (index, first, link, file_id, popularity, cached, isp,
+        #:  set_cookie, user_id)
+        prepared: list[tuple] = []
+        for index, (query, cookie_header) in enumerate(items):
+            def first(key: str, default: str = "",
+                      _query=query) -> str:
+                return _query.get(key, [default])[0]
+
+            link = first("link")
+            if not link:
+                responses[index] = 400, "application/json", json.dumps(
+                    {"error": "missing required parameter 'link'"}), \
+                    None, {}
+                continue
+            if shed is not None:
+                responses[index] = shed
+                continue
+            user_id, set_cookie = \
+                self._user_id_from_cookie(cookie_header)
+            try:
+                isp = ISP(first("isp", "unicom"))
+                _protocol, file_id = parse_link(link)
+                popularity = int(first("popularity", "0") or 0)
+            except ValueError as error:
+                responses[index] = 400, "application/json", json.dumps(
+                    {"error": str(error)}), set_cookie, {}
+                continue
+            cached = first("cached", "0") in ("1", "true", "yes")
+            prepared.append((index, first, link, file_id, popularity,
+                             cached, isp, set_cookie, user_id))
+
+        # One lock scope for the whole batch: IP allocation plus the
+        # popularity registration that seeds the database (the real ODR
+        # queries Xuanfeng's live DB instead).
+        addresses: dict[int, str] = {}
+        if prepared:
+            with self._lock:
+                for (index, first, link, file_id, popularity, cached,
+                     isp, set_cookie, user_id) in prepared:
+                    addresses[index] = self._allocator.allocate(isp)
+                    row = self.database.row(file_id, size=0.0)
+                    if row.request_count < popularity:
+                        row.request_count = popularity
+                    self.database.set_cached(file_id, cached)
+
+        for (index, first, link, file_id, popularity, cached, isp,
+             set_cookie, user_id) in prepared:
+            try:
+                context = self._build_context(
+                    first, user_id, ip_address=addresses[index])
+                response = self.service.handle_request(context, link)
+            except (ValueError, KeyError) as error:
+                # Malformed input is the client's fault: it must not
+                # trip the breaker or tear anything down.
+                responses[index] = 400, "application/json", json.dumps(
+                    {"error": str(error)}), set_cookie, {}
+                continue
+            except Exception as error:   # noqa: BLE001 - boundary handler
+                # A backend bug used to propagate out of handle() and
+                # kill the request thread mid-response; degrade to a
+                # structured 500 and feed the breaker instead.
+                if self._breaker is not None:
+                    self._breaker.record(False, self._clock())
+                responses[index] = 500, "application/json", json.dumps(
+                    {"error": "internal error",
+                     "detail": f"{type(error).__name__}: {error}"}), \
+                    set_cookie, {}
+                continue
+
             if self._breaker is not None:
-                self._breaker.record(False, self._clock())
-            return 500, "application/json", json.dumps(
-                {"error": "internal error",
-                 "detail": f"{type(error).__name__}: {error}"}), \
-                set_cookie, {}
-
-        if self._breaker is not None:
-            self._breaker.record(True, self._clock())
-        payload = {
-            "action": response.decision.action.value,
-            "data_source": response.decision.data_source.value,
-            "bottlenecks_addressed":
-                list(response.decision.bottlenecks_addressed),
-            "explanation": response.explanation,
-            "file_id": response.file_id,
-            "protocol": response.protocol.value,
-        }
-        return 200, "application/json", \
-            json.dumps(payload, indent=2), set_cookie, {}
+                self._breaker.record(True, self._clock())
+            payload = {
+                "action": response.decision.action.value,
+                "data_source": response.decision.data_source.value,
+                "bottlenecks_addressed":
+                    list(response.decision.bottlenecks_addressed),
+                "explanation": response.explanation,
+                "file_id": response.file_id,
+                "protocol": response.protocol.value,
+            }
+            responses[index] = 200, "application/json", \
+                json.dumps(payload, indent=2), set_cookie, {}
+        return responses   # type: ignore[return-value]
 
     def _user_id_from_cookie(self, cookie_header: str
                              ) -> tuple[str, Optional[str]]:
@@ -198,10 +283,12 @@ class OdrWebApp:
         user_id = uuid.uuid4().hex[:16]
         return user_id, f"odr_user={user_id}; Path=/"
 
-    def _build_context(self, first, user_id: str) -> UserContext:
-        isp = ISP(first("isp", "unicom"))
-        with self._lock:
-            ip_address = self._allocator.allocate(isp)
+    def _build_context(self, first, user_id: str,
+                       ip_address: Optional[str] = None) -> UserContext:
+        if ip_address is None:
+            isp = ISP(first("isp", "unicom"))
+            with self._lock:
+                ip_address = self._allocator.allocate(isp)
         bandwidth = None
         raw_bandwidth = first("bandwidth_mbps")
         if raw_bandwidth:
@@ -291,6 +378,21 @@ class OdrHTTPServer(ThreadingHTTPServer):
         with self._inflight_cv:
             return self._inflight
 
+    @property
+    def host(self) -> str:
+        """The interface the server actually bound."""
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The port the server actually bound.
+
+        When constructed with port 0 the OS picks a free port at bind
+        time; callers (the load generator, tests, the bench harness)
+        read it here instead of poking ``server_address``.
+        """
+        return self.server_address[1]
+
     def drain(self, timeout: float = 10.0) -> bool:
         """Wait until in-flight requests finish; False on timeout."""
         deadline = time.monotonic() + timeout
@@ -372,7 +474,7 @@ def serve(port: int = 8034,
           policies: Optional[ResiliencePolicies] = None,
           grace: float = 10.0) -> int:   # pragma: no cover - interactive
     server = make_server(port, policies=policies)
-    actual_port = server.server_address[1]
+    actual_port = server.port
     print(f"ODR listening on http://127.0.0.1:{actual_port}/ "
           f"(Ctrl-C or SIGTERM to stop)")
     return run_server(server, grace=grace)

@@ -1,0 +1,61 @@
+"""repro.loadgen -- closed-loop load replay with an SLO scorecard.
+
+Replays the synthetic workload trace as live HTTP against the serving
+tier (:mod:`repro.serve`) and scores what came back:
+
+* :mod:`~repro.loadgen.trace` turns
+  :class:`~repro.workload.records.RequestRecord` rows into ``/decide``
+  request paths with the user's auxiliary info;
+* :mod:`~repro.loadgen.client` owns the transport: per-target
+  keep-alive session pools, EWMA latency, concurrency caps, quarantine
+  of sick endpoints;
+* :mod:`~repro.loadgen.replay` executes one open-loop-scheduled load
+  step and emits a :class:`~repro.loadgen.replay.StepScorecard`;
+* :mod:`~repro.loadgen.ramp` runs the stepped saturation ramp and
+  folds the steps into the run-level scorecard.
+
+CLI: ``python -m repro.loadgen --target http://host:port --rps 50``
+(add ``--ramp`` for the saturation search).
+"""
+
+from repro.loadgen.client import (
+    Ewma,
+    RequestOutcome,
+    Target,
+    TargetSet,
+)
+from repro.loadgen.ramp import (
+    ramp_rates,
+    saturation_rps,
+    scorecard,
+    step_healthy,
+    stepped_ramp,
+)
+from repro.loadgen.replay import (
+    DEFAULT_ERROR_BUDGET,
+    LoadGenerator,
+    StepScorecard,
+)
+from repro.loadgen.trace import (
+    decide_path,
+    load_or_generate_paths,
+    workload_paths,
+)
+
+__all__ = [
+    "DEFAULT_ERROR_BUDGET",
+    "Ewma",
+    "LoadGenerator",
+    "RequestOutcome",
+    "StepScorecard",
+    "Target",
+    "TargetSet",
+    "decide_path",
+    "load_or_generate_paths",
+    "ramp_rates",
+    "saturation_rps",
+    "scorecard",
+    "step_healthy",
+    "stepped_ramp",
+    "workload_paths",
+]

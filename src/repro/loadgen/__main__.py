@@ -1,0 +1,182 @@
+"""``python -m repro.loadgen`` -- replay the trace against live targets.
+
+Two modes:
+
+* fixed rate (default): one step at ``--rps`` for ``--duration``
+  seconds;
+* ``--ramp``: a stepped saturation search from ``--ramp-start`` to
+  ``--ramp-stop`` RPS over ``--ramp-steps`` steps, stopping after the
+  first step that blows the SLO.
+
+Either way the run-level scorecard (steps, quantiles, error budget,
+saturation point) prints to stdout and, with ``--out``, is written
+atomically as JSON.
+
+Examples::
+
+    python -m repro.loadgen --target http://127.0.0.1:8034 --rps 50
+    python -m repro.loadgen --target http://127.0.0.1:8034 \\
+        --ramp --ramp-start 25 --ramp-stop 800 --ramp-steps 6 \\
+        --out scorecard.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.loadgen.client import TargetSet
+from repro.loadgen.ramp import (
+    DEFAULT_ACHIEVED_FLOOR,
+    ramp_rates,
+    scorecard,
+    step_healthy,
+    stepped_ramp,
+)
+from repro.loadgen.replay import DEFAULT_ERROR_BUDGET, LoadGenerator
+from repro.loadgen.trace import load_or_generate_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Closed-loop load replay of the workload trace "
+                    "with an SLO scorecard.")
+    parser.add_argument("--target", action="append", dest="targets",
+                        metavar="URL", default=None,
+                        help="base URL of a serving endpoint; repeat "
+                             "for a replica fleet (required)")
+    trace = parser.add_argument_group("trace")
+    trace.add_argument("--trace", metavar="DIR", default=None,
+                       help="saved workload trace directory; omitted "
+                            "means generate one")
+    trace.add_argument("--scale", type=float, default=0.02,
+                       help="generated-trace scale "
+                            "(default %(default)s)")
+    trace.add_argument("--seed", type=int, default=7,
+                       help="generated-trace seed (default %(default)s)")
+    trace.add_argument("--limit", type=int, default=20000,
+                       help="at most N trace requests, cycled "
+                            "(default %(default)s)")
+    load = parser.add_argument_group("load")
+    load.add_argument("--rps", type=float, default=50.0,
+                      help="offered request rate for the fixed-rate "
+                           "mode (default %(default)s)")
+    load.add_argument("--duration", type=float, default=10.0,
+                      help="seconds per step (default %(default)s)")
+    load.add_argument("--workers", type=int, default=8,
+                      help="closed-loop worker threads "
+                           "(default %(default)s)")
+    load.add_argument("--max-concurrency", type=int, default=64,
+                      help="per-target in-flight cap "
+                           "(default %(default)s)")
+    load.add_argument("--timeout", type=float, default=5.0,
+                      help="per-request timeout, seconds "
+                           "(default %(default)s)")
+    load.add_argument("--hedge-ms", type=float, default=None,
+                      help="hedge a request still outstanding after "
+                           "this many ms (off by default)")
+    load.add_argument("--error-budget", type=float,
+                      default=DEFAULT_ERROR_BUDGET,
+                      help="SLO error budget as a rate "
+                           "(default %(default)s)")
+    load.add_argument("--no-prewarm", action="store_true",
+                      help="skip the /healthz connection prewarm")
+    ramp = parser.add_argument_group("ramp")
+    ramp.add_argument("--ramp", action="store_true",
+                      help="stepped saturation search instead of one "
+                           "fixed-rate step")
+    ramp.add_argument("--ramp-start", type=float, default=25.0)
+    ramp.add_argument("--ramp-stop", type=float, default=800.0)
+    ramp.add_argument("--ramp-steps", type=int, default=6)
+    ramp.add_argument("--achieved-floor", type=float,
+                      default=DEFAULT_ACHIEVED_FLOOR,
+                      help="a step is unhealthy below this share of "
+                           "its offered rate (default %(default)s)")
+    ramp.add_argument("--keep-going", action="store_true",
+                      help="run every ramp step even past saturation")
+    ramp.add_argument("--settle", type=float, default=0.5,
+                      help="pause between ramp steps, seconds "
+                           "(default %(default)s)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the scorecard JSON here "
+                             "(atomic rename)")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.targets:
+        parser.error("at least one --target URL is required")
+
+    paths = load_or_generate_paths(args.trace, args.scale, args.seed,
+                                   limit=args.limit)
+    if not args.quiet:
+        print(f"loadgen: {len(paths)} trace paths, "
+              f"{len(args.targets)} target(s)", flush=True)
+
+    targets = TargetSet.from_urls(args.targets,
+                                  max_concurrency=args.max_concurrency,
+                                  timeout=args.timeout)
+    rates = ramp_rates(args.ramp_start, args.ramp_stop,
+                       args.ramp_steps) if args.ramp else [args.rps]
+
+    def report(card) -> None:
+        if args.quiet:
+            return
+        health = "ok" if step_healthy(card, args.achieved_floor) \
+            else "SATURATED"
+        p95 = card.latency.quantile(0.95) if card.latency.count \
+            else float("nan")
+        print(f"  step {card.offered_rps:8.1f} rps offered | "
+              f"{card.achieved_rps:8.1f} achieved | "
+              f"p95 {p95:7.2f} ms | "
+              f"err {card.error_rate:.4f} | {health}", flush=True)
+
+    with LoadGenerator(targets, paths, workers=args.workers,
+                       hedge_ms=args.hedge_ms,
+                       error_budget=args.error_budget) as generator:
+        if not args.no_prewarm:
+            generator.prewarm()
+        cards = stepped_ramp(generator, rates, args.duration,
+                             achieved_floor=args.achieved_floor,
+                             stop_after_unhealthy=not args.keep_going
+                             and args.ramp,
+                             settle=args.settle if args.ramp else 0.0,
+                             on_step=report)
+
+    result = scorecard(cards, achieved_floor=args.achieved_floor,
+                       meta={
+                           "targets": list(args.targets),
+                           "trace": args.trace,
+                           "scale": args.scale,
+                           "seed": args.seed,
+                           "limit": args.limit,
+                           "workers": args.workers,
+                           "hedge_ms": args.hedge_ms,
+                           "mode": "ramp" if args.ramp else "fixed",
+                       })
+    rendered = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        from pathlib import Path
+
+        from repro.recovery.atomic import atomic_write_text
+        atomic_write_text(Path(args.out), rendered + "\n")
+        if not args.quiet:
+            print(f"loadgen: scorecard written to {args.out}",
+                  flush=True)
+    if not args.quiet:
+        print(f"loadgen: saturation {result['saturation_rps']} rps "
+              f"over {result['healthy_steps']}/"
+              f"{result['total_steps']} healthy steps", flush=True)
+    if args.quiet and not args.out:
+        print(rendered)
+    return 0 if result["healthy_steps"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""The load-generator client layer: pooled sessions over targets.
+
+Modelled on production workload replayers (FaaS gateway drivers and the
+like): each :class:`Target` owns a pool of keep-alive
+``http.client`` connections, an EWMA latency tracker, a concurrency cap
+(a semaphore -- a sick or saturated endpoint cannot absorb the whole
+worker fleet), and quarantine state (an endpoint that keeps failing is
+benched for a cooldown instead of being hammered).  A
+:class:`TargetSet` round-robins logical requests across the healthy
+targets, which is how a multi-worker ``SO_REUSEPORT`` service or a
+small replica fleet is driven.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from typing import Optional
+from urllib.parse import urlparse
+
+#: EWMA smoothing factor for per-target latency (ms).
+EWMA_ALPHA = 0.25
+
+#: Consecutive failures before a target is quarantined.
+QUARANTINE_FAILURES = 5
+
+#: Default quarantine cooldown, seconds.
+QUARANTINE_SECONDS = 2.0
+
+
+class Ewma:
+    """Exponentially weighted moving average with a lazy first sample."""
+
+    __slots__ = ("alpha", "_value")
+
+    def __init__(self, alpha: float = EWMA_ALPHA):
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value += self.alpha * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+
+class RequestOutcome:
+    """One completed (or failed) HTTP call."""
+
+    __slots__ = ("status", "latency_ms", "error", "hedged",
+                 "hedge_won")
+
+    def __init__(self, status: Optional[int], latency_ms: float,
+                 error: Optional[str] = None, hedged: bool = False,
+                 hedge_won: bool = False):
+        self.status = status
+        self.latency_ms = latency_ms
+        self.error = error
+        self.hedged = hedged
+        self.hedge_won = hedge_won
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not None and 200 <= self.status < 400
+
+    @property
+    def status_class(self) -> str:
+        if self.status is None:
+            return "error"
+        return f"{self.status // 100}xx"
+
+
+class Target:
+    """One base URL with its session pool and health bookkeeping."""
+
+    def __init__(self, base_url: str, *,
+                 max_concurrency: int = 64,
+                 timeout: float = 5.0,
+                 quarantine_failures: int = QUARANTINE_FAILURES,
+                 quarantine_seconds: float = QUARANTINE_SECONDS,
+                 clock=time.monotonic):
+        parsed = urlparse(base_url if "//" in base_url
+                          else f"http://{base_url}")
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ValueError(f"loadgen targets are http:// URLs, "
+                             f"got {base_url!r}")
+        self.base_url = f"http://{parsed.hostname}:{parsed.port or 80}"
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self.semaphore = threading.BoundedSemaphore(max_concurrency)
+        self.max_concurrency = max_concurrency
+        self._pool: list[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._clock = clock
+        self.ewma_ms = Ewma()
+        self.quarantine_failures = quarantine_failures
+        self.quarantine_seconds = quarantine_seconds
+        self._consecutive_failures = 0
+        self._quarantined_until = 0.0
+        self.quarantines = 0
+        self.requests = 0
+        self.reconnects = 0
+
+    # -- connection pool ---------------------------------------------------------
+
+    def _checkout(self) -> http.client.HTTPConnection:
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        self.reconnects += 1
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            self._pool.append(connection)
+
+    def close(self) -> None:
+        with self._pool_lock:
+            for connection in self._pool:
+                connection.close()
+            self._pool.clear()
+
+    @property
+    def pooled_connections(self) -> int:
+        with self._pool_lock:
+            return len(self._pool)
+
+    # -- health ------------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> bool:
+        with self._state_lock:
+            return self._clock() < self._quarantined_until
+
+    def _record_outcome(self, outcome: RequestOutcome) -> None:
+        with self._state_lock:
+            if outcome.status is not None:
+                self.ewma_ms.update(outcome.latency_ms)
+            failed = outcome.error is not None or (
+                outcome.status is not None and outcome.status >= 500)
+            if failed:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= \
+                        self.quarantine_failures:
+                    self._quarantined_until = self._clock() \
+                        + self.quarantine_seconds
+                    self._consecutive_failures = 0
+                    self.quarantines += 1
+            else:
+                self._consecutive_failures = 0
+
+    # -- calls -------------------------------------------------------------------
+
+    def request(self, path: str) -> RequestOutcome:
+        """One pooled GET; transport failures retire the connection."""
+        self.requests += 1
+        connection = self._checkout()
+        started = time.perf_counter()
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            response.read()     # drain so the connection is reusable
+            latency_ms = (time.perf_counter() - started) * 1e3
+            outcome = RequestOutcome(response.status, latency_ms)
+            if response.will_close:
+                connection.close()
+            else:
+                self._checkin(connection)
+        except OSError as error:
+            connection.close()
+            latency_ms = (time.perf_counter() - started) * 1e3
+            outcome = RequestOutcome(None, latency_ms,
+                                     error=type(error).__name__)
+        self._record_outcome(outcome)
+        return outcome
+
+
+class TargetSet:
+    """Round-robin over targets, steering around quarantined ones."""
+
+    def __init__(self, targets: list[Target]):
+        if not targets:
+            raise ValueError("need at least one target")
+        self.targets = targets
+        self.quarantine_skips = 0
+
+    @classmethod
+    def from_urls(cls, urls: list[str], **target_kwargs
+                  ) -> "TargetSet":
+        return cls([Target(url, **target_kwargs) for url in urls])
+
+    def pick(self, index: int) -> Target:
+        """The target for logical request ``index``.
+
+        Skips quarantined targets when a healthy one exists; with every
+        target benched the nominal pick is used anyway (shedding the
+        whole fleet would turn a brown-out into an outage).
+        """
+        count = len(self.targets)
+        nominal = self.targets[index % count]
+        if not nominal.quarantined:
+            return nominal
+        for offset in range(1, count):
+            candidate = self.targets[(index + offset) % count]
+            if not candidate.quarantined:
+                self.quarantine_skips += 1
+                return candidate
+        return nominal
+
+    def other_than(self, target: Target, index: int) -> Target:
+        """A hedge target: prefer a different healthy replica."""
+        count = len(self.targets)
+        if count > 1:
+            for offset in range(1, count):
+                candidate = self.targets[(index + offset) % count]
+                if candidate is not target \
+                        and not candidate.quarantined:
+                    return candidate
+        return target
+
+    def close(self) -> None:
+        for target in self.targets:
+            target.close()
+
+    @property
+    def quarantines(self) -> int:
+        return sum(target.quarantines for target in self.targets)
+
+    @property
+    def reconnects(self) -> int:
+        return sum(target.reconnects for target in self.targets)

@@ -1,0 +1,99 @@
+"""Stepped-ramp saturation search and the run-level scorecard.
+
+The ramp offers increasing request rates, one
+:meth:`~repro.loadgen.replay.LoadGenerator.run_step` per step, and
+declares a step *unhealthy* when either
+
+* the error rate exceeds the SLO error budget, or
+* achieved throughput falls below ``achieved_floor`` of offered
+  (the open-loop schedule lagged -- the service stopped keeping up).
+
+The saturation point is the highest *achieved* throughput among healthy
+steps; by default the ramp stops after the first unhealthy step (the
+service is past its knee and further steps only measure collapse).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.loadgen.replay import LoadGenerator, StepScorecard
+
+#: A step must achieve at least this share of its offered rate.
+DEFAULT_ACHIEVED_FLOOR = 0.9
+
+
+def step_healthy(card: StepScorecard,
+                 achieved_floor: float = DEFAULT_ACHIEVED_FLOOR
+                 ) -> bool:
+    """Did the service hold its SLO at this step's offered rate?"""
+    if card.error_rate > card.error_budget:
+        return False
+    return card.achieved_rps >= achieved_floor * card.offered_rps
+
+
+def ramp_rates(start: float, stop: float, steps: int) -> list[float]:
+    """Geometric ramp from ``start`` to ``stop`` in ``steps`` offers."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if start <= 0 or stop < start:
+        raise ValueError("need 0 < start <= stop")
+    if steps == 1 or stop == start:
+        return [float(start)]
+    ratio = (stop / start) ** (1.0 / (steps - 1))
+    return [start * ratio ** i for i in range(steps)]
+
+
+def stepped_ramp(generator: LoadGenerator, rates: list[float],
+                 duration: float, *,
+                 achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+                 stop_after_unhealthy: bool = True,
+                 settle: float = 0.0,
+                 on_step=None) -> list[StepScorecard]:
+    """Run one step per offered rate; optionally stop past the knee."""
+    cards: list[StepScorecard] = []
+    for rate in rates:
+        card = generator.run_step(rate, duration)
+        cards.append(card)
+        if on_step is not None:
+            on_step(card)
+        if stop_after_unhealthy \
+                and not step_healthy(card, achieved_floor):
+            break
+        if settle > 0.0:
+            time.sleep(settle)
+    return cards
+
+
+def saturation_rps(cards: list[StepScorecard],
+                   achieved_floor: float = DEFAULT_ACHIEVED_FLOOR
+                   ) -> float:
+    """Highest achieved throughput among SLO-healthy steps."""
+    healthy = [card.achieved_rps for card in cards
+               if step_healthy(card, achieved_floor)]
+    return max(healthy, default=0.0)
+
+
+def scorecard(cards: list[StepScorecard], *,
+              achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+              meta: Optional[dict[str, Any]] = None
+              ) -> dict[str, Any]:
+    """The run-level SLO scorecard (JSON-ready)."""
+    healthy_flags = [step_healthy(card, achieved_floor)
+                     for card in cards]
+    result: dict[str, Any] = {
+        "steps": [dict(card.to_dict(), healthy=flag)
+                  for card, flag in zip(cards, healthy_flags)],
+        "achieved_floor": achieved_floor,
+        "saturation_rps":
+            round(saturation_rps(cards, achieved_floor), 3),
+        "healthy_steps": sum(healthy_flags),
+        "total_steps": len(cards),
+        "total_requests": sum(card.requests for card in cards),
+        "total_completed": sum(card.completed for card in cards),
+        "total_errors": sum(card.errors for card in cards),
+    }
+    if meta:
+        result["meta"] = meta
+    return result

@@ -1,0 +1,293 @@
+"""The closed-loop load generator: open-loop offers, measured truth.
+
+One *step* offers a fixed request rate for a fixed duration against a
+:class:`~repro.loadgen.client.TargetSet`:
+
+* the **arrival schedule is open-loop** -- request ``i`` is due at
+  ``start + i/rps`` whether or not earlier requests returned, which is
+  what exposes saturation (a purely closed-loop driver slows down with
+  the server and hides it);
+* the **workers are a closed loop** -- a fixed fleet of threads, each
+  owning pooled keep-alive sessions, executes the schedule; when the
+  service can't keep up the schedule lags and achieved < offered
+  throughput is the signal;
+* optional **hedged requests** -- a request still outstanding after the
+  hedge delay (a multiple of the target's EWMA latency) is duplicated
+  to another replica and the first answer wins;
+* **per-target concurrency caps and quarantine** come from the client
+  layer.
+
+Each step emits a :class:`StepScorecard`: latency quantiles from a
+:class:`~repro.obs.histogram.QuantileSketch` (merged lock-free from
+per-worker sketches), status-class counts, error rate against the SLO
+budget, achieved vs offered throughput, and schedule lag.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.loadgen.client import RequestOutcome, Target, TargetSet
+from repro.obs.histogram import QuantileSketch
+
+#: Default SLO: at most 1% of requests may fail.
+DEFAULT_ERROR_BUDGET = 0.01
+
+#: Hedge delay = HEDGE_EWMA_FACTOR x EWMA latency, floored at hedge_ms.
+HEDGE_EWMA_FACTOR = 3.0
+
+
+@dataclass
+class StepScorecard:
+    """What one load step measured."""
+
+    offered_rps: float
+    duration: float
+    requests: int = 0
+    completed: int = 0
+    statuses: dict[str, int] = field(default_factory=dict)
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+    hedges: int = 0
+    hedge_wins: int = 0
+    quarantines: int = 0
+    reconnects: int = 0
+    max_schedule_lag: float = 0.0
+    wall_seconds: float = 0.0
+    error_budget: float = DEFAULT_ERROR_BUDGET
+
+    @property
+    def errors(self) -> int:
+        """Failed requests: transport errors plus every 5xx."""
+        return self.statuses.get("error", 0) \
+            + self.statuses.get("5xx", 0)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.completed if self.completed else 0.0
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def error_budget_remaining(self) -> float:
+        """Share of the SLO error budget left (negative = blown)."""
+        if self.error_budget <= 0.0:
+            return 0.0 if self.errors else 1.0
+        return 1.0 - self.error_rate / self.error_budget
+
+    def to_dict(self) -> dict[str, Any]:
+        quantiles = {}
+        if self.latency.count:
+            quantiles = {
+                "p50_ms": round(self.latency.quantile(0.50), 3),
+                "p95_ms": round(self.latency.quantile(0.95), 3),
+                "p99_ms": round(self.latency.quantile(0.99), 3),
+                "mean_ms": round(self.latency.mean, 3),
+                "max_ms": round(self.latency.max_value, 3),
+            }
+        return {
+            "offered_rps": round(self.offered_rps, 3),
+            "achieved_rps": round(self.achieved_rps, 3),
+            "duration_seconds": self.duration,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "requests": self.requests,
+            "completed": self.completed,
+            "statuses": dict(sorted(self.statuses.items())),
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 6),
+            "error_budget": self.error_budget,
+            "error_budget_remaining":
+                round(self.error_budget_remaining, 4),
+            "latency": quantiles,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "quarantines": self.quarantines,
+            "reconnects": self.reconnects,
+            "max_schedule_lag_seconds":
+                round(self.max_schedule_lag, 4),
+        }
+
+
+class _WorkerStats:
+    """Lock-free per-worker accumulation, merged after the join."""
+
+    __slots__ = ("sketch", "statuses", "completed", "hedges",
+                 "hedge_wins", "max_lag")
+
+    def __init__(self) -> None:
+        self.sketch = QuantileSketch()
+        self.statuses: dict[str, int] = {}
+        self.completed = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.max_lag = 0.0
+
+    def record(self, outcome: RequestOutcome, lag: float) -> None:
+        self.completed += 1
+        self.sketch.add(outcome.latency_ms)
+        key = outcome.status_class
+        self.statuses[key] = self.statuses.get(key, 0) + 1
+        if outcome.hedged:
+            self.hedges += 1
+            if outcome.hedge_won:
+                self.hedge_wins += 1
+        if lag > self.max_lag:
+            self.max_lag = lag
+
+
+class LoadGenerator:
+    """Replays request paths against live targets at an offered rate."""
+
+    def __init__(self, targets: TargetSet, paths: list[str], *,
+                 workers: int = 8,
+                 hedge_ms: Optional[float] = None,
+                 error_budget: float = DEFAULT_ERROR_BUDGET):
+        if not paths:
+            raise ValueError("need at least one request path")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.targets = targets
+        self.paths = paths
+        self.workers = workers
+        self.hedge_ms = hedge_ms
+        self.error_budget = error_budget
+        self._hedge_pool: Optional[
+            concurrent.futures.ThreadPoolExecutor] = None
+        if hedge_ms is not None:
+            self._hedge_pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers * 2,
+                thread_name_prefix="loadgen-hedge")
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False)
+        self.targets.close()
+
+    def __enter__(self) -> "LoadGenerator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- prewarm -----------------------------------------------------------------
+
+    def prewarm(self, per_target: Optional[int] = None) -> int:
+        """Populate every target's session pool via ``/healthz``.
+
+        Opens (and returns to the pool) enough keep-alive connections
+        that the first measured step pays no TCP handshakes.
+        """
+        per_target = per_target if per_target is not None \
+            else self.workers
+        warmed = 0
+        for target in self.targets.targets:
+            connections = []
+            for _ in range(per_target):
+                connection = target._checkout()
+                try:
+                    connection.request("GET", "/healthz")
+                    connection.getresponse().read()
+                    connections.append(connection)
+                    warmed += 1
+                except OSError:
+                    connection.close()
+            for connection in connections:
+                target._checkin(connection)
+        return warmed
+
+    # -- one call (with optional hedging) ----------------------------------------
+
+    def _call(self, target: Target, path: str) -> RequestOutcome:
+        with target.semaphore:
+            return target.request(path)
+
+    def _execute(self, index: int, path: str) -> RequestOutcome:
+        target = self.targets.pick(index)
+        if self._hedge_pool is None:
+            return self._call(target, path)
+        primary = self._hedge_pool.submit(self._call, target, path)
+        ewma = target.ewma_ms.value
+        hedge_delay_ms = max(self.hedge_ms or 0.0,
+                             HEDGE_EWMA_FACTOR * (ewma or 0.0))
+        try:
+            return primary.result(timeout=hedge_delay_ms / 1e3)
+        except concurrent.futures.TimeoutError:
+            pass
+        hedge_target = self.targets.other_than(target, index)
+        secondary = self._hedge_pool.submit(self._call, hedge_target,
+                                            path)
+        done, _pending = concurrent.futures.wait(
+            (primary, secondary),
+            return_when=concurrent.futures.FIRST_COMPLETED)
+        winner = primary if primary in done else secondary
+        outcome = winner.result()
+        outcome.hedged = True
+        outcome.hedge_won = winner is secondary
+        # The loser drains in the background on the hedge pool; its
+        # connection returns to the session pool when it finishes.
+        return outcome
+
+    # -- one step ----------------------------------------------------------------
+
+    def run_step(self, rps: float, duration: float) -> StepScorecard:
+        """Offer ``rps`` requests/s for ``duration`` seconds."""
+        if rps <= 0 or duration <= 0:
+            raise ValueError("rps and duration must be > 0")
+        total = max(1, int(rps * duration))
+        spacing = 1.0 / rps
+        paths = self.paths
+        stats = [_WorkerStats() for _ in range(self.workers)]
+        start = time.perf_counter() + 0.005   # let every worker arm
+
+        def worker(rank: int) -> None:
+            local = stats[rank]
+            for index in range(rank, total, self.workers):
+                due = start + index * spacing
+                now = time.perf_counter()
+                if now < due:
+                    time.sleep(due - now)
+                    lag = 0.0
+                else:
+                    lag = now - due
+                outcome = self._execute(index,
+                                        paths[index % len(paths)])
+                local.record(outcome, lag)
+
+        threads = [threading.Thread(target=worker, args=(rank,),
+                                    name=f"loadgen-{rank}",
+                                    daemon=True)
+                   for rank in range(self.workers)]
+        quarantines_before = self.targets.quarantines
+        reconnects_before = self.targets.reconnects
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+
+        card = StepScorecard(offered_rps=rps, duration=duration,
+                             requests=total,
+                             error_budget=self.error_budget)
+        card.wall_seconds = max(wall, duration)
+        for local in stats:
+            card.completed += local.completed
+            card.latency.merge(local.sketch)
+            for key, count in local.statuses.items():
+                card.statuses[key] = card.statuses.get(key, 0) + count
+            card.hedges += local.hedges
+            card.hedge_wins += local.hedge_wins
+            card.max_schedule_lag = max(card.max_schedule_lag,
+                                        local.max_lag)
+        card.quarantines = self.targets.quarantines \
+            - quarantines_before
+        card.reconnects = self.targets.reconnects - reconnects_before
+        return card

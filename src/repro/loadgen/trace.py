@@ -1,0 +1,103 @@
+"""Turning a workload trace into a stream of ``/decide`` requests.
+
+The load generator replays the same synthetic week every other layer
+replays -- each :class:`~repro.workload.records.RequestRecord` becomes
+one ``GET /decide`` with the user's auxiliary info spelled out in query
+parameters, exactly the API the web front page submits.  Smart-AP
+ownership is not in the request trace (the paper's aux info arrives via
+cookies), so it is derived deterministically from the user id: the same
+user always presents the same AP/storage combination, across runs and
+across load-generator processes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+from urllib.parse import quote
+
+from repro.sim.clock import mbps
+from repro.workload.generator import Workload
+from repro.workload.records import RequestRecord, User
+
+#: Share of users presenting a smart AP, from the paper's framing of
+#: smart-AP owners as a sizeable minority of ODR users.
+AP_SHARE = 0.4
+
+_AP_NAMES = ("hiwifi", "miwifi", "newifi")
+_DEVICES = ("sd", "usb-flash", "usb-hdd", "sata")
+#: Filesystems a device can actually be formatted as (the SD card is
+#: FAT-only and the SATA disk ships EXT4; see repro.storage.device).
+_FILESYSTEMS_BY_DEVICE = {
+    "sd": ("fat",),
+    "usb-flash": ("fat", "ntfs", "ext4"),
+    "usb-hdd": ("fat", "ntfs", "ext4"),
+    "sata": ("ext4",),
+}
+
+
+def _stable_hash(text: str) -> int:
+    return zlib.crc32(text.encode())
+
+
+def user_ap_params(user_id: str) -> dict[str, str]:
+    """The deterministic smart-AP aux info a user presents (may be {})."""
+    draw = _stable_hash(f"ap:{user_id}")
+    if (draw % 1000) / 1000.0 >= AP_SHARE:
+        return {}
+    device = _DEVICES[_stable_hash(f"device:{user_id}")
+                      % len(_DEVICES)]
+    filesystems = _FILESYSTEMS_BY_DEVICE[device]
+    return {
+        "ap": _AP_NAMES[_stable_hash(f"model:{user_id}")
+                        % len(_AP_NAMES)],
+        "device": device,
+        "filesystem": filesystems[_stable_hash(f"fs:{user_id}")
+                                  % len(filesystems)],
+    }
+
+
+def decide_path(request: RequestRecord,
+                weekly_demand: int,
+                user: Optional[User] = None) -> str:
+    """The ``/decide`` query string for one trace request."""
+    params: list[tuple[str, str]] = [
+        ("link", request.source_url),
+        ("popularity", str(weekly_demand)),
+    ]
+    if request.access_bandwidth is not None:
+        params.append(
+            ("bandwidth_mbps",
+             f"{request.access_bandwidth / mbps(1.0):.3f}"))
+    if user is not None:
+        params.append(("isp", user.isp.value))
+    params.extend(user_ap_params(request.user_id).items())
+    query = "&".join(f"{key}={quote(value, safe='')}"
+                     for key, value in params)
+    return f"/decide?{query}"
+
+
+def workload_paths(workload: Workload,
+                   limit: Optional[int] = None) -> list[str]:
+    """Request paths for a whole workload, in trace arrival order."""
+    users = workload.user_by_id()
+    requests = workload.requests if limit is None \
+        else workload.requests[:limit]
+    return [decide_path(request,
+                        workload.catalog[request.file_id].weekly_demand,
+                        users.get(request.user_id))
+            for request in requests]
+
+
+def load_or_generate_paths(trace_dir: Optional[str],
+                           scale: float, seed: int,
+                           limit: Optional[int] = None) -> list[str]:
+    """Paths from a saved trace directory, or a freshly generated week."""
+    if trace_dir is not None:
+        from repro.workload import load_workload
+        workload = load_workload(trace_dir)
+    else:
+        from repro.workload import WorkloadConfig, WorkloadGenerator
+        workload = WorkloadGenerator(
+            WorkloadConfig(scale=scale, seed=seed)).generate()
+    return workload_paths(workload, limit=limit)

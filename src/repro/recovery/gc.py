@@ -1,0 +1,124 @@
+"""Garbage collection for durable run directories.
+
+``repro runs gc`` sweeps a root directory of runs (anything holding a
+``manifest.json``) and reclaims the ones nothing will ever resume:
+
+* ``complete`` runs are always *eligible* -- their results have been
+  consumed; the checkpoints are dead weight;
+* ``running`` / ``interrupted`` / ``failed`` runs are eligible only
+  once *stale*: their ``state.json`` (or manifest) has not been touched
+  for ``--stale-hours``.  A fresh interrupted run is somebody's
+  resumable work and is never collected.
+
+Of the eligible runs the newest ``--keep-last`` are retained (a
+complete run is often tomorrow's baseline), the rest are deleted --
+but only with ``--delete``; the default is a dry run that prints what
+would go.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.recovery.rundir import MANIFEST_FILE, STATE_FILE
+
+#: Non-complete runs younger than this are presumed resumable.
+DEFAULT_STALE_HOURS = 24.0
+
+
+@dataclass
+class RunInfo:
+    """One discovered run directory."""
+
+    path: Path
+    status: str
+    mtime: float            # newest of state.json / manifest.json
+    bytes: int
+
+    def age_hours(self, now: float) -> float:
+        return max(0.0, (now - self.mtime) / 3600.0)
+
+
+def _dir_bytes(path: Path) -> int:
+    total = 0
+    for item in path.rglob("*"):
+        try:
+            if item.is_file():
+                total += item.stat().st_size
+        except OSError:
+            continue
+    return total
+
+
+def _run_status(path: Path) -> str:
+    state_path = path / STATE_FILE
+    if not state_path.exists():
+        return "unknown"
+    try:
+        return str(json.loads(state_path.read_text())
+                   .get("status", "unknown"))
+    except (OSError, json.JSONDecodeError):
+        return "corrupt"
+
+
+def discover_runs(root: Path) -> list[RunInfo]:
+    """Every direct subdirectory of ``root`` that is a run dir."""
+    if not root.is_dir():
+        return []
+    runs = []
+    for child in sorted(root.iterdir()):
+        manifest = child / MANIFEST_FILE
+        if not (child.is_dir() and manifest.exists()):
+            continue
+        mtime = manifest.stat().st_mtime
+        state_path = child / STATE_FILE
+        if state_path.exists():
+            mtime = max(mtime, state_path.stat().st_mtime)
+        runs.append(RunInfo(path=child, status=_run_status(child),
+                            mtime=mtime, bytes=_dir_bytes(child)))
+    return runs
+
+
+def eligible(run: RunInfo, now: float,
+             stale_hours: float = DEFAULT_STALE_HOURS) -> bool:
+    """May this run be collected at all?"""
+    if run.status == "complete":
+        return True
+    return run.age_hours(now) >= stale_hours
+
+
+def plan_gc(runs: list[RunInfo], *, keep_last: int,
+            stale_hours: float = DEFAULT_STALE_HOURS,
+            now: Optional[float] = None
+            ) -> tuple[list[RunInfo], list[RunInfo]]:
+    """Split runs into (kept, doomed).
+
+    Ineligible runs are always kept; of the eligible ones the
+    ``keep_last`` newest (by state mtime) survive.
+    """
+    if keep_last < 0:
+        raise ValueError("keep_last must be >= 0")
+    clock = time.time() if now is None else now
+    candidates = sorted(
+        (run for run in runs if eligible(run, clock, stale_hours)),
+        key=lambda run: run.mtime, reverse=True)
+    kept_eligible = candidates[:keep_last]
+    doomed = candidates[keep_last:]
+    kept = [run for run in runs if run not in doomed]
+    return kept, doomed
+
+
+def collect(doomed: list[RunInfo], *, delete: bool) -> int:
+    """Delete (or, dry-run, just total up) the doomed runs; returns
+    bytes reclaimed."""
+    reclaimed = 0
+    for run in doomed:
+        if delete:
+            shutil.rmtree(run.path, ignore_errors=True)
+        reclaimed += run.bytes
+    return reclaimed

@@ -1,0 +1,51 @@
+"""repro.serve -- the production ODR serving tier.
+
+The paper's ODR is "a public web service ... on a low-end virtual
+machine"; this package is what it takes to serve the same decision
+endpoint at scale:
+
+* :class:`~repro.serve.server.AsyncOdrServer` -- one asyncio loop,
+  keep-alive connections, same-tick batched decision evaluation,
+  per-endpoint obs metrics plus a Prometheus ``/metrics`` endpoint,
+  graceful drain;
+* :class:`~repro.serve.admission.AdmissionController` -- bounded
+  admission: over-cap requests shed with ``503 + Retry-After`` derived
+  from the EWMA service time, every accepted/rejected request counted;
+* :class:`~repro.serve.batching.DecisionBatcher` -- coalesces requests
+  arriving in one event-loop tick into a single
+  :meth:`~repro.core.webapp.OdrWebApp.handle_batch` pass;
+* :mod:`~repro.serve.workers` -- N ``SO_REUSEPORT`` worker processes
+  sharing one port;
+* :class:`~repro.serve.chaos.ServeChaos` -- a fault-plan gate anchored
+  at server start, so chaos campaigns cover the serving tier;
+* :mod:`~repro.serve.bench` (``python -m repro.serve.bench``) -- the
+  saturation-ramp comparison against the legacy threaded tier,
+  written to ``BENCH_serve.json``.
+
+The CLI lives in ``python -m repro.serve`` (also ``repro serve``).
+"""
+
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionController,
+)
+from repro.serve.batching import DecisionBatcher
+from repro.serve.chaos import ServeChaos, load_serve_chaos
+from repro.serve.server import (
+    AsyncOdrServer,
+    AsyncServerThread,
+    endpoint_label,
+    run_async_server,
+)
+
+__all__ = [
+    "DEFAULT_MAX_INFLIGHT",
+    "AdmissionController",
+    "AsyncOdrServer",
+    "AsyncServerThread",
+    "DecisionBatcher",
+    "ServeChaos",
+    "endpoint_label",
+    "load_serve_chaos",
+    "run_async_server",
+]

@@ -1,0 +1,101 @@
+"""``python -m repro.serve`` -- run the ODR serving tier.
+
+Engines:
+
+* ``async`` (default) -- the asyncio tier: keep-alive connections,
+  bounded admission control, same-tick batched decision evaluation,
+  ``/metrics``; with ``--workers N`` it becomes N ``SO_REUSEPORT``
+  processes sharing the port.
+* ``thread`` -- the legacy ``ThreadingHTTPServer`` tier (PR 5
+  semantics), kept as the baseline the bench harness compares against.
+
+Examples::
+
+    python -m repro.serve --port 8034                  # async, 1 loop
+    python -m repro.serve --workers 4                  # SO_REUSEPORT x4
+    python -m repro.serve --engine thread              # legacy tier
+    python -m repro.serve --faults examples/serve_chaos_plan.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.serve.admission import DEFAULT_MAX_INFLIGHT
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the ODR decision service "
+                    "(async serving tier or the legacy threaded one).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8034,
+                        help="0 picks a free port and prints it "
+                             "(default %(default)s)")
+    parser.add_argument("--engine", choices=("async", "thread"),
+                        default="async",
+                        help="serving engine (default %(default)s)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="async engine only: SO_REUSEPORT worker "
+                             "processes (default %(default)s)")
+    parser.add_argument("--max-inflight", type=int,
+                        default=DEFAULT_MAX_INFLIGHT,
+                        help="admission-control cap on concurrent "
+                             "requests; the excess is shed with "
+                             "503 + Retry-After (default %(default)s)")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable same-tick coalescing of /decide "
+                             "requests")
+    parser.add_argument("--no-resilience", action="store_true",
+                        help="disable the backend circuit breaker")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="inject a fault plan into the serving "
+                             "tier (windows anchored at server start)")
+    parser.add_argument("--grace", type=float, default=10.0,
+                        help="drain grace on SIGTERM/SIGINT, seconds "
+                             "(default %(default)s)")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.engine == "thread":
+        if args.workers > 1:
+            build_parser().error("--workers needs --engine async")
+        from repro.core.webapp import make_server, run_server
+        from repro.faults.policies import ResiliencePolicies
+        policies = None if args.no_resilience else ResiliencePolicies()
+        server = make_server(args.port, policies=policies)
+        if not args.quiet:
+            print(f"ODR (thread) listening on "
+                  f"http://{server.host}:{server.port}/ "
+                  f"(Ctrl-C or SIGTERM to stop)", flush=True)
+        return run_server(server, grace=args.grace, quiet=args.quiet)
+
+    if args.workers > 1:
+        from repro.serve.workers import run_worker_pool
+        return run_worker_pool(
+            args.workers, args.host, args.port,
+            max_inflight=args.max_inflight, batch=not args.no_batch,
+            resilience=not args.no_resilience, faults=args.faults,
+            quiet=args.quiet)
+
+    from repro.faults.policies import ResiliencePolicies
+    from repro.obs import MetricsRegistry
+    from repro.serve.chaos import load_serve_chaos
+    from repro.serve.server import AsyncOdrServer, run_async_server
+    metrics = MetricsRegistry()
+    policies = None if args.no_resilience else ResiliencePolicies()
+    server = AsyncOdrServer(
+        host=args.host, port=args.port, policies=policies,
+        metrics=metrics, max_inflight=args.max_inflight,
+        batch=not args.no_batch,
+        chaos=load_serve_chaos(args.faults, metrics=metrics))
+    return run_async_server(server, grace=args.grace, quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

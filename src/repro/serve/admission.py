@@ -1,0 +1,139 @@
+"""Bounded admission control for the serving tier.
+
+A production decision endpoint must shed load *before* queueing
+collapses its latency, not after.  :class:`AdmissionController` caps the
+number of requests allowed past the front door at once; everything over
+the cap is rejected immediately with ``503 + Retry-After`` instead of
+joining an unbounded backlog.  The ``Retry-After`` hint is computed from
+an EWMA of observed service time: roughly how long the current in-flight
+population needs to drain.
+
+The controller is the single place that accounts for *every* request
+that reaches the server -- admitted or rejected -- through three obs
+instruments:
+
+* ``repro_serve_admitted_total{endpoint}``   counter
+* ``repro_serve_rejected_total{endpoint, reason}`` counter
+* ``repro_serve_inflight``                   gauge
+
+plus a per-endpoint latency histogram
+(``repro_serve_latency_seconds{endpoint}``) observed on release.  Tests
+assert the invariant ``admitted + rejected == requests sent``.
+
+Thread-safe: the asyncio tier calls it from one loop thread, the legacy
+threaded tier from many handler threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Optional
+
+from repro.obs.registry import NOOP, AnyRegistry
+
+#: Default cap on concurrently admitted requests.  Sized for the
+#: decision endpoint: decisions are sub-millisecond, so hundreds in
+#: flight means the server is queueing, not working.
+DEFAULT_MAX_INFLIGHT = 128
+
+#: EWMA smoothing for the observed service time.
+EWMA_ALPHA = 0.2
+
+#: Clamp for the Retry-After hint (seconds).
+RETRY_AFTER_MIN = 1
+RETRY_AFTER_MAX = 30
+
+
+class AdmissionController:
+    """Queue-depth cap with an EWMA-derived Retry-After hint."""
+
+    def __init__(self, max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 metrics: AnyRegistry = NOOP):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._ewma_seconds = 0.001   # optimistic prior: a fast backend
+        self._inflight_gauge = metrics.gauge("repro_serve_inflight")
+
+    # -- admission ---------------------------------------------------------------
+
+    def try_admit(self, endpoint: str) -> bool:
+        """Admit one request, or refuse because the server is full."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._metrics.counter("repro_serve_rejected_total",
+                                      endpoint=endpoint,
+                                      reason="saturated").inc()
+                return False
+            self._inflight += 1
+            self._inflight_gauge.set(float(self._inflight))
+        self._metrics.counter("repro_serve_admitted_total",
+                              endpoint=endpoint).inc()
+        return True
+
+    def reject(self, endpoint: str, reason: str) -> None:
+        """Account for a shed request refused for a non-depth reason
+        (e.g. an injected fault window or a malformed request line)."""
+        self._metrics.counter("repro_serve_rejected_total",
+                              endpoint=endpoint, reason=reason).inc()
+
+    def release(self, endpoint: str, latency_seconds: float,
+                status: int) -> None:
+        """Finish one admitted request: free its slot, record latency."""
+        with self._lock:
+            self._inflight -= 1
+            self._inflight_gauge.set(float(self._inflight))
+            if latency_seconds >= 0.0:
+                self._ewma_seconds += EWMA_ALPHA * (
+                    latency_seconds - self._ewma_seconds)
+        self._metrics.counter("repro_serve_responses_total",
+                              endpoint=endpoint,
+                              status=f"{status // 100}xx").inc()
+        self._metrics.histogram("repro_serve_latency_seconds",
+                                endpoint=endpoint).observe(
+            latency_seconds)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def ewma_service_seconds(self) -> float:
+        with self._lock:
+            return self._ewma_seconds
+
+    def retry_after(self) -> int:
+        """Seconds a shed client should wait: the time the admitted
+        population needs to drain at the observed service rate."""
+        with self._lock:
+            drain = self._inflight * self._ewma_seconds
+        return int(min(RETRY_AFTER_MAX,
+                       max(RETRY_AFTER_MIN, math.ceil(drain))))
+
+    def shed_body(self) -> tuple[int, str, dict[str, str]]:
+        """(status, JSON body, headers) of the saturation response."""
+        import json
+        retry_after = self.retry_after()
+        body = json.dumps(
+            {"error": "server saturated",
+             "detail": f"admission queue full "
+                       f"({self.max_inflight} in flight); retry later",
+             "retry_after_seconds": retry_after})
+        return 503, body, {"Retry-After": str(retry_after)}
+
+
+def optional_admission(max_inflight: Optional[int],
+                       metrics: AnyRegistry = NOOP
+                       ) -> Optional[AdmissionController]:
+    """An AdmissionController, or None when admission is disabled
+    (``max_inflight`` of 0 or None means 'unbounded')."""
+    if not max_inflight:
+        return None
+    return AdmissionController(max_inflight, metrics=metrics)

@@ -1,0 +1,106 @@
+"""Same-tick request coalescing for the asyncio serving tier.
+
+Under load, many ``/decide`` requests become readable in the same event
+-loop iteration.  Handling them one by one pays the decision pipeline's
+fixed costs (breaker admission, clock read, allocator/database lock)
+once *per request*; the :class:`DecisionBatcher` pays them once per
+*tick*: every request submitted while the loop is busy is queued, and a
+``call_soon`` drain evaluates the whole queue through
+:meth:`~repro.core.webapp.OdrWebApp.handle_batch` in one pass.
+
+Latency cost is bounded by construction: the drain callback is
+scheduled the moment the first request of a tick arrives, so an idle
+server still answers in the same iteration -- batching only *appears*
+when concurrency does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.core.webapp import OdrWebApp, Response
+from repro.obs.registry import NOOP, AnyRegistry
+
+#: Upper bound on one coalesced pass, so a drain never monopolises the
+#: loop; the remainder re-schedules itself onto the next tick.
+DEFAULT_MAX_BATCH = 512
+
+
+class DecisionBatcher:
+    """Coalesces concurrently-arriving requests into one batch pass."""
+
+    def __init__(self, app: OdrWebApp, metrics: AnyRegistry = NOOP,
+                 max_batch: int = DEFAULT_MAX_BATCH):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.app = app
+        self.max_batch = max_batch
+        self._metrics = metrics
+        self._pending: list[tuple[str, str, asyncio.Future]] = []
+        self._drain_scheduled = False
+        self.batches = 0
+        self.batched_requests = 0
+
+    def submit(self, path: str, cookie_header: str
+               ) -> "asyncio.Future[Response]":
+        """Queue one request; the future resolves with its Response."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((path, cookie_header, future))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            loop.call_soon(self._drain)
+        return future
+
+    def _drain(self) -> None:
+        batch = self._pending[:self.max_batch]
+        del self._pending[:self.max_batch]
+        if self._pending:
+            # Oversized tick: keep draining next iteration.
+            asyncio.get_running_loop().call_soon(self._drain)
+        else:
+            self._drain_scheduled = False
+        if not batch:
+            return
+        self.batches += 1
+        self.batched_requests += len(batch)
+        self._metrics.histogram("repro_serve_batch_size").observe(
+            float(len(batch)))
+        # handle_batch is synchronous; evaluating it on the loop would
+        # stall every connection for the whole pass, so it runs on the
+        # default executor while the loop collects the next batch.
+        task = asyncio.ensure_future(self._evaluate(batch))
+        task.add_done_callback(lambda _task: None)
+
+    async def _evaluate(self, batch: list[tuple[str, str,
+                                                asyncio.Future]]
+                        ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            responses = await loop.run_in_executor(
+                None, self.app.handle_batch,
+                [(path, cookie) for path, cookie, _future in batch])
+        except Exception as error:   # noqa: BLE001 - boundary
+            for _path, _cookie, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_path, _cookie, future), response in zip(batch, responses):
+            if not future.done():
+                future.set_result(response)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches \
+            else 0.0
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+
+def optional_batcher(app: OdrWebApp, enabled: bool,
+                     metrics: AnyRegistry = NOOP
+                     ) -> Optional[DecisionBatcher]:
+    return DecisionBatcher(app, metrics=metrics) if enabled else None

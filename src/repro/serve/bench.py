@@ -1,0 +1,258 @@
+"""``python -m repro.serve.bench`` -- async vs threaded saturation ramp.
+
+Boots each serving engine as its own subprocess (so the load generator
+never shares a GIL with the tier it is measuring), replays the same
+trace slice through the same stepped ramp against both, and writes the
+side-by-side scorecards to ``BENCH_serve.json``:
+
+* ``engines.async`` / ``engines.thread`` -- the full per-step SLO
+  scorecard of each tier (see :func:`repro.loadgen.ramp.scorecard`);
+* ``saturation`` -- each tier's saturation RPS (highest achieved
+  throughput among SLO-healthy steps) and the async/thread ratio.
+
+The legacy tier answers ``Connection: close`` on every response, so
+each request pays a fresh TCP handshake; the async tier keeps
+connections alive, batches same-tick decisions, and sheds overload
+instead of queueing it -- the ramp makes that difference a number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.loadgen.client import TargetSet
+from repro.loadgen.ramp import (
+    DEFAULT_ACHIEVED_FLOOR,
+    ramp_rates,
+    scorecard,
+    step_healthy,
+)
+from repro.loadgen.replay import LoadGenerator
+from repro.loadgen.trace import load_or_generate_paths
+
+#: How long to wait for a freshly launched engine's /healthz.
+BOOT_TIMEOUT = 15.0
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(host: str, port: int,
+                 timeout: float = BOOT_TIMEOUT) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            connection = http.client.HTTPConnection(host, port,
+                                                    timeout=1.0)
+            connection.request("GET", "/healthz")
+            healthy = connection.getresponse().status == 200
+            connection.close()
+            if healthy:
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False
+
+
+class EngineProcess:
+    """One serving engine running as a child process."""
+
+    def __init__(self, engine: str, port: int, *,
+                 workers: int = 1, max_inflight: int = 128,
+                 host: str = "127.0.0.1"):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        command = [sys.executable, "-m", "repro.serve",
+                   "--engine", engine, "--host", host,
+                   "--port", str(port), "--quiet"]
+        if engine == "async":
+            command += ["--max-inflight", str(max_inflight)]
+            if workers > 1:
+                command += ["--workers", str(workers)]
+        environment = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = src if not existing \
+            else f"{src}{os.pathsep}{existing}"
+        self.process = subprocess.Popen(
+            command, env=environment,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def wait_ready(self) -> None:
+        if not wait_healthy(self.host, self.port):
+            self.stop()
+            raise RuntimeError(
+                f"{self.engine} engine never became healthy on "
+                f"port {self.port}")
+
+    def stop(self, grace: float = 5.0) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+    def __enter__(self) -> "EngineProcess":
+        self.wait_ready()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def ramp_engine(engine: str, paths: list[str], rates: list[float],
+                duration: float, *,
+                workers: int = 1, max_inflight: int = 128,
+                loadgen_workers: int = 8,
+                max_concurrency: int = 64,
+                achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+                settle: float = 0.25,
+                quiet: bool = False) -> dict[str, Any]:
+    """Boot ``engine`` in a subprocess and ramp it to saturation."""
+    with EngineProcess(engine, free_port(), workers=workers,
+                       max_inflight=max_inflight) as child:
+        targets = TargetSet.from_urls(
+            [child.url], max_concurrency=max_concurrency)
+        with LoadGenerator(targets, paths,
+                           workers=loadgen_workers) as generator:
+            generator.prewarm()
+            cards = []
+            for rate in rates:
+                card = generator.run_step(rate, duration)
+                cards.append(card)
+                healthy = step_healthy(card, achieved_floor)
+                if not quiet:
+                    p95 = card.latency.quantile(0.95) \
+                        if card.latency.count else float("nan")
+                    print(f"  [{engine}] {card.offered_rps:8.1f} "
+                          f"offered | {card.achieved_rps:8.1f} "
+                          f"achieved | p95 {p95:8.2f} ms | "
+                          f"err {card.error_rate:.4f} | "
+                          f"{'ok' if healthy else 'SATURATED'}",
+                          flush=True)
+                if not healthy:
+                    break
+                time.sleep(settle)
+    return scorecard(cards, achieved_floor=achieved_floor,
+                     meta={"engine": engine, "workers": workers,
+                           "max_inflight": max_inflight})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.bench",
+        description="Saturation-ramp comparison of the async serving "
+                    "tier against the legacy threaded one.")
+    parser.add_argument("--engines", default="async,thread",
+                        help="comma-separated engines to ramp "
+                             "(default %(default)s)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="async engine SO_REUSEPORT workers "
+                             "(default %(default)s)")
+    parser.add_argument("--max-inflight", type=int, default=128)
+    parser.add_argument("--ramp-start", type=float, default=50.0)
+    parser.add_argument("--ramp-stop", type=float, default=1600.0)
+    parser.add_argument("--ramp-steps", type=int, default=6)
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds per ramp step "
+                             "(default %(default)s)")
+    parser.add_argument("--loadgen-workers", type=int, default=16)
+    parser.add_argument("--max-concurrency", type=int, default=64,
+                        help="per-target in-flight cap on the load "
+                             "generator side (default %(default)s)")
+    parser.add_argument("--achieved-floor", type=float,
+                        default=DEFAULT_ACHIEVED_FLOOR)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--limit", type=int, default=5000)
+    parser.add_argument("--trace", metavar="DIR", default=None)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    engines = [name.strip() for name in args.engines.split(",")
+               if name.strip()]
+    for engine in engines:
+        if engine not in ("async", "thread"):
+            build_parser().error(f"unknown engine {engine!r}")
+
+    paths = load_or_generate_paths(args.trace, args.scale, args.seed,
+                                   limit=args.limit)
+    rates = ramp_rates(args.ramp_start, args.ramp_stop,
+                       args.ramp_steps)
+    if not args.quiet:
+        print(f"bench: {len(paths)} trace paths, ramp "
+              f"{[round(rate, 1) for rate in rates]} rps x "
+              f"{args.duration}s", flush=True)
+
+    results: dict[str, Any] = {}
+    for engine in engines:
+        if not args.quiet:
+            print(f"bench: ramping {engine} engine", flush=True)
+        results[engine] = ramp_engine(
+            engine, paths, rates, args.duration,
+            workers=args.workers if engine == "async" else 1,
+            max_inflight=args.max_inflight,
+            loadgen_workers=args.loadgen_workers,
+            max_concurrency=args.max_concurrency,
+            achieved_floor=args.achieved_floor,
+            quiet=args.quiet)
+
+    saturation = {engine: results[engine]["saturation_rps"]
+                  for engine in engines}
+    document: dict[str, Any] = {
+        "engines": results,
+        "saturation": saturation,
+        "ramp": {
+            "rates_rps": [round(rate, 3) for rate in rates],
+            "duration_seconds": args.duration,
+            "achieved_floor": args.achieved_floor,
+        },
+        "trace": {"dir": args.trace, "scale": args.scale,
+                  "seed": args.seed, "limit": args.limit,
+                  "paths": len(paths)},
+        "loadgen": {"workers": args.loadgen_workers,
+                    "max_concurrency": args.max_concurrency},
+    }
+    if "async" in saturation and "thread" in saturation \
+            and saturation["thread"] > 0:
+        document["saturation"]["async_over_thread"] = round(
+            saturation["async"] / saturation["thread"], 3)
+
+    from repro.recovery.atomic import atomic_write_text
+    atomic_write_text(Path(args.out),
+                      json.dumps(document, indent=2, sort_keys=True)
+                      + "\n")
+    if not args.quiet:
+        print(f"bench: wrote {args.out}")
+        for engine in engines:
+            print(f"bench: {engine} saturation "
+                  f"{saturation[engine]} rps", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Fault-plan middleware for the serving tier.
+
+Chaos campaigns (PR 4) cover the replay paths; this adapter extends
+them to the live HTTP service so a loadgen scorecard can be taken
+*under* a fault plan.  The serving tier runs on wall time, so the
+adapter anchors the plan's clock at server start: a window with
+``start: 5, duration: 10`` is active between 5 and 15 seconds of server
+uptime -- which keeps campaign plans short, replayable, and independent
+of when the campaign was launched.
+
+Kind semantics at the front door (entity domain as in
+:mod:`repro.faults.plan`):
+
+* ``server_crash``  -- the decision backend is dark: requests fail with
+  an injected 500 (the breaker and the load generator see real errors);
+* ``isp_degrade``   -- the path to the backend is degraded: responses
+  are delayed by ``BASE_DELAY * (1/severity - 1)``, capped;
+* ``vm_stall``      -- a wedged backend VM: a fixed stall per request.
+
+Everything else in the taxonomy shapes the batch-replay layers and is
+ignored here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs.registry import NOOP, AnyRegistry
+
+#: The entity name the serving tier presents to target matching; plans
+#: aimed at the front door use ``"*"`` or ``"isp:*"`` targets (or the
+#: concrete ``isp:frontend``).
+SERVE_ENTITY = "frontend"
+
+#: Base delay (seconds) scaled by the degradation severity.
+BASE_DELAY = 0.005
+
+#: Cap on one injected delay so a harsh plan cannot wedge the loop.
+MAX_DELAY = 0.5
+
+#: Fixed per-request stall while a vm_stall window is active.
+STALL_DELAY = 0.05
+
+
+@dataclass(frozen=True)
+class ChaosVerdict:
+    """What the fault plan says about one request: fail and/or delay."""
+
+    fail: bool = False
+    delay: float = 0.0
+    kind: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not self.fail and self.delay <= 0.0
+
+
+class ServeChaos:
+    """Wall-clock fault gate evaluated per admitted request."""
+
+    def __init__(self, injector: FaultInjector,
+                 entity: str = SERVE_ENTITY,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: AnyRegistry = NOOP):
+        self.injector = injector
+        self.entity = entity
+        self._clock = clock
+        self._origin = clock()
+        self._metrics = metrics
+
+    def now(self) -> float:
+        """Seconds since the server (and therefore the plan) started."""
+        return self._clock() - self._origin
+
+    def verdict(self) -> ChaosVerdict:
+        now = self.now()
+        crash = self.injector.active("server_crash", self.entity, now)
+        if crash is not None:
+            self.injector.impact(crash)
+            return ChaosVerdict(fail=True, kind="server_crash")
+        delay = 0.0
+        kind = ""
+        factor = self.injector.factor("isp_degrade", self.entity, now)
+        if factor < 1.0:
+            delay = min(MAX_DELAY, BASE_DELAY * (1.0 / factor - 1.0))
+            kind = "isp_degrade"
+        stall = self.injector.active("vm_stall", self.entity, now)
+        if stall is not None:
+            delay += STALL_DELAY * stall.severity
+            kind = "vm_stall" if not kind else f"{kind}+vm_stall"
+        if delay > 0.0:
+            self._metrics.counter("repro_serve_chaos_delays_total",
+                                  kind=kind).inc()
+        return ChaosVerdict(delay=delay, kind=kind)
+
+    def injected_500(self) -> tuple[int, str, dict[str, str]]:
+        """(status, body, headers) of a fault-window failure."""
+        import json
+        self._metrics.counter("repro_serve_chaos_failures_total").inc()
+        return 500, json.dumps(
+            {"error": "internal error",
+             "detail": "injected fault: decision backend dark "
+                       "(server_crash window)"}), {}
+
+
+def load_serve_chaos(plan_path: Optional[Union[str, Path]],
+                     metrics: AnyRegistry = NOOP
+                     ) -> Optional[ServeChaos]:
+    """Build the gate from ``--faults PLAN``; None when chaos is off."""
+    if plan_path is None:
+        return None
+    plan = FaultPlan.from_file(plan_path)
+    return ServeChaos(FaultInjector(plan, metrics=metrics),
+                      metrics=metrics)

@@ -1,0 +1,113 @@
+"""Multi-worker serving: N event loops sharing one port.
+
+One asyncio loop saturates one core; the way past that without a load
+balancer is ``SO_REUSEPORT``: every worker process binds the same
+``(host, port)`` and the kernel distributes accepted connections across
+them.  Workers are plain OS processes (spawn-safe entry point below),
+each running its own :class:`~repro.serve.server.AsyncOdrServer` with
+its own app state.
+
+State caveat, documented rather than hidden: each worker has an
+independent content database, breaker, and metrics registry -- exactly
+like independent replicas behind a kernel load balancer.  The paper's
+ODR is stateless per request (auxiliary info rides in the cookie), so
+decisions do not change across workers; only per-worker popularity
+seeding differs until every worker has seen a file once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import socket
+from typing import Optional
+
+
+def _worker_main(host: str, port: int, max_inflight: int,
+                 batch: bool, resilience: bool,
+                 faults: Optional[str], quiet: bool) -> None:
+    """Spawn-safe worker entry: one async server on a shared port."""
+    from repro.faults.policies import ResiliencePolicies
+    from repro.obs import MetricsRegistry
+    from repro.serve.chaos import load_serve_chaos
+    from repro.serve.server import AsyncOdrServer, run_async_server
+
+    metrics = MetricsRegistry()
+    policies = ResiliencePolicies() if resilience else None
+    server = AsyncOdrServer(
+        host=host, port=port, policies=policies, metrics=metrics,
+        max_inflight=max_inflight, batch=batch,
+        chaos=load_serve_chaos(faults, metrics=metrics),
+        reuse_port=True)
+    raise SystemExit(run_async_server(server, quiet=quiet,
+                                      announce=False))
+
+
+def probe_reuse_port(host: str = "127.0.0.1") -> int:
+    """Reserve a concrete port usable with SO_REUSEPORT.
+
+    Workers must agree on a non-zero port before binding; this binds
+    port 0 once *with* SO_REUSEPORT to learn a free port that later
+    worker binds can share.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise OSError("SO_REUSEPORT unsupported on this platform")
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    probe.bind((host, 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def run_worker_pool(workers: int, host: str, port: int, *,
+                    max_inflight: int, batch: bool = True,
+                    resilience: bool = True,
+                    faults: Optional[str] = None,
+                    quiet: bool = False) -> int:
+    """Run ``workers`` SO_REUSEPORT processes; SIGTERM fans out.
+
+    Returns 0 when every worker drained cleanly, else the worst worker
+    exit code.
+    """
+    if workers < 2:
+        raise ValueError("run_worker_pool needs >= 2 workers; use "
+                         "run_async_server for one")
+    if port == 0:
+        port = probe_reuse_port(host)
+    context = multiprocessing.get_context("spawn")
+    pool = [context.Process(
+        target=_worker_main,
+        args=(host, port, max_inflight, batch, resilience,
+              faults, quiet),
+        name=f"odr-worker-{rank}", daemon=False)
+        for rank in range(workers)]
+    for process in pool:
+        process.start()
+    if not quiet:
+        print(f"ODR (async x{workers} via SO_REUSEPORT) listening on "
+              f"http://{host}:{port}/ (Ctrl-C or SIGTERM to stop)",
+              flush=True)
+
+    def _forward(signum, _frame):   # noqa: ARG001 - signal API
+        for process in pool:
+            if process.is_alive() and process.pid is not None:
+                try:
+                    import os
+                    os.kill(process.pid, signal.SIGTERM)
+                except ProcessLookupError:   # pragma: no cover - race
+                    pass
+
+    previous = {signum: signal.signal(signum, _forward)
+                for signum in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        for process in pool:
+            process.join()
+    except KeyboardInterrupt:   # pragma: no cover - interactive
+        _forward(signal.SIGINT, None)
+        for process in pool:
+            process.join()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return max((process.exitcode or 0) for process in pool)

@@ -13,11 +13,47 @@ class TestParser:
     def test_all_subcommands_exist(self):
         parser = build_parser()
         for command in ("generate", "cloud", "ap", "odr",
-                        "experiments", "figures"):
+                        "experiments", "figures", "serve", "loadgen"):
             args = parser.parse_args(
                 [command] if command != "odr"
                 else [command, "http://x/y"])
             assert args.command == command
+
+    def test_serve_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--engine", "async", "--workers", "4",
+             "--max-inflight", "64", "--no-batch", "--port", "0"])
+        assert args.engine == "async"
+        assert args.workers == 4
+        assert args.max_inflight == 64
+        assert args.no_batch
+        args = parser.parse_args(["serve"])
+        assert args.engine == "async" and args.port == 8034
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--engine", "gevent"])
+
+    def test_loadgen_forwards_to_its_own_parser(self, capsys):
+        # Forwarded verbatim: loadgen's parser rejects a run with no
+        # targets, which proves the arguments reached it.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["loadgen", "--rps", "5"])
+        assert excinfo.value.code == 2
+        assert "--target" in capsys.readouterr().err
+
+    def test_runs_gc_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["runs", "gc", "--root", "r", "--keep-last", "5",
+             "--stale-hours", "48", "--delete"])
+        assert str(args.root) == "r"
+        assert args.keep_last == 5
+        assert args.stale_hours == 48.0
+        assert args.delete
+        # Dry run is the default.
+        assert not parser.parse_args(["runs", "gc"]).delete
+        with pytest.raises(SystemExit):
+            parser.parse_args(["runs"])
 
     def test_metrics_flags_on_instrumented_subcommands(self):
         parser = build_parser()

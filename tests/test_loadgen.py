@@ -1,0 +1,220 @@
+"""Tests for repro.loadgen: trace replay, client pool, ramp scoring.
+
+The load-bearing properties:
+
+* trace paths are deterministic, well-formed /decide queries that the
+  web app answers 200 (per-user AP aux info never draws an impossible
+  device/filesystem combination);
+* the client layer pools keep-alive connections, tracks EWMA latency,
+  quarantines a target after consecutive failures, and un-benches it
+  after the cooldown;
+* a load step against a live server completes every scheduled request
+  and its scorecard accounts for all of them;
+* the ramp marks SLO-blowing steps unhealthy and reports saturation as
+  the best healthy achieved throughput.
+"""
+
+import json
+
+import pytest
+
+from repro.core.webapp import OdrWebApp
+from repro.loadgen import (
+    LoadGenerator,
+    RequestOutcome,
+    StepScorecard,
+    Target,
+    TargetSet,
+    decide_path,
+    load_or_generate_paths,
+    ramp_rates,
+    saturation_rps,
+    scorecard,
+    step_healthy,
+    workload_paths,
+)
+from repro.loadgen.trace import user_ap_params
+from repro.obs import MetricsRegistry
+from repro.serve import AsyncOdrServer, AsyncServerThread
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadGenerator(
+        WorkloadConfig(scale=0.003, seed=11)).generate()
+
+
+class TestTrace:
+    def test_paths_are_deterministic(self, workload):
+        assert workload_paths(workload, limit=50) \
+            == workload_paths(workload, limit=50)
+
+    def test_ap_params_deterministic_and_valid(self):
+        seen_ap = False
+        for index in range(200):
+            params = user_ap_params(f"user-{index}")
+            assert params == user_ap_params(f"user-{index}")
+            if not params:
+                continue
+            seen_ap = True
+            if params["device"] == "sd":
+                assert params["filesystem"] == "fat"
+            if params["device"] == "sata":
+                assert params["filesystem"] == "ext4"
+        assert seen_ap
+
+    def test_decide_path_includes_aux_info(self, workload):
+        request = workload.requests[0]
+        path = decide_path(request, 123,
+                           workload.user_by_id()[request.user_id])
+        assert path.startswith("/decide?link=")
+        assert "popularity=123" in path
+        assert "isp=" in path
+
+    def test_webapp_answers_every_path_200(self, workload):
+        paths = workload_paths(workload, limit=300)
+        app = OdrWebApp(None)
+        responses = app.handle_batch([(path, "") for path in paths])
+        assert {status for status, *_rest in responses} == {200}
+
+    def test_generate_paths_entry_point(self):
+        paths = load_or_generate_paths(None, 0.003, 11, limit=20)
+        assert len(paths) == 20
+        assert all(path.startswith("/decide?") for path in paths)
+
+
+class TestClient:
+    def test_rejects_non_http_targets(self):
+        with pytest.raises(ValueError):
+            Target("https://secure.example")
+
+    def test_outcome_classification(self):
+        assert RequestOutcome(200, 1.0).ok
+        assert RequestOutcome(503, 1.0).status_class == "5xx"
+        assert RequestOutcome(None, 1.0,
+                              error="Timeout").status_class == "error"
+        assert not RequestOutcome(None, 1.0, error="Timeout").ok
+
+    def test_quarantine_after_consecutive_failures(self):
+        ticks = [0.0]
+        target = Target("http://127.0.0.1:1", quarantine_failures=3,
+                        quarantine_seconds=5.0,
+                        clock=lambda: ticks[0])
+        for _ in range(3):
+            target._record_outcome(
+                RequestOutcome(None, 1.0, error="ConnectionRefused"))
+        assert target.quarantined
+        assert target.quarantines == 1
+        ticks[0] = 6.0
+        assert not target.quarantined
+
+    def test_success_resets_failure_streak(self):
+        target = Target("http://127.0.0.1:1", quarantine_failures=3)
+        target._record_outcome(RequestOutcome(None, 1.0, error="x"))
+        target._record_outcome(RequestOutcome(None, 1.0, error="x"))
+        target._record_outcome(RequestOutcome(200, 1.0))
+        target._record_outcome(RequestOutcome(None, 1.0, error="x"))
+        assert not target.quarantined
+
+    def test_pick_steers_around_quarantined(self):
+        ticks = [0.0]
+        healthy = Target("http://127.0.0.1:1", clock=lambda: ticks[0])
+        sick = Target("http://127.0.0.1:2", quarantine_failures=1,
+                      quarantine_seconds=100.0,
+                      clock=lambda: ticks[0])
+        sick._record_outcome(RequestOutcome(500, 1.0))
+        targets = TargetSet([sick, healthy])
+        picks = {targets.pick(index).port for index in range(4)}
+        assert picks == {1}
+        assert targets.quarantine_skips > 0
+
+    def test_pick_uses_nominal_when_all_benched(self):
+        sick = Target("http://127.0.0.1:2", quarantine_failures=1,
+                      quarantine_seconds=100.0)
+        sick._record_outcome(RequestOutcome(500, 1.0))
+        targets = TargetSet([sick])
+        assert targets.pick(0) is sick
+
+
+class TestLiveStep:
+    def test_step_completes_all_requests(self, workload):
+        paths = workload_paths(workload, limit=100)
+        server = AsyncOdrServer(metrics=MetricsRegistry())
+        with AsyncServerThread(server) as thread:
+            targets = TargetSet.from_urls([thread.url])
+            with LoadGenerator(targets, paths,
+                               workers=4) as generator:
+                warmed = generator.prewarm(2)
+                assert warmed == 2
+                card = generator.run_step(rps=80.0, duration=1.0)
+        assert card.requests == 80
+        assert card.completed == 80
+        assert card.statuses.get("2xx") == 80
+        assert card.errors == 0
+        assert card.latency.count == 80
+        assert card.achieved_rps > 0
+        assert step_healthy(card)
+        rendered = card.to_dict()
+        assert rendered["latency"]["p95_ms"] > 0
+        assert rendered["error_budget_remaining"] == 1.0
+        json.dumps(rendered)   # scorecards must be JSON-ready
+
+    def test_connections_are_reused(self, workload):
+        paths = workload_paths(workload, limit=50)
+        server = AsyncOdrServer(metrics=MetricsRegistry())
+        with AsyncServerThread(server) as thread:
+            targets = TargetSet.from_urls([thread.url])
+            with LoadGenerator(targets, paths,
+                               workers=2) as generator:
+                generator.prewarm(2)
+                card = generator.run_step(rps=60.0, duration=1.0)
+        # Pooled keep-alive: far fewer dials than requests.
+        assert card.reconnects <= 4
+        assert card.completed == 60
+
+
+class TestRamp:
+    def card(self, offered, completed, errors=0, wall=1.0):
+        card = StepScorecard(offered_rps=offered, duration=1.0,
+                             requests=completed + errors)
+        card.completed = completed + errors
+        card.wall_seconds = wall
+        card.statuses = {"2xx": completed}
+        if errors:
+            card.statuses["5xx"] = errors
+        return card
+
+    def test_ramp_rates_geometric(self):
+        rates = ramp_rates(10.0, 160.0, 5)
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[-1] == pytest.approx(160.0)
+        assert len(rates) == 5
+        ratios = [b / a for a, b in zip(rates, rates[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_error_budget_marks_step_unhealthy(self):
+        healthy = self.card(100.0, 100)
+        sick = self.card(100.0, 95, errors=5)
+        assert step_healthy(healthy)
+        assert not step_healthy(sick)
+
+    def test_lagging_throughput_marks_step_unhealthy(self):
+        lagging = self.card(100.0, 50, wall=1.0)
+        assert not step_healthy(lagging)
+
+    def test_saturation_is_best_healthy_achieved(self):
+        cards = [self.card(50.0, 50), self.card(100.0, 100),
+                 self.card(200.0, 110)]
+        assert saturation_rps(cards) == pytest.approx(100.0)
+
+    def test_scorecard_totals(self):
+        cards = [self.card(50.0, 50), self.card(100.0, 90, errors=10)]
+        result = scorecard(cards, meta={"engine": "async"})
+        assert result["total_steps"] == 2
+        assert result["healthy_steps"] == 1
+        assert result["total_errors"] == 10
+        assert result["saturation_rps"] == pytest.approx(50.0)
+        assert result["meta"]["engine"] == "async"
+        assert result["steps"][0]["healthy"]
+        assert not result["steps"][1]["healthy"]

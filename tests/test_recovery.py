@@ -335,10 +335,14 @@ class TestDurableMapPool:
             self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv(ENV_VAR, "item-1:1:hang")
         metrics = MetricsRegistry()
+        # The hang hook sleeps for an hour, so any watchdog value trips
+        # on the hung attempt; it must still be generous enough that
+        # spawn-context pool startup on a slow or loaded host doesn't
+        # charge the healthy items too and exhaust the attempt budget.
         outcome = durable_map(
             _keys(2), [1, 2], _double, jobs=2, metrics=metrics,
             recovery=RecoveryConfig(run_dir=tmp_path / "run",
-                                    shard_timeout=1.0))
+                                    shard_timeout=8.0))
         assert outcome.results == [2, 4]
         assert metrics.snapshot()[
             "repro_recovery_shard_timeouts_total"] == 1.0

@@ -1,0 +1,136 @@
+"""Tests for repro.recovery.gc and the ``repro runs gc`` CLI.
+
+The load-bearing properties:
+
+* only directories holding a run manifest are ever considered;
+* complete runs are eligible, fresh interrupted/running runs are not,
+  stale ones are;
+* keep-last retains the newest eligible runs;
+* the CLI defaults to a dry run and only ``--delete`` removes bytes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.recovery.gc import (
+    DEFAULT_STALE_HOURS,
+    collect,
+    discover_runs,
+    eligible,
+    plan_gc,
+)
+
+NOW = 1_700_000_000.0
+
+
+def make_run(root, name, status, age_hours, payload=2048):
+    run = root / name
+    (run / "checkpoints").mkdir(parents=True)
+    (run / "manifest.json").write_text(json.dumps({"format": 1}))
+    (run / "state.json").write_text(json.dumps({"status": status}))
+    (run / "checkpoints" / "data.pkl").write_bytes(b"x" * payload)
+    stamp = NOW - age_hours * 3600.0
+    for file in ("manifest.json", "state.json"):
+        os.utime(run / file, (stamp, stamp))
+    return run
+
+
+class TestDiscovery:
+    def test_only_manifested_dirs_count(self, tmp_path):
+        make_run(tmp_path, "real", "complete", 1.0)
+        (tmp_path / "not-a-run").mkdir()
+        (tmp_path / "loose-file.json").write_text("{}")
+        runs = discover_runs(tmp_path)
+        assert [run.path.name for run in runs] == ["real"]
+        assert runs[0].status == "complete"
+        assert runs[0].bytes > 2048
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert discover_runs(tmp_path / "nowhere") == []
+
+
+class TestEligibility:
+    def test_complete_always_eligible(self, tmp_path):
+        make_run(tmp_path, "done", "complete", 0.0)
+        run = discover_runs(tmp_path)[0]
+        assert eligible(run, NOW)
+
+    def test_fresh_interrupted_is_protected(self, tmp_path):
+        make_run(tmp_path, "resumable", "interrupted", 1.0)
+        run = discover_runs(tmp_path)[0]
+        assert not eligible(run, NOW)
+        assert eligible(run, NOW + DEFAULT_STALE_HOURS * 3600.0)
+
+    def test_stale_failed_is_eligible(self, tmp_path):
+        make_run(tmp_path, "old-failure", "failed", 100.0)
+        run = discover_runs(tmp_path)[0]
+        assert eligible(run, NOW)
+
+
+class TestPlan:
+    def test_keep_last_retains_newest(self, tmp_path):
+        for index, age in enumerate([50.0, 30.0, 10.0, 5.0]):
+            make_run(tmp_path, f"run{index}", "complete", age)
+        runs = discover_runs(tmp_path)
+        kept, doomed = plan_gc(runs, keep_last=2, now=NOW)
+        assert sorted(run.path.name for run in kept) \
+            == ["run2", "run3"]
+        assert sorted(run.path.name for run in doomed) \
+            == ["run0", "run1"]
+
+    def test_ineligible_never_doomed(self, tmp_path):
+        make_run(tmp_path, "fresh", "interrupted", 1.0)
+        make_run(tmp_path, "old", "complete", 50.0)
+        runs = discover_runs(tmp_path)
+        kept, doomed = plan_gc(runs, keep_last=0, now=NOW)
+        assert [run.path.name for run in doomed] == ["old"]
+        assert [run.path.name for run in kept] == ["fresh"]
+
+    def test_negative_keep_last_rejected(self):
+        with pytest.raises(ValueError):
+            plan_gc([], keep_last=-1)
+
+    def test_collect_dry_run_deletes_nothing(self, tmp_path):
+        make_run(tmp_path, "victim", "complete", 10.0)
+        runs = discover_runs(tmp_path)
+        reclaimed = collect(runs, delete=False)
+        assert reclaimed > 0
+        assert (tmp_path / "victim").exists()
+        collect(runs, delete=True)
+        assert not (tmp_path / "victim").exists()
+
+
+class TestCLI:
+    def run_cli(self, *argv):
+        return cli_main(["runs", "gc", *argv])
+
+    def test_dry_run_by_default(self, tmp_path, capsys):
+        # Complete runs are eligible at any age, so the fixed NOW
+        # stamps work against the CLI's real clock too.
+        make_run(tmp_path, "a", "complete", 0.0)
+        make_run(tmp_path, "b", "complete", 0.0)
+        status = self.run_cli("--root", str(tmp_path),
+                              "--keep-last", "1")
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "would delete" in out
+        assert (tmp_path / "a").exists() and (tmp_path / "b").exists()
+
+    def test_delete_reclaims(self, tmp_path, capsys):
+        make_run(tmp_path, "a", "complete", 0.0)
+        make_run(tmp_path, "b", "complete", 0.0)
+        status = self.run_cli("--root", str(tmp_path),
+                              "--keep-last", "1", "--delete")
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "delete" in out
+        survivors = [p.name for p in tmp_path.iterdir()]
+        assert len(survivors) == 1
+
+    def test_empty_root(self, tmp_path, capsys):
+        status = self.run_cli("--root", str(tmp_path / "none"))
+        assert status == 0
+        assert "no run directories" in capsys.readouterr().out

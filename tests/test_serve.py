@@ -1,0 +1,352 @@
+"""Tests for repro.serve: the asyncio serving tier.
+
+The load-bearing properties:
+
+* real HTTP round trips: keep-alive reuse, /decide, /healthz, /metrics,
+  404s, 405s, malformed requests;
+* bounded admission: a saturated server sheds with 503 + Retry-After,
+  and the obs counters account for every request (admitted + rejected
+  == sent);
+* graceful drain: in-flight requests finish, idle keep-alive
+  connections are closed, the server stops accepting;
+* same-tick batching coalesces concurrent /decide arrivals into fewer
+  handle_batch passes without changing any response;
+* the fault-plan chaos gate injects 500s during (and only during) its
+  windows.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    AdmissionController,
+    AsyncOdrServer,
+    AsyncServerThread,
+    endpoint_label,
+)
+from repro.serve.chaos import ServeChaos
+from repro.faults.injector import FaultInjector
+
+DECIDE = ("/decide?link=http%3A%2F%2Forigin%2Ffile.bin"
+          "&popularity=500&bandwidth_mbps=20")
+
+
+def get(host, port, path, timeout=5.0):
+    connection = http.client.HTTPConnection(host, port,
+                                            timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), \
+            response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def live_server():
+    metrics = MetricsRegistry()
+    server = AsyncOdrServer(metrics=metrics, max_inflight=32)
+    with AsyncServerThread(server) as thread:
+        yield server, thread, metrics
+
+
+class TestEndpointLabel:
+    def test_known_endpoints(self):
+        assert endpoint_label("/decide?link=x") == "/decide"
+        assert endpoint_label("/healthz") == "/healthz"
+        assert endpoint_label("/metrics") == "/metrics"
+        assert endpoint_label("/") == "/"
+        assert endpoint_label("") == "/"
+
+    def test_unknown_collapses_to_other(self):
+        assert endpoint_label("/nope") == "other"
+        assert endpoint_label("/a/b/c?d=e") == "other"
+
+
+class TestHTTP:
+    def test_healthz(self, live_server):
+        server, thread, _metrics = live_server
+        status, _headers, body = get(server.host, server.port,
+                                     "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_decide_round_trip(self, live_server):
+        server, _thread, _metrics = live_server
+        status, headers, body = get(server.host, server.port, DECIDE)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["action"]
+        assert payload["data_source"]
+        assert "Set-Cookie" in headers
+
+    def test_front_page_and_404(self, live_server):
+        server, _thread, _metrics = live_server
+        status, _headers, body = get(server.host, server.port, "/")
+        assert status == 200 and b"<form" in body
+        status, _headers, _body = get(server.host, server.port,
+                                      "/nothing-here")
+        assert status == 404
+
+    def test_metrics_endpoint_renders_prometheus(self, live_server):
+        server, _thread, _metrics = live_server
+        get(server.host, server.port, "/healthz")
+        status, headers, body = get(server.host, server.port,
+                                    "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"repro_serve_requests_total" in body
+
+    def test_keep_alive_reuses_one_connection(self, live_server):
+        server, _thread, _metrics = live_server
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=5.0)
+        try:
+            for _ in range(5):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert not response.will_close
+                response.read()
+            assert server.connections == 1
+        finally:
+            connection.close()
+
+    def test_post_is_405(self, live_server):
+        server, _thread, _metrics = live_server
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=5.0)
+        try:
+            connection.request("POST", "/decide", body=b"x")
+            assert connection.getresponse().status == 405
+        finally:
+            connection.close()
+
+    def test_port_zero_reports_bound_port(self, live_server):
+        server, _thread, _metrics = live_server
+        assert server.port != 0
+
+
+class TestAdmissionController:
+    def test_over_cap_is_rejected_and_counted(self):
+        metrics = MetricsRegistry()
+        admission = AdmissionController(2, metrics=metrics)
+        assert admission.try_admit("/decide")
+        assert admission.try_admit("/decide")
+        assert not admission.try_admit("/decide")
+        admitted = metrics.counter("repro_serve_admitted_total",
+                                   endpoint="/decide").value
+        rejected = metrics.counter("repro_serve_rejected_total",
+                                   endpoint="/decide",
+                                   reason="saturated").value
+        assert (admitted, rejected) == (2, 1)
+        admission.release("/decide", 0.01, 200)
+        assert admission.try_admit("/decide")
+
+    def test_retry_after_tracks_ewma_and_clamps(self):
+        admission = AdmissionController(4)
+        assert admission.retry_after() >= 1
+        for _ in range(4):
+            admission.try_admit("/decide")
+        for _ in range(10):
+            admission.release("/decide", 60.0, 200)
+            admission.try_admit("/decide")
+        assert admission.retry_after() <= 30
+
+    def test_shed_body_is_json_with_retry_after(self):
+        status, body, headers = AdmissionController(1).shed_body()
+        assert status == 503
+        assert "Retry-After" in headers
+        assert int(headers["Retry-After"]) >= 1
+        assert "retry_after_seconds" in json.loads(body)
+
+
+class TestSaturation:
+    def test_saturated_server_sheds_503_with_retry_after(self):
+        """Requests past max_inflight get 503 + Retry-After while a
+        slow request holds the only slot."""
+        metrics = MetricsRegistry()
+        server = AsyncOdrServer(metrics=metrics, max_inflight=1,
+                                batch=False)
+        release = threading.Event()
+        original = server.app.handle
+
+        def slow_handle(path, cookie=None):
+            if path.startswith("/decide"):
+                release.wait(timeout=10.0)
+            return original(path, cookie)
+
+        server.app.handle = slow_handle
+        with AsyncServerThread(server) as thread:
+            holder = threading.Thread(
+                target=get,
+                args=(server.host, server.port, DECIDE),
+                kwargs={"timeout": 15.0}, daemon=True)
+            holder.start()
+            deadline = time.monotonic() + 5.0
+            while server.inflight_requests == 0 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert server.inflight_requests == 1
+
+            status, headers, body = get(server.host, server.port,
+                                        DECIDE)
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 1
+            assert "error" in json.loads(body)
+            release.set()
+            holder.join(timeout=10.0)
+            # Slot freed: the next request is admitted again.
+            status, _headers, _body = get(server.host, server.port,
+                                          DECIDE)
+            assert status == 200
+
+        admitted = metrics.counter("repro_serve_admitted_total",
+                                   endpoint="/decide").value
+        rejected = metrics.counter("repro_serve_rejected_total",
+                                   endpoint="/decide",
+                                   reason="saturated").value
+        sent = metrics.counter("repro_serve_requests_total",
+                               endpoint="/decide").value
+        assert admitted == 2
+        assert rejected == 1
+        assert admitted + rejected == sent == 3
+
+    def test_obs_accounts_for_every_request(self, live_server):
+        server, _thread, metrics = live_server
+        for _ in range(7):
+            get(server.host, server.port, DECIDE)
+        for _ in range(3):
+            get(server.host, server.port, "/healthz")
+        for endpoint, count in (("/decide", 7), ("/healthz", 3)):
+            sent = metrics.counter("repro_serve_requests_total",
+                                   endpoint=endpoint).value
+            admitted = metrics.counter("repro_serve_admitted_total",
+                                       endpoint=endpoint).value
+            ok = metrics.counter("repro_serve_responses_total",
+                                 endpoint=endpoint,
+                                 status="2xx").value
+            assert sent == admitted == ok == count
+        assert metrics.gauge("repro_serve_inflight").value == 0
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_stops_accepting(self):
+        server = AsyncOdrServer(max_inflight=8, batch=False)
+        release = threading.Event()
+        original = server.app.handle
+
+        def slow_handle(path, cookie=None):
+            if path.startswith("/decide"):
+                release.wait(timeout=10.0)
+            return original(path, cookie)
+
+        server.app.handle = slow_handle
+        thread = AsyncServerThread(server)
+        thread.start()
+        host, port = server.host, server.port
+        results = []
+        inflight = threading.Thread(
+            target=lambda: results.append(
+                get(host, port, DECIDE, timeout=15.0)),
+            daemon=True)
+        inflight.start()
+        deadline = time.monotonic() + 5.0
+        while server.inflight_requests == 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.inflight_requests == 1
+
+        stopper = threading.Thread(target=thread.stop, daemon=True)
+        stopper.start()
+        time.sleep(0.05)
+        release.set()
+        stopper.join(timeout=10.0)
+        inflight.join(timeout=10.0)
+        assert not stopper.is_alive()
+        assert results and results[0][0] == 200
+        assert thread.drained
+        with pytest.raises(OSError):
+            get(host, port, "/healthz", timeout=0.5)
+
+    def test_drain_closes_idle_keepalive_connections(self):
+        server = AsyncOdrServer()
+        thread = AsyncServerThread(server)
+        thread.start()
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=5.0)
+        connection.request("GET", "/healthz")
+        connection.getresponse().read()
+        assert server.connections == 1
+        thread.stop()
+        assert thread.drained
+        assert server.connections == 0
+        connection.close()
+
+
+class TestBatching:
+    def test_batching_coalesces_without_changing_responses(self):
+        metrics = MetricsRegistry()
+        server = AsyncOdrServer(metrics=metrics, max_inflight=64,
+                                batch=True)
+        with AsyncServerThread(server):
+            barrier = threading.Barrier(8)
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                barrier.wait(timeout=5.0)
+                result = get(server.host, server.port, DECIDE)
+                with lock:
+                    results.append(result)
+
+            threads = [threading.Thread(target=fire, daemon=True)
+                       for _ in range(8)]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=10.0)
+        assert len(results) == 8
+        assert all(status == 200 for status, _h, _b in results)
+        assert server.batcher is not None
+        assert server.batcher.batched_requests == 8
+        assert server.batcher.batches <= 8
+        assert server.batcher.mean_batch_size >= 1.0
+
+
+class TestChaos:
+    def test_chaos_window_injects_500s(self):
+        plan = FaultPlan("crash-now", 1, [FaultSpec("server_crash", "*",
+                                                    0.0, 3600.0)])
+        metrics = MetricsRegistry()
+        chaos = ServeChaos(FaultInjector(plan), clock=lambda: 0.0,
+                           metrics=metrics)
+        server = AsyncOdrServer(metrics=metrics, chaos=chaos)
+        with AsyncServerThread(server):
+            status, _headers, body = get(server.host, server.port,
+                                         DECIDE)
+            healthz, _h, _b = get(server.host, server.port,
+                                  "/healthz")
+        assert status == 500
+        assert "injected fault" in json.loads(body)["detail"]
+        assert healthz == 200  # chaos gates /decide only
+        assert metrics.counter(
+            "repro_serve_chaos_failures_total").value >= 1
+
+    def test_outside_window_is_clean(self):
+        plan = FaultPlan("crash-later", 1,
+                         [FaultSpec("server_crash", "*",
+                                    7200.0, 3600.0)])
+        chaos = ServeChaos(FaultInjector(plan), clock=lambda: 0.0)
+        server = AsyncOdrServer(chaos=chaos)
+        with AsyncServerThread(server):
+            status, _headers, _body = get(server.host, server.port,
+                                          DECIDE)
+        assert status == 200
