@@ -1,0 +1,83 @@
+"""repro.backends: pluggable multi-backend ODR.
+
+A registry of download *backends* (cloud, smart AP, D2D peers,
+cooperative AP caches) and routing *policies* (the paper's strategies
+plus a DAWN-style delay-aware scorer), composed by name into drop-in
+:class:`~repro.core.strategies.ComposedStrategy` instances.  Run
+``python -m repro.backends`` for the deterministic (backend set,
+policy) comparison scorecard.
+"""
+
+from repro.backends.base import (
+    UNREACHABLE_DELAY,
+    Backend,
+    BackendEstimate,
+    Policy,
+    backend_by_name,
+)
+from repro.backends.builtin import (
+    CloudBackend,
+    CoopApCacheBackend,
+    D2dBackend,
+    SmartApBackend,
+)
+from repro.backends.coopcache import CooperativeApCache
+from repro.backends.faultgate import FaultGate
+from repro.backends.policies import (
+    AlwaysHybridPolicy,
+    AmsPolicy,
+    CloudOnlyPolicy,
+    DelayAwarePolicy,
+    OdrPolicy,
+    SmartApOnlyPolicy,
+)
+from repro.backends.registry import (
+    STRATEGY_SPECS,
+    BuildContext,
+    UnknownBackendError,
+    UnknownPolicyError,
+    UnknownStrategyError,
+    backend_names,
+    compose,
+    create_backend,
+    create_policy,
+    policy_names,
+    register_backend,
+    register_policy,
+    resolve_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "UNREACHABLE_DELAY",
+    "Backend",
+    "BackendEstimate",
+    "Policy",
+    "backend_by_name",
+    "CloudBackend",
+    "SmartApBackend",
+    "D2dBackend",
+    "CoopApCacheBackend",
+    "CooperativeApCache",
+    "FaultGate",
+    "CloudOnlyPolicy",
+    "SmartApOnlyPolicy",
+    "AlwaysHybridPolicy",
+    "AmsPolicy",
+    "OdrPolicy",
+    "DelayAwarePolicy",
+    "STRATEGY_SPECS",
+    "BuildContext",
+    "UnknownBackendError",
+    "UnknownPolicyError",
+    "UnknownStrategyError",
+    "backend_names",
+    "compose",
+    "create_backend",
+    "create_policy",
+    "policy_names",
+    "register_backend",
+    "register_policy",
+    "resolve_strategy",
+    "strategy_names",
+]

@@ -1,0 +1,116 @@
+"""Backend and policy contracts of the multi-backend ODR registry.
+
+The paper's decision engine knows two executors: the cloud and the
+user's own smart AP.  The related work names more -- D2D/peer-assisted
+offloading between nearby devices (Mao & Tao, arXiv:1701.00837),
+cooperative popularity-ranked caching across neighbouring smart APs
+(Wang & Kulkarni, arXiv:1409.7047) -- and policies that choose among
+them by deadline and cost (DAWN, arXiv:1502.07839).  This module is the
+seam that lets all of them compose:
+
+* a :class:`Backend` is *capability*: can this executor serve the file,
+  what :class:`~repro.core.decision.Decision` does routing to it mean,
+  and what completion delay / cloud-bandwidth cost should be expected;
+* a :class:`Policy` is *choice*: given the user's context, the file
+  snapshot, and the preference-ordered backend set, pick one.
+
+Both are registered by name in :mod:`repro.backends.registry`;
+:class:`~repro.core.strategies.ComposedStrategy` binds a (backend set,
+policy) pair back into the classic ``Strategy`` interface that the
+replay harness, web service, and experiments already consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.auxiliary import UserContext
+from repro.core.decision import Action, DataSource, Decision
+from repro.core.strategies import FileSnapshot
+
+#: Estimated delay when a backend considers the file effectively
+#: unobtainable (a dead swarm, say): finite so arithmetic stays safe,
+#: but far beyond any plausible deadline.
+UNREACHABLE_DELAY = 7 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class BackendEstimate:
+    """A backend's analytic forecast for one file.
+
+    ``delay_seconds`` is expected time to completion;
+    ``cloud_bytes`` is the cloud upload bandwidth the route would
+    consume (the cost axis of DAWN-style policies).  Estimates are
+    deterministic -- no RNG -- so routing itself never perturbs replay
+    randomness.
+    """
+
+    delay_seconds: float
+    cloud_bytes: float
+    rationale: str = ""
+
+    def __post_init__(self):
+        if self.delay_seconds < 0 or not math.isfinite(self.delay_seconds):
+            raise ValueError("delay_seconds must be finite and >= 0")
+        if self.cloud_bytes < 0:
+            raise ValueError("cloud_bytes must be >= 0")
+
+
+class Backend:
+    """One executor a policy may route a download to."""
+
+    name = "backend"
+    #: Fault-plan domain this backend's health rides on (see
+    #: ``repro.faults.plan.KIND_DOMAINS``): ``isp`` for the cloud's
+    #: upload path, ``ap`` for anything executed by smart APs, ``file``
+    #: for swarm/peer-dependent transfers.
+    fault_domain = "isp"
+
+    def available(self, context: UserContext,
+                  snapshot: FileSnapshot) -> bool:
+        """Can this backend serve this request at all?"""
+        return True
+
+    def route(self, context: UserContext,
+              snapshot: FileSnapshot) -> Decision:
+        """The decision that sends this request to this backend."""
+        raise NotImplementedError
+
+    def estimate(self, context: UserContext,
+                 snapshot: FileSnapshot) -> BackendEstimate:
+        """Deterministic delay/cost forecast for scoring policies."""
+        raise NotImplementedError
+
+
+class Policy:
+    """Chooses a backend (or a composite route) for each request."""
+
+    name = "policy"
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        raise NotImplementedError
+
+    def decide_after_predownload(
+            self, context: UserContext, snapshot: FileSnapshot,
+            backends: tuple[Backend, ...], success: bool,
+            penalised: frozenset[str] = frozenset()) -> Decision:
+        """Default re-ask behaviour: cloud fetch on success."""
+        if not success:
+            return Decision(action=Action.NOTIFY_FAILURE,
+                            data_source=DataSource.CLOUD,
+                            rationale="cloud pre-download failed")
+        return Decision(action=Action.CLOUD, data_source=DataSource.CLOUD,
+                        rationale="pre-download complete; fetch from cloud")
+
+
+def backend_by_name(backends: Iterable[Backend],
+                    name: str) -> Optional[Backend]:
+    """The first backend called ``name``, or None."""
+    for backend in backends:
+        if backend.name == name:
+            return backend
+    return None

@@ -1,0 +1,233 @@
+"""The built-in backends: cloud, smart AP, D2D peers, cooperative APs.
+
+Each backend pairs the exact :class:`~repro.core.decision.Decision` its
+route has always produced (the cloud and smart-AP decisions are pinned
+by golden digests) with a deterministic delay/cost estimate for the
+scoring policies.  The two new executors come from the related work:
+
+* :class:`D2dBackend` -- device-to-device offloading (Mao & Tao,
+  arXiv:1701.00837): the slice of a file's swarm that is *physically
+  nearby* (same building, same campus Wi-Fi) seeds it directly, off the
+  cloud's upload servers and off the inter-ISP path;
+* :class:`CoopApCacheBackend` -- neighbouring smart APs pooling a
+  popularity-ranked cache (Wang & Kulkarni, arXiv:1409.7047) built on
+  :mod:`repro.backends.coopcache`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.base import (
+    UNREACHABLE_DELAY,
+    Backend,
+    BackendEstimate,
+)
+from repro.backends.coopcache import CooperativeApCache
+from repro.core.auxiliary import UserContext
+from repro.core.decision import Action, DataSource, Decision
+from repro.core.strategies import FileSnapshot
+from repro.netsim.link import TESTBED_ADSL, adsl_goodput
+from repro.sim.clock import kbps, mbps
+from repro.transfer.swarm import SwarmModel
+
+#: Assumed access bandwidth when the user did not report one (the
+#: testbed's 20 Mbps Unicom ADSL line, after framing overhead).
+DEFAULT_ACCESS_BANDWIDTH = adsl_goodput(TESTBED_ADSL)
+
+#: Cloud fetch: the WAN leg rides Xuanfeng's provisioned upload servers.
+CLOUD_FETCH_RATE = mbps(16.0)
+#: The cloud's managed pre-download rate (matches the replay harness's
+#: per-session cap).
+CLOUD_PREDOWNLOAD_RATE = 2.5e6
+
+#: Ordinary origin throughput for non-P2P direct downloads.
+ORIGIN_HTTP_RATE = kbps(600.0)
+
+#: Per-seed connection success probability of a NAT-ed home AP.
+AP_SWARM_REACH = 0.35
+#: Below this analytic swarm availability an AP attempt will usually
+#: stall into the stagnation timeout.
+MIN_SWARM_AVAILABILITY = 0.05
+
+#: Share of a swarm close enough for device-to-device transfer.
+D2D_NEIGHBOR_SHARE = 0.05
+#: A D2D backend only volunteers when a nearby completed downloader is
+#: likely to exist at all.
+D2D_MIN_AVAILABILITY = 0.5
+#: Local-Wi-Fi transfer rate from one nearby peer, and its weak growth
+#: with the number of nearby seeds (they share the same channel).
+D2D_RATE_MEDIAN = mbps(3.0)
+D2D_RATE_EXPONENT = 0.2
+#: D2D rides the local link, not the subscriber's WAN plan.
+D2D_LAN_CAP = mbps(24.0)
+
+#: Fetching from a neighbouring AP's cache crosses one switch.
+NEIGHBOR_AP_RATE = mbps(12.0)
+
+
+def user_bandwidth(context: UserContext) -> float:
+    """The user's WAN ceiling (B/s), with the testbed default."""
+    return context.access_bandwidth or DEFAULT_ACCESS_BANDWIDTH
+
+
+class CloudBackend(Backend):
+    """Xuanfeng's cloud: always available, always costs upload bytes."""
+
+    name = "cloud"
+    fault_domain = "isp"
+
+    def route(self, context: UserContext,
+              snapshot: FileSnapshot) -> Decision:
+        if snapshot.cached:
+            return Decision(action=Action.CLOUD,
+                            data_source=DataSource.CLOUD,
+                            rationale="cloud-based service")
+        return Decision(action=Action.CLOUD_PREDOWNLOAD,
+                        data_source=DataSource.CLOUD,
+                        rationale="cloud-based service (cache miss)")
+
+    def estimate(self, context: UserContext,
+                 snapshot: FileSnapshot) -> BackendEstimate:
+        rate = min(user_bandwidth(context), CLOUD_FETCH_RATE)
+        delay = snapshot.size / rate
+        if not snapshot.cached:
+            delay += snapshot.size / CLOUD_PREDOWNLOAD_RATE
+        return BackendEstimate(
+            delay_seconds=delay, cloud_bytes=snapshot.size,
+            rationale="cloud fetch" if snapshot.cached
+            else "cloud pre-download, then fetch")
+
+
+class SmartApBackend(Backend):
+    """The user's own smart AP pre-downloading from the origin."""
+
+    name = "smart-ap"
+    fault_domain = "ap"
+
+    def __init__(self, swarm_model: Optional[SwarmModel] = None,
+                 reach: float = AP_SWARM_REACH):
+        self.swarm_model = swarm_model or SwarmModel()
+        self.reach = reach
+
+    def available(self, context: UserContext,
+                  snapshot: FileSnapshot) -> bool:
+        return context.has_smart_ap
+
+    def route(self, context: UserContext,
+              snapshot: FileSnapshot) -> Decision:
+        return Decision(action=Action.SMART_AP,
+                        data_source=DataSource.ORIGINAL,
+                        rationale="smart-AP service")
+
+    def _swarm_availability(self, snapshot: FileSnapshot) -> float:
+        import math
+        mean = self.swarm_model.mean_seeds(snapshot.demand) * self.reach
+        return 1.0 - math.exp(-mean)
+
+    def estimate(self, context: UserContext,
+                 snapshot: FileSnapshot) -> BackendEstimate:
+        bandwidth = user_bandwidth(context)
+        caps = [bandwidth]
+        if context.smart_ap is not None:
+            caps.append(context.smart_ap.write_path().max_throughput)
+        if snapshot.protocol.is_p2p:
+            availability = self._swarm_availability(snapshot)
+            if availability < MIN_SWARM_AVAILABILITY:
+                return BackendEstimate(
+                    delay_seconds=UNREACHABLE_DELAY, cloud_bytes=0.0,
+                    rationale="swarm likely dead at AP vantage")
+            seeds = max(self.swarm_model.mean_seeds(snapshot.demand) *
+                        self.reach, 1.0)
+            rate = self.swarm_model.per_seed_rate_median * \
+                seeds ** self.swarm_model.per_seed_rate_exponent
+            # Expected completion includes availability retries.
+            delay = snapshot.size / min(rate, *caps) / availability
+        else:
+            delay = snapshot.size / min(ORIGIN_HTTP_RATE, *caps)
+        return BackendEstimate(delay_seconds=delay, cloud_bytes=0.0,
+                               rationale="AP pre-download from origin")
+
+
+class D2dBackend(Backend):
+    """Nearby completed downloaders seeding device-to-device."""
+
+    name = "d2d"
+    fault_domain = "file"
+
+    def __init__(self, swarm_model: Optional[SwarmModel] = None,
+                 neighbor_share: float = D2D_NEIGHBOR_SHARE,
+                 min_availability: float = D2D_MIN_AVAILABILITY):
+        if not 0.0 < neighbor_share <= 1.0:
+            raise ValueError("neighbor_share must be in (0, 1]")
+        self.swarm_model = swarm_model or SwarmModel()
+        self.neighbor_share = neighbor_share
+        self.min_availability = min_availability
+
+    def nearby_seeds(self, snapshot: FileSnapshot) -> float:
+        """Expected completed downloaders within D2D reach."""
+        return self.swarm_model.mean_seeds(snapshot.demand) * \
+            self.neighbor_share
+
+    def availability(self, snapshot: FileSnapshot) -> float:
+        """Analytic P(at least one nearby seed), Poisson thinning."""
+        import math
+        return 1.0 - math.exp(-self.nearby_seeds(snapshot))
+
+    def available(self, context: UserContext,
+                  snapshot: FileSnapshot) -> bool:
+        return snapshot.protocol.is_p2p and \
+            self.availability(snapshot) >= self.min_availability
+
+    def route(self, context: UserContext,
+              snapshot: FileSnapshot) -> Decision:
+        return Decision(
+            action=Action.D2D, data_source=DataSource.PEERS,
+            bottlenecks_addressed=(1, 2),
+            rationale="nearby completed downloaders seed the file "
+                      "device-to-device, off the cloud and off the "
+                      "inter-ISP path")
+
+    def estimate(self, context: UserContext,
+                 snapshot: FileSnapshot) -> BackendEstimate:
+        availability = self.availability(snapshot)
+        if availability < self.min_availability:
+            return BackendEstimate(
+                delay_seconds=UNREACHABLE_DELAY, cloud_bytes=0.0,
+                rationale="no nearby completed downloader expected")
+        seeds = max(self.nearby_seeds(snapshot), 1.0)
+        rate = min(D2D_RATE_MEDIAN * seeds ** D2D_RATE_EXPONENT,
+                   D2D_LAN_CAP)
+        return BackendEstimate(
+            delay_seconds=snapshot.size / rate / availability,
+            cloud_bytes=0.0, rationale="device-to-device from peers")
+
+
+class CoopApCacheBackend(Backend):
+    """A neighbouring smart AP serving from the cooperative cache."""
+
+    name = "coop-ap"
+    fault_domain = "ap"
+
+    def __init__(self, cache: Optional[CooperativeApCache] = None):
+        self.cache = cache or CooperativeApCache()
+
+    def available(self, context: UserContext,
+                  snapshot: FileSnapshot) -> bool:
+        return context.has_smart_ap and self.cache.admits(snapshot)
+
+    def route(self, context: UserContext,
+              snapshot: FileSnapshot) -> Decision:
+        return Decision(
+            action=Action.NEIGHBOR_AP,
+            data_source=DataSource.NEIGHBOR_AP,
+            bottlenecks_addressed=(2, 3),
+            rationale="a neighbouring smart AP holds the file in the "
+                      "cooperative popularity-ranked cache")
+
+    def estimate(self, context: UserContext,
+                 snapshot: FileSnapshot) -> BackendEstimate:
+        return BackendEstimate(
+            delay_seconds=snapshot.size / NEIGHBOR_AP_RATE,
+            cloud_bytes=0.0, rationale="one switch hop from a "
+                                       "neighbouring AP's cache")

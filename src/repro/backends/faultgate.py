@@ -1,0 +1,43 @@
+"""Fault-plan-aware backend deprioritisation.
+
+The chaos machinery (:mod:`repro.faults`) injects fault windows against
+concrete entities -- a named upload server, one AP's USB stick, one
+swarm.  Routing happens *before* an executor (and thus an entity) is
+chosen, so the gate works at the coarser **domain** level: if any fault
+of a kind living in a backend's :attr:`~repro.backends.base.Backend
+.fault_domain` has a window active right now, that whole backend is
+deprioritised -- moved to the back of the preference order and named in
+the ``penalised`` set handed to the policy.
+
+This is deliberately a *hedge*, not an oracle: a ``power_loss`` window
+against one AP penalises the smart-AP backend for everyone during the
+window.  That is the right trade for a router that cannot know which
+entity the executor will land on, and it is fully deterministic (pure
+reads of the immutable plan).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import KIND_DOMAINS
+
+
+def kinds_for_domain(domain: str) -> tuple[str, ...]:
+    """All fault kinds whose targets live in ``domain`` (sorted)."""
+    return tuple(sorted(kind for kind, kind_domain in KIND_DOMAINS.items()
+                        if kind_domain == domain))
+
+
+class FaultGate:
+    """Answers "is this backend's domain inside an active fault window?"."""
+
+    def __init__(self, injector: FaultInjector):
+        self.injector = injector
+
+    def penalised(self, backend: Backend, now: float) -> bool:
+        kinds = kinds_for_domain(backend.fault_domain)
+        if not kinds:
+            return False
+        return any(spec.active_at(now)
+                   for spec in self.injector.plan.specs_of(kinds))

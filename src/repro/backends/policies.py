@@ -1,0 +1,187 @@
+"""The built-in routing policies.
+
+The first five are the paper's strategies re-expressed over the backend
+seam -- their branch structure and rationale strings are copied verbatim
+from the historic ``repro.core.strategies`` classes, because the golden
+digests pin every decision bit-for-bit.  :class:`DelayAwarePolicy` is
+the new one: a DAWN-style (arXiv:1502.07839) scorer that asks every
+backend for a delay/cost estimate and trades the completion deadline
+against cloud upload bytes.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendEstimate, Policy, \
+    backend_by_name
+from repro.core.auxiliary import UserContext
+from repro.core.decision import Action, DataSource, Decision
+from repro.core.odr import OdrMiddleware
+from repro.core.strategies import FileSnapshot
+
+#: Default completion deadline of the delay-aware policy: overnight
+#: (the paper's users start ODR jobs before going to bed).
+DEFAULT_DEADLINE_SECONDS = 8 * 3600.0
+
+_NO_AP_DIRECT = Decision(
+    action=Action.USER_DEVICE, data_source=DataSource.ORIGINAL,
+    rationale="no AP present; plain direct download")
+
+
+class CloudOnlyPolicy(Policy):
+    """Route everything to the cloud backend."""
+
+    name = "cloud-only"
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        return backend_by_name(backends, "cloud").route(context, snapshot)
+
+
+class SmartApOnlyPolicy(Policy):
+    """Route everything to the user's AP, direct download without one."""
+
+    name = "smart-ap-only"
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        ap = backend_by_name(backends, "smart-ap")
+        if ap is not None and ap.available(context, snapshot):
+            return ap.route(context, snapshot)
+        return _NO_AP_DIRECT
+
+
+class AlwaysHybridPolicy(Policy):
+    """The commercial hybrid: always Internet -> cloud -> AP -> user."""
+
+    name = "always-hybrid"
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        if not snapshot.cached:
+            return Decision(action=Action.CLOUD_PREDOWNLOAD,
+                            data_source=DataSource.CLOUD,
+                            rationale="hybrid mode: cloud downloads first")
+        return self.decide_after_predownload(context, snapshot, backends,
+                                             True, penalised=penalised)
+
+    def decide_after_predownload(
+            self, context: UserContext, snapshot: FileSnapshot,
+            backends: tuple[Backend, ...], success: bool,
+            penalised: frozenset[str] = frozenset()) -> Decision:
+        if not success:
+            return Decision(action=Action.NOTIFY_FAILURE,
+                            data_source=DataSource.CLOUD,
+                            rationale="cloud pre-download failed")
+        if context.has_smart_ap:
+            return Decision(action=Action.CLOUD_THEN_SMART_AP,
+                            data_source=DataSource.CLOUD,
+                            rationale="hybrid mode: AP fetches from the "
+                                      "cloud, always the longest flow")
+        return Decision(action=Action.CLOUD, data_source=DataSource.CLOUD,
+                        rationale="hybrid mode without an AP")
+
+
+class AmsPolicy(Policy):
+    """Automatic Mode Selection: popularity threshold only."""
+
+    name = "ams"
+
+    def __init__(self, popularity_threshold: int = 85):
+        self.popularity_threshold = popularity_threshold
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        if snapshot.protocol.is_p2p and \
+                snapshot.popularity >= self.popularity_threshold:
+            action = Action.SMART_AP if context.has_smart_ap \
+                else Action.USER_DEVICE
+            return Decision(action=action, data_source=DataSource.ORIGINAL,
+                            rationale="AMS: popular -> peer-assisted")
+        if snapshot.cached:
+            return Decision(action=Action.CLOUD,
+                            data_source=DataSource.CLOUD,
+                            rationale="AMS: unpopular -> cloud mode")
+        return Decision(action=Action.CLOUD_PREDOWNLOAD,
+                        data_source=DataSource.CLOUD,
+                        rationale="AMS: unpopular -> cloud mode")
+
+
+class OdrPolicy(Policy):
+    """ODR's Figure-15 rule, delegated to the existing middleware.
+
+    The middleware already encodes the full decision tree (ISP match,
+    bandwidth class, AP write path, popularity); re-deriving it from
+    snapshots would risk drifting from the pinned digests, so the policy
+    simply owns an :class:`~repro.core.odr.OdrMiddleware`.
+    """
+
+    name = "odr"
+
+    def __init__(self, middleware: OdrMiddleware):
+        self.middleware = middleware
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        return self.middleware.decide(context, snapshot.file_id,
+                                      snapshot.protocol)
+
+    def decide_after_predownload(
+            self, context: UserContext, snapshot: FileSnapshot,
+            backends: tuple[Backend, ...], success: bool,
+            penalised: frozenset[str] = frozenset()) -> Decision:
+        return self.middleware.decide_after_predownload(
+            context, snapshot.file_id, success)
+
+
+class DelayAwarePolicy(Policy):
+    """Deadline-vs-cloud-cost scoring over every offered backend.
+
+    DAWN's framing: the user cares about a completion *deadline*, the
+    operator about cloud upload *bytes*.  Every available backend is
+    scored ``(penalised, misses deadline, cloud bytes, delay,
+    preference index)`` and the lexicographic minimum wins -- i.e. among
+    healthy backends that meet the deadline, the cheapest for the cloud;
+    if none meets it, the fastest; fault-penalised backends only as a
+    last resort.  Scoring uses the backends' deterministic analytic
+    estimates, so the choice is reproducible across shards and runs.
+    """
+
+    name = "delay-aware"
+
+    def __init__(self, deadline_seconds: float = DEFAULT_DEADLINE_SECONDS):
+        if deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        self.deadline_seconds = deadline_seconds
+
+    def rank(self, context: UserContext, snapshot: FileSnapshot,
+             backends: tuple[Backend, ...],
+             penalised: frozenset[str] = frozenset()
+             ) -> list[tuple[Backend, BackendEstimate]]:
+        """Available backends with estimates, best choice first."""
+        scored = []
+        for index, backend in enumerate(backends):
+            if not backend.available(context, snapshot):
+                continue
+            estimate = backend.estimate(context, snapshot)
+            scored.append((
+                (backend.name in penalised,
+                 estimate.delay_seconds > self.deadline_seconds,
+                 estimate.cloud_bytes, estimate.delay_seconds, index),
+                backend, estimate))
+        scored.sort(key=lambda item: item[0])
+        return [(backend, estimate) for _, backend, estimate in scored]
+
+    def decide(self, context: UserContext, snapshot: FileSnapshot,
+               backends: tuple[Backend, ...],
+               penalised: frozenset[str] = frozenset()) -> Decision:
+        ranked = self.rank(context, snapshot, backends,
+                           penalised=penalised)
+        if not ranked:
+            return _NO_AP_DIRECT
+        backend, _ = ranked[0]
+        return backend.route(context, snapshot)

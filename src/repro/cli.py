@@ -450,6 +450,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                  "--engine", args.engine,
                  "--workers", str(args.workers),
                  "--max-inflight", str(args.max_inflight),
+                 "--policy", args.policy,
                  "--grace", str(args.grace)]
     if args.no_batch:
         forwarded.append("--no-batch")
@@ -460,6 +461,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.quiet:
         forwarded.append("--quiet")
     return serve_main(forwarded)
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backends.__main__ import main as backends_main
+    forwarded = ["--scale", str(args.scale), "--seed", str(args.seed),
+                 "--limit", str(args.limit),
+                 "--shards", str(args.shards)]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    for combo in args.combo or ():
+        forwarded += ["--combo", combo]
+    if args.deadline_hours is not None:
+        forwarded += ["--deadline-hours", str(args.deadline_hours)]
+    if args.faults:
+        forwarded.append("--faults")
+    if args.json:
+        forwarded.append("--json")
+    if args.out is not None:
+        forwarded += ["--out", str(args.out)]
+    if args.quiet:
+        forwarded.append("--quiet")
+    return backends_main(forwarded)
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
@@ -596,6 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=int, default=128,
                        help="admission-control cap on concurrent "
                             "requests (503 + Retry-After past it)")
+    serve.add_argument("--policy", default="odr",
+                       help="default routing policy (a registry "
+                            "strategy name; override per request "
+                            "with ?policy=...)")
     serve.add_argument("--no-batch", action="store_true",
                        help="disable same-tick /decide coalescing")
     serve.add_argument("--no-resilience", action="store_true",
@@ -606,6 +633,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--grace", type=float, default=10.0)
     serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(func=cmd_serve)
+
+    backends = subparsers.add_parser(
+        "backends", help="compare (backend set, policy) combinations "
+                         "on one deterministic trace")
+    _add_scale(backends)
+    backends.add_argument("--limit", type=int, default=400,
+                          help="trace rows to replay "
+                               "(default %(default)s)")
+    backends.add_argument("--shards", type=int, default=4,
+                          help="content shards; any value yields the "
+                               "same scorecard (default %(default)s)")
+    backends.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (results are "
+                               "identical at any job count)")
+    backends.add_argument("--combo", action="append", metavar="NAME",
+                          help="run only combos whose name contains "
+                               "NAME (repeatable)")
+    backends.add_argument("--deadline-hours", type=float, default=None,
+                          help="delay-aware policy deadline in hours "
+                               "(default 8)")
+    backends.add_argument("--faults", action="store_true",
+                          help="route under the default chaos plan")
+    backends.add_argument("--json", action="store_true",
+                          help="print the JSON scorecard")
+    backends.add_argument("--out", type=Path, default=None,
+                          help="also write the JSON scorecard to PATH")
+    backends.add_argument("--quiet", action="store_true",
+                          help="print only the scorecard digest")
+    backends.set_defaults(func=cmd_backends)
 
     loadgen = subparsers.add_parser(
         "loadgen", help="replay the trace as live HTTP load "

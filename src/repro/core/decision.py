@@ -15,6 +15,8 @@ class Action(enum.Enum):
     CLOUD_THEN_SMART_AP = "cloud+ap"     # AP pulls from cloud, user from AP
     CLOUD_PREDOWNLOAD = "cloud_predownload"  # wait for the cloud, ask again
     NOTIFY_FAILURE = "notify_failure"    # the cloud could not obtain it
+    D2D = "d2d"                          # nearby completed downloaders seed it
+    NEIGHBOR_AP = "neighbor_ap"          # a neighbouring AP's co-op cache
 
 
 class DataSource(enum.Enum):
@@ -22,6 +24,8 @@ class DataSource(enum.Enum):
 
     ORIGINAL = "original"                # the HTTP/FTP server or P2P swarm
     CLOUD = "cloud"                      # Xuanfeng's uploading servers
+    PEERS = "peers"                      # nearby user devices (D2D)
+    NEIGHBOR_AP = "neighbor_ap"          # a neighbouring smart AP's cache
 
 
 @dataclass(frozen=True)

@@ -315,9 +315,60 @@ class ReplayEvaluator:
                 cloud_delivered_bytes=record.size,
                 write_path_limited=self._writepath_limited(ap, user_bw))
 
+        if decision.action is Action.D2D:
+            return self._run_d2d(request, record, decision, rng)
+
+        if decision.action is Action.NEIGHBOR_AP:
+            return self._run_neighbor_ap(request, record, ap, decision,
+                                         rng)
+
         # Direct-from-origin routes (SMART_AP or USER_DEVICE).
         return self._run_direct(request, record, context, ap, decision,
                                 rng, user_bw)
+
+    def _run_d2d(self, request: RequestRecord, record: CatalogFile,
+                 decision: Decision,
+                 rng: np.random.Generator) -> RouteOutcome:
+        """Device-to-device: nearby completed downloaders seed the file.
+
+        The transfer rides local Wi-Fi, so neither the WAN plan nor the
+        AP write path constrains it; it fails outright when no nearby
+        seed materialises.  Only registry-composed strategies emit
+        :attr:`Action.D2D`, so the legacy strategies' pinned RNG
+        consumption sequences never reach this branch.
+        """
+        from repro.backends.builtin import (
+            D2D_LAN_CAP,
+            D2D_NEIGHBOR_SHARE,
+            D2D_RATE_EXPONENT,
+            D2D_RATE_MEDIAN,
+        )
+        mean_nearby = self.source_model.swarm_model.mean_seeds(
+            record.weekly_demand) * D2D_NEIGHBOR_SHARE
+        nearby = int(rng.poisson(mean_nearby))
+        if nearby < 1:
+            return RouteOutcome(request=request, file=record,
+                                decision=decision, success=False,
+                                wan_speed=0.0, user_speed=0.0,
+                                failure_cause="no_nearby_peer")
+        rate = min(D2D_RATE_MEDIAN * nearby ** D2D_RATE_EXPONENT *
+                   float(np.exp(rng.normal(0.0, 0.35))), D2D_LAN_CAP)
+        return RouteOutcome(request=request, file=record,
+                            decision=decision, success=True,
+                            wan_speed=rate, user_speed=rate)
+
+    def _run_neighbor_ap(self, request: RequestRecord,
+                         record: CatalogFile, ap: SmartAP,
+                         decision: Decision,
+                         rng: np.random.Generator) -> RouteOutcome:
+        """Fetch from a neighbouring AP's cooperative cache: one switch
+        hop, always obtainable (the policy verified residency)."""
+        from repro.backends.builtin import NEIGHBOR_AP_RATE
+        rate = NEIGHBOR_AP_RATE * float(np.exp(rng.normal(0.0, 0.25)))
+        user_speed = ap.lan_fetch_rate(rng)
+        return RouteOutcome(request=request, file=record,
+                            decision=decision, success=True,
+                            wan_speed=rate, user_speed=user_speed)
 
     def _run_direct(self, request: RequestRecord, record: CatalogFile,
                     context: UserContext, ap: SmartAP, decision: Decision,

@@ -60,13 +60,27 @@ class OdrResponse:
 
 
 class OdrService:
-    """The public entry point wrapping the middleware."""
+    """The public entry point wrapping a routing strategy.
+
+    Historically this wrapped :class:`OdrMiddleware` directly; it now
+    routes through any registry strategy (``policy`` names one of
+    :func:`repro.backends.registry.strategy_names`).  The default,
+    ``"odr"``, wraps the same middleware as before and produces
+    byte-identical decisions; ``self.middleware`` remains available
+    either way for callers that tune the Figure-15 knobs.
+    """
 
     def __init__(self, database: ContentDatabase,
                  resolver: Optional[IpResolver] = None,
-                 config: OdrConfig = OdrConfig()):
+                 config: OdrConfig = OdrConfig(),
+                 policy: str = "odr"):
         self.middleware = OdrMiddleware(database, resolver=resolver,
                                         config=config)
+        self.policy = policy
+        from repro.backends.registry import resolve_strategy
+        self.strategy = resolve_strategy(
+            policy, database=database,
+            middleware=self.middleware if policy == "odr" else None)
         self.cookies = CookieJar()
         self.requests_served = 0
 
@@ -75,7 +89,7 @@ class OdrService:
         """One user interaction: merge cookies, decide, explain."""
         context = self.cookies.merge(context)
         protocol, file_id = parse_link(link)
-        decision = self.middleware.decide(context, file_id, protocol)
+        decision = self.strategy.decide(context, file_id, protocol)
         self.requests_served += 1
         return OdrResponse(
             decision=decision, file_id=file_id, protocol=protocol,
@@ -86,7 +100,7 @@ class OdrService:
                                       success: bool) -> OdrResponse:
         """The notification + re-ask after a cloud pre-download."""
         context = self.cookies.merge(context)
-        decision = self.middleware.decide_after_predownload(
+        decision = self.strategy.decide_after_predownload(
             context, file_id, success)
         return OdrResponse(
             decision=decision, file_id=file_id,

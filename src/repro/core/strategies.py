@@ -1,8 +1,16 @@
 """Redirection strategies: ODR and the baselines it is compared against.
 
 A :class:`Strategy` maps (user context, file, protocol) to a
-:class:`Decision`.  Besides ODR itself, the library ships the three
-conventional approaches the paper discusses:
+:class:`Decision`.  Since the ``repro.backends`` registry landed, every
+concrete strategy is a :class:`ComposedStrategy`: a *backend set* (who
+could execute the download -- cloud, smart AP, nearby D2D peers, a
+neighbouring AP's cooperative cache) paired with a *policy* (which of
+them should).  The classes below keep their historical names,
+constructor signatures, and -- bit for bit -- their decisions
+(``tests/data/golden_digests.json`` pins both the decision grid and the
+full testbed replay), but their logic now lives in
+:mod:`repro.backends.policies` and is resolved by name through
+:func:`repro.backends.registry.resolve_strategy`:
 
 * **cloud-only** -- every request goes through Xuanfeng (section 4's
   subject);
@@ -11,22 +19,30 @@ conventional approaches the paper discusses:
 * **always-hybrid** -- the commercial HiWiFi/MiWiFi/Newifi hybrid mode:
   cloud pre-downloads, then the AP fetches from the cloud, always taking
   the longest data flow (section 7, "Hybrid approach");
-
-plus **AMS** (Automatic Mode Selection, Zhou et al., IEEE TMM 2013): a
-popularity-threshold rule choosing between the cloud-based and
-peer-assisted service models, the closest prior algorithm to ODR.
+* **AMS** (Automatic Mode Selection, Zhou et al., IEEE TMM 2013): a
+  popularity-threshold rule choosing between the cloud-based and
+  peer-assisted service models, the closest prior algorithm to ODR;
+* **ODR** itself (Figure 15), plus registry-only compositions such as
+  **delay-aware** (DAWN-style deadline/cost trading over all four
+  backends).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cloud.database import ContentDatabase
 from repro.core.auxiliary import UserContext
 from repro.core.decision import Action, DataSource, Decision
 from repro.core.odr import OdrMiddleware
 from repro.transfer.protocols import Protocol
-from repro.workload.popularity import PopularityClass
+from repro.workload.popularity import PopularityClass, classify
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.backends.base import Backend, Policy
+    from repro.backends.faultgate import FaultGate
+    from repro.workload.catalog import FileCatalog
 
 
 class Strategy:
@@ -49,73 +65,160 @@ class Strategy:
                         rationale="pre-download complete; fetch from cloud")
 
 
-class CloudOnlyStrategy(Strategy):
+@dataclass(frozen=True)
+class FileSnapshot:
+    """What a routing policy may know about one requested file.
+
+    A pure value object assembled by :class:`ComposedStrategy` from the
+    content database (popularity, cache residency) and, when available,
+    the workload catalog (size, true weekly demand).  Policies and
+    backends consume this instead of poking the database themselves, so
+    the same policy runs identically under the web service, the testbed
+    replay, and the sharded comparison engine.
+    """
+
+    file_id: str
+    protocol: Protocol
+    popularity: int = 0
+    cached: bool = False
+    size: float = 0.0
+    weekly_demand: float = 0.0
+
+    @property
+    def popularity_class(self) -> PopularityClass:
+        return classify(self.popularity)
+
+    @property
+    def demand(self) -> float:
+        """Best demand estimate: catalog truth, else observed count."""
+        return self.weekly_demand if self.weekly_demand > 0 \
+            else float(self.popularity)
+
+
+class ComposedStrategy(Strategy):
+    """A strategy expressed as a (backend set, policy) pair.
+
+    The backend tuple is the *preference order* handed to the policy.
+    With a :class:`~repro.backends.faultgate.FaultGate` attached, any
+    backend whose fault domain has an active window at :attr:`now` is
+    moved to the back of that order and named in the ``penalised`` set,
+    so delay/cost-scoring policies route around faults that are
+    currently firing (legacy policies, which pick backends by name,
+    ignore the hint -- exactly their pre-registry behaviour).
+
+    :attr:`now` is the routing clock; replay drivers set it to each
+    request's timestamp before calling :meth:`decide`.
+    """
+
+    def __init__(self, name: str, backends: Sequence["Backend"],
+                 policy: "Policy", *,
+                 database: Optional[ContentDatabase] = None,
+                 catalog: Optional["FileCatalog"] = None,
+                 fault_gate: Optional["FaultGate"] = None):
+        self.name = name
+        self.backends = tuple(backends)
+        self.policy = policy
+        self.database = database
+        self.catalog = catalog
+        self.fault_gate = fault_gate
+        self.now = 0.0
+
+    def snapshot(self, file_id: str, protocol: Protocol) -> FileSnapshot:
+        """Assemble the file's routing snapshot from db + catalog."""
+        popularity = 0
+        cached = False
+        size = 0.0
+        if self.database is not None:
+            popularity = self.database.popularity_of(file_id)
+            cached = self.database.is_cached(file_id)
+            row = self.database.get(file_id)
+            if row is not None:
+                size = row.size
+        weekly_demand = 0.0
+        if self.catalog is not None:
+            record = self.catalog.get(file_id)
+            if record is not None:
+                size = record.size
+                weekly_demand = float(record.weekly_demand)
+        return FileSnapshot(file_id=file_id, protocol=protocol,
+                            popularity=popularity, cached=cached,
+                            size=size, weekly_demand=weekly_demand)
+
+    def _routing(self) -> tuple[tuple["Backend", ...], frozenset[str]]:
+        """(preference-ordered backends, penalised backend names)."""
+        if self.fault_gate is None:
+            return self.backends, frozenset()
+        penalised = frozenset(
+            backend.name for backend in self.backends
+            if self.fault_gate.penalised(backend, self.now))
+        if not penalised:
+            return self.backends, penalised
+        healthy = tuple(backend for backend in self.backends
+                        if backend.name not in penalised)
+        unhealthy = tuple(backend for backend in self.backends
+                          if backend.name in penalised)
+        return healthy + unhealthy, penalised
+
+    def decide(self, context: UserContext, file_id: str,
+               protocol: Protocol) -> Decision:
+        backends, penalised = self._routing()
+        return self.policy.decide(context,
+                                  self.snapshot(file_id, protocol),
+                                  backends, penalised=penalised)
+
+    def decide_after_predownload(self, context: UserContext, file_id: str,
+                                 success: bool) -> Decision:
+        # Served from the cloud regardless of the original protocol.
+        backends, penalised = self._routing()
+        return self.policy.decide_after_predownload(
+            context, self.snapshot(file_id, Protocol.HTTP), backends,
+            success, penalised=penalised)
+
+
+def _compose(name: str, **build):
+    """Resolve a legacy strategy name to its (backends, policy) pair.
+
+    Imported lazily: ``repro.backends`` imports this module for the
+    :class:`Strategy`/:class:`ComposedStrategy` bases, so the registry
+    must not be touched while ``repro.core`` is still initialising.
+    """
+    from repro.backends.registry import compose
+    return compose(name, **build)
+
+
+class CloudOnlyStrategy(ComposedStrategy):
     """Everything through the cloud (the plain Xuanfeng experience)."""
 
     name = "cloud-only"
 
     def __init__(self, database: ContentDatabase):
-        self.database = database
-
-    def decide(self, context: UserContext, file_id: str,
-               protocol: Protocol) -> Decision:
-        if self.database.is_cached(file_id):
-            return Decision(action=Action.CLOUD,
-                            data_source=DataSource.CLOUD,
-                            rationale="cloud-based service")
-        return Decision(action=Action.CLOUD_PREDOWNLOAD,
-                        data_source=DataSource.CLOUD,
-                        rationale="cloud-based service (cache miss)")
+        backends, policy = _compose("cloud-only", database=database)
+        super().__init__("cloud-only", backends, policy,
+                         database=database)
 
 
-class SmartApOnlyStrategy(Strategy):
+class SmartApOnlyStrategy(ComposedStrategy):
     """Everything on the home AP (the plain smart-AP experience)."""
 
     name = "smart-ap-only"
 
-    def decide(self, context: UserContext, file_id: str,
-               protocol: Protocol) -> Decision:
-        if context.has_smart_ap:
-            return Decision(action=Action.SMART_AP,
-                            data_source=DataSource.ORIGINAL,
-                            rationale="smart-AP service")
-        return Decision(action=Action.USER_DEVICE,
-                        data_source=DataSource.ORIGINAL,
-                        rationale="no AP present; plain direct download")
+    def __init__(self):
+        backends, policy = _compose("smart-ap-only")
+        super().__init__("smart-ap-only", backends, policy)
 
 
-class AlwaysHybridStrategy(Strategy):
+class AlwaysHybridStrategy(ComposedStrategy):
     """The commercial hybrid: always Internet -> cloud -> AP -> user."""
 
     name = "always-hybrid"
 
     def __init__(self, database: ContentDatabase):
-        self.database = database
-
-    def decide(self, context: UserContext, file_id: str,
-               protocol: Protocol) -> Decision:
-        if not self.database.is_cached(file_id):
-            return Decision(action=Action.CLOUD_PREDOWNLOAD,
-                            data_source=DataSource.CLOUD,
-                            rationale="hybrid mode: cloud downloads first")
-        return self.decide_after_predownload(context, file_id, True)
-
-    def decide_after_predownload(self, context: UserContext, file_id: str,
-                                 success: bool) -> Decision:
-        if not success:
-            return Decision(action=Action.NOTIFY_FAILURE,
-                            data_source=DataSource.CLOUD,
-                            rationale="cloud pre-download failed")
-        if context.has_smart_ap:
-            return Decision(action=Action.CLOUD_THEN_SMART_AP,
-                            data_source=DataSource.CLOUD,
-                            rationale="hybrid mode: AP fetches from the "
-                                      "cloud, always the longest flow")
-        return Decision(action=Action.CLOUD, data_source=DataSource.CLOUD,
-                        rationale="hybrid mode without an AP")
+        backends, policy = _compose("always-hybrid", database=database)
+        super().__init__("always-hybrid", backends, policy,
+                         database=database)
 
 
-class AmsStrategy(Strategy):
+class AmsStrategy(ComposedStrategy):
     """Automatic Mode Selection (Zhou et al.): popularity threshold only.
 
     Popular content -> peer-assisted (direct swarm); unpopular -> cloud.
@@ -127,39 +230,20 @@ class AmsStrategy(Strategy):
 
     def __init__(self, database: ContentDatabase,
                  popularity_threshold: int = 85):
-        self.database = database
+        backends, policy = _compose(
+            "ams", database=database,
+            popularity_threshold=popularity_threshold)
+        super().__init__("ams", backends, policy, database=database)
         self.popularity_threshold = popularity_threshold
 
-    def decide(self, context: UserContext, file_id: str,
-               protocol: Protocol) -> Decision:
-        popularity = self.database.popularity_of(file_id)
-        if protocol.is_p2p and popularity >= self.popularity_threshold:
-            action = Action.SMART_AP if context.has_smart_ap \
-                else Action.USER_DEVICE
-            return Decision(action=action, data_source=DataSource.ORIGINAL,
-                            rationale="AMS: popular -> peer-assisted")
-        if self.database.is_cached(file_id):
-            return Decision(action=Action.CLOUD,
-                            data_source=DataSource.CLOUD,
-                            rationale="AMS: unpopular -> cloud mode")
-        return Decision(action=Action.CLOUD_PREDOWNLOAD,
-                        data_source=DataSource.CLOUD,
-                        rationale="AMS: unpopular -> cloud mode")
 
-
-class OdrStrategy(Strategy):
+class OdrStrategy(ComposedStrategy):
     """ODR wrapped in the strategy interface."""
 
     name = "odr"
 
     def __init__(self, middleware: OdrMiddleware):
+        backends, policy = _compose("odr", middleware=middleware)
+        super().__init__("odr", backends, policy,
+                         database=middleware.database)
         self.middleware = middleware
-
-    def decide(self, context: UserContext, file_id: str,
-               protocol: Protocol) -> Decision:
-        return self.middleware.decide(context, file_id, protocol)
-
-    def decide_after_predownload(self, context: UserContext, file_id: str,
-                                 success: bool) -> Decision:
-        return self.middleware.decide_after_predownload(
-            context, file_id, success)

@@ -18,7 +18,9 @@ Endpoints:
 
 Query parameters of ``/decide``: ``link`` (required), ``popularity``
 (observed weekly requests, default 0), ``cached`` (0/1),
-``bandwidth_mbps``, ``isp``, ``ap``, ``device``, ``filesystem``.
+``bandwidth_mbps``, ``isp``, ``ap``, ``device``, ``filesystem``, and
+``policy`` (a registry strategy name, e.g. ``delay-aware``; default the
+server's ``--policy``, normally ``odr``).
 A cookie (``odr_user``) keys the server-side auxiliary-info store, as
 the real ODR's cookie does.
 """
@@ -99,9 +101,14 @@ class OdrWebApp:
     def __init__(self, database: Optional[ContentDatabase] = None,
                  policies: Optional[ResiliencePolicies] = None,
                  metrics: AnyRegistry = NOOP,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 default_policy: str = "odr"):
         self.database = database or ContentDatabase()
-        self.service = OdrService(self.database)
+        self.default_policy = default_policy
+        self.service = OdrService(self.database, policy=default_policy)
+        # One service per routing policy, all sharing the database;
+        # built lazily as requests name them (?policy=...).
+        self._services = {default_policy: self.service}
         self._allocator = IpAllocator()
         self._lock = threading.Lock()
         self._clock = clock
@@ -110,6 +117,32 @@ class OdrWebApp:
         # failing decision pipeline.
         self._breaker = policies.breaker("odr-web", metrics) \
             if policies is not None and policies.failover else None
+
+    def _service_for(self, policy: str) -> OdrService:
+        """The (lazily built) service routing with ``policy``.
+
+        Raises ``ValueError`` for names the registry does not know --
+        surfaced to the client as a 400 naming the valid set.
+        """
+        service = self._services.get(policy)
+        if service is None:
+            from repro.backends.registry import strategy_names
+            if policy not in strategy_names():
+                raise ValueError(
+                    f"unknown policy {policy!r}; "
+                    f"known: {', '.join(strategy_names())}")
+            with self._lock:
+                service = self._services.get(policy)
+                if service is None:
+                    service = OdrService(self.database, policy=policy)
+                    self._services[policy] = service
+        return service
+
+    @property
+    def requests_served(self) -> int:
+        """Requests served across every policy's service."""
+        return sum(service.requests_served
+                   for service in self._services.values())
 
     # -- request handling --------------------------------------------------------
 
@@ -122,7 +155,7 @@ class OdrWebApp:
         if parsed.path == "/healthz":
             return 200, "application/json", json.dumps(
                 {"status": "ok",
-                 "requests_served": self.service.requests_served}), \
+                 "requests_served": self.requests_served}), \
                 None, {}
         if parsed.path == "/decide":
             return self._decide(parse_qs(parsed.query), cookie_header)
@@ -211,13 +244,15 @@ class OdrWebApp:
                 isp = ISP(first("isp", "unicom"))
                 _protocol, file_id = parse_link(link)
                 popularity = int(first("popularity", "0") or 0)
+                service = self._service_for(
+                    first("policy", self.default_policy))
             except ValueError as error:
                 responses[index] = 400, "application/json", json.dumps(
                     {"error": str(error)}), set_cookie, {}
                 continue
             cached = first("cached", "0") in ("1", "true", "yes")
             prepared.append((index, first, link, file_id, popularity,
-                             cached, isp, set_cookie, user_id))
+                             cached, isp, set_cookie, user_id, service))
 
         # One lock scope for the whole batch: IP allocation plus the
         # popularity registration that seeds the database (the real ODR
@@ -226,7 +261,7 @@ class OdrWebApp:
         if prepared:
             with self._lock:
                 for (index, first, link, file_id, popularity, cached,
-                     isp, set_cookie, user_id) in prepared:
+                     isp, set_cookie, user_id, service) in prepared:
                     addresses[index] = self._allocator.allocate(isp)
                     row = self.database.row(file_id, size=0.0)
                     if row.request_count < popularity:
@@ -234,11 +269,11 @@ class OdrWebApp:
                     self.database.set_cached(file_id, cached)
 
         for (index, first, link, file_id, popularity, cached, isp,
-             set_cookie, user_id) in prepared:
+             set_cookie, user_id, service) in prepared:
             try:
                 context = self._build_context(
                     first, user_id, ip_address=addresses[index])
-                response = self.service.handle_request(context, link)
+                response = service.handle_request(context, link)
             except (ValueError, KeyError) as error:
                 # Malformed input is the client's fault: it must not
                 # trip the breaker or tear anything down.
@@ -267,6 +302,7 @@ class OdrWebApp:
                 "explanation": response.explanation,
                 "file_id": response.file_id,
                 "protocol": response.protocol.value,
+                "policy": service.policy,
             }
             responses[index] = 200, "application/json", \
                 json.dumps(payload, indent=2), set_cookie, {}
@@ -408,10 +444,12 @@ class OdrHTTPServer(ThreadingHTTPServer):
 def make_server(port: int = 0,
                 database: Optional[ContentDatabase] = None,
                 policies: Optional[ResiliencePolicies] = None,
-                metrics: AnyRegistry = NOOP) -> OdrHTTPServer:
+                metrics: AnyRegistry = NOOP,
+                default_policy: str = "odr") -> OdrHTTPServer:
     """Build (without starting) the HTTP server; port 0 picks a free
     one."""
-    app = OdrWebApp(database, policies=policies, metrics=metrics)
+    app = OdrWebApp(database, policies=policies, metrics=metrics,
+                    default_policy=default_policy)
     handler = type("OdrHandler", (_Handler,), {"app": app})
     return OdrHTTPServer(("127.0.0.1", port), handler)
 

@@ -26,6 +26,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     cloud_text_stats,
     fig16_odr,
     fig17_odr_fetch,
+    backend_matrix,
 )
 
 __all__ = [

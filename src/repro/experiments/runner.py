@@ -27,7 +27,7 @@ from repro.obs import NOOP, span
 ORDER = [
     "workload_stats", "fig05", "fig06_07", "fig08", "fig09", "fig10",
     "fig11", "cloud_text", "table1", "fig13_14", "ap_failures",
-    "table2", "fig16", "fig17",
+    "table2", "fig16", "fig17", "backend_matrix",
 ]
 
 

@@ -4,9 +4,12 @@ The ramp offers increasing request rates, one
 :meth:`~repro.loadgen.replay.LoadGenerator.run_step` per step, and
 declares a step *unhealthy* when either
 
-* the error rate exceeds the SLO error budget, or
+* the error rate exceeds the SLO error budget,
 * achieved throughput falls below ``achieved_floor`` of offered
-  (the open-loop schedule lagged -- the service stopped keeping up).
+  (the open-loop schedule lagged -- the service stopped keeping up), or
+* tail latency degraded past ``latency_degradation`` times the lowest
+  step's p99 (the service still answers, but queueing has already
+  destroyed its latency SLO).
 
 The saturation point is the highest *achieved* throughput among healthy
 steps; by default the ramp stops after the first unhealthy step (the
@@ -23,14 +26,51 @@ from repro.loadgen.replay import LoadGenerator, StepScorecard
 #: A step must achieve at least this share of its offered rate.
 DEFAULT_ACHIEVED_FLOOR = 0.9
 
+#: A step's p99 may grow at most this factor over the lowest (first
+#: measured) step's p99 before the step counts as unhealthy.  Wide by
+#: design: the ramp's first step is nearly idle, so even a healthy
+#: service legitimately multiplies its tail a few times on the way to
+#: the knee.
+DEFAULT_LATENCY_DEGRADATION = 25.0
+
+
+def step_p99(card: StepScorecard) -> Optional[float]:
+    """The step's p99 latency in ms, or ``None`` with no samples."""
+    if not card.latency.count:
+        return None
+    return card.latency.quantile(0.99)
+
+
+def baseline_p99(cards: list[StepScorecard]) -> Optional[float]:
+    """The degradation baseline: the first step with latency samples.
+
+    Steps ramp from the lowest offered rate, so the first measurable
+    p99 is the closest thing the run has to an unloaded tail.
+    """
+    for card in cards:
+        p99 = step_p99(card)
+        if p99 is not None and p99 > 0.0:
+            return p99
+    return None
+
 
 def step_healthy(card: StepScorecard,
-                 achieved_floor: float = DEFAULT_ACHIEVED_FLOOR
+                 achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+                 *, baseline_p99_ms: Optional[float] = None,
+                 latency_degradation: float = DEFAULT_LATENCY_DEGRADATION
                  ) -> bool:
     """Did the service hold its SLO at this step's offered rate?"""
     if card.error_rate > card.error_budget:
         return False
-    return card.achieved_rps >= achieved_floor * card.offered_rps
+    if card.achieved_rps < achieved_floor * card.offered_rps:
+        return False
+    if baseline_p99_ms is not None and baseline_p99_ms > 0.0 \
+            and latency_degradation > 0.0:
+        p99 = step_p99(card)
+        if p99 is not None \
+                and p99 > latency_degradation * baseline_p99_ms:
+            return False
+    return True
 
 
 def ramp_rates(start: float, stop: float, steps: int) -> list[float]:
@@ -48,6 +88,8 @@ def ramp_rates(start: float, stop: float, steps: int) -> list[float]:
 def stepped_ramp(generator: LoadGenerator, rates: list[float],
                  duration: float, *,
                  achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+                 latency_degradation: float =
+                 DEFAULT_LATENCY_DEGRADATION,
                  stop_after_unhealthy: bool = True,
                  settle: float = 0.0,
                  on_step=None) -> list[StepScorecard]:
@@ -58,8 +100,10 @@ def stepped_ramp(generator: LoadGenerator, rates: list[float],
         cards.append(card)
         if on_step is not None:
             on_step(card)
-        if stop_after_unhealthy \
-                and not step_healthy(card, achieved_floor):
+        if stop_after_unhealthy and not step_healthy(
+                card, achieved_floor,
+                baseline_p99_ms=baseline_p99(cards),
+                latency_degradation=latency_degradation):
             break
         if settle > 0.0:
             time.sleep(settle)
@@ -67,27 +111,45 @@ def stepped_ramp(generator: LoadGenerator, rates: list[float],
 
 
 def saturation_rps(cards: list[StepScorecard],
-                   achieved_floor: float = DEFAULT_ACHIEVED_FLOOR
-                   ) -> float:
+                   achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+                   latency_degradation: float =
+                   DEFAULT_LATENCY_DEGRADATION) -> float:
     """Highest achieved throughput among SLO-healthy steps."""
+    baseline = baseline_p99(cards)
     healthy = [card.achieved_rps for card in cards
-               if step_healthy(card, achieved_floor)]
+               if step_healthy(card, achieved_floor,
+                               baseline_p99_ms=baseline,
+                               latency_degradation=latency_degradation)]
     return max(healthy, default=0.0)
 
 
 def scorecard(cards: list[StepScorecard], *,
               achieved_floor: float = DEFAULT_ACHIEVED_FLOOR,
+              latency_degradation: float = DEFAULT_LATENCY_DEGRADATION,
               meta: Optional[dict[str, Any]] = None
               ) -> dict[str, Any]:
     """The run-level SLO scorecard (JSON-ready)."""
-    healthy_flags = [step_healthy(card, achieved_floor)
-                     for card in cards]
+    baseline = baseline_p99(cards)
+    healthy_flags = [
+        step_healthy(card, achieved_floor, baseline_p99_ms=baseline,
+                     latency_degradation=latency_degradation)
+        for card in cards]
+    steps = []
+    for card, flag in zip(cards, healthy_flags):
+        row = dict(card.to_dict(), healthy=flag)
+        p99 = step_p99(card)
+        if baseline is not None and p99 is not None:
+            row["p99_over_baseline"] = round(p99 / baseline, 3)
+        steps.append(row)
     result: dict[str, Any] = {
-        "steps": [dict(card.to_dict(), healthy=flag)
-                  for card, flag in zip(cards, healthy_flags)],
+        "steps": steps,
         "achieved_floor": achieved_floor,
+        "latency_degradation": latency_degradation,
+        "baseline_p99_ms":
+            round(baseline, 3) if baseline is not None else None,
         "saturation_rps":
-            round(saturation_rps(cards, achieved_floor), 3),
+            round(saturation_rps(cards, achieved_floor,
+                                 latency_degradation), 3),
         "healthy_steps": sum(healthy_flags),
         "total_steps": len(cards),
         "total_requests": sum(card.requests for card in cards),

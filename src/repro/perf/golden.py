@@ -214,6 +214,134 @@ def engine_trace(simulator_factory: Callable[[], Any] | None = None) -> str:
     return digest(trace)
 
 
+def _strategy_fixture():
+    """A deterministic (database, contexts, files) grid for the
+    strategy-decision digests: every popularity class, both cache
+    states, AP/no-AP, and bandwidth extremes."""
+    import repro.ap.models as ap_models
+    import repro.storage.device as storage_devices
+    from repro.cloud.database import ContentDatabase
+    from repro.core.auxiliary import SmartApInfo, UserContext
+    from repro.netsim.ip import IpAllocator
+    from repro.netsim.isp import ISP
+    from repro.sim.clock import mbps
+    from repro.storage.filesystem import Filesystem
+    from repro.transfer.protocols import Protocol
+
+    database = ContentDatabase()
+    files = [("hot-cached", 200, True), ("hot-uncached", 200, False),
+             ("pop-cached", 50, True), ("pop-uncached", 50, False),
+             ("cold-cached", 3, True), ("cold-uncached", 3, False)]
+    for file_id, popularity, cached in files:
+        row = database.row(file_id, size=700e6)
+        row.request_count = popularity
+        row.cached = cached
+
+    allocator = IpAllocator()
+    aps = {
+        "none": None,
+        "hiwifi": SmartApInfo(ap_models.HIWIFI_1S,
+                              ap_models.HIWIFI_1S.default_device,
+                              ap_models.HIWIFI_1S.default_filesystem),
+        "newifi-fat": SmartApInfo(ap_models.NEWIFI,
+                                  storage_devices.USB_FLASH_8GB,
+                                  Filesystem("fat")),
+    }
+    contexts = []
+    for isp in (ISP.UNICOM, ISP.TELECOM, ISP.CERNET):
+        for bw_name, bandwidth in (("none", None), ("slow", mbps(2.0)),
+                                   ("mid", mbps(20.0)),
+                                   ("fast", mbps(100.0))):
+            for ap_name, smart_ap in aps.items():
+                label = f"{isp.value}/{bw_name}/{ap_name}"
+                contexts.append((label, UserContext(
+                    user_id=f"u-{label}",
+                    ip_address=allocator.allocate(isp),
+                    access_bandwidth=bandwidth, smart_ap=smart_ap)))
+    protocols = (Protocol.HTTP, Protocol.BITTORRENT)
+    return database, contexts, [f for f, _p, _c in files], protocols
+
+
+def _strategies_under_test(database):
+    from repro.core.odr import OdrMiddleware
+    from repro.core.strategies import (
+        AlwaysHybridStrategy,
+        AmsStrategy,
+        CloudOnlyStrategy,
+        OdrStrategy,
+        SmartApOnlyStrategy,
+    )
+    return [CloudOnlyStrategy(database), SmartApOnlyStrategy(),
+            AlwaysHybridStrategy(database), AmsStrategy(database),
+            OdrStrategy(OdrMiddleware(database))]
+
+
+def strategy_decisions() -> str:
+    """Every legacy strategy over the full decision grid.
+
+    Pinned *before* the strategies were rerouted through the
+    ``repro.backends`` registry; the registry-backed implementations
+    must keep reproducing these decisions byte for byte.
+    """
+    database, contexts, file_ids, protocols = _strategy_fixture()
+    rows = []
+    for strategy in _strategies_under_test(database):
+        for label, context in contexts:
+            for file_id in file_ids:
+                for protocol in protocols:
+                    decision = strategy.decide(context, file_id,
+                                               protocol)
+                    rows.append([strategy.name, label, file_id,
+                                 protocol.value, decision.action.value,
+                                 decision.data_source.value,
+                                 list(decision.bottlenecks_addressed),
+                                 decision.rationale])
+                for success in (True, False):
+                    after = strategy.decide_after_predownload(
+                        context, file_id, success)
+                    rows.append([strategy.name, label, file_id,
+                                 "after-predownload", success,
+                                 after.action.value,
+                                 after.data_source.value,
+                                 list(after.bottlenecks_addressed),
+                                 after.rationale])
+    return digest(rows)
+
+
+def odr_strategy_replay() -> str:
+    """The section 6.2 replay of all five strategies, outcomes and all.
+
+    Pins the evaluator's RNG-consumption sequence per strategy, so the
+    registry refactor cannot silently change what any legacy strategy
+    executes on the testbed.
+    """
+    from repro.cloud import CloudConfig, XuanfengCloud
+    from repro.core.replay import ReplayEvaluator
+    from repro.workload import sample_benchmark_requests
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    config = WorkloadConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    workload = WorkloadGenerator(config).generate()
+    cloud = XuanfengCloud(CloudConfig(scale=GOLDEN_SCALE))
+    cloud.run(workload)
+    sample = sample_benchmark_requests(workload, 150)
+    rows = []
+    for strategy in _strategies_under_test(cloud.database):
+        evaluator = ReplayEvaluator(workload.catalog, cloud.database)
+        result = evaluator.replay(sample, strategy)
+        for outcome in result.outcomes:
+            rows.append([strategy.name, outcome.request.file_id,
+                         outcome.decision.action.value,
+                         outcome.decision.data_source.value,
+                         outcome.success,
+                         outcome.wan_speed.hex(),
+                         outcome.user_speed.hex(),
+                         outcome.cloud_delivered_bytes.hex(),
+                         outcome.cloud_seeding_bytes.hex(),
+                         outcome.write_path_limited,
+                         outcome.failure_cause])
+    return digest(rows)
+
+
 def sampler_popularity() -> str:
     import numpy as np
     from repro.workload.popularity import PopularityModel
@@ -319,6 +447,8 @@ SCENARIOS: dict[str, Callable[[], str]] = {
     "cloud_replay": cloud_replay,
     "ap_replay": ap_replay,
     "engine_trace": engine_trace,
+    "strategy_decisions": strategy_decisions,
+    "odr_strategy_replay": odr_strategy_replay,
     "sampler_popularity": sampler_popularity,
     "sampler_sizes": sampler_sizes,
     "sampler_filetypes": sampler_filetypes,

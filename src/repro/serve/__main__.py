@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="admission-control cap on concurrent "
                              "requests; the excess is shed with "
                              "503 + Retry-After (default %(default)s)")
+    parser.add_argument("--policy", default="odr",
+                        help="default routing policy (a registry "
+                             "strategy name, e.g. delay-aware); "
+                             "requests may override per call with "
+                             "?policy=... (default %(default)s)")
     parser.add_argument("--no-batch", action="store_true",
                         help="disable same-tick coalescing of /decide "
                              "requests")
@@ -62,13 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.backends.registry import strategy_names
+    if args.policy not in strategy_names():
+        build_parser().error(
+            f"unknown --policy {args.policy!r}; "
+            f"known: {', '.join(strategy_names())}")
     if args.engine == "thread":
         if args.workers > 1:
             build_parser().error("--workers needs --engine async")
         from repro.core.webapp import make_server, run_server
         from repro.faults.policies import ResiliencePolicies
         policies = None if args.no_resilience else ResiliencePolicies()
-        server = make_server(args.port, policies=policies)
+        server = make_server(args.port, policies=policies,
+                             default_policy=args.policy)
         if not args.quiet:
             print(f"ODR (thread) listening on "
                   f"http://{server.host}:{server.port}/ "
@@ -81,7 +92,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.workers, args.host, args.port,
             max_inflight=args.max_inflight, batch=not args.no_batch,
             resilience=not args.no_resilience, faults=args.faults,
-            quiet=args.quiet)
+            default_policy=args.policy, quiet=args.quiet)
 
     from repro.faults.policies import ResiliencePolicies
     from repro.obs import MetricsRegistry
@@ -93,7 +104,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         host=args.host, port=args.port, policies=policies,
         metrics=metrics, max_inflight=args.max_inflight,
         batch=not args.no_batch,
-        chaos=load_serve_chaos(args.faults, metrics=metrics))
+        chaos=load_serve_chaos(args.faults, metrics=metrics),
+        default_policy=args.policy)
     return run_async_server(server, grace=args.grace, quiet=args.quiet)
 
 

@@ -44,9 +44,28 @@ EWMA_ALPHA = 0.2
 RETRY_AFTER_MIN = 1
 RETRY_AFTER_MAX = 30
 
+#: Queueing-delay budget the adaptive cap defends: with ``n`` requests
+#: in flight each taking ``ewma`` seconds, the newest waits roughly
+#: ``n * ewma``, so admission tightens to ``target / ewma`` slots when
+#: the backend slows down.  With the optimistic 1 ms prior this works
+#: out to 1000 slots -- far above the default cap, so a fresh
+#: controller behaves exactly like the fixed-cap one.
+TARGET_QUEUE_DELAY_SECONDS = 1.0
+
+#: The adaptive cap never drops below this many slots: a single slow
+#: outlier must degrade concurrency, not strangle the server.
+ADAPTIVE_MIN_INFLIGHT = 8
+
 
 class AdmissionController:
-    """Queue-depth cap with an EWMA-derived Retry-After hint."""
+    """Queue-depth cap with an EWMA-derived Retry-After hint.
+
+    The configured ``max_inflight`` is a hard ceiling; the *effective*
+    cap additionally adapts downward when the EWMA service time grows
+    (see :data:`TARGET_QUEUE_DELAY_SECONDS`), so a slow backend sheds
+    load at the concurrency it can actually drain within the delay
+    budget instead of queueing up to the static limit.
+    """
 
     def __init__(self, max_inflight: int = DEFAULT_MAX_INFLIGHT,
                  metrics: AnyRegistry = NOOP):
@@ -58,13 +77,27 @@ class AdmissionController:
         self._inflight = 0
         self._ewma_seconds = 0.001   # optimistic prior: a fast backend
         self._inflight_gauge = metrics.gauge("repro_serve_inflight")
+        self._effective_gauge = metrics.gauge(
+            "repro_serve_effective_max_inflight")
+
+    def _effective_cap_locked(self) -> int:
+        adaptive = int(TARGET_QUEUE_DELAY_SECONDS / self._ewma_seconds) \
+            if self._ewma_seconds > 0.0 else self.max_inflight
+        return min(self.max_inflight,
+                   max(ADAPTIVE_MIN_INFLIGHT, adaptive))
+
+    @property
+    def effective_max_inflight(self) -> int:
+        """The adaptive admission cap currently in force."""
+        with self._lock:
+            return self._effective_cap_locked()
 
     # -- admission ---------------------------------------------------------------
 
     def try_admit(self, endpoint: str) -> bool:
         """Admit one request, or refuse because the server is full."""
         with self._lock:
-            if self._inflight >= self.max_inflight:
+            if self._inflight >= self._effective_cap_locked():
                 self._metrics.counter("repro_serve_rejected_total",
                                       endpoint=endpoint,
                                       reason="saturated").inc()
@@ -90,6 +123,8 @@ class AdmissionController:
             if latency_seconds >= 0.0:
                 self._ewma_seconds += EWMA_ALPHA * (
                     latency_seconds - self._ewma_seconds)
+            self._effective_gauge.set(
+                float(self._effective_cap_locked()))
         self._metrics.counter("repro_serve_responses_total",
                               endpoint=endpoint,
                               status=f"{status // 100}xx").inc()
@@ -121,10 +156,11 @@ class AdmissionController:
         """(status, JSON body, headers) of the saturation response."""
         import json
         retry_after = self.retry_after()
+        cap = self.effective_max_inflight
         body = json.dumps(
             {"error": "server saturated",
              "detail": f"admission queue full "
-                       f"({self.max_inflight} in flight); retry later",
+                       f"({cap} in flight); retry later",
              "retry_after_seconds": retry_after})
         return 503, body, {"Retry-After": str(retry_after)}
 

@@ -8,7 +8,10 @@ side-by-side scorecards to ``BENCH_serve.json``:
 * ``engines.async`` / ``engines.thread`` -- the full per-step SLO
   scorecard of each tier (see :func:`repro.loadgen.ramp.scorecard`);
 * ``saturation`` -- each tier's saturation RPS (highest achieved
-  throughput among SLO-healthy steps) and the async/thread ratio.
+  throughput among SLO-healthy steps) and the async/thread ratio;
+* ``so_reuseport`` (with ``--workers N``) -- the async tier ramped
+  again as an N-process ``SO_REUSEPORT`` pool, recorded as the
+  pool-over-single-loop scaling ratio.
 
 The legacy tier answers ``Connection: close`` on every response, so
 each request pays a fresh TCP handshake; the async tier keeps
@@ -33,6 +36,7 @@ from typing import Any, Optional, Sequence
 from repro.loadgen.client import TargetSet
 from repro.loadgen.ramp import (
     DEFAULT_ACHIEVED_FLOOR,
+    baseline_p99,
     ramp_rates,
     scorecard,
     step_healthy,
@@ -140,7 +144,9 @@ def ramp_engine(engine: str, paths: list[str], rates: list[float],
             for rate in rates:
                 card = generator.run_step(rate, duration)
                 cards.append(card)
-                healthy = step_healthy(card, achieved_floor)
+                healthy = step_healthy(
+                    card, achieved_floor,
+                    baseline_p99_ms=baseline_p99(cards))
                 if not quiet:
                     p95 = card.latency.quantile(0.95) \
                         if card.latency.count else float("nan")
@@ -167,7 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated engines to ramp "
                              "(default %(default)s)")
     parser.add_argument("--workers", type=int, default=1,
-                        help="async engine SO_REUSEPORT workers "
+                        help="with N > 1: ramp the async engine a "
+                             "second time as N SO_REUSEPORT worker "
+                             "processes and record the scaling ratio "
                              "(default %(default)s)")
     parser.add_argument("--max-inflight", type=int, default=128)
     parser.add_argument("--ramp-start", type=float, default=50.0)
@@ -214,15 +222,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"bench: ramping {engine} engine", flush=True)
         results[engine] = ramp_engine(
             engine, paths, rates, args.duration,
-            workers=args.workers if engine == "async" else 1,
             max_inflight=args.max_inflight,
             loadgen_workers=args.loadgen_workers,
             max_concurrency=args.max_concurrency,
             achieved_floor=args.achieved_floor,
             quiet=args.quiet)
+    if args.workers > 1 and "async" in engines:
+        # The SO_REUSEPORT pass: same async tier, N worker processes
+        # sharing the port.  Its scorecard lands beside the single-loop
+        # one so the scaling ratio is a recorded number, not a claim.
+        pool_name = f"async_x{args.workers}"
+        if not args.quiet:
+            print(f"bench: ramping {pool_name} "
+                  f"(SO_REUSEPORT worker pool)", flush=True)
+        results[pool_name] = ramp_engine(
+            "async", paths, rates, args.duration,
+            workers=args.workers, max_inflight=args.max_inflight,
+            loadgen_workers=args.loadgen_workers,
+            max_concurrency=args.max_concurrency,
+            achieved_floor=args.achieved_floor,
+            quiet=args.quiet)
 
-    saturation = {engine: results[engine]["saturation_rps"]
-                  for engine in engines}
+    saturation = {name: results[name]["saturation_rps"]
+                  for name in results}
     document: dict[str, Any] = {
         "engines": results,
         "saturation": saturation,
@@ -241,6 +263,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             and saturation["thread"] > 0:
         document["saturation"]["async_over_thread"] = round(
             saturation["async"] / saturation["thread"], 3)
+    if args.workers > 1 and "async" in saturation:
+        pool = saturation.get(f"async_x{args.workers}", 0.0)
+        document["so_reuseport"] = {
+            "workers": args.workers,
+            "single_loop_rps": saturation["async"],
+            "pool_rps": pool,
+            "scaling": round(pool / saturation["async"], 3)
+            if saturation["async"] > 0 else None,
+        }
 
     from repro.recovery.atomic import atomic_write_text
     atomic_write_text(Path(args.out),

@@ -84,9 +84,11 @@ class AsyncOdrServer:
                  max_inflight: int = DEFAULT_MAX_INFLIGHT,
                  batch: bool = True,
                  chaos: Optional[ServeChaos] = None,
-                 reuse_port: bool = False):
+                 reuse_port: bool = False,
+                 default_policy: str = "odr"):
         self.app = app if app is not None else OdrWebApp(
-            database, policies=policies, metrics=metrics)
+            database, policies=policies, metrics=metrics,
+            default_policy=default_policy)
         self.host = host
         self._requested_port = port
         self.metrics = metrics

@@ -25,7 +25,8 @@ from typing import Optional
 
 def _worker_main(host: str, port: int, max_inflight: int,
                  batch: bool, resilience: bool,
-                 faults: Optional[str], quiet: bool) -> None:
+                 faults: Optional[str], quiet: bool,
+                 default_policy: str = "odr") -> None:
     """Spawn-safe worker entry: one async server on a shared port."""
     from repro.faults.policies import ResiliencePolicies
     from repro.obs import MetricsRegistry
@@ -38,7 +39,7 @@ def _worker_main(host: str, port: int, max_inflight: int,
         host=host, port=port, policies=policies, metrics=metrics,
         max_inflight=max_inflight, batch=batch,
         chaos=load_serve_chaos(faults, metrics=metrics),
-        reuse_port=True)
+        reuse_port=True, default_policy=default_policy)
     raise SystemExit(run_async_server(server, quiet=quiet,
                                       announce=False))
 
@@ -64,6 +65,7 @@ def run_worker_pool(workers: int, host: str, port: int, *,
                     max_inflight: int, batch: bool = True,
                     resilience: bool = True,
                     faults: Optional[str] = None,
+                    default_policy: str = "odr",
                     quiet: bool = False) -> int:
     """Run ``workers`` SO_REUSEPORT processes; SIGTERM fans out.
 
@@ -79,7 +81,7 @@ def run_worker_pool(workers: int, host: str, port: int, *,
     pool = [context.Process(
         target=_worker_main,
         args=(host, port, max_inflight, batch, resilience,
-              faults, quiet),
+              faults, quiet, default_policy),
         name=f"odr-worker-{rank}", daemon=False)
         for rank in range(workers)]
     for process in pool:

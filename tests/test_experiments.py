@@ -21,6 +21,7 @@ class TestRegistry:
             "workload_stats", "fig05", "fig06_07", "fig08", "fig09",
             "fig10", "fig11", "cloud_text", "table1", "fig13_14",
             "ap_failures", "table2", "fig16", "fig17",
+            "backend_matrix",
         }
         assert expected == set(REGISTRY)
 

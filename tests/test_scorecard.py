@@ -13,7 +13,7 @@ def scorecard():
 
 class TestScorecard:
     def test_covers_every_experiment(self, scorecard):
-        assert len(scorecard.reports) == 14
+        assert len(scorecard.reports) == 15
         assert len(scorecard.all_errors) > 60
 
     def test_median_relative_error_band(self, scorecard):
