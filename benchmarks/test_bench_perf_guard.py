@@ -5,14 +5,18 @@ repeat), writes the ``BENCH_perf.json`` artifact, and asserts
 conservative speedup floors of the optimised stages over their frozen
 pre-optimisation baselines:
 
-* workload generation >= 1.5x (full-mode runs measure ~3x),
-* cloud replay >= 1.1x (~1.8x),
-* trace round-trip >= 1.3x (~2.4x).
+* workload generation >= 1.5x (smoke runs measure ~3.4x),
+* engine same-instant dispatch >= 1.3x (~2.7x),
+* cloud replay >= 1.8x (~3.4x smoke, >= 4x full),
+* task state machine vs generators >= 1.2x (~1.7x),
+* trace round-trip >= 1.3x (~2.7x),
+* columnar read vs JSONL parse >= 1.8x (~4x smoke, ~7x full).
 
 The floors sit well below the measured ratios so noisy shared CI
-runners do not flap; a real regression (e.g. un-vectorising a sampler
-or re-introducing the per-event lambda) drops the ratio to ~1.0 and
-trips them regardless of runner speed.
+runners do not flap; a real regression (e.g. un-vectorising a sampler,
+re-introducing the per-event lambda, or parsing the columnar file row
+by row) drops the ratio to ~1.0 and trips them regardless of runner
+speed.
 
 Set ``REPRO_PERF_OUT`` to also keep the report at a stable path (CI
 uploads it as an artifact).
@@ -29,8 +33,11 @@ from repro.perf import run_benchmarks, write_report
 from repro.perf.stages import STAGES
 
 GENERATE_FLOOR = 1.5
-CLOUD_FLOOR = 1.1
+ENGINE_FLOOR = 1.3
+CLOUD_FLOOR = 1.8
+FAST_TASKS_FLOOR = 1.2
 TRACE_FLOOR = 1.3
+COLUMNAR_FLOOR = 1.8
 
 
 @pytest.fixture(scope="module")
@@ -55,12 +62,24 @@ def test_generate_speedup_floor(report):
     assert report.stage("workload_generate").speedup >= GENERATE_FLOOR
 
 
+def test_engine_dispatch_speedup_floor(report):
+    assert report.stage("engine_dispatch").speedup >= ENGINE_FLOOR
+
+
 def test_cloud_replay_speedup_floor(report):
     assert report.stage("cloud_replay").speedup >= CLOUD_FLOOR
 
 
+def test_fast_tasks_speedup_floor(report):
+    assert report.stage("cloud_fast_tasks").speedup >= FAST_TASKS_FLOOR
+
+
 def test_trace_roundtrip_speedup_floor(report):
     assert report.stage("trace_roundtrip").speedup >= TRACE_FLOOR
+
+
+def test_trace_columnar_speedup_floor(report):
+    assert report.stage("trace_columnar").speedup >= COLUMNAR_FLOOR
 
 
 def test_tripwire_stages_are_timed_without_baseline(report):

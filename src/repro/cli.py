@@ -44,6 +44,25 @@ def _add_jobs(parser: argparse.ArgumentParser,
                                  f"{DEFAULT_SHARDS})")
 
 
+def _add_trace_format(parser: argparse.ArgumentParser,
+                      write: bool = False) -> None:
+    if write:
+        parser.add_argument("--trace-format",
+                            choices=("jsonl", "columnar"),
+                            default="jsonl",
+                            help="trace file format: jsonl (default; "
+                                 "greppable, gzip-able) or columnar "
+                                 "(memory-mapped .col files, much "
+                                 "faster to replay)")
+    else:
+        parser.add_argument("--trace-format",
+                            choices=("auto", "jsonl", "columnar"),
+                            default="auto",
+                            help="format of the --trace directory "
+                                 "(default: auto-detect; columnar "
+                                 ".col files win when present)")
+
+
 def _add_recovery(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--run-dir", type=Path, default=None,
                         metavar="DIR",
@@ -205,10 +224,15 @@ def cmd_generate(args: argparse.Namespace) -> int:
     else:
         config = WorkloadConfig(scale=args.scale, seed=args.seed)
         workload = WorkloadGenerator(config).generate()
-    directory = save_workload(workload, args.out, compress=args.gzip)
+    if args.trace_format == "columnar" and args.gzip:
+        print("error: --gzip applies to jsonl traces only (columnar "
+              "blocks must stay memory-mappable)", file=sys.stderr)
+        return 2
+    directory = save_workload(workload, args.out, compress=args.gzip,
+                              trace_format=args.trace_format)
     print(f"wrote {len(workload.requests)} requests, "
           f"{len(workload.catalog)} files, {len(workload.users)} users "
-          f"to {directory}")
+          f"to {directory} ({args.trace_format})")
     return 0
 
 
@@ -216,7 +240,9 @@ def _load_or_generate(args: argparse.Namespace):
     from repro.workload import WorkloadConfig, WorkloadGenerator, \
         load_workload
     if getattr(args, "trace", None):
-        return load_workload(args.trace)
+        return load_workload(
+            args.trace,
+            trace_format=getattr(args, "trace_format", "auto"))
     config = WorkloadConfig(scale=args.scale, seed=args.seed)
     return WorkloadGenerator(config).generate()
 
@@ -330,10 +356,24 @@ def cmd_ap(args: argparse.Namespace) -> int:
             return 2
         from repro.scale import sharded_ap_replay
         jobs = args.jobs if args.jobs is not None else 1
+        requests_trace = None
+        if getattr(args, "trace", None):
+            # A columnar trace lets every AP worker memory-map its own
+            # slice instead of receiving pickled request objects.
+            from repro.workload.traceio import REQUESTS_FILE, \
+                _columnar_name
+            columnar = Path(args.trace) / _columnar_name(REQUESTS_FILE)
+            if columnar.exists():
+                positions = {id(request): row for row, request
+                             in enumerate(workload.requests)}
+                requests_trace = (
+                    columnar,
+                    [positions[id(request)] for request in sample])
         with span(registry, "ap_replay", sample=len(sample)):
             report, info = sharded_ap_replay(
                 workload.catalog, sample, jobs=jobs,
-                metrics=registry, recovery=recovery)
+                metrics=registry, recovery=recovery,
+                requests_trace=requests_trace)
         print(f"parallel replay:   {info.shards} AP workers, "
               f"{jobs} jobs, {info.wall_seconds:.1f}s wall")
         if recovery is not None:
@@ -386,6 +426,15 @@ def cmd_odr(args: argparse.Namespace) -> int:
 
     protocol, file_id = parse_link(args.link)
     database = ContentDatabase()
+    if args.trace is not None:
+        # Warm the database with a real week's demand so the decision
+        # reflects observed popularity, not just --popularity.
+        from repro.workload import load_workload
+        workload = load_workload(args.trace,
+                                 trace_format=args.trace_format)
+        for request in workload.requests:
+            database.record_request(request.file_id, request.file_size,
+                                    request.request_time)
     for when in range(args.popularity):
         database.record_request(file_id, 1e8, float(when))
     database.set_cached(file_id, args.cached)
@@ -536,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=Path, default=Path("trace"))
     generate.add_argument("--gzip", action="store_true",
                           help="write gzipped trace files (*.jsonl.gz)")
+    _add_trace_format(generate, write=True)
     _add_recovery(generate)
     _add_profile(generate)
     generate.set_defaults(func=cmd_generate)
@@ -547,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     cloud.add_argument("--trace", type=Path, default=None,
                        help="load a saved workload instead of "
                             "generating one")
+    _add_trace_format(cloud)
     cloud.add_argument("--no-cache", action="store_true",
                        help="disable collaborative caching (ablation)")
     cloud.add_argument("--no-privileged-paths", action="store_true",
@@ -562,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(ap)
     _add_jobs(ap, shards=False)
     ap.add_argument("--trace", type=Path, default=None)
+    _add_trace_format(ap)
     ap.add_argument("--sample", type=int, default=1000)
     _add_recovery(ap)
     _add_faults(ap)
@@ -574,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
     odr.add_argument("link", help="HTTP/FTP/magnet/ed2k link")
     odr.add_argument("--popularity", type=int, default=0,
                      help="observed weekly request count of the file")
+    odr.add_argument("--trace", type=Path, default=None,
+                     help="warm the content database from a saved "
+                          "workload trace before deciding")
+    _add_trace_format(odr)
     odr.add_argument("--cached", action="store_true",
                      help="the file is in the cloud cache")
     odr.add_argument("--bandwidth", type=float, default=None,

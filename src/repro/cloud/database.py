@@ -59,7 +59,11 @@ class ContentDatabase:
 
     def record_request(self, file_id: str, size: float,
                        when: float) -> FileMetadata:
-        row = self.row(file_id, size)
+        # row() inlined: this hook runs once per replayed request.
+        row = self._rows.get(file_id)
+        if row is None:
+            row = FileMetadata(file_id=file_id, size=size)
+            self._rows[file_id] = row
         row.size = size
         row.request_count += 1
         row.last_request_time = when

@@ -44,10 +44,18 @@ class FetchSpeedModel:
         """Draw the end-to-end speed of one fetch flow, in B/s."""
         if user_bandwidth <= 0:
             raise ValueError("user_bandwidth must be positive")
-        speed = min(self.sample_server_rate(rng),
+        # The server-rate draw is inlined from ``sample_server_rate``
+        # (same draw, same arithmetic: min() over the flattened limits
+        # equals the nested min), and the degradation factor expands
+        # ``rng.uniform(lo, hi)`` into the exact computation it performs
+        # -- this method sits on the per-fetch admission path.
+        speed = min(self.server_rate_median * float(
+                        np.exp(rng.normal(0.0, self.server_rate_sigma))),
+                    self.server_rate_cap,
                     quality.sample_cap(rng),
                     user_bandwidth)
         if rng.random() < self.unknown_degradation_probability:
-            speed *= rng.uniform(self.unknown_degradation_low,
-                                 self.unknown_degradation_high)
+            low = self.unknown_degradation_low
+            speed *= low + (self.unknown_degradation_high - low) \
+                * rng.random()
         return speed

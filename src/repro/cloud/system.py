@@ -11,7 +11,7 @@ figure of the paper (8, 9, 10, 11 and the section 4 text statistics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 import numpy as np
 
@@ -45,9 +45,13 @@ from repro.workload.records import (
 )
 
 
-@dataclass
-class FetchFlow:
-    """One fetch flow interval, for bandwidth-burden binning (Fig. 11)."""
+class FetchFlow(NamedTuple):
+    """One fetch flow interval, for bandwidth-burden binning (Fig. 11).
+
+    A named tuple: one is appended per fetch and never mutated, so it
+    skips per-instance ``__dict__`` allocation and dataclass ``__init__``
+    overhead on the replay hot path.
+    """
 
     start: float
     end: float
@@ -56,7 +60,7 @@ class FetchFlow:
     rejected: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskResult:
     """Everything one offline-downloading task produced."""
 
@@ -250,8 +254,14 @@ class XuanfengCloud:
                  seed: int = 41,
                  metrics: AnyRegistry = NOOP,
                  faults: Optional[FaultInjector] = None,
-                 policies: Optional[ResiliencePolicies] = None):
+                 policies: Optional[ResiliencePolicies] = None,
+                 fast_tasks: bool = True):
         self.config = config
+        # Replay fault-free tasks on the table-driven state machine
+        # (repro.cloud.fastpath) instead of per-task generator
+        # coroutines; bit-identical, ~2x faster.  The generator path
+        # remains the only implementation under fault injection.
+        self._fast_tasks = fast_tasks
         # Fault injection + resilience are strictly opt-in: with
         # ``faults=None`` every code path and RNG draw below is
         # identical to the fault-free build (golden digests depend on
@@ -308,10 +318,16 @@ class XuanfengCloud:
         users = workload.user_by_id()
         tasks: list[TaskResult] = []
         flows: list[FetchFlow] = []
-        for request in workload.requests:
-            sim.call_at(request.request_time, self._start_task,
-                        sim, request, workload.catalog[request.file_id],
-                        users[request.user_id], rng, tasks, flows)
+        if self.faults is None and self._fast_tasks:
+            from repro.cloud.fastpath import FastTaskMachine
+            FastTaskMachine(self, sim, workload, users, rng,
+                            tasks, flows).start()
+        else:
+            for request in workload.requests:
+                sim.call_at(request.request_time, self._start_task,
+                            sim, request,
+                            workload.catalog[request.file_id],
+                            users[request.user_id], rng, tasks, flows)
         sim.run()
         self._m_dedup_saved.set(self.pool.dedup_bytes_saved)
         # Freeze the clock at the end of the week so observations made

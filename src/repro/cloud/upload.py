@@ -12,8 +12,7 @@ active flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 from repro.netsim.isp import ISP, MAJOR_ISPS
 from repro.netsim.topology import ChinaTopology, PathQuality
@@ -27,9 +26,13 @@ from repro.cloud.config import CloudConfig
 MIN_USEFUL_RATE = kbps(16.0)
 
 
-@dataclass(frozen=True)
-class PathChoice:
-    """The outcome of privileged-path construction for one fetch."""
+class PathChoice(NamedTuple):
+    """The outcome of privileged-path construction for one fetch.
+
+    A named tuple rather than a frozen dataclass: one is built per
+    admitted fetch, and tuple construction skips the frozen-dataclass
+    ``object.__setattr__`` round-trips.
+    """
 
     server_isp: ISP
     privileged: bool            # same-ISP, no barrier crossed
@@ -51,6 +54,10 @@ class UploadingServers:
         }
         self.rejected_fetches = 0
         self.total_fetches = 0
+        # With the NOOP registry the per-fetch counter/gauge calls are
+        # skipped entirely (one flag test) instead of dispatched to
+        # do-nothing methods two or three times per admission.
+        self._metered = metrics is not NOOP
         self._m_fetches = metrics.counter("repro_cloud_fetches_total")
         self._m_rejects = metrics.counter(
             "repro_cloud_admission_rejects_total")
@@ -61,10 +68,57 @@ class UploadingServers:
         self._m_upload = {
             isp: metrics.gauge("repro_cloud_upload_gbps", isp=isp.value)
             for isp in MAJOR_ISPS}
+        # Alternative groups per user ISP, pre-grouped into latency
+        # tiers.  Path latencies are static topology facts, so only the
+        # headroom tiebreak *within* a tier depends on run-time state;
+        # resolving it over the cached tiers replaces the per-fetch full
+        # sort (and its preference-closure allocations).
+        self._alt_tiers: dict[ISP, tuple[tuple[ISP, ...], ...]] = {}
+        # Per-group hot-path row: the pool, admission thresholds in
+        # absolute B/s, the home-path quality, the ISP's label string,
+        # and its burden gauge.  All of these are fixed after
+        # construction, so the per-fetch path compares ``committed``
+        # against a constant and never goes through a topology lookup,
+        # an ``Enum.value`` descriptor, or a gauge-dict hash.
+        self._admission: dict[
+            ISP, tuple[ReservationPool, float, float, PathQuality,
+                       str, object]] = {
+            isp: (pool,
+                  pool.capacity * config.admission_utilization_limit,
+                  pool.capacity * config.overflow_utilization_limit,
+                  self.topology.path_quality(isp, isp),
+                  isp.value,
+                  self._m_upload[isp])
+            for isp, pool in self.pools.items()}
 
     # -- selection -------------------------------------------------------------
 
-    def candidate_groups(self, user_isp: ISP) -> list[ISP]:
+    def _alternative_tiers(self, user_isp: ISP) -> tuple[tuple[ISP, ...], ...]:
+        """Non-home groups for ``user_isp``, grouped by ascending latency.
+
+        Within a tier the groups keep their :data:`MAJOR_ISPS` order --
+        the same order the old stable full sort left equal-key
+        candidates in.
+        """
+        tiers = self._alt_tiers.get(user_isp)
+        if tiers is None:
+            ranked = sorted(
+                ((self.topology.path_quality(isp, user_isp).latency_ms, isp)
+                 for isp in MAJOR_ISPS if isp is not user_isp),
+                key=lambda pair: pair[0])
+            grouped: list[list[ISP]] = []
+            last_latency: Optional[float] = None
+            for latency, isp in ranked:
+                if latency != last_latency:
+                    grouped.append([isp])
+                    last_latency = latency
+                else:
+                    grouped[-1].append(isp)
+            tiers = tuple(tuple(tier) for tier in grouped)
+            self._alt_tiers[user_isp] = tiers
+        return tiers
+
+    def candidate_groups(self, user_isp: ISP) -> tuple[ISP, ...]:
         """Server groups tried for a user homed in ``user_isp``.
 
         Per section 2.1: the home group first (privileged path), and when
@@ -73,23 +127,44 @@ class UploadingServers:
         alternative cannot admit the flow either, the fetch is rejected;
         Xuanfeng does not hunt across every group.
         """
+        pools = self.pools
         if not self.config.privileged_paths:
             # Ablation: ISP-blind selection, most headroom first.
             by_headroom = sorted(
                 MAJOR_ISPS,
-                key=lambda isp: -self.pools[isp].available)
-            return by_headroom[:2]
+                key=lambda isp: -pools[isp].available)
+            return tuple(by_headroom[:2])
 
-        def preference(server_isp: ISP) -> tuple[float, float]:
-            # Shortest latency first; among equals, the group with the
-            # most headroom (the selector load-balances its equals).
-            quality = self.topology.path_quality(server_isp, user_isp)
-            return quality.latency_ms, -self.pools[server_isp].available
-        alternatives = sorted((isp for isp in MAJOR_ISPS
-                               if isp is not user_isp), key=preference)
-        if user_isp in self.pools:
-            return [user_isp, alternatives[0]]
-        return alternatives[:2]
+        tiers = self._alternative_tiers(user_isp)
+        if user_isp in pools:
+            # Home group plus the single lowest-latency alternative;
+            # among latency-equals, the one with the most headroom (the
+            # strict > keeps the first of exact ties, matching the old
+            # stable sort).
+            tier = tiers[0]
+            best = tier[0]
+            if len(tier) > 1:
+                admission = self._admission
+                pool = admission[best][0]
+                best_headroom = pool.capacity - pool.committed
+                for isp in tier[1:]:
+                    pool = admission[isp][0]
+                    headroom = pool.capacity - pool.committed
+                    if headroom > best_headroom:
+                        best, best_headroom = isp, headroom
+            return (user_isp, best)
+        # Outside the four majors: the two lowest-latency alternatives,
+        # headroom-ordered within each latency tier.
+        chosen: list[ISP] = []
+        for tier in tiers:
+            if len(tier) == 1:
+                chosen.append(tier[0])
+            else:
+                chosen.extend(sorted(
+                    tier, key=lambda isp: -pools[isp].available))
+            if len(chosen) >= 2:
+                break
+        return tuple(chosen[:2])
 
     def select_and_reserve(
             self, user_isp: ISP, now: float,
@@ -111,20 +186,64 @@ class UploadingServers:
         Both default to no-ops so the fault-free path is unchanged.
         """
         self.total_fetches += 1
-        self._m_fetches.inc()
-        for server_isp in self.candidate_groups(user_isp):
-            if server_isp.value in exclude:
+        metered = self._metered
+        if metered:
+            self._m_fetches.inc()
+        max_fetch_rate = self.config.max_fetch_rate
+        path_quality = self.topology.path_quality
+        admission = self._admission
+        home_info = admission.get(user_isp) \
+            if self.config.privileged_paths else None
+        if home_info is not None:
+            # Home-first fast path: most fetches admit at the privileged
+            # group, so the alternative (whose headroom tiebreak reads
+            # the same pool states either way -- a failed home attempt
+            # commits nothing) is only resolved when home actually
+            # fails.
+            pool, home_threshold, _overflow, quality, label, gauge = \
+                home_info
+            if label not in exclude:
+                committed = pool.committed
+                if committed < home_threshold and \
+                        pool.capacity - committed >= MIN_USEFUL_RATE:
+                    rate = min(rate_for_path(quality), max_fetch_rate)
+                    if rate_scale is not None:
+                        rate *= rate_scale(user_isp)
+                    if rate > 0:
+                        reservation = pool.try_reserve(
+                            rate, now, label=label)
+                        if reservation is not None:
+                            if metered:
+                                gauge.set(to_gbps(pool.committed))
+                            return (PathChoice(user_isp, True, quality),
+                                    reservation, rate)
+            tier = self._alternative_tiers(user_isp)[0]
+            best = tier[0]
+            if len(tier) > 1:
+                pool = admission[best][0]
+                best_headroom = pool.capacity - pool.committed
+                for isp in tier[1:]:
+                    alt = admission[isp][0]
+                    headroom = alt.capacity - alt.committed
+                    if headroom > best_headroom:
+                        best, best_headroom = isp, headroom
+            candidates: tuple[ISP, ...] = (best,)
+        else:
+            candidates = self.candidate_groups(user_isp)
+        for server_isp in candidates:
+            pool, home_threshold, overflow_threshold, home_quality, \
+                server_label, gauge = admission[server_isp]
+            if server_label in exclude:
                 continue
-            pool = self.pools[server_isp]
-            assert pool.capacity is not None
-            limit = self.config.admission_utilization_limit \
-                if server_isp == user_isp \
-                else self.config.overflow_utilization_limit
-            if pool.committed >= pool.capacity * limit or \
-                    pool.available < MIN_USEFUL_RATE:
+            privileged = server_isp is user_isp
+            committed = pool.committed
+            if committed >= (home_threshold if privileged
+                             else overflow_threshold) or \
+                    pool.capacity - committed < MIN_USEFUL_RATE:
                 continue
-            quality = self.topology.path_quality(server_isp, user_isp)
-            rate = min(rate_for_path(quality), self.config.max_fetch_rate)
+            quality = home_quality if privileged \
+                else path_quality(server_isp, user_isp)
+            rate = min(rate_for_path(quality), max_fetch_rate)
             if rate_scale is not None:
                 rate *= rate_scale(server_isp)
             if rate <= 0:
@@ -134,15 +253,15 @@ class UploadingServers:
             # rather than degrade (section 2.1).
             reservation = pool.try_reserve(rate, now, label=user_isp.value)
             if reservation is not None:
-                choice = PathChoice(server_isp=server_isp,
-                                    privileged=(server_isp == user_isp),
-                                    quality=quality)
-                if not choice.privileged:
+                choice = PathChoice(server_isp, privileged, quality)
+                if not privileged and metered:
                     self._m_crossings.inc()
-                self._m_upload[server_isp].set(to_gbps(pool.committed))
+                if metered:
+                    gauge.set(to_gbps(pool.committed))
                 return choice, reservation, rate
         self.rejected_fetches += 1
-        self._m_rejects.inc()
+        if metered:
+            self._m_rejects.inc()
         return None
 
     # -- accounting --------------------------------------------------------------

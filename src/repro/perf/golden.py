@@ -67,13 +67,8 @@ def workload_sharded_jobs2() -> str:
     return digest(workload_payload(workload))
 
 
-def cloud_replay() -> str:
-    """End-to-end cloud replay: every task and flow of a golden week."""
-    from repro.cloud import CloudConfig, XuanfengCloud
-    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
-    config = WorkloadConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
-    workload = WorkloadGenerator(config).generate()
-    result = XuanfengCloud(CloudConfig(scale=GOLDEN_SCALE)).run(workload)
+def cloud_payload(result) -> list:
+    """Canonical JSON-ready form of one cloud replay's tasks + flows."""
     tasks = []
     for task in result.tasks:
         tasks.append([
@@ -82,7 +77,22 @@ def cloud_replay() -> str:
         ])
     flows = [[flow.start, flow.end, flow.rate, flow.highly_popular,
               flow.rejected] for flow in result.flows]
-    return digest([tasks, flows])
+    return [tasks, flows]
+
+
+def cloud_replay() -> str:
+    """End-to-end cloud replay: every task and flow of a golden week."""
+    from repro.cloud import CloudConfig, XuanfengCloud
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+    config = WorkloadConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    workload = WorkloadGenerator(config).generate()
+    result = XuanfengCloud(CloudConfig(scale=GOLDEN_SCALE)).run(workload)
+    return digest(cloud_payload(result))
+
+
+def ap_payload(results) -> list:
+    """Canonical JSON-ready form of AP benchmark results."""
+    return [[r.ap_name, r.record.to_dict()] for r in results]
 
 
 def ap_replay() -> str:
@@ -94,8 +104,7 @@ def ap_replay() -> str:
     workload = WorkloadGenerator(config).generate()
     sample = sample_benchmark_requests(workload, 200)
     report = ApBenchmarkRig(workload.catalog).replay(sample)
-    return digest([[r.ap_name, r.record.to_dict()]
-                   for r in report.results])
+    return digest(ap_payload(report.results))
 
 
 def _engine_classes():

@@ -119,6 +119,21 @@ class BenchReport:
         return "\n".join(lines)
 
 
+def _time_once(thunk: Callable[[], object]) -> float:
+    """Wall-clock seconds for one run, with the GC parked outside it."""
+    timer = time.perf_counter
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = timer()
+        thunk()
+        return timer() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
 def _time_best_of(thunk: Callable[[], object], repeats: int) -> float:
     """Best-of-``repeats`` wall-clock seconds for one thunk.
 
@@ -126,26 +141,54 @@ def _time_best_of(thunk: Callable[[], object], repeats: int) -> float:
     timed window so collection pauses land between runs, not inside.
     """
     thunk()
-    best = float("inf")
-    timer = time.perf_counter
+    return min(_time_once(thunk) for _ in range(repeats))
+
+
+def _time_pair_best_of(baseline: Callable[[], object],
+                       optimized: Callable[[], object],
+                       repeats: int) -> tuple[float, float]:
+    """Best-of-``repeats`` for two thunks, repetitions interleaved.
+
+    Timing baseline and optimized back-to-back inside each repetition
+    (rather than all of one, then all of the other) means slow drifts
+    in machine speed -- thermal throttling, a neighbour tenant waking
+    up -- hit both sides of the reported ratio alike instead of landing
+    wholly on whichever thunk ran later.
+    """
+    baseline()
+    optimized()
+    best_baseline = float("inf")
+    best_optimized = float("inf")
     for _ in range(repeats):
-        gc.collect()
-        gc_was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            start = timer()
-            thunk()
-            elapsed = timer() - start
-        finally:
-            if gc_was_enabled:
-                gc.enable()
-        if elapsed < best:
-            best = elapsed
-    return best
+        best_baseline = min(best_baseline, _time_once(baseline))
+        best_optimized = min(best_optimized, _time_once(optimized))
+    return best_baseline, best_optimized
+
+
+def _repo_root() -> Path:
+    """The checkout root, derived from this module's location.
+
+    ``src/repro/perf/harness.py`` -> three parents up.  Used to strip
+    machine-specific absolute prefixes from profile lines so the
+    committed ``BENCH_perf.json`` is reproducible across checkouts.
+    """
+    return Path(__file__).resolve().parents[3]
+
+
+def _relativize(line: str) -> str:
+    """Rewrite absolute repo paths in a pstats line to repo-relative."""
+    root = str(_repo_root())
+    if root in line:
+        line = line.replace(root + "/", "").replace(root, ".")
+    return line
 
 
 def _profile_top(thunk: Callable[[], object], top: int) -> list[str]:
-    """Top-``top`` cumulative-time lines of one profiled run."""
+    """Top-``top`` cumulative-time lines of one profiled run.
+
+    File paths are rewritten repo-relative (``src/repro/...``) so the
+    lines that land in ``BENCH_perf.json`` carry no absolute paths.
+    """
     profiler = cProfile.Profile()
     profiler.enable()
     try:
@@ -161,7 +204,8 @@ def _profile_top(thunk: Callable[[], object], top: int) -> list[str]:
         if line.lstrip().startswith("ncalls"):
             lines = lines[index:]
             break
-    return [line.rstrip() for line in lines if line.strip()][:top + 1]
+    return [_relativize(line.rstrip())
+            for line in lines if line.strip()][:top + 1]
 
 
 def _run_stage(stage: Stage, smoke: bool, repeats: int,
@@ -171,8 +215,10 @@ def _run_stage(stage: Stage, smoke: bool, repeats: int,
         plan: StagePlan = stage.build(scale, Path(tmp))
         baseline_seconds = None
         if plan.baseline is not None:
-            baseline_seconds = _time_best_of(plan.baseline, repeats)
-        optimized_seconds = _time_best_of(plan.optimized, repeats)
+            baseline_seconds, optimized_seconds = _time_pair_best_of(
+                plan.baseline, plan.optimized, repeats)
+        else:
+            optimized_seconds = _time_best_of(plan.optimized, repeats)
         top = (_profile_top(plan.optimized, profile_top)
                if profile_top > 0 else [])
     return StageResult(name=stage.name, title=stage.title, scale=scale,

@@ -8,13 +8,18 @@ pipeline stage of the reproduction:
   implementation from :mod:`repro.perf.legacy`, fed the *same inputs*,
   so the measured ratio isolates exactly the PR 3 hot-path work.
 
-Baselines exist for the three optimised layers -- workload generation
-(scalar samplers vs vectorised tables), cloud replay (lambda-heap
-engine + uncached topology vs the fast-path engine), and trace IO
-(line-at-a-time vs chunked).  The AP and ODR replay stages have no
-frozen counterpart: their inner loops are closed-form transfer
-arithmetic that PR 3 touched only via shared records/samplers, so they
-are timed without a ratio purely as regression tripwires.
+Baselines come from two frozen snapshots: :mod:`repro.perf.legacy`
+(pre-PR 3: scalar samplers, lambda-heap engine, uncached topology,
+line-at-a-time IO) and :mod:`repro.perf.pr3` (pre-PR 8: the tuple-heap
+engine without the same-instant dispatch queue, and the per-fetch-sort
+upload admission).  ``cloud_replay`` measures the full stack-up --
+live engine + fast-path task machine vs the pre-PR 3 everything --
+while ``engine_dispatch``, ``cloud_fast_tasks`` and ``trace_columnar``
+isolate the three PR 8 layers individually.  The AP and ODR replay
+stages have no frozen counterpart: their inner loops are closed-form
+transfer arithmetic the optimisation PRs touched only via shared
+records/samplers, so they are timed without a ratio purely as
+regression tripwires.
 
 Inputs are built *outside* the timed thunks (workloads, request
 samples, cloud databases), so each thunk measures one stage, not its
@@ -92,6 +97,7 @@ def _build_cloud(scale: float, scratch: Path) -> StagePlan:
 
     from repro.cloud import CloudConfig, XuanfengCloud
     from repro.perf.legacy import LegacySimulator, LegacyTopology
+    from repro.perf.pr3 import Pr3FetchSpeedModel, Pr3UploadingServers
 
     workload = _make_workload(scale)
     config = CloudConfig(scale=scale)
@@ -100,18 +106,26 @@ def _build_cloud(scale: float, scratch: Path) -> StagePlan:
         return XuanfengCloud(config).run(workload)
 
     def baseline():
-        # The cloud builds its engine via the module-global ``Simulator``
-        # name and creates every event through ``sim.event()``, so
-        # swapping the global is enough to run the whole replay on the
-        # frozen engine; the legacy topology restores the uncached
-        # networkx path queries.
-        original = cloud_system.Simulator
+        # The cloud builds its engine and admission tier via the
+        # module-global ``Simulator``/``UploadingServers`` names and
+        # creates every event through ``sim.event()``, so swapping the
+        # globals is enough to run the whole replay on the frozen
+        # stack: the pre-PR 3 engine and uncached topology plus the
+        # pre-PR 8 admission tier (per-fetch candidate sort,
+        # sample-object reservation history inside
+        # ``Pr3UploadingServers``) and fetch-speed model, with the task
+        # state machine disabled (``fast_tasks=False`` drives the
+        # original generator coroutines).
+        originals = (cloud_system.Simulator, cloud_system.UploadingServers)
         cloud_system.Simulator = LegacySimulator
+        cloud_system.UploadingServers = Pr3UploadingServers
         try:
-            return XuanfengCloud(config,
-                                 topology=LegacyTopology()).run(workload)
+            return XuanfengCloud(config, topology=LegacyTopology(),
+                                 fetch_model=Pr3FetchSpeedModel(),
+                                 fast_tasks=False).run(workload)
         finally:
-            cloud_system.Simulator = original
+            cloud_system.Simulator, cloud_system.UploadingServers = \
+                originals
 
     return StagePlan(optimized=optimized, baseline=baseline)
 
@@ -154,6 +168,81 @@ def _build_odr(scale: float, scratch: Path) -> StagePlan:
     )
 
 
+def _build_engine(scale: float, scratch: Path) -> StagePlan:
+    from repro.perf.pr3 import Pr3Simulator
+    from repro.sim.engine import Simulator
+
+    # A synthetic event storm shaped like the cloud replay's worst
+    # case: a deep heap of far-future timers (session timeouts that
+    # mostly never fire) underneath rounds of same-instant fan-out
+    # (process starts, resumes, waiter wake-ups all at ``now``).  The
+    # live engine drains the fan-out through its immediate queue; the
+    # PR 3 engine pays a full heap push/pop against the ballast for
+    # every one of them.
+    ballast = max(16, int(scale * 1_000_000))
+    rounds = max(8, int(scale * 100_000))
+    fanout = 24
+
+    def storm(make_sim) -> int:
+        sim = make_sim()
+        fired = [0]
+
+        def leaf() -> None:
+            fired[0] += 1
+
+        def burst(remaining: int) -> None:
+            for _ in range(fanout):
+                sim.call_in(0.0, leaf)
+            if remaining > 1:
+                sim.call_in(1.0, burst, remaining - 1)
+
+        for index in range(ballast):
+            sim.call_at(1e9 + index, leaf)
+        sim.call_in(1.0, burst, rounds)
+        sim.run(until=float(rounds + 2))
+        return fired[0]
+
+    return StagePlan(
+        optimized=lambda: storm(Simulator),
+        baseline=lambda: storm(Pr3Simulator),
+    )
+
+
+def _build_fast_tasks(scale: float, scratch: Path) -> StagePlan:
+    from repro.cloud import CloudConfig, XuanfengCloud
+
+    # Same live engine, topology and admission on both sides; the only
+    # difference is the task execution model, so the ratio isolates the
+    # table-driven state machine against the generator coroutines.
+    workload = _make_workload(scale)
+    config = CloudConfig(scale=scale)
+    return StagePlan(
+        optimized=lambda: XuanfengCloud(config).run(workload),
+        baseline=lambda: XuanfengCloud(config,
+                                       fast_tasks=False).run(workload),
+    )
+
+
+def _build_columnar(scale: float, scratch: Path) -> StagePlan:
+    from repro.traceio import read_columnar, write_columnar
+    from repro.workload.records import RequestRecord
+    from repro.workload.traceio import read_jsonl, write_jsonl
+
+    # Both encodings of the same request trace are written untimed so
+    # the thunks measure the read path alone -- the asymmetric half:
+    # traces are written once and replayed many times.
+    requests = _make_workload(scale).requests
+    columnar_path = scratch / "requests.col"
+    jsonl_path = scratch / "requests.jsonl"
+    write_columnar(columnar_path, requests, RequestRecord)
+    write_jsonl(jsonl_path, requests)
+
+    return StagePlan(
+        optimized=lambda: read_columnar(columnar_path, RequestRecord),
+        baseline=lambda: read_jsonl(jsonl_path, RequestRecord),
+    )
+
+
 def _build_trace(scale: float, scratch: Path) -> StagePlan:
     from repro.perf.legacy import legacy_read_jsonl, legacy_write_jsonl
     from repro.workload.records import RequestRecord
@@ -184,9 +273,18 @@ STAGES: dict[str, Stage] = {
         Stage(name="workload_generate",
               title="workload generation (catalog + users + requests)",
               full_scale=0.02, smoke_scale=0.002, build=_build_generate),
+        Stage(name="engine_dispatch",
+              title="engine event storm (same-instant dispatch vs "
+                    "tuple heap)",
+              full_scale=0.02, smoke_scale=0.002, build=_build_engine),
         Stage(name="cloud_replay",
               title="cloud replay (Xuanfeng pre-download week)",
-              full_scale=0.005, smoke_scale=0.002, build=_build_cloud),
+              full_scale=0.02, smoke_scale=0.002, build=_build_cloud),
+        Stage(name="cloud_fast_tasks",
+              title="cloud task execution (state machine vs generator "
+                    "coroutines)",
+              full_scale=0.005, smoke_scale=0.002,
+              build=_build_fast_tasks),
         Stage(name="ap_replay",
               title=f"AP replay ({AP_SAMPLE}-request smart-AP benchmark)",
               full_scale=0.005, smoke_scale=0.002, build=_build_ap),
@@ -197,5 +295,9 @@ STAGES: dict[str, Stage] = {
         Stage(name="trace_roundtrip",
               title="trace IO round-trip (request trace write + read)",
               full_scale=0.02, smoke_scale=0.002, build=_build_trace),
+        Stage(name="trace_columnar",
+              title="trace read (columnar memory-map vs JSONL parse)",
+              full_scale=0.02, smoke_scale=0.002,
+              build=_build_columnar),
     )
 }

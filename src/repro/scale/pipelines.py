@@ -127,6 +127,12 @@ class ApReplayTask:
     and keeps all cross-request state (RNG stream, clock, storage) per
     AP, so replaying AP ``k``'s slice ``requests[k::n]`` alone
     reproduces its sequential results exactly.
+
+    The slice travels one of two ways: ``requests`` carries the record
+    objects themselves (pickled to the worker), or ``requests_trace``
+    names a columnar ``.col`` file plus the slice's row indices -- the
+    worker memory-maps the shared trace and decodes only its own rows,
+    so nothing request-sized crosses the process boundary.
     """
 
     ap_index: int
@@ -135,6 +141,7 @@ class ApReplayTask:
     requests: tuple                      # this AP's slice, in order
     seed: int
     throttle_to_user: bool = True
+    requests_trace: tuple = ()           # (path, row indices) alternative
 
 
 def ap_replay_worker(task: ApReplayTask) -> list[ApPreDownloadResult]:
@@ -142,11 +149,17 @@ def ap_replay_worker(task: ApReplayTask) -> list[ApPreDownloadResult]:
     catalog = FileCatalog()
     for record in task.catalog_files:
         catalog.files[record.file_id] = record
+    if task.requests_trace:
+        from repro.traceio import ColumnarTrace
+        path, indices = task.requests_trace
+        requests = ColumnarTrace(path).take(indices)
+    else:
+        requests = list(task.requests)
     hardware = BENCHMARKED_APS[task.ap_index]
     rig = ApBenchmarkRig(
         catalog, aps=[SmartAP(hardware, source_model=SourceModel())],
         seed=task.seed)
-    report = rig.replay(list(task.requests),
+    report = rig.replay(requests,
                         throttle_to_user=task.throttle_to_user)
     return report.results
 
@@ -156,7 +169,8 @@ def sharded_ap_replay(catalog: FileCatalog,
                       jobs: int = 1, seed: int = 20150301,
                       throttle_to_user: bool = True,
                       metrics: AnyRegistry = NOOP,
-                      recovery: Optional[RecoveryConfig] = None
+                      recovery: Optional[RecoveryConfig] = None,
+                      requests_trace: Optional[tuple] = None
                       ) -> tuple[ApBenchmarkReport, ScaleRunInfo]:
     """Replay the AP campaign with one process per benchmarked AP.
 
@@ -168,18 +182,38 @@ def sharded_ap_replay(catalog: FileCatalog,
     :func:`~repro.recovery.durable.durable_map`, so a killed or hung
     worker costs a bounded requeue and ``recovery`` makes the campaign
     durable/resumable with per-AP checkpoints.
+
+    ``requests_trace`` -- ``(path, row_indices)`` naming ``requests``'
+    rows in a columnar ``.col`` trace -- switches the workers to
+    zero-copy mode: each memory-maps the shared trace and decodes only
+    its own slice instead of unpickling the request objects.  The
+    replay itself (and its results) is identical either way.
     """
     if not requests:
         raise ValueError("nothing to replay")
     ap_count = len(BENCHMARKED_APS)
     needed = {request.file_id for request in requests}
     files = tuple(record for record in catalog if record.file_id in needed)
-    tasks = [ApReplayTask(ap_index=index, ap_count=ap_count,
-                          catalog_files=files,
-                          requests=tuple(requests[index::ap_count]),
-                          seed=seed, throttle_to_user=throttle_to_user)
-             for index in range(ap_count)
-             if requests[index::ap_count]]
+    if requests_trace is not None:
+        trace_path, rows = requests_trace
+        if len(rows) != len(requests):
+            raise ValueError("requests_trace indices must cover exactly "
+                             "the requests being replayed")
+        tasks = [ApReplayTask(
+            ap_index=index, ap_count=ap_count, catalog_files=files,
+            requests=(), seed=seed, throttle_to_user=throttle_to_user,
+            requests_trace=(str(trace_path),
+                            tuple(rows[index::ap_count])))
+            for index in range(ap_count)
+            if rows[index::ap_count]]
+    else:
+        tasks = [ApReplayTask(ap_index=index, ap_count=ap_count,
+                              catalog_files=files,
+                              requests=tuple(requests[index::ap_count]),
+                              seed=seed,
+                              throttle_to_user=throttle_to_user)
+                 for index in range(ap_count)
+                 if requests[index::ap_count]]
     identity = {
         "kind": "ap-replay",
         "seed": seed,

@@ -36,9 +36,13 @@ class CapacityExceeded(Exception):
         self.requested = requested
 
 
-@dataclass
+@dataclass(slots=True)
 class Reservation:
-    """A live claim on a :class:`ReservationPool`."""
+    """A live claim on a :class:`ReservationPool`.
+
+    Slotted: one is allocated per admitted fetch on the replay hot
+    path, and the four fixed fields never grow.
+    """
 
     pool: "ReservationPool"
     rate: float
@@ -76,7 +80,12 @@ class ReservationPool:
         self.peak_committed = 0.0
         self.rejections = 0
         self.admissions = 0
-        self._history: list[UsageSample] = [UsageSample(0.0, 0.0)]
+        # The step function as two parallel float lists: admissions and
+        # releases hit this on every flow, and appending floats is
+        # several times cheaper than constructing a sample object per
+        # step.  ``usage_history`` re-materialises the object view.
+        self._times: list[float] = [0.0]
+        self._committed: list[float] = [0.0]
 
     @property
     def available(self) -> float:
@@ -103,31 +112,60 @@ class ReservationPool:
 
     def try_reserve(self, rate: float, now: float,
                     label: str = "") -> Optional[Reservation]:
-        """Like :meth:`reserve` but returns ``None`` instead of raising."""
-        try:
-            return self.reserve(rate, now, label=label)
-        except CapacityExceeded:
+        """Like :meth:`reserve` but returns ``None`` instead of raising.
+
+        Implemented without the exception round-trip: this sits on the
+        fetch admission hot path, where a raised-and-caught
+        ``CapacityExceeded`` would cost more than the reservation.
+        """
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        committed = self.committed + rate
+        if self.capacity is not None and committed > self.capacity:
+            self.rejections += 1
             return None
+        self.committed = committed
+        self.admissions += 1
+        if committed > self.peak_committed:
+            self.peak_committed = committed
+        # _record inlined: one admission per fetch flow.
+        times = self._times
+        if times[-1] == now:
+            self._committed[-1] = committed
+        else:
+            times.append(now)
+            self._committed.append(committed)
+        return Reservation(self, rate, label=label)
 
     def _release(self, reservation: Reservation, now: float) -> None:
-        self.committed -= reservation.rate
-        if self.committed < -1e-6:
+        committed = self.committed - reservation.rate
+        if committed < -1e-6:
             raise RuntimeError(f"pool {self.name!r} over-released")
-        self.committed = max(self.committed, 0.0)
-        self._record(now)
+        if committed < 0.0:
+            committed = 0.0
+        self.committed = committed
+        # _record inlined: one release per fetch flow.
+        times = self._times
+        if times[-1] == now:
+            self._committed[-1] = committed
+        else:
+            times.append(now)
+            self._committed.append(committed)
 
     def _record(self, now: float) -> None:
-        last = self._history[-1]
-        if last.time == now:
-            last.committed = self.committed
+        times = self._times
+        if times[-1] == now:
+            self._committed[-1] = self.committed
         else:
-            self._history.append(UsageSample(now, self.committed))
+            times.append(now)
+            self._committed.append(self.committed)
 
     # -- usage history -----------------------------------------------------
 
     def usage_history(self) -> list[UsageSample]:
         """The committed-rate step function as recorded samples."""
-        return list(self._history)
+        return [UsageSample(time, committed)
+                for time, committed in zip(self._times, self._committed)]
 
     def binned_usage(self, bin_width: float, horizon: float) -> list[float]:
         """Time-average committed bandwidth per bin over ``[0, horizon)``.
@@ -140,20 +178,22 @@ class ReservationPool:
             raise ValueError("bin_width must be positive")
         n_bins = max(1, int(round(horizon / bin_width)))
         totals = [0.0] * n_bins
-        samples = self._history
-        for index, sample in enumerate(samples):
-            start = sample.time
-            end = samples[index + 1].time if index + 1 < len(samples) \
-                else horizon
+        times = self._times
+        levels = self._committed
+        count = len(times)
+        for index in range(count):
+            start = times[index]
+            end = times[index + 1] if index + 1 < count else horizon
+            committed = levels[index]
             start, end = max(start, 0.0), min(end, horizon)
-            if end <= start or sample.committed == 0.0:
+            if end <= start or committed == 0.0:
                 continue
             first_bin = int(start / bin_width)
             last_bin = min(int((end - 1e-12) / bin_width), n_bins - 1)
             for b in range(first_bin, last_bin + 1):
                 lo = max(start, b * bin_width)
                 hi = min(end, (b + 1) * bin_width)
-                totals[b] += sample.committed * max(0.0, hi - lo)
+                totals[b] += committed * max(0.0, hi - lo)
         return [total / bin_width for total in totals]
 
 

@@ -1,0 +1,31 @@
+"""``repro.traceio`` — the zero-copy columnar trace format.
+
+The columnar ``.col`` sibling of the JSONL traces in
+:mod:`repro.workload.traceio`: same records, same values, laid out
+column-major with fixed-width fields so readers memory-map the file and
+view columns in place.  ``save_workload(..., trace_format="columnar")``
+writes it, ``load_workload`` auto-detects it, and the generate/cloud/
+ap/odr CLIs expose it via ``--trace-format``.
+"""
+
+from repro.traceio.columnar import (
+    COLUMNAR_SUFFIX,
+    ColumnarFormatError,
+    ColumnarTrace,
+    MAGIC,
+    SCHEMAS,
+    is_columnar,
+    read_columnar,
+    write_columnar,
+)
+
+__all__ = [
+    "COLUMNAR_SUFFIX",
+    "ColumnarFormatError",
+    "ColumnarTrace",
+    "MAGIC",
+    "SCHEMAS",
+    "is_columnar",
+    "read_columnar",
+    "write_columnar",
+]

@@ -236,11 +236,33 @@ class BufferedIndexPicker:
     def pick_distinct(self, seen: set[int],
                       retries: int = PICK_RETRIES) -> int:
         """Draw an index not in ``seen``; same semantics (and the same
-        stream consumption) as :func:`pick_distinct_index`."""
-        pick = self.pick
+        stream consumption) as :func:`pick_distinct_index`.
+
+        The rejection loop runs directly over the prefetched batch --
+        one local list walk instead of up to ``retries + 1``
+        :meth:`pick` calls -- refilling mid-walk only when the batch
+        runs dry.  Consumption order is identical, so the stream stays
+        bit-compatible with the scalar loop.
+        """
+        buffer = self._buffer
+        position = self._position
+        length = len(buffer)
+        refill = self._rng.integers
         for _attempt in range(retries):
-            index = pick()
+            if position >= length:
+                self._buffer = buffer = refill(
+                    self._count, size=self._chunk).tolist()
+                length = len(buffer)
+                position = 0
+            index = buffer[position]
+            position += 1
             if index not in seen:
+                self._position = position
                 seen.add(index)
                 return index
-        return pick()
+        if position >= length:
+            self._buffer = buffer = refill(
+                self._count, size=self._chunk).tolist()
+            position = 0
+        self._position = position + 1
+        return buffer[position]

@@ -161,41 +161,101 @@ def _read_jsonl_lenient(path: Path, record_type: Type[R],
     return records
 
 
-def _resolve_trace(directory: Path, name: str) -> Path:
-    """Find ``name`` or ``name.gz`` in a saved-workload directory."""
+def _columnar_name(name: str) -> str:
+    """``catalog.jsonl`` -> ``catalog.col``."""
+    return name[:-len(".jsonl")] + ".col" if name.endswith(".jsonl") \
+        else name + ".col"
+
+
+def _resolve_trace(directory: Path, name: str,
+                   trace_format: str = "auto") -> Path:
+    """Find one trace part in a saved-workload directory.
+
+    With the default ``trace_format="auto"`` the columnar variant
+    (``name.col``) wins when present, then ``name``, then ``name.gz``.
+    An explicit ``"columnar"`` or ``"jsonl"`` only accepts that format.
+    """
+    columnar = directory / _columnar_name(name)
     plain = directory / name
-    if plain.exists():
-        return plain
     compressed = directory / (name + ".gz")
-    if compressed.exists():
-        return compressed
-    raise FileNotFoundError(f"{plain} (or {compressed.name}) not found")
+    if trace_format == "columnar":
+        candidates = [columnar]
+    elif trace_format == "jsonl":
+        candidates = [plain, compressed]
+    else:
+        candidates = [columnar, plain, compressed]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    wanted = " or ".join(candidate.name for candidate in candidates)
+    raise FileNotFoundError(f"{directory / name}: none of {wanted} found")
+
+
+def read_trace(path: str | Path, record_type: Type[R],
+               skip_bad_lines: bool = False,
+               metrics: AnyRegistry = NOOP) -> list[R]:
+    """Read one trace file, columnar or JSONL, detected by content.
+
+    ``.col`` files dispatch to :func:`repro.traceio.read_columnar`
+    (``skip_bad_lines`` does not apply to them -- a columnar file is
+    validated structurally, not row by row); everything else goes
+    through :func:`read_jsonl`.
+    """
+    from repro.traceio import is_columnar, read_columnar
+    path = Path(path)
+    if is_columnar(path):
+        return read_columnar(path, record_type)
+    return read_jsonl(path, record_type, skip_bad_lines=skip_bad_lines,
+                      metrics=metrics)
 
 
 def save_workload(workload: Workload, directory: str | Path,
-                  compress: bool = False) -> Path:
-    """Persist a workload as a directory of JSONL traces + config.
+                  compress: bool = False,
+                  trace_format: str = "jsonl") -> Path:
+    """Persist a workload as a directory of trace files + config.
 
-    With ``compress=True`` the three trace files are written as
-    ``*.jsonl.gz`` (the config stays plain JSON for greppability).
+    ``trace_format="jsonl"`` (default) writes the three JSONL traces;
+    with ``compress=True`` they become ``*.jsonl.gz`` (the config stays
+    plain JSON for greppability).  ``trace_format="columnar"`` writes
+    memory-mappable ``*.col`` files instead (see
+    :mod:`repro.traceio`); columnar files do not support ``compress``.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    suffix = ".gz" if compress else ""
-    write_jsonl(directory / (CATALOG_FILE + suffix),
-                iter(workload.catalog))
-    write_jsonl(directory / (USERS_FILE + suffix), workload.users)
-    write_jsonl(directory / (REQUESTS_FILE + suffix), workload.requests)
+    if trace_format == "columnar":
+        if compress:
+            raise ValueError(
+                "columnar traces do not support compress=True "
+                "(the fixed-width blocks must stay memory-mappable)")
+        from repro.traceio import write_columnar
+        write_columnar(directory / _columnar_name(CATALOG_FILE),
+                       list(workload.catalog), CatalogFile)
+        write_columnar(directory / _columnar_name(USERS_FILE),
+                       workload.users, User)
+        write_columnar(directory / _columnar_name(REQUESTS_FILE),
+                       workload.requests, RequestRecord)
+    elif trace_format == "jsonl":
+        suffix = ".gz" if compress else ""
+        write_jsonl(directory / (CATALOG_FILE + suffix),
+                    iter(workload.catalog))
+        write_jsonl(directory / (USERS_FILE + suffix), workload.users)
+        write_jsonl(directory / (REQUESTS_FILE + suffix),
+                    workload.requests)
+    else:
+        raise ValueError(f"unknown trace_format {trace_format!r}")
     config = {"scale": workload.config.scale, "seed": workload.config.seed,
               "horizon": workload.config.horizon}
     (directory / CONFIG_FILE).write_text(json.dumps(config, indent=2))
     return directory
 
 
-def load_workload(directory: str | Path) -> Workload:
+def load_workload(directory: str | Path,
+                  trace_format: str = "auto") -> Workload:
     """Load a workload previously written by :func:`save_workload`.
 
-    Detects per file whether the plain or gzipped variant is present.
+    Detects per file which variant is present (columnar beats plain
+    beats gzipped); ``trace_format="columnar"``/``"jsonl"`` restricts
+    the search to that format.
     """
     directory = Path(directory)
     raw_config = json.loads((directory / CONFIG_FILE).read_text())
@@ -203,11 +263,14 @@ def load_workload(directory: str | Path) -> Workload:
                             seed=raw_config["seed"],
                             horizon=raw_config["horizon"])
     catalog = FileCatalog()
-    for record in read_jsonl(_resolve_trace(directory, CATALOG_FILE),
-                             CatalogFile):
+    for record in read_trace(
+            _resolve_trace(directory, CATALOG_FILE, trace_format),
+            CatalogFile):
         catalog.files[record.file_id] = record
-    users = read_jsonl(_resolve_trace(directory, USERS_FILE), User)
-    requests = read_jsonl(_resolve_trace(directory, REQUESTS_FILE),
-                          RequestRecord)
+    users = read_trace(_resolve_trace(directory, USERS_FILE, trace_format),
+                       User)
+    requests = read_trace(
+        _resolve_trace(directory, REQUESTS_FILE, trace_format),
+        RequestRecord)
     return Workload(config=config, catalog=catalog, users=users,
                     requests=requests)

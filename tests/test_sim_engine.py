@@ -514,3 +514,75 @@ class TestInterruptStaleness:
 
         assert storm(7) == storm(7)
         assert storm(7) != storm(8)
+
+
+class TestSameInstantDispatchOrder:
+    """The batched immediate queue vs the plain time-ordered heap.
+
+    The live engine drains same-timestamp events through a FIFO and
+    merges in heap entries that share the current timestamp by sequence
+    number; the frozen pre-batching engine (``Pr3Simulator``) orders
+    everything through one heap.  Both must fire an adversarial
+    same-instant storm in exactly the same global order.
+    """
+
+    def _storm(self, make_sim):
+        sim = make_sim()
+        log = []
+
+        def leaf(tag):
+            log.append((sim.now, tag))
+
+        def burst(round_index):
+            log.append((sim.now, f"burst-{round_index}"))
+            # Immediates queued during the drain...
+            for i in range(3):
+                sim.call_in(0.0, leaf, f"r{round_index}-imm{i}")
+            # ...a call_at aimed at the *current* instant (joins the
+            # immediate queue, after the ones above)...
+            sim.call_at(sim.now, leaf, f"r{round_index}-at-now")
+            if round_index > 0:
+                # ...and two entries for the *next* instant: the next
+                # burst (lower seq) plus a timer landing at the same
+                # timestamp from the heap (higher seq).  The heap entry
+                # must fire after the burst but interleaved correctly
+                # with the immediates the burst enqueues.
+                sim.call_in(1.0, burst, round_index - 1)
+                sim.call_at(sim.now + 1.0, leaf,
+                            f"r{round_index}-timer")
+                sim.call_in(1.0, leaf, f"r{round_index}-late-timer")
+
+        # Heap ballast scheduled before the clock moves: entries at
+        # t=1.0 with sequence numbers *below* everything the burst at
+        # t=1.0 creates, so they must fire first at that instant.
+        sim.call_at(1.0, leaf, "pre-seeded-a")
+        sim.call_in(1.0, burst, 3)
+        sim.call_at(1.0, leaf, "pre-seeded-b")
+        sim.run()
+        return log
+
+    def test_storm_order_matches_pre_batching_engine(self):
+        from repro.perf.pr3 import Pr3Simulator
+        live = self._storm(Simulator)
+        frozen = self._storm(Pr3Simulator)
+        assert live == frozen
+        # The storm actually exercised same-instant contention: several
+        # distinct tags fired at the same timestamps.
+        times = [when for when, _tag in live]
+        assert len(times) > len(set(times))
+
+    def test_storm_interleaves_heap_entries_by_sequence(self):
+        log = self._storm(Simulator)
+        by_time: dict = {}
+        for when, tag in log:
+            by_time.setdefault(when, []).append(tag)
+        # At t=1.0: pre-seeded heap entries (lowest seqs) fire before
+        # the burst, which fires before the immediates it enqueued.
+        first = by_time[1.0]
+        assert first[:3] == ["pre-seeded-a", "burst-3", "pre-seeded-b"]
+        assert first.index("burst-3") < first.index("r3-imm0")
+        # At t=2.0: the next burst (scheduled first) precedes the
+        # same-instant heap timer, which precedes the later call_in.
+        second = by_time[2.0]
+        assert second.index("burst-2") < second.index("r3-timer")
+        assert second.index("r3-timer") < second.index("r3-late-timer")
