@@ -505,6 +505,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         forwarded.append("--no-batch")
     if args.no_resilience:
         forwarded.append("--no-resilience")
+    if args.supervise:
+        forwarded.append("--supervise")
     if args.faults is not None:
         forwarded += ["--faults", str(args.faults)]
     if args.quiet:
@@ -681,6 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "with ?policy=...)")
     serve.add_argument("--no-batch", action="store_true",
                        help="disable same-tick /decide coalescing")
+    serve.add_argument("--supervise", action="store_true",
+                       help="parent supervisor keeps the worker pool "
+                            "at capacity (health probes, backoff "
+                            "restarts); needs --workers >= 2")
     serve.add_argument("--no-resilience", action="store_true",
                        help="disable the backend circuit breaker "
                             "(503 + Retry-After load shedding)")

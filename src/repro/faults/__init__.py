@@ -25,6 +25,7 @@ from repro.faults.plan import (
     CLOUD_KINDS,
     DEFAULT_CHAOS_SEED,
     KIND_DOMAINS,
+    SERVE_KINDS,
     FaultPlan,
     FaultSpec,
     ap_entity_name,
@@ -46,6 +47,7 @@ __all__ = [
     "INTERRUPT_KINDS",
     "DEFAULT_POLICIES",
     "KIND_DOMAINS",
+    "SERVE_KINDS",
     "CircuitBreaker",
     "FaultInjector",
     "FaultPlan",

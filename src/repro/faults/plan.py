@@ -29,6 +29,7 @@ kind                      domain    models
 ``flash_slowdown``        ap        degraded flash write path (severity)
 ``link_flap``             ap        ADSL link flap (kills the attempt)
 ``loss_burst``            ap        lossy uplink (severity on goodput)
+``worker_kill``           serve     SIGKILL of a serving-tier worker process
 ========================  ========  =========================================
 """
 
@@ -56,6 +57,7 @@ KIND_DOMAINS: dict[str, str] = {
     "flash_slowdown": "ap",
     "link_flap": "ap",
     "loss_burst": "ap",
+    "worker_kill": "serve",
 }
 
 #: AP fault kinds that make the attempt unable to proceed at all (the
@@ -63,9 +65,16 @@ KIND_DOMAINS: dict[str, str] = {
 AP_KILL_KINDS: tuple[str, ...] = ("power_loss", "usb_disconnect",
                                   "link_flap")
 
-#: Kinds that apply to the cloud side (everything not in the AP domain).
+#: Kinds that apply to the cloud side (everything not aimed at the AP
+#: replay clocks or at live serving-tier processes).
 CLOUD_KINDS: tuple[str, ...] = tuple(
-    kind for kind, domain in KIND_DOMAINS.items() if domain != "ap")
+    kind for kind, domain in KIND_DOMAINS.items()
+    if domain not in ("ap", "serve"))
+
+#: Kinds consumed by the live serving tier's availability campaigns
+#: (:mod:`repro.serve.avail`): the target names a worker slot, e.g.
+#: ``serve:worker-0``.
+SERVE_KINDS: tuple[str, ...] = ("worker_kill",)
 
 #: The default seed of :func:`default_chaos_plan`.
 DEFAULT_CHAOS_SEED = 20150666

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--hedge-ms", type=float, default=None,
                       help="hedge a request still outstanding after "
                            "this many ms (off by default)")
+    load.add_argument("--deadline-ms", type=float, default=None,
+                      help="stamp X-Deadline-Ms on every request: the "
+                           "budget left from its scheduled arrival; "
+                           "the server sheds hopeless requests with "
+                           "504 (off by default)")
     load.add_argument("--error-budget", type=float,
                       default=DEFAULT_ERROR_BUDGET,
                       help="SLO error budget as a rate "
@@ -139,7 +144,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     with LoadGenerator(targets, paths, workers=args.workers,
                        hedge_ms=args.hedge_ms,
-                       error_budget=args.error_budget) as generator:
+                       error_budget=args.error_budget,
+                       deadline_ms=args.deadline_ms) as generator:
         if not args.no_prewarm:
             generator.prewarm()
         cards = stepped_ramp(generator, rates, args.duration,
@@ -158,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            "limit": args.limit,
                            "workers": args.workers,
                            "hedge_ms": args.hedge_ms,
+                           "deadline_ms": args.deadline_ms,
                            "mode": "ramp" if args.ramp else "fixed",
                        })
     rendered = json.dumps(result, indent=2, sort_keys=True)

@@ -28,6 +28,10 @@ QUARANTINE_FAILURES = 5
 #: Default quarantine cooldown, seconds.
 QUARANTINE_SECONDS = 2.0
 
+#: Cap on an honored Retry-After hint, seconds: a server asking for
+#: more than this is treated as asking for this much.
+RETRY_AFTER_CAP = 30.0
+
 
 class Ewma:
     """Exponentially weighted moving average with a lazy first sample."""
@@ -54,25 +58,38 @@ class RequestOutcome:
     """One completed (or failed) HTTP call."""
 
     __slots__ = ("status", "latency_ms", "error", "hedged",
-                 "hedge_won")
+                 "hedge_won", "retry_after")
 
     def __init__(self, status: Optional[int], latency_ms: float,
                  error: Optional[str] = None, hedged: bool = False,
-                 hedge_won: bool = False):
+                 hedge_won: bool = False,
+                 retry_after: Optional[float] = None):
         self.status = status
         self.latency_ms = latency_ms
         self.error = error
         self.hedged = hedged
         self.hedge_won = hedge_won
+        self.retry_after = retry_after
 
     @property
     def ok(self) -> bool:
         return self.status is not None and 200 <= self.status < 400
 
     @property
+    def shed(self) -> bool:
+        """A deliberate server-side refusal (load or deadline shed) --
+        backpressure, not breakage."""
+        return self.status in (503, 504)
+
+    @property
     def status_class(self) -> str:
         if self.status is None:
             return "error"
+        if self.status in (503, 504):
+            # Sheds get their own class: 503 means "server full, back
+            # off", 504 means "the deadline budget ran out"; lumping
+            # them into 5xx would make backpressure look like breakage.
+            return str(self.status)
         return f"{self.status // 100}xx"
 
 
@@ -105,9 +122,13 @@ class Target:
         self.quarantine_seconds = quarantine_seconds
         self._consecutive_failures = 0
         self._quarantined_until = 0.0
+        self._backed_off_until = 0.0
         self.quarantines = 0
         self.requests = 0
         self.reconnects = 0
+        self.sheds_503 = 0
+        self.sheds_504 = 0
+        self.backoffs = 0
 
     # -- connection pool ---------------------------------------------------------
 
@@ -141,10 +162,38 @@ class Target:
         with self._state_lock:
             return self._clock() < self._quarantined_until
 
+    @property
+    def backed_off(self) -> bool:
+        """Inside a server-hinted Retry-After window?  Separate from
+        quarantine: the server asked politely, it did not break."""
+        with self._state_lock:
+            return self._clock() < self._backed_off_until
+
+    @property
+    def available(self) -> bool:
+        return not (self.quarantined or self.backed_off)
+
     def _record_outcome(self, outcome: RequestOutcome) -> None:
         with self._state_lock:
             if outcome.status is not None:
                 self.ewma_ms.update(outcome.latency_ms)
+            if outcome.status == 503:
+                # A load shed is deliberate backpressure: honor the
+                # Retry-After hint instead of feeding the quarantine
+                # failure streak (the server is healthy, just full).
+                self.sheds_503 += 1
+                if outcome.retry_after is not None:
+                    self._backed_off_until = self._clock() + min(
+                        RETRY_AFTER_CAP, max(0.0,
+                                             outcome.retry_after))
+                    self.backoffs += 1
+                return
+            if outcome.status == 504:
+                # A deadline shed says "too late", not "broken": no
+                # streak, no backoff -- fresh requests have fresh
+                # budgets.
+                self.sheds_504 += 1
+                return
             failed = outcome.error is not None or (
                 outcome.status is not None and outcome.status >= 500)
             if failed:
@@ -160,17 +209,27 @@ class Target:
 
     # -- calls -------------------------------------------------------------------
 
-    def request(self, path: str) -> RequestOutcome:
+    def request(self, path: str,
+                headers: Optional[dict[str, str]] = None
+                ) -> RequestOutcome:
         """One pooled GET; transport failures retire the connection."""
         self.requests += 1
         connection = self._checkout()
         started = time.perf_counter()
         try:
-            connection.request("GET", path)
+            connection.request("GET", path, headers=headers or {})
             response = connection.getresponse()
             response.read()     # drain so the connection is reusable
             latency_ms = (time.perf_counter() - started) * 1e3
-            outcome = RequestOutcome(response.status, latency_ms)
+            retry_after = None
+            hint = response.getheader("Retry-After")
+            if hint is not None:
+                try:
+                    retry_after = float(hint)
+                except ValueError:
+                    retry_after = None   # HTTP-date form: ignore
+            outcome = RequestOutcome(response.status, latency_ms,
+                                     retry_after=retry_after)
             if response.will_close:
                 connection.close()
             else:
@@ -192,6 +251,7 @@ class TargetSet:
             raise ValueError("need at least one target")
         self.targets = targets
         self.quarantine_skips = 0
+        self.backoff_skips = 0
 
     @classmethod
     def from_urls(cls, urls: list[str], **target_kwargs
@@ -201,18 +261,22 @@ class TargetSet:
     def pick(self, index: int) -> Target:
         """The target for logical request ``index``.
 
-        Skips quarantined targets when a healthy one exists; with every
-        target benched the nominal pick is used anyway (shedding the
-        whole fleet would turn a brown-out into an outage).
+        Skips quarantined and Retry-After-backed-off targets when an
+        available one exists; with every target benched the nominal
+        pick is used anyway (shedding the whole fleet would turn a
+        brown-out into an outage).
         """
         count = len(self.targets)
         nominal = self.targets[index % count]
-        if not nominal.quarantined:
+        if nominal.available:
             return nominal
         for offset in range(1, count):
             candidate = self.targets[(index + offset) % count]
-            if not candidate.quarantined:
-                self.quarantine_skips += 1
+            if candidate.available:
+                if nominal.quarantined:
+                    self.quarantine_skips += 1
+                else:
+                    self.backoff_skips += 1
                 return candidate
         return nominal
 
@@ -222,8 +286,7 @@ class TargetSet:
         if count > 1:
             for offset in range(1, count):
                 candidate = self.targets[(index + offset) % count]
-                if candidate is not target \
-                        and not candidate.quarantined:
+                if candidate is not target and candidate.available:
                     return candidate
         return target
 
@@ -238,3 +301,15 @@ class TargetSet:
     @property
     def reconnects(self) -> int:
         return sum(target.reconnects for target in self.targets)
+
+    @property
+    def sheds_503(self) -> int:
+        return sum(target.sheds_503 for target in self.targets)
+
+    @property
+    def sheds_504(self) -> int:
+        return sum(target.sheds_504 for target in self.targets)
+
+    @property
+    def backoffs(self) -> int:
+        return sum(target.backoffs for target in self.targets)

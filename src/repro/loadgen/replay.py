@@ -55,15 +55,53 @@ class StepScorecard:
     hedge_wins: int = 0
     quarantines: int = 0
     reconnects: int = 0
+    backoffs: int = 0
     max_schedule_lag: float = 0.0
     wall_seconds: float = 0.0
     error_budget: float = DEFAULT_ERROR_BUDGET
+    deadline_ms: Optional[float] = None
+
+    @property
+    def shed_503(self) -> int:
+        """Load sheds (server full; Retry-After honored)."""
+        return self.statuses.get("503", 0)
+
+    @property
+    def shed_504(self) -> int:
+        """Deadline sheds (budget exhausted before the answer)."""
+        return self.statuses.get("504", 0)
 
     @property
     def errors(self) -> int:
-        """Failed requests: transport errors plus every 5xx."""
+        """Requests that did not return a useful answer: transport
+        errors, hard 5xx, and both shed flavors.  The SLO budget
+        charges sheds too -- a shed answer is still not an answer."""
+        return self.statuses.get("error", 0) \
+            + self.statuses.get("5xx", 0) \
+            + self.shed_503 + self.shed_504
+
+    @property
+    def hard_errors(self) -> int:
+        """Breakage only: transport errors and non-shed 5xx.  What the
+        availability gate compares across supervision modes (sheds are
+        deliberate backpressure, not failures)."""
         return self.statuses.get("error", 0) \
             + self.statuses.get("5xx", 0)
+
+    @property
+    def hard_error_rate(self) -> float:
+        return self.hard_errors / self.completed if self.completed \
+            else 0.0
+
+    @property
+    def deadline_hit_rate(self) -> Optional[float]:
+        """Share of completed requests answered within their budget;
+        None when the step ran without deadlines."""
+        if self.deadline_ms is None:
+            return None
+        if not self.completed:
+            return 0.0
+        return 1.0 - self.shed_504 / self.completed
 
     @property
     def error_rate(self) -> float:
@@ -110,6 +148,15 @@ class StepScorecard:
             "hedge_wins": self.hedge_wins,
             "quarantines": self.quarantines,
             "reconnects": self.reconnects,
+            "backoffs": self.backoffs,
+            "shed_503": self.shed_503,
+            "shed_504": self.shed_504,
+            "hard_errors": self.hard_errors,
+            "hard_error_rate": round(self.hard_error_rate, 6),
+            "deadline_ms": self.deadline_ms,
+            "deadline_hit_rate":
+                round(self.deadline_hit_rate, 6)
+                if self.deadline_hit_rate is not None else None,
             "max_schedule_lag_seconds":
                 round(self.max_schedule_lag, 4),
         }
@@ -148,16 +195,20 @@ class LoadGenerator:
     def __init__(self, targets: TargetSet, paths: list[str], *,
                  workers: int = 8,
                  hedge_ms: Optional[float] = None,
-                 error_budget: float = DEFAULT_ERROR_BUDGET):
+                 error_budget: float = DEFAULT_ERROR_BUDGET,
+                 deadline_ms: Optional[float] = None):
         if not paths:
             raise ValueError("need at least one request path")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0")
         self.targets = targets
         self.paths = paths
         self.workers = workers
         self.hedge_ms = hedge_ms
         self.error_budget = error_budget
+        self.deadline_ms = deadline_ms
         self._hedge_pool: Optional[
             concurrent.futures.ThreadPoolExecutor] = None
         if hedge_ms is not None:
@@ -206,15 +257,20 @@ class LoadGenerator:
 
     # -- one call (with optional hedging) ----------------------------------------
 
-    def _call(self, target: Target, path: str) -> RequestOutcome:
+    def _call(self, target: Target, path: str,
+              headers: Optional[dict[str, str]] = None
+              ) -> RequestOutcome:
         with target.semaphore:
-            return target.request(path)
+            return target.request(path, headers=headers)
 
-    def _execute(self, index: int, path: str) -> RequestOutcome:
+    def _execute(self, index: int, path: str,
+                 headers: Optional[dict[str, str]] = None
+                 ) -> RequestOutcome:
         target = self.targets.pick(index)
         if self._hedge_pool is None:
-            return self._call(target, path)
-        primary = self._hedge_pool.submit(self._call, target, path)
+            return self._call(target, path, headers)
+        primary = self._hedge_pool.submit(self._call, target, path,
+                                          headers)
         ewma = target.ewma_ms.value
         hedge_delay_ms = max(self.hedge_ms or 0.0,
                              HEDGE_EWMA_FACTOR * (ewma or 0.0))
@@ -224,7 +280,7 @@ class LoadGenerator:
             pass
         hedge_target = self.targets.other_than(target, index)
         secondary = self._hedge_pool.submit(self._call, hedge_target,
-                                            path)
+                                            path, headers)
         done, _pending = concurrent.futures.wait(
             (primary, secondary),
             return_when=concurrent.futures.FIRST_COMPLETED)
@@ -248,6 +304,9 @@ class LoadGenerator:
         stats = [_WorkerStats() for _ in range(self.workers)]
         start = time.perf_counter() + 0.005   # let every worker arm
 
+        deadline_seconds = self.deadline_ms / 1e3 \
+            if self.deadline_ms is not None else None
+
         def worker(rank: int) -> None:
             local = stats[rank]
             for index in range(rank, total, self.workers):
@@ -258,8 +317,18 @@ class LoadGenerator:
                     lag = 0.0
                 else:
                     lag = now - due
+                headers = None
+                if deadline_seconds is not None:
+                    # The budget is anchored at the *scheduled* arrival
+                    # (open loop): a request sent late has already
+                    # burned part of its deadline queueing client-side.
+                    remaining = due + deadline_seconds \
+                        - time.perf_counter()
+                    headers = {"X-Deadline-Ms":
+                               f"{max(0.0, remaining * 1e3):.1f}"}
                 outcome = self._execute(index,
-                                        paths[index % len(paths)])
+                                        paths[index % len(paths)],
+                                        headers)
                 local.record(outcome, lag)
 
         threads = [threading.Thread(target=worker, args=(rank,),
@@ -268,6 +337,7 @@ class LoadGenerator:
                    for rank in range(self.workers)]
         quarantines_before = self.targets.quarantines
         reconnects_before = self.targets.reconnects
+        backoffs_before = self.targets.backoffs
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -276,7 +346,8 @@ class LoadGenerator:
 
         card = StepScorecard(offered_rps=rps, duration=duration,
                              requests=total,
-                             error_budget=self.error_budget)
+                             error_budget=self.error_budget,
+                             deadline_ms=self.deadline_ms)
         card.wall_seconds = max(wall, duration)
         for local in stats:
             card.completed += local.completed
@@ -290,4 +361,5 @@ class LoadGenerator:
         card.quarantines = self.targets.quarantines \
             - quarantines_before
         card.reconnects = self.targets.reconnects - reconnects_before
+        card.backoffs = self.targets.backoffs - backoffs_before
         return card

@@ -16,6 +16,13 @@ endpoint at scale:
   :meth:`~repro.core.webapp.OdrWebApp.handle_batch` pass;
 * :mod:`~repro.serve.workers` -- N ``SO_REUSEPORT`` worker processes
   sharing one port;
+* :class:`~repro.serve.supervisor.WorkerSupervisor` -- the parent that
+  keeps the pool at capacity: per-worker health probes over private
+  admin listeners, backoff restarts with a restart-storm breaker,
+  rolling restarts;
+* :mod:`~repro.serve.avail` (``python -m repro.serve.avail``) -- the
+  worker-kill availability campaign (supervised vs unsupervised pool
+  under load), written to ``BENCH_avail.json``;
 * :class:`~repro.serve.chaos.ServeChaos` -- a fault-plan gate anchored
   at server start, so chaos campaigns cover the serving tier;
 * :mod:`~repro.serve.bench` (``python -m repro.serve.bench``) -- the
@@ -37,6 +44,11 @@ from repro.serve.server import (
     endpoint_label,
     run_async_server,
 )
+from repro.serve.supervisor import (
+    SupervisorConfig,
+    SupervisorThread,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "DEFAULT_MAX_INFLIGHT",
@@ -45,6 +57,9 @@ __all__ = [
     "AsyncServerThread",
     "DecisionBatcher",
     "ServeChaos",
+    "SupervisorConfig",
+    "SupervisorThread",
+    "WorkerSupervisor",
     "endpoint_label",
     "load_serve_chaos",
     "run_async_server",

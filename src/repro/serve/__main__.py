@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-batch", action="store_true",
                         help="disable same-tick coalescing of /decide "
                              "requests")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run the worker pool under the parent "
+                             "supervisor: per-worker health probes, "
+                             "backoff restarts, restart-storm "
+                             "breaker (needs --workers >= 2)")
     parser.add_argument("--no-resilience", action="store_true",
                         help="disable the backend circuit breaker")
     parser.add_argument("--faults", metavar="PLAN", default=None,
@@ -85,6 +90,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"http://{server.host}:{server.port}/ "
                   f"(Ctrl-C or SIGTERM to stop)", flush=True)
         return run_server(server, grace=args.grace, quiet=args.quiet)
+
+    if args.supervise:
+        if args.workers < 2:
+            build_parser().error("--supervise needs --workers >= 2")
+        from repro.serve.supervisor import run_supervised_pool
+        return run_supervised_pool(
+            args.workers, args.host, args.port,
+            max_inflight=args.max_inflight, batch=not args.no_batch,
+            resilience=not args.no_resilience, faults=args.faults,
+            default_policy=args.policy, quiet=args.quiet)
 
     if args.workers > 1:
         from repro.serve.workers import run_worker_pool

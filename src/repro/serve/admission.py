@@ -56,6 +56,33 @@ TARGET_QUEUE_DELAY_SECONDS = 1.0
 #: outlier must degrade concurrency, not strangle the server.
 ADAPTIVE_MIN_INFLIGHT = 8
 
+#: Status of a deadline shed.  504 Gateway Timeout is the closest HTTP
+#: phrase for "this answer would arrive after it stopped mattering";
+#: it is deliberately distinct from the 503 load shed so clients (and
+#: the loadgen scorecard) can separate "server full" from "too late".
+DEADLINE_STATUS = 504
+
+
+def deadline_response(stage: str, remaining_ms: Optional[float] = None
+                      ) -> tuple[int, str, str, None, dict[str, str]]:
+    """The full Response tuple of a deadline shed at ``stage``.
+
+    ``stage`` names where the budget ran out: ``admission`` (predicted
+    queue wait already exceeds the remaining budget), ``batch`` (the
+    entry expired waiting for its coalesced tick), or ``execute`` (the
+    deadline passed while the work sat on the executor queue).
+    """
+    import json
+    payload: dict[str, object] = {
+        "error": "deadline exceeded",
+        "detail": f"request budget exhausted at the {stage} stage",
+        "stage": stage,
+    }
+    if remaining_ms is not None:
+        payload["remaining_ms"] = round(remaining_ms, 3)
+    return (DEADLINE_STATUS, "application/json", json.dumps(payload),
+            None, {})
+
 
 class AdmissionController:
     """Queue-depth cap with an EWMA-derived Retry-After hint.
@@ -113,6 +140,42 @@ class AdmissionController:
         (e.g. an injected fault window or a malformed request line)."""
         self._metrics.counter("repro_serve_rejected_total",
                               endpoint=endpoint, reason=reason).inc()
+
+    # -- deadline budgets --------------------------------------------------------
+
+    def predicted_wait_seconds(self) -> float:
+        """The EWMA queue-wait estimate: with ``n`` requests in flight
+        each taking ``ewma`` seconds, the newest waits roughly their
+        sum before its own work starts."""
+        with self._lock:
+            return self._inflight * self._ewma_seconds
+
+    def deadline_allows(self, remaining_seconds: float) -> bool:
+        """Can a request with this much budget left still make it?
+
+        Sheds pessimistically: if the predicted queue wait alone eats
+        the remaining budget the decision would come back expired, so
+        answering ``504`` *now* is strictly cheaper for both sides.
+        """
+        return remaining_seconds > self.predicted_wait_seconds()
+
+    def shed_deadline(self, endpoint: str, stage: str) -> None:
+        """Account for a request shed because its deadline is hopeless.
+
+        Counted under ``rejected_total`` (so ``admitted + rejected ==
+        sent`` still holds) *and* under the dedicated deadline-shed
+        counter, with a stage label -- separate from 503 load sheds.
+        """
+        self._metrics.counter("repro_serve_rejected_total",
+                              endpoint=endpoint,
+                              reason="deadline").inc()
+        self.count_deadline_shed(stage)
+
+    def count_deadline_shed(self, stage: str) -> None:
+        """Bump the deadline-shed counter for post-admission stages
+        (batch expiry, executor no-op) that already hold a slot."""
+        self._metrics.counter("repro_serve_deadline_sheds_total",
+                              stage=stage).inc()
 
     def release(self, endpoint: str, latency_seconds: float,
                 status: int) -> None:

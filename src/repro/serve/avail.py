@@ -1,0 +1,322 @@
+"""The availability chaos gate: does supervision actually help?
+
+``python -m repro.serve.avail`` runs the same seeded worker-kill
+campaign twice against a 2+ worker SO_REUSEPORT pool under closed-loop
+load -- once with the :class:`~repro.serve.supervisor.WorkerSupervisor`
+restarting dead workers, once with restarts disabled -- and gates on
+the difference:
+
+* the supervised pool must return to full health within the recovery
+  budget after every kill (time-to-healthy measured from the
+  supervisor's own event log);
+* the supervised campaign's hard error rate (transport failures +
+  non-shed 5xx) must beat the unsupervised one by at least the margin;
+* a post-recovery verification step against the supervised pool must
+  complete with zero hard errors.
+
+The kill schedule is a :class:`~repro.faults.plan.FaultPlan` of
+``worker_kill`` specs (targets like ``serve:worker-0``), so campaigns
+are seeded, replayable JSON like every other chaos schedule in the
+repo.  Results land in ``BENCH_avail.json``; the exit code is the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.faults.plan import FaultPlan, FaultSpec, SERVE_KINDS
+from repro.loadgen.client import TargetSet
+from repro.loadgen.replay import LoadGenerator, StepScorecard
+from repro.serve.supervisor import (
+    SupervisorConfig,
+    SupervisorThread,
+    WorkerSupervisor,
+    slot_of_target,
+)
+
+#: Per-kill budget for the pool to probe fully healthy again: spawn
+#: cost (~2 s for a spawn-context worker) + backoff + one probe pass.
+DEFAULT_RECOVERY_BUDGET = 12.0
+
+#: The supervised campaign must beat the unsupervised one by at least
+#: this much hard error rate.
+DEFAULT_ERROR_RATE_MARGIN = 0.10
+
+DEFAULT_KILL_SEED = 20150667
+
+
+def default_kill_plan(workers: int,
+                      seed: int = DEFAULT_KILL_SEED,
+                      first_kill: float = 2.0,
+                      spacing: float = 2.5) -> FaultPlan:
+    """Kill every slot once, staggered.
+
+    Killing *all* slots is the point: an unsupervised pool ends with
+    zero listeners (every later connection refused), while a supervised
+    one climbs back after each kill -- which makes the error-rate
+    margin a property of the design, not of load timing.
+    """
+    return FaultPlan(name="avail-kill", seed=seed, specs=tuple(
+        FaultSpec("worker_kill", f"serve:worker-{rank}",
+                  first_kill + rank * spacing, 0.5)
+        for rank in range(workers)))
+
+
+def _kill_schedule(plan: FaultPlan, workers: int
+                   ) -> list[tuple[float, int]]:
+    """[(start, slot)] of the plan's worker kills, in order."""
+    schedule = []
+    for spec in plan.specs_of(SERVE_KINDS):
+        slot = slot_of_target(spec.target)
+        if slot is not None and 0 <= slot < workers:
+            schedule.append((spec.start, slot))
+    return sorted(schedule)
+
+
+def _time_to_healthy(events: list[dict]) -> list[dict]:
+    """Pair each worker exit with the slot's next ready event."""
+    recoveries = []
+    for position, record in enumerate(events):
+        if record["event"] != "worker_exit":
+            continue
+        healthy_at = None
+        for later in events[position + 1:]:
+            if later["event"] == "ready" \
+                    and later.get("slot") == record.get("slot"):
+                healthy_at = later["t"]
+                break
+        recoveries.append({
+            "slot": record.get("slot"),
+            "killed_at": record["t"],
+            "healthy_at": healthy_at,
+            "time_to_healthy":
+                round(healthy_at - record["t"], 3)
+                if healthy_at is not None else None,
+        })
+    return recoveries
+
+
+def _run_campaign(supervised: bool, plan: FaultPlan, *,
+                  workers: int, paths: list[str], rps: float,
+                  duration: float, deadline_ms: Optional[float],
+                  load_workers: int, recovery_budget: float,
+                  quiet: bool) -> dict[str, Any]:
+    """One kill campaign under load; returns its result block."""
+    from repro.obs import MetricsRegistry
+    metrics = MetricsRegistry()
+    config = SupervisorConfig(probe_interval=0.25, backoff_base=0.1)
+    supervisor = WorkerSupervisor(
+        workers, config=config, metrics=metrics,
+        auto_restart=supervised, quiet=True)
+    runner = SupervisorThread(supervisor).start(timeout=60.0)
+    kills: list[dict] = []
+    stop_killer = threading.Event()
+
+    def killer(t0: float) -> None:
+        for start, slot in _kill_schedule(plan, workers):
+            wait = t0 + start - time.monotonic()
+            if wait > 0 and stop_killer.wait(wait):
+                return
+            pid = supervisor.pid_of(slot)
+            if pid is not None:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pid = None
+            kills.append({"t": round(start, 3), "slot": slot,
+                          "pid": pid})
+
+    card: StepScorecard
+    verify_card: Optional[StepScorecard] = None
+    recovered = False
+    try:
+        targets = TargetSet.from_urls([runner.url], timeout=2.0)
+        with LoadGenerator(targets, paths, workers=load_workers,
+                           deadline_ms=deadline_ms) as generator:
+            generator.prewarm()
+            killer_thread = threading.Thread(
+                target=killer, args=(time.monotonic(),),
+                name="avail-killer", daemon=True)
+            killer_thread.start()
+            card = generator.run_step(rps, duration)
+            stop_killer.set()
+            killer_thread.join(5.0)
+        if supervised:
+            deadline = time.monotonic() + recovery_budget
+            while time.monotonic() < deadline:
+                if supervisor.healthy_workers == workers:
+                    recovered = True
+                    break
+                time.sleep(0.1)
+            if recovered:
+                # Post-recovery proof on a fresh session pool (the
+                # campaign pool holds connections to dead PIDs): the
+                # recovered pool must answer with zero hard errors.
+                verify_targets = TargetSet.from_urls([runner.url],
+                                                    timeout=2.0)
+                with LoadGenerator(verify_targets, paths,
+                                   workers=load_workers,
+                                   deadline_ms=deadline_ms
+                                   ) as verifier:
+                    verifier.prewarm()
+                    verify_card = verifier.run_step(
+                        max(10.0, rps / 4), 2.0)
+    finally:
+        runner.stop()
+
+    events = list(supervisor.events)
+    recoveries = _time_to_healthy(events)
+    result: dict[str, Any] = {
+        "supervised": supervised,
+        "workers": workers,
+        "kills": kills,
+        "load": card.to_dict(),
+        "recoveries": recoveries,
+        "recovered_full_health": recovered if supervised else False,
+        "restarts": supervisor.restarts_total,
+        "degraded": supervisor.degraded,
+        "events": events,
+    }
+    if verify_card is not None:
+        result["post_recovery"] = verify_card.to_dict()
+    if not quiet:
+        mode = "supervised" if supervised else "unsupervised"
+        print(f"avail: {mode} campaign: "
+              f"hard_error_rate={card.hard_error_rate:.4f} "
+              f"restarts={supervisor.restarts_total} "
+              f"kills={len(kills)}", flush=True)
+    return result
+
+
+def run_gate(*, workers: int = 2, rps: float = 60.0,
+             duration: float = 8.0,
+             deadline_ms: Optional[float] = 500.0,
+             load_workers: int = 4,
+             plan: Optional[FaultPlan] = None,
+             recovery_budget: float = DEFAULT_RECOVERY_BUDGET,
+             margin: float = DEFAULT_ERROR_RATE_MARGIN,
+             trace_scale: float = 0.01, trace_seed: int = 7,
+             trace_limit: int = 4000,
+             quiet: bool = False) -> dict[str, Any]:
+    """Both campaigns plus the gate verdict, as the BENCH payload."""
+    from repro.loadgen.trace import load_or_generate_paths
+    plan = plan if plan is not None else default_kill_plan(workers)
+    paths = load_or_generate_paths(None, trace_scale, trace_seed,
+                                   limit=trace_limit)
+    campaigns = {}
+    for supervised in (True, False):
+        label = "supervised" if supervised else "unsupervised"
+        campaigns[label] = _run_campaign(
+            supervised, plan, workers=workers, paths=paths, rps=rps,
+            duration=duration, deadline_ms=deadline_ms,
+            load_workers=load_workers,
+            recovery_budget=recovery_budget, quiet=quiet)
+
+    sup, unsup = campaigns["supervised"], campaigns["unsupervised"]
+    sup_rate = sup["load"]["hard_error_rate"]
+    unsup_rate = unsup["load"]["hard_error_rate"]
+    recovery_times = [entry["time_to_healthy"]
+                      for entry in sup["recoveries"]]
+    recovered_within_budget = (
+        sup["recovered_full_health"]
+        and bool(recovery_times)
+        and all(t is not None and t <= recovery_budget
+                for t in recovery_times))
+    post = sup.get("post_recovery")
+    post_clean = post is not None and post["hard_errors"] == 0
+    gate = {
+        "recovery_budget_seconds": recovery_budget,
+        "recovered_within_budget": recovered_within_budget,
+        "error_rate_margin": margin,
+        "supervised_hard_error_rate": sup_rate,
+        "unsupervised_hard_error_rate": unsup_rate,
+        "margin_met": unsup_rate - sup_rate >= margin,
+        "post_recovery_clean": post_clean,
+    }
+    gate["passed"] = bool(gate["recovered_within_budget"]
+                          and gate["margin_met"]
+                          and gate["post_recovery_clean"])
+    return {
+        "bench": "serve-availability",
+        "plan": {"name": plan.name, "seed": plan.seed,
+                 "kills": [spec.to_dict()
+                           for spec in plan.specs_of(SERVE_KINDS)]},
+        "config": {
+            "workers": workers, "rps": rps, "duration": duration,
+            "deadline_ms": deadline_ms,
+            "load_workers": load_workers,
+        },
+        "campaigns": campaigns,
+        "gate": gate,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.avail",
+        description="Worker-kill availability campaign: supervised "
+                    "vs unsupervised pool under closed-loop load, "
+                    "with a recovery + error-rate gate.")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--rps", type=float, default=60.0)
+    parser.add_argument("--duration", type=float, default=8.0)
+    parser.add_argument("--deadline-ms", type=float, default=500.0,
+                        help="per-request budget stamped by the load "
+                             "generator (default %(default)s)")
+    parser.add_argument("--load-workers", type=int, default=4)
+    parser.add_argument("--plan", metavar="FILE", default=None,
+                        help="worker_kill fault plan JSON; the "
+                             "built-in kill-every-slot schedule when "
+                             "omitted")
+    parser.add_argument("--recovery-budget", type=float,
+                        default=DEFAULT_RECOVERY_BUDGET)
+    parser.add_argument("--margin", type=float,
+                        default=DEFAULT_ERROR_RATE_MARGIN)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short smoke sizing for CI "
+                             "(6 s campaign, 40 rps)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write BENCH_avail.json here (atomic)")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.rps = min(args.rps, 40.0)
+        args.duration = min(args.duration, 6.0)
+    plan = FaultPlan.from_file(args.plan) if args.plan else None
+    result = run_gate(
+        workers=args.workers, rps=args.rps, duration=args.duration,
+        deadline_ms=args.deadline_ms, load_workers=args.load_workers,
+        plan=plan, recovery_budget=args.recovery_budget,
+        margin=args.margin, quiet=args.quiet)
+    rendered = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        from repro.recovery.atomic import atomic_write_text
+        atomic_write_text(Path(args.out), rendered + "\n")
+        if not args.quiet:
+            print(f"avail: results written to {args.out}", flush=True)
+    else:
+        print(rendered)
+    gate = result["gate"]
+    if not args.quiet:
+        verdict = "PASS" if gate["passed"] else "FAIL"
+        print(f"avail: {verdict} -- recovered_within_budget="
+              f"{gate['recovered_within_budget']} margin_met="
+              f"{gate['margin_met']} post_recovery_clean="
+              f"{gate['post_recovery_clean']}", flush=True)
+    return 0 if gate["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

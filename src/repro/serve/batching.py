@@ -12,15 +12,24 @@ Latency cost is bounded by construction: the drain callback is
 scheduled the moment the first request of a tick arrives, so an idle
 server still answers in the same iteration -- batching only *appears*
 when concurrency does.
+
+Deadline budgets propagate through the batcher: an entry whose
+``X-Deadline-Ms`` budget has already expired is answered ``504``
+*before* dispatch (no decision work for an answer nobody waits for),
+and the executor pass re-checks each entry when it actually starts, so
+work whose deadline lapsed while queued on the thread pool is no-opped
+instead of evaluated.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional
 
 from repro.core.webapp import OdrWebApp, Response
 from repro.obs.registry import NOOP, AnyRegistry
+from repro.serve.admission import deadline_response
 
 #: Upper bound on one coalesced pass, so a drain never monopolises the
 #: loop; the remainder re-schedules itself onto the next tick.
@@ -37,21 +46,35 @@ class DecisionBatcher:
         self.app = app
         self.max_batch = max_batch
         self._metrics = metrics
-        self._pending: list[tuple[str, str, asyncio.Future]] = []
+        self._pending: list[tuple[str, str, Optional[float],
+                                  asyncio.Future]] = []
         self._drain_scheduled = False
         self.batches = 0
         self.batched_requests = 0
+        self.expired = 0
 
-    def submit(self, path: str, cookie_header: str
+    def submit(self, path: str, cookie_header: str,
+               deadline: Optional[float] = None
                ) -> "asyncio.Future[Response]":
-        """Queue one request; the future resolves with its Response."""
+        """Queue one request; the future resolves with its Response.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant after
+        which the caller no longer wants the answer.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((path, cookie_header, future))
+        self._pending.append((path, cookie_header, deadline, future))
         if not self._drain_scheduled:
             self._drain_scheduled = True
             loop.call_soon(self._drain)
         return future
+
+    def _expire(self, future: asyncio.Future, stage: str) -> None:
+        self.expired += 1
+        self._metrics.counter("repro_serve_deadline_sheds_total",
+                              stage=stage).inc()
+        if not future.done():
+            future.set_result(deadline_response(stage))
 
     def _drain(self) -> None:
         batch = self._pending[:self.max_batch]
@@ -63,30 +86,69 @@ class DecisionBatcher:
             self._drain_scheduled = False
         if not batch:
             return
+        # Expired entries are answered here, before dispatch: they hold
+        # an admission slot but cost no decision work.
+        now = time.monotonic()
+        live = []
+        for path, cookie, deadline, future in batch:
+            if deadline is not None and now > deadline:
+                self._expire(future, "batch")
+            else:
+                live.append((path, cookie, deadline, future))
+        if not live:
+            return
         self.batches += 1
-        self.batched_requests += len(batch)
+        self.batched_requests += len(live)
         self._metrics.histogram("repro_serve_batch_size").observe(
-            float(len(batch)))
+            float(len(live)))
         # handle_batch is synchronous; evaluating it on the loop would
         # stall every connection for the whole pass, so it runs on the
         # default executor while the loop collects the next batch.
-        task = asyncio.ensure_future(self._evaluate(batch))
+        task = asyncio.ensure_future(self._evaluate(live))
         task.add_done_callback(lambda _task: None)
 
+    def _execute_batch(self, items: list[tuple[str, str,
+                                               Optional[float]]]
+                       ) -> list[Optional[Response]]:
+        """Executor-side pass: no-op entries that expired while queued
+        on the thread pool, evaluate the rest in one handle_batch."""
+        now = time.monotonic()
+        responses: list[Optional[Response]] = [None] * len(items)
+        live_index: list[int] = []
+        live_requests: list[tuple[str, str]] = []
+        for position, (path, cookie, deadline) in enumerate(items):
+            if deadline is not None and now > deadline:
+                responses[position] = deadline_response("execute")
+                self.expired += 1
+                self._metrics.counter(
+                    "repro_serve_deadline_sheds_total",
+                    stage="execute").inc()
+            else:
+                live_index.append(position)
+                live_requests.append((path, cookie))
+        if live_requests:
+            for position, response in zip(
+                    live_index, self.app.handle_batch(live_requests)):
+                responses[position] = response
+        return responses
+
     async def _evaluate(self, batch: list[tuple[str, str,
+                                                Optional[float],
                                                 asyncio.Future]]
                         ) -> None:
         loop = asyncio.get_running_loop()
         try:
             responses = await loop.run_in_executor(
-                None, self.app.handle_batch,
-                [(path, cookie) for path, cookie, _future in batch])
+                None, self._execute_batch,
+                [(path, cookie, deadline)
+                 for path, cookie, deadline, _future in batch])
         except Exception as error:   # noqa: BLE001 - boundary
-            for _path, _cookie, future in batch:
+            for _path, _cookie, _deadline, future in batch:
                 if not future.done():
                     future.set_exception(error)
             return
-        for (_path, _cookie, future), response in zip(batch, responses):
+        for (_path, _cookie, _deadline, future), response \
+                in zip(batch, responses):
             if not future.done():
                 future.set_result(response)
 

@@ -77,6 +77,16 @@ class ServeChaos:
         """Seconds since the server (and therefore the plan) started."""
         return self._clock() - self._origin
 
+    def unready(self) -> bool:
+        """Is the front door inside an injected-failure window?
+
+        Readiness probes (``/healthz``) answer 503 while this holds, so
+        supervisors and load balancers steer traffic away *before* the
+        chaos gate starts failing real requests.
+        """
+        return self.injector.active("server_crash", self.entity,
+                                    self.now()) is not None
+
     def verdict(self) -> ChaosVerdict:
         now = self.now()
         crash = self.injector.active("server_crash", self.entity, now)

@@ -36,11 +36,12 @@ kernel load-balances accepted connections (see
 from __future__ import annotations
 
 import asyncio
+import json
 import socket
 import threading
 import time
 from http import HTTPStatus
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cloud.database import ContentDatabase
 from repro.core.webapp import OdrWebApp, Response
@@ -48,7 +49,7 @@ from repro.faults.policies import ResiliencePolicies
 from repro.obs.exporters import render_prometheus
 from repro.obs.registry import NOOP, AnyRegistry
 from repro.serve.admission import DEFAULT_MAX_INFLIGHT, \
-    AdmissionController
+    AdmissionController, deadline_response
 from repro.serve.batching import DecisionBatcher
 from repro.serve.chaos import ServeChaos
 
@@ -85,7 +86,8 @@ class AsyncOdrServer:
                  batch: bool = True,
                  chaos: Optional[ServeChaos] = None,
                  reuse_port: bool = False,
-                 default_policy: str = "odr"):
+                 default_policy: str = "odr",
+                 admin_port: Optional[int] = None):
         self.app = app if app is not None else OdrWebApp(
             database, policies=policies, metrics=metrics,
             default_policy=default_policy)
@@ -104,6 +106,12 @@ class AsyncOdrServer:
         self._handling = 0
         self._draining = False
         self.port: int = port
+        # A second, private listener for supervision: with SO_REUSEPORT
+        # the shared port load-balances across workers, so a probe of a
+        # *specific* worker needs its own address.
+        self._requested_admin_port = admin_port
+        self.admin_port: Optional[int] = None
+        self._admin_server: Optional[asyncio.base_events.Server] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -122,6 +130,13 @@ class AsyncOdrServer:
         self._server = await asyncio.start_server(
             self._client_connected, sock=sock,
             limit=MAX_REQUEST_BYTES)
+        if self._requested_admin_port is not None:
+            self._admin_server = await asyncio.start_server(
+                self._client_connected, host=self.host,
+                port=self._requested_admin_port,
+                limit=MAX_REQUEST_BYTES)
+            self.admin_port = \
+                self._admin_server.sockets[0].getsockname()[1]
 
     @property
     def inflight_requests(self) -> int:
@@ -138,6 +153,9 @@ class AsyncOdrServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + grace
         while self._handling > 0 and loop.time() < deadline:
@@ -204,16 +222,18 @@ class AsyncOdrServer:
                                          "malformed request",
                                          keep_alive=False)
                 return
-            method, path, cookie, keep_alive = request
+            method, path, cookie, keep_alive, deadline_ms = request
             if method != "GET":
                 await self._write_simple(writer, 405,
                                          f"method {method} not allowed",
                                          keep_alive=keep_alive)
                 continue
             keep_alive = keep_alive and not self._draining
+            deadline = time.monotonic() + deadline_ms / 1e3 \
+                if deadline_ms is not None else None
             self._handling += 1
             try:
-                response = await self._respond(path, cookie)
+                response = await self._respond(path, cookie, deadline)
                 await self._write_response(writer, response, keep_alive)
             finally:
                 self._handling -= 1
@@ -222,9 +242,10 @@ class AsyncOdrServer:
 
     @staticmethod
     def _parse_head(head: bytes
-                    ) -> Optional[tuple[str, str, str, bool]]:
-        """(method, path, cookie header, keep-alive) or None when the
-        request line is unparseable."""
+                    ) -> Optional[tuple[str, str, str, bool,
+                                        Optional[float]]]:
+        """(method, path, cookie header, keep-alive, deadline budget in
+        ms) or None when the request line is unparseable."""
         try:
             text = head.decode("latin-1")
         except UnicodeDecodeError:   # pragma: no cover - latin-1 total
@@ -236,6 +257,7 @@ class AsyncOdrServer:
         method, path, version = parts
         cookie = ""
         connection = ""
+        deadline_ms: Optional[float] = None
         for line in lines[1:]:
             name, _sep, value = line.partition(":")
             lowered = name.strip().lower()
@@ -243,22 +265,67 @@ class AsyncOdrServer:
                 cookie = value.strip()
             elif lowered == "connection":
                 connection = value.strip().lower()
+            elif lowered == "x-deadline-ms":
+                try:
+                    deadline_ms = float(value.strip())
+                except ValueError:
+                    deadline_ms = None   # malformed budget: best effort
         keep_alive = version != "HTTP/1.0" \
             if connection == "" else connection != "close"
-        return method, path, cookie, keep_alive
+        return method, path, cookie, keep_alive, deadline_ms
 
     # -- request dispatch --------------------------------------------------------
 
-    async def _respond(self, path: str, cookie: str) -> Response:
+    def _unready_reason(self) -> Optional[str]:
+        """Why ``/healthz`` should answer 503, or None when ready.
+
+        Readiness is stricter than liveness: a draining server and one
+        inside an injected-failure window are both still *alive* but
+        should not receive new traffic, so probes steer load balancers
+        (and the worker supervisor) away before requests start failing.
+        """
+        if self._draining:
+            return "draining"
+        if self.chaos is not None and self.chaos.unready():
+            return "fault-window"
+        return None
+
+    def _guarded_handle(self, path: str, cookie: str,
+                        deadline: Optional[float]) -> Response:
+        """Executor-side handle with a deadline no-op guard (the
+        un-batched twin of the batcher's execute-stage check)."""
+        if deadline is not None and time.monotonic() > deadline:
+            self.admission.count_deadline_shed("execute")
+            return deadline_response("execute")
+        return self.app.handle(path, cookie)
+
+    async def _respond(self, path: str, cookie: str,
+                       deadline: Optional[float] = None) -> Response:
         endpoint = endpoint_label(path)
         self.metrics.counter("repro_serve_requests_total",
                              endpoint=endpoint).inc()
+        if deadline is not None and endpoint == "/decide":
+            # Shed before admission when the predicted queue wait
+            # already exceeds the remaining budget: the answer would
+            # come back expired, so 504 now is cheaper for both sides.
+            remaining = deadline - time.monotonic()
+            if not self.admission.deadline_allows(remaining):
+                self.admission.shed_deadline(endpoint, "admission")
+                return deadline_response("admission", remaining * 1e3)
         if not self.admission.try_admit(endpoint):
             status, body, headers = self.admission.shed_body()
             return status, "application/json", body, None, headers
         started = time.perf_counter()
         status = 500
         try:
+            if endpoint == "/healthz":
+                reason = self._unready_reason()
+                if reason is not None:
+                    status = 503
+                    body = json.dumps({"status": reason,
+                                       "ready": False})
+                    return status, "application/json", body, None, \
+                        {"Retry-After": "1"}
             if self.chaos is not None and endpoint == "/decide":
                 verdict = self.chaos.verdict()
                 if verdict.delay > 0.0:
@@ -273,14 +340,15 @@ class AsyncOdrServer:
                                       render_prometheus(self.metrics),
                                       None, {})
             elif self.batcher is not None and endpoint == "/decide":
-                response = await self.batcher.submit(path, cookie)
+                response = await self.batcher.submit(path, cookie,
+                                                     deadline)
             else:
                 # The app is synchronous; running it on the loop would
                 # let one slow decision block every connection (and
                 # make the admission cap unreachable).
                 response = await asyncio.get_running_loop() \
-                    .run_in_executor(None, self.app.handle, path,
-                                     cookie)
+                    .run_in_executor(None, self._guarded_handle, path,
+                                     cookie, deadline)
             status = response[0]
             return response
         finally:
@@ -330,11 +398,15 @@ def run_async_server(server: AsyncOdrServer, *,
                      grace: float = 10.0,
                      install_signals: bool = True,
                      quiet: bool = False,
-                     announce: bool = True) -> int:
+                     announce: bool = True,
+                     on_started: Optional[Callable[[], None]] = None
+                     ) -> int:
     """Run one server on a fresh event loop until SIGINT/SIGTERM.
 
     The asyncio twin of :func:`repro.core.webapp.run_server`: 0 on a
     clean drain, 1 when requests were still in flight at the deadline.
+    ``on_started`` fires once the ports are bound -- supervised workers
+    use it to report their admin port back to the parent.
     """
     import signal
 
@@ -348,6 +420,8 @@ def run_async_server(server: AsyncOdrServer, *,
                 except (NotImplementedError, RuntimeError):
                     pass   # non-main thread or exotic platform
         await server.start()
+        if on_started is not None:
+            on_started()
         if announce and not quiet:
             print(f"ODR (async) listening on "
                   f"http://{server.host}:{server.port}/ "

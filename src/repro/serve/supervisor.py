@@ -1,0 +1,567 @@
+"""Worker supervision for the SO_REUSEPORT serving pool.
+
+:func:`~repro.serve.workers.run_worker_pool` runs N workers but treats
+them as a flat set: a worker that dies takes its share of the listen
+queue with it and nothing brings it back.  The
+:class:`WorkerSupervisor` is the parent that owns the pool and keeps it
+at target capacity:
+
+* **Liveness** -- the supervisor reaps worker exits (exit codes kept);
+  a dead worker is restarted automatically.
+* **Readiness** -- every supervised worker binds a private *admin*
+  listener next to the shared port (the kernel load-balances the shared
+  address, so probing one specific worker needs its own door) and
+  reports it back through a pipe; the supervisor probes ``/healthz``
+  there on a period.  A worker answering 503 (draining, fault window)
+  is *unready* but alive -- not a restart trigger; a worker that stops
+  answering entirely is restarted after ``probe_failures`` consecutive
+  misses.
+* **Backoff + breaker** -- restarts back off exponentially (with a
+  deterministic seeded jitter), and a restart storm trips a circuit
+  breaker: more than ``restart_budget`` restarts of one slot within
+  ``restart_window`` seconds and the supervisor gives that slot up,
+  reporting degraded capacity instead of flapping forever.
+* **Rolling restart** -- start a replacement on the shared port,
+  confirm it healthy, then SIGTERM-and-drain the old worker; capacity
+  never dips below N-as-configured during the roll.
+
+Every transition lands in a structured event log and in obs
+instruments: ``repro_serve_worker_restarts_total{reason}`` and the
+``repro_serve_pool_healthy_workers`` gauge.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import signal
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.registry import NOOP, AnyRegistry
+from repro.serve.workers import _worker_main, probe_reuse_port
+
+#: Slot states.  starting -> ready <-> unready; any -> backoff ->
+#: starting; backoff -> failed (breaker tripped); stopped on shutdown.
+STATES = ("starting", "ready", "unready", "backoff", "failed",
+          "stopped")
+
+
+def slot_of_target(target: str) -> Optional[int]:
+    """``"serve:worker-1"`` -> ``1``; None for other targets.
+
+    The entity grammar fault plans use to aim ``worker_kill`` specs at
+    one pool slot (see :mod:`repro.faults.plan` domains).
+    """
+    prefix = "serve:worker-"
+    if not target.startswith(prefix):
+        return None
+    try:
+        return int(target[len(prefix):])
+    except ValueError:
+        return None
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables; the defaults suit tests and smoke runs."""
+
+    probe_interval: float = 0.5     #: seconds between /healthz passes
+    probe_timeout: float = 1.0      #: one probe's socket timeout
+    probe_failures: int = 3         #: consecutive misses before restart
+    start_timeout: float = 10.0     #: spawn -> admin-port report budget
+    backoff_base: float = 0.25      #: first restart delay, seconds
+    backoff_cap: float = 5.0        #: delay ceiling
+    restart_budget: int = 5         #: restarts tolerated per window...
+    restart_window: float = 30.0    #: ...of this many seconds
+    drain_grace: float = 5.0        #: SIGTERM -> SIGKILL escalation
+    seed: int = 0                   #: jitter determinism
+
+
+@dataclass
+class _Slot:
+    """One worker position in the pool."""
+
+    rank: int
+    process: Any = None
+    pipe: Any = None                 #: parent end, until report arrives
+    pid: Optional[int] = None
+    admin_port: Optional[int] = None
+    state: str = "starting"
+    started_at: float = 0.0
+    probe_misses: int = 0
+    restart_attempt: int = 0         #: consecutive failed starts
+    restart_at: float = 0.0          #: backoff expiry (monotonic)
+    restart_times: deque = field(default_factory=deque)
+    exit_codes: list = field(default_factory=list)
+
+
+class WorkerSupervisor:
+    """Parent process (or thread) owning a supervised worker pool."""
+
+    def __init__(self, workers: int, host: str = "127.0.0.1",
+                 port: int = 0, *,
+                 config: Optional[SupervisorConfig] = None,
+                 metrics: AnyRegistry = NOOP,
+                 max_inflight: int = 128, batch: bool = True,
+                 resilience: bool = True,
+                 faults: Optional[str] = None,
+                 default_policy: str = "odr",
+                 auto_restart: bool = True,
+                 quiet: bool = True):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.host = host
+        self.port = port if port != 0 else probe_reuse_port(host)
+        self.config = config or SupervisorConfig()
+        self.metrics = metrics
+        self.auto_restart = auto_restart
+        self.quiet = quiet
+        self._worker_args = dict(
+            max_inflight=max_inflight, batch=batch,
+            resilience=resilience, faults=faults,
+            default_policy=default_policy)
+        self._lock = threading.RLock()
+        self._origin = time.monotonic()
+        self._slots = [_Slot(rank=rank) for rank in range(workers)]
+        self.events: list[dict] = []
+        self._healthy_gauge = metrics.gauge(
+            "repro_serve_pool_healthy_workers")
+        import multiprocessing
+        self._context = multiprocessing.get_context("spawn")
+
+    # -- event log ---------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def _event(self, event: str, slot: Optional[int] = None,
+               **extra: Any) -> None:
+        record = {"t": round(self._now(), 4), "event": event}
+        if slot is not None:
+            record["slot"] = slot
+        record.update(extra)
+        with self._lock:
+            self.events.append(record)
+        if not self.quiet:
+            print(f"supervisor: {record}", flush=True)
+
+    # -- spawning ----------------------------------------------------------------
+
+    def _spawn_process(self, rank: int) -> tuple[Any, Any]:
+        """(process, parent pipe end) of a fresh worker, started."""
+        parent, child = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self.host, self.port,
+                  self._worker_args["max_inflight"],
+                  self._worker_args["batch"],
+                  self._worker_args["resilience"],
+                  self._worker_args["faults"], True,
+                  self._worker_args["default_policy"], rank, child),
+            name=f"odr-worker-{rank}", daemon=False)
+        process.start()
+        child.close()
+        return process, parent
+
+    def _start_slot(self, slot: _Slot, reason: str) -> None:
+        slot.process, slot.pipe = self._spawn_process(slot.rank)
+        slot.pid = slot.process.pid
+        slot.admin_port = None
+        slot.state = "starting"
+        slot.started_at = time.monotonic()
+        slot.probe_misses = 0
+        self._event("spawn", slot.rank, pid=slot.pid, reason=reason)
+
+    def start(self) -> "WorkerSupervisor":
+        """Spawn every slot (non-blocking; see :meth:`wait_ready`)."""
+        with self._lock:
+            for slot in self._slots:
+                self._start_slot(slot, reason="start")
+        return self
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Poll until every non-failed slot is ready (True), or the
+        timeout lapses (False)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.poll()
+            with self._lock:
+                pending = [slot for slot in self._slots
+                           if slot.state not in ("ready", "failed",
+                                                 "stopped")]
+            if not pending:
+                return self.healthy_workers > 0
+            time.sleep(0.05)
+        return False
+
+    # -- restart policy ----------------------------------------------------------
+
+    def _jitter(self, slot: _Slot) -> float:
+        """Deterministic [0, 1) jitter so restart storms de-correlate
+        without breaking replayability."""
+        key = f"{self.config.seed}:{slot.rank}:{slot.restart_attempt}"
+        return (zlib.crc32(key.encode()) % 1000) / 1000.0
+
+    def _schedule_restart(self, slot: _Slot, reason: str) -> None:
+        """Back the slot off, or trip the breaker when it is storming."""
+        now = time.monotonic()
+        window = self.config.restart_window
+        slot.restart_times.append(now)
+        while slot.restart_times and \
+                now - slot.restart_times[0] > window:
+            slot.restart_times.popleft()
+        if len(slot.restart_times) > self.config.restart_budget:
+            slot.state = "failed"
+            self._event("gave_up", slot.rank, reason=reason,
+                        restarts_in_window=len(slot.restart_times))
+            self.metrics.counter(
+                "repro_serve_worker_giveups_total").inc()
+            return
+        slot.restart_attempt += 1
+        delay = min(self.config.backoff_cap,
+                    self.config.backoff_base
+                    * (2 ** (slot.restart_attempt - 1)))
+        delay *= 1.0 + 0.25 * self._jitter(slot)
+        slot.state = "backoff"
+        slot.restart_at = now + delay
+        self._event("backoff", slot.rank, reason=reason,
+                    delay=round(delay, 3))
+        self.metrics.counter("repro_serve_worker_restarts_total",
+                             reason=reason).inc()
+
+    def _kill_slot_process(self, slot: _Slot) -> None:
+        if slot.process is not None and slot.process.is_alive():
+            slot.process.kill()
+            slot.process.join(5.0)
+
+    # -- the poll pass -----------------------------------------------------------
+
+    def _probe(self, admin_port: int) -> Optional[int]:
+        """The worker's /healthz status via its admin door, or None
+        when the probe could not connect at all."""
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, admin_port,
+                timeout=self.config.probe_timeout)
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                response.read()
+                return response.status
+            finally:
+                conn.close()
+        except OSError:
+            return None
+
+    def poll(self) -> None:
+        """One supervision pass: reap exits, collect admin-port
+        reports, expire backoffs, probe readiness."""
+        now = time.monotonic()
+        with self._lock:
+            for slot in self._slots:
+                if slot.state in ("failed", "stopped"):
+                    continue
+                process = slot.process
+                if process is not None and not process.is_alive():
+                    code = process.exitcode
+                    slot.exit_codes.append(code)
+                    self._event("worker_exit", slot.rank,
+                                exitcode=code)
+                    slot.process = None
+                    slot.pipe = None
+                    slot.admin_port = None
+                    if self.auto_restart:
+                        self._schedule_restart(
+                            slot, reason="exit" if code else "drain")
+                    else:
+                        slot.state = "failed"
+                    continue
+                if slot.state == "backoff" and now >= slot.restart_at:
+                    self._start_slot(slot, reason="restart")
+                    continue
+                if slot.state == "starting":
+                    self._collect_report(slot, now)
+            probes = [(slot.rank, slot.admin_port)
+                      for slot in self._slots
+                      if slot.state in ("ready", "unready")
+                      and slot.admin_port is not None]
+        # Probes leave the lock: each one can block probe_timeout long.
+        results = {rank: self._probe(port) for rank, port in probes}
+        with self._lock:
+            for slot in self._slots:
+                if slot.rank in results and \
+                        slot.state in ("ready", "unready"):
+                    self._apply_probe(slot, results[slot.rank])
+            self._healthy_gauge.set(float(self._healthy_locked()))
+
+    def _collect_report(self, slot: _Slot, now: float) -> None:
+        """Starting slot: take the admin-port report off the pipe, or
+        give the spawn up after start_timeout."""
+        if slot.pipe is not None and slot.pipe.poll():
+            try:
+                report = slot.pipe.recv()
+            except (EOFError, OSError):
+                report = None
+            slot.pipe = None
+            if report and report.get("admin_port"):
+                slot.admin_port = int(report["admin_port"])
+                slot.state = "ready"
+                slot.restart_attempt = 0
+                self._event("ready", slot.rank,
+                            admin_port=slot.admin_port)
+                return
+        if now - slot.started_at > self.config.start_timeout:
+            self._event("start_timeout", slot.rank)
+            self._kill_slot_process(slot)
+            # The exit is reaped (and the restart scheduled) on the
+            # next pass through the liveness check above.
+
+    def _apply_probe(self, slot: _Slot, status: Optional[int]) -> None:
+        if status == 200:
+            if slot.state != "ready":
+                self._event("ready", slot.rank,
+                            admin_port=slot.admin_port)
+            slot.state = "ready"
+            slot.probe_misses = 0
+        elif status is not None:
+            # Self-reported unready (draining / fault window): alive,
+            # so no restart -- just steer capacity accounting.
+            if slot.state != "unready":
+                self._event("unready", slot.rank, status=status)
+            slot.state = "unready"
+            slot.probe_misses = 0
+        else:
+            slot.probe_misses += 1
+            if slot.probe_misses >= self.config.probe_failures:
+                self._event("probe_dead", slot.rank,
+                            misses=slot.probe_misses)
+                self._kill_slot_process(slot)
+                # Reaped as an exit on the next poll pass.
+
+    # -- rolling restart ---------------------------------------------------------
+
+    def rolling_restart(self, timeout_per_worker: float = 30.0
+                        ) -> bool:
+        """Replace every worker one at a time without a capacity dip:
+        spawn the replacement on the shared port, wait for it to probe
+        healthy, then SIGTERM-and-drain the old worker.  True when
+        every slot rolled."""
+        self._event("rolling_restart_begin")
+        ok = True
+        for slot in self._slots:
+            with self._lock:
+                if slot.state in ("failed", "stopped"):
+                    continue
+                old_process = slot.process
+                replacement, pipe = self._spawn_process(slot.rank)
+            admin_port = None
+            deadline = time.monotonic() + timeout_per_worker
+            while time.monotonic() < deadline:
+                if pipe.poll(0.05):
+                    try:
+                        report = pipe.recv()
+                    except (EOFError, OSError):
+                        break
+                    admin_port = report.get("admin_port")
+                    break
+            healthy = False
+            while admin_port and time.monotonic() < deadline:
+                if self._probe(admin_port) == 200:
+                    healthy = True
+                    break
+                time.sleep(0.05)
+            if not healthy:
+                # Replacement never came up: keep the old worker.
+                self._event("rolling_restart_abort", slot.rank)
+                if replacement.is_alive():
+                    replacement.kill()
+                    replacement.join(5.0)
+                ok = False
+                continue
+            if old_process is not None and old_process.is_alive() \
+                    and old_process.pid is not None:
+                try:
+                    os.kill(old_process.pid, signal.SIGTERM)
+                except ProcessLookupError:   # pragma: no cover - race
+                    pass
+                old_process.join(self.config.drain_grace)
+                if old_process.is_alive():
+                    old_process.kill()
+                    old_process.join(5.0)
+                slot.exit_codes.append(old_process.exitcode)
+            with self._lock:
+                slot.process = replacement
+                slot.pipe = None
+                slot.pid = replacement.pid
+                slot.admin_port = int(admin_port)
+                slot.state = "ready"
+                slot.probe_misses = 0
+            self._event("rolled", slot.rank, pid=replacement.pid,
+                        admin_port=int(admin_port))
+            self.metrics.counter("repro_serve_worker_restarts_total",
+                                 reason="rolling").inc()
+        self._event("rolling_restart_end", ok=ok)
+        return ok
+
+    # -- run / shutdown ----------------------------------------------------------
+
+    def run(self, stop: threading.Event) -> dict[str, int]:
+        """Supervise until ``stop`` is set; then shut the pool down."""
+        while not stop.is_set():
+            self.poll()
+            stop.wait(self.config.probe_interval)
+        return self.shutdown()
+
+    def shutdown(self, grace: Optional[float] = None) -> dict[str, int]:
+        """SIGTERM the pool, escalate to SIGKILL, return exit codes."""
+        from repro.serve.workers import terminate_pool
+        grace = self.config.drain_grace if grace is None else grace
+        with self._lock:
+            processes = [slot.process for slot in self._slots
+                         if slot.process is not None]
+            for slot in self._slots:
+                slot.state = "stopped"
+        codes = terminate_pool(processes, join_timeout=grace,
+                               quiet=True) if processes else {}
+        self._event("shutdown", exit_codes=codes)
+        self._healthy_gauge.set(0.0)
+        return codes
+
+    # -- views -------------------------------------------------------------------
+
+    def _healthy_locked(self) -> int:
+        return sum(1 for slot in self._slots
+                   if slot.state == "ready")
+
+    @property
+    def healthy_workers(self) -> int:
+        with self._lock:
+            return self._healthy_locked()
+
+    @property
+    def degraded(self) -> bool:
+        """Did the breaker give any slot up for good?"""
+        with self._lock:
+            return any(slot.state == "failed" for slot in self._slots)
+
+    @property
+    def restarts_total(self) -> int:
+        """Spawns beyond the initial start (restarts + rolls)."""
+        with self._lock:
+            return sum(1 for record in self.events
+                       if (record["event"] == "spawn"
+                           and record.get("reason") != "start")
+                       or record["event"] == "rolled")
+
+    def pid_of(self, rank: int) -> Optional[int]:
+        """The current PID of one slot (the chaos killer's target)."""
+        with self._lock:
+            slot = self._slots[rank]
+            return slot.process.pid \
+                if slot.process is not None else None
+
+    def snapshot(self) -> list[dict]:
+        """Structured state of every slot, for status CLIs and tests."""
+        with self._lock:
+            return [{"rank": slot.rank, "state": slot.state,
+                     "pid": slot.pid, "admin_port": slot.admin_port,
+                     "exit_codes": list(slot.exit_codes)}
+                    for slot in self._slots]
+
+
+class SupervisorThread:
+    """A :class:`WorkerSupervisor` driven on a background thread.
+
+    What tests and the availability gate use: ``start()`` returns once
+    the pool probes ready, ``stop()`` shuts it down and joins.
+    """
+
+    def __init__(self, supervisor: WorkerSupervisor):
+        self.supervisor = supervisor
+        self._stop = threading.Event()
+        self.exit_codes: dict[str, int] = {}
+        self._thread = threading.Thread(target=self._run,
+                                        name="odr-supervisor",
+                                        daemon=True)
+
+    def _run(self) -> None:
+        self.exit_codes = self.supervisor.run(self._stop)
+
+    def start(self, timeout: float = 30.0) -> "SupervisorThread":
+        self.supervisor.start()
+        if not self.supervisor.wait_ready(timeout):
+            self.supervisor.shutdown()
+            raise RuntimeError("supervised pool failed to become "
+                               f"ready within {timeout:g}s")
+        self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.supervisor.host}:{self.supervisor.port}"
+
+    def stop(self, timeout: float = 30.0) -> dict[str, int]:
+        self._stop.set()
+        self._thread.join(timeout)
+        return self.exit_codes
+
+    def __enter__(self) -> "SupervisorThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_supervised_pool(workers: int, host: str, port: int, *,
+                        max_inflight: int, batch: bool = True,
+                        resilience: bool = True,
+                        faults: Optional[str] = None,
+                        default_policy: str = "odr",
+                        quiet: bool = False,
+                        config: Optional[SupervisorConfig] = None
+                        ) -> int:
+    """CLI runner: a supervised pool until SIGINT/SIGTERM.
+
+    Returns 0 when the pool shut down at full capacity, 1 when the
+    breaker had given up on any slot (degraded capacity at exit).
+    """
+    from repro.obs import MetricsRegistry
+    metrics = MetricsRegistry()
+    supervisor = WorkerSupervisor(
+        workers, host, port, config=config, metrics=metrics,
+        max_inflight=max_inflight, batch=batch,
+        resilience=resilience, faults=faults,
+        default_policy=default_policy, quiet=quiet)
+    stop = threading.Event()
+
+    def _stop_handler(signum, _frame):   # noqa: ARG001 - signal API
+        stop.set()
+
+    previous = {signum: signal.signal(signum, _stop_handler)
+                for signum in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        supervisor.start()
+        if not quiet:
+            print(f"ODR (supervised x{workers} via SO_REUSEPORT) "
+                  f"listening on http://{host}:{supervisor.port}/ "
+                  f"(Ctrl-C or SIGTERM to stop)", flush=True)
+        supervisor.run(stop)
+    except KeyboardInterrupt:   # pragma: no cover - interactive
+        supervisor.shutdown()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if not quiet:
+        from repro.serve.workers import summarize_exits
+        codes = {f"odr-worker-{entry['rank']}":
+                 (entry["exit_codes"][-1] if entry["exit_codes"]
+                  else 0)
+                 for entry in supervisor.snapshot()}
+        print("supervised pool shut down:\n"
+              + summarize_exits(codes), flush=True)
+    return 1 if supervisor.degraded else 0

@@ -22,6 +22,7 @@ from repro.faults import (
     DEFAULT_POLICIES,
     INTERRUPT_KINDS,
     KIND_DOMAINS,
+    SERVE_KINDS,
     CircuitBreaker,
     FaultInjector,
     FaultPlan,
@@ -47,7 +48,8 @@ class TestFaultSpec:
     def test_known_kinds_have_domains(self):
         assert set(KIND_DOMAINS) >= set(INTERRUPT_KINDS)
         assert set(KIND_DOMAINS) >= set(AP_KILL_KINDS)
-        assert set(CLOUD_KINDS) | set(
+        assert set(KIND_DOMAINS) >= set(SERVE_KINDS)
+        assert set(CLOUD_KINDS) | set(SERVE_KINDS) | set(
             k for k, d in KIND_DOMAINS.items() if d == "ap") \
             == set(KIND_DOMAINS)
 

@@ -91,7 +91,12 @@ class TestClient:
 
     def test_outcome_classification(self):
         assert RequestOutcome(200, 1.0).ok
-        assert RequestOutcome(503, 1.0).status_class == "5xx"
+        # Sheds are their own classes, distinct from hard 5xx.
+        assert RequestOutcome(503, 1.0).status_class == "503"
+        assert RequestOutcome(504, 1.0).status_class == "504"
+        assert RequestOutcome(503, 1.0).shed
+        assert RequestOutcome(500, 1.0).status_class == "5xx"
+        assert not RequestOutcome(500, 1.0).shed
         assert RequestOutcome(None, 1.0,
                               error="Timeout").status_class == "error"
         assert not RequestOutcome(None, 1.0, error="Timeout").ok
@@ -137,6 +142,69 @@ class TestClient:
         assert targets.pick(0) is sick
 
 
+class TestRetryAfterBackoff:
+    """503 sheds back the target off; they are not failures."""
+
+    def test_503_honors_retry_after_hint(self):
+        ticks = [0.0]
+        target = Target("http://127.0.0.1:1", clock=lambda: ticks[0])
+        target._record_outcome(RequestOutcome(503, 1.0,
+                                              retry_after=2.0))
+        assert target.sheds_503 == 1
+        assert target.backoffs == 1
+        assert target.backed_off
+        assert not target.quarantined
+        assert not target.available
+        ticks[0] = 2.5
+        assert not target.backed_off
+        assert target.available
+
+    def test_503_does_not_feed_quarantine_streak(self):
+        target = Target("http://127.0.0.1:1", quarantine_failures=3)
+        for _ in range(10):
+            target._record_outcome(RequestOutcome(503, 1.0,
+                                                  retry_after=0.0))
+        assert not target.quarantined
+        assert target.quarantines == 0
+        assert target.sheds_503 == 10
+
+    def test_504_counts_separately_without_backoff(self):
+        target = Target("http://127.0.0.1:1", quarantine_failures=3)
+        target._record_outcome(RequestOutcome(504, 1.0))
+        assert target.sheds_504 == 1
+        assert not target.backed_off
+        assert not target.quarantined
+
+    def test_hard_5xx_still_quarantines(self):
+        target = Target("http://127.0.0.1:1", quarantine_failures=2,
+                        quarantine_seconds=100.0)
+        target._record_outcome(RequestOutcome(500, 1.0))
+        target._record_outcome(RequestOutcome(500, 1.0))
+        assert target.quarantined
+
+    def test_retry_after_hint_is_capped(self):
+        from repro.loadgen.client import RETRY_AFTER_CAP
+        ticks = [0.0]
+        target = Target("http://127.0.0.1:1", clock=lambda: ticks[0])
+        target._record_outcome(RequestOutcome(503, 1.0,
+                                              retry_after=9999.0))
+        ticks[0] = RETRY_AFTER_CAP + 0.1
+        assert not target.backed_off
+
+    def test_pick_steers_around_backed_off_target(self):
+        ticks = [0.0]
+        healthy = Target("http://127.0.0.1:1", clock=lambda: ticks[0])
+        shedding = Target("http://127.0.0.1:2",
+                          clock=lambda: ticks[0])
+        shedding._record_outcome(RequestOutcome(503, 1.0,
+                                                retry_after=50.0))
+        targets = TargetSet([shedding, healthy])
+        picks = {targets.pick(index).port for index in range(4)}
+        assert picks == {1}
+        assert targets.backoff_skips > 0
+        assert targets.quarantine_skips == 0
+
+
 class TestLiveStep:
     def test_step_completes_all_requests(self, workload):
         paths = workload_paths(workload, limit=100)
@@ -172,6 +240,51 @@ class TestLiveStep:
         # Pooled keep-alive: far fewer dials than requests.
         assert card.reconnects <= 4
         assert card.completed == 60
+
+    def test_deadline_shed_accounting(self, workload):
+        """admitted + sheds + errors fully account for what was sent:
+        a zero budget turns every /decide answer into a 504."""
+        paths = workload_paths(workload, limit=50)
+        metrics = MetricsRegistry()
+        server = AsyncOdrServer(metrics=metrics)
+        with AsyncServerThread(server) as thread:
+            targets = TargetSet.from_urls([thread.url])
+            with LoadGenerator(targets, paths, workers=4,
+                               deadline_ms=0.0) as generator:
+                card = generator.run_step(rps=50.0, duration=1.0)
+        assert card.completed == 50
+        assert card.shed_504 == 50
+        assert card.statuses.get("2xx", 0) == 0
+        assert card.deadline_hit_rate == 0.0
+        assert card.hard_errors == 0
+        # Server-side invariant: every request is admitted or rejected.
+        sent = metrics.counter("repro_serve_requests_total",
+                               endpoint="/decide").value
+        rejected = metrics.counter("repro_serve_rejected_total",
+                                   endpoint="/decide",
+                                   reason="deadline").value
+        admitted = metrics.counter("repro_serve_admitted_total",
+                                   endpoint="/decide").value
+        assert sent == 50
+        assert admitted + rejected == sent
+        rendered = card.to_dict()
+        assert rendered["shed_504"] == 50
+        assert rendered["deadline_hit_rate"] == 0.0
+        json.dumps(rendered)
+
+    def test_generous_deadline_serves_everything(self, workload):
+        paths = workload_paths(workload, limit=50)
+        server = AsyncOdrServer(metrics=MetricsRegistry())
+        with AsyncServerThread(server) as thread:
+            targets = TargetSet.from_urls([thread.url])
+            with LoadGenerator(targets, paths, workers=4,
+                               deadline_ms=10000.0) as generator:
+                generator.prewarm(2)
+                card = generator.run_step(rps=50.0, duration=1.0)
+        assert card.completed == 50
+        assert card.statuses.get("2xx") == 50
+        assert card.shed_504 == 0
+        assert card.deadline_hit_rate == 1.0
 
 
 class TestRamp:

@@ -336,7 +336,9 @@ class TestChaos:
                                   "/healthz")
         assert status == 500
         assert "injected fault" in json.loads(body)["detail"]
-        assert healthz == 200  # chaos gates /decide only
+        # Readiness reflects the fault window: /healthz steers traffic
+        # away while /decide is failing.
+        assert healthz == 503
         assert metrics.counter(
             "repro_serve_chaos_failures_total").value >= 1
 
@@ -349,4 +351,168 @@ class TestChaos:
         with AsyncServerThread(server):
             status, _headers, _body = get(server.host, server.port,
                                           DECIDE)
+            healthz, _h, _b = get(server.host, server.port,
+                                  "/healthz")
         assert status == 200
+        assert healthz == 200
+
+
+def get_with_headers(host, port, path, headers, timeout=5.0):
+    connection = http.client.HTTPConnection(host, port,
+                                            timeout=timeout)
+    try:
+        connection.request("GET", path, headers=headers)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), \
+            response.read()
+    finally:
+        connection.close()
+
+
+class TestDeadline:
+    """X-Deadline-Ms propagation: hopeless requests are shed 504."""
+
+    def test_exhausted_budget_sheds_504_at_admission(self,
+                                                     live_server):
+        server, _thread, metrics = live_server
+        # Burn the EWMA up so any zero budget is hopeless even on an
+        # idle server: predicted wait is inflight * ewma = 0 on idle,
+        # so use a negative-ish budget of 0 and one in-flight isn't
+        # needed -- 0 remaining > 0 predicted is false.
+        status, _headers, body = get_with_headers(
+            server.host, server.port, DECIDE,
+            {"X-Deadline-Ms": "0"})
+        assert status == 504
+        payload = json.loads(body)
+        assert payload["error"] == "deadline exceeded"
+        assert payload["stage"] == "admission"
+        assert metrics.counter("repro_serve_deadline_sheds_total",
+                               stage="admission").value == 1
+        assert metrics.counter("repro_serve_rejected_total",
+                               endpoint="/decide",
+                               reason="deadline").value == 1
+
+    def test_generous_budget_is_served(self, live_server):
+        server, _thread, metrics = live_server
+        status, _headers, _body = get_with_headers(
+            server.host, server.port, DECIDE,
+            {"X-Deadline-Ms": "5000"})
+        assert status == 200
+        assert metrics.counter("repro_serve_deadline_sheds_total",
+                               stage="admission").value == 0
+
+    def test_accounting_invariant_holds_with_deadline_sheds(
+            self, live_server):
+        server, _thread, metrics = live_server
+        for _ in range(4):
+            get_with_headers(server.host, server.port, DECIDE,
+                             {"X-Deadline-Ms": "0"})
+        for _ in range(3):
+            get(server.host, server.port, DECIDE)
+        sent = metrics.counter("repro_serve_requests_total",
+                               endpoint="/decide").value
+        admitted = metrics.counter("repro_serve_admitted_total",
+                                   endpoint="/decide").value
+        rejected = sum(
+            metrics.counter("repro_serve_rejected_total",
+                            endpoint="/decide",
+                            reason=reason).value
+            for reason in ("deadline", "saturated"))
+        assert sent == 7
+        assert admitted + rejected == sent
+
+    def test_malformed_budget_is_ignored(self, live_server):
+        server, _thread, _metrics = live_server
+        status, _headers, _body = get_with_headers(
+            server.host, server.port, DECIDE,
+            {"X-Deadline-Ms": "soon"})
+        assert status == 200
+
+    def test_batcher_expires_entries_before_dispatch(self):
+        import asyncio
+
+        from repro.cloud.database import ContentDatabase
+        from repro.core.webapp import OdrWebApp
+        from repro.serve.batching import DecisionBatcher
+
+        async def scenario():
+            metrics = MetricsRegistry()
+            batcher = DecisionBatcher(
+                OdrWebApp(ContentDatabase()), metrics=metrics)
+            expired = batcher.submit(DECIDE, "",
+                                     deadline=time.monotonic() - 1.0)
+            live = batcher.submit(DECIDE, "",
+                                  deadline=time.monotonic() + 30.0)
+            responses = await asyncio.gather(expired, live)
+            return responses, batcher, metrics
+
+        responses, batcher, metrics = asyncio.run(scenario())
+        assert responses[0][0] == 504
+        assert json.loads(responses[0][2])["stage"] == "batch"
+        assert responses[1][0] == 200
+        assert batcher.expired == 1
+        assert batcher.batched_requests == 1
+        assert metrics.counter("repro_serve_deadline_sheds_total",
+                               stage="batch").value == 1
+
+    def test_admission_deadline_predicate(self):
+        controller = AdmissionController(max_inflight=4)
+        # Idle controller: zero predicted wait, any positive budget ok.
+        assert controller.deadline_allows(0.010)
+        assert not controller.deadline_allows(0.0)
+        # Saturate the EWMA: 2 in flight at 1 s each predicts 2 s.
+        controller.try_admit("/decide")
+        controller.try_admit("/decide")
+        controller._ewma_seconds = 1.0
+        assert controller.predicted_wait_seconds() == \
+            pytest.approx(2.0)
+        assert not controller.deadline_allows(1.5)
+        assert controller.deadline_allows(2.5)
+
+
+class TestReadiness:
+    """/healthz is a readiness probe, not just liveness."""
+
+    def test_healthz_503_during_fault_window(self):
+        plan = FaultPlan("crash-now", 1,
+                         [FaultSpec("server_crash", "*",
+                                    0.0, 3600.0)])
+        chaos = ServeChaos(FaultInjector(plan), clock=lambda: 0.0)
+        server = AsyncOdrServer(chaos=chaos)
+        with AsyncServerThread(server):
+            status, headers, body = get(server.host, server.port,
+                                        "/healthz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload == {"status": "fault-window", "ready": False}
+        assert headers.get("Retry-After") == "1"
+
+    def test_healthz_503_while_draining(self):
+        # A draining server stops accepting, so the 503 is what an
+        # in-flight keep-alive request sees; drive _respond directly.
+        import asyncio
+        server = AsyncOdrServer()
+        server._draining = True
+
+        async def scenario():
+            return await server._respond("/healthz", "")
+
+        status, _ctype, body, _cookie, headers = \
+            asyncio.run(scenario())
+        assert status == 503
+        assert json.loads(body)["status"] == "draining"
+        assert headers.get("Retry-After") == "1"
+
+    def test_admin_listener_serves_healthz(self):
+        server = AsyncOdrServer(admin_port=0)
+        with AsyncServerThread(server):
+            assert server.admin_port is not None
+            assert server.admin_port != server.port
+            status, _headers, body = get(server.host,
+                                         server.admin_port,
+                                         "/healthz")
+            main_status, _h, _b = get(server.host, server.port,
+                                      "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        assert main_status == 200

@@ -1,0 +1,186 @@
+"""Tests for repro.serve.supervisor: the self-healing worker pool.
+
+The load-bearing properties:
+
+* a SIGKILLed worker is detected, restarted, and the pool returns to
+  full health while (and despite) live load -- and decisions are still
+  valid afterwards;
+* rolling restart replaces every worker PID without the pool ever
+  answering with an error;
+* a worker that crashes on every start trips the restart-storm breaker:
+  the supervisor gives the slot up and reports degraded capacity
+  instead of flapping forever;
+* supervisor events and obs instruments record each transition.
+
+These tests spawn real worker processes (spawn context, ~2 s each), so
+the pool is shared module-wide where state allows.
+"""
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.supervisor import (
+    SupervisorConfig,
+    SupervisorThread,
+    WorkerSupervisor,
+    slot_of_target,
+)
+
+DECIDE = ("/decide?link=http%3A%2F%2Forigin%2Ffile.bin"
+          "&popularity=500&bandwidth_mbps=20")
+
+
+def get(host, port, path, timeout=5.0):
+    connection = http.client.HTTPConnection(host, port,
+                                            timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def wait_until(predicate, timeout, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    metrics = MetricsRegistry()
+    supervisor = WorkerSupervisor(
+        2, config=SupervisorConfig(probe_interval=0.2,
+                                   backoff_base=0.1,
+                                   drain_grace=3.0),
+        metrics=metrics)
+    runner = SupervisorThread(supervisor)
+    runner.start(timeout=60.0)
+    yield supervisor, metrics
+    runner.stop()
+
+
+class TestTargetGrammar:
+    def test_slot_of_target(self):
+        assert slot_of_target("serve:worker-0") == 0
+        assert slot_of_target("serve:worker-13") == 13
+        assert slot_of_target("isp:telecom") is None
+        assert slot_of_target("serve:worker-x") is None
+
+
+class TestSupervisedPool:
+    def test_pool_starts_healthy_and_serves(self, pool):
+        supervisor, _metrics = pool
+        assert supervisor.healthy_workers == 2
+        status, body = get(supervisor.host, supervisor.port, DECIDE)
+        assert status == 200
+        json.loads(body)
+
+    def test_kill_recovery_mid_load(self, pool):
+        """SIGKILL one worker under live load: the supervisor restarts
+        it, the pool returns to full health, decisions stay valid."""
+        supervisor, metrics = pool
+        stop = threading.Event()
+        served = []
+
+        def load():
+            while not stop.is_set():
+                try:
+                    status, _body = get(supervisor.host,
+                                        supervisor.port, DECIDE,
+                                        timeout=1.0)
+                    served.append(status)
+                except OSError:
+                    pass   # resets around the kill are the point
+                time.sleep(0.01)
+
+        driver = threading.Thread(target=load, daemon=True)
+        driver.start()
+        try:
+            victim = supervisor.pid_of(0)
+            assert victim is not None
+            os.kill(victim, signal.SIGKILL)
+            assert wait_until(
+                lambda: supervisor.pid_of(0) not in (None, victim)
+                and supervisor.healthy_workers == 2, timeout=30.0)
+        finally:
+            stop.set()
+            driver.join(5.0)
+        # The replacement is a different process and the event log
+        # shows the full exit -> backoff -> spawn -> ready arc.
+        assert supervisor.pid_of(0) != victim
+        kinds = [record["event"] for record in supervisor.events]
+        assert "worker_exit" in kinds
+        assert "backoff" in kinds
+        assert kinds.count("ready") >= 3   # 2 starts + >= 1 restart
+        assert supervisor.restarts_total >= 1
+        assert metrics.counter("repro_serve_worker_restarts_total",
+                               reason="exit").value >= 1
+        assert metrics.gauge(
+            "repro_serve_pool_healthy_workers").value == 2.0
+        # Load kept being served and decisions are valid afterwards.
+        assert served.count(200) > 0
+        status, body = get(supervisor.host, supervisor.port, DECIDE)
+        assert status == 200
+        json.loads(body)
+
+    def test_rolling_restart_replaces_every_pid(self, pool):
+        supervisor, metrics = pool
+        assert wait_until(
+            lambda: supervisor.healthy_workers == 2, timeout=30.0)
+        before = {rank: supervisor.pid_of(rank) for rank in (0, 1)}
+        assert supervisor.rolling_restart(timeout_per_worker=30.0)
+        after = {rank: supervisor.pid_of(rank) for rank in (0, 1)}
+        assert all(after[rank] != before[rank] for rank in (0, 1))
+        assert supervisor.healthy_workers == 2
+        status, _body = get(supervisor.host, supervisor.port, DECIDE)
+        assert status == 200
+        assert metrics.counter("repro_serve_worker_restarts_total",
+                               reason="rolling").value == 2
+
+
+class TestRestartBreaker:
+    def test_crash_looping_worker_trips_the_breaker(self, monkeypatch):
+        """A worker that dies on every start must not be restarted
+        forever: after the budget the supervisor gives the slot up and
+        reports degraded capacity."""
+        monkeypatch.setenv("REPRO_SERVE_WORKER_CRASH", "1:9")
+        metrics = MetricsRegistry()
+        supervisor = WorkerSupervisor(
+            2, config=SupervisorConfig(probe_interval=0.1,
+                                       backoff_base=0.05,
+                                       backoff_cap=0.2,
+                                       restart_budget=2,
+                                       restart_window=60.0,
+                                       drain_grace=3.0),
+            metrics=metrics)
+        runner = SupervisorThread(supervisor)
+        runner.start(timeout=90.0)
+        try:
+            assert wait_until(lambda: supervisor.degraded,
+                              timeout=60.0)
+            # Slot 0 is untouched; the pool serves at reduced capacity.
+            assert supervisor.healthy_workers == 1
+            status, _body = get(supervisor.host, supervisor.port,
+                                DECIDE)
+            assert status == 200
+        finally:
+            runner.stop()
+        snapshot = supervisor.snapshot()
+        assert snapshot[1]["state"] in ("failed", "stopped")
+        assert all(code == 9 for code in snapshot[1]["exit_codes"])
+        kinds = [record["event"] for record in supervisor.events]
+        assert "gave_up" in kinds
+        assert metrics.counter(
+            "repro_serve_worker_giveups_total").value == 1
