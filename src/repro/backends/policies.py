@@ -158,11 +158,21 @@ class DelayAwarePolicy(Policy):
             raise ValueError("deadline_seconds must be positive")
         self.deadline_seconds = deadline_seconds
 
+    def effective_deadline(self, context: UserContext) -> float:
+        """The deadline this request is ranked against: the remaining
+        per-request budget when the serving tier propagated one
+        (``X-Deadline-Ms`` -> ``UserContext.deadline_seconds``), else
+        the policy's static default."""
+        if context.deadline_seconds is not None:
+            return context.deadline_seconds
+        return self.deadline_seconds
+
     def rank(self, context: UserContext, snapshot: FileSnapshot,
              backends: tuple[Backend, ...],
              penalised: frozenset[str] = frozenset()
              ) -> list[tuple[Backend, BackendEstimate]]:
         """Available backends with estimates, best choice first."""
+        deadline = self.effective_deadline(context)
         scored = []
         for index, backend in enumerate(backends):
             if not backend.available(context, snapshot):
@@ -170,7 +180,7 @@ class DelayAwarePolicy(Policy):
             estimate = backend.estimate(context, snapshot)
             scored.append((
                 (backend.name in penalised,
-                 estimate.delay_seconds > self.deadline_seconds,
+                 estimate.delay_seconds > deadline,
                  estimate.cloud_bytes, estimate.delay_seconds, index),
                 backend, estimate))
         scored.sort(key=lambda item: item[0])

@@ -507,6 +507,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         forwarded.append("--no-resilience")
     if args.supervise:
         forwarded.append("--supervise")
+    if args.max_workers is not None:
+        forwarded += ["--max-workers", str(args.max_workers)]
     if args.faults is not None:
         forwarded += ["--faults", str(args.faults)]
     if args.quiet:
@@ -687,6 +689,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parent supervisor keeps the worker pool "
                             "at capacity (health probes, backoff "
                             "restarts); needs --workers >= 2")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="with --supervise: elastic ceiling the "
+                            "pool may grow to under shed pressure")
     serve.add_argument("--no-resilience", action="store_true",
                        help="disable the backend circuit breaker "
                             "(503 + Retry-After load shedding)")

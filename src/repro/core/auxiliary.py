@@ -45,6 +45,12 @@ class UserContext:
     ip_address: str
     access_bandwidth: Optional[float]     # B/s; None if the user cannot say
     smart_ap: Optional[SmartApInfo] = None
+    #: Remaining per-request completion budget in seconds, parsed from
+    #: the serving tier's ``X-Deadline-Ms`` header.  Per request, never
+    #: cookie-persisted: delay-aware routing ranks against it when
+    #: present and falls back to its static default when None, so
+    #: replay paths (which never set it) stay bit-identical.
+    deadline_seconds: Optional[float] = None
 
     @property
     def has_smart_ap(self) -> bool:
@@ -61,6 +67,11 @@ class CookieJar:
         return len(self._contexts)
 
     def remember(self, context: UserContext) -> None:
+        # Deadlines are per-request budgets, not user attributes; a
+        # stale one must never resurface from the cookie on a later
+        # visit.
+        if context.deadline_seconds is not None:
+            context = replace(context, deadline_seconds=None)
         self._contexts[context.user_id] = context
 
     def recall(self, user_id: str) -> Optional[UserContext]:

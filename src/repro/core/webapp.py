@@ -146,9 +146,16 @@ class OdrWebApp:
 
     # -- request handling --------------------------------------------------------
 
-    def handle(self, path: str, cookie_header: str = "") -> Response:
+    def handle(self, path: str, cookie_header: str = "",
+               deadline: Optional[float] = None) -> Response:
         """Process one GET; returns (status, content_type, body,
-        set_cookie, extra_headers)."""
+        set_cookie, extra_headers).
+
+        ``deadline`` is the absolute ``time.monotonic()`` instant the
+        serving tier parsed from ``X-Deadline-Ms``; the remaining
+        budget rides into the routing policy layer via
+        ``UserContext.deadline_seconds``.
+        """
         parsed = urlparse(path)
         if parsed.path in ("/", "/index.html"):
             return 200, "text/html", _FRONT_PAGE, None, {}
@@ -158,11 +165,12 @@ class OdrWebApp:
                  "requests_served": self.requests_served}), \
                 None, {}
         if parsed.path == "/decide":
-            return self._decide(parse_qs(parsed.query), cookie_header)
+            return self._decide(parse_qs(parsed.query), cookie_header,
+                                deadline)
         return 404, "application/json", json.dumps(
             {"error": f"no such endpoint {parsed.path!r}"}), None, {}
 
-    def handle_batch(self, requests: list[tuple[str, str]]
+    def handle_batch(self, requests: list[tuple]
                      ) -> list[Response]:
         """Process many GETs coalesced into one evaluation pass.
 
@@ -172,27 +180,38 @@ class OdrWebApp:
         shared lock is taken once for all IP allocations and popularity
         registrations, and only then do the (lock-free) decisions run.
         Semantics per request are identical to :meth:`handle`.
+
+        Entries are ``(path, cookie_header)`` or ``(path,
+        cookie_header, deadline)`` with the absolute monotonic deadline
+        as :meth:`handle` takes it.
         """
         responses: list[Optional[Response]] = [None] * len(requests)
-        decide_items: list[tuple[int, dict[str, list[str]], str]] = []
-        for index, (path, cookie_header) in enumerate(requests):
+        decide_items: list[tuple[int, dict[str, list[str]], str,
+                                 Optional[float]]] = []
+        for index, entry in enumerate(requests):
+            path, cookie_header = entry[0], entry[1]
+            deadline = entry[2] if len(entry) > 2 else None
             parsed = urlparse(path)
             if parsed.path == "/decide":
                 decide_items.append(
-                    (index, parse_qs(parsed.query), cookie_header))
+                    (index, parse_qs(parsed.query), cookie_header,
+                     deadline))
             else:
                 responses[index] = self.handle(path, cookie_header)
         if decide_items:
-            batch = [(query, cookie)
-                     for _index, query, cookie in decide_items]
-            for (index, _q, _c), response in zip(
+            batch = [(query, cookie, deadline)
+                     for _index, query, cookie, deadline
+                     in decide_items]
+            for (index, _q, _c, _d), response in zip(
                     decide_items, self._decide_batch(batch)):
                 responses[index] = response
         return responses   # type: ignore[return-value]
 
     def _decide(self, query: dict[str, list[str]],
-                cookie_header: str) -> Response:
-        return self._decide_batch([(query, cookie_header)])[0]
+                cookie_header: str,
+                deadline: Optional[float] = None) -> Response:
+        return self._decide_batch([(query, cookie_header,
+                                    deadline)])[0]
 
     def _shed_response(self, now: float) -> Optional[Response]:
         """The 503 while the breaker is open, or None when admitted."""
@@ -206,7 +225,8 @@ class OdrWebApp:
              "retry_after_seconds": retry_after}), \
             None, {"Retry-After": str(retry_after)}
 
-    def _decide_batch(self, items: list[tuple[dict[str, list[str]], str]]
+    def _decide_batch(self, items: list[tuple[dict[str, list[str]],
+                                              str, Optional[float]]]
                       ) -> list[Response]:
         """Evaluate a batch of ``/decide`` queries in one pass.
 
@@ -222,9 +242,9 @@ class OdrWebApp:
         now = self._clock()
         shed = self._shed_response(now) if items else None
         #: (index, first, link, file_id, popularity, cached, isp,
-        #:  set_cookie, user_id)
+        #:  set_cookie, user_id, service, deadline)
         prepared: list[tuple] = []
-        for index, (query, cookie_header) in enumerate(items):
+        for index, (query, cookie_header, deadline) in enumerate(items):
             def first(key: str, default: str = "",
                       _query=query) -> str:
                 return _query.get(key, [default])[0]
@@ -252,7 +272,8 @@ class OdrWebApp:
                 continue
             cached = first("cached", "0") in ("1", "true", "yes")
             prepared.append((index, first, link, file_id, popularity,
-                             cached, isp, set_cookie, user_id, service))
+                             cached, isp, set_cookie, user_id, service,
+                             deadline))
 
         # One lock scope for the whole batch: IP allocation plus the
         # popularity registration that seeds the database (the real ODR
@@ -261,7 +282,8 @@ class OdrWebApp:
         if prepared:
             with self._lock:
                 for (index, first, link, file_id, popularity, cached,
-                     isp, set_cookie, user_id, service) in prepared:
+                     isp, set_cookie, user_id, service,
+                     deadline) in prepared:
                     addresses[index] = self._allocator.allocate(isp)
                     row = self.database.row(file_id, size=0.0)
                     if row.request_count < popularity:
@@ -269,10 +291,11 @@ class OdrWebApp:
                     self.database.set_cached(file_id, cached)
 
         for (index, first, link, file_id, popularity, cached, isp,
-             set_cookie, user_id, service) in prepared:
+             set_cookie, user_id, service, deadline) in prepared:
             try:
                 context = self._build_context(
-                    first, user_id, ip_address=addresses[index])
+                    first, user_id, ip_address=addresses[index],
+                    deadline=deadline)
                 response = service.handle_request(context, link)
             except (ValueError, KeyError) as error:
                 # Malformed input is the client's fault: it must not
@@ -320,7 +343,8 @@ class OdrWebApp:
         return user_id, f"odr_user={user_id}; Path=/"
 
     def _build_context(self, first, user_id: str,
-                       ip_address: Optional[str] = None) -> UserContext:
+                       ip_address: Optional[str] = None,
+                       deadline: Optional[float] = None) -> UserContext:
         if ip_address is None:
             isp = ISP(first("isp", "unicom"))
             with self._lock:
@@ -338,9 +362,16 @@ class OdrWebApp:
             filesystem = Filesystem(first("filesystem")) \
                 if first("filesystem") else hardware.default_filesystem
             smart_ap = SmartApInfo(hardware, device, filesystem)
+        # An absolute monotonic deadline becomes the remaining budget
+        # at decide time; requests without one leave the field None so
+        # policies keep their static defaults (and replay paths, which
+        # never stamp deadlines, stay bit-identical).
+        deadline_seconds = max(0.0, deadline - time.monotonic()) \
+            if deadline is not None else None
         return UserContext(user_id=user_id, ip_address=ip_address,
                            access_bandwidth=bandwidth,
-                           smart_ap=smart_ap)
+                           smart_ap=smart_ap,
+                           deadline_seconds=deadline_seconds)
 
     def _register_popularity(self, link: str, first) -> None:
         from repro.core.service import parse_link

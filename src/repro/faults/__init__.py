@@ -25,11 +25,16 @@ from repro.faults.plan import (
     CLOUD_KINDS,
     DEFAULT_CHAOS_SEED,
     KIND_DOMAINS,
+    SERVE_KILL_KINDS,
     SERVE_KINDS,
+    WEDGE_KINDS,
     FaultPlan,
     FaultSpec,
     ap_entity_name,
+    correlated_slots,
     default_chaos_plan,
+    serve_slot_of,
+    validate_serve_plan,
 )
 from repro.faults.policies import (
     DEFAULT_POLICIES,
@@ -47,7 +52,9 @@ __all__ = [
     "INTERRUPT_KINDS",
     "DEFAULT_POLICIES",
     "KIND_DOMAINS",
+    "SERVE_KILL_KINDS",
     "SERVE_KINDS",
+    "WEDGE_KINDS",
     "CircuitBreaker",
     "FaultInjector",
     "FaultPlan",
@@ -57,5 +64,8 @@ __all__ = [
     "TransferCheckpoint",
     "ap_chaos_predownload",
     "ap_entity_name",
+    "correlated_slots",
     "default_chaos_plan",
+    "serve_slot_of",
+    "validate_serve_plan",
 ]

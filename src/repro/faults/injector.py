@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.plan import WEDGE_KINDS, FaultPlan, FaultSpec
 from repro.obs import NOOP
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.randomness import substream
@@ -101,6 +101,22 @@ class FaultInjector:
             if spec.active_at(now):
                 factor *= spec.severity
         return factor
+
+    def wedged(self, entity: str, born: float,
+               now: float) -> Optional[FaultSpec]:
+        """The wedge a process born at ``born`` (plan clock) carries.
+
+        Wedge kinds (:data:`~repro.faults.plan.WEDGE_KINDS`) are
+        process states, not windows: a process alive when the window
+        opens adopts the fault and keeps it until death, while a
+        replacement spawned after the open starts clean.  Hence the
+        adoption rule ``born <= spec.start <= now`` -- the window end is
+        deliberately ignored.
+        """
+        for spec in self._gated(WEDGE_KINDS, entity):
+            if born <= spec.start <= now:
+                return spec
+        return None
 
     def crashed_isps(self, now: float) -> frozenset[str]:
         """ISP names whose upload-server groups are dark at ``now``."""

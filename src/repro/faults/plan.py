@@ -30,7 +30,19 @@ kind                      domain    models
 ``link_flap``             ap        ADSL link flap (kills the attempt)
 ``loss_burst``            ap        lossy uplink (severity on goodput)
 ``worker_kill``           serve     SIGKILL of a serving-tier worker process
+``correlated_kill``       serve     N slots SIGKILLed in one window (count)
+``probe_blackhole``       serve     wedged worker: accepts, never responds
+``admin_slowloris``       serve     worker write path crawls byte-at-a-time
+``conn_reset``            serve     worker resets accepted conns mid-request
 ========================  ========  =========================================
+
+The three *wedge* kinds (``probe_blackhole``, ``admin_slowloris``,
+``conn_reset``) model process-state corruption rather than a transient
+window: a worker alive when the window opens adopts the fault and stays
+broken until the process dies -- only a restart clears it.  A
+replacement spawned after the window opened starts clean.  That makes
+"supervision restarts the wedged process" a design property the
+availability gate can measure, instead of a race against window end.
 """
 
 from __future__ import annotations
@@ -58,6 +70,10 @@ KIND_DOMAINS: dict[str, str] = {
     "link_flap": "ap",
     "loss_burst": "ap",
     "worker_kill": "serve",
+    "correlated_kill": "serve",
+    "probe_blackhole": "serve",
+    "admin_slowloris": "serve",
+    "conn_reset": "serve",
 }
 
 #: AP fault kinds that make the attempt unable to proceed at all (the
@@ -73,8 +89,19 @@ CLOUD_KINDS: tuple[str, ...] = tuple(
 
 #: Kinds consumed by the live serving tier's availability campaigns
 #: (:mod:`repro.serve.avail`): the target names a worker slot, e.g.
-#: ``serve:worker-0``.
-SERVE_KINDS: tuple[str, ...] = ("worker_kill",)
+#: ``serve:worker-0`` (or ``serve:*`` for the whole pool).
+SERVE_KINDS: tuple[str, ...] = ("worker_kill", "correlated_kill",
+                                "probe_blackhole", "admin_slowloris",
+                                "conn_reset")
+
+#: Kill kinds the availability harness delivers itself (SIGKILL from
+#: the parent); the wedge kinds below are self-applied by the worker.
+SERVE_KILL_KINDS: tuple[str, ...] = ("worker_kill", "correlated_kill")
+
+#: Process-state faults a live worker adopts at window open and keeps
+#: until the process dies (see the module docstring).
+WEDGE_KINDS: tuple[str, ...] = ("probe_blackhole", "admin_slowloris",
+                                "conn_reset")
 
 #: The default seed of :func:`default_chaos_plan`.
 DEFAULT_CHAOS_SEED = 20150666
@@ -95,6 +122,7 @@ class FaultSpec:
     duration: float
     severity: float = 1.0
     probability: float = 1.0
+    count: int = 1          #: slots hit at once (``correlated_kill``)
 
     def __post_init__(self):
         if self.kind not in KIND_DOMAINS:
@@ -113,6 +141,12 @@ class FaultSpec:
             raise ValueError(
                 f"fault probability must be in [0, 1], "
                 f"got {self.probability}")
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+        if self.count != 1 and self.kind != "correlated_kill":
+            raise ValueError(
+                f"count is only meaningful on correlated_kill specs, "
+                f"got count={self.count} on {self.kind!r}")
         domain = KIND_DOMAINS[self.kind]
         if self.target != "*":
             prefix, _sep, name = self.target.partition(":")
@@ -152,6 +186,8 @@ class FaultSpec:
             record["severity"] = self.severity
         if self.probability != 1.0:
             record["probability"] = self.probability
+        if self.count != 1:
+            record["count"] = self.count
         return record
 
     @classmethod
@@ -160,7 +196,8 @@ class FaultSpec:
                    start=float(record["start"]),
                    duration=float(record["duration"]),
                    severity=float(record.get("severity", 1.0)),
-                   probability=float(record.get("probability", 1.0)))
+                   probability=float(record.get("probability", 1.0)),
+                   count=int(record.get("count", 1)))
 
 
 @dataclass(frozen=True)
@@ -227,6 +264,74 @@ class FaultPlan:
     def to_file(self, path: str | Path) -> Path:
         from repro.recovery.atomic import atomic_write_text
         return atomic_write_text(Path(path), self.to_json())
+
+
+def serve_slot_of(target: str) -> Optional[int]:
+    """``"serve:worker-1"`` -> ``1``; None for broadcast targets.
+
+    Raises ``ValueError`` for a serve-domain name that is not of the
+    ``worker-N`` form (so typos fail loudly at validation time).
+    """
+    name = target.partition(":")[2]
+    if target == "*" or name == "*":
+        return None
+    prefix = "worker-"
+    if not name.startswith(prefix):
+        raise ValueError(
+            f"serve targets name worker slots ('serve:worker-N' or "
+            f"'serve:*'), got {target!r}")
+    try:
+        return int(name[len(prefix):])
+    except ValueError:
+        raise ValueError(
+            f"serve target slot index must be an integer, "
+            f"got {target!r}") from None
+
+
+def validate_serve_plan(plan: FaultPlan, workers: int) -> None:
+    """Fail serve-domain specs that cannot hit a pool of ``workers``.
+
+    Called at plan-*load* time by the availability harness and the
+    serving CLI, so an out-of-range ``serve:worker-7`` target or a
+    ``correlated_kill`` count exceeding the pool size surfaces as an
+    error naming the spec -- not as a silently skipped injection
+    mid-campaign.
+    """
+    for spec in plan.specs_of(SERVE_KINDS):
+        try:
+            slot = serve_slot_of(spec.target)
+        except ValueError as error:
+            raise ValueError(f"fault spec {spec.key!r}: {error}") \
+                from None
+        if slot is not None and not 0 <= slot < workers:
+            raise ValueError(
+                f"fault spec {spec.key!r} targets slot {slot}, but "
+                f"the pool has {workers} worker(s) "
+                f"(valid slots: 0..{workers - 1})")
+        if spec.kind == "correlated_kill" and spec.count > workers:
+            raise ValueError(
+                f"fault spec {spec.key!r} wants to kill {spec.count} "
+                f"slots at once, but the pool only has {workers} "
+                f"worker(s)")
+
+
+def correlated_slots(plan: FaultPlan, spec: FaultSpec,
+                     workers: int) -> list[int]:
+    """The slots one ``correlated_kill`` window hits, deterministically.
+
+    A concrete ``serve:worker-N`` target anchors the group at that slot
+    (``count`` consecutive ranks, wrapping); a broadcast target draws
+    ``count`` distinct slots from the plan's seeded substream -- either
+    way the choice depends only on (plan seed, spec key, pool size), so
+    replays agree.
+    """
+    count = min(spec.count, workers)
+    anchor = serve_slot_of(spec.target)
+    if anchor is not None:
+        return [(anchor + offset) % workers for offset in range(count)]
+    rng = plan.rng(f"correlated:{spec.key}")
+    return sorted(int(slot) for slot in
+                  rng.choice(workers, size=count, replace=False))
 
 
 def default_chaos_plan(seed: int = DEFAULT_CHAOS_SEED) -> FaultPlan:

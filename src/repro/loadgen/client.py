@@ -101,6 +101,7 @@ class Target:
                  timeout: float = 5.0,
                  quarantine_failures: int = QUARANTINE_FAILURES,
                  quarantine_seconds: float = QUARANTINE_SECONDS,
+                 fresh: bool = False,
                  clock=time.monotonic):
         parsed = urlparse(base_url if "//" in base_url
                           else f"http://{base_url}")
@@ -111,6 +112,15 @@ class Target:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        #: Fresh mode opens a new connection per request (Connection:
+        #: close) instead of pooling keep-alives.  Availability
+        #: campaigns want it: a LIFO session pool pins nearly all
+        #: traffic to whichever worker its hot connection reached, so a
+        #: pooled client measures one lucky keep-alive flow -- fresh
+        #: connections measure the front door as new arrivals see it,
+        #: kernel-balanced across every listener (SO_REUSEPORT
+        #: included, wedged ones included).
+        self.fresh = fresh
         self.semaphore = threading.BoundedSemaphore(max_concurrency)
         self.max_concurrency = max_concurrency
         self._pool: list[http.client.HTTPConnection] = []
@@ -217,7 +227,10 @@ class Target:
         connection = self._checkout()
         started = time.perf_counter()
         try:
-            connection.request("GET", path, headers=headers or {})
+            request_headers = dict(headers or {})
+            if self.fresh:
+                request_headers.setdefault("Connection", "close")
+            connection.request("GET", path, headers=request_headers)
             response = connection.getresponse()
             response.read()     # drain so the connection is reusable
             latency_ms = (time.perf_counter() - started) * 1e3
@@ -230,11 +243,17 @@ class Target:
                     retry_after = None   # HTTP-date form: ignore
             outcome = RequestOutcome(response.status, latency_ms,
                                      retry_after=retry_after)
-            if response.will_close:
+            if self.fresh or response.will_close:
                 connection.close()
             else:
                 self._checkin(connection)
-        except OSError as error:
+        except (OSError, http.client.HTTPException) as error:
+            # HTTPException covers protocol-level transport failures
+            # OSError misses: a server killed mid-response leaves a
+            # partial status line (BadStatusLine) rather than a socket
+            # error.  Both are the same thing to a load driver -- a
+            # failed request, never an escaping exception that would
+            # silently kill the worker thread recording it.
             connection.close()
             latency_ms = (time.perf_counter() - started) * 1e3
             outcome = RequestOutcome(None, latency_ms,

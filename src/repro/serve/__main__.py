@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "supervisor: per-worker health probes, "
                              "backoff restarts, restart-storm "
                              "breaker (needs --workers >= 2)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="with --supervise: elastic-capacity "
+                             "ceiling -- the supervisor grows the pool "
+                             "toward this size under sustained "
+                             "admission/deadline shed pressure and "
+                             "shrinks back after a quiet window "
+                             "(default: fixed pool)")
     parser.add_argument("--no-resilience", action="store_true",
                         help="disable the backend circuit breaker")
     parser.add_argument("--faults", metavar="PLAN", default=None,
@@ -91,15 +98,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"(Ctrl-C or SIGTERM to stop)", flush=True)
         return run_server(server, grace=args.grace, quiet=args.quiet)
 
+    if args.max_workers is not None and not args.supervise:
+        build_parser().error("--max-workers needs --supervise "
+                             "(elastic capacity is a supervisor "
+                             "feature)")
+    if args.faults and args.workers > 1:
+        # Serve-domain targets reference concrete slots: fail a typo'd
+        # plan here, at load time, not mid-campaign.
+        from repro.faults.plan import FaultPlan, validate_serve_plan
+        try:
+            validate_serve_plan(FaultPlan.from_file(args.faults),
+                                args.workers)
+        except ValueError as error:
+            build_parser().error(f"--faults: {error}")
+
     if args.supervise:
         if args.workers < 2:
             build_parser().error("--supervise needs --workers >= 2")
+        if args.max_workers is not None \
+                and args.max_workers < args.workers:
+            build_parser().error("--max-workers must be >= --workers")
         from repro.serve.supervisor import run_supervised_pool
         return run_supervised_pool(
             args.workers, args.host, args.port,
             max_inflight=args.max_inflight, batch=not args.no_batch,
             resilience=not args.no_resilience, faults=args.faults,
-            default_policy=args.policy, quiet=args.quiet)
+            default_policy=args.policy, quiet=args.quiet,
+            max_workers=args.max_workers)
 
     if args.workers > 1:
         from repro.serve.workers import run_worker_pool

@@ -106,6 +106,14 @@ class AdmissionController:
         self._inflight_gauge = metrics.gauge("repro_serve_inflight")
         self._effective_gauge = metrics.gauge(
             "repro_serve_effective_max_inflight")
+        # Plain cumulative counters mirrored off the obs instruments:
+        # the supervisor reads these through the admin ``/statz``
+        # endpoint to sense shed pressure for elastic scaling, without
+        # parsing Prometheus text.
+        self.admitted_count = 0
+        self.shed_saturated = 0
+        self.shed_deadline_count = 0
+        self.shed_other = 0
 
     def _effective_cap_locked(self) -> int:
         adaptive = int(TARGET_QUEUE_DELAY_SECONDS / self._ewma_seconds) \
@@ -125,11 +133,13 @@ class AdmissionController:
         """Admit one request, or refuse because the server is full."""
         with self._lock:
             if self._inflight >= self._effective_cap_locked():
+                self.shed_saturated += 1
                 self._metrics.counter("repro_serve_rejected_total",
                                       endpoint=endpoint,
                                       reason="saturated").inc()
                 return False
             self._inflight += 1
+            self.admitted_count += 1
             self._inflight_gauge.set(float(self._inflight))
         self._metrics.counter("repro_serve_admitted_total",
                               endpoint=endpoint).inc()
@@ -138,6 +148,8 @@ class AdmissionController:
     def reject(self, endpoint: str, reason: str) -> None:
         """Account for a shed request refused for a non-depth reason
         (e.g. an injected fault window or a malformed request line)."""
+        with self._lock:
+            self.shed_other += 1
         self._metrics.counter("repro_serve_rejected_total",
                               endpoint=endpoint, reason=reason).inc()
 
@@ -166,6 +178,8 @@ class AdmissionController:
         sent`` still holds) *and* under the dedicated deadline-shed
         counter, with a stage label -- separate from 503 load sheds.
         """
+        with self._lock:
+            self.shed_deadline_count += 1
         self._metrics.counter("repro_serve_rejected_total",
                               endpoint=endpoint,
                               reason="deadline").inc()
@@ -206,6 +220,24 @@ class AdmissionController:
     def ewma_service_seconds(self) -> float:
         with self._lock:
             return self._ewma_seconds
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative admission accounting, as the ``/statz`` payload.
+
+        ``sheds`` is the pressure signal the elastic supervisor scales
+        on: saturation (503) plus deadline (504-at-admission) sheds --
+        both mean the worker is refusing work it was offered.
+        """
+        with self._lock:
+            return {
+                "admitted": self.admitted_count,
+                "shed_saturated": self.shed_saturated,
+                "shed_deadline": self.shed_deadline_count,
+                "shed_other": self.shed_other,
+                "sheds": self.shed_saturated + self.shed_deadline_count,
+                "inflight": self._inflight,
+                "effective_max_inflight": self._effective_cap_locked(),
+            }
 
     def retry_after(self) -> int:
         """Seconds a shed client should wait: the time the admitted

@@ -1,23 +1,39 @@
-"""The availability chaos gate: does supervision actually help?
+"""The availability chaos matrix: does self-healing actually help?
 
-``python -m repro.serve.avail`` runs the same seeded worker-kill
-campaign twice against a 2+ worker SO_REUSEPORT pool under closed-loop
-load -- once with the :class:`~repro.serve.supervisor.WorkerSupervisor`
-restarting dead workers, once with restarts disabled -- and gates on
-the difference:
+``python -m repro.serve.avail`` runs one seeded campaign per fault
+kind in the serve-domain chaos taxonomy -- ``worker_kill``,
+``correlated_kill``, ``probe_blackhole``, ``admin_slowloris``,
+``conn_reset`` -- against a SO_REUSEPORT pool under closed-loop load,
+in supervised and unsupervised variants (plus an elastic-off variant
+where that axis matters), and gates each scenario on:
 
-* the supervised pool must return to full health within the recovery
-  budget after every kill (time-to-healthy measured from the
-  supervisor's own event log);
-* the supervised campaign's hard error rate (transport failures +
-  non-shed 5xx) must beat the unsupervised one by at least the margin;
-* a post-recovery verification step against the supervised pool must
-  complete with zero hard errors.
+* **recovery** -- the supervised pool must return to full health
+  within the recovery budget after every injected fault (time-to-
+  healthy measured from the supervisor's own event log);
+* **margin** -- the supervised campaign's hard error rate (transport
+  failures + non-shed 5xx) must be at least ``margin_factor`` (10x)
+  lower than the unsupervised one for the wedge/correlated kinds, and
+  beat it by the legacy absolute margin for ``worker_kill``;
+* **post-recovery** -- a verification step against the recovered pool
+  must complete with zero hard errors.
 
-The kill schedule is a :class:`~repro.faults.plan.FaultPlan` of
-``worker_kill`` specs (targets like ``serve:worker-0``), so campaigns
-are seeded, replayable JSON like every other chaos schedule in the
-repo.  Results land in ``BENCH_avail.json``; the exit code is the gate.
+A final ``shed_pressure`` scenario drives a deliberately undersized
+pool (tiny ``max_inflight``) hard enough to shed and gates on the
+elastic supervisor actually scaling up (peak pool size > initial)
+while the static one stays fixed.
+
+Kill kinds are delivered by the harness (SIGKILL from the parent, on
+the plan's schedule, anchored at load start); wedge kinds are
+*self-applied* by the workers through
+:class:`~repro.serve.chaos.WorkerChaos` (anchored at the supervisor's
+epoch), which is what stresses the supervisor's probe path: a wedged
+worker still accepts connections, so only the bounded probe pass --
+hung sockets counting as misses -- notices and restarts it.
+
+Plans are :class:`~repro.faults.plan.FaultPlan` JSON like every other
+chaos schedule in the repo, validated against the pool size at load
+time.  Results land in ``BENCH_avail.json``; the exit code is the
+gate.
 """
 
 from __future__ import annotations
@@ -27,30 +43,63 @@ import json
 import os
 import signal
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
-from repro.faults.plan import FaultPlan, FaultSpec, SERVE_KINDS
+from repro.faults.plan import (
+    SERVE_KILL_KINDS,
+    SERVE_KINDS,
+    WEDGE_KINDS,
+    FaultPlan,
+    FaultSpec,
+    correlated_slots,
+    serve_slot_of,
+    validate_serve_plan,
+)
 from repro.loadgen.client import TargetSet
 from repro.loadgen.replay import LoadGenerator, StepScorecard
 from repro.serve.supervisor import (
     SupervisorConfig,
     SupervisorThread,
     WorkerSupervisor,
-    slot_of_target,
 )
 
-#: Per-kill budget for the pool to probe fully healthy again: spawn
+#: Per-fault budget for the pool to probe fully healthy again: spawn
 #: cost (~2 s for a spawn-context worker) + backoff + one probe pass.
 DEFAULT_RECOVERY_BUDGET = 12.0
 
-#: The supervised campaign must beat the unsupervised one by at least
-#: this much hard error rate.
+#: ``worker_kill`` keeps its PR-era absolute margin: the supervised
+#: campaign must beat the unsupervised one by at least this much hard
+#: error rate.
 DEFAULT_ERROR_RATE_MARGIN = 0.10
 
+#: The new kinds gate on a *ratio*: unsupervised hard error rate must
+#: be at least this many times the supervised one.
+DEFAULT_MARGIN_FACTOR = 10.0
+
+#: Smoke campaigns are too short for the full 10x separation (the
+#: supervised pool's fixed ~2 s detection window is a bigger slice of
+#: a short run), so CI smoke gates on a reduced ratio.
+SMOKE_MARGIN_FACTOR = 3.0
+
 DEFAULT_KILL_SEED = 20150667
+
+#: Every matrix fault scenario, in presentation order.
+MATRIX_KINDS: tuple[str, ...] = SERVE_KINDS
+
+#: The kinds the CI chaos-matrix smoke runs.
+SMOKE_KINDS: tuple[str, ...] = ("correlated_kill", "probe_blackhole")
+
+#: Wedge windows open this many seconds after the *supervisor's*
+#: epoch -- late enough that pool startup, trace loading, and prewarm
+#: are done and the wedge lands mid-load.
+WEDGE_START = 6.0
+
+
+# -- plan builders ---------------------------------------------------------------
 
 
 def default_kill_plan(workers: int,
@@ -70,14 +119,63 @@ def default_kill_plan(workers: int,
         for rank in range(workers)))
 
 
+def correlated_kill_plan(workers: int,
+                         seed: int = DEFAULT_KILL_SEED,
+                         start: float = 2.0) -> FaultPlan:
+    """One window SIGKILLing the whole pool at once (count=workers)."""
+    return FaultPlan(name="avail-correlated", seed=seed, specs=(
+        FaultSpec("correlated_kill", "serve:*", start, 0.5,
+                  count=workers),))
+
+
+def wedge_plan(kind: str, seed: int = DEFAULT_KILL_SEED,
+               start: float = WEDGE_START, slot: int = 0) -> FaultPlan:
+    """One wedge window on one slot.
+
+    One slot, not all: SO_REUSEPORT keeps steering roughly half of new
+    connections at a wedged-but-listening worker, so a single wedge
+    already poisons the pool until supervision kills it -- while the
+    surviving worker keeps absorbing load, which is what separates the
+    supervised and unsupervised hard-error rates.
+    """
+    if kind not in WEDGE_KINDS:
+        raise ValueError(f"{kind!r} is not a wedge kind: {WEDGE_KINDS}")
+    return FaultPlan(name=f"avail-{kind}", seed=seed, specs=(
+        FaultSpec(kind, f"serve:worker-{slot}", start, 1.0),))
+
+
+def plan_for_kind(kind: str, workers: int,
+                  seed: int = DEFAULT_KILL_SEED) -> FaultPlan:
+    if kind == "worker_kill":
+        return default_kill_plan(workers, seed)
+    if kind == "correlated_kill":
+        return correlated_kill_plan(workers, seed)
+    return wedge_plan(kind, seed)
+
+
+# -- schedules and event analysis ------------------------------------------------
+
+
 def _kill_schedule(plan: FaultPlan, workers: int
-                   ) -> list[tuple[float, int]]:
-    """[(start, slot)] of the plan's worker kills, in order."""
-    schedule = []
-    for spec in plan.specs_of(SERVE_KINDS):
-        slot = slot_of_target(spec.target)
+                   ) -> list[tuple[float, list[int]]]:
+    """[(start, slots)] of the plan's harness-delivered kills.
+
+    ``worker_kill`` yields one slot per window; ``correlated_kill``
+    yields the whole deterministic group (see
+    :func:`~repro.faults.plan.correlated_slots`) so every member dies
+    inside the same window.  Wedge kinds are self-applied by the
+    workers and do not appear here.
+    """
+    schedule: list[tuple[float, list[int]]] = []
+    for spec in plan.specs_of(SERVE_KILL_KINDS):
+        if spec.kind == "correlated_kill":
+            schedule.append((spec.start,
+                             correlated_slots(spec=spec, plan=plan,
+                                              workers=workers)))
+            continue
+        slot = serve_slot_of(spec.target)
         if slot is not None and 0 <= slot < workers:
-            schedule.append((spec.start, slot))
+            schedule.append((spec.start, [slot]))
     return sorted(schedule)
 
 
@@ -104,41 +202,79 @@ def _time_to_healthy(events: list[dict]) -> list[dict]:
     return recoveries
 
 
-def _run_campaign(supervised: bool, plan: FaultPlan, *,
+# -- one campaign ----------------------------------------------------------------
+
+
+def _run_campaign(supervised: bool, plan: Optional[FaultPlan], *,
                   workers: int, paths: list[str], rps: float,
                   duration: float, deadline_ms: Optional[float],
                   load_workers: int, recovery_budget: float,
-                  quiet: bool) -> dict[str, Any]:
-    """One kill campaign under load; returns its result block."""
+                  elastic: bool = False,
+                  max_workers: Optional[int] = None,
+                  max_inflight: int = 128,
+                  client_timeout: float = 2.0,
+                  quiet: bool = True,
+                  label: str = "") -> dict[str, Any]:
+    """One campaign under load; returns its result block.
+
+    When the plan carries wedge specs (or front-door chaos kinds like
+    ``vm_stall``) it is written to a temp file and handed to the
+    workers as their ``--faults`` plan (wedges are self-applied, on
+    the supervisor's epoch); kill specs are delivered by this
+    harness's killer thread, anchored at load start.
+    """
     from repro.obs import MetricsRegistry
     metrics = MetricsRegistry()
-    config = SupervisorConfig(probe_interval=0.25, backoff_base=0.1)
+    config = SupervisorConfig(
+        probe_interval=0.15, probe_timeout=0.4, backoff_base=0.1,
+        max_workers=(max_workers or workers * 2) if elastic else None,
+        pressure_polls=2, quiet_polls=12, scale_cooldown=0.6)
+    faults_path: Optional[str] = None
+    cleanup: Optional[Path] = None
+    if plan is not None and plan.specs_of(
+            WEDGE_KINDS + ("vm_stall", "isp_degrade", "server_crash")):
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", prefix="avail-plan-",
+            delete=False)
+        handle.write(plan.to_json())
+        handle.close()
+        faults_path = handle.name
+        cleanup = Path(faults_path)
     supervisor = WorkerSupervisor(
         workers, config=config, metrics=metrics,
+        max_inflight=max_inflight, faults=faults_path,
         auto_restart=supervised, quiet=True)
     runner = SupervisorThread(supervisor).start(timeout=60.0)
     kills: list[dict] = []
     stop_killer = threading.Event()
+    schedule = _kill_schedule(plan, workers) if plan is not None else []
 
     def killer(t0: float) -> None:
-        for start, slot in _kill_schedule(plan, workers):
+        for start, slots in schedule:
             wait = t0 + start - time.monotonic()
             if wait > 0 and stop_killer.wait(wait):
                 return
-            pid = supervisor.pid_of(slot)
-            if pid is not None:
-                try:
-                    os.kill(pid, signal.SIGKILL)
-                except ProcessLookupError:
-                    pid = None
-            kills.append({"t": round(start, 3), "slot": slot,
-                          "pid": pid})
+            for slot in slots:
+                pid = supervisor.pid_of(slot)
+                if pid is not None:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pid = None
+                kills.append({"t": round(start, 3), "slot": slot,
+                              "pid": pid})
 
     card: StepScorecard
     verify_card: Optional[StepScorecard] = None
     recovered = False
     try:
-        targets = TargetSet.from_urls([runner.url], timeout=2.0)
+        # Fresh connections, deliberately: a keep-alive session pool
+        # pins nearly all traffic to whichever worker its hot
+        # connection reached, hiding a wedged sibling entirely.  New
+        # arrivals are what availability is about.
+        targets = TargetSet.from_urls([runner.url],
+                                      timeout=client_timeout,
+                                      fresh=True)
         with LoadGenerator(targets, paths, workers=load_workers,
                            deadline_ms=deadline_ms) as generator:
             generator.prewarm()
@@ -152,16 +288,19 @@ def _run_campaign(supervised: bool, plan: FaultPlan, *,
         if supervised:
             deadline = time.monotonic() + recovery_budget
             while time.monotonic() < deadline:
-                if supervisor.healthy_workers == workers:
+                if supervisor.healthy_workers >= workers:
                     recovered = True
                     break
                 time.sleep(0.1)
             if recovered:
                 # Post-recovery proof on a fresh session pool (the
-                # campaign pool holds connections to dead PIDs): the
-                # recovered pool must answer with zero hard errors.
-                verify_targets = TargetSet.from_urls([runner.url],
-                                                    timeout=2.0)
+                # campaign pool holds connections to dead or wedged
+                # PIDs): the recovered pool must answer with zero hard
+                # errors -- for wedge campaigns this also proves the
+                # epoch anchoring, because a replacement that
+                # re-adopted the wedge window would fail it.
+                verify_targets = TargetSet.from_urls(
+                    [runner.url], timeout=client_timeout, fresh=True)
                 with LoadGenerator(verify_targets, paths,
                                    workers=load_workers,
                                    deadline_ms=deadline_ms
@@ -171,56 +310,75 @@ def _run_campaign(supervised: bool, plan: FaultPlan, *,
                         max(10.0, rps / 4), 2.0)
     finally:
         runner.stop()
+        if cleanup is not None:
+            cleanup.unlink(missing_ok=True)
 
     events = list(supervisor.events)
     recoveries = _time_to_healthy(events)
     result: dict[str, Any] = {
+        "label": label,
         "supervised": supervised,
+        "elastic": elastic,
         "workers": workers,
+        "max_workers": config.max_workers,
         "kills": kills,
         "load": card.to_dict(),
         "recoveries": recoveries,
         "recovered_full_health": recovered if supervised else False,
         "restarts": supervisor.restarts_total,
         "degraded": supervisor.degraded,
+        "peak_pool_size": supervisor.peak_pool_size,
+        "final_pool_size": supervisor.pool_size,
         "events": events,
     }
     if verify_card is not None:
         result["post_recovery"] = verify_card.to_dict()
     if not quiet:
-        mode = "supervised" if supervised else "unsupervised"
-        print(f"avail: {mode} campaign: "
+        print(f"avail: {label}: "
               f"hard_error_rate={card.hard_error_rate:.4f} "
               f"restarts={supervisor.restarts_total} "
+              f"peak_pool={supervisor.peak_pool_size} "
               f"kills={len(kills)}", flush=True)
     return result
 
 
-def run_gate(*, workers: int = 2, rps: float = 60.0,
-             duration: float = 8.0,
-             deadline_ms: Optional[float] = 500.0,
-             load_workers: int = 4,
-             plan: Optional[FaultPlan] = None,
-             recovery_budget: float = DEFAULT_RECOVERY_BUDGET,
-             margin: float = DEFAULT_ERROR_RATE_MARGIN,
-             trace_scale: float = 0.01, trace_seed: int = 7,
-             trace_limit: int = 4000,
-             quiet: bool = False) -> dict[str, Any]:
-    """Both campaigns plus the gate verdict, as the BENCH payload."""
-    from repro.loadgen.trace import load_or_generate_paths
-    plan = plan if plan is not None else default_kill_plan(workers)
-    paths = load_or_generate_paths(None, trace_scale, trace_seed,
-                                   limit=trace_limit)
-    campaigns = {}
-    for supervised in (True, False):
-        label = "supervised" if supervised else "unsupervised"
-        campaigns[label] = _run_campaign(
-            supervised, plan, workers=workers, paths=paths, rps=rps,
-            duration=duration, deadline_ms=deadline_ms,
-            load_workers=load_workers,
-            recovery_budget=recovery_budget, quiet=quiet)
+# -- scenarios -------------------------------------------------------------------
 
-    sup, unsup = campaigns["supervised"], campaigns["unsupervised"]
+
+def _kind_params(kind: str, smoke: bool) -> dict[str, Any]:
+    """Load shape per fault kind.
+
+    Wedge campaigns run a short client timeout (hung requests block a
+    load worker for exactly one timeout) and longer durations (the
+    supervised pool's ~2 s detection window must be a small fraction of
+    the run for the margin ratio to be meaningful).
+    """
+    if kind == "worker_kill":
+        return dict(rps=40.0 if smoke else 60.0,
+                    duration=6.0 if smoke else 8.0,
+                    client_timeout=2.0, load_workers=4)
+    if kind == "correlated_kill":
+        return dict(rps=30.0 if smoke else 40.0,
+                    duration=14.0 if smoke else 35.0,
+                    client_timeout=2.0, load_workers=4)
+    if kind in ("probe_blackhole", "admin_slowloris"):
+        # admin_slowloris detection is the slowest of the taxonomy
+        # (every probe pass burns a full timeout on the dribbled
+        # response), so its campaign runs longest: the margin ratio
+        # compares a fixed detection window against the run length.
+        duration = 45.0 if kind == "admin_slowloris" else 30.0
+        return dict(rps=24.0, duration=12.0 if smoke else duration,
+                    client_timeout=0.75, load_workers=6)
+    return dict(rps=40.0, duration=10.0 if smoke else 20.0,
+                client_timeout=2.0, load_workers=4)
+
+
+def _kind_gate(kind: str, campaigns: dict[str, dict], *,
+               recovery_budget: float, margin: float,
+               margin_factor: float) -> dict[str, Any]:
+    """One fault scenario's verdict."""
+    sup = campaigns["supervised"]
+    unsup = campaigns["unsupervised"]
     sup_rate = sup["load"]["hard_error_rate"]
     unsup_rate = unsup["load"]["hard_error_rate"]
     recovery_times = [entry["time_to_healthy"]
@@ -230,59 +388,256 @@ def run_gate(*, workers: int = 2, rps: float = 60.0,
         and bool(recovery_times)
         and all(t is not None and t <= recovery_budget
                 for t in recovery_times))
+    if kind == "worker_kill":
+        margin_met = unsup_rate - sup_rate >= margin
+    else:
+        # Ratio gate; a zero supervised rate passes as long as the
+        # unsupervised pool actually broke.
+        margin_met = unsup_rate > 0.0 \
+            and unsup_rate >= margin_factor * sup_rate
     post = sup.get("post_recovery")
     post_clean = post is not None and post["hard_errors"] == 0
-    gate = {
+    gate: dict[str, Any] = {
         "recovery_budget_seconds": recovery_budget,
         "recovered_within_budget": recovered_within_budget,
-        "error_rate_margin": margin,
         "supervised_hard_error_rate": sup_rate,
         "unsupervised_hard_error_rate": unsup_rate,
-        "margin_met": unsup_rate - sup_rate >= margin,
+        "margin_met": margin_met,
         "post_recovery_clean": post_clean,
     }
-    gate["passed"] = bool(gate["recovered_within_budget"]
-                          and gate["margin_met"]
-                          and gate["post_recovery_clean"])
+    if kind == "worker_kill":
+        gate["error_rate_margin"] = margin
+        static = campaigns.get("supervised_static")
+        if static is not None:
+            static_times = [entry["time_to_healthy"]
+                            for entry in static["recoveries"]]
+            gate["static_recovered_within_budget"] = (
+                static["recovered_full_health"]
+                and bool(static_times)
+                and all(t is not None and t <= recovery_budget
+                        for t in static_times))
+    else:
+        gate["margin_factor"] = margin_factor
+    gate["passed"] = bool(
+        gate["recovered_within_budget"] and gate["margin_met"]
+        and gate["post_recovery_clean"]
+        and gate.get("static_recovered_within_budget", True))
+    return gate
+
+
+def _run_kind_scenario(kind: str, plan: FaultPlan, *, workers: int,
+                       paths: list[str],
+                       deadline_ms: Optional[float], smoke: bool,
+                       recovery_budget: float, margin: float,
+                       margin_factor: float,
+                       quiet: bool) -> dict[str, Any]:
+    params = _kind_params(kind, smoke)
+    common = dict(workers=workers, paths=paths, rps=params["rps"],
+                  duration=params["duration"],
+                  deadline_ms=deadline_ms,
+                  load_workers=params["load_workers"],
+                  client_timeout=params["client_timeout"],
+                  recovery_budget=recovery_budget, quiet=quiet)
+    campaigns = {
+        "supervised": _run_campaign(
+            True, plan, elastic=True,
+            label=f"{kind}/supervised+elastic", **common),
+    }
+    if kind == "worker_kill":
+        # The elastic-off axis, shown where it is cheapest: restarts
+        # must work identically with a fixed pool.
+        campaigns["supervised_static"] = _run_campaign(
+            True, plan, elastic=False,
+            label=f"{kind}/supervised", **common)
+    campaigns["unsupervised"] = _run_campaign(
+        False, plan, elastic=False,
+        label=f"{kind}/unsupervised", **common)
     return {
-        "bench": "serve-availability",
+        "name": kind,
+        "kind": kind,
         "plan": {"name": plan.name, "seed": plan.seed,
-                 "kills": [spec.to_dict()
+                 "specs": [spec.to_dict()
                            for spec in plan.specs_of(SERVE_KINDS)]},
-        "config": {
-            "workers": workers, "rps": rps, "duration": duration,
-            "deadline_ms": deadline_ms,
-            "load_workers": load_workers,
-        },
         "campaigns": campaigns,
+        "gate": _kind_gate(kind, campaigns,
+                           recovery_budget=recovery_budget,
+                           margin=margin,
+                           margin_factor=margin_factor),
+    }
+
+
+def _run_shed_scenario(*, workers: int, paths: list[str],
+                       deadline_ms: Optional[float],
+                       recovery_budget: float,
+                       quiet: bool) -> dict[str, Any]:
+    """Elastic scale-up under admission-shed pressure.
+
+    A deliberately undersized pool (``max_inflight=1`` per worker)
+    under load sheds on saturation; the elastic supervisor must notice
+    (via /statz deltas) and grow the pool, the static one must not.
+    A ``vm_stall`` window covering the whole run pins the per-decision
+    service time at ~50 ms: a warmed-up decision is sub-millisecond,
+    which would make saturation (and therefore this scenario's
+    verdict) a race against the page cache rather than a property of
+    the load.
+    """
+    stall = FaultPlan(name="shed-pressure-stall", seed=1, specs=(
+        FaultSpec("vm_stall", "*", 0.001, 3600.0),))
+    common = dict(workers=workers, paths=paths, rps=80.0,
+                  duration=6.0, deadline_ms=deadline_ms,
+                  load_workers=8, client_timeout=2.0, max_inflight=1,
+                  recovery_budget=recovery_budget, quiet=quiet)
+    campaigns = {
+        "elastic": _run_campaign(True, stall, elastic=True,
+                                 max_workers=workers * 2,
+                                 label="shed_pressure/elastic",
+                                 **common),
+        "static": _run_campaign(True, stall, elastic=False,
+                                label="shed_pressure/static",
+                                **common),
+    }
+    scale_up = campaigns["elastic"]["peak_pool_size"] > workers
+    static_fixed = campaigns["static"]["peak_pool_size"] == workers
+    gate = {
+        "scale_up_observed": scale_up,
+        "peak_pool_size": campaigns["elastic"]["peak_pool_size"],
+        "initial_pool_size": workers,
+        "static_pool_fixed": static_fixed,
+        "passed": bool(scale_up and static_fixed),
+    }
+    return {"name": "shed_pressure", "kind": None, "plan": None,
+            "campaigns": campaigns, "gate": gate}
+
+
+# -- the matrix ------------------------------------------------------------------
+
+
+def _matrix_rows(scenarios: list[dict]) -> list[dict]:
+    """The flat one-row-per-campaign view of the matrix."""
+    rows = []
+    for scenario in scenarios:
+        for label, campaign in scenario["campaigns"].items():
+            rows.append({
+                "scenario": scenario["name"],
+                "campaign": label,
+                "supervised": campaign["supervised"],
+                "elastic": campaign["elastic"],
+                "hard_error_rate":
+                    campaign["load"]["hard_error_rate"],
+                "recovered": campaign["recovered_full_health"],
+                "restarts": campaign["restarts"],
+                "peak_pool_size": campaign["peak_pool_size"],
+            })
+    return rows
+
+
+def run_matrix(*, workers: int = 2,
+               deadline_ms: Optional[float] = 500.0,
+               kinds: Optional[Sequence[str]] = None,
+               plan: Optional[FaultPlan] = None,
+               recovery_budget: float = DEFAULT_RECOVERY_BUDGET,
+               margin: float = DEFAULT_ERROR_RATE_MARGIN,
+               margin_factor: float = DEFAULT_MARGIN_FACTOR,
+               smoke: bool = False, shed: bool = True,
+               trace_scale: float = 0.01, trace_seed: int = 7,
+               trace_limit: int = 4000,
+               quiet: bool = False) -> dict[str, Any]:
+    """The full scenario matrix plus the gate, as the BENCH payload.
+
+    ``plan`` (when given) replaces the built-in schedule of the
+    scenario whose kind its serve specs carry; plans are validated
+    against the pool size before any process is spawned.
+    """
+    from repro.loadgen.trace import load_or_generate_paths
+    if kinds is None:
+        kinds = SMOKE_KINDS if smoke else MATRIX_KINDS
+    for kind in kinds:
+        if kind not in SERVE_KINDS:
+            raise ValueError(f"unknown matrix kind {kind!r}; "
+                             f"known: {SERVE_KINDS}")
+    plan_kinds: set[str] = set()
+    if plan is not None:
+        validate_serve_plan(plan, workers)
+        plan_kinds = {spec.kind
+                      for spec in plan.specs_of(SERVE_KINDS)}
+    paths = load_or_generate_paths(None, trace_scale, trace_seed,
+                                   limit=trace_limit)
+    scenarios: list[dict] = []
+    for kind in kinds:
+        kind_plan = plan if plan is not None and kind in plan_kinds \
+            else plan_for_kind(kind, workers)
+        validate_serve_plan(kind_plan, workers)
+        scenarios.append(_run_kind_scenario(
+            kind, kind_plan, workers=workers, paths=paths,
+            deadline_ms=deadline_ms, smoke=smoke,
+            recovery_budget=recovery_budget, margin=margin,
+            margin_factor=margin_factor, quiet=quiet))
+    if shed and not smoke:
+        scenarios.append(_run_shed_scenario(
+            workers=workers, paths=paths, deadline_ms=deadline_ms,
+            recovery_budget=recovery_budget, quiet=quiet))
+    verdicts = {scenario["name"]: scenario["gate"]["passed"]
+                for scenario in scenarios}
+    gate = {
+        "recovery_budget_seconds": recovery_budget,
+        "error_rate_margin": margin,
+        "margin_factor": margin_factor,
+        "scenarios": verdicts,
+        "passed": bool(verdicts) and all(verdicts.values()),
+    }
+    return {
+        "bench": "serve-availability-matrix",
+        "config": {
+            "workers": workers, "deadline_ms": deadline_ms,
+            "kinds": list(kinds), "smoke": smoke,
+        },
+        "scenarios": scenarios,
+        "matrix": _matrix_rows(scenarios),
         "gate": gate,
     }
+
+
+# -- CLI -------------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.avail",
-        description="Worker-kill availability campaign: supervised "
-                    "vs unsupervised pool under closed-loop load, "
-                    "with a recovery + error-rate gate.")
+        description="Availability chaos matrix: one campaign per "
+                    "serve-domain fault kind, supervised vs "
+                    "unsupervised (and elastic vs static) pools under "
+                    "closed-loop load, with per-scenario recovery and "
+                    "error-margin gates.")
     parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--rps", type=float, default=60.0)
-    parser.add_argument("--duration", type=float, default=8.0)
     parser.add_argument("--deadline-ms", type=float, default=500.0,
                         help="per-request budget stamped by the load "
                              "generator (default %(default)s)")
-    parser.add_argument("--load-workers", type=int, default=4)
+    parser.add_argument("--kinds", default=None,
+                        help="comma-separated fault kinds to run "
+                             "(default: the full matrix, or the smoke "
+                             "subset with --smoke)")
     parser.add_argument("--plan", metavar="FILE", default=None,
-                        help="worker_kill fault plan JSON; the "
-                             "built-in kill-every-slot schedule when "
-                             "omitted")
+                        help="fault plan JSON overriding the built-in "
+                             "schedule of the matching kind; "
+                             "validated against --workers at load "
+                             "time")
     parser.add_argument("--recovery-budget", type=float,
                         default=DEFAULT_RECOVERY_BUDGET)
     parser.add_argument("--margin", type=float,
-                        default=DEFAULT_ERROR_RATE_MARGIN)
+                        default=DEFAULT_ERROR_RATE_MARGIN,
+                        help="worker_kill absolute hard-error-rate "
+                             "margin (default %(default)s)")
+    parser.add_argument("--margin-factor", type=float, default=None,
+                        help="required unsupervised/supervised hard-"
+                             "error ratio for the new kinds (default "
+                             f"{DEFAULT_MARGIN_FACTOR:g}, "
+                             f"{SMOKE_MARGIN_FACTOR:g} with --smoke)")
     parser.add_argument("--smoke", action="store_true",
-                        help="short smoke sizing for CI "
-                             "(6 s campaign, 40 rps)")
+                        help="CI sizing: correlated_kill + "
+                             "probe_blackhole only, short campaigns, "
+                             "reduced margin factor")
+    parser.add_argument("--no-shed", action="store_true",
+                        help="skip the shed_pressure elastic scenario")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="write BENCH_avail.json here (atomic)")
     parser.add_argument("--quiet", action="store_true")
@@ -291,15 +646,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.smoke:
-        args.rps = min(args.rps, 40.0)
-        args.duration = min(args.duration, 6.0)
+    margin_factor = args.margin_factor if args.margin_factor \
+        is not None else (SMOKE_MARGIN_FACTOR if args.smoke
+                          else DEFAULT_MARGIN_FACTOR)
+    kinds = [kind.strip() for kind in args.kinds.split(",")] \
+        if args.kinds else None
     plan = FaultPlan.from_file(args.plan) if args.plan else None
-    result = run_gate(
-        workers=args.workers, rps=args.rps, duration=args.duration,
-        deadline_ms=args.deadline_ms, load_workers=args.load_workers,
-        plan=plan, recovery_budget=args.recovery_budget,
-        margin=args.margin, quiet=args.quiet)
+    result = run_matrix(
+        workers=args.workers, deadline_ms=args.deadline_ms,
+        kinds=kinds, plan=plan,
+        recovery_budget=args.recovery_budget, margin=args.margin,
+        margin_factor=margin_factor, smoke=args.smoke,
+        shed=not args.no_shed, quiet=args.quiet)
     rendered = json.dumps(result, indent=2, sort_keys=True)
     if args.out:
         from repro.recovery.atomic import atomic_write_text
@@ -311,10 +669,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     gate = result["gate"]
     if not args.quiet:
         verdict = "PASS" if gate["passed"] else "FAIL"
-        print(f"avail: {verdict} -- recovered_within_budget="
-              f"{gate['recovered_within_budget']} margin_met="
-              f"{gate['margin_met']} post_recovery_clean="
-              f"{gate['post_recovery_clean']}", flush=True)
+        scenarios = " ".join(
+            f"{name}={'ok' if passed else 'FAIL'}"
+            for name, passed in sorted(gate["scenarios"].items()))
+        print(f"avail: {verdict} -- {scenarios}", flush=True)
     return 0 if gate["passed"] else 1
 
 

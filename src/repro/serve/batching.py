@@ -115,7 +115,7 @@ class DecisionBatcher:
         now = time.monotonic()
         responses: list[Optional[Response]] = [None] * len(items)
         live_index: list[int] = []
-        live_requests: list[tuple[str, str]] = []
+        live_requests: list[tuple[str, str, Optional[float]]] = []
         for position, (path, cookie, deadline) in enumerate(items):
             if deadline is not None and now > deadline:
                 responses[position] = deadline_response("execute")
@@ -125,7 +125,9 @@ class DecisionBatcher:
                     stage="execute").inc()
             else:
                 live_index.append(position)
-                live_requests.append((path, cookie))
+                # The deadline rides into handle_batch so the policy
+                # layer can rank against the remaining budget.
+                live_requests.append((path, cookie, deadline))
         if live_requests:
             for position, response in zip(
                     live_index, self.app.handle_batch(live_requests)):

@@ -18,7 +18,24 @@ Kind semantics at the front door (entity domain as in
 * ``vm_stall``      -- a wedged backend VM: a fixed stall per request.
 
 Everything else in the taxonomy shapes the batch-replay layers and is
-ignored here.
+ignored here -- except the serve-domain *wedge* kinds, which a
+supervised worker applies to itself through :class:`WorkerChaos`:
+
+* ``probe_blackhole`` -- the process is hung: every listener (admin and
+  data) still accepts connections via the kernel backlog but nothing is
+  ever read or answered;
+* ``admin_slowloris`` -- the write path has degraded to a crawl:
+  responses go out byte-at-a-time with seconds between bytes, on every
+  listener (the admin port is merely where the supervisor notices);
+* ``conn_reset``     -- corrupted socket state: accepted connections
+  are reset mid-request, admin probes included.
+
+Wedges are *process states*: a worker alive when the window opens
+adopts the fault and keeps it until the process dies, and a replacement
+started later is clean (see :mod:`repro.faults.plan`).  Their clock is
+the supervisor's epoch (one ``time.monotonic()`` origin shared by the
+whole pool), so a restarted worker agrees with its siblings about when
+a window opened instead of re-anchoring it at its own birth.
 """
 
 from __future__ import annotations
@@ -29,7 +46,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs.registry import NOOP, AnyRegistry
 
 #: The entity name the serving tier presents to target matching; plans
@@ -45,6 +62,17 @@ MAX_DELAY = 0.5
 
 #: Fixed per-request stall while a vm_stall window is active.
 STALL_DELAY = 0.05
+
+#: Seconds between bytes of a slow-lorised response (scaled by the
+#: spec's severity).  Deliberately above any sane client timeout: the
+#: point is that per-recv socket timeouts never fire because *some*
+#: byte always eventually arrives -- only a total-time budget catches
+#: it.
+SLOWLORIS_BYTE_DELAY = 2.0
+
+#: How long a blackholed connection is parked before being dropped; in
+#: practice the process is SIGKILLed long before this.
+BLACKHOLE_HANG = 3600.0
 
 
 @dataclass(frozen=True)
@@ -118,6 +146,47 @@ class ServeChaos:
                        "(server_crash window)"}), {}
 
 
+class WorkerChaos:
+    """Self-applied process-state faults of one supervised worker.
+
+    ``epoch`` is the pool-wide ``time.monotonic()`` origin the plan's
+    serve windows are measured from (Linux's CLOCK_MONOTONIC is
+    system-wide, so parent and workers share it); when None the worker
+    anchors at its own start, which is the right thing for a plain
+    unsupervised ``--faults`` run.
+    """
+
+    def __init__(self, injector: FaultInjector, rank: int,
+                 epoch: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: AnyRegistry = NOOP):
+        self.injector = injector
+        self.entity = f"worker-{rank}"
+        self._clock = clock
+        self._origin = clock() if epoch is None else epoch
+        self._born = self._clock() - self._origin
+        self._metrics = metrics
+        self._reported: set[str] = set()
+
+    def now(self) -> float:
+        return self._clock() - self._origin
+
+    def wedge(self) -> Optional[FaultSpec]:
+        """The wedge this process carries right now, or None.
+
+        Adoption follows :meth:`FaultInjector.wedged`: only windows
+        that opened during this process's lifetime apply, and they
+        never clear -- a wedge outlives its window until the process is
+        restarted.
+        """
+        spec = self.injector.wedged(self.entity, self._born, self.now())
+        if spec is not None and spec.key not in self._reported:
+            self._reported.add(spec.key)
+            self._metrics.counter("repro_serve_wedges_total",
+                                  kind=spec.kind).inc()
+        return spec
+
+
 def load_serve_chaos(plan_path: Optional[Union[str, Path]],
                      metrics: AnyRegistry = NOOP
                      ) -> Optional[ServeChaos]:
@@ -127,3 +196,20 @@ def load_serve_chaos(plan_path: Optional[Union[str, Path]],
     plan = FaultPlan.from_file(plan_path)
     return ServeChaos(FaultInjector(plan, metrics=metrics),
                       metrics=metrics)
+
+
+def load_worker_chaos(plan_path: Optional[Union[str, Path]],
+                      rank: Optional[int],
+                      epoch: Optional[float] = None,
+                      metrics: AnyRegistry = NOOP
+                      ) -> Optional[WorkerChaos]:
+    """The wedge gate of one worker, or None when the plan has no
+    serve-domain wedge specs (the common case costs nothing)."""
+    from repro.faults.plan import WEDGE_KINDS
+    if plan_path is None or rank is None:
+        return None
+    plan = FaultPlan.from_file(plan_path)
+    if not plan.specs_of(WEDGE_KINDS):
+        return None
+    return WorkerChaos(FaultInjector(plan, metrics=metrics), rank,
+                       epoch=epoch, metrics=metrics)

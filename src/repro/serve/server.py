@@ -51,13 +51,14 @@ from repro.obs.registry import NOOP, AnyRegistry
 from repro.serve.admission import DEFAULT_MAX_INFLIGHT, \
     AdmissionController, deadline_response
 from repro.serve.batching import DecisionBatcher
-from repro.serve.chaos import ServeChaos
+from repro.serve.chaos import BLACKHOLE_HANG, SLOWLORIS_BYTE_DELAY, \
+    ServeChaos, WorkerChaos
 
 #: Cap on one request head (request line + headers).
 MAX_REQUEST_BYTES = 32 * 1024
 
 #: Endpoints with their own metric label; anything else is "other".
-KNOWN_ENDPOINTS = ("/decide", "/healthz", "/metrics", "/")
+KNOWN_ENDPOINTS = ("/decide", "/healthz", "/metrics", "/statz", "/")
 
 
 def endpoint_label(path: str) -> str:
@@ -85,6 +86,7 @@ class AsyncOdrServer:
                  max_inflight: int = DEFAULT_MAX_INFLIGHT,
                  batch: bool = True,
                  chaos: Optional[ServeChaos] = None,
+                 worker_chaos: Optional[WorkerChaos] = None,
                  reuse_port: bool = False,
                  default_policy: str = "odr",
                  admin_port: Optional[int] = None):
@@ -99,6 +101,7 @@ class AsyncOdrServer:
         self.batcher = DecisionBatcher(self.app, metrics=metrics) \
             if batch else None
         self.chaos = chaos
+        self.worker_chaos = worker_chaos
         self.reuse_port = reuse_port
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -131,8 +134,14 @@ class AsyncOdrServer:
             self._client_connected, sock=sock,
             limit=MAX_REQUEST_BYTES)
         if self._requested_admin_port is not None:
+            # The admin listener is a control plane: its probes bypass
+            # data-plane admission (see _respond), so a saturated
+            # worker still answers /healthz and serves /statz -- which
+            # is exactly when the supervisor most needs both.
             self._admin_server = await asyncio.start_server(
-                self._client_connected, host=self.host,
+                lambda reader, writer: self._client_connected(
+                    reader, writer, admin=True),
+                host=self.host,
                 port=self._requested_admin_port,
                 limit=MAX_REQUEST_BYTES)
             self.admin_port = \
@@ -185,14 +194,15 @@ class AsyncOdrServer:
     # -- connection handling -----------------------------------------------------
 
     async def _client_connected(self, reader: asyncio.StreamReader,
-                                writer: asyncio.StreamWriter) -> None:
+                                writer: asyncio.StreamWriter,
+                                admin: bool = False) -> None:
         self._writers.add(writer)
         task = asyncio.current_task()
         if task is not None:
             self._connection_tasks.add(task)
             task.add_done_callback(self._connection_tasks.discard)
         try:
-            await self._connection_loop(reader, writer)
+            await self._connection_loop(reader, writer, admin=admin)
         except (ConnectionError, asyncio.IncompleteReadError,
                 BrokenPipeError):
             pass   # client went away; nothing to answer
@@ -204,9 +214,24 @@ class AsyncOdrServer:
             except (ConnectionError, BrokenPipeError):
                 pass
 
+    def _wedge_kind(self) -> Optional[str]:
+        """The process-state fault this worker carries, or None."""
+        if self.worker_chaos is None:
+            return None
+        spec = self.worker_chaos.wedge()
+        return spec.kind if spec is not None else None
+
     async def _connection_loop(self, reader: asyncio.StreamReader,
-                               writer: asyncio.StreamWriter) -> None:
+                               writer: asyncio.StreamWriter,
+                               admin: bool = False) -> None:
         while not self._draining:
+            if self._wedge_kind() == "probe_blackhole":
+                # A hung process: the kernel backlog keeps accepting,
+                # but nothing is ever read or answered -- on the data
+                # port and the admin port alike.  Park the connection;
+                # only a supervisor restart ends this.
+                await asyncio.sleep(BLACKHOLE_HANG)
+                return
             try:
                 head = await reader.readuntil(b"\r\n\r\n")
             except asyncio.IncompleteReadError:
@@ -223,6 +248,12 @@ class AsyncOdrServer:
                                          keep_alive=False)
                 return
             method, path, cookie, keep_alive, deadline_ms = request
+            if self._wedge_kind() == "conn_reset":
+                # Corrupted socket state: the request was read, then
+                # the connection dies with a reset mid-request.  Probes
+                # see it too -- which is how the supervisor notices.
+                writer.transport.abort()
+                return
             if method != "GET":
                 await self._write_simple(writer, 405,
                                          f"method {method} not allowed",
@@ -233,7 +264,8 @@ class AsyncOdrServer:
                 if deadline_ms is not None else None
             self._handling += 1
             try:
-                response = await self._respond(path, cookie, deadline)
+                response = await self._respond(path, cookie, deadline,
+                                               admin=admin)
                 await self._write_response(writer, response, keep_alive)
             finally:
                 self._handling -= 1
@@ -297,24 +329,28 @@ class AsyncOdrServer:
         if deadline is not None and time.monotonic() > deadline:
             self.admission.count_deadline_shed("execute")
             return deadline_response("execute")
-        return self.app.handle(path, cookie)
+        return self.app.handle(path, cookie, deadline=deadline)
 
     async def _respond(self, path: str, cookie: str,
-                       deadline: Optional[float] = None) -> Response:
+                       deadline: Optional[float] = None,
+                       admin: bool = False) -> Response:
         endpoint = endpoint_label(path)
         self.metrics.counter("repro_serve_requests_total",
                              endpoint=endpoint).inc()
-        if deadline is not None and endpoint == "/decide":
-            # Shed before admission when the predicted queue wait
-            # already exceeds the remaining budget: the answer would
-            # come back expired, so 504 now is cheaper for both sides.
-            remaining = deadline - time.monotonic()
-            if not self.admission.deadline_allows(remaining):
-                self.admission.shed_deadline(endpoint, "admission")
-                return deadline_response("admission", remaining * 1e3)
-        if not self.admission.try_admit(endpoint):
-            status, body, headers = self.admission.shed_body()
-            return status, "application/json", body, None, headers
+        if not admin:
+            if deadline is not None and endpoint == "/decide":
+                # Shed before admission when the predicted queue wait
+                # already exceeds the remaining budget: the answer
+                # would come back expired, so 504 now is cheaper for
+                # both sides.
+                remaining = deadline - time.monotonic()
+                if not self.admission.deadline_allows(remaining):
+                    self.admission.shed_deadline(endpoint, "admission")
+                    return deadline_response("admission",
+                                             remaining * 1e3)
+            if not self.admission.try_admit(endpoint):
+                status, body, headers = self.admission.shed_body()
+                return status, "application/json", body, None, headers
         started = time.perf_counter()
         status = 500
         try:
@@ -334,11 +370,19 @@ class AsyncOdrServer:
                     status, body, headers = self.chaos.injected_500()
                     return status, "application/json", body, None, \
                         headers
-            if endpoint == "/metrics":
-                response: Response = (200,
-                                      "text/plain; version=0.0.4",
-                                      render_prometheus(self.metrics),
+            if endpoint == "/statz":
+                # Plain-JSON admission accounting for the supervisor's
+                # elastic-capacity controller (cheaper to poll and to
+                # parse than the full Prometheus rendering).
+                response: Response = (200, "application/json",
+                                      json.dumps(
+                                          self.admission.stats()),
                                       None, {})
+            elif endpoint == "/metrics":
+                response = (200,
+                            "text/plain; version=0.0.4",
+                            render_prometheus(self.metrics),
+                            None, {})
             elif self.batcher is not None and endpoint == "/decide":
                 response = await self.batcher.submit(path, cookie,
                                                      deadline)
@@ -352,9 +396,12 @@ class AsyncOdrServer:
             status = response[0]
             return response
         finally:
-            self.admission.release(endpoint,
-                                   time.perf_counter() - started,
-                                   status)
+            # Admin traffic never took a slot, so it releases none --
+            # and stays out of the data plane's latency histograms.
+            if not admin:
+                self.admission.release(endpoint,
+                                       time.perf_counter() - started,
+                                       status)
 
     # -- response encoding -------------------------------------------------------
 
@@ -374,9 +421,31 @@ class AsyncOdrServer:
             head.append(f"Set-Cookie: {set_cookie}")
         for name, value in headers.items():
             head.append(f"{name}: {value}")
-        writer.write("\r\n".join(head).encode("latin-1")
-                     + b"\r\n\r\n" + payload)
+        data = "\r\n".join(head).encode("latin-1") + b"\r\n\r\n" \
+            + payload
+        if self._wedge_kind() == "admin_slowloris":
+            await self._write_slowloris(writer, data)
+            return
+        writer.write(data)
         await writer.drain()
+
+    async def _write_slowloris(self, writer: asyncio.StreamWriter,
+                               data: bytes) -> None:
+        """The slow-lorised write path: one byte, then a long pause.
+
+        Every per-recv socket timeout on the other side is defeated by
+        construction (a byte always arrives eventually); only a caller
+        with a *total-time* budget -- like the supervisor's probe pass
+        -- classifies this worker as dead.
+        """
+        spec = self.worker_chaos.wedge() \
+            if self.worker_chaos is not None else None
+        delay = SLOWLORIS_BYTE_DELAY * \
+            (spec.severity if spec is not None else 1.0)
+        for position in range(len(data)):
+            writer.write(data[position:position + 1])
+            await writer.drain()
+            await asyncio.sleep(delay)
 
     async def _write_simple(self, writer: asyncio.StreamWriter,
                             status: int, detail: str,

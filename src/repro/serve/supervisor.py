@@ -24,15 +24,32 @@ at target capacity:
 * **Rolling restart** -- start a replacement on the shared port,
   confirm it healthy, then SIGTERM-and-drain the old worker; capacity
   never dips below N-as-configured during the roll.
+* **Elastic capacity** -- with a ``max_workers`` ceiling configured,
+  the supervisor reads each worker's admission accounting off the
+  admin ``/statz`` endpoint during the probe pass.  Sustained shed
+  pressure (saturation 503s plus deadline 504s, ``pressure_polls``
+  consecutive pressured passes) grows the pool by one slot, up to the
+  ceiling; a quiet hysteresis window (``quiet_polls`` passes without
+  sheds) drains the newest extra slot and shrinks back.  The breaker,
+  rolling restarts, and degraded-capacity reporting all operate on the
+  *current* slot set, so they compose with a moving pool size.
+
+Probes run concurrently on short-lived threads under one total-time
+budget per pass: a blackholed admin port (accepts, never answers) or a
+slow-lorised one (a byte per epoch, defeating per-recv timeouts) costs
+one ``probe_timeout`` for the whole pass instead of stalling the
+supervisor loop, and still counts toward the 3-miss restart trigger.
 
 Every transition lands in a structured event log and in obs
-instruments: ``repro_serve_worker_restarts_total{reason}`` and the
-``repro_serve_pool_healthy_workers`` gauge.
+instruments: ``repro_serve_worker_restarts_total{reason}``, the
+``repro_serve_pool_healthy_workers`` / ``repro_serve_pool_size``
+gauges, and ``repro_serve_pool_scale_events_total{direction}``.
 """
 
 from __future__ import annotations
 
 import http.client
+import json
 import os
 import signal
 import threading
@@ -46,9 +63,10 @@ from repro.obs.registry import NOOP, AnyRegistry
 from repro.serve.workers import _worker_main, probe_reuse_port
 
 #: Slot states.  starting -> ready <-> unready; any -> backoff ->
-#: starting; backoff -> failed (breaker tripped); stopped on shutdown.
+#: starting; backoff -> failed (breaker tripped); ready -> retiring
+#: (elastic scale-down drain); stopped on shutdown.
 STATES = ("starting", "ready", "unready", "backoff", "failed",
-          "stopped")
+          "retiring", "stopped")
 
 
 def slot_of_target(target: str) -> Optional[int]:
@@ -80,6 +98,13 @@ class SupervisorConfig:
     restart_window: float = 30.0    #: ...of this many seconds
     drain_grace: float = 5.0        #: SIGTERM -> SIGKILL escalation
     seed: int = 0                   #: jitter determinism
+    #: Elastic-capacity ceiling; None (or <= the base pool size) keeps
+    #: the pool fixed, i.e. elastic scaling off.
+    max_workers: Optional[int] = None
+    pressure_polls: int = 2         #: pressured passes before scale-up
+    quiet_polls: int = 12           #: shed-free passes before scale-down
+    shed_threshold: int = 1         #: sheds per pass that count as pressure
+    scale_cooldown: float = 1.0     #: min seconds between scale events
 
 
 @dataclass
@@ -98,6 +123,8 @@ class _Slot:
     restart_at: float = 0.0          #: backoff expiry (monotonic)
     restart_times: deque = field(default_factory=deque)
     exit_codes: list = field(default_factory=list)
+    shed_seen: Optional[int] = None  #: last cumulative /statz shed count
+    retire_at: float = 0.0           #: scale-down SIGTERM time (monotonic)
 
 
 class WorkerSupervisor:
@@ -131,6 +158,20 @@ class WorkerSupervisor:
         self.events: list[dict] = []
         self._healthy_gauge = metrics.gauge(
             "repro_serve_pool_healthy_workers")
+        self._pool_gauge = metrics.gauge("repro_serve_pool_size")
+        # Elastic-capacity state: the base size is the floor the pool
+        # shrinks back to; ranks grow monotonically so a scaled-up slot
+        # never reuses a retired slot's identity in the event log.
+        self._base_workers = workers
+        self._next_rank = workers
+        self.peak_pool_size = workers
+        self._pressure_streak = 0
+        self._quiet_streak = 0
+        self._last_scale = 0.0
+        # Pool-wide origin for serve-domain fault windows: every worker
+        # (including restarts) measures plan windows from the
+        # supervisor's start, not its own birth.
+        self._chaos_epoch = time.monotonic()
         import multiprocessing
         self._context = multiprocessing.get_context("spawn")
 
@@ -162,7 +203,8 @@ class WorkerSupervisor:
                   self._worker_args["batch"],
                   self._worker_args["resilience"],
                   self._worker_args["faults"], True,
-                  self._worker_args["default_policy"], rank, child),
+                  self._worker_args["default_policy"], rank, child,
+                  self._chaos_epoch),
             name=f"odr-worker-{rank}", daemon=False)
         process.start()
         child.close()
@@ -193,7 +235,7 @@ class WorkerSupervisor:
             with self._lock:
                 pending = [slot for slot in self._slots
                            if slot.state not in ("ready", "failed",
-                                                 "stopped")]
+                                                 "retiring", "stopped")]
             if not pending:
                 return self.healthy_workers > 0
             time.sleep(0.05)
@@ -241,28 +283,85 @@ class WorkerSupervisor:
 
     # -- the poll pass -----------------------------------------------------------
 
-    def _probe(self, admin_port: int) -> Optional[int]:
-        """The worker's /healthz status via its admin door, or None
-        when the probe could not connect at all."""
-        try:
+    def _probe_all(self, probes: list[tuple[int, int]]
+                   ) -> dict[int, tuple[Optional[int], Optional[dict]]]:
+        """Probe every ``(rank, admin_port)`` concurrently under one
+        total-time budget; ``{rank: (healthz status, /statz stats)}``.
+
+        Each probe runs on its own short-lived thread: GET /healthz,
+        and on a 200 a /statz read over the same connection for the
+        admission counters the elastic controller wants.  The waiter
+        joins with an overall ``probe_timeout`` deadline and then
+        force-closes straggler connections -- a blackholed or
+        slow-lorised admin port therefore yields ``(None, None)`` (a
+        probe miss) after one budget instead of hanging the pass, which
+        is exactly how a wedged-but-listening worker accrues its three
+        misses without stalling its siblings' probes.
+        """
+        results: dict[int, tuple[Optional[int], Optional[dict]]] = {}
+        conns: dict[int, http.client.HTTPConnection] = {}
+
+        def probe_one(rank: int, admin_port: int) -> None:
             conn = http.client.HTTPConnection(
                 self.host, admin_port,
                 timeout=self.config.probe_timeout)
+            conns[rank] = conn
+            status: Optional[int] = None
+            stats: Optional[dict] = None
             try:
                 conn.request("GET", "/healthz")
                 response = conn.getresponse()
                 response.read()
-                return response.status
+                status = response.status
+                if status == 200:
+                    conn.request("GET", "/statz")
+                    stats_response = conn.getresponse()
+                    body = stats_response.read()
+                    if stats_response.status == 200:
+                        stats = json.loads(body)
+            except (OSError, http.client.HTTPException, ValueError):
+                pass
             finally:
-                conn.close()
-        except OSError:
-            return None
+                try:
+                    conn.close()
+                except OSError:   # pragma: no cover - close race
+                    pass
+            results[rank] = (status, stats)
+
+        threads = [threading.Thread(target=probe_one, args=probe,
+                                    name=f"odr-probe-{probe[0]}",
+                                    daemon=True)
+                   for probe in probes]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + self.config.probe_timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        out: dict[int, tuple[Optional[int], Optional[dict]]] = {}
+        for rank, _port in probes:
+            if rank not in results:
+                # Straggler: unblock its thread by closing the socket
+                # under it, and count the miss now.
+                conn = conns.get(rank)
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:   # pragma: no cover - close race
+                        pass
+            out[rank] = results.get(rank, (None, None))
+        return out
+
+    def _probe(self, admin_port: int) -> Optional[int]:
+        """One worker's /healthz status via its admin door (None when
+        the probe missed); same bounded machinery as the poll pass."""
+        return self._probe_all([(-1, admin_port)])[-1][0]
 
     def poll(self) -> None:
         """One supervision pass: reap exits, collect admin-port
-        reports, expire backoffs, probe readiness."""
+        reports, expire backoffs, probe readiness, adjust capacity."""
         now = time.monotonic()
         with self._lock:
+            removed = []
             for slot in self._slots:
                 if slot.state in ("failed", "stopped"):
                     continue
@@ -270,6 +369,17 @@ class WorkerSupervisor:
                 if process is not None and not process.is_alive():
                     code = process.exitcode
                     slot.exit_codes.append(code)
+                    if slot.state == "retiring":
+                        # Elastic scale-down completes: the drained
+                        # extra slot leaves the pool instead of
+                        # restarting.
+                        self._event("scale_down", slot.rank,
+                                    exitcode=code)
+                        self.metrics.counter(
+                            "repro_serve_pool_scale_events_total",
+                            direction="down").inc()
+                        removed.append(slot)
+                        continue
                     self._event("worker_exit", slot.rank,
                                 exitcode=code)
                     slot.process = None
@@ -281,23 +391,38 @@ class WorkerSupervisor:
                     else:
                         slot.state = "failed"
                     continue
+                if slot.state == "retiring":
+                    if process is not None and \
+                            now - slot.retire_at > \
+                            self.config.drain_grace:
+                        self._kill_slot_process(slot)
+                    continue
                 if slot.state == "backoff" and now >= slot.restart_at:
                     self._start_slot(slot, reason="restart")
                     continue
                 if slot.state == "starting":
                     self._collect_report(slot, now)
+            for slot in removed:
+                self._slots.remove(slot)
             probes = [(slot.rank, slot.admin_port)
                       for slot in self._slots
                       if slot.state in ("ready", "unready")
                       and slot.admin_port is not None]
-        # Probes leave the lock: each one can block probe_timeout long.
-        results = {rank: self._probe(port) for rank, port in probes}
+        # Probes leave the lock and run concurrently: the whole pass
+        # costs at most one probe_timeout, wedged workers included.
+        results = self._probe_all(probes)
         with self._lock:
+            stats_by_rank: dict[int, dict] = {}
             for slot in self._slots:
                 if slot.rank in results and \
                         slot.state in ("ready", "unready"):
-                    self._apply_probe(slot, results[slot.rank])
+                    status, stats = results[slot.rank]
+                    self._apply_probe(slot, status)
+                    if stats is not None:
+                        stats_by_rank[slot.rank] = stats
+            self._elastic_step(time.monotonic(), stats_by_rank)
             self._healthy_gauge.set(float(self._healthy_locked()))
+            self._pool_gauge.set(float(self._pool_size_locked()))
 
     def _collect_report(self, slot: _Slot, now: float) -> None:
         """Starting slot: take the admin-port report off the pipe, or
@@ -337,11 +462,88 @@ class WorkerSupervisor:
             slot.probe_misses = 0
         else:
             slot.probe_misses += 1
-            if slot.probe_misses >= self.config.probe_failures:
+            if slot.probe_misses >= self.config.probe_failures \
+                    and self.auto_restart:
                 self._event("probe_dead", slot.rank,
                             misses=slot.probe_misses)
                 self._kill_slot_process(slot)
-                # Reaped as an exit on the next poll pass.
+                # Reaped as an exit on the next poll pass.  Killing a
+                # wedged-but-listening worker matters even before the
+                # replacement is up: SO_REUSEPORT keeps steering new
+                # connections at a live listener, dead ones rebalance.
+
+    # -- elastic capacity --------------------------------------------------------
+
+    def _elastic_step(self, now: float,
+                      stats_by_rank: dict[int, dict]) -> None:
+        """One tick of the scale-up / scale-down state machine.
+
+        Pressure is the pool-wide delta of cumulative admission sheds
+        (saturation 503s + deadline 504s) since the previous pass; a
+        counter that went *backwards* means the worker restarted, so
+        its baseline resets rather than counting phantom sheds.
+        Without a ``max_workers`` ceiling the deltas are still tracked
+        (cheap) but no scaling happens.
+        """
+        shed_delta = 0
+        for slot in self._slots:
+            stats = stats_by_rank.get(slot.rank)
+            if stats is None:
+                continue
+            total = int(stats.get("sheds", 0))
+            if slot.shed_seen is None or total < slot.shed_seen:
+                slot.shed_seen = total
+            shed_delta += total - slot.shed_seen
+            slot.shed_seen = total
+        limit = self.config.max_workers
+        if limit is None or limit <= self._base_workers:
+            return
+        if shed_delta >= self.config.shed_threshold:
+            self._pressure_streak += 1
+            self._quiet_streak = 0
+        else:
+            self._quiet_streak += 1
+            self._pressure_streak = 0
+        if now - self._last_scale < self.config.scale_cooldown:
+            return
+        size = self._pool_size_locked()
+        if self._pressure_streak >= self.config.pressure_polls \
+                and size < limit:
+            slot = _Slot(rank=self._next_rank)
+            self._next_rank += 1
+            self._slots.append(slot)
+            self._start_slot(slot, reason="scale_up")
+            self._event("scale_up", slot.rank,
+                        shed_delta=shed_delta, pool=size + 1)
+            self.metrics.counter(
+                "repro_serve_pool_scale_events_total",
+                direction="up").inc()
+            self.peak_pool_size = max(self.peak_pool_size, size + 1)
+            self._pressure_streak = 0
+            self._last_scale = now
+        elif self._quiet_streak >= self.config.quiet_polls \
+                and size > self._base_workers:
+            candidates = [s for s in self._slots
+                          if s.state in ("ready", "unready")
+                          and s.process is not None]
+            if candidates:
+                self._retire_slot(
+                    max(candidates, key=lambda s: s.rank), now)
+                self._quiet_streak = 0
+                self._last_scale = now
+
+    def _retire_slot(self, slot: _Slot, now: float) -> None:
+        """Begin a scale-down drain: SIGTERM the slot; the exit reap
+        removes it from the pool (drain_grace bounds the wait)."""
+        slot.state = "retiring"
+        slot.retire_at = now
+        self._event("retiring", slot.rank, pid=slot.pid)
+        if slot.process is not None and slot.process.is_alive() \
+                and slot.pid is not None:
+            try:
+                os.kill(slot.pid, signal.SIGTERM)
+            except ProcessLookupError:   # pragma: no cover - race
+                pass
 
     # -- rolling restart ---------------------------------------------------------
 
@@ -353,9 +555,12 @@ class WorkerSupervisor:
         every slot rolled."""
         self._event("rolling_restart_begin")
         ok = True
-        for slot in self._slots:
+        with self._lock:
+            roll_slots = list(self._slots)
+        for slot in roll_slots:
             with self._lock:
-                if slot.state in ("failed", "stopped"):
+                if slot.state in ("failed", "retiring", "stopped") \
+                        or slot not in self._slots:
                     continue
                 old_process = slot.process
                 replacement, pipe = self._spawn_process(slot.rank)
@@ -438,10 +643,22 @@ class WorkerSupervisor:
         return sum(1 for slot in self._slots
                    if slot.state == "ready")
 
+    def _pool_size_locked(self) -> int:
+        return sum(1 for slot in self._slots
+                   if slot.state not in ("failed", "retiring",
+                                         "stopped"))
+
     @property
     def healthy_workers(self) -> int:
         with self._lock:
             return self._healthy_locked()
+
+    @property
+    def pool_size(self) -> int:
+        """Slots the supervisor is currently trying to keep serving
+        (excludes breaker-failed, retiring, and stopped slots)."""
+        with self._lock:
+            return self._pool_size_locked()
 
     @property
     def degraded(self) -> bool:
@@ -459,11 +676,17 @@ class WorkerSupervisor:
                        or record["event"] == "rolled")
 
     def pid_of(self, rank: int) -> Optional[int]:
-        """The current PID of one slot (the chaos killer's target)."""
+        """The current PID of one slot (the chaos killer's target).
+
+        Keyed by rank, not list position: with elastic scaling the
+        slots list can grow and shrink, so indices are not stable.
+        """
         with self._lock:
-            slot = self._slots[rank]
-            return slot.process.pid \
-                if slot.process is not None else None
+            for slot in self._slots:
+                if slot.rank == rank:
+                    return slot.process.pid \
+                        if slot.process is not None else None
+            return None
 
     def snapshot(self) -> list[dict]:
         """Structured state of every slot, for status CLIs and tests."""
@@ -523,15 +746,19 @@ def run_supervised_pool(workers: int, host: str, port: int, *,
                         faults: Optional[str] = None,
                         default_policy: str = "odr",
                         quiet: bool = False,
-                        config: Optional[SupervisorConfig] = None
-                        ) -> int:
+                        config: Optional[SupervisorConfig] = None,
+                        max_workers: Optional[int] = None) -> int:
     """CLI runner: a supervised pool until SIGINT/SIGTERM.
 
-    Returns 0 when the pool shut down at full capacity, 1 when the
-    breaker had given up on any slot (degraded capacity at exit).
+    ``max_workers`` (when above ``workers``) switches elastic capacity
+    on.  Returns 0 when the pool shut down at full capacity, 1 when
+    the breaker had given up on any slot (degraded capacity at exit).
     """
     from repro.obs import MetricsRegistry
     metrics = MetricsRegistry()
+    config = config or SupervisorConfig()
+    if max_workers is not None:
+        config.max_workers = max_workers
     supervisor = WorkerSupervisor(
         workers, host, port, config=config, metrics=metrics,
         max_inflight=max_inflight, batch=batch,

@@ -56,12 +56,19 @@ def _worker_main(host: str, port: int, max_inflight: int,
                  faults: Optional[str], quiet: bool,
                  default_policy: str = "odr",
                  rank: Optional[int] = None,
-                 admin_pipe: Optional[Any] = None) -> None:
-    """Spawn-safe worker entry: one async server on a shared port."""
+                 admin_pipe: Optional[Any] = None,
+                 chaos_epoch: Optional[float] = None) -> None:
+    """Spawn-safe worker entry: one async server on a shared port.
+
+    ``chaos_epoch`` is the pool-wide ``time.monotonic()`` origin that
+    serve-domain fault windows are measured from (the supervisor's
+    start), so a restarted worker agrees with its siblings about when a
+    window opened instead of re-anchoring the plan at its own birth.
+    """
     _maybe_crash(rank)
     from repro.faults.policies import ResiliencePolicies
     from repro.obs import MetricsRegistry
-    from repro.serve.chaos import load_serve_chaos
+    from repro.serve.chaos import load_serve_chaos, load_worker_chaos
     from repro.serve.server import AsyncOdrServer, run_async_server
 
     metrics = MetricsRegistry()
@@ -70,6 +77,8 @@ def _worker_main(host: str, port: int, max_inflight: int,
         host=host, port=port, policies=policies, metrics=metrics,
         max_inflight=max_inflight, batch=batch,
         chaos=load_serve_chaos(faults, metrics=metrics),
+        worker_chaos=load_worker_chaos(faults, rank, epoch=chaos_epoch,
+                                       metrics=metrics),
         reuse_port=True, default_policy=default_policy,
         admin_port=0 if admin_pipe is not None else None)
 
@@ -164,10 +173,11 @@ def run_worker_pool(workers: int, host: str, port: int, *,
     if port == 0:
         port = probe_reuse_port(host)
     context = multiprocessing.get_context("spawn")
+    chaos_epoch = time.monotonic()
     pool = [context.Process(
         target=_worker_main,
         args=(host, port, max_inflight, batch, resilience,
-              faults, quiet, default_policy, rank),
+              faults, quiet, default_policy, rank, None, chaos_epoch),
         name=f"odr-worker-{rank}", daemon=False)
         for rank in range(workers)]
     for process in pool:

@@ -377,6 +377,24 @@ class TestDelayAwarePolicy:
         with pytest.raises(ValueError):
             DelayAwarePolicy(deadline_seconds=0.0)
 
+    def test_per_request_budget_overrides_static_deadline(self):
+        policy = DelayAwarePolicy(deadline_seconds=100.0)
+        backends = (_Stub("slow-cheap", 80.0, 0.0),
+                    _Stub("fast-costly", 30.0, 1000.0))
+        # Against the static budget the slow-but-free backend wins.
+        relaxed = policy.decide(make_context(), self.SNAPSHOT,
+                                backends)
+        assert relaxed.rationale == "stub:slow-cheap"
+        # A propagated X-Deadline-Ms budget of 50 s flips the ranking:
+        # only the costly backend still meets the deadline.
+        hurried = UserContext(user_id="u1", ip_address="1.2.3.4",
+                              access_bandwidth=4e6,
+                              deadline_seconds=50.0)
+        assert policy.effective_deadline(hurried) == 50.0
+        assert policy.effective_deadline(make_context()) == 100.0
+        decision = policy.decide(hurried, self.SNAPSHOT, backends)
+        assert decision.rationale == "stub:fast-costly"
+
 
 class TestFaultGate:
     def injector(self):

@@ -77,6 +77,59 @@ class TestInProcessRouting:
         assert stored.access_bandwidth == pytest.approx(1e6)
 
 
+class TestDeadlinePropagation:
+    """X-Deadline-Ms budgets reach the routing policies as
+    ``UserContext.deadline_seconds`` -- and nowhere else."""
+
+    @pytest.fixture()
+    def app(self):
+        return OdrWebApp()
+
+    def test_deadline_becomes_remaining_budget(self, app):
+        context = app._build_context(
+            lambda key, default=None: default, "u1",
+            ip_address="1.2.3.4",
+            deadline=time.monotonic() + 2.0)
+        assert context.deadline_seconds is not None
+        assert 1.5 < context.deadline_seconds <= 2.0
+
+    def test_no_deadline_leaves_the_field_unset(self, app):
+        context = app._build_context(
+            lambda key, default=None: default, "u1",
+            ip_address="1.2.3.4")
+        assert context.deadline_seconds is None
+
+    def test_expired_deadline_clamps_to_zero(self, app):
+        context = app._build_context(
+            lambda key, default=None: default, "u1",
+            ip_address="1.2.3.4",
+            deadline=time.monotonic() - 5.0)
+        assert context.deadline_seconds == 0.0
+
+    def test_handle_with_deadline_matches_replay_bits(self, app):
+        """A deadline must not leak into the decision of the default
+        policy (replay paths never stamp one, and the golden digests
+        depend on that)."""
+        query = "/decide?link=http://host/f&bandwidth_mbps=8"
+        _s, _t, body, set_cookie, _h = app.handle(
+            query, deadline=time.monotonic() + 30.0)
+        cookie_value = set_cookie.split(";")[0]
+        _s, _t, replay_body, _c, _h = app.handle(
+            query, cookie_header=cookie_value)
+        strip = lambda b: {k: v for k, v in json.loads(b).items()
+                           if k != "user_id"}
+        assert strip(body) == strip(replay_body)
+
+    def test_deadline_never_persists_into_the_cookie_jar(self, app):
+        _s, _t, _b, set_cookie, _h = app.handle(
+            "/decide?link=http://host/f&bandwidth_mbps=8",
+            deadline=time.monotonic() + 30.0)
+        user_id = set_cookie.split(";")[0].split("=")[1]
+        stored = app.service.cookies.recall(user_id)
+        assert stored is not None
+        assert stored.deadline_seconds is None
+
+
 class TestRealHttpServer:
     @pytest.fixture(scope="class")
     def server_url(self):

@@ -31,7 +31,9 @@ from repro.faults import (
     RetryPolicy,
     TransferCheckpoint,
     ap_entity_name,
+    correlated_slots,
     default_chaos_plan,
+    validate_serve_plan,
 )
 from repro.sim.clock import DAY, HOUR
 from repro.sim.randomness import substream
@@ -459,3 +461,78 @@ class TestResilienceScorecardRendering:
         text = render_scorecard(report, True)
         assert "recovered:           5 tasks" in text
         assert "baseline consistent: True" in text
+
+
+class TestServePlanValidation:
+    """Serve-domain specs fail at plan-load time, naming the spec."""
+
+    @staticmethod
+    def _plan(*specs):
+        return FaultPlan("serve-chaos", 11, list(specs))
+
+    def test_valid_plan_passes(self):
+        plan = self._plan(
+            spec(kind="worker_kill", target="serve:worker-1"),
+            spec(kind="correlated_kill", target="serve:*", count=2),
+            spec(kind="probe_blackhole", target="serve:worker-0"))
+        validate_serve_plan(plan, workers=2)   # no raise
+
+    def test_out_of_range_slot_names_the_spec(self):
+        plan = self._plan(spec(kind="conn_reset",
+                               target="serve:worker-7"))
+        with pytest.raises(ValueError) as excinfo:
+            validate_serve_plan(plan, workers=2)
+        message = str(excinfo.value)
+        assert "conn_reset:serve:worker-7" in message
+        assert "slot 7" in message and "0..1" in message
+
+    def test_malformed_serve_target_names_the_spec(self):
+        plan = self._plan(spec(kind="admin_slowloris",
+                               target="serve:workerx"))
+        with pytest.raises(ValueError) as excinfo:
+            validate_serve_plan(plan, workers=2)
+        assert "admin_slowloris:serve:workerx" in str(excinfo.value)
+
+    def test_correlated_count_beyond_pool_names_the_spec(self):
+        plan = self._plan(spec(kind="correlated_kill",
+                               target="serve:*", count=5))
+        with pytest.raises(ValueError) as excinfo:
+            validate_serve_plan(plan, workers=3)
+        message = str(excinfo.value)
+        assert "correlated_kill:serve:*" in message
+        assert "kill 5 slots" in message and "3 worker(s)" in message
+
+    def test_count_only_legal_on_correlated_kill(self):
+        with pytest.raises(ValueError):
+            spec(kind="worker_kill", target="serve:worker-0", count=2)
+
+    def test_count_round_trips_through_json(self):
+        plan = self._plan(spec(kind="correlated_kill",
+                               target="serve:*", count=3))
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.specs[0].count == 3
+        # count == 1 stays implicit in the wire form.
+        lean = self._plan(spec(kind="worker_kill",
+                               target="serve:worker-0"))
+        assert "count" not in lean.to_json()
+
+
+class TestCorrelatedSlots:
+    def test_anchored_group_wraps_consecutively(self):
+        kill = spec(kind="correlated_kill", target="serve:worker-2",
+                    count=3)
+        plan = FaultPlan("ck", 5, [kill])
+        assert correlated_slots(plan, kill, workers=4) == [2, 3, 0]
+
+    def test_broadcast_group_is_seed_deterministic(self):
+        kill = spec(kind="correlated_kill", target="serve:*", count=2)
+        plan = FaultPlan("ck", 5, [kill])
+        first = correlated_slots(plan, kill, workers=4)
+        assert first == correlated_slots(plan, kill, workers=4)
+        assert len(set(first)) == 2
+        assert all(0 <= slot < 4 for slot in first)
+
+    def test_count_clamped_to_pool(self):
+        kill = spec(kind="correlated_kill", target="serve:*", count=2)
+        plan = FaultPlan("ck", 5, [kill])
+        assert correlated_slots(plan, kill, workers=1) == [0]

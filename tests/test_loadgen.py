@@ -141,6 +141,62 @@ class TestClient:
         targets = TargetSet([sick])
         assert targets.pick(0) is sick
 
+    def test_fresh_mode_never_pools_connections(self):
+        """Availability campaigns use fresh=True: every request is a
+        new connection (so the kernel re-balances it across
+        SO_REUSEPORT listeners) instead of riding one pinned
+        keep-alive flow out of the LIFO pool."""
+        server = AsyncOdrServer(metrics=MetricsRegistry())
+        path = "/decide?link=http%3A%2F%2Fhost%2Ff&bandwidth_mbps=8"
+        with AsyncServerThread(server) as thread:
+            pooled = Target(thread.url)
+            for _ in range(3):
+                assert pooled.request(path).ok
+            fresh = Target(thread.url, fresh=True)
+            for _ in range(3):
+                assert fresh.request(path).ok
+        # The pooled client reconnected once and kept the session;
+        # the fresh client dialed anew every time and kept nothing.
+        assert pooled.pooled_connections == 1
+        assert pooled.reconnects == 1
+        assert fresh.pooled_connections == 0
+        assert fresh.reconnects == 3
+
+    def test_partial_response_is_an_error_outcome(self):
+        """A server that dies mid-response leaves a truncated status
+        line; http.client raises BadStatusLine (an HTTPException, not
+        an OSError).  The client must classify it as a failed request
+        -- an escaping exception here silently kills the loadgen
+        worker thread recording the outcome, which is how a chaos
+        campaign's scorecard loses most of its denominator."""
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        done = threading.Event()
+
+        def half_answer():
+            conn, _addr = listener.accept()
+            conn.recv(4096)
+            conn.sendall(b"H")       # one byte of "HTTP/1.1 ...", then gone
+            conn.close()
+            done.set()
+
+        thread = threading.Thread(target=half_answer, daemon=True)
+        thread.start()
+        try:
+            target = Target(f"http://127.0.0.1:{port}", timeout=5.0)
+            outcome = target.request("/decide")
+            assert done.wait(5.0)
+            assert outcome.status is None
+            assert outcome.error == "BadStatusLine"
+            assert not outcome.ok
+        finally:
+            listener.close()
+
 
 class TestRetryAfterBackoff:
     """503 sheds back the target off; they are not failures."""

@@ -30,7 +30,7 @@ from repro.serve import (
     AsyncServerThread,
     endpoint_label,
 )
-from repro.serve.chaos import ServeChaos
+from repro.serve.chaos import ServeChaos, WorkerChaos
 from repro.faults.injector import FaultInjector
 
 DECIDE = ("/decide?link=http%3A%2F%2Forigin%2Ffile.bin"
@@ -178,7 +178,7 @@ class TestSaturation:
         release = threading.Event()
         original = server.app.handle
 
-        def slow_handle(path, cookie=None):
+        def slow_handle(path, cookie=None, deadline=None):
             if path.startswith("/decide"):
                 release.wait(timeout=10.0)
             return original(path, cookie)
@@ -219,6 +219,58 @@ class TestSaturation:
         assert rejected == 1
         assert admitted + rejected == sent == 3
 
+    def test_admin_control_plane_bypasses_admission(self):
+        """A saturated data plane must not starve supervision: the
+        admin listener answers /healthz 200 and serves /statz while
+        the only data slot is held -- the shed counters it exposes are
+        the elastic controller's scale-up signal, so they have to be
+        readable exactly when the worker is refusing data traffic."""
+        metrics = MetricsRegistry()
+        server = AsyncOdrServer(metrics=metrics, max_inflight=1,
+                                batch=False, admin_port=0)
+        release = threading.Event()
+        original = server.app.handle
+
+        def slow_handle(path, cookie=None, deadline=None):
+            if path.startswith("/decide"):
+                release.wait(timeout=10.0)
+            return original(path, cookie)
+
+        server.app.handle = slow_handle
+        with AsyncServerThread(server):
+            holder = threading.Thread(
+                target=get,
+                args=(server.host, server.port, DECIDE),
+                kwargs={"timeout": 15.0}, daemon=True)
+            holder.start()
+            deadline = time.monotonic() + 5.0
+            while server.inflight_requests == 0 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert server.inflight_requests == 1
+            # Data port: full, sheds.
+            status, _headers, _body = get(server.host, server.port,
+                                          DECIDE)
+            assert status == 503
+            # Admin port: control plane, never queued behind data.
+            status, _headers, _body = get(server.host,
+                                          server.admin_port,
+                                          "/healthz")
+            assert status == 200
+            status, _headers, body = get(server.host,
+                                         server.admin_port, "/statz")
+            assert status == 200
+            stats = json.loads(body)
+            assert stats["sheds"] >= 1
+            assert stats["inflight"] == 1
+            release.set()
+            holder.join(timeout=10.0)
+        # Admin traffic holds no slot, so it neither admits nor sheds:
+        # the accounting invariant stays a data-plane property.
+        admitted = metrics.counter("repro_serve_admitted_total",
+                                   endpoint="/healthz").value
+        assert admitted == 0
+
     def test_obs_accounts_for_every_request(self, live_server):
         server, _thread, metrics = live_server
         for _ in range(7):
@@ -243,7 +295,7 @@ class TestDrain:
         release = threading.Event()
         original = server.app.handle
 
-        def slow_handle(path, cookie=None):
+        def slow_handle(path, cookie=None, deadline=None):
             if path.startswith("/decide"):
                 release.wait(timeout=10.0)
             return original(path, cookie)
@@ -516,3 +568,131 @@ class TestReadiness:
         assert status == 200
         assert json.loads(body)["status"] == "ok"
         assert main_status == 200
+
+
+class TestWedgeInvariants:
+    """The accounting invariant survives every serve-domain wedge.
+
+    ``admitted + rejected == sent`` must hold whatever a process-state
+    fault does to connections: requests a wedge swallows before the
+    counting point (a blackholed park, a mid-request reset) never
+    increment ``requests_total`` either, so the counted population
+    stays balanced; requests that do get counted are either admitted
+    or rejected with a named reason (``saturated`` -> 503,
+    ``deadline`` -> 504).
+    """
+
+    @staticmethod
+    def _wedged_server(kind, severity=1.0, **server_kwargs):
+        plan = FaultPlan(f"wedge-{kind}", 1,
+                         [FaultSpec(kind, "serve:worker-0",
+                                    0.0, 1.0, severity=severity)])
+        metrics = MetricsRegistry()
+        # Pin the chaos clock at the window's open so the wedge is
+        # adopted from the first request (adoption needs
+        # born <= start <= now, and a real clock puts born just past
+        # a start of 0).
+        chaos = WorkerChaos(FaultInjector(plan), 0, metrics=metrics,
+                            clock=lambda: 0.0)
+        server = AsyncOdrServer(metrics=metrics, worker_chaos=chaos,
+                                **server_kwargs)
+        return server, metrics
+
+    @staticmethod
+    def _accounting(metrics):
+        sent = metrics.counter("repro_serve_requests_total",
+                               endpoint="/decide").value
+        admitted = metrics.counter("repro_serve_admitted_total",
+                                   endpoint="/decide").value
+        rejected = sum(
+            metrics.counter("repro_serve_rejected_total",
+                            endpoint="/decide", reason=reason).value
+            for reason in ("saturated", "deadline"))
+        return sent, admitted, rejected
+
+    @pytest.mark.parametrize("kind", ["probe_blackhole", "conn_reset"])
+    def test_swallowed_requests_stay_balanced(self, kind):
+        server, metrics = self._wedged_server(kind)
+        with AsyncServerThread(server, grace=0.5):
+            for _ in range(3):
+                with pytest.raises(OSError):
+                    connection = http.client.HTTPConnection(
+                        server.host, server.port, timeout=0.3)
+                    try:
+                        connection.request("GET", DECIDE)
+                        connection.getresponse()
+                    finally:
+                        connection.close()
+        sent, admitted, rejected = self._accounting(metrics)
+        assert sent == 0          # swallowed before the counting point
+        assert admitted + rejected == sent
+        assert metrics.counter("repro_serve_wedges_total",
+                               kind=kind).value == 1
+
+    def test_slowloris_counts_and_balances(self):
+        # A tiny severity scales the byte delay down so the test can
+        # actually read the dribbled responses; the accounting path is
+        # identical to the full-speed wedge.
+        server, metrics = self._wedged_server("admin_slowloris",
+                                              severity=0.001)
+        with AsyncServerThread(server, grace=0.5):
+            for _ in range(2):
+                status, _headers, _body = get_with_headers(
+                    server.host, server.port, DECIDE,
+                    {"X-Deadline-Ms": "0"}, timeout=10.0)
+                assert status == 504
+            status, _headers, _body = get(server.host, server.port,
+                                          DECIDE, timeout=10.0)
+            assert status == 200
+        sent, admitted, rejected = self._accounting(metrics)
+        assert sent == 3
+        assert admitted == 1
+        assert rejected == 2
+        assert admitted + rejected == sent
+        assert metrics.counter("repro_serve_wedges_total",
+                               kind="admin_slowloris").value == 1
+
+    def test_correlated_kill_plan_leaves_data_path_clean(self):
+        # correlated_kill is a supervisor-side kill, not a wedge: a
+        # worker loaded with such a plan serves normally, and the mix
+        # of 504s, 503s, and successes still balances.
+        plan = FaultPlan("ck", 1,
+                         [FaultSpec("correlated_kill", "serve:*",
+                                    0.0, 1.0, count=2)])
+        metrics = MetricsRegistry()
+        chaos = WorkerChaos(FaultInjector(plan), 0, metrics=metrics)
+        server = AsyncOdrServer(metrics=metrics, worker_chaos=chaos,
+                                max_inflight=1, batch=False)
+        release = threading.Event()
+        original = server.app.handle
+
+        def slow_handle(path, cookie=None, deadline=None):
+            if path.startswith("/decide"):
+                release.wait(timeout=10.0)
+            return original(path, cookie)
+
+        server.app.handle = slow_handle
+        with AsyncServerThread(server) as thread:
+            holder = threading.Thread(
+                target=get, args=(server.host, server.port, DECIDE),
+                kwargs={"timeout": 15.0}, daemon=True)
+            holder.start()
+            deadline = time.monotonic() + 5.0
+            while server.inflight_requests == 0 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            status_503, _h, _b = get(server.host, server.port, DECIDE)
+            status_504, _h, _b = get_with_headers(
+                server.host, server.port, DECIDE,
+                {"X-Deadline-Ms": "0"})
+            release.set()
+            holder.join(timeout=10.0)
+        assert status_503 == 503
+        assert status_504 == 504
+        sent, admitted, rejected = self._accounting(metrics)
+        assert sent == 3
+        assert admitted == 1
+        assert rejected == 2
+        assert admitted + rejected == sent
+        assert metrics.counter("repro_serve_wedges_total",
+                               kind="correlated_kill").value == 0

@@ -184,3 +184,183 @@ class TestRestartBreaker:
         assert "gave_up" in kinds
         assert metrics.counter(
             "repro_serve_worker_giveups_total").value == 1
+
+
+class TestProbeBudget:
+    """A wedged-but-listening admin port cannot stall supervision."""
+
+    @staticmethod
+    def _blackhole_listener():
+        """A socket that accepts connections and never answers --
+        what a probe_blackhole wedge looks like from outside."""
+        import socket
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        accepted = []
+
+        def accept_loop():
+            while True:
+                try:
+                    conn, _addr = listener.accept()
+                except OSError:
+                    return
+                accepted.append(conn)   # hold it open, read nothing
+
+        thread = threading.Thread(target=accept_loop, daemon=True)
+        thread.start()
+        return listener, accepted
+
+    def test_hung_probe_is_a_miss_within_one_budget(self):
+        listener, accepted = self._blackhole_listener()
+        port = listener.getsockname()[1]
+        supervisor = WorkerSupervisor(
+            2, config=SupervisorConfig(probe_timeout=0.4))
+        try:
+            started = time.monotonic()
+            out = supervisor._probe_all([(0, port)])
+            elapsed = time.monotonic() - started
+        finally:
+            listener.close()
+            for conn in accepted:
+                conn.close()
+        # The hang costs at most one probe budget (plus thread slack),
+        # and it reads as a miss, not a stall.
+        assert out[0] == (None, None)
+        assert elapsed < 2.0
+
+    def test_hung_probe_does_not_serialize_healthy_probes(self):
+        import socketserver
+        from http.server import BaseHTTPRequestHandler
+
+        class Healthz(BaseHTTPRequestHandler):
+            def do_GET(self):
+                body = b'{"status": "ok"}' \
+                    if self.path == "/healthz" else b'{"sheds": 0}'
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):   # noqa: ARG002 - quiet
+                pass
+
+        healthy = socketserver.TCPServer(("127.0.0.1", 0), Healthz)
+        healthy_thread = threading.Thread(
+            target=healthy.serve_forever, daemon=True)
+        healthy_thread.start()
+        listener, accepted = self._blackhole_listener()
+        supervisor = WorkerSupervisor(
+            2, config=SupervisorConfig(probe_timeout=0.4))
+        try:
+            started = time.monotonic()
+            out = supervisor._probe_all(
+                [(0, listener.getsockname()[1]),
+                 (1, healthy.server_address[1])])
+            elapsed = time.monotonic() - started
+        finally:
+            listener.close()
+            for conn in accepted:
+                conn.close()
+            healthy.shutdown()
+            healthy.server_close()
+        assert out[0] == (None, None)
+        assert out[1][0] == 200
+        assert out[1][1] == {"sheds": 0}
+        assert elapsed < 2.0
+
+    def test_three_misses_trip_probe_dead(self):
+        supervisor = WorkerSupervisor(
+            2, config=SupervisorConfig(probe_failures=3))
+        slot = supervisor._slots[0]
+        slot.state = "ready"
+        for _ in range(3):
+            supervisor._apply_probe(slot, None)
+        assert slot.probe_misses == 3
+        assert any(event["event"] == "probe_dead"
+                   for event in supervisor.events)
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.alive = True
+
+    def is_alive(self):
+        return self.alive
+
+
+class TestElasticCapacity:
+    """The scale-up / scale-down state machine, driven synthetically
+    (fake /statz stats; spawn stubbed out so no real processes)."""
+
+    @staticmethod
+    def _supervisor(monkeypatch, **config_overrides):
+        config = SupervisorConfig(max_workers=4, pressure_polls=2,
+                                  quiet_polls=2, shed_threshold=1,
+                                  scale_cooldown=0.0)
+        for key, value in config_overrides.items():
+            setattr(config, key, value)
+        supervisor = WorkerSupervisor(2, config=config)
+
+        def fake_start(slot, reason):
+            slot.state = "ready"
+            slot.process = _FakeProcess()
+            slot.pid = None
+            supervisor._event("spawn", slot.rank, reason=reason)
+
+        monkeypatch.setattr(supervisor, "_start_slot", fake_start)
+        for slot in supervisor._slots:
+            fake_start(slot, "start")
+        return supervisor
+
+    @staticmethod
+    def _events(supervisor):
+        return [event["event"] for event in supervisor.events]
+
+    def test_sustained_pressure_scales_up_to_the_ceiling(
+            self, monkeypatch):
+        supervisor = self._supervisor(monkeypatch)
+        sheds = 0
+        supervisor._elastic_step(
+            1.0, {0: {"sheds": sheds}, 1: {"sheds": 0}})  # baseline
+        for tick in range(2, 8):
+            sheds += 5
+            supervisor._elastic_step(
+                float(tick), {0: {"sheds": sheds}, 1: {"sheds": 0}})
+        assert supervisor.pool_size == 4       # ceiling, not beyond
+        assert supervisor.peak_pool_size == 4
+        assert self._events(supervisor).count("scale_up") == 2
+
+    def test_quiet_window_scales_back_down(self, monkeypatch):
+        supervisor = self._supervisor(monkeypatch)
+        supervisor._elastic_step(1.0, {0: {"sheds": 0}})
+        supervisor._elastic_step(2.0, {0: {"sheds": 5}})
+        supervisor._elastic_step(3.0, {0: {"sheds": 10}})
+        assert supervisor.pool_size == 3
+        scaled = [slot for slot in supervisor._slots
+                  if slot.rank >= 2]
+        for tick in range(4, 8):
+            supervisor._elastic_step(float(tick), {0: {"sheds": 10}})
+        # The newest slot drains first, and never below the base size.
+        assert scaled[0].state == "retiring"
+        assert supervisor.pool_size == 2
+        assert "retiring" in self._events(supervisor)
+
+    def test_restart_resets_the_shed_baseline(self, monkeypatch):
+        supervisor = self._supervisor(monkeypatch)
+        supervisor._elastic_step(1.0, {0: {"sheds": 50}})  # baseline
+        # Counter went backwards: the worker restarted.  No phantom
+        # pressure from the old cumulative count.
+        supervisor._elastic_step(2.0, {0: {"sheds": 2}})
+        supervisor._elastic_step(3.0, {0: {"sheds": 2}})
+        supervisor._elastic_step(4.0, {0: {"sheds": 2}})
+        assert supervisor.pool_size == 2
+        assert "scale_up" not in self._events(supervisor)
+
+    def test_no_ceiling_means_no_scaling(self, monkeypatch):
+        supervisor = self._supervisor(monkeypatch, max_workers=None)
+        for tick in range(1, 6):
+            supervisor._elastic_step(
+                float(tick), {0: {"sheds": tick * 10}})
+        assert supervisor.pool_size == 2
+        assert "scale_up" not in self._events(supervisor)
